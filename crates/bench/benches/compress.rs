@@ -1,0 +1,48 @@
+//! Criterion benchmark of compressed serialization — §3.2's deferred
+//! experiment: "Using this facility to test if it can improve the MPI
+//! transmission of Premia problems was not studied in this paper but it
+//! is left for future developments and tests."
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nspval::{Hash, Matrix, Value};
+use std::hint::black_box;
+
+fn bench_compress(c: &mut Criterion) {
+    // A small plain problem-sized value and a "problem with embedded data
+    // file" (the case §3.2 predicts compression helps).
+    let small = pricing::PremiaProblem::create("BlackScholes1dim", "CallEuro", "CF")
+        .unwrap()
+        .to_value();
+    let mut big_hash = Hash::new();
+    big_hash.set("problem", small.clone());
+    // Embedded market-data table: very regular, compresses well.
+    let table: Vec<f64> = (0..50_000).map(|i| (i % 500) as f64 * 0.25).collect();
+    big_hash.set("market_data", Value::Real(Matrix::col(table)));
+    let big = Value::Hash(big_hash);
+
+    for (name, value) in [("small_problem", &small), ("embedded_data", &big)] {
+        let serial = xdrser::serialize(value);
+        let mut group = c.benchmark_group(format!("compress_{name}"));
+        group.throughput(Throughput::Bytes(serial.len() as u64));
+        group.bench_function("compress", |b| {
+            b.iter(|| xdrser::compress_serial(black_box(&serial)).unwrap())
+        });
+        let compressed = xdrser::compress_serial(&serial).unwrap();
+        group.bench_function("decompress", |b| {
+            b.iter(|| xdrser::decompress_serial(black_box(&compressed)).unwrap())
+        });
+        group.bench_function("unserialize_compressed", |b| {
+            b.iter(|| xdrser::unserialize(black_box(&compressed)).unwrap())
+        });
+        group.finish();
+        println!(
+            "{name}: {} bytes -> {} bytes (ratio {:.3})",
+            serial.len(),
+            compressed.len(),
+            compressed.len() as f64 / serial.len() as f64
+        );
+    }
+}
+
+criterion_group!(benches, bench_compress);
+criterion_main!(benches);

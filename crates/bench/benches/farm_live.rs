@@ -1,0 +1,33 @@
+//! Criterion benchmark of the live threaded Robin-Hood farm: a scaled
+//! toy portfolio on 1/2/4 slaves, per transmission strategy. This is the
+//! real end-to-end path (files → master → minimpi → slaves → results) on
+//! local cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use farm::portfolio::{save_portfolio, toy_portfolio};
+use farm::{run_farm, Transmission};
+
+fn bench_farm(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join("riskbench_farm_bench");
+    let _ = std::fs::remove_dir_all(&dir);
+    let jobs = toy_portfolio(200);
+    let files = save_portfolio(&jobs, &dir).unwrap();
+
+    let mut group = c.benchmark_group("farm_200_vanillas");
+    group.sample_size(10);
+    for strategy in Transmission::ALL {
+        for slaves in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.label().replace(' ', "_"), slaves),
+                &slaves,
+                |b, &slaves| {
+                    b.iter(|| run_farm(&files, slaves, strategy).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_farm);
+criterion_main!(benches);

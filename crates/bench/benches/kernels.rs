@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks of the pricing kernels — the per-problem
+//! costs that drive every table (the §4.3 cost narrative: vanilla ≈
+//! instantaneous, European MC/PDE medium, American heaviest).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pricing::methods::closed_form::bs_price;
+use pricing::methods::lsm::{lsm_vanilla_bs, LsmConfig};
+use pricing::methods::montecarlo::{mc_basket, mc_vanilla_bs, McConfig};
+use pricing::methods::pde::{pde_vanilla, PdeConfig};
+use pricing::methods::tree::{tree_vanilla, TreeConfig};
+use pricing::models::{BlackScholes, MultiBlackScholes};
+use pricing::options::{BasketOption, Vanilla};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let m = BlackScholes::new(100.0, 0.2, 0.05, 0.0);
+    let call = Vanilla::european_call(100.0, 1.0);
+    let amer = Vanilla::american_put(100.0, 1.0);
+
+    c.bench_function("closed_form_vanilla", |b| {
+        b.iter(|| bs_price(black_box(&m), black_box(&call)))
+    });
+
+    c.bench_function("pde_european_100x200", |b| {
+        let cfg = PdeConfig {
+            time_steps: 100,
+            space_steps: 200,
+            ..PdeConfig::default()
+        };
+        b.iter(|| pde_vanilla(black_box(&m), black_box(&call), &cfg))
+    });
+
+    c.bench_function("pde_american_100x200", |b| {
+        let cfg = PdeConfig {
+            time_steps: 100,
+            space_steps: 200,
+            ..PdeConfig::default()
+        };
+        b.iter(|| pde_vanilla(black_box(&m), black_box(&amer), &cfg))
+    });
+
+    c.bench_function("tree_american_500", |b| {
+        let cfg = TreeConfig { steps: 500 };
+        b.iter(|| tree_vanilla(black_box(&m), black_box(&amer), &cfg))
+    });
+
+    c.bench_function("mc_vanilla_10k_paths", |b| {
+        let cfg = McConfig {
+            paths: 10_000,
+            ..McConfig::default()
+        };
+        b.iter(|| mc_vanilla_bs(black_box(&m), black_box(&call), &cfg))
+    });
+
+    c.bench_function("mc_basket40_1k_paths", |b| {
+        let multi = MultiBlackScholes::new(40, 100.0, 0.2, 0.3, 0.05, 0.0);
+        let basket = BasketOption::european_put(100.0, 1.0);
+        let cfg = McConfig {
+            paths: 1_000,
+            ..McConfig::default()
+        };
+        b.iter(|| mc_basket(black_box(&multi), black_box(&basket), &cfg))
+    });
+
+    c.bench_function("lsm_american_2k_paths", |b| {
+        let cfg = LsmConfig {
+            paths: 2_000,
+            exercise_dates: 20,
+            ..LsmConfig::default()
+        };
+        b.iter(|| lsm_vanilla_bs(black_box(&m), black_box(&amer), &cfg))
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmarks of the serialization stack — the costs behind the
+//! Table II strategy gap: **full load** pays materialise + re-serialize,
+//! **sload** pays one file read, NFS pays neither on the master.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pricing::PremiaProblem;
+use std::hint::black_box;
+
+fn bench_serialization(c: &mut Criterion) {
+    let p = PremiaProblem::create("BlackScholes1dim", "CallEuro", "CF").unwrap();
+    let value = p.to_value();
+    let serial = xdrser::serialize(&value);
+    let dir = std::env::temp_dir().join("riskbench_ser_bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pb.bin");
+    xdrser::save(&path, &value).unwrap();
+
+    c.bench_function("serialize_problem", |b| {
+        b.iter(|| xdrser::serialize(black_box(&value)))
+    });
+
+    c.bench_function("unserialize_problem", |b| {
+        b.iter(|| xdrser::unserialize(black_box(&serial)).unwrap())
+    });
+
+    // The full-load master path: load (materialise) + re-serialize.
+    c.bench_function("full_load_master_path", |b| {
+        b.iter(|| {
+            let v = xdrser::load(black_box(&path)).unwrap();
+            let prob = PremiaProblem::from_value(&v).unwrap();
+            xdrser::serialize(&prob.to_value())
+        })
+    });
+
+    // The sload master path: raw read into a Serial.
+    c.bench_function("sload_master_path", |b| {
+        b.iter(|| xdrser::sload(black_box(&path)).unwrap())
+    });
+
+    c.bench_function("problem_from_value", |b| {
+        b.iter(|| PremiaProblem::from_value(black_box(&value)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_serialization);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerate **Table II** — the toy portfolio of 10 000 closed-form
+//! vanillas, comparing the three transmission strategies (full load, NFS,
+//! serialized load) over 2..50 CPUs.
+//!
+//! This is the communication-dominated workload: a single price is
+//! "very fast and the time spent in communication is easily highlighted"
+//! (§4.2). The NFS sweep shares the server block cache across CPU counts,
+//! reproducing the caching bias the paper calls out.
+
+use bench::{render_three_strategy, PAPER_TABLE2};
+use clustersim::{table2_rows, SimConfig, TABLE2_CPUS};
+
+fn main() {
+    let cfg = SimConfig::default();
+    let all = table2_rows(&TABLE2_CPUS, &cfg);
+    println!(
+        "{}",
+        render_three_strategy(
+            "Table II — toy portfolio (10 000 vanillas), time in seconds by strategy",
+            &all,
+            &PAPER_TABLE2,
+        )
+    );
+    // Also print the per-strategy speedup ratios (the paper's companion
+    // columns).
+    for (strategy, rows) in &all {
+        println!("\nSpeedup ratios, {strategy}:");
+        println!("{:>6} {:>12} {:>12}", "CPUs", "Time", "Ratio");
+        for r in rows {
+            println!("{:>6} {:>12.4} {:>12.6}", r.cpus, r.time, r.ratio);
+        }
+    }
+}

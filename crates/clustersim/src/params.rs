@@ -1,0 +1,131 @@
+//! Performance-model parameters, calibrated to the paper's testbed:
+//! dual-core Xeon 3075 nodes on Gigabit Ethernet with NFS storage
+//! (§4: "interconnected using a Gigabit Ethernet network", "the cluster …
+//! use[s] a NFS file system").
+
+/// Network model: fixed per-message latency plus size/bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkParams {
+    /// One-way per-message latency in seconds (MPI over GigE ≈ 50–100 µs).
+    pub latency: f64,
+    /// Link bandwidth in bytes/second (GigE ≈ 125 MB/s).
+    pub bandwidth: f64,
+}
+
+impl Default for NetworkParams {
+    fn default() -> Self {
+        NetworkParams {
+            latency: 60e-6,
+            bandwidth: 125e6,
+        }
+    }
+}
+
+impl NetworkParams {
+    /// Wire time of one message of `bytes`.
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// NFS server model: FIFO service with a block cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NfsParams {
+    /// Service time of a cold (disk) read of one small problem file.
+    pub cold_read: f64,
+    /// Service time once the file is in the server's block cache.
+    pub warm_read: f64,
+}
+
+impl Default for NfsParams {
+    fn default() -> Self {
+        NfsParams {
+            cold_read: 1.2e-3,
+            warm_read: 0.08e-3,
+        }
+    }
+}
+
+/// Master-side per-job CPU costs by transmission strategy (§4.2's
+/// comparison is precisely about these).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MasterCosts {
+    /// full load: read file + materialise the `PremiaModel` + serialize +
+    /// pack. The §4.2 numbers put the master's full-load cycle near
+    /// 0.4 ms/job at saturation.
+    pub full_load_prep: f64,
+    /// serialized load: one raw file read (the file cache makes repeat
+    /// sweeps cheap; we charge the steady-state cost).
+    pub sload_prep: f64,
+    /// NFS: build the tiny name message only.
+    pub nfs_prep: f64,
+    /// Handling one returned result (recv + bookkeeping).
+    pub result_handle: f64,
+}
+
+impl Default for MasterCosts {
+    fn default() -> Self {
+        MasterCosts {
+            full_load_prep: 0.40e-3,
+            sload_prep: 0.12e-3,
+            nfs_prep: 0.02e-3,
+            result_handle: 0.02e-3,
+        }
+    }
+}
+
+/// Slave-side per-job overheads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlaveCosts {
+    /// Unpack + unserialize a received problem (loaded strategies).
+    pub unpack: f64,
+    /// Pack + send a result (before wire time).
+    pub result_prep: f64,
+}
+
+impl Default for SlaveCosts {
+    fn default() -> Self {
+        SlaveCosts {
+            unpack: 0.05e-3,
+            result_prep: 0.02e-3,
+        }
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimConfig {
+    /// Network model.
+    pub network: NetworkParams,
+    /// NFS server model.
+    pub nfs: NfsParams,
+    /// Master-side per-job costs.
+    pub master: MasterCosts,
+    /// Slave-side per-job overheads.
+    pub slave: SlaveCosts,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let n = NetworkParams::default();
+        let small = n.transfer_time(100);
+        let big = n.transfer_time(1_000_000);
+        assert!(small < big);
+        assert!(small >= n.latency);
+        // 1 MB over GigE ≈ 8 ms plus latency.
+        assert!((big - (n.latency + 0.008)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn defaults_are_ordered_sensibly() {
+        let m = MasterCosts::default();
+        assert!(m.full_load_prep > m.sload_prep);
+        assert!(m.sload_prep > m.nfs_prep);
+        let nfs = NfsParams::default();
+        assert!(nfs.cold_read > nfs.warm_read);
+    }
+}

@@ -1,0 +1,370 @@
+//! The Robin-Hood replay: event-driven simulation of Fig. 4's protocol
+//! over the [`crate::params`] performance model.
+
+use crate::params::SimConfig;
+use crate::resource::Resource;
+use farm::strategy::Transmission;
+use farm::JobClass;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// One job as the simulator sees it: a class (for bookkeeping), the size
+/// of its problem file on the wire, and a pre-drawn compute duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimJob {
+    /// Stable job identifier.
+    pub id: usize,
+    /// §4.3 product class (the cost-model key).
+    pub class: JobClass,
+    /// Problem-file size on the wire.
+    pub bytes: usize,
+    /// Compute duration in seconds.
+    pub compute: f64,
+}
+
+/// NFS server block cache, shared across consecutive simulated runs —
+/// this is what makes the §4.2 "huge difference in computation time
+/// between 2 and 4 nodes" reproducible: the first sweep point warms the
+/// cache for the rest.
+#[derive(Debug, Default, Clone)]
+pub struct NfsCache {
+    blocks: HashSet<usize>,
+}
+
+impl NfsCache {
+    /// Construct with validation; panics on invalid parameters.
+    pub fn new() -> Self {
+        NfsCache::default()
+    }
+
+    /// Record an access; returns true if it was already cached.
+    fn access(&mut self, file: usize) -> bool {
+        !self.blocks.insert(file)
+    }
+
+    /// Number of contained elements.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// Simulation result for one farm run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Wall-clock makespan in (simulated) seconds.
+    pub makespan: f64,
+    /// Jobs completed per slave.
+    pub per_slave: Vec<usize>,
+    /// Fraction of the run the master spent busy (the §4.2/§5 bottleneck
+    /// diagnostic).
+    pub master_utilisation: f64,
+}
+
+/// Total f64 ordering wrapper for the event heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Replay one Robin-Hood farm run.
+///
+/// `slaves` is the number of worker ranks (the paper's tables count
+/// `slaves + 1` CPUs). The NFS cache persists across calls when the same
+/// `cache` is passed again — pass a fresh one for a cold run.
+pub fn simulate_farm(
+    jobs: &[SimJob],
+    slaves: usize,
+    strategy: Transmission,
+    cfg: &SimConfig,
+    cache: &mut NfsCache,
+) -> SimOutcome {
+    assert!(slaves >= 1, "need at least one slave");
+    let mut master = Resource::new();
+    let mut nfs = Resource::new();
+    let mut slave_res: Vec<Resource> = (0..slaves).map(|_| Resource::new()).collect();
+    let mut per_slave = vec![0usize; slaves];
+
+    // (result-arrival-at-master, slave index) min-heap.
+    let mut heap: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
+
+    let master_prep = |strategy: Transmission| -> f64 {
+        match strategy {
+            Transmission::FullLoad => cfg.master.full_load_prep,
+            Transmission::SerializedLoad => cfg.master.sload_prep,
+            Transmission::Nfs => cfg.master.nfs_prep,
+        }
+    };
+    // Name messages are tiny; loaded strategies ship the file bytes too.
+    let wire_bytes = |strategy: Transmission, job: &SimJob| -> usize {
+        match strategy {
+            Transmission::Nfs => 64,
+            Transmission::FullLoad | Transmission::SerializedLoad => 96 + job.bytes,
+        }
+    };
+    // Result messages are small fixed-size records.
+    const RESULT_BYTES: usize = 96;
+
+    // Dispatch job to slave starting from master-ready time; returns the
+    // time the result lands back at the master.
+    let dispatch = |job: &SimJob,
+                        s: usize,
+                        ready: f64,
+                        master: &mut Resource,
+                        nfs: &mut Resource,
+                        slave_res: &mut [Resource],
+                        cache: &mut NfsCache|
+     -> f64 {
+        // Master: prep + NIC occupancy (serialised on the master).
+        let send_done = master.acquire(
+            ready,
+            master_prep(strategy) + cfg.network.transfer_time(wire_bytes(strategy, job)),
+        );
+        // Slave receives and recovers the problem.
+        let mut t = slave_res[s].acquire(send_done, 0.0);
+        if strategy == Transmission::Nfs {
+            // Slave reads the file from the NFS server (FIFO + cache).
+            let service = if cache.access(job.id) {
+                cfg.nfs.warm_read
+            } else {
+                cfg.nfs.cold_read
+            };
+            t = nfs.acquire(t, service);
+        } else {
+            t += cfg.slave.unpack;
+        }
+        // Compute + result send.
+        let done = slave_res[s].acquire(t, job.compute + cfg.slave.result_prep);
+        done + cfg.network.transfer_time(RESULT_BYTES)
+    };
+
+    let mut next = 0usize;
+    // Prime one job per slave (Fig. 4's first loop).
+    for s in 0..slaves {
+        if next >= jobs.len() {
+            break;
+        }
+        let arrival = dispatch(
+            &jobs[next],
+            s,
+            0.0,
+            &mut master,
+            &mut nfs,
+            &mut slave_res,
+            cache,
+        );
+        heap.push(Reverse((Time(arrival), s)));
+        next += 1;
+    }
+
+    let mut makespan: f64 = 0.0;
+    while let Some(Reverse((Time(arrival), s))) = heap.pop() {
+        // Master takes the result off the wire.
+        let handled = master.acquire(arrival, cfg.master.result_handle);
+        per_slave[s] += 1;
+        makespan = makespan.max(handled);
+        if next < jobs.len() {
+            let next_arrival = dispatch(
+                &jobs[next],
+                s,
+                handled,
+                &mut master,
+                &mut nfs,
+                &mut slave_res,
+                cache,
+            );
+            heap.push(Reverse((Time(next_arrival), s)));
+            next += 1;
+        }
+    }
+
+    let util = if makespan > 0.0 {
+        master.busy_total() / makespan
+    } else {
+        0.0
+    };
+    SimOutcome {
+        makespan,
+        per_slave,
+        master_utilisation: util,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cheap_jobs(n: usize, compute: f64) -> Vec<SimJob> {
+        (0..n)
+            .map(|id| SimJob {
+                id,
+                class: JobClass::VanillaClosedForm,
+                bytes: 600,
+                compute,
+            })
+            .collect()
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig::default()
+    }
+
+    #[test]
+    fn single_slave_time_is_roughly_serial_sum() {
+        let jobs = cheap_jobs(1000, 1e-3);
+        let out = simulate_farm(
+            &jobs,
+            1,
+            Transmission::SerializedLoad,
+            &cfg(),
+            &mut NfsCache::new(),
+        );
+        // ≥ total compute, ≤ total compute + modest overhead.
+        assert!(out.makespan >= 1.0, "makespan {}", out.makespan);
+        assert!(out.makespan < 1.6, "makespan {}", out.makespan);
+        assert_eq!(out.per_slave, vec![1000]);
+    }
+
+    #[test]
+    fn compute_bound_workload_scales_nearly_linearly() {
+        // 20 s jobs: communication is negligible → near-linear speedup.
+        let jobs: Vec<SimJob> = (0..512)
+            .map(|id| SimJob {
+                id,
+                class: JobClass::BarrierPde,
+                bytes: 700,
+                compute: 20.0,
+            })
+            .collect();
+        let t1 = simulate_farm(&jobs, 1, Transmission::SerializedLoad, &cfg(), &mut NfsCache::new())
+            .makespan;
+        let t16 = simulate_farm(&jobs, 16, Transmission::SerializedLoad, &cfg(), &mut NfsCache::new())
+            .makespan;
+        let speedup = t1 / t16;
+        assert!(speedup > 15.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn communication_bound_workload_saturates() {
+        // Sub-millisecond jobs: the master serialises all sends, so
+        // adding slaves beyond a few must not help (§4.2's regime).
+        let jobs = cheap_jobs(5000, 0.3e-3);
+        let t4 = simulate_farm(&jobs, 4, Transmission::FullLoad, &cfg(), &mut NfsCache::new())
+            .makespan;
+        let t50 = simulate_farm(&jobs, 50, Transmission::FullLoad, &cfg(), &mut NfsCache::new())
+            .makespan;
+        assert!(
+            t50 > 0.6 * t4,
+            "full-load farm kept scaling implausibly: t4={t4} t50={t50}"
+        );
+    }
+
+    #[test]
+    fn full_load_costs_master_more_than_sload() {
+        let jobs = cheap_jobs(5000, 0.3e-3);
+        let full = simulate_farm(&jobs, 20, Transmission::FullLoad, &cfg(), &mut NfsCache::new());
+        let sload = simulate_farm(
+            &jobs,
+            20,
+            Transmission::SerializedLoad,
+            &cfg(),
+            &mut NfsCache::new(),
+        );
+        assert!(
+            sload.makespan < full.makespan,
+            "sload {} !< full {}",
+            sload.makespan,
+            full.makespan
+        );
+    }
+
+    #[test]
+    fn nfs_cache_warms_across_runs() {
+        let jobs = cheap_jobs(2000, 0.3e-3);
+        let mut cache = NfsCache::new();
+        let cold = simulate_farm(&jobs, 1, Transmission::Nfs, &cfg(), &mut cache).makespan;
+        let warm = simulate_farm(&jobs, 1, Transmission::Nfs, &cfg(), &mut cache).makespan;
+        assert!(
+            warm < cold * 0.7,
+            "cache had no effect: cold {cold} warm {warm}"
+        );
+        assert_eq!(cache.len(), 2000);
+    }
+
+    #[test]
+    fn work_is_balanced_for_homogeneous_jobs() {
+        let jobs = cheap_jobs(1000, 5e-3);
+        let out = simulate_farm(
+            &jobs,
+            10,
+            Transmission::SerializedLoad,
+            &cfg(),
+            &mut NfsCache::new(),
+        );
+        let total: usize = out.per_slave.iter().sum();
+        assert_eq!(total, 1000);
+        for &c in &out.per_slave {
+            assert!(c > 50, "starved slave: {:?}", out.per_slave);
+        }
+    }
+
+    #[test]
+    fn makespan_bounded_below_by_longest_job() {
+        let mut jobs = cheap_jobs(50, 1e-3);
+        jobs[17].compute = 33.0;
+        let out = simulate_farm(
+            &jobs,
+            64,
+            Transmission::SerializedLoad,
+            &cfg(),
+            &mut NfsCache::new(),
+        );
+        assert!(out.makespan >= 33.0);
+        assert!(out.makespan < 34.0);
+    }
+
+    #[test]
+    fn master_utilisation_reported() {
+        let jobs = cheap_jobs(2000, 0.2e-3);
+        let out = simulate_farm(&jobs, 40, Transmission::FullLoad, &cfg(), &mut NfsCache::new());
+        assert!(out.master_utilisation > 0.5, "util {}", out.master_utilisation);
+        let heavy: Vec<SimJob> = (0..100)
+            .map(|id| SimJob {
+                id,
+                class: JobClass::AmericanPde,
+                bytes: 700,
+                compute: 30.0,
+            })
+            .collect();
+        let out2 = simulate_farm(&heavy, 4, Transmission::SerializedLoad, &cfg(), &mut NfsCache::new());
+        assert!(out2.master_utilisation < 0.05, "util {}", out2.master_utilisation);
+    }
+
+    #[test]
+    fn empty_job_list_is_zero_makespan() {
+        let out = simulate_farm(
+            &[],
+            5,
+            Transmission::Nfs,
+            &cfg(),
+            &mut NfsCache::new(),
+        );
+        assert_eq!(out.makespan, 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! # riskbench — a risk-management benchmark for parallel architectures
+//!
+//! A from-scratch Rust reproduction of *"Using Premia and Nsp for
+//! Constructing a Risk Management Benchmark for Testing Parallel
+//! Architecture"* (Chancelier, Lapeyre, Lelong). The paper combines three
+//! freely available systems — the Premia pricing library, the Nsp
+//! Matlab-like scripting environment, and MPI — into a reproducible
+//! benchmark: a master/slave "Robin Hood" task farm pricing realistic
+//! portfolios of equity derivatives.
+//!
+//! This crate is the front door; each subsystem lives in its own crate
+//! and is re-exported here:
+//!
+//! * [`pricing`] — the Premia substitute: Black–Scholes / local-vol /
+//!   Heston / multi-asset models; closed-form, PDE, tree, Monte-Carlo and
+//!   Longstaff–Schwartz methods; the `PremiaProblem` descriptor.
+//! * [`nspval`] + [`xdrser`] — the Nsp value system with XDR
+//!   serialization (`serialize`, `save`/`load`, the `sload` fast path,
+//!   LZSS compression).
+//! * [`minimpi`] — the in-process MPI runtime backing the live farm.
+//! * [`farm`] — portfolio generators (§4.1–§4.3 workloads), the three
+//!   transmission strategies, and the Robin-Hood / batched / hierarchical
+//!   farms.
+//! * [`clustersim`] — the calibrated discrete-event simulator that
+//!   regenerates Tables I–III at cluster scale.
+//! * [`nsplang`] — a mini-Nsp interpreter able to run the paper's
+//!   Fig. 1/2/4/5 script shapes against the toolboxes.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use riskbench::prelude::*;
+//!
+//! // Describe a pricing problem the way §3.3 does...
+//! let p = PremiaProblem::create("BlackScholes1dim", "CallEuro", "CF").unwrap();
+//! let result = p.compute().unwrap();
+//! assert!((result.price - 10.45).abs() < 0.01);
+//!
+//! // ...and price a small portfolio in parallel with the Robin-Hood farm.
+//! let dir = std::env::temp_dir().join("riskbench_doc_quickstart");
+//! let jobs = toy_portfolio(16);
+//! let files = save_portfolio(&jobs, &dir).unwrap();
+//! let report = run_farm(&files, 2, Transmission::SerializedLoad).unwrap();
+//! assert_eq!(report.completed(), 16);
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub use clustersim;
+pub use farm;
+pub use minimpi;
+pub use nspval;
+pub use nsplang;
+pub use numerics;
+pub use pricing;
+pub use xdrser;
+
+/// The commonly used types and functions in one import.
+pub mod prelude {
+    pub use clustersim::{
+        simulate_farm, table1_rows, table2_rows, table3_rows, NfsCache, SimConfig, SimJob,
+        TableRow,
+    };
+    pub use farm::batching::run_batched_farm;
+    pub use farm::risk::{aggregate_risk, risk_sweep, BumpSpec, ClaimRisk, Scenario};
+    pub use farm::hierarchy::run_hierarchical_farm;
+    pub use farm::portfolio::{
+        realistic_portfolio, regression_portfolio, save_portfolio, toy_portfolio, JobClass,
+        PortfolioJob, PortfolioScale,
+    };
+    pub use farm::{run_farm, FarmReport, Transmission};
+    pub use minimpi::{Comm, MpiBuf, SpawnedWorld, World, ANY_SOURCE, ANY_TAG};
+    pub use nspval::{Hash, List, Matrix, Serial, Value};
+    pub use pricing::{
+        MethodSpec, ModelSpec, OptionSpec, PremiaProblem, PricingError, PricingResult,
+    };
+    pub use xdrser::{load, save, serialize, sload, unserialize};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_the_core_workflow() {
+        let p = PremiaProblem::create("BlackScholes1dim", "PutEuro", "CF").unwrap();
+        let r = p.compute().unwrap();
+        assert!(r.price > 0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Job batching — the first §5 improvement: "gather several pricing
+//! problems and send them all together to reduce the communication
+//! latency … it is always advisable to send a single large message rather
+//! [than] several smaller messages."
+//!
+//! The batched farm keeps the Robin-Hood refeed discipline but ships
+//! `batch_size` problems per message; slaves answer with one result list
+//! per batch.
+
+use crate::robin_hood::{FarmError, FarmReport, JobOutcome};
+use crate::strategy::{prepare_payload, recover_problem, Transmission};
+use minimpi::{Comm, MpiBuf, World, ANY_SOURCE};
+use nspval::{Hash, List, Value};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const TAG: i32 = 9;
+
+/// Run the Robin-Hood farm shipping `batch_size` problems per message.
+/// `batch_size == 1` degenerates to the plain farm protocol.
+pub fn run_batched_farm(
+    files: &[PathBuf],
+    slaves: usize,
+    strategy: Transmission,
+    batch_size: usize,
+) -> Result<FarmReport, FarmError> {
+    if slaves == 0 {
+        return Err(FarmError::NoSlaves);
+    }
+    assert!(batch_size >= 1, "batch size must be at least 1");
+    let results = World::run(slaves + 1, |comm| {
+        if comm.rank() == 0 {
+            Some(master(&comm, files, strategy, batch_size))
+        } else {
+            slave(&comm, strategy).expect("batched slave failed");
+            None
+        }
+    });
+    results
+        .into_iter()
+        .next()
+        .flatten()
+        .expect("master produces the report")
+}
+
+/// Send jobs `range` as one batch message.
+fn send_batch(
+    comm: &Comm,
+    slave: usize,
+    files: &[PathBuf],
+    range: std::ops::Range<usize>,
+    strategy: Transmission,
+) -> Result<(), FarmError> {
+    let mut batch = List::new();
+    for idx in range {
+        let path = &files[idx];
+        let mut h = Hash::new();
+        h.set("idx", Value::scalar(idx as f64));
+        h.set(
+            "name",
+            Value::string(path.to_string_lossy().to_string()),
+        );
+        if let Some(payload) =
+            prepare_payload(strategy, path).map_err(|e| FarmError::Io(e.to_string()))?
+        {
+            h.set("payload", payload);
+        }
+        batch.add_last(Value::Hash(h));
+    }
+    // One packed message for the whole batch.
+    let packed = comm.pack(&Value::List(batch));
+    comm.send(packed.bytes(), slave as i32, TAG)?;
+    Ok(())
+}
+
+fn master(
+    comm: &Comm,
+    files: &[PathBuf],
+    strategy: Transmission,
+    batch_size: usize,
+) -> Result<FarmReport, FarmError> {
+    let slaves = comm.size() - 1;
+    let start = Instant::now();
+    let mut outcomes = Vec::with_capacity(files.len());
+    let mut per_slave = vec![0usize; comm.size()];
+    let mut next = 0usize;
+    let mut outstanding = 0usize;
+
+    let dispatch = |comm: &Comm, slave: usize, next: &mut usize| -> Result<bool, FarmError> {
+        if *next >= files.len() {
+            return Ok(false);
+        }
+        let end = (*next + batch_size).min(files.len());
+        send_batch(comm, slave, files, *next..end, strategy)?;
+        *next = end;
+        Ok(true)
+    };
+
+    for slave in 1..=slaves {
+        if dispatch(comm, slave, &mut next)? {
+            outstanding += 1;
+        } else {
+            comm.send(&[], slave as i32, TAG)?; // empty stop message
+        }
+    }
+    while outstanding > 0 {
+        let st = comm.probe(ANY_SOURCE, TAG)?;
+        let mut buf = MpiBuf::with_capacity(st.count());
+        comm.recv_into(&mut buf, st.src as i32, TAG)?;
+        let v = comm.unpack(&buf)?;
+        let list = v
+            .as_list()
+            .ok_or_else(|| FarmError::Io("bad batch result".into()))?;
+        for item in list.iter() {
+            let h = item
+                .as_hash()
+                .ok_or_else(|| FarmError::Io("bad batch result item".into()))?;
+            let job = h
+                .get("job")
+                .and_then(|x| x.as_scalar())
+                .ok_or_else(|| FarmError::Io("missing job id".into()))? as usize;
+            let price = h
+                .get("price")
+                .and_then(|x| x.as_scalar())
+                .ok_or_else(|| FarmError::Io("missing price".into()))?;
+            outcomes.push(JobOutcome {
+                job,
+                slave: st.src,
+                price,
+                std_error: h.get("std_error").and_then(|x| x.as_scalar()),
+            });
+            per_slave[st.src] += 1;
+        }
+        if !dispatch(comm, st.src, &mut next)? {
+            outstanding -= 1;
+            comm.send(&[], st.src as i32, TAG)?;
+        }
+    }
+    Ok(FarmReport {
+        outcomes,
+        elapsed: start.elapsed(),
+        per_slave,
+        strategy,
+    })
+}
+
+fn slave(comm: &Comm, strategy: Transmission) -> Result<(), FarmError> {
+    loop {
+        let st = comm.probe(0, TAG)?;
+        if st.count() == 0 {
+            // Stop message.
+            let (_, _) = comm.recv(0, TAG)?;
+            return Ok(());
+        }
+        let mut buf = MpiBuf::with_capacity(st.count());
+        comm.recv_into(&mut buf, 0, TAG)?;
+        let v = comm.unpack(&buf)?;
+        let list = v
+            .as_list()
+            .ok_or_else(|| FarmError::Io("bad batch message".into()))?;
+        let mut results = List::new();
+        for item in list.iter() {
+            let h = item
+                .as_hash()
+                .ok_or_else(|| FarmError::Io("bad batch item".into()))?;
+            let idx = h
+                .get("idx")
+                .and_then(|x| x.as_scalar())
+                .ok_or_else(|| FarmError::Io("missing idx".into()))? as usize;
+            let name = h
+                .get("name")
+                .and_then(|x| x.as_str())
+                .ok_or_else(|| FarmError::Io("missing name".into()))?;
+            let problem = recover_problem(strategy, name, h.get("payload"))
+                .map_err(|e| FarmError::Io(e.to_string()))?;
+            let r = problem
+                .compute()
+                .map_err(|e| FarmError::Io(format!("compute failed: {e}")))?;
+            let mut out = Hash::new();
+            out.set("job", Value::scalar(idx as f64));
+            out.set("price", Value::scalar(r.price));
+            if let Some(se) = r.std_error {
+                out.set("std_error", Value::scalar(se));
+            }
+            results.add_last(Value::Hash(out));
+        }
+        let packed = comm.pack(&Value::List(results));
+        comm.send(packed.bytes(), 0, TAG)?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portfolio::{save_portfolio, toy_portfolio};
+    use crate::robin_hood::run_farm;
+
+    fn setup(count: usize, tag: &str) -> (Vec<PathBuf>, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("farm_batch_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let jobs = toy_portfolio(count);
+        let paths = save_portfolio(&jobs, &dir).unwrap();
+        (paths, dir)
+    }
+
+    #[test]
+    fn batched_farm_completes_everything() {
+        let (paths, dir) = setup(37, "complete");
+        for batch in [1, 4, 10, 100] {
+            let report =
+                run_batched_farm(&paths, 3, Transmission::SerializedLoad, batch).unwrap();
+            assert_eq!(report.completed(), 37, "batch {batch}");
+            let mut jobs: Vec<usize> = report.outcomes.iter().map(|o| o.job).collect();
+            jobs.sort();
+            assert_eq!(jobs, (0..37).collect::<Vec<_>>(), "batch {batch}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_one_matches_plain_farm_prices() {
+        let (paths, dir) = setup(12, "vs_plain");
+        let plain = run_farm(&paths, 2, Transmission::SerializedLoad).unwrap();
+        let batched = run_batched_farm(&paths, 2, Transmission::SerializedLoad, 1).unwrap();
+        let by_job = |r: &FarmReport| {
+            let mut v: Vec<(usize, u64)> = r
+                .outcomes
+                .iter()
+                .map(|o| (o.job, o.price.to_bits()))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(by_job(&plain), by_job(&batched));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batched_nfs_works() {
+        let (paths, dir) = setup(9, "nfs");
+        let report = run_batched_farm(&paths, 2, Transmission::Nfs, 4).unwrap();
+        assert_eq!(report.completed(), 9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversize_batch_clamps() {
+        let (paths, dir) = setup(5, "oversize");
+        let report = run_batched_farm(&paths, 3, Transmission::FullLoad, 1000).unwrap();
+        assert_eq!(report.completed(), 5);
+        // All jobs went to the first slave as one batch.
+        assert_eq!(report.per_slave.iter().sum::<usize>(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

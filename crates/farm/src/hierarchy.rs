@@ -1,0 +1,338 @@
+//! Hierarchical (sub-master) farm — the second §5 improvement: "divide
+//! the nodes into sub-groups, each group having its own master. Then, each
+//! sub-master could apply a naive load balancing but since it has fewer
+//! slave processes to monitor the speedups would be better."
+//!
+//! Topology: the global master (rank 0) splits the file list into
+//! contiguous chunks, one per sub-master; each sub-master runs a private
+//! Robin-Hood loop over its own slaves and reports its collected results
+//! back to the global master when its chunk is drained.
+
+use crate::robin_hood::{FarmError, FarmReport, JobOutcome};
+use crate::strategy::{prepare_payload, recover_problem, Transmission};
+use minimpi::{Comm, MpiBuf, World, ANY_SOURCE};
+use nspval::{Hash, List, Value};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const TAG: i32 = 11;
+
+/// Rank layout for `groups` sub-masters with `slaves_per_group` slaves
+/// each: rank 0 = global master; ranks `1 + g*(slaves_per_group+1)` are
+/// sub-masters; the following `slaves_per_group` ranks are their slaves.
+#[derive(Debug, Clone, Copy)]
+struct Topology {
+    groups: usize,
+    slaves_per_group: usize,
+}
+
+impl Topology {
+    fn world_size(&self) -> usize {
+        1 + self.groups * (self.slaves_per_group + 1)
+    }
+
+    fn sub_master_rank(&self, g: usize) -> usize {
+        1 + g * (self.slaves_per_group + 1)
+    }
+
+    /// Which group a rank belongs to, and whether it is the sub-master.
+    fn classify(&self, rank: usize) -> (usize, bool) {
+        debug_assert!(rank >= 1);
+        let g = (rank - 1) / (self.slaves_per_group + 1);
+        let is_sub_master = (rank - 1).is_multiple_of(self.slaves_per_group + 1);
+        (g, is_sub_master)
+    }
+}
+
+/// Run the hierarchical farm: `groups` sub-masters, each with
+/// `slaves_per_group` compute slaves.
+pub fn run_hierarchical_farm(
+    files: &[PathBuf],
+    groups: usize,
+    slaves_per_group: usize,
+    strategy: Transmission,
+) -> Result<FarmReport, FarmError> {
+    if groups == 0 || slaves_per_group == 0 {
+        return Err(FarmError::NoSlaves);
+    }
+    let topo = Topology {
+        groups,
+        slaves_per_group,
+    };
+    let results = World::run(topo.world_size(), |comm| {
+        let rank = comm.rank();
+        if rank == 0 {
+            Some(global_master(&comm, files, topo))
+        } else {
+            let (g, is_sub) = topo.classify(rank);
+            if is_sub {
+                sub_master(&comm, topo, g, strategy).expect("sub-master failed");
+            } else {
+                slave(&comm, topo.sub_master_rank(g), strategy).expect("slave failed");
+            }
+            None
+        }
+    });
+    results
+        .into_iter()
+        .next()
+        .flatten()
+        .expect("global master produces the report")
+}
+
+/// Global master: chunk the portfolio, send one chunk (as a name list) to
+/// each sub-master, gather their result lists.
+fn global_master(comm: &Comm, files: &[PathBuf], topo: Topology) -> Result<FarmReport, FarmError> {
+    let start = Instant::now();
+    // Contiguous chunking, remainder spread over the first groups.
+    let base = files.len() / topo.groups;
+    let rem = files.len() % topo.groups;
+    let mut begin = 0;
+    for g in 0..topo.groups {
+        let len = base + usize::from(g < rem);
+        let mut chunk = List::new();
+        for (idx, file) in files.iter().enumerate().take(begin + len).skip(begin) {
+            let mut h = Hash::new();
+            h.set("idx", Value::scalar(idx as f64));
+            h.set("name", Value::string(file.to_string_lossy().to_string()));
+            chunk.add_last(Value::Hash(h));
+        }
+        begin += len;
+        comm.send_obj(&Value::List(chunk), topo.sub_master_rank(g) as i32, TAG)?;
+    }
+    // Gather per-group reports.
+    let mut outcomes = Vec::with_capacity(files.len());
+    let mut per_slave = vec![0usize; comm.size()];
+    for _ in 0..topo.groups {
+        let (v, _st) = comm.recv_obj(ANY_SOURCE, TAG)?;
+        let list = v
+            .as_list()
+            .ok_or_else(|| FarmError::Io("bad group report".into()))?;
+        for item in list.iter() {
+            let h = item
+                .as_hash()
+                .ok_or_else(|| FarmError::Io("bad group report item".into()))?;
+            let job = h.get("job").and_then(|x| x.as_scalar()).unwrap_or(-1.0) as usize;
+            let price = h
+                .get("price")
+                .and_then(|x| x.as_scalar())
+                .ok_or_else(|| FarmError::Io("missing price".into()))?;
+            let slave = h
+                .get("slave")
+                .and_then(|x| x.as_scalar())
+                .ok_or_else(|| FarmError::Io("missing slave".into()))? as usize;
+            outcomes.push(JobOutcome {
+                job,
+                slave,
+                price,
+                std_error: h.get("std_error").and_then(|x| x.as_scalar()),
+            });
+            per_slave[slave] += 1;
+        }
+    }
+    Ok(FarmReport {
+        outcomes,
+        elapsed: start.elapsed(),
+        per_slave,
+        strategy: Transmission::SerializedLoad,
+    })
+}
+
+/// Sub-master: Robin-Hood over its own slaves for its chunk, then one
+/// aggregated report to the global master.
+fn sub_master(
+    comm: &Comm,
+    topo: Topology,
+    group: usize,
+    strategy: Transmission,
+) -> Result<(), FarmError> {
+    let (chunk, _) = comm.recv_obj(0, TAG)?;
+    let list = chunk
+        .as_list()
+        .ok_or_else(|| FarmError::Io("bad chunk".into()))?;
+    let jobs: Vec<(usize, PathBuf)> = list
+        .iter()
+        .map(|item| {
+            let h = item.as_hash().expect("chunk item is a hash");
+            (
+                h.get("idx").and_then(|x| x.as_scalar()).expect("idx") as usize,
+                PathBuf::from(h.get("name").and_then(|x| x.as_str()).expect("name")),
+            )
+        })
+        .collect();
+
+    let my_rank = comm.rank();
+    let my_slaves: Vec<usize> = (1..=topo.slaves_per_group).map(|k| my_rank + k).collect();
+    let mut results = List::new();
+    let mut next = 0usize;
+    let mut outstanding = 0usize;
+
+    let send_one = |comm: &Comm, slave: usize, (idx, path): &(usize, PathBuf)| -> Result<(), FarmError> {
+        let name = Value::list(vec![
+            Value::string(path.to_string_lossy().to_string()),
+            Value::scalar(*idx as f64),
+        ]);
+        comm.send_obj(&name, slave as i32, TAG)?;
+        if let Some(payload) =
+            prepare_payload(strategy, path).map_err(|e| FarmError::Io(e.to_string()))?
+        {
+            let packed = comm.pack(&payload);
+            comm.send(packed.bytes(), slave as i32, TAG)?;
+        }
+        Ok(())
+    };
+
+    for &slave in &my_slaves {
+        if next < jobs.len() {
+            send_one(comm, slave, &jobs[next])?;
+            next += 1;
+            outstanding += 1;
+        } else {
+            comm.send_obj(&Value::empty_matrix(), slave as i32, TAG)?;
+        }
+    }
+    while outstanding > 0 {
+        let (v, st) = comm.recv_obj(ANY_SOURCE, TAG)?;
+        let h = v
+            .as_hash()
+            .ok_or_else(|| FarmError::Io("bad slave result".into()))?;
+        let mut out = Hash::new();
+        out.set("job", h.get("job").cloned().unwrap_or(Value::scalar(-1.0)));
+        out.set(
+            "price",
+            h.get("price")
+                .cloned()
+                .ok_or_else(|| FarmError::Io("missing price".into()))?,
+        );
+        if let Some(se) = h.get("std_error") {
+            out.set("std_error", se.clone());
+        }
+        out.set("slave", Value::scalar(st.src as f64));
+        results.add_last(Value::Hash(out));
+        if next < jobs.len() {
+            send_one(comm, st.src, &jobs[next])?;
+            next += 1;
+        } else {
+            outstanding -= 1;
+            comm.send_obj(&Value::empty_matrix(), st.src as i32, TAG)?;
+        }
+    }
+    comm.send_obj(&Value::List(results), 0, TAG)?;
+    let _ = group;
+    Ok(())
+}
+
+/// Compute slave of one group: identical protocol to the flat farm but
+/// pointed at its sub-master.
+fn slave(comm: &Comm, master_rank: usize, strategy: Transmission) -> Result<(), FarmError> {
+    loop {
+        let (msg, _) = comm.recv_obj(master_rank as i32, TAG)?;
+        if msg.is_empty_matrix() {
+            return Ok(());
+        }
+        let list = msg
+            .as_list()
+            .ok_or_else(|| FarmError::Io("bad name message".into()))?;
+        let name = list
+            .get(0)
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| FarmError::Io("missing name".into()))?
+            .to_string();
+        let idx = list
+            .get(1)
+            .and_then(|v| v.as_scalar())
+            .ok_or_else(|| FarmError::Io("missing idx".into()))? as usize;
+        let payload = match strategy {
+            Transmission::Nfs => None,
+            _ => {
+                let st = comm.probe(master_rank as i32, TAG)?;
+                let mut buf = MpiBuf::with_capacity(st.count());
+                comm.recv_into(&mut buf, master_rank as i32, TAG)?;
+                Some(comm.unpack(&buf)?)
+            }
+        };
+        let problem = recover_problem(strategy, &name, payload.as_ref())
+            .map_err(|e| FarmError::Io(e.to_string()))?;
+        let r = problem
+            .compute()
+            .map_err(|e| FarmError::Io(format!("compute failed: {e}")))?;
+        let mut h = Hash::new();
+        h.set("job", Value::scalar(idx as f64));
+        h.set("price", Value::scalar(r.price));
+        if let Some(se) = r.std_error {
+            h.set("std_error", Value::scalar(se));
+        }
+        comm.send_obj(&Value::Hash(h), master_rank as i32, TAG)?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portfolio::{save_portfolio, toy_portfolio};
+
+    fn setup(count: usize, tag: &str) -> (Vec<PathBuf>, Vec<f64>, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("farm_hier_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let jobs = toy_portfolio(count);
+        let paths = save_portfolio(&jobs, &dir).unwrap();
+        let expected: Vec<f64> = jobs
+            .iter()
+            .map(|j| j.problem.compute().unwrap().price)
+            .collect();
+        (paths, expected, dir)
+    }
+
+    #[test]
+    fn hierarchical_farm_completes_portfolio() {
+        let (paths, expected, dir) = setup(30, "complete");
+        let report =
+            run_hierarchical_farm(&paths, 2, 3, Transmission::SerializedLoad).unwrap();
+        assert_eq!(report.completed(), 30);
+        let mut seen = [false; 30];
+        for o in &report.outcomes {
+            assert!(!seen[o.job]);
+            seen[o.job] = true;
+            assert!((o.price - expected[o.job]).abs() < 1e-12);
+        }
+        assert!(seen.iter().all(|&s| s));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn work_spreads_across_groups() {
+        let (paths, _, dir) = setup(40, "spread");
+        let report = run_hierarchical_farm(&paths, 2, 2, Transmission::Nfs).unwrap();
+        // Topology: rank 0 global, 1 sub, 2-3 slaves, 4 sub, 5-6 slaves.
+        let g1: usize = report.per_slave[2] + report.per_slave[3];
+        let g2: usize = report.per_slave[5] + report.per_slave[6];
+        assert_eq!(g1 + g2, 40);
+        assert!(g1 > 0 && g2 > 0, "one group idle: {g1}/{g2}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn single_group_matches_flat_farm_semantics() {
+        let (paths, expected, dir) = setup(12, "flat_equiv");
+        let report = run_hierarchical_farm(&paths, 1, 2, Transmission::FullLoad).unwrap();
+        assert_eq!(report.completed(), 12);
+        for o in &report.outcomes {
+            assert!((o.price - expected[o.job]).abs() < 1e-12);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_empty_topology() {
+        assert!(run_hierarchical_farm(&[], 0, 3, Transmission::Nfs).is_err());
+        assert!(run_hierarchical_farm(&[], 3, 0, Transmission::Nfs).is_err());
+    }
+
+    #[test]
+    fn more_groups_than_jobs() {
+        let (paths, _, dir) = setup(3, "sparse");
+        let report = run_hierarchical_farm(&paths, 4, 2, Transmission::SerializedLoad).unwrap();
+        assert_eq!(report.completed(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

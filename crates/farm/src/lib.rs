@@ -1,0 +1,39 @@
+//! The paper's contribution layer: parallel portfolio valuation.
+//!
+//! This crate assembles the substrates (`pricing`, `xdrser`, `minimpi`)
+//! into the system §4 benchmarks:
+//!
+//! * [`portfolio`] — generators for the three workloads: the §4.1
+//!   non-regression suite, the §4.2 toy portfolio (10 000 closed-form
+//!   vanillas), and the §4.3 realistic portfolio (7 931 heterogeneous
+//!   claims). A portfolio is, as in the paper, "a collection of files,
+//!   each file describing a precise pricing problem" (XDR-encoded).
+//! * [`strategy`] — the three transmission strategies compared in
+//!   Tables II/III: **full load**, **NFS**, **serialized load**.
+//! * [`robin_hood`] — the master/slave "Robbin Hood" load balancer of
+//!   Figs. 4–5, running live over `minimpi` threads.
+//! * [`batching`] — the §5 "gather several pricing problems and send them
+//!   all together" improvement.
+//! * [`hierarchy`] — the §5 sub-master improvement ("divide the nodes
+//!   into sub-groups, each group having its own master").
+//! * [`calibrate`] — single-problem cost measurements feeding the
+//!   `clustersim` cost model.
+//! * [`risk`] — the §1 risk-evaluation scenario: bump-and-revalue
+//!   parameter sweeps (delta/gamma/vega/rho per claim) that multiply the
+//!   portfolio into the paper's "around 10⁶ atomic computations".
+
+#![warn(missing_docs)]
+pub mod batching;
+pub mod calibrate;
+pub mod hierarchy;
+pub mod portfolio;
+pub mod risk;
+pub mod robin_hood;
+pub mod strategy;
+
+pub use portfolio::{
+    realistic_portfolio, regression_portfolio, toy_portfolio, JobClass, PortfolioJob,
+    PortfolioScale,
+};
+pub use robin_hood::{run_farm, FarmError, FarmReport};
+pub use strategy::Transmission;

@@ -1,0 +1,482 @@
+//! Portfolio generators — the three benchmark workloads of §4.
+//!
+//! The §4.3 realistic portfolio reproduces the paper's composition
+//! exactly (7 931 claims):
+//!
+//! | count | product | method |
+//! |---|---|---|
+//! | 1952 | vanilla calls, maturities quarterly 4 m → 8 y (32), strikes 70–130 % step 1 % (61) | closed form |
+//! | 1952 | down-and-out calls, same grid, barrier clause ⇒ thin time steps | PDE |
+//! | 525  | 40-dim basket puts, maturities 0.2–5 y step 0.2 (25), strikes 90–110 % (21) | Monte-Carlo (10⁶ samples at full scale) |
+//! | 1025 | local-vol calls, strikes 80–120 % (41), maturities 0.2–5 y (25) | Monte-Carlo |
+//! | 1952 | American puts, same grid as vanillas | PDE |
+//! | 525  | 7-dim American basket puts, maturities 0.2–5 y, strikes 90–110 % | Longstaff–Schwartz |
+
+use pricing::{MethodSpec, ModelSpec, OptionSpec, PremiaProblem};
+use pricing::models::{BlackScholes, LocalVol, MultiBlackScholes};
+use std::path::{Path, PathBuf};
+
+/// Which §4.3 product class a job belongs to — the cost-model key used by
+/// the cluster simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobClass {
+    /// Plain vanilla call, closed form (≈ instantaneous).
+    VanillaClosedForm,
+    /// Down-and-out barrier call, PDE with thin time steps (10–30 s).
+    BarrierPde,
+    /// 40-dimensional basket put, Monte-Carlo (10–30 s).
+    BasketMc,
+    /// Local-volatility call, Monte-Carlo (10–30 s).
+    LocalVolMc,
+    /// American put, PDE (> 60 s).
+    AmericanPde,
+    /// 7-dimensional American basket put, LSM (> 60 s).
+    AmericanBasketLsm,
+}
+
+impl JobClass {
+    /// Every variant, in canonical order.
+    pub const ALL: [JobClass; 6] = [
+        JobClass::VanillaClosedForm,
+        JobClass::BarrierPde,
+        JobClass::BasketMc,
+        JobClass::LocalVolMc,
+        JobClass::AmericanPde,
+        JobClass::AmericanBasketLsm,
+    ];
+
+    /// The §4.3 paragraph-stated computation cost of one problem of this
+    /// class on a 2009 cluster node, in seconds ("the pricing of plain
+    /// vanilla options is almost instantaneous; the Monte-Carlo and PDE
+    /// approaches for European options roughly demand the same amount of
+    /// computations (between 10 and 30 seconds); the evaluation of American
+    /// products is much longer than any other (above 60 seconds)").
+    pub fn paper_cost_seconds(&self) -> (f64, f64) {
+        match self {
+            JobClass::VanillaClosedForm => (0.001, 0.005),
+            JobClass::BarrierPde => (10.0, 30.0),
+            JobClass::BasketMc => (10.0, 30.0),
+            JobClass::LocalVolMc => (10.0, 30.0),
+            JobClass::AmericanPde => (60.0, 100.0),
+            JobClass::AmericanBasketLsm => (60.0, 120.0),
+        }
+    }
+}
+
+/// One entry of a portfolio: a classified, ready-to-price problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioJob {
+    /// Stable job index within its portfolio.
+    pub id: usize,
+    /// §4.3 product class (the cost-model key).
+    pub class: JobClass,
+    /// The fully specified pricing problem.
+    pub problem: PremiaProblem,
+}
+
+/// Numerical heaviness of the generated problems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortfolioScale {
+    /// Tiny parameters — tests and examples (ms per problem).
+    Quick,
+    /// Paper-scale parameters (10⁶ MC samples, thin PDE grids).
+    Full,
+}
+
+struct MethodParams {
+    mc_paths: usize,
+    mc_steps: usize,
+    pde_t: usize,
+    pde_x: usize,
+    /// Barrier PDE time steps per year — §4.3: "one time step every
+    /// 2 days".
+    barrier_t_per_year: usize,
+    lsm_paths: usize,
+    lsm_dates: usize,
+}
+
+impl PortfolioScale {
+    fn params(&self) -> MethodParams {
+        match self {
+            PortfolioScale::Quick => MethodParams {
+                mc_paths: 1_000,
+                mc_steps: 10,
+                pde_t: 30,
+                pde_x: 60,
+                barrier_t_per_year: 30,
+                lsm_paths: 500,
+                lsm_dates: 8,
+            },
+            PortfolioScale::Full => MethodParams {
+                mc_paths: 1_000_000,
+                mc_steps: 100,
+                pde_t: 1_000,
+                pde_x: 1_000,
+                barrier_t_per_year: 180,
+                lsm_paths: 100_000,
+                lsm_dates: 50,
+            },
+        }
+    }
+}
+
+const SPOT: f64 = 100.0;
+const RATE: f64 = 0.05;
+const SIGMA: f64 = 0.2;
+
+fn bs() -> ModelSpec {
+    ModelSpec::BlackScholes(BlackScholes::new(SPOT, SIGMA, RATE, 0.0))
+}
+
+/// §4.3 vanilla grid: strikes 70–130 % step 1 %, maturities quarterly from
+/// 4 months to (4 months + 31 quarters).
+fn vanilla_grid() -> Vec<(f64, f64)> {
+    let mut grid = Vec::with_capacity(1952);
+    for q in 0..32 {
+        let maturity = 4.0 / 12.0 + 0.25 * q as f64;
+        for s in 0..61 {
+            let strike = SPOT * (0.70 + 0.01 * s as f64);
+            grid.push((strike, maturity));
+        }
+    }
+    grid
+}
+
+/// §4.3 basket/American-basket grid: maturities 0.2–5 y step 0.2, strikes
+/// 90–110 % step 1 %.
+fn basket_grid() -> Vec<(f64, f64)> {
+    let mut grid = Vec::with_capacity(525);
+    for m in 1..=25 {
+        let maturity = 0.2 * m as f64;
+        for s in 0..21 {
+            let strike = SPOT * (0.90 + 0.01 * s as f64);
+            grid.push((strike, maturity));
+        }
+    }
+    grid
+}
+
+/// §4.3 local-vol grid: strikes 80–120 % step 1 %, maturities 0.2–5 y.
+fn local_vol_grid() -> Vec<(f64, f64)> {
+    let mut grid = Vec::with_capacity(1025);
+    for m in 1..=25 {
+        let maturity = 0.2 * m as f64;
+        for s in 0..41 {
+            let strike = SPOT * (0.80 + 0.01 * s as f64);
+            grid.push((strike, maturity));
+        }
+    }
+    grid
+}
+
+/// The §4.3 realistic portfolio: 7 931 claims with the paper's exact
+/// composition. `stride` keeps every `stride`-th job of each class
+/// (stride 1 = the full portfolio), preserving class proportions for
+/// scaled-down test runs.
+pub fn realistic_portfolio(scale: PortfolioScale, stride: usize) -> Vec<PortfolioJob> {
+    assert!(stride >= 1, "stride must be at least 1");
+    let p = scale.params();
+    let mut jobs = Vec::new();
+    let mut id = 0;
+    let mut push = |jobs: &mut Vec<PortfolioJob>, class, problem| {
+        jobs.push(PortfolioJob {
+            id,
+            class,
+            problem,
+        });
+        id += 1;
+    };
+
+    // 1952 vanilla calls, closed form.
+    for (i, &(strike, maturity)) in vanilla_grid().iter().enumerate() {
+        if i % stride != 0 {
+            continue;
+        }
+        push(
+            &mut jobs,
+            JobClass::VanillaClosedForm,
+            PremiaProblem::new(
+                bs(),
+                OptionSpec::Call { strike, maturity },
+                MethodSpec::ClosedForm,
+            ),
+        );
+    }
+    // 1952 down-and-out calls, PDE with barrier-thin time steps.
+    for (i, &(strike, maturity)) in vanilla_grid().iter().enumerate() {
+        if i % stride != 0 {
+            continue;
+        }
+        let time_steps = ((maturity * p.barrier_t_per_year as f64).ceil() as usize).max(p.pde_t);
+        push(
+            &mut jobs,
+            JobClass::BarrierPde,
+            PremiaProblem::new(
+                bs(),
+                OptionSpec::DownOutCall {
+                    strike,
+                    barrier: 0.85 * strike.min(SPOT),
+                    maturity,
+                },
+                MethodSpec::Pde {
+                    time_steps,
+                    space_steps: p.pde_x,
+                },
+            ),
+        );
+    }
+    // 525 basket-40 puts, Monte-Carlo.
+    let basket40 = ModelSpec::MultiBlackScholes(MultiBlackScholes::new(
+        40, SPOT, SIGMA, 0.3, RATE, 0.0,
+    ));
+    for (i, &(strike, maturity)) in basket_grid().iter().enumerate() {
+        if i % stride != 0 {
+            continue;
+        }
+        push(
+            &mut jobs,
+            JobClass::BasketMc,
+            PremiaProblem::new(
+                basket40.clone(),
+                OptionSpec::BasketPut { strike, maturity },
+                MethodSpec::MonteCarlo {
+                    paths: p.mc_paths,
+                    time_steps: p.mc_steps,
+                    antithetic: true,
+                    seed: 42 + i as u64,
+                },
+            ),
+        );
+    }
+    // 1025 local-vol calls, Monte-Carlo.
+    let lv = ModelSpec::LocalVol(LocalVol::standard(SPOT, SIGMA, RATE, 0.0));
+    for (i, &(strike, maturity)) in local_vol_grid().iter().enumerate() {
+        if i % stride != 0 {
+            continue;
+        }
+        push(
+            &mut jobs,
+            JobClass::LocalVolMc,
+            PremiaProblem::new(
+                lv.clone(),
+                OptionSpec::Call { strike, maturity },
+                MethodSpec::MonteCarlo {
+                    paths: p.mc_paths,
+                    time_steps: p.mc_steps,
+                    antithetic: true,
+                    seed: 137 + i as u64,
+                },
+            ),
+        );
+    }
+    // 1952 American puts, PDE.
+    for (i, &(strike, maturity)) in vanilla_grid().iter().enumerate() {
+        if i % stride != 0 {
+            continue;
+        }
+        push(
+            &mut jobs,
+            JobClass::AmericanPde,
+            PremiaProblem::new(
+                bs(),
+                OptionSpec::AmericanPut { strike, maturity },
+                MethodSpec::Pde {
+                    time_steps: p.pde_t,
+                    space_steps: p.pde_x,
+                },
+            ),
+        );
+    }
+    // 525 American basket-7 puts, LSM.
+    let basket7 =
+        ModelSpec::MultiBlackScholes(MultiBlackScholes::new(7, SPOT, SIGMA, 0.3, RATE, 0.0));
+    for (i, &(strike, maturity)) in basket_grid().iter().enumerate() {
+        if i % stride != 0 {
+            continue;
+        }
+        push(
+            &mut jobs,
+            JobClass::AmericanBasketLsm,
+            PremiaProblem::new(
+                basket7.clone(),
+                OptionSpec::AmericanBasketPut { strike, maturity },
+                MethodSpec::Lsm {
+                    paths: p.lsm_paths,
+                    exercise_dates: p.lsm_dates,
+                    basis_degree: 3,
+                    seed: 271 + i as u64,
+                },
+            ),
+        );
+    }
+    jobs
+}
+
+/// The §4.2 toy portfolio: `count` closed-form vanilla calls (the paper
+/// uses 10 000), strikes cycling over 70–130 %, maturities cycling
+/// quarterly — "a single price computation is then very fast and the time
+/// spent in communication is easily highlighted".
+pub fn toy_portfolio(count: usize) -> Vec<PortfolioJob> {
+    (0..count)
+        .map(|i| PortfolioJob {
+            id: i,
+            class: JobClass::VanillaClosedForm,
+            problem: PremiaProblem::new(
+                bs(),
+                OptionSpec::Call {
+                    strike: SPOT * (0.70 + 0.01 * (i % 61) as f64),
+                    maturity: 4.0 / 12.0 + 0.25 * ((i / 61) % 32) as f64,
+                },
+                MethodSpec::ClosedForm,
+            ),
+        })
+        .collect()
+}
+
+/// The §4.1 workload: the non-regression suite wrapped as portfolio jobs.
+pub fn regression_portfolio(scale: PortfolioScale) -> Vec<PortfolioJob> {
+    let suite_scale = match scale {
+        PortfolioScale::Quick => pricing::regression::SuiteScale::Quick,
+        PortfolioScale::Full => pricing::regression::SuiteScale::Full,
+    };
+    pricing::regression::regression_suite(suite_scale)
+        .into_iter()
+        .enumerate()
+        .map(|(i, problem)| {
+            // Classify by method for the cost model.
+            let class = match (&problem.method, &problem.option) {
+                (MethodSpec::ClosedForm, _) => JobClass::VanillaClosedForm,
+                (MethodSpec::Pde { .. }, OptionSpec::AmericanPut { .. }) => JobClass::AmericanPde,
+                (MethodSpec::Pde { .. }, _) => JobClass::BarrierPde,
+                (MethodSpec::Tree { .. }, _) => JobClass::BarrierPde,
+                (MethodSpec::Lsm { .. }, _) => JobClass::AmericanBasketLsm,
+                (MethodSpec::MonteCarlo { .. }, OptionSpec::BasketPut { .. }) => JobClass::BasketMc,
+                (MethodSpec::MonteCarlo { .. }, _) | (MethodSpec::QuasiMonteCarlo { .. }, _) => {
+                    JobClass::LocalVolMc
+                }
+            };
+            PortfolioJob {
+                id: i,
+                class,
+                problem,
+            }
+        })
+        .collect()
+}
+
+/// Save every job of a portfolio into `dir` as XDR files
+/// (`pb-<id>.bin`) — "a portfolio will be a collection of files, each file
+/// describing a precise pricing problem" (§4). Returns the file paths in
+/// job order.
+pub fn save_portfolio(jobs: &[PortfolioJob], dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let path = dir.join(format!("pb-{:05}.bin", job.id));
+        xdrser::save(&path, &job.problem.to_value())
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn realistic_portfolio_has_paper_composition() {
+        let jobs = realistic_portfolio(PortfolioScale::Quick, 1);
+        assert_eq!(jobs.len(), 7931, "total claims");
+        let count = |c: JobClass| jobs.iter().filter(|j| j.class == c).count();
+        assert_eq!(count(JobClass::VanillaClosedForm), 1952);
+        assert_eq!(count(JobClass::BarrierPde), 1952);
+        assert_eq!(count(JobClass::BasketMc), 525);
+        assert_eq!(count(JobClass::LocalVolMc), 1025);
+        assert_eq!(count(JobClass::AmericanPde), 1952);
+        assert_eq!(count(JobClass::AmericanBasketLsm), 525);
+    }
+
+    #[test]
+    fn ids_are_sequential_and_unique() {
+        let jobs = realistic_portfolio(PortfolioScale::Quick, 16);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id, i);
+        }
+    }
+
+    #[test]
+    fn stride_preserves_all_classes() {
+        let jobs = realistic_portfolio(PortfolioScale::Quick, 64);
+        for class in JobClass::ALL {
+            assert!(
+                jobs.iter().any(|j| j.class == class),
+                "{class:?} missing at stride 64"
+            );
+        }
+        assert!(jobs.len() < 7931 / 32, "stride barely reduced the size");
+    }
+
+    #[test]
+    fn toy_portfolio_is_all_closed_form() {
+        let jobs = toy_portfolio(10_000);
+        assert_eq!(jobs.len(), 10_000);
+        assert!(jobs.iter().all(|j| j.class == JobClass::VanillaClosedForm));
+        assert!(jobs
+            .iter()
+            .all(|j| matches!(j.problem.method, MethodSpec::ClosedForm)));
+        // Strikes and maturities vary.
+        let strikes: std::collections::HashSet<u64> = jobs
+            .iter()
+            .map(|j| j.problem.option.strike().to_bits())
+            .collect();
+        assert!(strikes.len() > 50);
+    }
+
+    #[test]
+    fn sample_jobs_compute() {
+        let jobs = realistic_portfolio(PortfolioScale::Quick, 400);
+        for job in &jobs {
+            let r = job
+                .problem
+                .compute()
+                .unwrap_or_else(|e| panic!("job {} ({:?}) failed: {e}", job.id, job.class));
+            assert!(r.price.is_finite());
+        }
+    }
+
+    #[test]
+    fn regression_portfolio_classifies_everything() {
+        let jobs = regression_portfolio(PortfolioScale::Quick);
+        assert_eq!(jobs.len(), 84);
+        for j in &jobs {
+            assert!(JobClass::ALL.contains(&j.class));
+        }
+    }
+
+    #[test]
+    fn save_portfolio_round_trips() {
+        let dir = std::env::temp_dir().join("farm_portfolio_save_test");
+        let jobs = toy_portfolio(20);
+        let paths = save_portfolio(&jobs, &dir).unwrap();
+        assert_eq!(paths.len(), 20);
+        for (job, path) in jobs.iter().zip(&paths) {
+            let v = xdrser::load(path).unwrap();
+            let p = pricing::PremiaProblem::from_value(&v).unwrap();
+            assert_eq!(p, job.problem);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn paper_cost_ranges_ordered() {
+        for class in JobClass::ALL {
+            let (lo, hi) = class.paper_cost_seconds();
+            assert!(lo > 0.0 && hi > lo);
+        }
+        // American classes cost more than European MC/PDE, which cost
+        // more than closed form.
+        assert!(JobClass::AmericanPde.paper_cost_seconds().0 > JobClass::BarrierPde.paper_cost_seconds().1);
+        assert!(JobClass::BarrierPde.paper_cost_seconds().0 > JobClass::VanillaClosedForm.paper_cost_seconds().1);
+    }
+}

@@ -1,0 +1,362 @@
+//! The master/slave "Robbin Hood" task farm of Figs. 4–5, live over
+//! `minimpi` threads.
+//!
+//! "First, the master sends one job to each slave and as soon as a slave
+//! finishes its computation and sends its answer back, it is assigned a
+//! new job. This mechanism goes on until the whole portfolio has been
+//! treated." (§4). Termination is the Fig. 4 empty-name message.
+//!
+//! The wire protocol matches the scripts: per job the master sends a
+//! *name* message (`MPI_Send_Obj` of the file name string) followed, for
+//! the loaded strategies, by a *packed object* message (`MPI_Pack` +
+//! `MPI_Send`); the slave probes, sizes a buffer with `MPI_Get_count`,
+//! receives, unpacks, unserializes, computes and replies with a result
+//! object.
+
+use crate::strategy::{prepare_payload, recover_problem, Transmission};
+use minimpi::{Comm, MpiBuf, MpiError, World, ANY_SOURCE};
+use nspval::{Hash, Value};
+use pricing::PricingResult;
+use std::fmt;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const TAG: i32 = 7;
+
+/// One priced job as collected by the master.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Index of the job in the submitted file list.
+    pub job: usize,
+    /// Rank of the slave that priced it.
+    pub slave: usize,
+    /// Price estimate.
+    pub price: f64,
+    /// Monte-Carlo standard error, when the method reports one.
+    pub std_error: Option<f64>,
+}
+
+/// The master's report for one farm run.
+#[derive(Debug, Clone)]
+pub struct FarmReport {
+    /// Per-job results in completion order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+    /// Jobs completed per slave rank (index 0, the master, stays 0).
+    pub per_slave: Vec<usize>,
+    /// Transmission strategy used.
+    pub strategy: Transmission,
+}
+
+impl FarmReport {
+    /// Total number of priced jobs.
+    pub fn completed(&self) -> usize {
+        self.outcomes.len()
+    }
+}
+
+/// Farm-level failures.
+#[derive(Debug)]
+pub enum FarmError {
+    /// Farms need at least one slave (2 "CPUs" in the tables' counting).
+    NoSlaves,
+    /// A communication primitive failed.
+    Mpi(MpiError),
+    /// A problem file failed to load/transmit.
+    Io(String),
+}
+
+impl fmt::Display for FarmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FarmError::NoSlaves => write!(f, "farm needs at least one slave"),
+            FarmError::Mpi(e) => write!(f, "MPI error: {e}"),
+            FarmError::Io(m) => write!(f, "I/O error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FarmError {}
+
+impl From<MpiError> for FarmError {
+    fn from(e: MpiError) -> Self {
+        FarmError::Mpi(e)
+    }
+}
+
+/// Encode a result message (slave → master).
+fn result_value(job: usize, result: &PricingResult) -> Value {
+    let mut h = Hash::new();
+    h.set("job", Value::scalar(job as f64));
+    h.set("price", Value::scalar(result.price));
+    if let Some(se) = result.std_error {
+        h.set("std_error", Value::scalar(se));
+    }
+    Value::Hash(h)
+}
+
+fn decode_result(v: &Value) -> Option<(usize, f64, Option<f64>)> {
+    let h = v.as_hash()?;
+    let job = h.get("job")?.as_scalar()? as usize;
+    let price = h.get("price")?.as_scalar()?;
+    let se = h.get("std_error").and_then(|x| x.as_scalar());
+    Some((job, price, se))
+}
+
+/// Master-side: send job `idx` (file `path`) to `slave`.
+fn send_job(
+    comm: &Comm,
+    slave: usize,
+    idx: usize,
+    path: &std::path::Path,
+    strategy: Transmission,
+) -> Result<(), FarmError> {
+    // Name message: [name, job index].
+    let name = Value::list(vec![
+        Value::string(path.to_string_lossy().to_string()),
+        Value::scalar(idx as f64),
+    ]);
+    comm.send_obj(&name, slave as i32, TAG)?;
+    if let Some(payload) = prepare_payload(strategy, path).map_err(|e| FarmError::Io(e.to_string()))? {
+        let packed = comm.pack(&payload);
+        comm.send(packed.bytes(), slave as i32, TAG)?;
+    }
+    Ok(())
+}
+
+/// Slave loop — Fig. 4's `if mpi_rank <> 0` branch.
+fn slave_loop(comm: &Comm, strategy: Transmission) -> Result<usize, FarmError> {
+    let mut done = 0;
+    loop {
+        let (msg, _st) = comm.recv_obj(0, TAG)?;
+        if msg.is_empty_matrix() {
+            // Stop sentinel.
+            return Ok(done);
+        }
+        let list = msg
+            .as_list()
+            .ok_or_else(|| FarmError::Io("bad name message".into()))?;
+        let name = list
+            .get(0)
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| FarmError::Io("missing file name".into()))?
+            .to_string();
+        let idx = list
+            .get(1)
+            .and_then(|v| v.as_scalar())
+            .ok_or_else(|| FarmError::Io("missing job index".into()))? as usize;
+
+        let payload = match strategy {
+            Transmission::Nfs => None,
+            _ => {
+                // Probe → size buffer → receive → unpack (Fig. 4).
+                let st = comm.probe(0, TAG)?;
+                let mut buf = MpiBuf::with_capacity(st.count());
+                comm.recv_into(&mut buf, 0, TAG)?;
+                Some(comm.unpack(&buf)?)
+            }
+        };
+        let problem = recover_problem(strategy, &name, payload.as_ref())
+            .map_err(|e| FarmError::Io(e.to_string()))?;
+        let result = problem
+            .compute()
+            .map_err(|e| FarmError::Io(format!("compute failed: {e}")))?;
+        comm.send_obj(&result_value(idx, &result), 0, TAG)?;
+        done += 1;
+    }
+}
+
+/// Master loop — Fig. 4's `else` branch: prime every slave with one job,
+/// then refeed on every answer until the list is drained, then send the
+/// stop sentinel.
+fn master_loop(
+    comm: &Comm,
+    files: &[PathBuf],
+    strategy: Transmission,
+) -> Result<FarmReport, FarmError> {
+    let slaves = comm.size() - 1;
+    let start = Instant::now();
+    let mut outcomes = Vec::with_capacity(files.len());
+    let mut per_slave = vec![0usize; comm.size()];
+    let mut next = 0usize;
+
+    // Prime each slave with one job.
+    for slave in 1..=slaves {
+        if next < files.len() {
+            send_job(comm, slave, next, &files[next], strategy)?;
+            next += 1;
+        } else {
+            comm.send_obj(&Value::empty_matrix(), slave as i32, TAG)?;
+        }
+    }
+    let primed = next.min(files.len());
+    let mut outstanding = primed;
+
+    // Refeed loop.
+    while outstanding > 0 {
+        let (v, st) = comm.recv_obj(ANY_SOURCE, TAG)?;
+        let (job, price, se) =
+            decode_result(&v).ok_or_else(|| FarmError::Io("bad result message".into()))?;
+        outcomes.push(JobOutcome {
+            job,
+            slave: st.src,
+            price,
+            std_error: se,
+        });
+        per_slave[st.src] += 1;
+        if next < files.len() {
+            send_job(comm, st.src, next, &files[next], strategy)?;
+            next += 1;
+        } else {
+            outstanding -= 1;
+            // Tell this slave to stop.
+            comm.send_obj(&Value::empty_matrix(), st.src as i32, TAG)?;
+        }
+    }
+    // Slaves that never got a job were already stopped during priming.
+    Ok(FarmReport {
+        outcomes,
+        elapsed: start.elapsed(),
+        per_slave,
+        strategy,
+    })
+}
+
+/// Run the Robin-Hood farm over `slaves` worker ranks (the tables count
+/// `slaves + 1` CPUs: master + slaves). Returns the master's report.
+pub fn run_farm(
+    files: &[PathBuf],
+    slaves: usize,
+    strategy: Transmission,
+) -> Result<FarmReport, FarmError> {
+    if slaves == 0 {
+        return Err(FarmError::NoSlaves);
+    }
+    let results = World::run(slaves + 1, |comm| {
+        if comm.rank() == 0 {
+            Some(master_loop(&comm, files, strategy))
+        } else {
+            // A slave failure must not silently drop a job: panic and let
+            // World poison the group (surfaces as an error at the master).
+            slave_loop(&comm, strategy).expect("slave failed");
+            None
+        }
+    });
+    results
+        .into_iter()
+        .next()
+        .flatten()
+        .expect("master produces the report")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portfolio::{save_portfolio, toy_portfolio};
+
+    fn setup(count: usize, tag: &str) -> (Vec<PathBuf>, Vec<f64>, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("farm_rh_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let jobs = toy_portfolio(count);
+        let paths = save_portfolio(&jobs, &dir).unwrap();
+        // Expected prices, computed serially.
+        let expected: Vec<f64> = jobs
+            .iter()
+            .map(|j| j.problem.compute().unwrap().price)
+            .collect();
+        (paths, expected, dir)
+    }
+
+    fn check_report(report: &FarmReport, expected: &[f64]) {
+        assert_eq!(report.completed(), expected.len());
+        // Every job answered exactly once.
+        let mut seen = vec![false; expected.len()];
+        for o in &report.outcomes {
+            assert!(!seen[o.job], "job {} answered twice", o.job);
+            seen[o.job] = true;
+            assert!(
+                (o.price - expected[o.job]).abs() < 1e-12,
+                "job {}: farm {} serial {}",
+                o.job,
+                o.price,
+                expected[o.job]
+            );
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn farm_prices_whole_portfolio_serialized_load() {
+        let (paths, expected, dir) = setup(40, "sload");
+        let report = run_farm(&paths, 3, Transmission::SerializedLoad).unwrap();
+        check_report(&report, &expected);
+        // Work was actually distributed.
+        let active = report.per_slave.iter().filter(|&&c| c > 0).count();
+        assert!(active >= 2, "only {active} slaves did work");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn farm_full_load_matches() {
+        let (paths, expected, dir) = setup(25, "full");
+        let report = run_farm(&paths, 4, Transmission::FullLoad).unwrap();
+        check_report(&report, &expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn farm_nfs_matches() {
+        let (paths, expected, dir) = setup(25, "nfs");
+        let report = run_farm(&paths, 4, Transmission::Nfs).unwrap();
+        check_report(&report, &expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn more_slaves_than_jobs() {
+        let (paths, expected, dir) = setup(3, "overstaffed");
+        let report = run_farm(&paths, 8, Transmission::SerializedLoad).unwrap();
+        check_report(&report, &expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn single_slave_farm() {
+        let (paths, expected, dir) = setup(10, "single");
+        let report = run_farm(&paths, 1, Transmission::SerializedLoad).unwrap();
+        check_report(&report, &expected);
+        assert_eq!(report.per_slave[1], 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_portfolio() {
+        let report = run_farm(&[], 2, Transmission::Nfs).unwrap();
+        assert_eq!(report.completed(), 0);
+    }
+
+    #[test]
+    fn zero_slaves_rejected() {
+        assert!(matches!(
+            run_farm(&[], 0, Transmission::Nfs),
+            Err(FarmError::NoSlaves)
+        ));
+    }
+
+    #[test]
+    fn strategies_agree_on_prices() {
+        let (paths, _, dir) = setup(15, "agree");
+        let a = run_farm(&paths, 2, Transmission::FullLoad).unwrap();
+        let b = run_farm(&paths, 2, Transmission::SerializedLoad).unwrap();
+        let c = run_farm(&paths, 2, Transmission::Nfs).unwrap();
+        let by_job = |r: &FarmReport| {
+            let mut v: Vec<(usize, f64)> = r.outcomes.iter().map(|o| (o.job, o.price)).collect();
+            v.sort_by_key(|&(j, _)| j);
+            v
+        };
+        assert_eq!(by_job(&a), by_job(&b));
+        assert_eq!(by_job(&b), by_job(&c));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,170 @@
+//! Transmission strategies — how a pricing problem travels from the
+//! master to a slave (§3.3/§4, the column families of Tables II and III).
+
+use nspval::Value;
+use pricing::PremiaProblem;
+use std::fmt;
+use std::path::Path;
+
+/// The three ways of shipping a problem, labelled exactly as in the
+/// tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transmission {
+    /// "full load": the master reads the file, **materialises** the
+    /// `PremiaModel` object, serializes it, packs it and sends it; the
+    /// slave unpacks and unserializes.
+    FullLoad,
+    /// "NFS": the master sends only the file *name*; the slave reads the
+    /// file itself from the shared filesystem.
+    Nfs,
+    /// "serialized load": the master `sload`s the file — raw bytes
+    /// straight into a `Serial` object, no materialisation — and sends
+    /// that. Always the fastest master-side path (§4.2: "it is always
+    /// better to use the sload method").
+    SerializedLoad,
+}
+
+impl Transmission {
+    /// Every variant, in canonical order.
+    pub const ALL: [Transmission; 3] = [
+        Transmission::FullLoad,
+        Transmission::Nfs,
+        Transmission::SerializedLoad,
+    ];
+
+    /// Table column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Transmission::FullLoad => "full load",
+            Transmission::Nfs => "NFS",
+            Transmission::SerializedLoad => "serialized load",
+        }
+    }
+}
+
+impl fmt::Display for Transmission {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Master-side preparation of one job message. Returns the payload value
+/// to pack and send after the name message — `None` for NFS, where the
+/// name alone suffices.
+pub fn prepare_payload(
+    strategy: Transmission,
+    path: &Path,
+) -> Result<Option<Value>, xdrser::XdrError> {
+    match strategy {
+        Transmission::FullLoad => {
+            // load → materialise → re-serialize (the deliberately
+            // wasteful baseline of §4.2: "the object created by the
+            // master would actually be useless...").
+            let value = xdrser::load(path)?;
+            let problem = PremiaProblem::from_value(&value)
+                .map_err(|e| xdrser::XdrError::Corrupt(e.to_string()))?;
+            let serial = xdrser::serialize(&problem.to_value());
+            Ok(Some(Value::Serial(serial)))
+        }
+        Transmission::Nfs => Ok(None),
+        Transmission::SerializedLoad => {
+            // sload: file bytes → Serial, no materialisation.
+            let serial = xdrser::sload(path)?;
+            Ok(Some(Value::Serial(serial)))
+        }
+    }
+}
+
+/// Slave-side recovery of the problem from what arrived.
+pub fn recover_problem(
+    strategy: Transmission,
+    name: &str,
+    payload: Option<&Value>,
+) -> Result<PremiaProblem, xdrser::XdrError> {
+    match strategy {
+        Transmission::Nfs => {
+            // The slave reads the shared filesystem itself.
+            let value = xdrser::load(Path::new(name))?;
+            PremiaProblem::from_value(&value)
+                .map_err(|e| xdrser::XdrError::Corrupt(e.to_string()))
+        }
+        Transmission::FullLoad | Transmission::SerializedLoad => {
+            let v = payload.ok_or_else(|| {
+                xdrser::XdrError::Corrupt("missing payload for loaded transmission".into())
+            })?;
+            let serial = v
+                .as_serial()
+                .ok_or_else(|| xdrser::XdrError::Corrupt("payload is not a Serial".into()))?;
+            let value = xdrser::unserialize(serial)?;
+            PremiaProblem::from_value(&value)
+                .map_err(|e| xdrser::XdrError::Corrupt(e.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pricing::PremiaProblem;
+
+    fn save_problem(dir: &str) -> (std::path::PathBuf, PremiaProblem) {
+        let dir = std::env::temp_dir().join(dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pb.bin");
+        let p = PremiaProblem::create("BlackScholes1dim", "CallEuro", "CF").unwrap();
+        xdrser::save(&path, &p.to_value()).unwrap();
+        (path, p)
+    }
+
+    #[test]
+    fn full_load_round_trip() {
+        let (path, p) = save_problem("strategy_full_load");
+        let payload = prepare_payload(Transmission::FullLoad, &path)
+            .unwrap()
+            .unwrap();
+        let back =
+            recover_problem(Transmission::FullLoad, path.to_str().unwrap(), Some(&payload))
+                .unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn serialized_load_round_trip_and_matches_file_bytes() {
+        let (path, p) = save_problem("strategy_sload");
+        let payload = prepare_payload(Transmission::SerializedLoad, &path)
+            .unwrap()
+            .unwrap();
+        // sload payload is the raw file content.
+        let serial = payload.as_serial().unwrap();
+        assert_eq!(serial.bytes(), std::fs::read(&path).unwrap().as_slice());
+        let back = recover_problem(
+            Transmission::SerializedLoad,
+            path.to_str().unwrap(),
+            Some(&payload),
+        )
+        .unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn nfs_round_trip_needs_no_payload() {
+        let (path, p) = save_problem("strategy_nfs");
+        assert!(prepare_payload(Transmission::Nfs, &path).unwrap().is_none());
+        let back = recover_problem(Transmission::Nfs, path.to_str().unwrap(), None).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn missing_payload_is_error() {
+        let (path, _) = save_problem("strategy_missing");
+        assert!(recover_problem(Transmission::FullLoad, path.to_str().unwrap(), None).is_err());
+    }
+
+    #[test]
+    fn labels_match_tables() {
+        assert_eq!(Transmission::FullLoad.label(), "full load");
+        assert_eq!(Transmission::Nfs.label(), "NFS");
+        assert_eq!(Transmission::SerializedLoad.label(), "serialized load");
+        assert_eq!(format!("{}", Transmission::Nfs), "NFS");
+    }
+}

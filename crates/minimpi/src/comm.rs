@@ -1,0 +1,632 @@
+//! Communicators, mailboxes and point-to-point / collective operations.
+
+use crate::buf::MpiBuf;
+use crate::error::MpiError;
+use crate::{ANY_SOURCE, ANY_TAG};
+use nspval::{Serial, Value};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Delivery status of a matched message (MPI_Status): source rank, tag and
+/// payload size in bytes (`MPI_Get_count` / `MPI_Get_elements`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Source rank of the matched message.
+    pub src: usize,
+    /// Tag of the matched message.
+    pub tag: i32,
+    len: usize,
+}
+
+impl Status {
+    /// `MPI_Get_count` / `MPI_Get_elements`: the message size in bytes.
+    pub fn count(&self) -> usize {
+        self.len
+    }
+}
+
+#[derive(Debug)]
+struct Message {
+    src: usize,
+    tag: i32,
+    payload: Vec<u8>,
+}
+
+#[derive(Default)]
+struct MailboxState {
+    queue: VecDeque<Message>,
+    /// Set when the group is torn down (a peer panicked); wakes blockers.
+    poisoned: bool,
+}
+
+struct Mailbox {
+    state: Mutex<MailboxState>,
+    cond: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Mailbox {
+            state: Mutex::new(MailboxState::default()),
+            cond: Condvar::new(),
+        }
+    }
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+}
+
+/// Shared state of one communicator group.
+pub(crate) struct Group {
+    boxes: Vec<Arc<Mailbox>>,
+    barrier: Mutex<BarrierState>,
+    barrier_cond: Condvar,
+    epoch: Instant,
+}
+
+impl Group {
+    pub(crate) fn new(size: usize) -> Arc<Self> {
+        Arc::new(Group {
+            boxes: (0..size).map(|_| Arc::new(Mailbox::new())).collect(),
+            barrier: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+            }),
+            barrier_cond: Condvar::new(),
+            epoch: Instant::now(),
+        })
+    }
+
+    /// Wake every blocked receiver with a poison flag; used when a rank
+    /// panics so the rest don't deadlock.
+    pub(crate) fn poison(&self) {
+        for mb in &self.boxes {
+            mb.state.lock().poisoned = true;
+            mb.cond.notify_all();
+        }
+    }
+}
+
+/// A communicator handle owned by one rank — the paper's
+/// `MPI_COMM_WORLD` / merged `NEWORLD` objects.
+///
+/// Cloning is not allowed (each rank holds exactly one endpoint); the
+/// handle is `Send` so `World` can move it into the rank's thread.
+pub struct Comm {
+    group: Arc<Group>,
+    rank: usize,
+}
+
+impl Comm {
+    pub(crate) fn new(group: Arc<Group>, rank: usize) -> Self {
+        Comm { group, rank }
+    }
+
+    /// `MPI_Comm_rank`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// `MPI_Comm_size`.
+    pub fn size(&self) -> usize {
+        self.group.boxes.len()
+    }
+
+    /// `MPI_Wtime`: seconds since the communicator was created.
+    pub fn wtime(&self) -> f64 {
+        self.group.epoch.elapsed().as_secs_f64()
+    }
+
+    fn check_dest(&self, rank: i32) -> Result<usize, MpiError> {
+        if rank < 0 || rank as usize >= self.size() {
+            return Err(MpiError::InvalidRank(rank));
+        }
+        Ok(rank as usize)
+    }
+
+    fn check_tag(tag: i32) -> Result<(), MpiError> {
+        if tag < 0 {
+            return Err(MpiError::InvalidTag(tag));
+        }
+        Ok(())
+    }
+
+    // ----- point to point ---------------------------------------------------
+
+    /// `MPI_Send`: send raw bytes to `dest` with `tag`.
+    pub fn send(&self, bytes: &[u8], dest: i32, tag: i32) -> Result<(), MpiError> {
+        Self::check_tag(tag)?;
+        self.send_internal(bytes.to_vec(), dest, tag)
+    }
+
+    fn send_internal(&self, payload: Vec<u8>, dest: i32, tag: i32) -> Result<(), MpiError> {
+        let dest = self.check_dest(dest)?;
+        let mb = &self.group.boxes[dest];
+        let mut st = mb.state.lock();
+        if st.poisoned {
+            return Err(MpiError::Disconnected);
+        }
+        st.queue.push_back(Message {
+            src: self.rank,
+            tag,
+            payload,
+        });
+        mb.cond.notify_all();
+        Ok(())
+    }
+
+    fn matches(msg: &Message, src: i32, tag: i32) -> bool {
+        (src == ANY_SOURCE || msg.src == src as usize) && (tag == ANY_TAG || msg.tag == tag)
+    }
+
+    /// Blocking `MPI_Probe`: wait until a message matching `(src, tag)` is
+    /// pending and return its status without consuming it.
+    pub fn probe(&self, src: i32, tag: i32) -> Result<Status, MpiError> {
+        let mb = &self.group.boxes[self.rank];
+        let mut st = mb.state.lock();
+        loop {
+            if let Some(m) = st.queue.iter().find(|m| Self::matches(m, src, tag)) {
+                return Ok(Status {
+                    src: m.src,
+                    tag: m.tag,
+                    len: m.payload.len(),
+                });
+            }
+            if st.poisoned {
+                return Err(MpiError::Disconnected);
+            }
+            mb.cond.wait(&mut st);
+        }
+    }
+
+    /// Non-blocking `MPI_Iprobe`.
+    pub fn iprobe(&self, src: i32, tag: i32) -> Result<Option<Status>, MpiError> {
+        let mb = &self.group.boxes[self.rank];
+        let st = mb.state.lock();
+        if st.poisoned {
+            return Err(MpiError::Disconnected);
+        }
+        Ok(st
+            .queue
+            .iter()
+            .find(|m| Self::matches(m, src, tag))
+            .map(|m| Status {
+                src: m.src,
+                tag: m.tag,
+                len: m.payload.len(),
+            }))
+    }
+
+    fn recv_message(&self, src: i32, tag: i32) -> Result<Message, MpiError> {
+        let mb = &self.group.boxes[self.rank];
+        let mut st = mb.state.lock();
+        loop {
+            if let Some(pos) = st.queue.iter().position(|m| Self::matches(m, src, tag)) {
+                return Ok(st.queue.remove(pos).expect("position just found"));
+            }
+            if st.poisoned {
+                return Err(MpiError::Disconnected);
+            }
+            mb.cond.wait(&mut st);
+        }
+    }
+
+    /// Blocking `MPI_Recv` into a pre-sized buffer (the Fig. 4 pattern:
+    /// probe → `mpibuf_create` → recv). Errors with `Truncated` if the
+    /// matched message exceeds the buffer capacity.
+    pub fn recv_into(&self, buf: &mut MpiBuf, src: i32, tag: i32) -> Result<Status, MpiError> {
+        // Peek first so a too-small buffer does not destroy the message.
+        let status = self.probe(src, tag)?;
+        if status.len > buf.capacity() {
+            return Err(MpiError::Truncated {
+                needed: status.len,
+                capacity: buf.capacity(),
+            });
+        }
+        let msg = self.recv_message(status.src as i32, status.tag)?;
+        buf.fill(&msg.payload);
+        Ok(Status {
+            src: msg.src,
+            tag: msg.tag,
+            len: msg.payload.len(),
+        })
+    }
+
+    /// Convenience receive returning an owned byte vector.
+    pub fn recv(&self, src: i32, tag: i32) -> Result<(Vec<u8>, Status), MpiError> {
+        let msg = self.recv_message(src, tag)?;
+        let status = Status {
+            src: msg.src,
+            tag: msg.tag,
+            len: msg.payload.len(),
+        };
+        Ok((msg.payload, status))
+    }
+
+    // ----- object layer (MPI_Send_Obj / MPI_Recv_Obj) ----------------------
+
+    /// `MPI_Send_Obj`: serialize any value and send it. "These two
+    /// functions use internal serialization and packing to transparently
+    /// transmit Nsp Objects" (§3.2).
+    pub fn send_obj(&self, v: &Value, dest: i32, tag: i32) -> Result<(), MpiError> {
+        Self::check_tag(tag)?;
+        self.send_internal(xdrser::serialize_to_bytes(v), dest, tag)
+    }
+
+    /// `MPI_Recv_Obj`: receive and deserialize a value. Per §3.2, when the
+    /// transmitted object is itself a `Serial`, the receive "directly
+    /// unseals" it — the caller gets the inner value.
+    pub fn recv_obj(&self, src: i32, tag: i32) -> Result<(Value, Status), MpiError> {
+        let (bytes, status) = self.recv(src, tag)?;
+        let v = xdrser::unserialize_bytes(&bytes)?;
+        let v = match v {
+            Value::Serial(s) => xdrser::unserialize(&s)?,
+            other => other,
+        };
+        Ok((v, status))
+    }
+
+    /// Like [`Comm::recv_obj`] but without the unseal step: a transmitted
+    /// `Serial` stays a `Serial`. This is what Fig. 4's slave loop needs
+    /// when it wants to unpack/unserialize explicitly.
+    pub fn recv_obj_raw(&self, src: i32, tag: i32) -> Result<(Value, Status), MpiError> {
+        let (bytes, status) = self.recv(src, tag)?;
+        Ok((xdrser::unserialize_bytes(&bytes)?, status))
+    }
+
+    // ----- pack / unpack ----------------------------------------------------
+
+    /// `MPI_Pack`: encode a value into a contiguous buffer suitable for
+    /// `send`.
+    pub fn pack(&self, v: &Value) -> MpiBuf {
+        MpiBuf::from_bytes(xdrser::serialize_to_bytes(v))
+    }
+
+    /// Pack an already-serialized object without re-encoding its payload —
+    /// the cheap path used by the "serialized load" strategy, where the
+    /// master never materialises the value.
+    pub fn pack_serial(&self, s: &Serial) -> MpiBuf {
+        MpiBuf::from_bytes(xdrser::serialize_to_bytes(&Value::Serial(s.clone())))
+    }
+
+    /// `MPI_Unpack`: decode a buffer produced by [`Comm::pack`].
+    pub fn unpack(&self, buf: &MpiBuf) -> Result<Value, MpiError> {
+        Ok(xdrser::unserialize_bytes(buf.bytes())?)
+    }
+
+    // ----- collectives ------------------------------------------------------
+
+    /// `MPI_Barrier` over all ranks of this communicator.
+    pub fn barrier(&self) {
+        let size = self.size();
+        let mut st = self.group.barrier.lock();
+        let gen = st.generation;
+        st.arrived += 1;
+        if st.arrived == size {
+            st.arrived = 0;
+            st.generation += 1;
+            self.group.barrier_cond.notify_all();
+        } else {
+            while st.generation == gen {
+                self.group.barrier_cond.wait(&mut st);
+            }
+        }
+    }
+
+    /// `MPI_Bcast` of a value from `root` (simple linear fan-out).
+    pub fn bcast(&self, v: Option<&Value>, root: usize) -> Result<Value, MpiError> {
+        const BCAST_TAG: i32 = i32::MAX - 1;
+        if self.rank == root {
+            let v = v.expect("root must supply the broadcast value");
+            let bytes = xdrser::serialize_to_bytes(v);
+            for dest in 0..self.size() {
+                if dest != root {
+                    self.send_internal(bytes.clone(), dest as i32, BCAST_TAG)?;
+                }
+            }
+            Ok(v.clone())
+        } else {
+            let (bytes, _) = self.recv(root as i32, BCAST_TAG)?;
+            Ok(xdrser::unserialize_bytes(&bytes)?)
+        }
+    }
+
+    /// Sum-reduction of one double to `root`; returns `Some(total)` at the
+    /// root, `None` elsewhere.
+    pub fn reduce_sum(&self, x: f64, root: usize) -> Result<Option<f64>, MpiError> {
+        const REDUCE_TAG: i32 = i32::MAX - 2;
+        if self.rank == root {
+            let mut total = x;
+            for _ in 0..self.size() - 1 {
+                let (bytes, _) = self.recv(ANY_SOURCE, REDUCE_TAG)?;
+                let v = xdrser::unserialize_bytes(&bytes)?;
+                total += v.as_scalar().expect("reduce payload is a scalar");
+            }
+            Ok(Some(total))
+        } else {
+            self.send_internal(
+                xdrser::serialize_to_bytes(&Value::scalar(x)),
+                root as i32,
+                REDUCE_TAG,
+            )?;
+            Ok(None)
+        }
+    }
+
+    pub(crate) fn group(&self) -> Arc<Group> {
+        Arc::clone(&self.group)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::World;
+
+    #[test]
+    fn rank_and_size() {
+        let out = World::run(4, |c| (c.rank(), c.size()));
+        assert_eq!(out, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn send_recv_bytes() {
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(b"hello", 1, 3).unwrap();
+                Vec::new()
+            } else {
+                let (bytes, st) = c.recv(0, 3).unwrap();
+                assert_eq!(st.src, 0);
+                assert_eq!(st.tag, 3);
+                assert_eq!(st.count(), 5);
+                bytes
+            }
+        });
+        assert_eq!(out[1], b"hello");
+    }
+
+    #[test]
+    fn recv_any_source_any_tag() {
+        let out = World::run(3, |c| {
+            if c.rank() == 0 {
+                let mut seen = Vec::new();
+                for _ in 0..2 {
+                    let (bytes, st) = c.recv(ANY_SOURCE, ANY_TAG).unwrap();
+                    seen.push((st.src, bytes[0]));
+                }
+                seen.sort();
+                seen
+            } else {
+                c.send(&[c.rank() as u8], 0, c.rank() as i32).unwrap();
+                Vec::new()
+            }
+        });
+        assert_eq!(out[0], vec![(1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn tag_selective_recv_out_of_order() {
+        // Send tag 1 then tag 2; receiver asks for tag 2 first.
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(&[1], 1, 1).unwrap();
+                c.send(&[2], 1, 2).unwrap();
+                (0, 0)
+            } else {
+                let (b2, _) = c.recv(0, 2).unwrap();
+                let (b1, _) = c.recv(0, 1).unwrap();
+                (b1[0], b2[0])
+            }
+        });
+        assert_eq!(out[1], (1, 2));
+    }
+
+    #[test]
+    fn probe_then_sized_recv_like_fig4() {
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(&[7; 100], 1, 5).unwrap();
+                0
+            } else {
+                let st = c.probe(ANY_SOURCE, ANY_TAG).unwrap();
+                let mut buf = MpiBuf::with_capacity(st.count());
+                let st2 = c.recv_into(&mut buf, st.src as i32, st.tag).unwrap();
+                assert_eq!(st2.count(), 100);
+                buf.len()
+            }
+        });
+        assert_eq!(out[1], 100);
+    }
+
+    #[test]
+    fn probe_does_not_consume() {
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(&[1, 2, 3], 1, 0).unwrap();
+                true
+            } else {
+                let s1 = c.probe(0, 0).unwrap();
+                let s2 = c.probe(0, 0).unwrap();
+                assert_eq!(s1, s2);
+                let (b, _) = c.recv(0, 0).unwrap();
+                b == vec![1, 2, 3]
+            }
+        });
+        assert!(out[1]);
+    }
+
+    #[test]
+    fn truncated_recv_is_error_and_preserves_message() {
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(&[9; 32], 1, 0).unwrap();
+                true
+            } else {
+                let mut small = MpiBuf::with_capacity(8);
+                match c.recv_into(&mut small, 0, 0) {
+                    Err(MpiError::Truncated { needed: 32, capacity: 8 }) => {}
+                    other => panic!("expected truncation, got {other:?}"),
+                }
+                // Message still deliverable afterwards.
+                let (b, _) = c.recv(0, 0).unwrap();
+                b.len() == 32
+            }
+        });
+        assert!(out[1]);
+    }
+
+    #[test]
+    fn iprobe_nonblocking() {
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                // Nothing pending yet for us.
+                let none = c.iprobe(ANY_SOURCE, ANY_TAG).unwrap();
+                c.send(&[1], 1, 0).unwrap();
+                none.is_none()
+            } else {
+                let (_, _) = c.recv(0, 0).unwrap();
+                true
+            }
+        });
+        assert!(out[0] && out[1]);
+    }
+
+    #[test]
+    fn send_obj_round_trips_values() {
+        use nspval::Matrix;
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                let v = Value::list(vec![
+                    Value::string("string"),
+                    Value::boolean(true),
+                    Value::Real(Matrix::from_row_major(2, 2, &[1.0, 2.0, 3.0, 4.0])),
+                ]);
+                c.send_obj(&v, 1, 9).unwrap();
+                None
+            } else {
+                let (v, st) = c.recv_obj(0, 9).unwrap();
+                assert_eq!(st.src, 0);
+                Some(v)
+            }
+        });
+        let v = out[1].as_ref().unwrap();
+        let l = v.as_list().unwrap();
+        assert_eq!(l.get(0).unwrap().as_str(), Some("string"));
+        assert_eq!(l.get(2).unwrap().as_matrix().unwrap().get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn send_serial_is_unsealed_on_recv_obj() {
+        // §3.2: A=sparse-ish value; S=serialize(A); MPI_Send_Obj(S,...);
+        // B=MPI_Recv_Obj(...); B.equal[A] is true.
+        let out = World::run(2, |c| {
+            let a = Value::list(vec![Value::scalar(5.0), Value::string("x")]);
+            if c.rank() == 0 {
+                let s = xdrser::serialize(&a);
+                c.send_obj(&Value::Serial(s), 1, 0).unwrap();
+                true
+            } else {
+                let (b, _) = c.recv_obj(0, 0).unwrap();
+                b.equal(&a)
+            }
+        });
+        assert!(out[1]);
+    }
+
+    #[test]
+    fn pack_send_unpack_like_paper() {
+        // P=MPI_Pack(H,MCW); MPI_Send(P,...); probe; mpibuf_create;
+        // MPI_Recv; H1=MPI_Unpack(B,MCW).
+        let out = World::run(2, |c| {
+            let mut h = nspval::Hash::new();
+            h.set("A", Value::Bool(nspval::BoolMatrix::row(vec![true, false])));
+            h.set(
+                "B",
+                Value::list(vec![Value::string("foo"), Value::Real(nspval::Matrix::range(1.0, 4.0))]),
+            );
+            let hv = Value::Hash(h);
+            if c.rank() == 0 {
+                let p = c.pack(&hv);
+                c.send(p.bytes(), 1, 4).unwrap();
+                true
+            } else {
+                let st = c.probe(-1, -1).unwrap();
+                let mut b = MpiBuf::with_capacity(st.count());
+                c.recv_into(&mut b, 0, 4).unwrap();
+                let h1 = c.unpack(&b).unwrap();
+                h1.equal(&hv)
+            }
+        });
+        assert!(out[1]);
+    }
+
+    #[test]
+    fn invalid_rank_and_tag_rejected() {
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                assert!(matches!(c.send(&[1], 5, 0), Err(MpiError::InvalidRank(5))));
+                assert!(matches!(c.send(&[1], -2, 0), Err(MpiError::InvalidRank(-2))));
+                assert!(matches!(c.send(&[1], 1, -3), Err(MpiError::InvalidTag(-3))));
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_synchronises() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        COUNTER.store(0, Ordering::SeqCst);
+        let out = World::run(4, |c| {
+            COUNTER.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // After the barrier every rank must see all 4 increments.
+            COUNTER.load(Ordering::SeqCst)
+        });
+        assert_eq!(out, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn barrier_reusable() {
+        let out = World::run(3, |c| {
+            for _ in 0..5 {
+                c.barrier();
+            }
+            c.rank()
+        });
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bcast_from_root() {
+        let out = World::run(3, |c| {
+            let v = if c.rank() == 1 {
+                Some(Value::string("params"))
+            } else {
+                None
+            };
+            c.bcast(v.as_ref(), 1).unwrap().as_str().unwrap().to_string()
+        });
+        assert_eq!(out, vec!["params", "params", "params"]);
+    }
+
+    #[test]
+    fn reduce_sum_to_root() {
+        let out = World::run(4, |c| c.reduce_sum(c.rank() as f64 + 1.0, 0).unwrap());
+        assert_eq!(out[0], Some(10.0));
+        assert_eq!(out[1], None);
+    }
+
+    #[test]
+    fn wtime_monotone() {
+        World::run(1, |c| {
+            let a = c.wtime();
+            let b = c.wtime();
+            assert!(b >= a);
+        });
+    }
+}

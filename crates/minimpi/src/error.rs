@@ -1,0 +1,55 @@
+//! Error type for message-passing operations.
+
+use std::fmt;
+
+/// Failures surfaced by the message-passing layer.
+#[derive(Debug)]
+pub enum MpiError {
+    /// Destination or probed rank outside the communicator.
+    InvalidRank(i32),
+    /// User tags must be non-negative (negative tags are reserved for
+    /// wildcards and internal collectives).
+    InvalidTag(i32),
+    /// A receive buffer was smaller than the matched message
+    /// (MPI_ERR_TRUNCATE).
+    /// Receive buffer smaller than the matched message (MPI_ERR_TRUNCATE).
+    Truncated {
+        /// Size of the matched message in bytes.
+        needed: usize,
+        /// Capacity of the supplied buffer.
+        capacity: usize,
+    },
+    /// The payload failed to decode as a serialized value.
+    Decode(xdrser::XdrError),
+    /// The communicator was torn down while blocked (a peer panicked).
+    Disconnected,
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::InvalidRank(r) => write!(f, "invalid rank {r}"),
+            MpiError::InvalidTag(t) => write!(f, "invalid tag {t}"),
+            MpiError::Truncated { needed, capacity } => {
+                write!(f, "message truncated: {needed} bytes into {capacity}-byte buffer")
+            }
+            MpiError::Decode(e) => write!(f, "object decode failed: {e}"),
+            MpiError::Disconnected => write!(f, "communicator torn down"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MpiError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<xdrser::XdrError> for MpiError {
+    fn from(e: xdrser::XdrError) -> Self {
+        MpiError::Decode(e)
+    }
+}

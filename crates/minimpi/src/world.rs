@@ -1,0 +1,206 @@
+//! Launching rank groups: the static `MPI_COMM_WORLD` style entry point and
+//! the dynamic `NSP_spawn` (MPI_Comm_spawn + MPI_Intercomm_merge) path.
+
+use crate::comm::{Comm, Group};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::thread;
+
+/// Entry points for creating communicator groups.
+pub struct World;
+
+impl World {
+    /// Run `f` on `size` ranks (threads); rank `i` receives a [`Comm`] with
+    /// `rank() == i` and `size() == size`. Blocks until every rank
+    /// finishes and returns their results in rank order.
+    ///
+    /// This is the `mpirun -np size` entry point: Fig. 4's
+    /// `MPI_Init(); MPI_COMM_WORLD = mpicomm_create('WORLD')` preamble maps
+    /// to simply receiving the `Comm`.
+    ///
+    /// If any rank panics, the group is poisoned so blocked peers fail
+    /// with [`crate::MpiError::Disconnected`] instead of deadlocking, and
+    /// the first panic is propagated to the caller.
+    pub fn run<T, F>(size: usize, f: F) -> Vec<T>
+    where
+        F: Fn(Comm) -> T + Send + Sync,
+        T: Send,
+    {
+        assert!(size >= 1, "world needs at least one rank");
+        let group = Group::new(size);
+        let results: Vec<Mutex<Option<T>>> = (0..size).map(|_| Mutex::new(None)).collect();
+        let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+        thread::scope(|scope| {
+            for rank in 0..size {
+                let comm = Comm::new(group.clone(), rank);
+                let f = &f;
+                let results = &results;
+                let group = &group;
+                let panic_slot = &panic_slot;
+                scope.spawn(move || {
+                    match catch_unwind(AssertUnwindSafe(|| f(comm))) {
+                        Ok(v) => {
+                            *results[rank].lock().unwrap() = Some(v);
+                        }
+                        Err(p) => {
+                            // Wake everyone blocked on a recv/probe, then
+                            // record the panic for the caller.
+                            group.poison();
+                            let mut slot = panic_slot.lock().unwrap();
+                            if slot.is_none() {
+                                *slot = Some(p);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Some(p) = panic_slot.into_inner().unwrap() {
+            resume_unwind(p);
+        }
+        results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("rank produced no result"))
+            .collect()
+    }
+}
+
+/// A dynamically spawned set of child ranks merged with the caller —
+/// the result of the paper's `NEWORLD = NSP_spawn(n)` (Fig. 1):
+/// `MPI_Comm_spawn` of `n` child interpreters followed by
+/// `MPI_Intercomm_merge`, with the parent at rank 0 of the merged
+/// communicator and children at ranks 1..=n.
+pub struct SpawnedWorld {
+    comm: Option<Comm>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl SpawnedWorld {
+    /// Spawn `n_children` ranks executing `child` and merge them with the
+    /// caller. The caller keeps working with [`SpawnedWorld::comm`]
+    /// (rank 0); children get ranks `1..=n_children`.
+    pub fn spawn<F>(n_children: usize, child: F) -> SpawnedWorld
+    where
+        F: Fn(Comm) + Send + Sync + Clone + 'static,
+    {
+        assert!(n_children >= 1, "spawn needs at least one child");
+        let group = Group::new(n_children + 1);
+        let mut handles = Vec::with_capacity(n_children);
+        for rank in 1..=n_children {
+            let comm = Comm::new(group.clone(), rank);
+            let child = child.clone();
+            handles.push(thread::spawn(move || child(comm)));
+        }
+        SpawnedWorld {
+            comm: Some(Comm::new(group, 0)),
+            handles,
+        }
+    }
+
+    /// The parent's endpoint in the merged communicator (rank 0).
+    pub fn comm(&self) -> &Comm {
+        self.comm.as_ref().expect("comm taken")
+    }
+
+    /// Wait for all children to terminate. Call after telling them to stop
+    /// (e.g. the empty-name message of Fig. 4).
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        for h in self.handles.drain(..) {
+            if let Err(p) = h.join() {
+                resume_unwind(p);
+            }
+        }
+    }
+}
+
+impl Drop for SpawnedWorld {
+    fn drop(&mut self) {
+        // Poison first so children blocked in recv wake up rather than
+        // leaking; then reap them.
+        if !self.handles.is_empty() {
+            if let Some(c) = &self.comm {
+                c.group().poison();
+            }
+            for h in self.handles.drain(..) {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ANY_SOURCE;
+    use nspval::Value;
+
+    #[test]
+    fn run_returns_results_in_rank_order() {
+        let out = World::run(5, |c| c.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = World::run(1, |c| {
+            assert_eq!(c.size(), 1);
+            "done"
+        });
+        assert_eq!(out, vec!["done"]);
+    }
+
+    #[test]
+    fn panic_in_one_rank_propagates_without_deadlock() {
+        let r = std::panic::catch_unwind(|| {
+            World::run(2, |c| {
+                if c.rank() == 1 {
+                    panic!("rank 1 died");
+                }
+                // Rank 0 blocks forever unless poisoning wakes it.
+                let _ = c.recv(ANY_SOURCE, crate::ANY_TAG);
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn spawned_world_like_fig1() {
+        // NEWORLD = NSP_spawn(3); children echo their rank to the master.
+        let spawned = SpawnedWorld::spawn(3, |c: crate::Comm| {
+            // Child: wait for a ping, reply with rank.
+            let (_, st) = c.recv(0, 1).unwrap();
+            c.send_obj(&Value::scalar(c.rank() as f64), st.src as i32, 2)
+                .unwrap();
+        });
+        let master = spawned.comm();
+        assert_eq!(master.rank(), 0);
+        assert_eq!(master.size(), 4);
+        for child in 1..=3 {
+            master.send(&[], child, 1).unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            let (v, _) = master.recv_obj(ANY_SOURCE, 2).unwrap();
+            got.push(v.as_scalar().unwrap() as usize);
+        }
+        got.sort();
+        assert_eq!(got, vec![1, 2, 3]);
+        spawned.join();
+    }
+
+    #[test]
+    fn spawned_world_drop_does_not_hang() {
+        // Children blocked in recv; dropping the SpawnedWorld must poison
+        // and reap them without deadlock.
+        let spawned = SpawnedWorld::spawn(2, |c: crate::Comm| {
+            let _ = c.recv(0, 1); // will fail with Disconnected on drop
+        });
+        drop(spawned);
+    }
+}

@@ -1,0 +1,1733 @@
+//! The tree-walking evaluator and builtin/toolbox dispatch.
+
+use crate::ast::{Arg, BinOp, Expr, FuncDef, Stmt, Target, UnOp};
+use crate::parser::parse_program;
+use crate::toolbox::PremiaObj;
+use minimpi::{Comm, MpiBuf};
+use nspval::{BoolMatrix, Hash, List, Matrix, StrMatrix, Value};
+use pricing::{MethodSpec, ModelSpec, OptionSpec, PremiaProblem};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Interpreter runtime error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NspError {
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl NspError {
+    /// Build an error from any message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        NspError {
+            message: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for NspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nsp error: {}", self.message)
+    }
+}
+
+impl std::error::Error for NspError {}
+
+impl From<crate::parser::ParseError> for NspError {
+    fn from(e: crate::parser::ParseError) -> Self {
+        NspError::new(e.to_string())
+    }
+}
+
+type R<T> = Result<T, NspError>;
+
+fn err<T>(msg: impl Into<String>) -> R<T> {
+    Err(NspError::new(msg))
+}
+
+/// An interpreter value: plain Nsp data, or a toolbox object.
+#[derive(Debug, Clone)]
+pub enum NValue {
+    /// Any `nspval` value.
+    V(Value),
+    /// A mutable `PremiaModel` instance (reference semantics, like Nsp
+    /// objects).
+    Premia(Rc<RefCell<PremiaObj>>),
+    /// An MPI receive buffer (`mpibuf_create`).
+    Buf(Rc<RefCell<MpiBuf>>),
+}
+
+impl NValue {
+    /// A 1×1 real value.
+    pub fn scalar(x: f64) -> Self {
+        NValue::V(Value::scalar(x))
+    }
+
+    /// A 1×1 string value.
+    pub fn string(s: impl Into<String>) -> Self {
+        NValue::V(Value::string(s.into()))
+    }
+
+    /// A 1×1 boolean value.
+    pub fn boolean(b: bool) -> Self {
+        NValue::V(Value::boolean(b))
+    }
+
+    /// The scalar content, if this is a 1×1 real value.
+    pub fn as_scalar(&self) -> Option<f64> {
+        match self {
+            NValue::V(v) => v.as_scalar(),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a 1×1 string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            NValue::V(v) => v.as_str(),
+            _ => None,
+        }
+    }
+
+    /// Convert to a plain `Value` for serialization / MPI transmission.
+    /// Premia objects encode as their `PremiaModel` hash.
+    pub fn to_value(&self) -> R<Value> {
+        match self {
+            NValue::V(v) => Ok(v.clone()),
+            NValue::Premia(p) => {
+                let problem = p.borrow().to_problem().map_err(NspError::new)?;
+                Ok(problem.to_value())
+            }
+            NValue::Buf(_) => err("mpibuf objects cannot be serialized"),
+        }
+    }
+
+    /// Wrap a decoded value: `PremiaModel` hashes come back to life as
+    /// Premia objects (this is what makes `P = unserialize(...);
+    /// P.compute[]` work on the slave).
+    pub fn wrap(v: Value) -> NValue {
+        if let Some(h) = v.as_hash() {
+            if h.get("class").and_then(|c| c.as_str()) == Some("PremiaModel") {
+                if let Ok(problem) = PremiaProblem::from_value(&v) {
+                    return NValue::Premia(Rc::new(RefCell::new(PremiaObj::from_problem(
+                        problem,
+                    ))));
+                }
+            }
+        }
+        NValue::V(v)
+    }
+
+    fn truthy(&self) -> R<bool> {
+        match self {
+            NValue::V(v) => Ok(v.truthy()),
+            _ => err("object is not a condition"),
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            NValue::V(Value::Real(_)) => "real matrix",
+            NValue::V(Value::Bool(_)) => "boolean",
+            NValue::V(Value::Str(_)) => "string",
+            NValue::V(Value::List(_)) => "list",
+            NValue::V(Value::Hash(_)) => "hash",
+            NValue::V(Value::Serial(_)) => "serial",
+            NValue::V(Value::None) => "none",
+            NValue::Premia(_) => "PremiaModel",
+            NValue::Buf(_) => "mpibuf",
+        }
+    }
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return,
+}
+
+/// The interpreter: global scope, user functions, optional MPI binding,
+/// captured output (`disp`).
+pub struct Interp {
+    scopes: Vec<HashMap<String, NValue>>,
+    funcs: HashMap<String, Rc<FuncDef>>,
+    comm: Option<Rc<Comm>>,
+    /// Lines printed by `disp`/`print` (inspectable in tests; also echoed
+    /// to stdout when `echo` is set).
+    pub output: Vec<String>,
+    /// Echo `disp` output to stdout as well as capturing it.
+    pub echo: bool,
+    rng_state: u64,
+}
+
+impl Default for Interp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interp {
+    /// A fresh interpreter with no MPI binding.
+    pub fn new() -> Self {
+        Interp {
+            scopes: vec![HashMap::new()],
+            funcs: HashMap::new(),
+            comm: None,
+            output: Vec::new(),
+            echo: false,
+            rng_state: 0x5EED0F55,
+        }
+    }
+
+    /// Bind a live MPI communicator: `MPI_Comm_rank` etc. operate on it.
+    pub fn with_comm(comm: Rc<Comm>) -> Self {
+        let mut i = Interp::new();
+        i.comm = Some(comm);
+        i
+    }
+
+    /// Parse and execute a script.
+    pub fn run(&mut self, src: &str) -> R<()> {
+        let prog = parse_program(src)?;
+        match self.exec_block(&prog)? {
+            Flow::Normal | Flow::Return => Ok(()),
+            Flow::Break => err("break outside loop"),
+            Flow::Continue => err("continue outside loop"),
+        }
+    }
+
+    /// Look up a variable (any scope, innermost first).
+    pub fn get(&self, name: &str) -> Option<&NValue> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    /// Convenience for tests: variable as plain `Value`.
+    pub fn get_value(&self, name: &str) -> Option<Value> {
+        self.get(name).and_then(|v| v.to_value().ok())
+    }
+
+    /// Bind `name` in the current scope.
+    pub fn set(&mut self, name: &str, v: NValue) {
+        self.scopes
+            .last_mut()
+            .expect("at least the global scope")
+            .insert(name.to_string(), v);
+    }
+
+    fn comm(&self) -> R<&Comm> {
+        match &self.comm {
+            Some(c) => Ok(c),
+            None => err("no MPI communicator bound to this interpreter"),
+        }
+    }
+
+    fn rand(&mut self) -> f64 {
+        // SplitMix64, interpreter-local.
+        self.rng_state = self.rng_state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    // ---- statements ---------------------------------------------------------
+
+    fn exec_block(&mut self, stmts: &[Stmt]) -> R<Flow> {
+        for s in stmts {
+            match self.exec_stmt(s)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt) -> R<Flow> {
+        match stmt {
+            Stmt::Expr(e) => {
+                self.eval(e)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign(targets, rhs) => {
+                if targets.len() == 1 {
+                    let v = self.eval(rhs)?;
+                    self.assign(&targets[0], v)?;
+                } else {
+                    // Multi-assignment needs a multi-valued call.
+                    let vals = self.eval_multi(rhs, targets.len())?;
+                    if vals.len() < targets.len() {
+                        return err(format!(
+                            "expected {} return values, got {}",
+                            targets.len(),
+                            vals.len()
+                        ));
+                    }
+                    for (t, v) in targets.iter().zip(vals) {
+                        self.assign(t, v)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::If { arms, else_body } => {
+                for (cond, body) in arms {
+                    if self.eval(cond)?.truthy()? {
+                        return self.exec_block(body);
+                    }
+                }
+                self.exec_block(else_body)
+            }
+            Stmt::While { cond, body } => {
+                while self.eval(cond)?.truthy()? {
+                    match self.exec_block(body)? {
+                        Flow::Break => break,
+                        Flow::Return => return Ok(Flow::Return),
+                        _ => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For { var, iter, body } => {
+                let items = self.for_items(iter)?;
+                for item in items {
+                    self.set(var, item);
+                    match self.exec_block(body)? {
+                        Flow::Break => break,
+                        Flow::Return => return Ok(Flow::Return),
+                        _ => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+            Stmt::Return => Ok(Flow::Return),
+            Stmt::FuncDef(f) => {
+                self.funcs.insert(f.name.clone(), Rc::new(f.clone()));
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn for_items(&mut self, iter: &Expr) -> R<Vec<NValue>> {
+        let v = self.eval(iter)?;
+        match v {
+            NValue::V(Value::List(l)) => Ok(l.into_iter().map(NValue::wrap).collect()),
+            NValue::V(Value::Real(m)) => {
+                if m.rows() <= 1 || m.cols() == 1 {
+                    Ok(m.data().iter().map(|&x| NValue::scalar(x)).collect())
+                } else {
+                    // Iterate columns as column vectors (Matlab semantics).
+                    let mut cols = Vec::with_capacity(m.cols());
+                    for c in 0..m.cols() {
+                        let col: Vec<f64> = (0..m.rows()).map(|r| m.get(r, c)).collect();
+                        cols.push(NValue::V(Value::Real(Matrix::col(col))));
+                    }
+                    Ok(cols)
+                }
+            }
+            NValue::V(Value::Str(s)) => Ok(s
+                .data()
+                .iter()
+                .map(|x| NValue::string(x.clone()))
+                .collect()),
+            other => err(format!("cannot iterate over {}", other.type_name())),
+        }
+    }
+
+    fn assign(&mut self, target: &Target, v: NValue) -> R<()> {
+        match target {
+            Target::Ident(name) => {
+                // Assignments always bind in the current scope: function
+                // bodies cannot mutate globals (Nsp/Matlab semantics) —
+                // they can only read them.
+                self.set(name, v);
+                Ok(())
+            }
+            Target::Index(name, args) => {
+                let idx_vals: Vec<NValue> = args
+                    .iter()
+                    .map(|a| match a {
+                        Arg::Pos(e) => self.eval(e),
+                        Arg::Kw(_, _) => err("keyword in index"),
+                    })
+                    .collect::<R<Vec<_>>>()?;
+                let current = self
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| NspError::new(format!("undefined variable {name}")))?;
+                let updated = self.index_assign(current, &idx_vals, v)?;
+                self.assign(&Target::Ident(name.clone()), updated)
+            }
+            Target::Field(base, field) => match base.as_ref() {
+                Target::Ident(name) => {
+                    let mut hash = match self.get(name) {
+                        Some(NValue::V(Value::Hash(h))) => h.clone(),
+                        None => Hash::new(), // auto-create, like Nsp's H.A = ...
+                        Some(other) => {
+                            return err(format!(
+                                "cannot set field on {}",
+                                other.type_name()
+                            ))
+                        }
+                    };
+                    hash.set(field, v.to_value()?);
+                    self.assign(&Target::Ident(name.clone()), NValue::V(Value::Hash(hash)))
+                }
+                _ => err("nested field assignment not supported"),
+            },
+        }
+    }
+
+    fn index_assign(&mut self, current: NValue, idx: &[NValue], v: NValue) -> R<NValue> {
+        match current {
+            NValue::V(Value::List(mut l)) => {
+                if idx.len() != 1 {
+                    return err("lists take one index");
+                }
+                // Range deletion: Lpb(1:k) = []
+                if let NValue::V(Value::Real(m)) = &idx[0] {
+                    if m.len() > 1 {
+                        if let NValue::V(val) = &v {
+                            if val.is_empty_matrix() {
+                                let mut positions: Vec<usize> = m
+                                    .data()
+                                    .iter()
+                                    .map(|&x| x as usize)
+                                    .collect();
+                                positions.sort_unstable();
+                                positions.dedup();
+                                for p in positions.into_iter().rev() {
+                                    if p >= 1 && p <= l.len() {
+                                        l.remove_range(p - 1, 1);
+                                    }
+                                }
+                                return Ok(NValue::V(Value::List(l)));
+                            }
+                        }
+                        return err("list range assignment only supports deletion with []");
+                    }
+                }
+                let i = idx[0]
+                    .as_scalar()
+                    .ok_or_else(|| NspError::new("list index must be a scalar"))? as usize;
+                if i < 1 {
+                    return err("list indices are 1-based");
+                }
+                // Deletion of a single element.
+                if let NValue::V(val) = &v {
+                    if val.is_empty_matrix() && i <= l.len() {
+                        l.remove_range(i - 1, 1);
+                        return Ok(NValue::V(Value::List(l)));
+                    }
+                }
+                while l.len() < i {
+                    l.add_last(Value::None);
+                }
+                *l.get_mut(i - 1).expect("extended above") = v.to_value()?;
+                Ok(NValue::V(Value::List(l)))
+            }
+            NValue::V(Value::Real(mut m)) => {
+                let x = v
+                    .as_scalar()
+                    .ok_or_else(|| NspError::new("matrix assignment needs a scalar"))?;
+                match idx.len() {
+                    1 => {
+                        let i = idx[0]
+                            .as_scalar()
+                            .ok_or_else(|| NspError::new("index must be scalar"))?
+                            as usize;
+                        if i < 1 || i > m.len() {
+                            return err(format!("index {i} out of bounds"));
+                        }
+                        m.data_mut()[i - 1] = x;
+                    }
+                    2 => {
+                        let r = idx[0].as_scalar().unwrap_or(0.0) as usize;
+                        let c = idx[1].as_scalar().unwrap_or(0.0) as usize;
+                        if r < 1 || c < 1 || r > m.rows() || c > m.cols() {
+                            return err("matrix index out of bounds");
+                        }
+                        m.set(r - 1, c - 1, x);
+                    }
+                    _ => return err("matrices take 1 or 2 indices"),
+                }
+                Ok(NValue::V(Value::Real(m)))
+            }
+            other => err(format!("cannot index-assign into {}", other.type_name())),
+        }
+    }
+
+    // ---- expressions ---------------------------------------------------------
+
+    fn eval(&mut self, e: &Expr) -> R<NValue> {
+        Ok(self.eval_multi(e, 1)?.remove(0))
+    }
+
+    /// Evaluate an expression that may produce multiple values (function
+    /// calls with several outputs).
+    fn eval_multi(&mut self, e: &Expr, want: usize) -> R<Vec<NValue>> {
+        match e {
+            Expr::Num(v) => Ok(vec![NValue::scalar(*v)]),
+            Expr::Str(s) => Ok(vec![NValue::string(s.clone())]),
+            Expr::Bool(b) => Ok(vec![NValue::boolean(*b)]),
+            Expr::Ident(name) => {
+                if let Some(v) = self.get(name) {
+                    Ok(vec![v.clone()])
+                } else if self.funcs.contains_key(name) || is_builtin(name) {
+                    // Zero-argument call: `premia_create` style is written
+                    // with parens in practice, but allow bare too.
+                    self.call(name, Vec::new(), Vec::new(), want)
+                } else {
+                    err(format!("undefined variable {name}"))
+                }
+            }
+            Expr::Matrix(rows) => Ok(vec![self.eval_matrix(rows)?]),
+            Expr::Range(lo, step, hi) => {
+                let lo = self
+                    .eval(lo)?
+                    .as_scalar()
+                    .ok_or_else(|| NspError::new("range bound must be scalar"))?;
+                let hi = self
+                    .eval(hi)?
+                    .as_scalar()
+                    .ok_or_else(|| NspError::new("range bound must be scalar"))?;
+                let step = match step {
+                    Some(s) => self
+                        .eval(s)?
+                        .as_scalar()
+                        .ok_or_else(|| NspError::new("range step must be scalar"))?,
+                    None => 1.0,
+                };
+                if step == 0.0 {
+                    return err("range step cannot be zero");
+                }
+                let mut data = Vec::new();
+                let mut x = lo;
+                if step > 0.0 {
+                    while x <= hi + 1e-12 {
+                        data.push(x);
+                        x += step;
+                    }
+                } else {
+                    while x >= hi - 1e-12 {
+                        data.push(x);
+                        x += step;
+                    }
+                }
+                Ok(vec![NValue::V(Value::Real(Matrix::row(data)))])
+            }
+            Expr::Unary(op, inner) => {
+                let v = self.eval(inner)?;
+                Ok(vec![self.unary(*op, v)?])
+            }
+            Expr::Binary(op, a, b) => {
+                let va = self.eval(a)?;
+                let vb = self.eval(b)?;
+                Ok(vec![self.binary(*op, va, vb)?])
+            }
+            Expr::Apply(callee, args) => match callee.as_ref() {
+                Expr::Ident(name) => {
+                    if self.get(name).is_some() {
+                        // Indexing a variable.
+                        let base = self.get(name).cloned().expect("checked");
+                        let idx = self.eval_pos_args(args)?;
+                        Ok(vec![self.index(base, &idx)?])
+                    } else {
+                        let (pos, kw) = self.eval_args(args)?;
+                        self.call(name, pos, kw, want)
+                    }
+                }
+                other => {
+                    // Index the result of an arbitrary expression:
+                    // L(1)(3) etc.
+                    let base = self.eval(other)?;
+                    let idx = self.eval_pos_args(args)?;
+                    Ok(vec![self.index(base, &idx)?])
+                }
+            },
+            Expr::Field(base, name) => {
+                let b = self.eval(base)?;
+                Ok(vec![self.field(&b, name)?])
+            }
+            Expr::MethodCall(base, name, args) => {
+                let b = self.eval(base)?;
+                let (pos, kw) = self.eval_args(args)?;
+                let result = self.method(b, name, pos, kw)?;
+                // Value-semantics mutating methods (add_last) return the
+                // updated container; write it back when the receiver is a
+                // plain variable so `res.add_last[...]` behaves like Nsp.
+                if name == "add_last" {
+                    if let Expr::Ident(var) = base.as_ref() {
+                        self.assign(&Target::Ident(var.clone()), result[0].clone())?;
+                    }
+                }
+                Ok(result)
+            }
+            Expr::Transpose(inner) => {
+                let v = self.eval(inner)?;
+                Ok(vec![self.transpose(v)?])
+            }
+        }
+    }
+
+    fn eval_matrix(&mut self, rows: &[Vec<Expr>]) -> R<NValue> {
+        if rows.is_empty() {
+            return Ok(NValue::V(Value::empty_matrix()));
+        }
+        // Evaluate entries; support horizontal concatenation of row
+        // vectors/scalars within a row, and string rows.
+        let mut all_rows: Vec<Vec<f64>> = Vec::new();
+        let mut strings: Vec<String> = Vec::new();
+        let mut is_string = false;
+        for row in rows {
+            let mut data = Vec::new();
+            for e in row {
+                match self.eval(e)? {
+                    NValue::V(Value::Real(m)) => data.extend_from_slice(m.data()),
+                    NValue::V(Value::Str(s)) => {
+                        is_string = true;
+                        strings.extend(s.data().iter().cloned());
+                    }
+                    NValue::V(Value::Bool(b)) => {
+                        data.extend(b.data().iter().map(|&x| x as u8 as f64))
+                    }
+                    other => {
+                        return err(format!(
+                            "matrix entries must be numeric, got {}",
+                            other.type_name()
+                        ))
+                    }
+                }
+            }
+            all_rows.push(data);
+        }
+        if is_string {
+            // A string row vector like ["-name", "nsp-child"].
+            return Ok(NValue::V(Value::Str(StrMatrix::row(strings))));
+        }
+        let cols = all_rows[0].len();
+        if all_rows.iter().any(|r| r.len() != cols) {
+            return err("ragged matrix literal");
+        }
+        let rows_n = all_rows.len();
+        let mut data = vec![0.0; rows_n * cols];
+        for (r, row) in all_rows.iter().enumerate() {
+            for (c, &x) in row.iter().enumerate() {
+                data[c * rows_n + r] = x;
+            }
+        }
+        Ok(NValue::V(Value::Real(Matrix::from_col_major(
+            rows_n, cols, data,
+        ))))
+    }
+
+    fn eval_pos_args(&mut self, args: &[Arg]) -> R<Vec<NValue>> {
+        args.iter()
+            .map(|a| match a {
+                Arg::Pos(e) => self.eval(e),
+                Arg::Kw(_, _) => err("unexpected keyword argument"),
+            })
+            .collect()
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn eval_args(&mut self, args: &[Arg]) -> R<(Vec<NValue>, Vec<(String, NValue)>)> {
+        let mut pos = Vec::new();
+        let mut kw = Vec::new();
+        for a in args {
+            match a {
+                Arg::Pos(e) => pos.push(self.eval(e)?),
+                Arg::Kw(name, e) => kw.push((name.clone(), self.eval(e)?)),
+            }
+        }
+        Ok((pos, kw))
+    }
+
+    fn unary(&mut self, op: UnOp, v: NValue) -> R<NValue> {
+        match (op, v) {
+            (UnOp::Neg, NValue::V(Value::Real(m))) => {
+                let data = m.data().iter().map(|x| -x).collect();
+                Ok(NValue::V(Value::Real(Matrix::from_col_major(
+                    m.rows(),
+                    m.cols(),
+                    data,
+                ))))
+            }
+            (UnOp::Not, NValue::V(Value::Bool(b))) => {
+                let data = b.data().iter().map(|x| !x).collect();
+                Ok(NValue::V(Value::Bool(BoolMatrix::from_col_major(
+                    b.rows(),
+                    b.cols(),
+                    data,
+                ))))
+            }
+            (op, v) => err(format!("cannot apply {op:?} to {}", v.type_name())),
+        }
+    }
+
+    fn binary(&mut self, op: BinOp, a: NValue, b: NValue) -> R<NValue> {
+        use BinOp::*;
+        // String concatenation and comparison.
+        if let (Some(x), Some(y)) = (a.as_str(), b.as_str()) {
+            return match op {
+                Add => Ok(NValue::string(format!("{x}{y}"))),
+                Eq => Ok(NValue::boolean(x == y)),
+                Ne => Ok(NValue::boolean(x != y)),
+                _ => err(format!("cannot apply {op:?} to strings")),
+            };
+        }
+        // Boolean logic.
+        if let (NValue::V(Value::Bool(x)), NValue::V(Value::Bool(y))) = (&a, &b) {
+            if matches!(op, And | Or | Eq | Ne) {
+                let xa = x.all();
+                let ya = y.all();
+                return Ok(NValue::boolean(match op {
+                    And => xa && ya,
+                    Or => xa || ya,
+                    Eq => xa == ya,
+                    Ne => xa != ya,
+                    _ => unreachable!(),
+                }));
+            }
+        }
+        // Numeric (scalar/matrix, elementwise with scalar broadcast).
+        if let (NValue::V(Value::Real(ma)), NValue::V(Value::Real(mb))) = (&a, &b) {
+            return numeric_binop(op, ma, mb);
+        }
+        // Equality of anything else.
+        if matches!(op, Eq | Ne) {
+            let va = a.to_value()?;
+            let vb = b.to_value()?;
+            let equal = va.equal(&vb);
+            return Ok(NValue::boolean(if op == Eq { equal } else { !equal }));
+        }
+        err(format!(
+            "cannot apply {op:?} to {} and {}",
+            a.type_name(),
+            b.type_name()
+        ))
+    }
+
+    fn transpose(&mut self, v: NValue) -> R<NValue> {
+        match v {
+            NValue::V(Value::Real(m)) => {
+                let mut t = Matrix::zeros(m.cols(), m.rows());
+                for r in 0..m.rows() {
+                    for c in 0..m.cols() {
+                        t.set(c, r, m.get(r, c));
+                    }
+                }
+                Ok(NValue::V(Value::Real(t)))
+            }
+            // Transposing a list is the identity — Fig. 4 iterates
+            // `Lpb(1:k)'`.
+            NValue::V(Value::List(l)) => Ok(NValue::V(Value::List(l))),
+            other => err(format!("cannot transpose {}", other.type_name())),
+        }
+    }
+
+    fn index(&mut self, base: NValue, idx: &[NValue]) -> R<NValue> {
+        match base {
+            NValue::V(Value::List(l)) => {
+                if idx.len() != 1 {
+                    return err("lists take one index");
+                }
+                match &idx[0] {
+                    NValue::V(Value::Real(m)) if m.len() == 1 => {
+                        let i = m.get_linear(0) as usize;
+                        if i < 1 || i > l.len() {
+                            return err(format!("list index {i} out of bounds ({})", l.len()));
+                        }
+                        Ok(NValue::wrap(l.get(i - 1).expect("bounds checked").clone()))
+                    }
+                    NValue::V(Value::Real(m)) => {
+                        // Sublist selection: L(1:k).
+                        let mut out = List::new();
+                        for &x in m.data() {
+                            let i = x as usize;
+                            if i < 1 || i > l.len() {
+                                return err(format!("list index {i} out of bounds"));
+                            }
+                            out.add_last(l.get(i - 1).expect("bounds checked").clone());
+                        }
+                        Ok(NValue::V(Value::List(out)))
+                    }
+                    other => err(format!("bad list index: {}", other.type_name())),
+                }
+            }
+            NValue::V(Value::Real(m)) => match idx.len() {
+                1 => match &idx[0] {
+                    NValue::V(Value::Real(im)) if im.len() == 1 => {
+                        let i = im.get_linear(0) as usize;
+                        if i < 1 || i > m.len() {
+                            return err(format!("index {i} out of bounds"));
+                        }
+                        Ok(NValue::scalar(m.get_linear(i - 1)))
+                    }
+                    NValue::V(Value::Real(im)) => {
+                        let mut data = Vec::with_capacity(im.len());
+                        for &x in im.data() {
+                            let i = x as usize;
+                            if i < 1 || i > m.len() {
+                                return err(format!("index {i} out of bounds"));
+                            }
+                            data.push(m.get_linear(i - 1));
+                        }
+                        Ok(NValue::V(Value::Real(Matrix::row(data))))
+                    }
+                    other => err(format!("bad matrix index: {}", other.type_name())),
+                },
+                2 => {
+                    let r = idx[0]
+                        .as_scalar()
+                        .ok_or_else(|| NspError::new("row index must be scalar"))?
+                        as usize;
+                    let c = idx[1]
+                        .as_scalar()
+                        .ok_or_else(|| NspError::new("col index must be scalar"))?
+                        as usize;
+                    if r < 1 || c < 1 || r > m.rows() || c > m.cols() {
+                        return err("matrix index out of bounds");
+                    }
+                    Ok(NValue::scalar(m.get(r - 1, c - 1)))
+                }
+                _ => err("matrices take 1 or 2 indices"),
+            },
+            NValue::V(Value::Hash(h)) => {
+                if idx.len() == 1 {
+                    if let Some(key) = idx[0].as_str() {
+                        return match h.get(key) {
+                            Some(v) => Ok(NValue::wrap(v.clone())),
+                            None => err(format!("hash has no key {key}")),
+                        };
+                    }
+                }
+                err("hash indices are strings")
+            }
+            other => err(format!("cannot index {}", other.type_name())),
+        }
+    }
+
+    fn field(&mut self, base: &NValue, name: &str) -> R<NValue> {
+        match base {
+            NValue::V(Value::Hash(h)) => match h.get(name) {
+                Some(v) => Ok(NValue::wrap(v.clone())),
+                None => err(format!("hash has no field {name}")),
+            },
+            other => err(format!("{} has no fields", other.type_name())),
+        }
+    }
+
+    // ---- calls ---------------------------------------------------------------
+
+    fn call(
+        &mut self,
+        name: &str,
+        pos: Vec<NValue>,
+        kw: Vec<(String, NValue)>,
+        want: usize,
+    ) -> R<Vec<NValue>> {
+        if let Some(f) = self.funcs.get(name).cloned() {
+            return self.call_user(&f, pos, want);
+        }
+        self.call_builtin(name, pos, kw, want)
+    }
+
+    fn call_user(&mut self, f: &FuncDef, args: Vec<NValue>, want: usize) -> R<Vec<NValue>> {
+        if args.len() > f.params.len() {
+            return err(format!(
+                "{} takes {} arguments, got {}",
+                f.name,
+                f.params.len(),
+                args.len()
+            ));
+        }
+        let mut scope = HashMap::new();
+        for (p, a) in f.params.iter().zip(args) {
+            scope.insert(p.clone(), a);
+        }
+        self.scopes.push(scope);
+        let flow = self.exec_block(&f.body);
+        let scope = self.scopes.pop().expect("pushed above");
+        flow?;
+        let mut outs = Vec::new();
+        for o in f.outs.iter().take(want.max(1).min(f.outs.len().max(1))) {
+            match scope.get(o) {
+                Some(v) => outs.push(v.clone()),
+                None => {
+                    return err(format!(
+                        "function {} did not set output {o}",
+                        f.name
+                    ))
+                }
+            }
+        }
+        if outs.is_empty() {
+            outs.push(NValue::V(Value::None));
+        }
+        Ok(outs)
+    }
+
+    fn call_builtin(
+        &mut self,
+        name: &str,
+        mut pos: Vec<NValue>,
+        kw: Vec<(String, NValue)>,
+        _want: usize,
+    ) -> R<Vec<NValue>> {
+        let one = |v: NValue| Ok(vec![v]);
+        let need_scalar = |v: &NValue, what: &str| -> R<f64> {
+            v.as_scalar()
+                .ok_or_else(|| NspError::new(format!("{what} must be a scalar")))
+        };
+        let need_str = |v: &NValue, what: &str| -> R<String> {
+            v.as_str()
+                .map(|s| s.to_string())
+                .ok_or_else(|| NspError::new(format!("{what} must be a string")))
+        };
+        match name {
+            // ---- core -------------------------------------------------------
+            "list" => {
+                let mut l = List::new();
+                for v in pos {
+                    l.add_last(v.to_value()?);
+                }
+                one(NValue::V(Value::List(l)))
+            }
+            "hash_create" => {
+                let mut h = Hash::new();
+                for (k, v) in kw {
+                    h.set(&k, v.to_value()?);
+                }
+                one(NValue::V(Value::Hash(h)))
+            }
+            "rand" => {
+                let (r, c) = match pos.len() {
+                    0 => (1, 1),
+                    1 => {
+                        let n = need_scalar(&pos[0], "rand size")? as usize;
+                        (n, n)
+                    }
+                    _ => (
+                        need_scalar(&pos[0], "rand rows")? as usize,
+                        need_scalar(&pos[1], "rand cols")? as usize,
+                    ),
+                };
+                let data: Vec<f64> = (0..r * c).map(|_| self.rand()).collect();
+                one(NValue::V(Value::Real(Matrix::from_col_major(r, c, data))))
+            }
+            "size" => {
+                let v = pos
+                    .first()
+                    .ok_or_else(|| NspError::new("size needs an argument"))?;
+                let star = pos.get(1).and_then(|a| a.as_str()) == Some("*");
+                match v {
+                    NValue::V(Value::List(l)) => one(NValue::scalar(l.len() as f64)),
+                    NValue::V(Value::Real(m)) => {
+                        if star {
+                            one(NValue::scalar(m.len() as f64))
+                        } else {
+                            Ok(vec![
+                                NValue::scalar(m.rows() as f64),
+                                NValue::scalar(m.cols() as f64),
+                            ])
+                        }
+                    }
+                    NValue::V(Value::Str(s)) => {
+                        one(NValue::scalar((s.rows() * s.cols()) as f64))
+                    }
+                    other => err(format!("size of {}", other.type_name())),
+                }
+            }
+            "length" => {
+                let v = pos
+                    .first()
+                    .ok_or_else(|| NspError::new("length needs an argument"))?;
+                match v {
+                    NValue::V(Value::List(l)) => one(NValue::scalar(l.len() as f64)),
+                    NValue::V(Value::Real(m)) => one(NValue::scalar(m.len() as f64)),
+                    NValue::V(Value::Str(s)) => one(NValue::scalar(
+                        s.as_scalar().map(|x| x.chars().count()).unwrap_or(0) as f64,
+                    )),
+                    other => err(format!("length of {}", other.type_name())),
+                }
+            }
+            "floor" | "ceil" | "abs" | "sqrt" | "exp" | "log" => {
+                let x = need_scalar(
+                    pos.first()
+                        .ok_or_else(|| NspError::new(format!("{name} needs an argument")))?,
+                    name,
+                )?;
+                let y = match name {
+                    "floor" => x.floor(),
+                    "ceil" => x.ceil(),
+                    "abs" => x.abs(),
+                    "sqrt" => x.sqrt(),
+                    "exp" => x.exp(),
+                    _ => x.ln(),
+                };
+                one(NValue::scalar(y))
+            }
+            "min" | "max" => {
+                let a = need_scalar(&pos[0], name)?;
+                let b = need_scalar(&pos[1], name)?;
+                one(NValue::scalar(if name == "min" { a.min(b) } else { a.max(b) }))
+            }
+            "string" => {
+                let v = pos
+                    .first()
+                    .ok_or_else(|| NspError::new("string needs an argument"))?;
+                let s = match v {
+                    NValue::V(Value::Str(s)) => {
+                        s.as_scalar().map(|x| x.to_string()).unwrap_or_default()
+                    }
+                    NValue::V(Value::Real(m)) if m.is_scalar() => {
+                        let x = m.get(0, 0);
+                        if x.fract() == 0.0 && x.abs() < 1e15 {
+                            format!("{}", x as i64)
+                        } else {
+                            format!("{x}")
+                        }
+                    }
+                    other => format!("<{}>", other.type_name()),
+                };
+                one(NValue::string(s))
+            }
+            "disp" | "print" => {
+                let text = pos
+                    .iter()
+                    .map(|v| match v {
+                        NValue::V(val) => format!("{val}"),
+                        other => format!("<{}>", other.type_name()),
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                if self.echo {
+                    println!("{text}");
+                }
+                self.output.push(text);
+                one(NValue::V(Value::None))
+            }
+            "exec" => {
+                // Fig. 1: exec('src/loader.sce') — run a script file in
+                // the current interpreter.
+                let path = need_str(&pos[0], "exec path")?;
+                let src = std::fs::read_to_string(&path)
+                    .map_err(|e| NspError::new(format!("exec {path}: {e}")))?;
+                self.run(&src)?;
+                one(NValue::V(Value::None))
+            }
+            "getenv" => {
+                let var = need_str(&pos[0], "getenv variable")?;
+                one(NValue::string(std::env::var(&var).unwrap_or_default()))
+            }
+            "error" => {
+                let msg = pos
+                    .first()
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("error")
+                    .to_string();
+                err(msg)
+            }
+            "isempty" => {
+                let v = pos
+                    .first()
+                    .ok_or_else(|| NspError::new("isempty needs an argument"))?;
+                let empty = match v {
+                    NValue::V(Value::Real(m)) => m.is_empty(),
+                    NValue::V(Value::List(l)) => l.is_empty(),
+                    NValue::V(Value::Str(s)) => s.as_scalar() == Some(""),
+                    _ => false,
+                };
+                one(NValue::boolean(empty))
+            }
+            // ---- serialization toolbox (§3.2 / Fig. 2) ----------------------
+            "serialize" => {
+                let v = pos
+                    .first()
+                    .ok_or_else(|| NspError::new("serialize needs a value"))?;
+                one(NValue::V(Value::Serial(xdrser::serialize(&v.to_value()?))))
+            }
+            "unserialize" => {
+                let v = pos
+                    .first()
+                    .ok_or_else(|| NspError::new("unserialize needs a serial"))?;
+                match v {
+                    NValue::V(Value::Serial(s)) => {
+                        let val = xdrser::unserialize(s).map_err(|e| NspError::new(e.to_string()))?;
+                        one(NValue::wrap(val))
+                    }
+                    other => err(format!("unserialize of {}", other.type_name())),
+                }
+            }
+            "save" => {
+                let path = need_str(&pos[0], "save path")?;
+                let v = pos
+                    .get(1)
+                    .ok_or_else(|| NspError::new("save needs a value"))?;
+                xdrser::save(&path, &v.to_value()?).map_err(|e| NspError::new(e.to_string()))?;
+                one(NValue::V(Value::None))
+            }
+            "load" => {
+                let path = need_str(&pos[0], "load path")?;
+                let v = xdrser::load(&path).map_err(|e| NspError::new(e.to_string()))?;
+                one(NValue::wrap(v))
+            }
+            "sload" => {
+                let path = need_str(&pos[0], "sload path")?;
+                let s = xdrser::sload(&path).map_err(|e| NspError::new(e.to_string()))?;
+                one(NValue::V(Value::Serial(s)))
+            }
+            // ---- Premia toolbox (§3.3) ---------------------------------------
+            "premia_create" => one(NValue::Premia(Rc::new(RefCell::new(PremiaObj::new())))),
+            // ---- MPI toolbox (§3.2) -------------------------------------------
+            "MPI_Init" => one(NValue::boolean(true)),
+            "MPI_Initialized" => one(NValue::boolean(self.comm.is_some())),
+            "mpicomm_create" => {
+                let which = pos
+                    .first()
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("WORLD")
+                    .to_string();
+                one(NValue::string(format!("COMM:{which}")))
+            }
+            "mpiinfo_create" => one(NValue::string("INFO:NULL")),
+            "MPI_Comm_rank" => one(NValue::scalar(self.comm()?.rank() as f64)),
+            "MPI_Comm_size" => one(NValue::scalar(self.comm()?.size() as f64)),
+            "MPI_Send_Obj" => {
+                let v = pos
+                    .first()
+                    .ok_or_else(|| NspError::new("MPI_Send_Obj needs a value"))?
+                    .to_value()?;
+                let dest = need_scalar(&pos[1], "destination")? as i32;
+                let tag = need_scalar(&pos[2], "tag")? as i32;
+                self.comm()?
+                    .send_obj(&v, dest, tag)
+                    .map_err(|e| NspError::new(e.to_string()))?;
+                one(NValue::V(Value::None))
+            }
+            "MPI_Recv_Obj" => {
+                let src = need_scalar(&pos[0], "source")? as i32;
+                let tag = need_scalar(&pos[1], "tag")? as i32;
+                let (v, _st) = self
+                    .comm()?
+                    .recv_obj(src, tag)
+                    .map_err(|e| NspError::new(e.to_string()))?;
+                one(NValue::wrap(v))
+            }
+            "MPI_Probe" => {
+                let src = need_scalar(&pos[0], "source")? as i32;
+                let tag = need_scalar(&pos[1], "tag")? as i32;
+                let st = self
+                    .comm()?
+                    .probe(src, tag)
+                    .map_err(|e| NspError::new(e.to_string()))?;
+                one(status_value(st))
+            }
+            "MPI_Get_count" | "MPI_Get_elements" => {
+                let stat = pos
+                    .first()
+                    .ok_or_else(|| NspError::new("needs a status"))?;
+                match stat {
+                    NValue::V(Value::Hash(h)) => {
+                        let count = h
+                            .get("count")
+                            .and_then(|v| v.as_scalar())
+                            .ok_or_else(|| NspError::new("bad status object"))?;
+                        one(NValue::scalar(count))
+                    }
+                    other => err(format!("bad status: {}", other.type_name())),
+                }
+            }
+            "mpibuf_create" => {
+                let n = need_scalar(&pos[0], "buffer size")? as usize;
+                one(NValue::Buf(Rc::new(RefCell::new(MpiBuf::with_capacity(n)))))
+            }
+            "MPI_Recv" => {
+                let buf = match pos.first() {
+                    Some(NValue::Buf(b)) => Rc::clone(b),
+                    _ => return err("MPI_Recv needs an mpibuf"),
+                };
+                let src = need_scalar(&pos[1], "source")? as i32;
+                let tag = need_scalar(&pos[2], "tag")? as i32;
+                let st = self
+                    .comm()?
+                    .recv_into(&mut buf.borrow_mut(), src, tag)
+                    .map_err(|e| NspError::new(e.to_string()))?;
+                one(status_value(st))
+            }
+            "MPI_Unpack" => {
+                let buf = match pos.first() {
+                    Some(NValue::Buf(b)) => Rc::clone(b),
+                    _ => return err("MPI_Unpack needs an mpibuf"),
+                };
+                let v = self
+                    .comm()?
+                    .unpack(&buf.borrow())
+                    .map_err(|e| NspError::new(e.to_string()))?;
+                // Keep the raw value (a Serial stays a Serial), matching
+                // the Fig. 4 slave that unserializes explicitly.
+                one(NValue::V(v))
+            }
+            "MPI_Pack" => {
+                let v = pos
+                    .first()
+                    .ok_or_else(|| NspError::new("MPI_Pack needs a value"))?
+                    .to_value()?;
+                let buf = self.comm()?.pack(&v);
+                one(NValue::Buf(Rc::new(RefCell::new(buf))))
+            }
+            "MPI_Send" => {
+                let bytes: Vec<u8> = match pos.first() {
+                    Some(NValue::Buf(b)) => b.borrow().bytes().to_vec(),
+                    _ => return err("MPI_Send needs an mpibuf (use MPI_Pack first)"),
+                };
+                let dest = need_scalar(&pos[1], "destination")? as i32;
+                let tag = need_scalar(&pos[2], "tag")? as i32;
+                self.comm()?
+                    .send(&bytes, dest, tag)
+                    .map_err(|e| NspError::new(e.to_string()))?;
+                one(NValue::V(Value::None))
+            }
+            "MPI_Barrier" => {
+                self.comm()?.barrier();
+                one(NValue::V(Value::None))
+            }
+            "MPI_Wtime" => one(NValue::scalar(self.comm()?.wtime())),
+            _ => {
+                let _ = &mut pos;
+                err(format!("unknown function {name}"))
+            }
+        }
+    }
+
+    // ---- methods ---------------------------------------------------------------
+
+    fn method(
+        &mut self,
+        base: NValue,
+        name: &str,
+        pos: Vec<NValue>,
+        kw: Vec<(String, NValue)>,
+    ) -> R<Vec<NValue>> {
+        let one = |v: NValue| Ok(vec![v]);
+        match (&base, name) {
+            // ---- Premia object (§3.3) -------------------------------------
+            (NValue::Premia(p), "set_asset") => {
+                p.borrow_mut().asset = Some(kw_str(&kw, &pos)?);
+                one(base)
+            }
+            (NValue::Premia(p), "set_model") => {
+                let s = kw_str(&kw, &pos)?;
+                p.borrow_mut().model =
+                    Some(ModelSpec::by_name(&s).map_err(|e| NspError::new(e.to_string()))?);
+                one(base)
+            }
+            (NValue::Premia(p), "set_option") => {
+                let s = kw_str(&kw, &pos)?;
+                p.borrow_mut().option =
+                    Some(OptionSpec::by_name(&s).map_err(|e| NspError::new(e.to_string()))?);
+                one(base)
+            }
+            (NValue::Premia(p), "set_method") => {
+                let s = kw_str(&kw, &pos)?;
+                p.borrow_mut().method =
+                    Some(MethodSpec::by_name(&s).map_err(|e| NspError::new(e.to_string()))?);
+                one(base)
+            }
+            (NValue::Premia(p), "compute") => {
+                p.borrow_mut().compute().map_err(NspError::new)?;
+                one(base)
+            }
+            (NValue::Premia(p), "get_method_results") => {
+                let b = p.borrow();
+                let r = b
+                    .result
+                    .as_ref()
+                    .ok_or_else(|| NspError::new("compute[] has not been called"))?;
+                // The paper reads L(1)(3) as the price: outer list of
+                // result groups, inner list (name, aux, value).
+                let inner = Value::list(vec![
+                    Value::string("Price"),
+                    Value::scalar(r.std_error.unwrap_or(0.0)),
+                    Value::scalar(r.price),
+                ]);
+                one(NValue::V(Value::list(vec![inner])))
+            }
+            // ---- generic value methods -------------------------------------
+            (NValue::V(Value::List(_)), "add_last") => {
+                // Lists are value types in our bridge: mutate through
+                // reassignment is handled by the caller pattern
+                // `res.add_last[...]` — we mutate a clone and write it
+                // back is impossible here, so add_last returns the new
+                // list; statement form updates the variable via special
+                // handling in eval (see MethodCall on Ident below).
+                let mut l = match base {
+                    NValue::V(Value::List(l)) => l,
+                    _ => unreachable!(),
+                };
+                let v = pos
+                    .first()
+                    .ok_or_else(|| NspError::new("add_last needs a value"))?;
+                l.add_last(v.to_value()?);
+                one(NValue::V(Value::List(l)))
+            }
+            (NValue::V(_), "equal") => {
+                let other = pos
+                    .first()
+                    .ok_or_else(|| NspError::new("equal needs a value"))?;
+                one(NValue::boolean(base.to_value()?.equal(&other.to_value()?)))
+            }
+            (NValue::Premia(_), "equal") => {
+                let other = pos
+                    .first()
+                    .ok_or_else(|| NspError::new("equal needs a value"))?;
+                one(NValue::boolean(base.to_value()?.equal(&other.to_value()?)))
+            }
+            (NValue::V(Value::Serial(s)), "unserialize") => {
+                let v = xdrser::unserialize(s).map_err(|e| NspError::new(e.to_string()))?;
+                one(NValue::wrap(v))
+            }
+            (NValue::V(Value::Serial(s)), "compress") => {
+                let c = xdrser::compress_serial(s).map_err(|e| NspError::new(e.to_string()))?;
+                one(NValue::V(Value::Serial(c)))
+            }
+            (NValue::V(Value::Serial(s)), "uncompress") => {
+                let c = xdrser::decompress_serial(s).map_err(|e| NspError::new(e.to_string()))?;
+                one(NValue::V(Value::Serial(c)))
+            }
+            (b, m) => err(format!("{} has no method {m}", b.type_name())),
+        }
+    }
+}
+
+/// Is `name` one of the builtin functions (used to allow bare calls like
+/// `premia_create` without parentheses)?
+fn is_builtin(name: &str) -> bool {
+    matches!(
+        name,
+        "list"
+            | "hash_create"
+            | "rand"
+            | "size"
+            | "length"
+            | "floor"
+            | "ceil"
+            | "abs"
+            | "sqrt"
+            | "exp"
+            | "log"
+            | "min"
+            | "max"
+            | "string"
+            | "disp"
+            | "print"
+            | "getenv"
+            | "error"
+            | "isempty"
+            | "exec"
+            | "serialize"
+            | "unserialize"
+            | "save"
+            | "load"
+            | "sload"
+            | "premia_create"
+            | "MPI_Init"
+            | "MPI_Initialized"
+            | "mpicomm_create"
+            | "mpiinfo_create"
+            | "MPI_Comm_rank"
+            | "MPI_Comm_size"
+            | "MPI_Send_Obj"
+            | "MPI_Recv_Obj"
+            | "MPI_Probe"
+            | "MPI_Get_count"
+            | "MPI_Get_elements"
+            | "mpibuf_create"
+            | "MPI_Recv"
+            | "MPI_Unpack"
+            | "MPI_Pack"
+            | "MPI_Send"
+            | "MPI_Barrier"
+            | "MPI_Wtime"
+    )
+}
+
+/// `P.set_xxx[str="..."]` keyword or single positional string.
+fn kw_str(kw: &[(String, NValue)], pos: &[NValue]) -> R<String> {
+    if let Some((_, v)) = kw.iter().find(|(k, _)| k == "str") {
+        return v
+            .as_str()
+            .map(|s| s.to_string())
+            .ok_or_else(|| NspError::new("str= expects a string"));
+    }
+    if let Some(v) = pos.first() {
+        return v
+            .as_str()
+            .map(|s| s.to_string())
+            .ok_or_else(|| NspError::new("expected a string argument"));
+    }
+    err("expected str=\"...\" argument")
+}
+
+fn status_value(st: minimpi::Status) -> NValue {
+    let mut h = Hash::new();
+    h.set("src", Value::scalar(st.src as f64));
+    h.set("tag", Value::scalar(st.tag as f64));
+    h.set("count", Value::scalar(st.count() as f64));
+    NValue::V(Value::Hash(h))
+}
+
+fn numeric_binop(op: BinOp, a: &Matrix, b: &Matrix) -> R<NValue> {
+    use BinOp::*;
+    // Comparison of scalars returns a boolean.
+    if a.is_scalar() && b.is_scalar() {
+        let x = a.get(0, 0);
+        let y = b.get(0, 0);
+        return Ok(match op {
+            Add => NValue::scalar(x + y),
+            Sub => NValue::scalar(x - y),
+            Mul => NValue::scalar(x * y),
+            Div => NValue::scalar(x / y),
+            Eq => NValue::boolean(x == y),
+            Ne => NValue::boolean(x != y),
+            Lt => NValue::boolean(x < y),
+            Gt => NValue::boolean(x > y),
+            Le => NValue::boolean(x <= y),
+            Ge => NValue::boolean(x >= y),
+            And | Or => return err("&&/|| need booleans"),
+        });
+    }
+    // Elementwise with scalar broadcast.
+    let (rows, cols) = if a.is_scalar() {
+        (b.rows(), b.cols())
+    } else {
+        (a.rows(), a.cols())
+    };
+    if !a.is_scalar() && !b.is_scalar() && (a.rows() != b.rows() || a.cols() != b.cols()) {
+        return err("shape mismatch in matrix operation");
+    }
+    let get = |m: &Matrix, i: usize| {
+        if m.is_scalar() {
+            m.get(0, 0)
+        } else {
+            m.get_linear(i)
+        }
+    };
+    let n = rows * cols;
+    match op {
+        Add | Sub | Mul | Div => {
+            let mut data = Vec::with_capacity(n);
+            for i in 0..n {
+                let x = get(a, i);
+                let y = get(b, i);
+                data.push(match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y, // elementwise (the scripts never need matmul)
+                    Div => x / y,
+                    _ => unreachable!(),
+                });
+            }
+            Ok(NValue::V(Value::Real(Matrix::from_col_major(
+                rows, cols, data,
+            ))))
+        }
+        Eq | Ne | Lt | Gt | Le | Ge => {
+            let mut data = Vec::with_capacity(n);
+            for i in 0..n {
+                let x = get(a, i);
+                let y = get(b, i);
+                data.push(match op {
+                    Eq => x == y,
+                    Ne => x != y,
+                    Lt => x < y,
+                    Gt => x > y,
+                    Le => x <= y,
+                    Ge => x >= y,
+                    _ => unreachable!(),
+                });
+            }
+            Ok(NValue::V(Value::Bool(BoolMatrix::from_col_major(
+                rows, cols, data,
+            ))))
+        }
+        And | Or => err("&&/|| need booleans"),
+    }
+}
+
+impl Interp {
+    /// Seed used by `rand` (deterministic per interpreter).
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng_state = seed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_script;
+
+    fn scalar(i: &Interp, name: &str) -> f64 {
+        i.get_value(name).unwrap().as_scalar().unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        let i = run_script("x = 1 + 2 * 3 - 4 / 2").unwrap();
+        assert_eq!(scalar(&i, "x"), 5.0);
+    }
+
+    #[test]
+    fn string_concatenation_like_fig1() {
+        let i = run_script(
+            "cmd = 'exec(''src/loader.sce'');'\ncmd = cmd + 'MPI_Init();'",
+        )
+        .unwrap();
+        assert_eq!(
+            i.get_value("cmd").unwrap().as_str().unwrap(),
+            "exec('src/loader.sce');MPI_Init();"
+        );
+    }
+
+    #[test]
+    fn while_loop_with_break() {
+        let src = "n = 0\nwhile %t then\n n = n + 1\n if n == 5 then break end\nend";
+        let i = run_script(src).unwrap();
+        assert_eq!(scalar(&i, "n"), 5.0);
+    }
+
+    #[test]
+    fn for_over_range() {
+        let i = run_script("s = 0\nfor k = 1:10 do\n s = s + k\nend").unwrap();
+        assert_eq!(scalar(&i, "s"), 55.0);
+    }
+
+    #[test]
+    fn for_over_list_elements() {
+        let src = "L = list(10, 20, 30)\ns = 0\nfor x = L do\n s = s + x\nend";
+        let i = run_script(src).unwrap();
+        assert_eq!(scalar(&i, "s"), 60.0);
+    }
+
+    #[test]
+    fn list_indexing_and_deletion() {
+        let src = "L = list(1, 2, 3, 4, 5)\na = L(2)\nL(1:2) = []\nb = L(1)\nn = size(L, '*')";
+        let i = run_script(src).unwrap();
+        assert_eq!(scalar(&i, "a"), 2.0);
+        assert_eq!(scalar(&i, "b"), 3.0);
+        assert_eq!(scalar(&i, "n"), 3.0);
+    }
+
+    #[test]
+    fn nested_list_index_like_fig4() {
+        // L(1)(3) — the slave result access pattern.
+        let src = "L = list(list('Price', 0.1, 42.5))\np = L(1)(3)";
+        let i = run_script(src).unwrap();
+        assert_eq!(scalar(&i, "p"), 42.5);
+    }
+
+    #[test]
+    fn hash_field_auto_create_like_fig2() {
+        let src = "H.A = rand(4,5)\nH.B = rand(4,1)\nn = size(H.A, '*')";
+        let i = run_script(src).unwrap();
+        assert_eq!(scalar(&i, "n"), 20.0);
+    }
+
+    #[test]
+    fn functions_with_multiple_outputs() {
+        let src = r#"
+function [sl, result] = receive_res(x)
+  sl = x + 1
+  result = x * 2
+endfunction
+[a, b] = receive_res(10)
+"#;
+        let i = run_script(src).unwrap();
+        assert_eq!(scalar(&i, "a"), 11.0);
+        assert_eq!(scalar(&i, "b"), 20.0);
+    }
+
+    #[test]
+    fn function_scoping_is_local() {
+        let src = r#"
+x = 100
+function y = f(a)
+  x = 5
+  y = a + x
+endfunction
+r = f(1)
+"#;
+        let i = run_script(src).unwrap();
+        assert_eq!(scalar(&i, "r"), 6.0);
+        assert_eq!(scalar(&i, "x"), 100.0, "global x must be untouched");
+    }
+
+    #[test]
+    fn serialize_unserialize_round_trip() {
+        let src = r#"
+A = list('string', %t, rand(4,4))
+S = serialize(A)
+B = S.unserialize[]
+ok = B.equal[A]
+"#;
+        let i = run_script(src).unwrap();
+        assert_eq!(i.get_value("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn compress_round_trip_like_paper() {
+        let src = r#"
+A = 1:100
+S = serialize(A)
+S1 = S.compress[]
+A1 = S1.unserialize[]
+ok = A1.equal[A]
+"#;
+        let i = run_script(src).unwrap();
+        assert_eq!(i.get_value("ok").unwrap().as_bool(), Some(true));
+        // And compression shrinks the serial, as in Fig. 2's
+        // 842 → 248 bytes example.
+        let s = i.get_value("S").unwrap();
+        let s1 = i.get_value("S1").unwrap();
+        assert!(s1.as_serial().unwrap().len() < s.as_serial().unwrap().len());
+    }
+
+    #[test]
+    fn save_sload_unserialize_like_fig2() {
+        let dir = std::env::temp_dir().join("nsplang_sload");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("saved.bin");
+        let src = format!(
+            r#"
+H.A = rand(4,5)
+H.B = rand(4,1)
+save('{p}', H)
+S = sload('{p}')
+H1 = S.unserialize[]
+ok = H1.equal[H]
+"#,
+            p = path.display()
+        );
+        let i = run_script(&src).unwrap();
+        assert_eq!(i.get_value("ok").unwrap().as_bool(), Some(true));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn premia_workflow_like_section_3_3() {
+        let src = r#"
+P = premia_create()
+P.set_asset[str="equity"]
+P.set_model[str="BlackScholes1dim"]
+P.set_option[str="CallEuro"]
+P.set_method[str="CF"]
+P.compute[]
+L = P.get_method_results[]
+price = L(1)(3)
+"#;
+        let i = run_script(src).unwrap();
+        let price = scalar(&i, "price");
+        assert!((price - 10.4506).abs() < 1e-3, "price {price}");
+    }
+
+    #[test]
+    fn premia_save_load_round_trip() {
+        let dir = std::env::temp_dir().join("nsplang_premia_save");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fic");
+        let src = format!(
+            r#"
+P = premia_create()
+P.set_asset[str="equity"]
+P.set_model[str="Heston1dim"]
+P.set_option[str="PutAmer"]
+P.set_method[str="MC_AM_Alfonsi_LongstaffSchwartz"]
+save('{p}', P)
+Q = load('{p}')
+ok = Q.equal[P]
+"#,
+            p = path.display()
+        );
+        let i = run_script(&src).unwrap();
+        assert_eq!(i.get_value("ok").unwrap().as_bool(), Some(true));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn undefined_variable_is_error() {
+        assert!(run_script("y = nosuchvar + 1").is_err());
+    }
+
+    #[test]
+    fn unknown_function_is_error() {
+        assert!(run_script("y = frobnicate(1)").is_err());
+    }
+
+    #[test]
+    fn disp_captures_output() {
+        let i = run_script("disp('hello')").unwrap();
+        assert_eq!(i.output.len(), 1);
+        assert!(i.output[0].contains("hello"));
+    }
+
+    #[test]
+    fn comparison_chain_in_if() {
+        let src = "x = 3\nif x <> 0 then\n y = 1\nelse\n y = 2\nend";
+        let i = run_script(src).unwrap();
+        assert_eq!(scalar(&i, "y"), 1.0);
+    }
+
+    #[test]
+    fn matrix_literals_and_indexing() {
+        let src = "m = [1, 2; 3, 4]\na = m(2, 1)\nb = m(4)";
+        let i = run_script(src).unwrap();
+        assert_eq!(scalar(&i, "a"), 3.0);
+        assert_eq!(scalar(&i, "b"), 4.0); // column-major linear index
+    }
+
+    #[test]
+    fn transpose_of_row_vector() {
+        let src = "r = 1:3\nc = r'\n[rows, cols] = size(c)";
+        let i = run_script(src).unwrap();
+        assert_eq!(scalar(&i, "rows"), 3.0);
+        assert_eq!(scalar(&i, "cols"), 1.0);
+    }
+
+    #[test]
+    fn rand_is_deterministic_per_seed() {
+        let mut a = Interp::new();
+        a.reseed(1);
+        a.run("x = rand(2,2)").unwrap();
+        let mut b = Interp::new();
+        b.reseed(1);
+        b.run("x = rand(2,2)").unwrap();
+        assert_eq!(a.get_value("x"), b.get_value("x"));
+    }
+}
+
+#[cfg(test)]
+mod exec_tests {
+    use crate::run_script;
+
+    #[test]
+    fn exec_runs_a_script_file() {
+        let dir = std::env::temp_dir().join("nsplang_exec");
+        std::fs::create_dir_all(&dir).unwrap();
+        let lib = dir.join("loader.sce");
+        std::fs::write(&lib, "function y = twice(x)\n y = 2 * x\nendfunction\nbase = 21\n").unwrap();
+        let src = format!("exec('{}')\nz = twice(base)", lib.display());
+        let i = run_script(&src).unwrap();
+        assert_eq!(i.get_value("z").unwrap().as_scalar(), Some(42.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn exec_missing_file_is_error() {
+        assert!(run_script("exec('/no/such/file.sce')").is_err());
+    }
+}

@@ -1,0 +1,475 @@
+//! Tokenizer for the mini-Nsp language.
+//!
+//! The one genuinely tricky piece of Matlab-family lexing is the quote
+//! character: `'` opens a string *except* immediately after an
+//! identifier, number, `)`, `]` or `'`, where it is the postfix transpose
+//! operator (`Lpb'`). We use the classic "previous significant token"
+//! disambiguation.
+
+use std::fmt;
+
+/// A lexical token of the mini-Nsp language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal (single- or double-quoted).
+    Str(String),
+    /// Identifier.
+    Ident(String),
+    /// `%t`.
+    True,
+    /// `%f`.
+    False,
+    /// `if` keyword.
+    If,
+    /// `then` keyword.
+    Then,
+    /// `else` keyword.
+    Else,
+    /// `elseif` keyword.
+    Elseif,
+    /// `end` keyword.
+    End,
+    /// `while` keyword.
+    While,
+    /// `for` keyword.
+    For,
+    /// `do` keyword.
+    Do,
+    /// `break` keyword.
+    Break,
+    /// `continue` keyword.
+    Continue,
+    /// `return` keyword.
+    Return,
+    /// `function` keyword.
+    Function,
+    /// `endfunction` keyword.
+    EndFunction,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `,`.
+    Comma,
+    /// `;` (statement separator).
+    Semi,
+    /// End of line (statement separator).
+    Newline,
+    /// `.` (field access / method call).
+    Dot,
+    /// `=` (assignment).
+    Assign,
+    /// `==`.
+    Eq,
+    /// `<>` or `~=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `>`.
+    Gt,
+    /// `<=`.
+    Le,
+    /// `>=`.
+    Ge,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `:` (range).
+    Colon,
+    /// Postfix transpose `'`.
+    Quote,
+    /// `&&` or `&`.
+    And,
+    /// `||` or `|`.
+    Or,
+    /// `~` (logical not).
+    Not,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Lexing error with 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// 1-based source line of the offending character.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+fn keyword(word: &str) -> Option<Tok> {
+    Some(match word {
+        "if" => Tok::If,
+        "then" => Tok::Then,
+        "else" => Tok::Else,
+        "elseif" => Tok::Elseif,
+        "end" => Tok::End,
+        "while" => Tok::While,
+        "for" => Tok::For,
+        "do" => Tok::Do,
+        "break" => Tok::Break,
+        "continue" => Tok::Continue,
+        "return" => Tok::Return,
+        "function" => Tok::Function,
+        "endfunction" => Tok::EndFunction,
+        _ => return None,
+    })
+}
+
+/// Can the previous token end an expression (so `'` means transpose)?
+fn ends_expression(tok: Option<&Tok>) -> bool {
+    matches!(
+        tok,
+        Some(Tok::Ident(_))
+            | Some(Tok::Num(_))
+            | Some(Tok::RParen)
+            | Some(Tok::RBracket)
+            | Some(Tok::Quote)
+            | Some(Tok::True)
+            | Some(Tok::False)
+    )
+}
+
+/// Tokenize a source string. Comments run from `//` to end of line.
+pub fn lex(src: &str) -> Result<Vec<(Tok, usize)>, LexError> {
+    let mut out: Vec<(Tok, usize)> = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1usize;
+    let n = bytes.len();
+
+    let err = |line: usize, msg: &str| LexError {
+        line,
+        message: msg.to_string(),
+    };
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' | '\r' => {
+                i += 1;
+            }
+            '\n' => {
+                out.push((Tok::Newline, line));
+                line += 1;
+                i += 1;
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '%' => {
+                // %t / %f boolean literals.
+                if i + 1 < n && (bytes[i + 1] == 't' || bytes[i + 1] == 'f') {
+                    out.push((
+                        if bytes[i + 1] == 't' { Tok::True } else { Tok::False },
+                        line,
+                    ));
+                    i += 2;
+                } else {
+                    return Err(err(line, "unknown % literal"));
+                }
+            }
+            '\'' | '"' => {
+                let is_transpose =
+                    c == '\'' && ends_expression(out.last().map(|(t, _)| t));
+                if is_transpose {
+                    out.push((Tok::Quote, line));
+                    i += 1;
+                } else {
+                    // String literal; '' (resp. "") escapes the delimiter.
+                    let delim = c;
+                    let mut s = String::new();
+                    i += 1;
+                    loop {
+                        if i >= n {
+                            return Err(err(line, "unterminated string"));
+                        }
+                        if bytes[i] == delim {
+                            if i + 1 < n && bytes[i + 1] == delim {
+                                s.push(delim);
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        } else {
+                            if bytes[i] == '\n' {
+                                line += 1;
+                            }
+                            s.push(bytes[i]);
+                            i += 1;
+                        }
+                    }
+                    out.push((Tok::Str(s), line));
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < n && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                    // Don't swallow the dot of `1.foo` field access or `1.e5`.
+                    if bytes[i] == '.' && i + 1 < n && !bytes[i + 1].is_ascii_digit()
+                        && bytes[i + 1] != 'e'
+                        && bytes[i + 1] != 'E'
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                // Exponent.
+                if i < n && (bytes[i] == 'e' || bytes[i] == 'E') {
+                    let mut j = i + 1;
+                    if j < n && (bytes[j] == '+' || bytes[j] == '-') {
+                        j += 1;
+                    }
+                    if j < n && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < n && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let v = text
+                    .parse::<f64>()
+                    .map_err(|_| err(line, &format!("bad number {text}")))?;
+                out.push((Tok::Num(v), line));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                out.push((keyword(&word).unwrap_or(Tok::Ident(word)), line));
+            }
+            '(' => {
+                out.push((Tok::LParen, line));
+                i += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, line));
+                i += 1;
+            }
+            '[' => {
+                out.push((Tok::LBracket, line));
+                i += 1;
+            }
+            ']' => {
+                out.push((Tok::RBracket, line));
+                i += 1;
+            }
+            ',' => {
+                out.push((Tok::Comma, line));
+                i += 1;
+            }
+            ';' => {
+                out.push((Tok::Semi, line));
+                i += 1;
+            }
+            '.' => {
+                out.push((Tok::Dot, line));
+                i += 1;
+            }
+            '+' => {
+                out.push((Tok::Plus, line));
+                i += 1;
+            }
+            '-' => {
+                out.push((Tok::Minus, line));
+                i += 1;
+            }
+            '*' => {
+                out.push((Tok::Star, line));
+                i += 1;
+            }
+            '/' => {
+                out.push((Tok::Slash, line));
+                i += 1;
+            }
+            ':' => {
+                out.push((Tok::Colon, line));
+                i += 1;
+            }
+            '=' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    out.push((Tok::Eq, line));
+                    i += 2;
+                } else {
+                    out.push((Tok::Assign, line));
+                    i += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < n && bytes[i + 1] == '>' {
+                    out.push((Tok::Ne, line));
+                    i += 2;
+                } else if i + 1 < n && bytes[i + 1] == '=' {
+                    out.push((Tok::Le, line));
+                    i += 2;
+                } else {
+                    out.push((Tok::Lt, line));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    out.push((Tok::Ge, line));
+                    i += 2;
+                } else {
+                    out.push((Tok::Gt, line));
+                    i += 1;
+                }
+            }
+            '~' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    out.push((Tok::Ne, line));
+                    i += 2;
+                } else {
+                    out.push((Tok::Not, line));
+                    i += 1;
+                }
+            }
+            '&' => {
+                i += if i + 1 < n && bytes[i + 1] == '&' { 2 } else { 1 };
+                out.push((Tok::And, line));
+            }
+            '|' => {
+                i += if i + 1 < n && bytes[i + 1] == '|' { 2 } else { 1 };
+                out.push((Tok::Or, line));
+            }
+            other => {
+                return Err(err(line, &format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn numbers_and_ops() {
+        assert_eq!(
+            toks("x = 1.5 + 2e3"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Num(1.5),
+                Tok::Plus,
+                Tok::Num(2000.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks("'it''s'"), vec![Tok::Str("it's".into())]);
+        assert_eq!(toks("\"equity\""), vec![Tok::Str("equity".into())]);
+    }
+
+    #[test]
+    fn transpose_vs_string() {
+        // After an identifier, ' is transpose; at expression start it is
+        // a string opener.
+        assert_eq!(
+            toks("Lpb'"),
+            vec![Tok::Ident("Lpb".into()), Tok::Quote]
+        );
+        assert_eq!(
+            toks("x = 'str'"),
+            vec![Tok::Ident("x".into()), Tok::Assign, Tok::Str("str".into())]
+        );
+        // After ) too.
+        assert_eq!(
+            toks("f(x)'"),
+            vec![
+                Tok::Ident("f".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::RParen,
+                Tok::Quote
+            ]
+        );
+    }
+
+    #[test]
+    fn booleans_and_keywords() {
+        assert_eq!(
+            toks("while %t then break end"),
+            vec![Tok::While, Tok::True, Tok::Then, Tok::Break, Tok::End]
+        );
+    }
+
+    #[test]
+    fn comments_and_newlines() {
+        assert_eq!(
+            toks("a = 1 // comment\nb = 2"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Assign,
+                Tok::Num(1.0),
+                Tok::Newline,
+                Tok::Ident("b".into()),
+                Tok::Assign,
+                Tok::Num(2.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("a <> b == c <= d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ne,
+                Tok::Ident("b".into()),
+                Tok::Eq,
+                Tok::Ident("c".into()),
+                Tok::Le,
+                Tok::Ident("d".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_snippet_lexes() {
+        let src = "if mpi_rank <> 0 // Slave part\n  name = MPI_Recv_Obj(0,TAG,MPI_COMM_WORLD);\nend";
+        assert!(lex(src).is_ok());
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("x = 'oops").is_err());
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let lexed = lex("a=1\nb=2\nc=3").unwrap();
+        let last = lexed.last().unwrap();
+        assert_eq!(last.1, 3);
+    }
+}

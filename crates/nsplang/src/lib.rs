@@ -1,0 +1,44 @@
+//! A mini-Nsp interpreter.
+//!
+//! Nsp is the Matlab-like scripting language the paper uses as the glue:
+//! "the use of Nsp makes the parallelization very easy as all the code can
+//! be written in an intuitive scripting language" (§5). This crate
+//! implements the subset of Nsp the paper's listings (Figs. 1, 2, 4, 5)
+//! exercise:
+//!
+//! * dynamic values bridged 1:1 to [`nspval::Value`] (matrices, strings,
+//!   booleans, lists, hash tables, serial buffers);
+//! * `if/then/else`, `while`, `for`, `break`, user functions
+//!   (`function [out] = name(args) … endfunction`), multi-value
+//!   assignment `[a, b] = f(…)`;
+//! * Matlab-ish expressions: `1:100` ranges, matrix literals, `.field`
+//!   access, `obj.method[args]` bracket-method calls (`P.compute[]`,
+//!   `L.add_last[v]`, `S.unserialize[]`), postfix transpose;
+//! * three toolboxes, mirroring §3: the serialization builtins
+//!   (`serialize`, `save`, `load`, `sload`), the **MPI toolbox**
+//!   (`MPI_Comm_rank`, `MPI_Send_Obj`, `MPI_Probe`, `mpibuf_create`, …)
+//!   bound to a live [`minimpi::Comm`], and the **Premia toolbox**
+//!   (`premia_create`, `P.set_model[str=…]`, `P.compute[]`).
+//!
+//! The integration tests run an adaptation of the Fig. 4/5 master/slave
+//! portfolio pricer *as a script* on every rank of a `minimpi` world.
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)]
+
+pub mod ast;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod toolbox;
+
+pub use interp::{Interp, NValue, NspError};
+pub use parser::parse_program;
+
+/// Parse and run a script in a fresh interpreter (no MPI binding);
+/// returns the interpreter for inspecting variables.
+pub fn run_script(src: &str) -> Result<Interp, NspError> {
+    let mut interp = Interp::new();
+    interp.run(src)?;
+    Ok(interp)
+}

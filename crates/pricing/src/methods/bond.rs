@@ -1,0 +1,213 @@
+//! Interest-rate derivatives under Vasicek: zero-coupon bonds and
+//! European options on them (Jamshidian's closed form), with a
+//! Monte-Carlo cross-check pricer.
+
+use crate::models::Vasicek;
+use crate::options::OptionRight;
+use numerics::norm_cdf;
+use numerics::rng::NormalGen;
+use numerics::stats::RunningStats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use super::montecarlo::{McConfig, McResult};
+
+/// Jamshidian's closed form for a European option (expiry `t_opt`) on a
+/// zero-coupon bond maturing at `t_bond > t_opt`, strike `strike` (price
+/// of the bond at expiry):
+///
+/// ```text
+/// σ_P = σ B(t_opt, t_bond) √((1 − e^{-2κ t_opt})/(2κ))
+/// h   = ln(P(0,t_bond)/(K·P(0,t_opt)))/σ_P + σ_P/2
+/// C   = P(0,t_bond) N(h) − K P(0,t_opt) N(h − σ_P)
+/// ```
+pub fn bond_option_price(
+    m: &Vasicek,
+    right: OptionRight,
+    strike: f64,
+    t_opt: f64,
+    t_bond: f64,
+) -> f64 {
+    assert!(t_bond > t_opt && t_opt > 0.0, "need t_bond > t_opt > 0");
+    assert!(strike > 0.0, "strike must be positive");
+    let p_bond = m.zcb_price(t_bond);
+    let p_opt = m.zcb_price(t_opt);
+    let sigma_p = m.sigma
+        * m.b_factor(t_bond - t_opt)
+        * ((1.0 - (-2.0 * m.kappa * t_opt).exp()) / (2.0 * m.kappa)).sqrt();
+    let h = (p_bond / (strike * p_opt)).ln() / sigma_p + 0.5 * sigma_p;
+    let call = p_bond * norm_cdf(h) - strike * p_opt * norm_cdf(h - sigma_p);
+    match right {
+        OptionRight::Call => call.max(0.0),
+        // Parity: C − P = P(0,S) − K·P(0,T).
+        OptionRight::Put => (call - p_bond + strike * p_opt).max(0.0),
+    }
+}
+
+/// Monte-Carlo zero-coupon bond price `E[e^{-∫₀ᵀ r dt}]` with exact OU
+/// transitions and trapezoidal rate integration — the cross-validation
+/// pricer for the closed form, and the "rates" workload generator for the
+/// farm.
+pub fn mc_zcb_price(m: &Vasicek, maturity: f64, cfg: &McConfig) -> McResult {
+    cfg.validate().expect("invalid MC config");
+    assert!(maturity > 0.0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut gen = NormalGen::new();
+    let dt = maturity / cfg.time_steps as f64;
+    let mut stats = RunningStats::new();
+    let mut zs = vec![0.0; cfg.time_steps];
+    for _ in 0..cfg.paths {
+        gen.fill(&mut rng, &mut zs);
+        let d1 = discount_path(m, dt, &zs);
+        if cfg.antithetic {
+            for z in zs.iter_mut() {
+                *z = -*z;
+            }
+            let d2 = discount_path(m, dt, &zs);
+            stats.push(0.5 * (d1 + d2));
+        } else {
+            stats.push(d1);
+        }
+    }
+    McResult {
+        price: stats.mean(),
+        std_error: stats.std_error(),
+        delta: None,
+    }
+}
+
+#[inline]
+fn discount_path(m: &Vasicek, dt: f64, zs: &[f64]) -> f64 {
+    let mut r = m.r0;
+    let mut integral = 0.0;
+    for &z in zs {
+        let r2 = m.step(r, dt, z);
+        integral += 0.5 * (r + r2) * dt;
+        r = r2;
+    }
+    (-integral).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> Vasicek {
+        Vasicek::standard()
+    }
+
+    #[test]
+    fn bond_call_put_parity() {
+        let m = model();
+        let (t_opt, t_bond) = (1.0, 3.0);
+        for strike in [0.80, 0.90, 0.95] {
+            let c = bond_option_price(&m, OptionRight::Call, strike, t_opt, t_bond);
+            let p = bond_option_price(&m, OptionRight::Put, strike, t_opt, t_bond);
+            let parity = m.zcb_price(t_bond) - strike * m.zcb_price(t_opt);
+            assert!((c - p - parity).abs() < 1e-12, "K={strike}");
+        }
+    }
+
+    #[test]
+    fn bond_call_bounds() {
+        let m = model();
+        let c = bond_option_price(&m, OptionRight::Call, 0.9, 1.0, 3.0);
+        assert!(c >= (m.zcb_price(3.0) - 0.9 * m.zcb_price(1.0)).max(0.0) - 1e-14);
+        assert!(c <= m.zcb_price(3.0));
+        assert!(c > 0.0);
+    }
+
+    #[test]
+    fn bond_option_increases_with_rate_vol() {
+        let mut prev = 0.0;
+        for sigma in [0.002, 0.005, 0.01, 0.02, 0.04] {
+            let m = Vasicek::new(0.05, 0.8, 0.05, sigma);
+            // ATM-forward strike so the option is pure optionality.
+            let strike = m.zcb_price(3.0) / m.zcb_price(1.0);
+            let c = bond_option_price(&m, OptionRight::Call, strike, 1.0, 3.0);
+            assert!(c > prev, "σ={sigma}: {c} !> {prev}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn bond_option_matches_monte_carlo() {
+        // MC: simulate r to t_opt (exact transition), value the bond at
+        // expiry with the affine formula, discount along the path.
+        let m = model();
+        let (t_opt, t_bond, strike) = (1.0, 3.0, 0.90);
+        let exact = bond_option_price(&m, OptionRight::Call, strike, t_opt, t_bond);
+        let steps = 200;
+        let dt = t_opt / steps as f64;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut gen = NormalGen::new();
+        let mut stats = RunningStats::new();
+        for _ in 0..40_000 {
+            let mut r = m.r0;
+            let mut integral = 0.0;
+            for _ in 0..steps {
+                let r2 = m.step(r, dt, gen.sample(&mut rng));
+                integral += 0.5 * (r + r2) * dt;
+                r = r2;
+            }
+            // P(t_opt, t_bond) with short rate r at expiry.
+            let shifted = Vasicek { r0: r, ..m };
+            let bond = shifted.zcb_price(t_bond - t_opt);
+            stats.push((-integral).exp() * (bond - strike).max(0.0));
+        }
+        assert!(
+            (stats.mean() - exact).abs() < 4.0 * stats.std_error() + 2e-5,
+            "mc {} ± {} exact {exact}",
+            stats.mean(),
+            stats.std_error()
+        );
+    }
+
+    #[test]
+    fn mc_zcb_agrees_with_closed_form() {
+        let m = model();
+        let cfg = McConfig {
+            paths: 30_000,
+            time_steps: 50,
+            antithetic: true,
+            seed: 9,
+        };
+        for t in [0.5, 2.0, 5.0] {
+            let mc = mc_zcb_price(&m, t, &cfg);
+            let exact = m.zcb_price(t);
+            assert!(
+                (mc.price - exact).abs() < 4.0 * mc.std_error + 1e-4,
+                "T={t}: mc {} ± {} exact {exact}",
+                mc.price,
+                mc.std_error
+            );
+        }
+    }
+
+    #[test]
+    fn antithetic_helps_for_bonds_too() {
+        let m = model();
+        let base = McConfig {
+            paths: 10_000,
+            time_steps: 20,
+            antithetic: false,
+            seed: 3,
+        };
+        let plain = mc_zcb_price(&m, 2.0, &base);
+        let anti = mc_zcb_price(
+            &m,
+            2.0,
+            &McConfig {
+                antithetic: true,
+                ..base
+            },
+        );
+        assert!(anti.std_error < plain.std_error);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_inverted_maturities() {
+        bond_option_price(&model(), OptionRight::Call, 0.9, 3.0, 1.0);
+    }
+}

@@ -1,0 +1,12 @@
+//! Numerical pricing methods: closed form, PDE (finite differences),
+//! binomial trees, Monte-Carlo, and Longstaff–Schwartz American
+//! Monte-Carlo — the method families Premia ships (§2).
+
+pub mod bond;
+pub mod closed_form;
+pub mod heston_cf;
+pub mod implied;
+pub mod lsm;
+pub mod montecarlo;
+pub mod pde;
+pub mod tree;

@@ -1,0 +1,561 @@
+//! Monte-Carlo pricing of European claims.
+//!
+//! §4.3 uses Monte-Carlo for the 40-dimensional basket puts ("we usually
+//! use 10⁶ samples") and for the local-volatility calls. This module
+//! provides:
+//!
+//! * exact-transition GBM sampling for vanilla options (with pathwise
+//!   deltas and antithetic variance reduction),
+//! * one-step correlated terminal sampling for basket options,
+//! * Euler path simulation for the local-volatility model,
+//! * full-truncation simulation for Heston,
+//! * a quasi-Monte-Carlo (Sobol/Halton + inverse-CDF) variant used by the
+//!   ablation benchmarks.
+
+use crate::models::{BlackScholes, Heston, LocalVol, MultiBlackScholes};
+use crate::options::{BasketOption, Exercise, Vanilla};
+use numerics::rng::NormalGen;
+use numerics::sobol::{Halton, Sobol};
+use numerics::stats::RunningStats;
+use numerics::norm_inv_cdf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Monte-Carlo run parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McConfig {
+    /// Number of payoff samples (antithetic pairs count as one sample).
+    pub paths: usize,
+    /// Time discretisation for path-dependent models (ignored by the
+    /// exact GBM samplers).
+    pub time_steps: usize,
+    /// Antithetic variates.
+    pub antithetic: bool,
+    /// RNG seed — pricing problems are deterministic given their spec,
+    /// as required for a reproducible benchmark.
+    pub seed: u64,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            paths: 100_000,
+            time_steps: 50,
+            antithetic: true,
+            seed: 42,
+        }
+    }
+}
+
+impl McConfig {
+    /// Parameter sanity checks; `Err` describes the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.paths == 0 {
+            return Err("paths must be positive".into());
+        }
+        if self.time_steps == 0 {
+            return Err("time_steps must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Monte-Carlo estimate: price, its standard error, and (when the
+/// pathwise estimator applies) the delta.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McResult {
+    /// Price estimate.
+    pub price: f64,
+    /// Monte-Carlo standard error of the price.
+    pub std_error: f64,
+    /// First derivative of the price w.r.t. spot.
+    pub delta: Option<f64>,
+}
+
+fn assert_european(ex: Exercise) {
+    assert!(
+        ex == Exercise::European,
+        "plain Monte-Carlo prices European claims; American claims use LSM"
+    );
+}
+
+/// Vanilla European option under Black–Scholes, exact terminal sampling.
+pub fn mc_vanilla_bs(m: &BlackScholes, option: &Vanilla, cfg: &McConfig) -> McResult {
+    cfg.validate().expect("invalid MC config");
+    option.validate().expect("invalid option");
+    assert_european(option.exercise);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut gen = NormalGen::new();
+    let t = option.maturity;
+    let df = m.discount(t);
+    let mut stats = RunningStats::new();
+    let mut delta_stats = RunningStats::new();
+    let sign = option.right.sign();
+    for _ in 0..cfg.paths {
+        let z = gen.sample(&mut rng);
+        let (pay, dlt) = vanilla_sample(m, option, t, z, sign);
+        if cfg.antithetic {
+            let (pay2, dlt2) = vanilla_sample(m, option, t, -z, sign);
+            stats.push(df * 0.5 * (pay + pay2));
+            delta_stats.push(df * 0.5 * (dlt + dlt2));
+        } else {
+            stats.push(df * pay);
+            delta_stats.push(df * dlt);
+        }
+    }
+    McResult {
+        price: stats.mean(),
+        std_error: stats.std_error(),
+        delta: Some(delta_stats.mean()),
+    }
+}
+
+#[inline]
+fn vanilla_sample(m: &BlackScholes, option: &Vanilla, t: f64, z: f64, sign: f64) -> (f64, f64) {
+    let st = m.terminal(t, z);
+    let pay = (sign * (st - option.strike)).max(0.0);
+    // Pathwise delta: ∂payoff/∂S₀ = 1{exercised} · sign · S_T/S₀.
+    let dlt = if pay > 0.0 { sign * st / m.spot } else { 0.0 };
+    (pay, dlt)
+}
+
+/// Quasi-Monte-Carlo variant of [`mc_vanilla_bs`] (Sobol + Moro inverse
+/// CDF, no antithetics, no meaningful standard error — QMC error is not
+/// estimated by the sample variance).
+pub fn qmc_vanilla_bs(m: &BlackScholes, option: &Vanilla, paths: usize) -> McResult {
+    option.validate().expect("invalid option");
+    assert_european(option.exercise);
+    let t = option.maturity;
+    let df = m.discount(t);
+    let mut sobol = Sobol::new(1);
+    let mut p = [0.0];
+    let sign = option.right.sign();
+    let mut acc = 0.0;
+    for _ in 0..paths {
+        sobol.next_point(&mut p);
+        let z = norm_inv_cdf(p[0]);
+        let st = m.terminal(t, z);
+        acc += (sign * (st - option.strike)).max(0.0);
+    }
+    McResult {
+        price: df * acc / paths as f64,
+        std_error: 0.0,
+        delta: None,
+    }
+}
+
+/// European basket option under multi-asset Black–Scholes: exact
+/// one-step correlated terminal sampling (the payoff is path-independent).
+pub fn mc_basket(m: &MultiBlackScholes, option: &BasketOption, cfg: &McConfig) -> McResult {
+    cfg.validate().expect("invalid MC config");
+    option.validate().expect("invalid option");
+    assert_european(option.exercise);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut corr = m.correlator();
+    let t = option.maturity;
+    let df = m.discount(t);
+    let mut z = vec![0.0; m.dim];
+    let mut s = vec![0.0; m.dim];
+    let mut stats = RunningStats::new();
+    for _ in 0..cfg.paths {
+        corr.sample(&mut rng, &mut z);
+        m.terminal(t, &z, &mut s);
+        let pay = option.payoff(&s);
+        if cfg.antithetic {
+            for zi in z.iter_mut() {
+                *zi = -*zi;
+            }
+            m.terminal(t, &z, &mut s);
+            stats.push(df * 0.5 * (pay + option.payoff(&s)));
+        } else {
+            stats.push(df * pay);
+        }
+    }
+    McResult {
+        price: stats.mean(),
+        std_error: stats.std_error(),
+        delta: None,
+    }
+}
+
+/// Halton-sequence QMC variant of [`mc_basket`] for moderate dimensions
+/// (ablation benchmarks).
+pub fn qmc_basket(m: &MultiBlackScholes, option: &BasketOption, paths: usize) -> McResult {
+    option.validate().expect("invalid option");
+    assert_european(option.exercise);
+    let t = option.maturity;
+    let df = m.discount(t);
+    let corr = m.correlator();
+    let mut halton = Halton::new(m.dim);
+    let mut u = vec![0.0; m.dim];
+    let mut z = vec![0.0; m.dim];
+    let mut s = vec![0.0; m.dim];
+    let mut acc = 0.0;
+    for _ in 0..paths {
+        halton.next_point(&mut u);
+        for i in 0..m.dim {
+            z[i] = norm_inv_cdf(u[i]);
+        }
+        corr.correlate_in_place(&mut z);
+        m.terminal(t, &z, &mut s);
+        acc += option.payoff(&s);
+    }
+    McResult {
+        price: df * acc / paths as f64,
+        std_error: 0.0,
+        delta: None,
+    }
+}
+
+/// European vanilla option under the local-volatility model, log-Euler
+/// paths with `cfg.time_steps` steps.
+pub fn mc_local_vol(m: &LocalVol, option: &Vanilla, cfg: &McConfig) -> McResult {
+    cfg.validate().expect("invalid MC config");
+    option.validate().expect("invalid option");
+    assert_european(option.exercise);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut gen = NormalGen::new();
+    let t = option.maturity;
+    let df = m.discount(t);
+    let dt = t / cfg.time_steps as f64;
+    let mut stats = RunningStats::new();
+    let mut zbuf = vec![0.0; cfg.time_steps];
+    for _ in 0..cfg.paths {
+        gen.fill(&mut rng, &mut zbuf);
+        let pay = local_vol_path(m, option, dt, &zbuf);
+        if cfg.antithetic {
+            for z in zbuf.iter_mut() {
+                *z = -*z;
+            }
+            let pay2 = local_vol_path(m, option, dt, &zbuf);
+            stats.push(df * 0.5 * (pay + pay2));
+        } else {
+            stats.push(df * pay);
+        }
+    }
+    McResult {
+        price: stats.mean(),
+        std_error: stats.std_error(),
+        delta: None,
+    }
+}
+
+#[inline]
+fn local_vol_path(m: &LocalVol, option: &Vanilla, dt: f64, zs: &[f64]) -> f64 {
+    let mut s = m.spot;
+    let mut t = 0.0;
+    for &z in zs {
+        s = m.step(t, s, dt, z);
+        t += dt;
+    }
+    option.payoff(s)
+}
+
+/// European vanilla option under Heston, full-truncation Euler paths.
+pub fn mc_heston(m: &Heston, option: &Vanilla, cfg: &McConfig) -> McResult {
+    cfg.validate().expect("invalid MC config");
+    option.validate().expect("invalid option");
+    assert_european(option.exercise);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut gen = NormalGen::new();
+    let t = option.maturity;
+    let df = m.discount(t);
+    let dt = t / cfg.time_steps as f64;
+    let mut stats = RunningStats::new();
+    let mut z1 = vec![0.0; cfg.time_steps];
+    let mut z2 = vec![0.0; cfg.time_steps];
+    for _ in 0..cfg.paths {
+        gen.fill(&mut rng, &mut z1);
+        gen.fill(&mut rng, &mut z2);
+        let pay = heston_path(m, option, dt, &z1, &z2);
+        if cfg.antithetic {
+            for z in z1.iter_mut() {
+                *z = -*z;
+            }
+            for z in z2.iter_mut() {
+                *z = -*z;
+            }
+            let pay2 = heston_path(m, option, dt, &z1, &z2);
+            stats.push(df * 0.5 * (pay + pay2));
+        } else {
+            stats.push(df * pay);
+        }
+    }
+    McResult {
+        price: stats.mean(),
+        std_error: stats.std_error(),
+        delta: None,
+    }
+}
+
+#[inline]
+fn heston_path(m: &Heston, option: &Vanilla, dt: f64, z1: &[f64], z2: &[f64]) -> f64 {
+    let mut s = m.spot;
+    let mut v = m.v0;
+    for i in 0..z1.len() {
+        let (s2, v2) = m.step(s, v, dt, z1[i], z2[i]);
+        s = s2;
+        v = v2;
+    }
+    option.payoff(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::closed_form::bs_price;
+
+    fn model() -> BlackScholes {
+        BlackScholes::new(100.0, 0.2, 0.05, 0.0)
+    }
+
+    #[test]
+    fn vanilla_mc_within_confidence_interval() {
+        let m = model();
+        let opt = Vanilla::european_call(100.0, 1.0);
+        let exact = bs_price(&m, &opt);
+        let mc = mc_vanilla_bs(&m, &opt, &McConfig::default());
+        assert!(
+            (mc.price - exact.price).abs() < 4.0 * mc.std_error,
+            "mc {} ± {} exact {}",
+            mc.price,
+            mc.std_error,
+            exact.price
+        );
+        let delta = mc.delta.unwrap();
+        assert!((delta - exact.delta).abs() < 0.01, "delta {delta}");
+    }
+
+    #[test]
+    fn vanilla_put_mc() {
+        let m = model();
+        let opt = Vanilla::european_put(110.0, 0.5);
+        let exact = bs_price(&m, &opt).price;
+        let mc = mc_vanilla_bs(&m, &opt, &McConfig::default());
+        assert!((mc.price - exact).abs() < 4.0 * mc.std_error);
+        assert!(mc.delta.unwrap() < 0.0);
+    }
+
+    #[test]
+    fn antithetic_reduces_variance() {
+        let m = model();
+        let opt = Vanilla::european_call(100.0, 1.0);
+        let base = McConfig {
+            paths: 20_000,
+            antithetic: false,
+            ..McConfig::default()
+        };
+        let anti = McConfig {
+            antithetic: true,
+            ..base
+        };
+        let plain = mc_vanilla_bs(&m, &opt, &base);
+        let av = mc_vanilla_bs(&m, &opt, &anti);
+        assert!(
+            av.std_error < plain.std_error,
+            "antithetic {} !< plain {}",
+            av.std_error,
+            plain.std_error
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = model();
+        let opt = Vanilla::european_call(100.0, 1.0);
+        let cfg = McConfig {
+            paths: 5_000,
+            ..McConfig::default()
+        };
+        let a = mc_vanilla_bs(&m, &opt, &cfg);
+        let b = mc_vanilla_bs(&m, &opt, &cfg);
+        assert_eq!(a.price, b.price);
+        let c = mc_vanilla_bs(&m, &opt, &McConfig { seed: 7, ..cfg });
+        assert_ne!(a.price, c.price);
+    }
+
+    #[test]
+    fn qmc_beats_mc_at_equal_budget() {
+        let m = model();
+        let opt = Vanilla::european_call(100.0, 1.0);
+        let exact = bs_price(&m, &opt).price;
+        let qmc = qmc_vanilla_bs(&m, &opt, 16_384);
+        let mc = mc_vanilla_bs(
+            &m,
+            &opt,
+            &McConfig {
+                paths: 16_384,
+                antithetic: false,
+                ..McConfig::default()
+            },
+        );
+        assert!(
+            (qmc.price - exact).abs() <= (mc.price - exact).abs() + 1e-3,
+            "qmc err {} mc err {}",
+            (qmc.price - exact).abs(),
+            (mc.price - exact).abs()
+        );
+        assert!((qmc.price - exact).abs() < 0.05);
+    }
+
+    #[test]
+    fn basket_dim1_matches_vanilla_put() {
+        let multi = MultiBlackScholes::new(1, 100.0, 0.2, 0.0, 0.05, 0.0);
+        let basket = BasketOption::european_put(100.0, 1.0);
+        let exact = bs_price(&model(), &Vanilla::european_put(100.0, 1.0)).price;
+        let mc = mc_basket(&multi, &basket, &McConfig::default());
+        assert!(
+            (mc.price - exact).abs() < 4.0 * mc.std_error.max(1e-3),
+            "basket {} exact {exact}",
+            mc.price
+        );
+    }
+
+    #[test]
+    fn basket_price_decreases_with_dimension() {
+        // Averaging uncorrelated assets reduces variance of the basket,
+        // so an ATM basket put loses value as dim grows (ρ fixed small).
+        let basket = BasketOption::european_put(100.0, 1.0);
+        let cfg = McConfig {
+            paths: 40_000,
+            ..McConfig::default()
+        };
+        let p1 = mc_basket(
+            &MultiBlackScholes::new(1, 100.0, 0.2, 0.1, 0.05, 0.0),
+            &basket,
+            &cfg,
+        )
+        .price;
+        let p10 = mc_basket(
+            &MultiBlackScholes::new(10, 100.0, 0.2, 0.1, 0.05, 0.0),
+            &basket,
+            &cfg,
+        )
+        .price;
+        assert!(p10 < p1, "dim10 {p10} !< dim1 {p1}");
+    }
+
+    #[test]
+    fn basket_40_dim_runs() {
+        // The paper's largest product: 40-dimensional basket put.
+        let m = MultiBlackScholes::new(40, 100.0, 0.2, 0.3, 0.05, 0.0);
+        let basket = BasketOption::european_put(100.0, 1.0);
+        let mc = mc_basket(
+            &m,
+            &basket,
+            &McConfig {
+                paths: 20_000,
+                ..McConfig::default()
+            },
+        );
+        assert!(mc.price > 0.0 && mc.price < 100.0);
+        assert!(mc.std_error > 0.0);
+    }
+
+    #[test]
+    fn qmc_basket_agrees_with_mc() {
+        let m = MultiBlackScholes::new(5, 100.0, 0.2, 0.3, 0.05, 0.0);
+        let basket = BasketOption::european_put(100.0, 1.0);
+        let mc = mc_basket(
+            &m,
+            &basket,
+            &McConfig {
+                paths: 100_000,
+                ..McConfig::default()
+            },
+        );
+        let qmc = qmc_basket(&m, &basket, 32_768);
+        assert!(
+            (qmc.price - mc.price).abs() < 5.0 * mc.std_error.max(2e-3),
+            "qmc {} mc {} ± {}",
+            qmc.price,
+            mc.price,
+            mc.std_error
+        );
+    }
+
+    #[test]
+    fn local_vol_reduces_to_bs_when_flat() {
+        let flat = LocalVol {
+            spot: 100.0,
+            sigma0: 0.2,
+            term_amp: 0.0,
+            term_tau: 1.0,
+            skew_amp: 0.0,
+            skew_width: 0.5,
+            rate: 0.05,
+            dividend: 0.0,
+        };
+        let opt = Vanilla::european_call(100.0, 1.0);
+        let exact = bs_price(&model(), &opt).price;
+        let mc = mc_local_vol(
+            &flat,
+            &opt,
+            &McConfig {
+                paths: 50_000,
+                time_steps: 50,
+                ..McConfig::default()
+            },
+        );
+        // Euler bias + MC error: generous but binding tolerance.
+        assert!(
+            (mc.price - exact).abs() < 0.15,
+            "mc {} exact {exact}",
+            mc.price
+        );
+    }
+
+    #[test]
+    fn local_vol_skew_raises_otm_put_value() {
+        // The downward skew pumps volatility below the spot, so OTM puts
+        // are worth more than flat-vol puts.
+        let skewed = LocalVol::standard(100.0, 0.2, 0.05, 0.0);
+        let flat = LocalVol {
+            term_amp: 0.0,
+            skew_amp: 0.0,
+            ..skewed
+        };
+        let opt = Vanilla::european_put(80.0, 1.0);
+        let cfg = McConfig {
+            paths: 50_000,
+            time_steps: 50,
+            ..McConfig::default()
+        };
+        let ps = mc_local_vol(&skewed, &opt, &cfg).price;
+        let pf = mc_local_vol(&flat, &opt, &cfg).price;
+        assert!(ps > pf, "skewed {ps} !> flat {pf}");
+    }
+
+    #[test]
+    fn heston_matches_bs_when_vol_of_vol_tiny() {
+        // ξ→0 with v constant (κ huge, θ=v₀) degenerates to BS with
+        // σ=√v₀.
+        let h = Heston::new(100.0, 0.04, 5.0, 0.04, 0.01, 0.0, 0.05, 0.0);
+        let opt = Vanilla::european_call(100.0, 1.0);
+        let exact = bs_price(&model(), &opt).price; // σ = 0.2 = √0.04
+        let mc = mc_heston(
+            &h,
+            &opt,
+            &McConfig {
+                paths: 50_000,
+                time_steps: 50,
+                ..McConfig::default()
+            },
+        );
+        assert!(
+            (mc.price - exact).abs() < 0.2,
+            "heston {} bs {exact}",
+            mc.price
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn american_rejected_by_plain_mc() {
+        mc_vanilla_bs(
+            &model(),
+            &Vanilla::american_put(100.0, 1.0),
+            &McConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,520 @@
+//! Finite-difference (PDE) pricing in the Black–Scholes model.
+//!
+//! §4.3 prices the down-and-out barrier calls and the American puts with
+//! "partial differential equation techniques"; this module is that engine:
+//! a θ-scheme (Crank–Nicolson with a Rannacher implicit start) on the
+//! log-spot heat-like equation
+//!
+//! ```text
+//! V_t + (r − q − σ²/2) V_x + (σ²/2) V_xx − r V = 0,   x = ln S
+//! ```
+//!
+//! solved backward from the payoff. Knock-out barriers become Dirichlet
+//! boundaries placed exactly on `ln H` (the paper notes the barrier clause
+//! forces "a very thin time step, namely one time step every 2 days" —
+//! the benchmark uses the same density). American exercise is handled with
+//! projected SOR (PSOR) on the implicit system.
+
+use crate::models::BlackScholes;
+use crate::options::{Barrier, BarrierKind, Exercise, OptionRight, Vanilla};
+use numerics::interp;
+use numerics::linalg::{solve_tridiagonal, Tridiagonal};
+
+/// Discretisation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PdeConfig {
+    /// Number of time steps between valuation date and maturity.
+    pub time_steps: usize,
+    /// Number of space intervals (grid has `space_steps + 1` nodes).
+    pub space_steps: usize,
+    /// Half-width of the log-space domain in units of `σ√T`.
+    pub width_std_devs: f64,
+    /// Replace the first two Crank–Nicolson steps by four implicit
+    /// half-steps (Rannacher smoothing of the kinked payoff).
+    pub rannacher: bool,
+}
+
+impl Default for PdeConfig {
+    fn default() -> Self {
+        PdeConfig {
+            time_steps: 200,
+            space_steps: 400,
+            width_std_devs: 5.0,
+            rannacher: true,
+        }
+    }
+}
+
+impl PdeConfig {
+    /// Parameter sanity checks; `Err` describes the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.time_steps < 1 || self.space_steps < 3 {
+            return Err("PDE grid too small".into());
+        }
+        if !(self.width_std_devs > 0.0) {
+            return Err("domain width must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// A Dirichlet boundary condition as a function of time-to-maturity.
+type BcFn<'a> = Box<dyn Fn(f64) -> f64 + 'a>;
+
+/// Price (and delta read off the grid) from a PDE solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PdeSolution {
+    /// Price estimate.
+    pub price: f64,
+    /// First derivative of the price w.r.t. spot.
+    pub delta: f64,
+}
+
+/// Internal: backward θ-scheme over a fixed log-grid with Dirichlet
+/// boundaries and an optional early-exercise obstacle.
+struct Solver<'a> {
+    model: &'a BlackScholes,
+    xs: Vec<f64>,
+    dx: f64,
+    dt: f64,
+    maturity: f64,
+    /// payoff(S) at every node, the terminal condition and PSOR obstacle.
+    payoff: Vec<f64>,
+    /// Boundary values as functions of time-to-maturity τ.
+    lower_bc: Box<dyn Fn(f64) -> f64 + 'a>,
+    upper_bc: Box<dyn Fn(f64) -> f64 + 'a>,
+}
+
+impl<'a> Solver<'a> {
+    /// One backward step with the given θ; `v` holds V(τ) and receives
+    /// V(τ + dt). `obstacle` enables the American projection.
+    fn step(&self, v: &mut [f64], tau_next: f64, theta: f64, dt: f64, obstacle: bool) {
+        let n = self.xs.len();
+        let m = self.model;
+        let a = 0.5 * m.sigma * m.sigma; // diffusion
+        let b = m.rate - m.dividend - 0.5 * m.sigma * m.sigma; // drift
+        let r = m.rate;
+        let dx = self.dx;
+
+        // Spatial operator stencil on interior nodes:
+        // L = a D_xx + b D_x - r I.
+        let lo = a / (dx * dx) - b / (2.0 * dx);
+        let mid = -2.0 * a / (dx * dx) - r;
+        let hi = a / (dx * dx) + b / (2.0 * dx);
+
+        // RHS: (I + (1-θ) dt L) v  on interior nodes.
+        let mut rhs = vec![0.0; n - 2];
+        for i in 1..n - 1 {
+            let lv = lo * v[i - 1] + mid * v[i] + hi * v[i + 1];
+            rhs[i - 1] = v[i] + (1.0 - theta) * dt * lv;
+        }
+        // New boundary values (Dirichlet).
+        let vl = (self.lower_bc)(tau_next);
+        let vu = (self.upper_bc)(tau_next);
+        // Move the boundary terms of the implicit operator to the RHS.
+        rhs[0] += theta * dt * lo * vl;
+        rhs[n - 3] += theta * dt * hi * vu;
+
+        let sub = vec![-theta * dt * lo; n - 3];
+        let diag = vec![1.0 - theta * dt * mid; n - 2];
+        let sup = vec![-theta * dt * hi; n - 3];
+
+        if !obstacle {
+            let tri = Tridiagonal::new(sub, diag, sup);
+            let sol = solve_tridiagonal(&tri, &rhs).expect("θ-scheme system is diagonally dominant");
+            v[0] = vl;
+            v[n - 1] = vu;
+            v[1..n - 1].copy_from_slice(&sol);
+        } else {
+            // PSOR: solve the linear complementarity problem
+            // min(A v - rhs, v - payoff) = 0.
+            let omega = 1.3;
+            let tol = 1e-9;
+            let max_iter = 2000;
+            let dlo = -theta * dt * lo;
+            let dmid = 1.0 - theta * dt * mid;
+            let dhi = -theta * dt * hi;
+            // Warm start from the current values projected on the payoff.
+            let mut w: Vec<f64> = (1..n - 1)
+                .map(|i| v[i].max(self.payoff[i]))
+                .collect();
+            for _ in 0..max_iter {
+                let mut err: f64 = 0.0;
+                for i in 0..n - 2 {
+                    let left = if i == 0 { vl } else { w[i - 1] };
+                    let right = if i == n - 3 { vu } else { w[i + 1] };
+                    let gs = (rhs[i] - dlo * left - dhi * right) / dmid;
+                    let cand = w[i] + omega * (gs - w[i]);
+                    let proj = cand.max(self.payoff[i + 1]);
+                    err = err.max((proj - w[i]).abs());
+                    w[i] = proj;
+                }
+                if err < tol {
+                    break;
+                }
+            }
+            v[0] = vl.max(self.payoff[0]);
+            v[n - 1] = vu.max(self.payoff[n - 1]);
+            v[1..n - 1].copy_from_slice(&w);
+        }
+    }
+
+    /// Run the full backward induction and return the value surface at
+    /// τ = T (valuation date).
+    fn solve(&self, cfg: &PdeConfig, obstacle: bool) -> Vec<f64> {
+        let mut v = self.payoff.clone();
+        let mut tau = 0.0;
+        let mut steps_left = cfg.time_steps;
+        if cfg.rannacher && cfg.time_steps > 2 {
+            // Four implicit half-steps over the first two step intervals.
+            for _ in 0..4 {
+                let dt = self.dt / 2.0;
+                tau += dt;
+                self.step(&mut v, tau, 1.0, dt, obstacle);
+            }
+            steps_left -= 2;
+        }
+        for _ in 0..steps_left {
+            tau += self.dt;
+            self.step(&mut v, tau, 0.5, self.dt, obstacle);
+        }
+        debug_assert!((tau - self.maturity).abs() < 1e-9 * self.maturity.max(1.0));
+        v
+    }
+
+    /// Read price and delta at the spot.
+    fn read(&self, v: &[f64]) -> PdeSolution {
+        let x0 = self.model.spot.ln();
+        let price = interp::linear(&self.xs, v, x0);
+        // dV/dS = (dV/dx) / S.
+        let dvdx = interp::derivative(&self.xs, v, x0);
+        PdeSolution {
+            price,
+            delta: dvdx / self.model.spot,
+        }
+    }
+}
+
+fn uniform_grid(x_min: f64, x_max: f64, n: usize) -> (Vec<f64>, f64) {
+    let dx = (x_max - x_min) / n as f64;
+    ((0..=n).map(|i| x_min + i as f64 * dx).collect(), dx)
+}
+
+/// Price a European or American vanilla option by finite differences.
+pub fn pde_vanilla(m: &BlackScholes, option: &Vanilla, cfg: &PdeConfig) -> PdeSolution {
+    cfg.validate().expect("invalid PDE config");
+    option.validate().expect("invalid option");
+    let t = option.maturity;
+    let k = option.strike;
+    let half_width =
+        cfg.width_std_devs * m.sigma * t.sqrt() + (m.rate - m.dividend).abs() * t + 1e-9;
+    let center = m.spot.ln().min(k.ln());
+    let center_hi = m.spot.ln().max(k.ln());
+    let (xs, dx) = uniform_grid(center - half_width, center_hi + half_width, cfg.space_steps);
+    let payoff: Vec<f64> = xs.iter().map(|&x| option.payoff(x.exp())).collect();
+
+    let s_min = xs[0].exp();
+    let s_max = xs[xs.len() - 1].exp();
+    let (lower_bc, upper_bc): (BcFn<'_>, BcFn<'_>) =
+        match (option.right, option.exercise) {
+            (OptionRight::Call, _) => (
+                Box::new(move |_tau: f64| 0.0),
+                Box::new(move |tau: f64| {
+                    s_max * (-m.dividend * tau).exp() - k * (-m.rate * tau).exp()
+                }),
+            ),
+            (OptionRight::Put, Exercise::European) => (
+                Box::new(move |tau: f64| k * (-m.rate * tau).exp() - s_min * (-m.dividend * tau).exp()),
+                Box::new(move |_tau: f64| 0.0),
+            ),
+            (OptionRight::Put, Exercise::American) => (
+                // Deep in the money an American put is exercised: V = K - S.
+                Box::new(move |_tau: f64| k - s_min),
+                Box::new(move |_tau: f64| 0.0),
+            ),
+        };
+
+    let solver = Solver {
+        model: m,
+        xs,
+        dx,
+        dt: t / cfg.time_steps as f64,
+        maturity: t,
+        payoff,
+        lower_bc,
+        upper_bc,
+    };
+    let obstacle = option.exercise == Exercise::American;
+    let v = solver.solve(cfg, obstacle);
+    solver.read(&v)
+}
+
+/// Price a continuously monitored knock-out barrier option by finite
+/// differences, with the knocked-out boundary placed exactly on `ln H`.
+pub fn pde_barrier(m: &BlackScholes, option: &Barrier, cfg: &PdeConfig) -> PdeSolution {
+    cfg.validate().expect("invalid PDE config");
+    option.validate().expect("invalid option");
+    if option.knocked_out(m.spot) {
+        return PdeSolution {
+            price: option.rebate,
+            delta: 0.0,
+        };
+    }
+    let t = option.maturity;
+    let k = option.strike;
+    let rebate = option.rebate;
+    let half_width =
+        cfg.width_std_devs * m.sigma * t.sqrt() + (m.rate - m.dividend).abs() * t + 1e-9;
+
+    let (x_min, x_max) = match option.kind {
+        BarrierKind::DownOut => (
+            option.barrier.ln(),
+            m.spot.ln().max(k.ln()) + half_width,
+        ),
+        BarrierKind::UpOut => (
+            m.spot.ln().min(k.ln()) - half_width,
+            option.barrier.ln(),
+        ),
+    };
+    let (xs, dx) = uniform_grid(x_min, x_max, cfg.space_steps);
+    let payoff: Vec<f64> = xs
+        .iter()
+        .map(|&x| {
+            let s = x.exp();
+            if option.knocked_out(s) {
+                rebate
+            } else {
+                option.payoff(s)
+            }
+        })
+        .collect();
+
+    let s_min = xs[0].exp();
+    let s_max = xs[xs.len() - 1].exp();
+    let (lower_bc, upper_bc): (BcFn<'_>, BcFn<'_>) =
+        match option.kind {
+            BarrierKind::DownOut => (
+                Box::new(move |_tau: f64| rebate),
+                Box::new(move |tau: f64| match option.right {
+                    // Far above strike and barrier the option behaves like a
+                    // forward.
+                    OptionRight::Call => {
+                        s_max * (-m.dividend * tau).exp() - k * (-m.rate * tau).exp()
+                    }
+                    OptionRight::Put => 0.0,
+                }),
+            ),
+            BarrierKind::UpOut => (
+                Box::new(move |tau: f64| match option.right {
+                    OptionRight::Put => k * (-m.rate * tau).exp() - s_min * (-m.dividend * tau).exp(),
+                    OptionRight::Call => 0.0,
+                }),
+                Box::new(move |_tau: f64| rebate),
+            ),
+        };
+
+    let solver = Solver {
+        model: m,
+        xs,
+        dx,
+        dt: t / cfg.time_steps as f64,
+        maturity: t,
+        payoff,
+        lower_bc,
+        upper_bc,
+    };
+    let v = solver.solve(cfg, false);
+    solver.read(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::closed_form::{bs_price, down_out_call_price};
+
+    fn model() -> BlackScholes {
+        BlackScholes::new(100.0, 0.2, 0.05, 0.0)
+    }
+
+    fn cfg() -> PdeConfig {
+        PdeConfig::default()
+    }
+
+    #[test]
+    fn european_call_matches_closed_form() {
+        let m = model();
+        let opt = Vanilla::european_call(100.0, 1.0);
+        let pde = pde_vanilla(&m, &opt, &cfg());
+        let exact = bs_price(&m, &opt);
+        assert!(
+            (pde.price - exact.price).abs() < 0.01,
+            "pde {} exact {}",
+            pde.price,
+            exact.price
+        );
+        assert!((pde.delta - exact.delta).abs() < 0.005);
+    }
+
+    #[test]
+    fn european_put_matches_closed_form() {
+        let m = model();
+        for k in [80.0, 100.0, 120.0] {
+            let opt = Vanilla::european_put(k, 0.5);
+            let pde = pde_vanilla(&m, &opt, &cfg());
+            let exact = bs_price(&m, &opt).price;
+            assert!(
+                (pde.price - exact).abs() < 0.01,
+                "k={k}: pde {} exact {exact}",
+                pde.price
+            );
+        }
+    }
+
+    #[test]
+    fn convergence_under_refinement() {
+        let m = model();
+        let opt = Vanilla::european_call(105.0, 1.0);
+        let exact = bs_price(&m, &opt).price;
+        let coarse = pde_vanilla(
+            &m,
+            &opt,
+            &PdeConfig {
+                time_steps: 25,
+                space_steps: 50,
+                ..cfg()
+            },
+        )
+        .price;
+        let fine = pde_vanilla(
+            &m,
+            &opt,
+            &PdeConfig {
+                time_steps: 400,
+                space_steps: 800,
+                ..cfg()
+            },
+        )
+        .price;
+        assert!((fine - exact).abs() < (coarse - exact).abs());
+        assert!((fine - exact).abs() < 2e-3);
+    }
+
+    #[test]
+    fn american_put_reference_value() {
+        // S=K=100, r=0.05, σ=0.2, T=1: American put ≈ 6.0903 (e.g.
+        // binomial with 10⁴ steps / PSOR benchmarks quote 6.086–6.093).
+        let m = model();
+        let opt = Vanilla::american_put(100.0, 1.0);
+        let pde = pde_vanilla(
+            &m,
+            &opt,
+            &PdeConfig {
+                time_steps: 400,
+                space_steps: 800,
+                ..cfg()
+            },
+        );
+        assert!(
+            (pde.price - 6.090).abs() < 0.02,
+            "american put {}",
+            pde.price
+        );
+    }
+
+    #[test]
+    fn american_put_dominates_european() {
+        let m = model();
+        for k in [80.0, 100.0, 120.0] {
+            let eur = bs_price(&m, &Vanilla::european_put(k, 1.0)).price;
+            let amer = pde_vanilla(&m, &Vanilla::american_put(k, 1.0), &cfg()).price;
+            assert!(
+                amer >= eur - 5e-3,
+                "k={k}: american {amer} < european {eur}"
+            );
+        }
+    }
+
+    #[test]
+    fn american_put_at_least_intrinsic() {
+        let m = BlackScholes::new(70.0, 0.2, 0.05, 0.0);
+        let amer = pde_vanilla(&m, &Vanilla::american_put(100.0, 1.0), &cfg()).price;
+        // Grid interpolation leaves a sub-millicent wiggle below the
+        // obstacle; intrinsic must hold up to that discretisation error.
+        assert!(amer >= 30.0 - 1e-3, "price {amer} below intrinsic 30");
+    }
+
+    #[test]
+    fn barrier_matches_closed_form() {
+        let m = model();
+        let opt = Barrier::down_out_call(100.0, 85.0, 1.0);
+        let exact = down_out_call_price(&m, &opt);
+        let pde = pde_barrier(
+            &m,
+            &opt,
+            &PdeConfig {
+                time_steps: 400,
+                space_steps: 800,
+                ..cfg()
+            },
+        );
+        assert!(
+            (pde.price - exact).abs() < 0.02,
+            "pde {} exact {exact}",
+            pde.price
+        );
+    }
+
+    #[test]
+    fn barrier_knocked_out_at_start() {
+        let m = BlackScholes::new(80.0, 0.2, 0.05, 0.0);
+        let opt = Barrier::down_out_call(100.0, 85.0, 1.0);
+        let pde = pde_barrier(&m, &opt, &cfg());
+        assert_eq!(pde.price, 0.0);
+    }
+
+    #[test]
+    fn barrier_below_vanilla_and_positive() {
+        let m = model();
+        let vanilla = bs_price(&m, &Vanilla::european_call(100.0, 1.0)).price;
+        let pde = pde_barrier(&m, &Barrier::down_out_call(100.0, 90.0, 1.0), &cfg());
+        assert!(pde.price > 0.0 && pde.price < vanilla);
+        // Delta of a down-and-out call near the barrier exceeds vanilla
+        // delta (value must fall to zero at H).
+        assert!(pde.delta > 0.0);
+    }
+
+    #[test]
+    fn up_out_put_priced() {
+        let m = model();
+        let opt = Barrier {
+            right: OptionRight::Put,
+            kind: BarrierKind::UpOut,
+            strike: 100.0,
+            barrier: 130.0,
+            maturity: 1.0,
+            rebate: 0.0,
+        };
+        let p = pde_barrier(&m, &opt, &cfg());
+        let vanilla = bs_price(&m, &Vanilla::european_put(100.0, 1.0)).price;
+        assert!(p.price > 0.0 && p.price < vanilla);
+    }
+
+    #[test]
+    fn thin_time_steps_like_paper_barrier_spec() {
+        // §4.3: barrier PDE uses one time step every 2 days → T=1 means
+        // ~180 steps. Check it runs and stays accurate.
+        let m = model();
+        let opt = Barrier::down_out_call(100.0, 85.0, 1.0);
+        let exact = down_out_call_price(&m, &opt);
+        let pde = pde_barrier(
+            &m,
+            &opt,
+            &PdeConfig {
+                time_steps: 180,
+                space_steps: 400,
+                ..cfg()
+            },
+        );
+        assert!((pde.price - exact).abs() < 0.05);
+    }
+}

@@ -1,0 +1,169 @@
+//! A parametric local-volatility model.
+//!
+//! §4.3: "the local volatility models … are very close to the Black &
+//! Scholes model but in which the volatility is not constant anymore but
+//! rather depends on the current time and stock price. In these models,
+//! there are no closed-form formula anymore and Monte-Carlo methods are
+//! used instead."
+//!
+//! We use a smooth, bounded parametric surface
+//!
+//! ```text
+//! σ(t, S) = σ₀ · (1 + a·e^{-t/τ}) · (1 + b·tanh((S₀ − S)/(c·S₀)))
+//! ```
+//!
+//! which reproduces the two first-order empirical features local-vol models
+//! capture — a term structure (`a`, `τ`) and a downward skew (`b`, `c`,
+//! higher vol when the spot falls) — while staying strictly positive and
+//! bounded for `|b| < 1`, so the Euler scheme is well behaved.
+
+/// Parametric local-volatility model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalVol {
+    /// Spot price of the underlying.
+    pub spot: f64,
+    /// Base volatility level σ₀.
+    pub sigma0: f64,
+    /// Term-structure amplitude `a` (σ is `(1+a)σ₀` at t=0 decaying to σ₀).
+    pub term_amp: f64,
+    /// Term-structure decay time τ (years).
+    pub term_tau: f64,
+    /// Skew amplitude `b` (must satisfy |b| < 1).
+    pub skew_amp: f64,
+    /// Skew width `c` relative to spot.
+    pub skew_width: f64,
+    /// Risk-free rate (continuously compounded).
+    pub rate: f64,
+    /// Continuous dividend yield.
+    pub dividend: f64,
+}
+
+impl LocalVol {
+    /// A conventional calibration: mild term structure, equity-like skew.
+    pub fn standard(spot: f64, sigma0: f64, rate: f64, dividend: f64) -> Self {
+        let m = LocalVol {
+            spot,
+            sigma0,
+            term_amp: 0.2,
+            term_tau: 1.0,
+            skew_amp: 0.3,
+            skew_width: 0.5,
+            rate,
+            dividend,
+        };
+        m.validate().expect("invalid local-vol parameters");
+        m
+    }
+
+    /// Parameter sanity checks; `Err` describes the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.spot > 0.0 && self.sigma0 > 0.0) {
+            return Err("spot and sigma0 must be positive".into());
+        }
+        if self.skew_amp.abs() >= 1.0 {
+            return Err("skew amplitude must satisfy |b| < 1".into());
+        }
+        if !(self.term_tau > 0.0 && self.skew_width > 0.0) {
+            return Err("term tau and skew width must be positive".into());
+        }
+        if !self.rate.is_finite() || !self.dividend.is_finite() {
+            return Err("rate/dividend must be finite".into());
+        }
+        Ok(())
+    }
+
+    /// The local volatility σ(t, S).
+    pub fn sigma(&self, t: f64, s: f64) -> f64 {
+        let term = 1.0 + self.term_amp * (-t / self.term_tau).exp();
+        let skew = 1.0 + self.skew_amp * ((self.spot - s) / (self.skew_width * self.spot)).tanh();
+        self.sigma0 * term * skew
+    }
+
+    /// One Euler–Maruyama step on `ln S` (log-Euler keeps the path
+    /// positive):
+    /// `ln S ← ln S + (r − q − σ²(t,S)/2) dt + σ(t,S) √dt z`.
+    pub fn step(&self, t: f64, s: f64, dt: f64, z: f64) -> f64 {
+        let sig = self.sigma(t, s);
+        s * ((self.rate - self.dividend - 0.5 * sig * sig) * dt + sig * dt.sqrt() * z).exp()
+    }
+
+    /// Discount factor `e^{-rT}`.
+    pub fn discount(&self, t: f64) -> f64 {
+        (-self.rate * t).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> LocalVol {
+        LocalVol::standard(100.0, 0.2, 0.05, 0.0)
+    }
+
+    #[test]
+    fn surface_positive_and_bounded() {
+        let m = model();
+        let max = m.sigma0 * (1.0 + m.term_amp) * (1.0 + m.skew_amp);
+        for i in 0..50 {
+            for j in 1..50 {
+                let t = i as f64 * 0.2;
+                let s = j as f64 * 10.0;
+                let sig = m.sigma(t, s);
+                assert!(sig > 0.0, "σ({t},{s}) = {sig}");
+                assert!(sig <= max + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn skew_is_downward() {
+        // Lower spot ⇒ higher vol (equity skew).
+        let m = model();
+        assert!(m.sigma(0.5, 80.0) > m.sigma(0.5, 100.0));
+        assert!(m.sigma(0.5, 100.0) > m.sigma(0.5, 120.0));
+    }
+
+    #[test]
+    fn term_structure_decays() {
+        let m = model();
+        assert!(m.sigma(0.0, 100.0) > m.sigma(2.0, 100.0));
+        // Far maturity tends to σ₀ at the money exactly (tanh(0)=0).
+        assert!((m.sigma(100.0, 100.0) - m.sigma0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_positive() {
+        let m = model();
+        let mut s = 100.0;
+        for k in 0..100 {
+            s = m.step(k as f64 * 0.01, s, 0.01, if k % 2 == 0 { 2.0 } else { -2.0 });
+            assert!(s > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_skew_zero_term_reduces_to_bs_step() {
+        let m = LocalVol {
+            spot: 100.0,
+            sigma0: 0.2,
+            term_amp: 0.0,
+            term_tau: 1.0,
+            skew_amp: 0.0,
+            skew_width: 0.5,
+            rate: 0.05,
+            dividend: 0.0,
+        };
+        let bs = crate::models::BlackScholes::new(100.0, 0.2, 0.05, 0.0);
+        let s1 = m.step(0.3, 100.0, 0.1, 0.7);
+        let s2 = bs.step(100.0, 0.1, 0.7);
+        assert!((s1 - s2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_big_skew() {
+        let mut m = model();
+        m.skew_amp = 1.5;
+        assert!(m.validate().is_err());
+    }
+}

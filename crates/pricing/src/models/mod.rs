@@ -1,0 +1,17 @@
+//! Asset-dynamics models.
+//!
+//! Each model owns its parameters and knows how to simulate itself; the
+//! pricing methods in [`crate::methods`] are generic over the relevant
+//! model where possible and specialised where the numerics demand it.
+
+pub mod black_scholes;
+pub mod heston;
+pub mod local_vol;
+pub mod multi_bs;
+pub mod vasicek;
+
+pub use black_scholes::BlackScholes;
+pub use heston::Heston;
+pub use local_vol::LocalVol;
+pub use multi_bs::MultiBlackScholes;
+pub use vasicek::Vasicek;

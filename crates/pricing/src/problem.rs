@@ -1,0 +1,1275 @@
+//! Pricing-problem descriptors — the `PremiaModel` class of §3.3.
+//!
+//! "A pricing problem corresponds to the choice of a model for the
+//! underlying asset, a financial product and a pricing method" (§4.1). The
+//! paper builds such problems in Nsp:
+//!
+//! ```text
+//! P = premia_create()
+//! P.set_asset[str="equity"]
+//! P.set_model[str="Heston1dim"]
+//! P.set_option[str="PutAmer"]
+//! P.set_method[str="MC_AM_Alfonsi_LongstaffSchwartz"]
+//! save('fic', P)
+//! ```
+//!
+//! [`PremiaProblem`] mirrors that: model/option/method are set by
+//! registry name (with sensible default parameters, adjustable afterwards)
+//! or constructed directly; problems convert losslessly to and from
+//! [`nspval::Value`] hashes, so they can be `save`d, `load`ed, `sload`ed
+//! and shipped over `minimpi` exactly as in Figs. 4–5; and
+//! [`PremiaProblem::compute`] runs the actual numerical method
+//! (`P.compute[]`).
+
+use crate::methods::closed_form::{bs_price, down_out_call_price};
+use crate::methods::heston_cf::heston_cf_price;
+use crate::methods::lsm::{lsm_basket, lsm_heston, lsm_vanilla_bs, LsmConfig};
+use crate::methods::montecarlo::{
+    mc_basket, mc_heston, mc_local_vol, mc_vanilla_bs, qmc_basket, qmc_vanilla_bs, McConfig,
+};
+use crate::methods::pde::{pde_barrier, pde_vanilla, PdeConfig};
+use crate::methods::tree::{tree_vanilla, TreeConfig};
+use crate::methods::bond::{bond_option_price, mc_zcb_price};
+use crate::models::{BlackScholes, Heston, LocalVol, MultiBlackScholes, Vasicek};
+use crate::options::{Barrier, BasketOption, Exercise, OptionRight, Vanilla};
+use nspval::{Hash, Value};
+use numerics::poly::BasisKind;
+use std::fmt;
+
+/// Model choice plus parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelSpec {
+    /// One-dimensional Black–Scholes.
+    BlackScholes(BlackScholes),
+    /// One-dimensional Black–Scholes.
+    MultiBlackScholes(MultiBlackScholes),
+    /// Parametric local volatility.
+    LocalVol(LocalVol),
+    /// Heston stochastic volatility.
+    Heston(Heston),
+    /// Vasicek short-rate model (asset class "rates").
+    Vasicek(Vasicek),
+}
+
+impl ModelSpec {
+    /// Registry constructor by Premia-style name with conventional default
+    /// parameters (spot 100, rate 5%, vol 20%).
+    pub fn by_name(name: &str) -> Result<ModelSpec, PricingError> {
+        match name {
+            "BlackScholes1dim" => Ok(ModelSpec::BlackScholes(BlackScholes::new(
+                100.0, 0.2, 0.05, 0.0,
+            ))),
+            "BlackScholesNdim" => Ok(ModelSpec::MultiBlackScholes(MultiBlackScholes::new(
+                7, 100.0, 0.2, 0.3, 0.05, 0.0,
+            ))),
+            "LocalVol1dim" => Ok(ModelSpec::LocalVol(LocalVol::standard(
+                100.0, 0.2, 0.05, 0.0,
+            ))),
+            "Heston1dim" => Ok(ModelSpec::Heston(Heston::standard(100.0, 0.05))),
+            "Vasicek1dim" => Ok(ModelSpec::Vasicek(Vasicek::standard())),
+            other => Err(PricingError::Unsupported(format!("unknown model {other}"))),
+        }
+    }
+
+    /// The asset class this model belongs to ("equity" or "rates").
+    pub fn asset_class(&self) -> &'static str {
+        match self {
+            ModelSpec::Vasicek(_) => "rates",
+            _ => "equity",
+        }
+    }
+
+    /// Registry name of this choice.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelSpec::BlackScholes(_) => "BlackScholes1dim",
+            ModelSpec::MultiBlackScholes(_) => "BlackScholesNdim",
+            ModelSpec::LocalVol(_) => "LocalVol1dim",
+            ModelSpec::Heston(_) => "Heston1dim",
+            ModelSpec::Vasicek(_) => "Vasicek1dim",
+        }
+    }
+}
+
+/// Product choice plus contract terms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptionSpec {
+    /// European call.
+    Call {
+        /// Strike price.
+        strike: f64,
+        /// Maturity in years.
+        maturity: f64,
+    },
+    /// European put.
+    Put {
+        /// Strike price.
+        strike: f64,
+        /// Maturity in years.
+        maturity: f64,
+    },
+    /// Down-and-out barrier call (§4.3's barrier class).
+    DownOutCall {
+        /// Strike price.
+        strike: f64,
+        /// Barrier level.
+        barrier: f64,
+        /// Maturity in years.
+        maturity: f64,
+    },
+    /// American put.
+    AmericanPut {
+        /// Strike price.
+        strike: f64,
+        /// Maturity in years.
+        maturity: f64,
+    },
+    /// European basket put on the arithmetic average.
+    BasketPut {
+        /// Strike price.
+        strike: f64,
+        /// Maturity in years.
+        maturity: f64,
+    },
+    /// American basket put.
+    AmericanBasketPut {
+        /// Strike price.
+        strike: f64,
+        /// Maturity in years.
+        maturity: f64,
+    },
+    /// Zero-coupon bond paying 1 at `maturity` (rates asset class).
+    ZeroCouponBond {
+        /// Maturity in years.
+        maturity: f64,
+    },
+    /// European call on a zero-coupon bond: option expiry `maturity`,
+    /// bond maturity `bond_maturity`, strike in bond-price units.
+    BondCall {
+        /// Strike price.
+        strike: f64,
+        /// Maturity in years.
+        maturity: f64,
+        /// Maturity in years.
+        bond_maturity: f64,
+    },
+}
+
+impl OptionSpec {
+    /// Registry lookup by Premia-style name.
+    pub fn by_name(name: &str) -> Result<OptionSpec, PricingError> {
+        let (strike, maturity) = (100.0, 1.0);
+        match name {
+            "CallEuro" => Ok(OptionSpec::Call { strike, maturity }),
+            "PutEuro" => Ok(OptionSpec::Put { strike, maturity }),
+            "CallDownOut" => Ok(OptionSpec::DownOutCall {
+                strike,
+                barrier: 85.0,
+                maturity,
+            }),
+            "PutAmer" => Ok(OptionSpec::AmericanPut { strike, maturity }),
+            "PutBasket" => Ok(OptionSpec::BasketPut { strike, maturity }),
+            "PutBasketAmer" => Ok(OptionSpec::AmericanBasketPut { strike, maturity }),
+            "ZCBond" => Ok(OptionSpec::ZeroCouponBond { maturity: 5.0 }),
+            "CallBond" => Ok(OptionSpec::BondCall {
+                strike: 0.85,
+                maturity: 1.0,
+                bond_maturity: 5.0,
+            }),
+            other => Err(PricingError::Unsupported(format!("unknown option {other}"))),
+        }
+    }
+
+    /// Registry name of this choice.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OptionSpec::Call { .. } => "CallEuro",
+            OptionSpec::Put { .. } => "PutEuro",
+            OptionSpec::DownOutCall { .. } => "CallDownOut",
+            OptionSpec::AmericanPut { .. } => "PutAmer",
+            OptionSpec::BasketPut { .. } => "PutBasket",
+            OptionSpec::AmericanBasketPut { .. } => "PutBasketAmer",
+            OptionSpec::ZeroCouponBond { .. } => "ZCBond",
+            OptionSpec::BondCall { .. } => "CallBond",
+        }
+    }
+
+    /// Contract maturity in years.
+    pub fn maturity(&self) -> f64 {
+        match self {
+            OptionSpec::Call { maturity, .. }
+            | OptionSpec::Put { maturity, .. }
+            | OptionSpec::DownOutCall { maturity, .. }
+            | OptionSpec::AmericanPut { maturity, .. }
+            | OptionSpec::BasketPut { maturity, .. }
+            | OptionSpec::AmericanBasketPut { maturity, .. }
+            | OptionSpec::ZeroCouponBond { maturity }
+            | OptionSpec::BondCall { maturity, .. } => *maturity,
+        }
+    }
+
+    /// Contract strike (notional for bonds).
+    pub fn strike(&self) -> f64 {
+        match self {
+            OptionSpec::Call { strike, .. }
+            | OptionSpec::Put { strike, .. }
+            | OptionSpec::DownOutCall { strike, .. }
+            | OptionSpec::AmericanPut { strike, .. }
+            | OptionSpec::BasketPut { strike, .. }
+            | OptionSpec::AmericanBasketPut { strike, .. }
+            | OptionSpec::BondCall { strike, .. } => *strike,
+            // A zero-coupon bond has no strike; return the notional.
+            OptionSpec::ZeroCouponBond { .. } => 1.0,
+        }
+    }
+}
+
+/// Numerical-method choice plus discretisation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MethodSpec {
+    /// Analytic formula (vanillas, down-and-out call).
+    ClosedForm,
+    /// Crank–Nicolson finite differences (PSOR for American).
+    Pde {
+        /// Number of time steps.
+        time_steps: usize,
+        /// Number of space intervals.
+        space_steps: usize,
+    },
+    /// CRR binomial tree.
+    Tree {
+        /// Number of tree steps.
+        steps: usize,
+    },
+    /// Plain Monte-Carlo.
+    MonteCarlo {
+        /// Number of Monte-Carlo paths.
+        paths: usize,
+        /// Number of time steps.
+        time_steps: usize,
+        /// Use antithetic variates.
+        antithetic: bool,
+        /// RNG seed (problems are deterministic given their spec).
+        seed: u64,
+    },
+    /// Quasi-Monte-Carlo (Sobol/Halton) — ablation extension.
+    QuasiMonteCarlo {
+        /// Number of low-discrepancy points.
+        paths: usize,
+    },
+    /// Longstaff–Schwartz American Monte-Carlo.
+    Lsm {
+        /// Number of Monte-Carlo paths.
+        paths: usize,
+        /// Number of exercise dates (Bermudan grid).
+        exercise_dates: usize,
+        /// Polynomial degree of the regression basis.
+        basis_degree: usize,
+        /// RNG seed (problems are deterministic given their spec).
+        seed: u64,
+    },
+}
+
+impl MethodSpec {
+    /// Registry lookup by Premia-style name.
+    pub fn by_name(name: &str) -> Result<MethodSpec, PricingError> {
+        match name {
+            "CF" => Ok(MethodSpec::ClosedForm),
+            "FD_CrankNicolson" => Ok(MethodSpec::Pde {
+                time_steps: 200,
+                space_steps: 400,
+            }),
+            "TR_CoxRossRubinstein" => Ok(MethodSpec::Tree { steps: 500 }),
+            "MC_Standard" => Ok(MethodSpec::MonteCarlo {
+                paths: 100_000,
+                time_steps: 50,
+                antithetic: true,
+                seed: 42,
+            }),
+            "MC_Quasi" => Ok(MethodSpec::QuasiMonteCarlo { paths: 65_536 }),
+            // The paper's §3.3 example name, kept verbatim in the registry.
+            "MC_AM_Alfonsi_LongstaffSchwartz" | "MC_AM_LongstaffSchwartz" => Ok(MethodSpec::Lsm {
+                paths: 20_000,
+                exercise_dates: 50,
+                basis_degree: 3,
+                seed: 42,
+            }),
+            other => Err(PricingError::Unsupported(format!("unknown method {other}"))),
+        }
+    }
+
+    /// Registry name of this choice.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MethodSpec::ClosedForm => "CF",
+            MethodSpec::Pde { .. } => "FD_CrankNicolson",
+            MethodSpec::Tree { .. } => "TR_CoxRossRubinstein",
+            MethodSpec::MonteCarlo { .. } => "MC_Standard",
+            MethodSpec::QuasiMonteCarlo { .. } => "MC_Quasi",
+            MethodSpec::Lsm { .. } => "MC_AM_LongstaffSchwartz",
+        }
+    }
+}
+
+/// The result of `P.compute[]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PricingResult {
+    /// Price estimate.
+    pub price: f64,
+    /// First derivative w.r.t. spot, when the method produces it (§4.1:
+    /// "sometimes also the delta").
+    pub delta: Option<f64>,
+    /// Monte-Carlo standard error, when applicable.
+    pub std_error: Option<f64>,
+    /// Name of the method that produced the value.
+    pub method: String,
+}
+
+/// Errors from building or computing a problem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PricingError {
+    /// The (model, option, method) triple has no implementation — same
+    /// role as Premia's compatibility matrix.
+    Unsupported(String),
+    /// Parameters failed validation.
+    Invalid(String),
+    /// A serialized problem could not be decoded.
+    Malformed(String),
+}
+
+impl fmt::Display for PricingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PricingError::Unsupported(m) => write!(f, "unsupported combination: {m}"),
+            PricingError::Invalid(m) => write!(f, "invalid parameters: {m}"),
+            PricingError::Malformed(m) => write!(f, "malformed problem: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PricingError {}
+
+/// A fully specified pricing problem — the paper's `PremiaModel` instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PremiaProblem {
+    /// Asset class; the benchmark uses `"equity"` throughout (§4.3:
+    /// "we have restricted to equity derivatives for our tests").
+    pub asset: String,
+    /// Model choice plus parameters.
+    pub model: ModelSpec,
+    /// Product choice plus contract terms.
+    pub option: OptionSpec,
+    /// Numerical-method choice.
+    pub method: MethodSpec,
+}
+
+impl PremiaProblem {
+    /// `premia_create()` followed by the §3.3 setters, in one call.
+    pub fn create(model: &str, option: &str, method: &str) -> Result<Self, PricingError> {
+        let model = ModelSpec::by_name(model)?;
+        Ok(PremiaProblem {
+            asset: model.asset_class().to_string(),
+            model,
+            option: OptionSpec::by_name(option)?,
+            method: MethodSpec::by_name(method)?,
+        })
+    }
+
+    /// Direct construction from typed specs.
+    pub fn new(model: ModelSpec, option: OptionSpec, method: MethodSpec) -> Self {
+        PremiaProblem {
+            asset: model.asset_class().to_string(),
+            model,
+            option,
+            method,
+        }
+    }
+
+    /// A short human-readable identifier (used in logs and the regression
+    /// suite listing).
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.model.name(),
+            self.option.name(),
+            self.method.name()
+        )
+    }
+
+    /// `P.compute[]`: run the numerical method. Unsupported combinations
+    /// return `Err(Unsupported)` — Premia's compatibility matrix.
+    pub fn compute(&self) -> Result<PricingResult, PricingError> {
+        use MethodSpec as M;
+        use ModelSpec as Mo;
+        use OptionSpec as O;
+
+        let unsupported = || {
+            Err(PricingError::Unsupported(format!(
+                "{} / {} / {}",
+                self.model.name(),
+                self.option.name(),
+                self.method.name()
+            )))
+        };
+
+        match (&self.model, &self.option) {
+            // ---- 1-D Black–Scholes vanilla -------------------------------
+            (Mo::BlackScholes(m), O::Call { strike, maturity })
+            | (Mo::BlackScholes(m), O::Put { strike, maturity }) => {
+                let right = if matches!(self.option, O::Call { .. }) {
+                    OptionRight::Call
+                } else {
+                    OptionRight::Put
+                };
+                let opt = Vanilla {
+                    right,
+                    strike: *strike,
+                    maturity: *maturity,
+                    exercise: Exercise::European,
+                };
+                match &self.method {
+                    M::ClosedForm => {
+                        let q = bs_price(m, &opt);
+                        Ok(PricingResult {
+                            price: q.price,
+                            delta: Some(q.delta),
+                            std_error: None,
+                            method: self.method.name().into(),
+                        })
+                    }
+                    M::Pde {
+                        time_steps,
+                        space_steps,
+                    } => {
+                        let sol = pde_vanilla(
+                            m,
+                            &opt,
+                            &PdeConfig {
+                                time_steps: *time_steps,
+                                space_steps: *space_steps,
+                                ..PdeConfig::default()
+                            },
+                        );
+                        Ok(PricingResult {
+                            price: sol.price,
+                            delta: Some(sol.delta),
+                            std_error: None,
+                            method: self.method.name().into(),
+                        })
+                    }
+                    M::Tree { steps } => {
+                        let sol = tree_vanilla(m, &opt, &TreeConfig { steps: *steps });
+                        Ok(PricingResult {
+                            price: sol.price,
+                            delta: Some(sol.delta),
+                            std_error: None,
+                            method: self.method.name().into(),
+                        })
+                    }
+                    M::MonteCarlo {
+                        paths,
+                        time_steps,
+                        antithetic,
+                        seed,
+                    } => {
+                        let r = mc_vanilla_bs(
+                            m,
+                            &opt,
+                            &McConfig {
+                                paths: *paths,
+                                time_steps: *time_steps,
+                                antithetic: *antithetic,
+                                seed: *seed,
+                            },
+                        );
+                        Ok(PricingResult {
+                            price: r.price,
+                            delta: r.delta,
+                            std_error: Some(r.std_error),
+                            method: self.method.name().into(),
+                        })
+                    }
+                    M::QuasiMonteCarlo { paths } => {
+                        let r = qmc_vanilla_bs(m, &opt, *paths);
+                        Ok(PricingResult {
+                            price: r.price,
+                            delta: None,
+                            std_error: None,
+                            method: self.method.name().into(),
+                        })
+                    }
+                    M::Lsm { .. } => unsupported(),
+                }
+            }
+
+            // ---- 1-D Black–Scholes barrier -------------------------------
+            (Mo::BlackScholes(m), O::DownOutCall { strike, barrier, maturity }) => {
+                let opt = Barrier::down_out_call(*strike, *barrier, *maturity);
+                match &self.method {
+                    M::ClosedForm => Ok(PricingResult {
+                        price: down_out_call_price(m, &opt),
+                        delta: None,
+                        std_error: None,
+                        method: self.method.name().into(),
+                    }),
+                    M::Pde { time_steps, space_steps } => {
+                        let sol = pde_barrier(
+                            m,
+                            &opt,
+                            &PdeConfig {
+                                time_steps: *time_steps,
+                                space_steps: *space_steps,
+                                ..PdeConfig::default()
+                            },
+                        );
+                        Ok(PricingResult {
+                            price: sol.price,
+                            delta: Some(sol.delta),
+                            std_error: None,
+                            method: self.method.name().into(),
+                        })
+                    }
+                    _ => unsupported(),
+                }
+            }
+
+            // ---- 1-D Black–Scholes American put --------------------------
+            (Mo::BlackScholes(m), O::AmericanPut { strike, maturity }) => {
+                let opt = Vanilla::american_put(*strike, *maturity);
+                match &self.method {
+                    M::Pde { time_steps, space_steps } => {
+                        let sol = pde_vanilla(
+                            m,
+                            &opt,
+                            &PdeConfig {
+                                time_steps: *time_steps,
+                                space_steps: *space_steps,
+                                ..PdeConfig::default()
+                            },
+                        );
+                        Ok(PricingResult {
+                            price: sol.price,
+                            delta: Some(sol.delta),
+                            std_error: None,
+                            method: self.method.name().into(),
+                        })
+                    }
+                    M::Tree { steps } => {
+                        let sol = tree_vanilla(m, &opt, &TreeConfig { steps: *steps });
+                        Ok(PricingResult {
+                            price: sol.price,
+                            delta: Some(sol.delta),
+                            std_error: None,
+                            method: self.method.name().into(),
+                        })
+                    }
+                    M::Lsm { paths, exercise_dates, basis_degree, seed } => {
+                        let r = lsm_vanilla_bs(
+                            m,
+                            &opt,
+                            &LsmConfig {
+                                paths: *paths,
+                                exercise_dates: *exercise_dates,
+                                basis_degree: *basis_degree,
+                                basis: BasisKind::Monomial,
+                                seed: *seed,
+                            },
+                        );
+                        Ok(PricingResult {
+                            price: r.price,
+                            delta: None,
+                            std_error: Some(r.std_error),
+                            method: self.method.name().into(),
+                        })
+                    }
+                    _ => unsupported(),
+                }
+            }
+
+            // ---- multi-asset basket --------------------------------------
+            (Mo::MultiBlackScholes(m), O::BasketPut { strike, maturity }) => {
+                let opt = BasketOption::european_put(*strike, *maturity);
+                match &self.method {
+                    M::MonteCarlo { paths, time_steps, antithetic, seed } => {
+                        let r = mc_basket(
+                            m,
+                            &opt,
+                            &McConfig {
+                                paths: *paths,
+                                time_steps: *time_steps,
+                                antithetic: *antithetic,
+                                seed: *seed,
+                            },
+                        );
+                        Ok(PricingResult {
+                            price: r.price,
+                            delta: None,
+                            std_error: Some(r.std_error),
+                            method: self.method.name().into(),
+                        })
+                    }
+                    M::QuasiMonteCarlo { paths } => {
+                        let r = qmc_basket(m, &opt, *paths);
+                        Ok(PricingResult {
+                            price: r.price,
+                            delta: None,
+                            std_error: None,
+                            method: self.method.name().into(),
+                        })
+                    }
+                    _ => unsupported(),
+                }
+            }
+            (Mo::MultiBlackScholes(m), O::AmericanBasketPut { strike, maturity }) => {
+                let opt = BasketOption::american_put(*strike, *maturity);
+                match &self.method {
+                    M::Lsm { paths, exercise_dates, basis_degree, seed } => {
+                        let r = lsm_basket(
+                            m,
+                            &opt,
+                            &LsmConfig {
+                                paths: *paths,
+                                exercise_dates: *exercise_dates,
+                                basis_degree: *basis_degree,
+                                basis: BasisKind::Monomial,
+                                seed: *seed,
+                            },
+                        );
+                        Ok(PricingResult {
+                            price: r.price,
+                            delta: None,
+                            std_error: Some(r.std_error),
+                            method: self.method.name().into(),
+                        })
+                    }
+                    _ => unsupported(),
+                }
+            }
+
+            // ---- local volatility ----------------------------------------
+            (Mo::LocalVol(m), O::Call { strike, maturity })
+            | (Mo::LocalVol(m), O::Put { strike, maturity }) => {
+                let right = if matches!(self.option, O::Call { .. }) {
+                    OptionRight::Call
+                } else {
+                    OptionRight::Put
+                };
+                let opt = Vanilla {
+                    right,
+                    strike: *strike,
+                    maturity: *maturity,
+                    exercise: Exercise::European,
+                };
+                match &self.method {
+                    M::MonteCarlo { paths, time_steps, antithetic, seed } => {
+                        let r = mc_local_vol(
+                            m,
+                            &opt,
+                            &McConfig {
+                                paths: *paths,
+                                time_steps: *time_steps,
+                                antithetic: *antithetic,
+                                seed: *seed,
+                            },
+                        );
+                        Ok(PricingResult {
+                            price: r.price,
+                            delta: None,
+                            std_error: Some(r.std_error),
+                            method: self.method.name().into(),
+                        })
+                    }
+                    _ => unsupported(),
+                }
+            }
+
+            // ---- Heston --------------------------------------------------
+            (Mo::Heston(m), O::Call { strike, maturity })
+            | (Mo::Heston(m), O::Put { strike, maturity }) => {
+                let right = if matches!(self.option, O::Call { .. }) {
+                    OptionRight::Call
+                } else {
+                    OptionRight::Put
+                };
+                let opt = Vanilla {
+                    right,
+                    strike: *strike,
+                    maturity: *maturity,
+                    exercise: Exercise::European,
+                };
+                match &self.method {
+                    M::ClosedForm => Ok(PricingResult {
+                        price: heston_cf_price(m, &opt),
+                        delta: None,
+                        std_error: None,
+                        method: self.method.name().into(),
+                    }),
+                    M::MonteCarlo { paths, time_steps, antithetic, seed } => {
+                        let r = mc_heston(
+                            m,
+                            &opt,
+                            &McConfig {
+                                paths: *paths,
+                                time_steps: *time_steps,
+                                antithetic: *antithetic,
+                                seed: *seed,
+                            },
+                        );
+                        Ok(PricingResult {
+                            price: r.price,
+                            delta: None,
+                            std_error: Some(r.std_error),
+                            method: self.method.name().into(),
+                        })
+                    }
+                    _ => unsupported(),
+                }
+            }
+            (Mo::Heston(m), O::AmericanPut { strike, maturity }) => {
+                let opt = Vanilla::american_put(*strike, *maturity);
+                match &self.method {
+                    M::Lsm { paths, exercise_dates, basis_degree, seed } => {
+                        let r = lsm_heston(
+                            m,
+                            &opt,
+                            &LsmConfig {
+                                paths: *paths,
+                                exercise_dates: *exercise_dates,
+                                basis_degree: *basis_degree,
+                                basis: BasisKind::Monomial,
+                                seed: *seed,
+                            },
+                        );
+                        Ok(PricingResult {
+                            price: r.price,
+                            delta: None,
+                            std_error: Some(r.std_error),
+                            method: self.method.name().into(),
+                        })
+                    }
+                    _ => unsupported(),
+                }
+            }
+
+            // ---- Vasicek rates ------------------------------------------
+            (Mo::Vasicek(m), O::ZeroCouponBond { maturity }) => match &self.method {
+                M::ClosedForm => Ok(PricingResult {
+                    price: m.zcb_price(*maturity),
+                    delta: None,
+                    std_error: None,
+                    method: self.method.name().into(),
+                }),
+                M::MonteCarlo {
+                    paths,
+                    time_steps,
+                    antithetic,
+                    seed,
+                } => {
+                    let r = mc_zcb_price(
+                        m,
+                        *maturity,
+                        &McConfig {
+                            paths: *paths,
+                            time_steps: *time_steps,
+                            antithetic: *antithetic,
+                            seed: *seed,
+                        },
+                    );
+                    Ok(PricingResult {
+                        price: r.price,
+                        delta: None,
+                        std_error: Some(r.std_error),
+                        method: self.method.name().into(),
+                    })
+                }
+                _ => unsupported(),
+            },
+            (
+                Mo::Vasicek(m),
+                O::BondCall {
+                    strike,
+                    maturity,
+                    bond_maturity,
+                },
+            ) => match &self.method {
+                M::ClosedForm => Ok(PricingResult {
+                    price: bond_option_price(
+                        m,
+                        OptionRight::Call,
+                        *strike,
+                        *maturity,
+                        *bond_maturity,
+                    ),
+                    delta: None,
+                    std_error: None,
+                    method: self.method.name().into(),
+                }),
+                _ => unsupported(),
+            },
+
+            _ => unsupported(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value (XDR) encoding
+// ---------------------------------------------------------------------------
+
+fn hash_get_f64(h: &Hash, key: &str) -> Result<f64, PricingError> {
+    h.get(key)
+        .and_then(|v| v.as_scalar())
+        .ok_or_else(|| PricingError::Malformed(format!("missing scalar field {key}")))
+}
+
+fn hash_get_str<'a>(h: &'a Hash, key: &str) -> Result<&'a str, PricingError> {
+    h.get(key)
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| PricingError::Malformed(format!("missing string field {key}")))
+}
+
+fn hash_get_usize(h: &Hash, key: &str) -> Result<usize, PricingError> {
+    let x = hash_get_f64(h, key)?;
+    if x < 0.0 || x.fract() != 0.0 {
+        return Err(PricingError::Malformed(format!("field {key} is not a count: {x}")));
+    }
+    Ok(x as usize)
+}
+
+fn hash_get_bool(h: &Hash, key: &str) -> Result<bool, PricingError> {
+    h.get(key)
+        .and_then(|v| v.as_bool())
+        .ok_or_else(|| PricingError::Malformed(format!("missing boolean field {key}")))
+}
+
+impl ModelSpec {
+    fn to_value(&self) -> Value {
+        let mut h = Hash::new();
+        h.set("name", Value::string(self.name()));
+        match self {
+            ModelSpec::BlackScholes(m) => {
+                h.set("spot", Value::scalar(m.spot));
+                h.set("sigma", Value::scalar(m.sigma));
+                h.set("rate", Value::scalar(m.rate));
+                h.set("dividend", Value::scalar(m.dividend));
+            }
+            ModelSpec::MultiBlackScholes(m) => {
+                h.set("dim", Value::scalar(m.dim as f64));
+                h.set("spot", Value::scalar(m.spot));
+                h.set("sigma", Value::scalar(m.sigma));
+                h.set("rho", Value::scalar(m.rho));
+                h.set("rate", Value::scalar(m.rate));
+                h.set("dividend", Value::scalar(m.dividend));
+            }
+            ModelSpec::LocalVol(m) => {
+                h.set("spot", Value::scalar(m.spot));
+                h.set("sigma0", Value::scalar(m.sigma0));
+                h.set("term_amp", Value::scalar(m.term_amp));
+                h.set("term_tau", Value::scalar(m.term_tau));
+                h.set("skew_amp", Value::scalar(m.skew_amp));
+                h.set("skew_width", Value::scalar(m.skew_width));
+                h.set("rate", Value::scalar(m.rate));
+                h.set("dividend", Value::scalar(m.dividend));
+            }
+            ModelSpec::Heston(m) => {
+                h.set("spot", Value::scalar(m.spot));
+                h.set("v0", Value::scalar(m.v0));
+                h.set("kappa", Value::scalar(m.kappa));
+                h.set("theta", Value::scalar(m.theta));
+                h.set("xi", Value::scalar(m.xi));
+                h.set("rho", Value::scalar(m.rho));
+                h.set("rate", Value::scalar(m.rate));
+                h.set("dividend", Value::scalar(m.dividend));
+            }
+            ModelSpec::Vasicek(m) => {
+                h.set("r0", Value::scalar(m.r0));
+                h.set("kappa", Value::scalar(m.kappa));
+                h.set("theta", Value::scalar(m.theta));
+                h.set("sigma", Value::scalar(m.sigma));
+            }
+        }
+        Value::Hash(h)
+    }
+
+    fn from_value(v: &Value) -> Result<ModelSpec, PricingError> {
+        let h = v
+            .as_hash()
+            .ok_or_else(|| PricingError::Malformed("model is not a hash".into()))?;
+        match hash_get_str(h, "name")? {
+            "BlackScholes1dim" => Ok(ModelSpec::BlackScholes(BlackScholes {
+                spot: hash_get_f64(h, "spot")?,
+                sigma: hash_get_f64(h, "sigma")?,
+                rate: hash_get_f64(h, "rate")?,
+                dividend: hash_get_f64(h, "dividend")?,
+            })),
+            "BlackScholesNdim" => Ok(ModelSpec::MultiBlackScholes(MultiBlackScholes {
+                dim: hash_get_usize(h, "dim")?,
+                spot: hash_get_f64(h, "spot")?,
+                sigma: hash_get_f64(h, "sigma")?,
+                rho: hash_get_f64(h, "rho")?,
+                rate: hash_get_f64(h, "rate")?,
+                dividend: hash_get_f64(h, "dividend")?,
+            })),
+            "LocalVol1dim" => Ok(ModelSpec::LocalVol(LocalVol {
+                spot: hash_get_f64(h, "spot")?,
+                sigma0: hash_get_f64(h, "sigma0")?,
+                term_amp: hash_get_f64(h, "term_amp")?,
+                term_tau: hash_get_f64(h, "term_tau")?,
+                skew_amp: hash_get_f64(h, "skew_amp")?,
+                skew_width: hash_get_f64(h, "skew_width")?,
+                rate: hash_get_f64(h, "rate")?,
+                dividend: hash_get_f64(h, "dividend")?,
+            })),
+            "Heston1dim" => Ok(ModelSpec::Heston(Heston {
+                spot: hash_get_f64(h, "spot")?,
+                v0: hash_get_f64(h, "v0")?,
+                kappa: hash_get_f64(h, "kappa")?,
+                theta: hash_get_f64(h, "theta")?,
+                xi: hash_get_f64(h, "xi")?,
+                rho: hash_get_f64(h, "rho")?,
+                rate: hash_get_f64(h, "rate")?,
+                dividend: hash_get_f64(h, "dividend")?,
+            })),
+            "Vasicek1dim" => Ok(ModelSpec::Vasicek(Vasicek {
+                r0: hash_get_f64(h, "r0")?,
+                kappa: hash_get_f64(h, "kappa")?,
+                theta: hash_get_f64(h, "theta")?,
+                sigma: hash_get_f64(h, "sigma")?,
+            })),
+            other => Err(PricingError::Malformed(format!("unknown model {other}"))),
+        }
+    }
+}
+
+impl OptionSpec {
+    fn to_value(&self) -> Value {
+        let mut h = Hash::new();
+        h.set("name", Value::string(self.name()));
+        h.set("strike", Value::scalar(self.strike()));
+        h.set("maturity", Value::scalar(self.maturity()));
+        if let OptionSpec::DownOutCall { barrier, .. } = self {
+            h.set("barrier", Value::scalar(*barrier));
+        }
+        if let OptionSpec::BondCall { bond_maturity, .. } = self {
+            h.set("bond_maturity", Value::scalar(*bond_maturity));
+        }
+        Value::Hash(h)
+    }
+
+    fn from_value(v: &Value) -> Result<OptionSpec, PricingError> {
+        let h = v
+            .as_hash()
+            .ok_or_else(|| PricingError::Malformed("option is not a hash".into()))?;
+        let strike = hash_get_f64(h, "strike")?;
+        let maturity = hash_get_f64(h, "maturity")?;
+        match hash_get_str(h, "name")? {
+            "CallEuro" => Ok(OptionSpec::Call { strike, maturity }),
+            "PutEuro" => Ok(OptionSpec::Put { strike, maturity }),
+            "CallDownOut" => Ok(OptionSpec::DownOutCall {
+                strike,
+                barrier: hash_get_f64(h, "barrier")?,
+                maturity,
+            }),
+            "PutAmer" => Ok(OptionSpec::AmericanPut { strike, maturity }),
+            "PutBasket" => Ok(OptionSpec::BasketPut { strike, maturity }),
+            "PutBasketAmer" => Ok(OptionSpec::AmericanBasketPut { strike, maturity }),
+            "ZCBond" => Ok(OptionSpec::ZeroCouponBond { maturity }),
+            "CallBond" => Ok(OptionSpec::BondCall {
+                strike,
+                maturity,
+                bond_maturity: hash_get_f64(h, "bond_maturity")?,
+            }),
+            other => Err(PricingError::Malformed(format!("unknown option {other}"))),
+        }
+    }
+}
+
+impl MethodSpec {
+    fn to_value(&self) -> Value {
+        let mut h = Hash::new();
+        h.set("name", Value::string(self.name()));
+        match self {
+            MethodSpec::ClosedForm => {}
+            MethodSpec::Pde {
+                time_steps,
+                space_steps,
+            } => {
+                h.set("time_steps", Value::scalar(*time_steps as f64));
+                h.set("space_steps", Value::scalar(*space_steps as f64));
+            }
+            MethodSpec::Tree { steps } => {
+                h.set("steps", Value::scalar(*steps as f64));
+            }
+            MethodSpec::MonteCarlo {
+                paths,
+                time_steps,
+                antithetic,
+                seed,
+            } => {
+                h.set("paths", Value::scalar(*paths as f64));
+                h.set("time_steps", Value::scalar(*time_steps as f64));
+                h.set("antithetic", Value::boolean(*antithetic));
+                h.set("seed", Value::scalar(*seed as f64));
+            }
+            MethodSpec::QuasiMonteCarlo { paths } => {
+                h.set("paths", Value::scalar(*paths as f64));
+            }
+            MethodSpec::Lsm {
+                paths,
+                exercise_dates,
+                basis_degree,
+                seed,
+            } => {
+                h.set("paths", Value::scalar(*paths as f64));
+                h.set("exercise_dates", Value::scalar(*exercise_dates as f64));
+                h.set("basis_degree", Value::scalar(*basis_degree as f64));
+                h.set("seed", Value::scalar(*seed as f64));
+            }
+        }
+        Value::Hash(h)
+    }
+
+    fn from_value(v: &Value) -> Result<MethodSpec, PricingError> {
+        let h = v
+            .as_hash()
+            .ok_or_else(|| PricingError::Malformed("method is not a hash".into()))?;
+        match hash_get_str(h, "name")? {
+            "CF" => Ok(MethodSpec::ClosedForm),
+            "FD_CrankNicolson" => Ok(MethodSpec::Pde {
+                time_steps: hash_get_usize(h, "time_steps")?,
+                space_steps: hash_get_usize(h, "space_steps")?,
+            }),
+            "TR_CoxRossRubinstein" => Ok(MethodSpec::Tree {
+                steps: hash_get_usize(h, "steps")?,
+            }),
+            "MC_Standard" => Ok(MethodSpec::MonteCarlo {
+                paths: hash_get_usize(h, "paths")?,
+                time_steps: hash_get_usize(h, "time_steps")?,
+                antithetic: hash_get_bool(h, "antithetic")?,
+                seed: hash_get_usize(h, "seed")? as u64,
+            }),
+            "MC_Quasi" => Ok(MethodSpec::QuasiMonteCarlo {
+                paths: hash_get_usize(h, "paths")?,
+            }),
+            "MC_AM_LongstaffSchwartz" | "MC_AM_Alfonsi_LongstaffSchwartz" => Ok(MethodSpec::Lsm {
+                paths: hash_get_usize(h, "paths")?,
+                exercise_dates: hash_get_usize(h, "exercise_dates")?,
+                basis_degree: hash_get_usize(h, "basis_degree")?,
+                seed: hash_get_usize(h, "seed")? as u64,
+            }),
+            other => Err(PricingError::Malformed(format!("unknown method {other}"))),
+        }
+    }
+}
+
+impl PremiaProblem {
+    /// Encode as an Nsp hash value, ready for `save`/`serialize`.
+    pub fn to_value(&self) -> Value {
+        let mut h = Hash::new();
+        h.set("class", Value::string("PremiaModel"));
+        h.set("asset", Value::string(self.asset.clone()));
+        h.set("model", self.model.to_value());
+        h.set("option", self.option.to_value());
+        h.set("method", self.method.to_value());
+        Value::Hash(h)
+    }
+
+    /// Decode from an Nsp hash value (as produced by [`Self::to_value`]).
+    pub fn from_value(v: &Value) -> Result<Self, PricingError> {
+        let h = v
+            .as_hash()
+            .ok_or_else(|| PricingError::Malformed("problem is not a hash".into()))?;
+        if hash_get_str(h, "class")? != "PremiaModel" {
+            return Err(PricingError::Malformed("not a PremiaModel".into()));
+        }
+        Ok(PremiaProblem {
+            asset: hash_get_str(h, "asset")?.to_string(),
+            model: ModelSpec::from_value(
+                h.get("model")
+                    .ok_or_else(|| PricingError::Malformed("missing model".into()))?,
+            )?,
+            option: OptionSpec::from_value(
+                h.get("option")
+                    .ok_or_else(|| PricingError::Malformed("missing option".into()))?,
+            )?,
+            method: MethodSpec::from_value(
+                h.get("method")
+                    .ok_or_else(|| PricingError::Malformed("missing method".into()))?,
+            )?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_section_3_3_example_builds_and_computes() {
+        // P.set_model[str="Heston1dim"]; P.set_option[str="PutAmer"];
+        // P.set_method[str="MC_AM_Alfonsi_LongstaffSchwartz"]
+        let mut p = PremiaProblem::create(
+            "Heston1dim",
+            "PutAmer",
+            "MC_AM_Alfonsi_LongstaffSchwartz",
+        )
+        .unwrap();
+        // Shrink for test runtime.
+        p.method = MethodSpec::Lsm {
+            paths: 2_000,
+            exercise_dates: 10,
+            basis_degree: 3,
+            seed: 1,
+        };
+        let r = p.compute().unwrap();
+        assert!(r.price > 0.0 && r.price < 100.0);
+        assert!(r.std_error.is_some());
+    }
+
+    #[test]
+    fn closed_form_problem() {
+        let p = PremiaProblem::create("BlackScholes1dim", "CallEuro", "CF").unwrap();
+        let r = p.compute().unwrap();
+        assert!((r.price - 10.4506).abs() < 1e-3);
+        assert!(r.delta.is_some());
+    }
+
+    #[test]
+    fn unsupported_combination_rejected() {
+        // American put has no closed form.
+        let p = PremiaProblem::create("BlackScholes1dim", "PutAmer", "CF").unwrap();
+        assert!(matches!(p.compute(), Err(PricingError::Unsupported(_))));
+        // Basket with a tree is unsupported.
+        let p = PremiaProblem::create("BlackScholesNdim", "PutBasket", "TR_CoxRossRubinstein")
+            .unwrap();
+        assert!(matches!(p.compute(), Err(PricingError::Unsupported(_))));
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        assert!(PremiaProblem::create("NoSuchModel", "CallEuro", "CF").is_err());
+        assert!(PremiaProblem::create("BlackScholes1dim", "NoSuchOpt", "CF").is_err());
+        assert!(PremiaProblem::create("BlackScholes1dim", "CallEuro", "NoSuchMethod").is_err());
+    }
+
+    #[test]
+    fn value_round_trip_every_model_and_method() {
+        let models = [
+            "BlackScholes1dim",
+            "BlackScholesNdim",
+            "LocalVol1dim",
+            "Heston1dim",
+            "Vasicek1dim",
+        ];
+        let options = [
+            "CallEuro",
+            "PutEuro",
+            "CallDownOut",
+            "PutAmer",
+            "PutBasket",
+            "PutBasketAmer",
+            "ZCBond",
+            "CallBond",
+        ];
+        let methods = [
+            "CF",
+            "FD_CrankNicolson",
+            "TR_CoxRossRubinstein",
+            "MC_Standard",
+            "MC_Quasi",
+            "MC_AM_LongstaffSchwartz",
+        ];
+        for m in models {
+            for o in options {
+                for me in methods {
+                    let p = PremiaProblem::create(m, o, me).unwrap();
+                    let v = p.to_value();
+                    let back = PremiaProblem::from_value(&v).unwrap();
+                    assert_eq!(p, back, "{m}/{o}/{me}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xdr_file_round_trip_like_section_3_3() {
+        // save('fic', P); P2 = load('fic')
+        let dir = std::env::temp_dir().join("premia_problem_save");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fic");
+        let p = PremiaProblem::create("Heston1dim", "PutAmer", "MC_AM_LongstaffSchwartz").unwrap();
+        xdrser::save(&path, &p.to_value()).unwrap();
+        let back = PremiaProblem::from_value(&xdrser::load(&path).unwrap()).unwrap();
+        assert_eq!(p, back);
+        // And the sload fast path yields the same problem after unseal.
+        let s = xdrser::sload(&path).unwrap();
+        let v = xdrser::unserialize(&s).unwrap();
+        assert_eq!(PremiaProblem::from_value(&v).unwrap(), p);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_value_rejected() {
+        assert!(PremiaProblem::from_value(&Value::scalar(1.0)).is_err());
+        let mut h = Hash::new();
+        h.set("class", Value::string("SomethingElse"));
+        assert!(PremiaProblem::from_value(&Value::Hash(h)).is_err());
+    }
+
+    #[test]
+    fn rates_problems_compute_and_round_trip() {
+        // The §2 "interest rate … models and derivatives" extension.
+        let zcb = PremiaProblem::create("Vasicek1dim", "ZCBond", "CF").unwrap();
+        assert_eq!(zcb.asset, "rates");
+        let p_zcb = zcb.compute().unwrap().price;
+        assert!(p_zcb > 0.0 && p_zcb < 1.0);
+
+        let mut zcb_mc = PremiaProblem::create("Vasicek1dim", "ZCBond", "MC_Standard").unwrap();
+        zcb_mc.method = MethodSpec::MonteCarlo {
+            paths: 20_000,
+            time_steps: 50,
+            antithetic: true,
+            seed: 4,
+        };
+        let r = zcb_mc.compute().unwrap();
+        assert!(
+            (r.price - p_zcb).abs() < 4.0 * r.std_error.unwrap() + 1e-4,
+            "mc {} exact {p_zcb}",
+            r.price
+        );
+
+        let call = PremiaProblem::create("Vasicek1dim", "CallBond", "CF").unwrap();
+        let c = call.compute().unwrap().price;
+        assert!(c > 0.0 && c < 1.0);
+
+        // XDR round trip of a rates problem.
+        let v = call.to_value();
+        let back = PremiaProblem::from_value(&v).unwrap();
+        assert_eq!(back, call);
+
+        // Equity methods on rates products are rejected.
+        let bad = PremiaProblem::create("Vasicek1dim", "CallEuro", "CF").unwrap();
+        assert!(matches!(bad.compute(), Err(PricingError::Unsupported(_))));
+    }
+
+    #[test]
+    fn label_is_informative() {
+        let p = PremiaProblem::create("BlackScholes1dim", "CallEuro", "CF").unwrap();
+        assert_eq!(p.label(), "BlackScholes1dim/CallEuro/CF");
+    }
+
+    #[test]
+    fn pde_and_tree_agree_through_problem_interface() {
+        let mut p1 = PremiaProblem::create("BlackScholes1dim", "PutAmer", "FD_CrankNicolson").unwrap();
+        p1.method = MethodSpec::Pde {
+            time_steps: 200,
+            space_steps: 400,
+        };
+        let mut p2 = PremiaProblem::create("BlackScholes1dim", "PutAmer", "TR_CoxRossRubinstein")
+            .unwrap();
+        p2.method = MethodSpec::Tree { steps: 1000 };
+        let r1 = p1.compute().unwrap().price;
+        let r2 = p2.compute().unwrap().price;
+        assert!((r1 - r2).abs() < 0.05, "pde {r1} tree {r2}");
+    }
+}

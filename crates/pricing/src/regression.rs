@@ -1,0 +1,238 @@
+//! The non-regression test suite — the §4.1 workload.
+//!
+//! "These non-regression tests consist in a single instance of any pricing
+//! problem which can be solved using Premia — a pricing problem corresponds
+//! to the choice of a model for the underlying asset, a financial product
+//! and a pricing method." This module enumerates one instance of **every
+//! supported (model, option, method) combination**, with several parameter
+//! sets ("several sets of these tests exist with different parameters"),
+//! producing the heterogeneous-cost job list behind Table I.
+
+use crate::problem::{MethodSpec, ModelSpec, OptionSpec, PremiaProblem};
+
+/// How heavy the suite's numerical parameters are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteScale {
+    /// Milliseconds-per-problem parameters, for unit/integration tests.
+    Quick,
+    /// Seconds-per-problem parameters, for the actual benchmark runs.
+    Full,
+}
+
+impl SuiteScale {
+    fn mc_paths(&self) -> usize {
+        match self {
+            SuiteScale::Quick => 2_000,
+            SuiteScale::Full => 500_000,
+        }
+    }
+
+    fn mc_steps(&self) -> usize {
+        match self {
+            SuiteScale::Quick => 10,
+            SuiteScale::Full => 100,
+        }
+    }
+
+    fn pde_steps(&self) -> (usize, usize) {
+        match self {
+            SuiteScale::Quick => (40, 80),
+            SuiteScale::Full => (500, 1000),
+        }
+    }
+
+    fn tree_steps(&self) -> usize {
+        match self {
+            SuiteScale::Quick => 100,
+            SuiteScale::Full => 4_000,
+        }
+    }
+
+    fn lsm_paths(&self) -> usize {
+        match self {
+            SuiteScale::Quick => 1_000,
+            SuiteScale::Full => 50_000,
+        }
+    }
+
+    fn lsm_dates(&self) -> usize {
+        match self {
+            SuiteScale::Quick => 10,
+            SuiteScale::Full => 50,
+        }
+    }
+}
+
+/// Every supported (model, option, method) combination at the given scale,
+/// across a few parameter sets (strikes / maturities), each expected to
+/// compute successfully. This is the job list parallelised in Table I.
+pub fn regression_suite(scale: SuiteScale) -> Vec<PremiaProblem> {
+    let mut suite = Vec::new();
+    let (pde_t, pde_x) = scale.pde_steps();
+    let pde = MethodSpec::Pde {
+        time_steps: pde_t,
+        space_steps: pde_x,
+    };
+    let tree = MethodSpec::Tree {
+        steps: scale.tree_steps(),
+    };
+    let mc = MethodSpec::MonteCarlo {
+        paths: scale.mc_paths(),
+        time_steps: scale.mc_steps(),
+        antithetic: true,
+        seed: 42,
+    };
+    let qmc = MethodSpec::QuasiMonteCarlo {
+        paths: scale.mc_paths(),
+    };
+    let lsm = MethodSpec::Lsm {
+        paths: scale.lsm_paths(),
+        exercise_dates: scale.lsm_dates(),
+        basis_degree: 3,
+        seed: 42,
+    };
+
+    // Parameter sets: (strike, maturity) pairs.
+    let param_sets = [(90.0, 0.5), (100.0, 1.0), (110.0, 2.0)];
+
+    for &(strike, maturity) in &param_sets {
+        let bs = ModelSpec::by_name("BlackScholes1dim").unwrap();
+        let lv = ModelSpec::by_name("LocalVol1dim").unwrap();
+        let heston = ModelSpec::by_name("Heston1dim").unwrap();
+        let multi7 = ModelSpec::by_name("BlackScholesNdim").unwrap();
+
+        let call = OptionSpec::Call { strike, maturity };
+        let put = OptionSpec::Put { strike, maturity };
+        let dob = OptionSpec::DownOutCall {
+            strike,
+            barrier: strike * 0.85,
+            maturity,
+        };
+        let amer = OptionSpec::AmericanPut { strike, maturity };
+        let basket = OptionSpec::BasketPut { strike, maturity };
+        let basket_amer = OptionSpec::AmericanBasketPut { strike, maturity };
+
+        // BS vanilla: every applicable method.
+        for method in [
+            MethodSpec::ClosedForm,
+            pde.clone(),
+            tree.clone(),
+            mc.clone(),
+            qmc.clone(),
+        ] {
+            suite.push(PremiaProblem::new(bs.clone(), call.clone(), method.clone()));
+            suite.push(PremiaProblem::new(bs.clone(), put.clone(), method));
+        }
+        // Barrier: closed form + PDE.
+        suite.push(PremiaProblem::new(
+            bs.clone(),
+            dob.clone(),
+            MethodSpec::ClosedForm,
+        ));
+        suite.push(PremiaProblem::new(bs.clone(), dob, pde.clone()));
+        // American put: PDE, tree, LSM.
+        suite.push(PremiaProblem::new(bs.clone(), amer.clone(), pde.clone()));
+        suite.push(PremiaProblem::new(bs.clone(), amer.clone(), tree.clone()));
+        suite.push(PremiaProblem::new(bs, amer.clone(), lsm.clone()));
+        // Basket: MC + QMC; American basket: LSM.
+        suite.push(PremiaProblem::new(multi7.clone(), basket.clone(), mc.clone()));
+        suite.push(PremiaProblem::new(multi7.clone(), basket, qmc.clone()));
+        suite.push(PremiaProblem::new(multi7, basket_amer, lsm.clone()));
+        // Local vol: MC call and put.
+        suite.push(PremiaProblem::new(lv.clone(), call.clone(), mc.clone()));
+        suite.push(PremiaProblem::new(lv, put.clone(), mc.clone()));
+        // Heston: semi-analytic CF + MC European + LSM American (§3.3
+        // example).
+        suite.push(PremiaProblem::new(
+            heston.clone(),
+            call.clone(),
+            MethodSpec::ClosedForm,
+        ));
+        suite.push(PremiaProblem::new(
+            heston.clone(),
+            put.clone(),
+            MethodSpec::ClosedForm,
+        ));
+        suite.push(PremiaProblem::new(heston.clone(), call, mc.clone()));
+        suite.push(PremiaProblem::new(heston.clone(), put, mc.clone()));
+        suite.push(PremiaProblem::new(heston, amer, lsm.clone()));
+        // Rates (§2 extension): zero-coupon bond CF + MC, bond call CF.
+        let vasicek = ModelSpec::by_name("Vasicek1dim").unwrap();
+        let zcb = OptionSpec::ZeroCouponBond { maturity };
+        let bond_call = OptionSpec::BondCall {
+            strike: 0.85,
+            maturity: maturity * 0.5,
+            bond_maturity: maturity * 0.5 + 4.0,
+        };
+        suite.push(PremiaProblem::new(
+            vasicek.clone(),
+            zcb.clone(),
+            MethodSpec::ClosedForm,
+        ));
+        suite.push(PremiaProblem::new(vasicek.clone(), zcb, mc.clone()));
+        suite.push(PremiaProblem::new(vasicek, bond_call, MethodSpec::ClosedForm));
+    }
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_expected_size() {
+        // 28 combinations × 3 parameter sets.
+        let suite = regression_suite(SuiteScale::Quick);
+        assert_eq!(suite.len(), 84);
+    }
+
+    #[test]
+    fn suite_labels_unique_per_param_set() {
+        let suite = regression_suite(SuiteScale::Quick);
+        // Within one parameter set all 28 labels must be distinct.
+        let labels: Vec<String> = suite[..28].iter().map(|p| p.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn every_quick_problem_computes() {
+        for p in regression_suite(SuiteScale::Quick) {
+            let r = p
+                .compute()
+                .unwrap_or_else(|e| panic!("{} failed: {e}", p.label()));
+            assert!(
+                r.price.is_finite() && r.price >= -1e-9,
+                "{}: price {}",
+                p.label(),
+                r.price
+            );
+        }
+    }
+
+    #[test]
+    fn every_problem_round_trips_through_xdr() {
+        for p in regression_suite(SuiteScale::Quick) {
+            let s = xdrser::serialize(&p.to_value());
+            let v = xdrser::unserialize(&s).unwrap();
+            assert_eq!(PremiaProblem::from_value(&v).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn full_scale_parameters_are_heavier() {
+        let q = regression_suite(SuiteScale::Quick);
+        let f = regression_suite(SuiteScale::Full);
+        assert_eq!(q.len(), f.len());
+        // Find an MC problem and compare path counts.
+        let paths = |p: &PremiaProblem| match p.method {
+            MethodSpec::MonteCarlo { paths, .. } => Some(paths),
+            _ => None,
+        };
+        let qp = q.iter().find_map(paths).unwrap();
+        let fp = f.iter().find_map(paths).unwrap();
+        assert!(fp > qp * 10);
+    }
+}

@@ -1,0 +1,330 @@
+//! LZSS compression of serial buffers.
+//!
+//! §3.2 of the paper introduces compressed serialized buffers ("We have
+//! recently introduced in Nsp the possibility to compress the serialized
+//! buffer used in serialized objects") and leaves measuring their effect on
+//! MPI transmission as future work. We implement the feature from scratch —
+//! a classic LZSS with a 4 KiB sliding window and greedy matching — and the
+//! `bench` crate carries the ablation the paper defers.
+//!
+//! Wire format: `NSPZ` magic, u32 uncompressed length, then a token stream:
+//! flag bytes announce the next 8 items MSB-first (0 = literal byte,
+//! 1 = match of `(offset: 12 bits, length-MIN_MATCH: 4 bits)`).
+
+use crate::error::XdrError;
+use nspval::Serial;
+
+const MAGIC: &[u8; 4] = b"NSPZ";
+const WINDOW: usize = 1 << 12; // 4096
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = MIN_MATCH + 15;
+
+/// Compress raw bytes with LZSS.
+pub fn compress_bytes(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(input.len() as u32).to_be_bytes());
+
+    // Hash chains over 3-byte prefixes for match finding.
+    const HASH_SIZE: usize = 1 << 13;
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; input.len()];
+    let hash3 = |b: &[u8]| -> usize {
+        ((b[0] as usize) << 6 ^ (b[1] as usize) << 3 ^ b[2] as usize) & (HASH_SIZE - 1)
+    };
+
+    let mut i = 0;
+    let mut flag_pos = out.len();
+    out.push(0);
+    let mut flag_bit = 0u8;
+    let mut flags = 0u8;
+
+    let emit = |out: &mut Vec<u8>,
+                    flags: &mut u8,
+                    flag_bit: &mut u8,
+                    flag_pos: &mut usize,
+                    is_match: bool,
+                    payload: &[u8]| {
+        if is_match {
+            *flags |= 0x80 >> *flag_bit;
+        }
+        out.extend_from_slice(payload);
+        *flag_bit += 1;
+        if *flag_bit == 8 {
+            out[*flag_pos] = *flags;
+            *flag_pos = out.len();
+            out.push(0);
+            *flags = 0;
+            *flag_bit = 0;
+        }
+    };
+
+    while i < input.len() {
+        let mut best_len = 0;
+        let mut best_off = 0;
+        if i + MIN_MATCH <= input.len() {
+            let h = hash3(&input[i..]);
+            let mut cand = head[h];
+            let mut tries = 32;
+            while cand != usize::MAX && tries > 0 {
+                if i - cand <= WINDOW {
+                    let max = MAX_MATCH.min(input.len() - i);
+                    let mut l = 0;
+                    while l < max && input[cand + l] == input[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_off = i - cand;
+                        if l == MAX_MATCH {
+                            break;
+                        }
+                    }
+                } else {
+                    break;
+                }
+                cand = prev[cand];
+                tries -= 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            // 12-bit offset (1..=4096 stored as offset-1), 4-bit length.
+            let off = (best_off - 1) as u16;
+            let len = (best_len - MIN_MATCH) as u16;
+            let token = (off << 4) | len;
+            emit(
+                &mut out,
+                &mut flags,
+                &mut flag_bit,
+                &mut flag_pos,
+                true,
+                &token.to_be_bytes(),
+            );
+            // Insert all covered positions into the hash chains.
+            let end = i + best_len;
+            while i < end {
+                if i + MIN_MATCH <= input.len() {
+                    let h = hash3(&input[i..]);
+                    prev[i] = head[h];
+                    head[h] = i;
+                }
+                i += 1;
+            }
+        } else {
+            emit(
+                &mut out,
+                &mut flags,
+                &mut flag_bit,
+                &mut flag_pos,
+                false,
+                &input[i..=i],
+            );
+            if i + MIN_MATCH <= input.len() {
+                let h = hash3(&input[i..]);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+    }
+    // Flush the final (possibly partial) flag byte.
+    out[flag_pos] = flags;
+    if flag_bit == 0 && out.len() == flag_pos + 1 {
+        // No items were written after the last flag byte slot; drop it.
+        out.pop();
+    }
+    out
+}
+
+/// Decompress an LZSS buffer produced by [`compress_bytes`].
+pub fn decompress_bytes(input: &[u8]) -> Result<Vec<u8>, XdrError> {
+    if input.len() < 8 || &input[..4] != MAGIC {
+        return Err(XdrError::BadMagic);
+    }
+    let expect = u32::from_be_bytes([input[4], input[5], input[6], input[7]]) as usize;
+    let mut out = Vec::with_capacity(expect);
+    let mut i = 8;
+    'outer: while i < input.len() && out.len() < expect {
+        let flags = input[i];
+        i += 1;
+        for bit in 0..8 {
+            if out.len() >= expect {
+                break 'outer;
+            }
+            if i >= input.len() {
+                return Err(XdrError::UnexpectedEof);
+            }
+            if flags & (0x80 >> bit) != 0 {
+                if i + 1 >= input.len() {
+                    return Err(XdrError::UnexpectedEof);
+                }
+                let token = u16::from_be_bytes([input[i], input[i + 1]]);
+                i += 2;
+                let off = (token >> 4) as usize + 1;
+                let len = (token & 0xF) as usize + MIN_MATCH;
+                if off > out.len() {
+                    return Err(XdrError::Corrupt("match offset before start".into()));
+                }
+                let start = out.len() - off;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            } else {
+                out.push(input[i]);
+                i += 1;
+            }
+        }
+    }
+    if out.len() != expect {
+        return Err(XdrError::Corrupt(format!(
+            "decompressed {} bytes, expected {expect}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// Nsp's `S.compress[]`: compress a plain `Serial` into a compressed one.
+/// Compressing an already-compressed serial is an error.
+pub fn compress_serial(s: &Serial) -> Result<Serial, XdrError> {
+    if s.is_compressed() {
+        return Err(XdrError::Corrupt("serial is already compressed".into()));
+    }
+    Ok(Serial::new_compressed(compress_bytes(s.bytes())))
+}
+
+/// Recover the plain `Serial` from a compressed one.
+pub fn decompress_serial(s: &Serial) -> Result<Serial, XdrError> {
+    if !s.is_compressed() {
+        return Err(XdrError::Corrupt("serial is not compressed".into()));
+    }
+    Ok(Serial::new(decompress_bytes(s.bytes())?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let c = compress_bytes(data);
+        let d = decompress_bytes(&c).unwrap();
+        assert_eq!(d, data, "round trip failed (len {})", data.len());
+    }
+
+    #[test]
+    fn empty_input() {
+        round_trip(&[]);
+    }
+
+    #[test]
+    fn single_byte() {
+        round_trip(&[42]);
+    }
+
+    #[test]
+    fn short_inputs() {
+        for n in 1..40usize {
+            let data: Vec<u8> = (0..n).map(|i| (i * 7 % 251) as u8).collect();
+            round_trip(&data);
+        }
+    }
+
+    #[test]
+    fn highly_repetitive_compresses_well() {
+        let data = vec![7u8; 10_000];
+        let c = compress_bytes(&data);
+        assert!(c.len() < data.len() / 4, "compressed to {}", c.len());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn structured_data_compresses() {
+        // Serialized 1:100 — the paper's Fig. 2 shows 842 → 248 bytes
+        // with Nsp's compressor; ours should also clearly shrink this
+        // (lots of repeated zero bytes in XDR doubles).
+        let v = nspval::Value::Real(nspval::Matrix::range(1.0, 100.0));
+        let bytes = crate::ser::serialize_to_bytes(&v);
+        let c = compress_bytes(&bytes);
+        assert!(
+            c.len() < bytes.len() / 2,
+            "serialized {} compressed {}",
+            bytes.len(),
+            c.len()
+        );
+        round_trip(&bytes);
+    }
+
+    #[test]
+    fn incompressible_random_data_round_trips() {
+        // Deterministic xorshift noise — incompressible, output may be
+        // slightly larger than input, must still round trip.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..5000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x & 0xFF) as u8
+            })
+            .collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn long_matches_across_window() {
+        // Pattern longer than the window forces window-boundary matches.
+        let pat = b"abcdefghij";
+        let mut data = Vec::new();
+        for _ in 0..1000 {
+            data.extend_from_slice(pat);
+        }
+        round_trip(&data);
+        let c = compress_bytes(&data);
+        assert!(c.len() < data.len() / 3);
+    }
+
+    #[test]
+    fn serial_compress_round_trip() {
+        let v = nspval::Value::Real(nspval::Matrix::range(1.0, 100.0));
+        let s = crate::ser::serialize(&v);
+        let c = compress_serial(&s).unwrap();
+        assert!(c.is_compressed());
+        assert!(c.len() < s.len());
+        let back = decompress_serial(&c).unwrap();
+        assert_eq!(back, s);
+        // And unserialize handles the compressed serial transparently.
+        let v2 = crate::ser::unserialize(&c).unwrap();
+        assert!(v.equal(&v2));
+    }
+
+    #[test]
+    fn double_compress_rejected() {
+        let s = crate::ser::serialize(&nspval::Value::scalar(1.0));
+        let c = compress_serial(&s).unwrap();
+        assert!(compress_serial(&c).is_err());
+        assert!(decompress_serial(&s).is_err());
+    }
+
+    #[test]
+    fn corrupt_stream_rejected() {
+        let s = compress_bytes(b"hello hello hello hello");
+        // Truncation.
+        assert!(decompress_bytes(&s[..s.len() - 1]).is_err());
+        // Bad magic.
+        let mut bad = s.clone();
+        bad[0] = b'X';
+        assert!(matches!(decompress_bytes(&bad), Err(XdrError::BadMagic)));
+    }
+
+    #[test]
+    fn offset_before_start_rejected() {
+        // Hand-craft a stream whose first token is a match (impossible).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&10u32.to_be_bytes());
+        bytes.push(0x80); // first item is a match
+        bytes.extend_from_slice(&0u16.to_be_bytes());
+        assert!(decompress_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for serialization and file I/O.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong while encoding, decoding, or hitting the
+/// filesystem.
+#[derive(Debug)]
+pub enum XdrError {
+    /// The buffer ended before the value was fully decoded.
+    UnexpectedEof,
+    /// An unknown type tag or corrupted structure was encountered.
+    Corrupt(String),
+    /// The magic header did not match (not a serialized Nsp value).
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for XdrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XdrError::UnexpectedEof => write!(f, "unexpected end of serialized data"),
+            XdrError::Corrupt(msg) => write!(f, "corrupt serialized data: {msg}"),
+            XdrError::BadMagic => write!(f, "bad magic: not a serialized Nsp value"),
+            XdrError::BadVersion(v) => write!(f, "unsupported serialization version {v}"),
+            XdrError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for XdrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XdrError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for XdrError {
+    fn from(e: io::Error) -> Self {
+        XdrError::Io(e)
+    }
+}

@@ -1,0 +1,409 @@
+//! Serialization of [`nspval::Value`] trees, plus file `save`/`load` and
+//! the `sload` fast path.
+//!
+//! The byte format is a 4-byte magic (`NSPS`), a format-version word, then
+//! a recursively encoded value. Exactly as in Nsp, the *file* format and
+//! the *serialization* format are the same bytes: "serialization just
+//! redirects the binary savings of objects to a string buffer". That
+//! identity is what makes `sload` possible — reading the file contents
+//! verbatim yields a valid `Serial` object.
+
+use crate::codec::{XdrReader, XdrWriter};
+use crate::error::XdrError;
+use nspval::{BoolMatrix, Hash, List, Matrix, Serial, StrMatrix, Value};
+use std::fs;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"NSPS";
+const VERSION: u32 = 1;
+
+// Type tags on the wire.
+const TAG_REAL: u32 = 1;
+const TAG_BOOL: u32 = 2;
+const TAG_STR: u32 = 3;
+const TAG_LIST: u32 = 4;
+const TAG_HASH: u32 = 5;
+const TAG_SERIAL: u32 = 6;
+const TAG_NONE: u32 = 7;
+
+fn encode_value(w: &mut XdrWriter, v: &Value) {
+    match v {
+        Value::Real(m) => {
+            w.put_u32(TAG_REAL);
+            w.put_u32(m.rows() as u32);
+            w.put_u32(m.cols() as u32);
+            for &x in m.data() {
+                w.put_f64(x);
+            }
+        }
+        Value::Bool(b) => {
+            w.put_u32(TAG_BOOL);
+            w.put_u32(b.rows() as u32);
+            w.put_u32(b.cols() as u32);
+            // Pack the booleans as bytes inside one opaque (XDR-aligned).
+            let bytes: Vec<u8> = b.data().iter().map(|&x| x as u8).collect();
+            w.put_opaque(&bytes);
+        }
+        Value::Str(s) => {
+            w.put_u32(TAG_STR);
+            w.put_u32(s.rows() as u32);
+            w.put_u32(s.cols() as u32);
+            for item in s.data() {
+                w.put_string(item);
+            }
+        }
+        Value::List(l) => {
+            w.put_u32(TAG_LIST);
+            w.put_u32(l.len() as u32);
+            for item in l.iter() {
+                encode_value(w, item);
+            }
+        }
+        Value::Hash(h) => {
+            w.put_u32(TAG_HASH);
+            w.put_u32(h.len() as u32);
+            for (k, item) in h.iter() {
+                w.put_string(k);
+                encode_value(w, item);
+            }
+        }
+        Value::Serial(s) => {
+            w.put_u32(TAG_SERIAL);
+            w.put_bool(s.is_compressed());
+            w.put_opaque(s.bytes());
+        }
+        Value::None => {
+            w.put_u32(TAG_NONE);
+        }
+    }
+}
+
+fn decode_value(r: &mut XdrReader) -> Result<Value, XdrError> {
+    let tag = r.get_u32()?;
+    match tag {
+        TAG_REAL => {
+            let rows = r.get_u32()? as usize;
+            let cols = r.get_u32()? as usize;
+            let n = rows
+                .checked_mul(cols)
+                .ok_or_else(|| XdrError::Corrupt("matrix size overflow".into()))?;
+            if n.checked_mul(8).map(|b| b > r.remaining()).unwrap_or(true) {
+                return Err(XdrError::UnexpectedEof);
+            }
+            let mut data = Vec::with_capacity(n);
+            for _ in 0..n {
+                data.push(r.get_f64()?);
+            }
+            Ok(Value::Real(Matrix::from_col_major(rows, cols, data)))
+        }
+        TAG_BOOL => {
+            let rows = r.get_u32()? as usize;
+            let cols = r.get_u32()? as usize;
+            let bytes = r.get_opaque()?;
+            if bytes.len() != rows * cols {
+                return Err(XdrError::Corrupt("bool matrix length mismatch".into()));
+            }
+            let data: Vec<bool> = bytes.iter().map(|&b| b != 0).collect();
+            Ok(Value::Bool(BoolMatrix::from_col_major(rows, cols, data)))
+        }
+        TAG_STR => {
+            let rows = r.get_u32()? as usize;
+            let cols = r.get_u32()? as usize;
+            let n = rows
+                .checked_mul(cols)
+                .ok_or_else(|| XdrError::Corrupt("string matrix size overflow".into()))?;
+            if n > r.remaining() {
+                // Each string costs at least a 4-byte length word.
+                return Err(XdrError::UnexpectedEof);
+            }
+            let mut data = Vec::with_capacity(n);
+            for _ in 0..n {
+                data.push(r.get_string()?);
+            }
+            Ok(Value::Str(StrMatrix::from_col_major(rows, cols, data)))
+        }
+        TAG_LIST => {
+            let n = r.get_u32()? as usize;
+            if n > r.remaining() {
+                return Err(XdrError::UnexpectedEof);
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(decode_value(r)?);
+            }
+            Ok(Value::List(List::from_vec(items)))
+        }
+        TAG_HASH => {
+            let n = r.get_u32()? as usize;
+            if n > r.remaining() {
+                return Err(XdrError::UnexpectedEof);
+            }
+            let mut h = Hash::new();
+            for _ in 0..n {
+                let k = r.get_string()?;
+                let v = decode_value(r)?;
+                h.set(&k, v);
+            }
+            Ok(Value::Hash(h))
+        }
+        TAG_SERIAL => {
+            let compressed = r.get_bool()?;
+            let bytes = r.get_opaque()?.to_vec();
+            Ok(Value::Serial(if compressed {
+                Serial::new_compressed(bytes)
+            } else {
+                Serial::new(bytes)
+            }))
+        }
+        TAG_NONE => Ok(Value::None),
+        other => Err(XdrError::Corrupt(format!("unknown type tag {other}"))),
+    }
+}
+
+/// Serialize a value to raw bytes (magic + version + encoded tree).
+pub fn serialize_to_bytes(v: &Value) -> Vec<u8> {
+    let mut w = XdrWriter::with_capacity(64);
+    w.put_u32(u32::from_be_bytes(*MAGIC));
+    w.put_u32(VERSION);
+    encode_value(&mut w, v);
+    w.into_bytes()
+}
+
+/// Nsp's `serialize(A)`: value → `Serial` object.
+pub fn serialize(v: &Value) -> Serial {
+    Serial::new(serialize_to_bytes(v))
+}
+
+/// Decode raw serialized bytes back into a value.
+pub fn unserialize_bytes(bytes: &[u8]) -> Result<Value, XdrError> {
+    let mut r = XdrReader::new(bytes);
+    let magic = r.get_u32()?;
+    if magic != u32::from_be_bytes(*MAGIC) {
+        return Err(XdrError::BadMagic);
+    }
+    let version = r.get_u32()?;
+    if version != VERSION {
+        return Err(XdrError::BadVersion(version));
+    }
+    let v = decode_value(&mut r)?;
+    if !r.is_exhausted() {
+        return Err(XdrError::Corrupt("trailing bytes after value".into()));
+    }
+    Ok(v)
+}
+
+/// Nsp's `S.unserialize[]`: `Serial` → value, transparently decompressing
+/// compressed serials (as the paper notes, "the unserialize method can then
+/// transparently manage unserialization of compressed and non compressed
+/// Serial objects").
+pub fn unserialize(s: &Serial) -> Result<Value, XdrError> {
+    if s.is_compressed() {
+        let plain = crate::compress::decompress_serial(s)?;
+        unserialize_bytes(plain.bytes())
+    } else {
+        unserialize_bytes(s.bytes())
+    }
+}
+
+/// Nsp's `save('file', V)`: write the serialized bytes to a file.
+pub fn save<P: AsRef<Path>>(path: P, v: &Value) -> Result<(), XdrError> {
+    fs::write(path, serialize_to_bytes(v))?;
+    Ok(())
+}
+
+/// Nsp's `load('file')`: read a file and materialise the value.
+pub fn load<P: AsRef<Path>>(path: P) -> Result<Value, XdrError> {
+    let bytes = fs::read(path)?;
+    unserialize_bytes(&bytes)
+}
+
+/// Nsp's `sload('file')` (Fig. 2): read the file **directly into a
+/// `Serial` object** without creating the value. This skips the
+/// materialise-then-reserialize round trip of the "full load" strategy —
+/// the key optimisation behind the "serialized load" columns of
+/// Tables II/III.
+pub fn sload<P: AsRef<Path>>(path: P) -> Result<Serial, XdrError> {
+    let bytes = fs::read(path)?;
+    // Validate just the header so corrupt files fail fast, without paying
+    // for a full decode.
+    if bytes.len() < 8 || &bytes[..4] != MAGIC {
+        return Err(XdrError::BadMagic);
+    }
+    Ok(Serial::new(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_values() -> Vec<Value> {
+        vec![
+            Value::scalar(3.75),
+            Value::string("PutAmer"),
+            Value::boolean(true),
+            Value::empty_matrix(),
+            Value::Real(Matrix::from_row_major(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0])),
+            Value::Bool(BoolMatrix::row(vec![true, false, true])),
+            Value::Str(StrMatrix::row(vec!["foo".into(), "bar".into()])),
+            Value::list(vec![
+                Value::string("string"),
+                Value::boolean(true),
+                Value::Real(Matrix::from_row_major(2, 2, &[0.1, 0.2, 0.3, 0.4])),
+            ]),
+            {
+                let mut h = Hash::new();
+                h.set("A", Value::Bool(BoolMatrix::row(vec![true, false])));
+                h.set(
+                    "B",
+                    Value::list(vec![
+                        Value::string("foo"),
+                        Value::Real(Matrix::range(1.0, 4.0)),
+                    ]),
+                );
+                Value::Hash(h)
+            },
+            Value::None,
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_sample_values() {
+        for v in sample_values() {
+            let s = serialize(&v);
+            let back = unserialize(&s).unwrap();
+            assert!(v.equal(&back), "round trip failed for {v:?}");
+        }
+    }
+
+    #[test]
+    fn nested_serial_round_trips() {
+        // The paper serializes a value, then sends the *Serial* as an
+        // object: serialize(serialize(A)) must work.
+        let inner = serialize(&Value::string("nested"));
+        let v = Value::Serial(inner.clone());
+        let s = serialize(&v);
+        let back = unserialize(&s).unwrap();
+        assert_eq!(back.as_serial().unwrap(), &inner);
+        let inner_back = unserialize(back.as_serial().unwrap()).unwrap();
+        assert_eq!(inner_back.as_str(), Some("nested"));
+    }
+
+    #[test]
+    fn paper_fig2_serial_size_reported() {
+        // -nsp->A=1:100; S=serialize(A) prints <842-bytes>. Our format
+        // differs in header size but must be in the same ballpark:
+        // 100 doubles = 800 bytes + tags.
+        let v = Value::Real(Matrix::range(1.0, 100.0));
+        let s = serialize(&v);
+        assert!(s.len() >= 800 && s.len() < 900, "size {}", s.len());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join("xdr_test_save_load");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("value.bin");
+        let v = sample_values().pop().unwrap();
+        for v in sample_values() {
+            save(&path, &v).unwrap();
+            let back = load(&path).unwrap();
+            assert!(v.equal(&back));
+        }
+        let _ = v;
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sload_returns_exact_file_bytes() {
+        let dir = std::env::temp_dir().join("xdr_test_sload");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.bin");
+        // Fig. 2: H.A=rand(4,5); H.B=rand(4,1); save; sload; unserialize.
+        let mut h = Hash::new();
+        h.set("A", Value::Real(Matrix::zeros(4, 5)));
+        h.set("B", Value::Real(Matrix::zeros(4, 1)));
+        let v = Value::Hash(h);
+        save(&path, &v).unwrap();
+        let s = sload(&path).unwrap();
+        assert_eq!(s.bytes(), serialize_to_bytes(&v).as_slice());
+        let back = unserialize(&s).unwrap();
+        assert!(back.equal(&v));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sload_rejects_non_serialized_file() {
+        let dir = std::env::temp_dir().join("xdr_test_sload_bad");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("junk.bin");
+        fs::write(&path, b"this is not a serialized value").unwrap();
+        assert!(matches!(sload(&path), Err(XdrError::BadMagic)));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        assert!(matches!(
+            load("/nonexistent/definitely/missing.bin"),
+            Err(XdrError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = serialize_to_bytes(&Value::scalar(1.0));
+        bytes[0] = b'X';
+        assert!(matches!(unserialize_bytes(&bytes), Err(XdrError::BadMagic)));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = serialize_to_bytes(&Value::scalar(1.0));
+        bytes[7] = 99;
+        assert!(matches!(
+            unserialize_bytes(&bytes),
+            Err(XdrError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        let bytes = serialize_to_bytes(&Value::Real(Matrix::range(1.0, 50.0)));
+        for cut in [9, 16, bytes.len() - 1] {
+            assert!(unserialize_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = serialize_to_bytes(&Value::scalar(1.0));
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(matches!(
+            unserialize_bytes(&bytes),
+            Err(XdrError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut w = XdrWriter::new();
+        w.put_u32(u32::from_be_bytes(*MAGIC));
+        w.put_u32(VERSION);
+        w.put_u32(999);
+        assert!(matches!(
+            unserialize_bytes(&w.into_bytes()),
+            Err(XdrError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn deep_nesting_round_trips() {
+        let mut v = Value::scalar(1.0);
+        for _ in 0..50 {
+            v = Value::list(vec![v]);
+        }
+        let s = serialize(&v);
+        let back = unserialize(&s).unwrap();
+        assert!(v.equal(&back));
+    }
+}

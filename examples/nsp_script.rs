@@ -1,0 +1,187 @@
+//! Run the paper's Nsp listings as *scripts* through the `nsplang`
+//! interpreter — the Fig. 3 "two ways of accessing the library" point:
+//! the same Premia/MPI/serialization toolboxes are reachable from the
+//! scripting language.
+//!
+//! Executes (a) the §3.3 Premia session, (b) the Fig. 2 `sload` session,
+//! and (c) a Fig. 4/5-shaped master/slave portfolio pricer, with one
+//! interpreter per MPI rank over a 4-rank `minimpi` world.
+//!
+//! Run with: `cargo run --example nsp_script --release`
+
+use minimpi::World;
+use nsplang::{Interp, NValue};
+use std::rc::Rc;
+
+const SECTION_3_3: &str = r#"
+P = premia_create()
+P.set_asset[str="equity"]
+P.set_model[str="BlackScholes1dim"]
+P.set_option[str="CallEuro"]
+P.set_method[str="CF"]
+P.compute[]
+L = P.get_method_results[]
+price = L(1)(3)
+disp('price = ' + string(price))
+"#;
+
+fn fig2_script(dir: &str) -> String {
+    format!(
+        r#"
+H.A = rand(4,5)
+H.B = rand(4,1)
+save('{dir}/saved.bin', H)
+S = sload('{dir}/saved.bin')   // we directly create a Serial object
+H1 = S.unserialize[]
+ok = H1.equal[H]
+disp('sload round trip ok')
+A = 1:100
+S2 = serialize(A)
+S3 = S2.compress[]
+A1 = S3.unserialize[]
+ok2 = A1.equal[A]
+"#
+    )
+}
+
+/// The Fig. 4/5 portfolio pricer, adapted: same protocol (prime every
+/// slave, refeed on answers, empty-name stop message), with the job list
+/// built in-script.
+fn fig4_script(dir: &str, n_jobs: usize) -> String {
+    format!(
+        r#"
+TAG = 7
+MPI_COMM_WORLD = mpicomm_create('WORLD')
+mpi_rank = MPI_Comm_rank(MPI_COMM_WORLD)
+mpi_size = MPI_Comm_size(MPI_COMM_WORLD)
+
+function send_premia_pb(name, slv, TAG, MPI_COMM_WORLD)
+  ser_obj = sload(name)                       // serialized load
+  MPI_Send_Obj(name, slv, TAG, MPI_COMM_WORLD)  // send name
+  pack_obj = MPI_Pack(ser_obj, MPI_COMM_WORLD)  // pack
+  MPI_Send(pack_obj, slv, TAG, MPI_COMM_WORLD)  // send the packed object
+endfunction
+
+function [sl, result] = receive_res(TAG, MPI_COMM_WORLD)
+  stat = MPI_Probe(-1, -1, MPI_COMM_WORLD)
+  sl = stat.src
+  result = MPI_Recv_Obj(sl, TAG, MPI_COMM_WORLD)
+endfunction
+
+if mpi_rank <> 0 then // Slave part
+  while %t then
+    name = MPI_Recv_Obj(0, TAG, MPI_COMM_WORLD)   // receives the name
+    if name == '' then break end
+    stat = MPI_Probe(-1, -1, MPI_COMM_WORLD)
+    elems = MPI_Get_elements(stat, '')
+    pack_obj = mpibuf_create(elems)               // buffer for the packed object
+    stat = MPI_Recv(pack_obj, 0, TAG, MPI_COMM_WORLD)
+    ser_obj = MPI_Unpack(pack_obj, MPI_COMM_WORLD) // unpack
+    P = unserialize(ser_obj)                       // unserialize
+    P.compute[]
+    L = P.get_method_results[]
+    MPI_Send_Obj(L(1)(3), 0, TAG, MPI_COMM_WORLD)  // send the price back
+  end
+else // Master part
+  Lpb = list()
+  for k = 1:{n_jobs} do
+    Lpb.add_last['{dir}/pb-' + string(k) + '.bin']
+  end
+  Nt = size(Lpb, '*')
+  res = list()
+  slv = 1
+  sent = 0
+  for k = 1:min(mpi_size-1, Nt) do
+    send_premia_pb(Lpb(k), slv, TAG, MPI_COMM_WORLD)
+    slv = slv + 1
+    sent = sent + 1
+  end
+  Lpb(1:sent) = []
+  for pb = Lpb' do
+    [sl, result] = receive_res(TAG, MPI_COMM_WORLD)
+    res.add_last[list(sl, result)]
+    send_premia_pb(pb, sl, TAG, MPI_COMM_WORLD)
+  end
+  for k = 1:sent do // we still have `sent` receives to perform
+    [sl, result] = receive_res(TAG, MPI_COMM_WORLD)
+    res.add_last[list(sl, result)]
+  end
+  for slv = 1:mpi_size-1 do // tell all slaves to stop working
+    MPI_Send_Obj('', slv, TAG, MPI_COMM_WORLD)
+  end
+  total = 0
+  for r = res do
+    total = total + r(2)
+  end
+  disp('portfolio value = ' + string(total))
+  save('{dir}/pb-res.bin', res)
+end
+"#
+    )
+}
+
+fn main() {
+    // (a) §3.3 session.
+    println!("== §3.3 Premia session (interpreted) ==");
+    let mut i = Interp::new();
+    i.echo = true;
+    i.run(SECTION_3_3).expect("section 3.3 script");
+
+    // (b) Fig. 2 sload session.
+    println!("\n== Fig. 2 sload session (interpreted) ==");
+    let dir = std::env::temp_dir().join("riskbench_nsp_script");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut i = Interp::new();
+    i.echo = true;
+    i.run(&fig2_script(&dir.display().to_string()))
+        .expect("fig2 script");
+    assert_eq!(i.get_value("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(i.get_value("ok2").unwrap().as_bool(), Some(true));
+
+    // (c) Fig. 4/5 parallel pricer: write a small portfolio, run the
+    // script on 4 MPI ranks (1 master + 3 slaves).
+    println!("\n== Fig. 4/5 master/slave pricer (interpreted, 4 ranks) ==");
+    let jobs = farm::portfolio::toy_portfolio(12);
+    for (k, job) in jobs.iter().enumerate() {
+        let path = dir.join(format!("pb-{}.bin", k + 1));
+        riskbench::xdrser::save(&path, &job.problem.to_value()).unwrap();
+    }
+    let script = fig4_script(&dir.display().to_string(), jobs.len());
+    let outputs = World::run(4, |comm| {
+        let rank = comm.rank();
+        let mut interp = Interp::with_comm(Rc::new(comm));
+        interp.run(&script).expect("fig4 script");
+        (rank, interp.output)
+    });
+    for (rank, out) in &outputs {
+        for line in out {
+            println!("rank {rank}: {line}");
+        }
+    }
+    // Cross-check the scripted result against the Rust API.
+    let serial: f64 = jobs
+        .iter()
+        .map(|j| j.problem.compute().unwrap().price)
+        .sum();
+    println!("serial Rust total  = {serial:.6}");
+    let res = riskbench::xdrser::load(dir.join("pb-res.bin")).unwrap();
+    let total: f64 = res
+        .as_list()
+        .unwrap()
+        .iter()
+        .map(|r| {
+            r.as_list()
+                .unwrap()
+                .get(1)
+                .unwrap()
+                .as_scalar()
+                .unwrap()
+        })
+        .sum();
+    println!("scripted farm total = {total:.6}");
+    assert!((serial - total).abs() < 1e-9, "script and API disagree");
+    println!("script == Rust API: ok");
+    let _ = NValue::scalar(0.0);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,83 @@
+//! Quickstart: the §3.3 workflow end to end.
+//!
+//! 1. Build pricing problems the way the paper's Nsp session does
+//!    (`premia_create`; `set_model`/`set_option`/`set_method`; `compute`).
+//! 2. Save one to an XDR file, `sload` it back, ship it through the
+//!    serialization stack.
+//! 3. Price a small portfolio in parallel with the Robin-Hood farm.
+//!
+//! Run with: `cargo run --example quickstart --release`
+
+use riskbench::prelude::*;
+
+fn main() {
+    // ---- 1. Single problems -------------------------------------------------
+    println!("== single problems ==");
+    let vanilla = PremiaProblem::create("BlackScholes1dim", "CallEuro", "CF").unwrap();
+    let r = vanilla.compute().unwrap();
+    println!(
+        "{:40} price {:8.4}  delta {:7.4}",
+        vanilla.label(),
+        r.price,
+        r.delta.unwrap()
+    );
+
+    let barrier = PremiaProblem::create("BlackScholes1dim", "CallDownOut", "FD_CrankNicolson")
+        .unwrap();
+    let r = barrier.compute().unwrap();
+    println!("{:40} price {:8.4}", barrier.label(), r.price);
+
+    // The paper's own example: American put in 1-D Heston via
+    // Longstaff–Schwartz (scaled down so the example runs in seconds).
+    let mut heston_amer =
+        PremiaProblem::create("Heston1dim", "PutAmer", "MC_AM_Alfonsi_LongstaffSchwartz").unwrap();
+    heston_amer.method = MethodSpec::Lsm {
+        paths: 10_000,
+        exercise_dates: 25,
+        basis_degree: 3,
+        seed: 42,
+    };
+    let r = heston_amer.compute().unwrap();
+    println!(
+        "{:40} price {:8.4} ± {:.4}",
+        heston_amer.label(),
+        r.price,
+        r.std_error.unwrap()
+    );
+
+    // ---- 2. Save / sload / serialize (Fig. 2) -------------------------------
+    println!("\n== serialization (Fig. 2) ==");
+    let dir = std::env::temp_dir().join("riskbench_quickstart");
+    std::fs::create_dir_all(&dir).unwrap();
+    let fic = dir.join("fic");
+    save(&fic, &heston_amer.to_value()).unwrap();
+    // sload: file → Serial without materialising the object.
+    let s = sload(&fic).unwrap();
+    println!("sload('fic') = {s}");
+    let back = PremiaProblem::from_value(&unserialize(&s).unwrap()).unwrap();
+    assert_eq!(back, heston_amer);
+    println!("unserialize round trip: ok");
+    // Compression (§3.2 extension).
+    let compressed = riskbench::xdrser::compress_serial(&s).unwrap();
+    println!(
+        "compressed: {} -> {} bytes",
+        s.len(),
+        compressed.len()
+    );
+
+    // ---- 3. Parallel portfolio valuation (Figs. 4–5) ------------------------
+    println!("\n== Robin-Hood farm ==");
+    let jobs = toy_portfolio(500);
+    let files = save_portfolio(&jobs, &dir).unwrap();
+    for strategy in Transmission::ALL {
+        let report = run_farm(&files, 4, strategy).unwrap();
+        println!(
+            "{:16} {} jobs in {:?} (per-slave: {:?})",
+            strategy.label(),
+            report.completed(),
+            report.elapsed,
+            &report.per_slave[1..]
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

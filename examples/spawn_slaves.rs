@@ -1,0 +1,78 @@
+//! Fig. 1: dynamic process creation — `NEWORLD = NSP_spawn(n)`.
+//!
+//! The paper's master Nsp spawns slave interpreters with
+//! `MPI_Comm_spawn` and merges them into one communicator with
+//! `MPI_Intercomm_merge`. Here the master thread spawns three interpreter
+//! ranks, each executing the transmitted command string (the Fig. 1
+//! `cmd`), and interacts with them through the merged communicator.
+//!
+//! Run with: `cargo run --example spawn_slaves --release`
+
+use minimpi::{SpawnedWorld, ANY_SOURCE};
+use nspval::Value;
+use nsplang::Interp;
+use std::rc::Rc;
+
+fn main() {
+    // The command each spawned child executes, as in Fig. 1's
+    // `args=["-name","nsp-child","-e", cmd]`: here the child script
+    // announces itself and then answers pricing requests until stopped.
+    let cmd = r#"
+TAG = 5
+MCW = mpicomm_create('WORLD')
+rank = MPI_Comm_rank(MCW)
+MPI_Send_Obj('child ' + string(rank) + ' ready', 0, TAG, MCW)
+while %t then
+  msg = MPI_Recv_Obj(0, TAG, MCW)
+  if msg == '' then break end
+  P = premia_create()
+  P.set_asset[str="equity"]
+  P.set_model[str="BlackScholes1dim"]
+  P.set_option[str=msg]
+  P.set_method[str="CF"]
+  P.compute[]
+  L = P.get_method_results[]
+  MPI_Send_Obj(L(1)(3), 0, TAG, MCW)
+end
+"#;
+
+    println!("spawning 3 Nsp slaves (MPI_Comm_spawn + MPI_Intercomm_merge)...");
+    let spawned = SpawnedWorld::spawn(3, move |comm| {
+        let mut interp = Interp::with_comm(Rc::new(comm));
+        interp.run(cmd).expect("child script");
+    });
+    let master = spawned.comm();
+    const TAG: i32 = 5;
+
+    // Children announce themselves.
+    for _ in 0..3 {
+        let (v, st) = master.recv_obj(ANY_SOURCE, TAG).unwrap();
+        println!("rank {}: {}", st.src, v.as_str().unwrap());
+    }
+
+    // Farm out a few pricing requests by option name.
+    let requests = ["CallEuro", "PutEuro", "CallEuro", "PutEuro", "CallEuro", "PutEuro"];
+    let mut child = 1;
+    for name in &requests {
+        master
+            .send_obj(&Value::string(*name), child, TAG)
+            .unwrap();
+        child = 1 + (child % 3);
+    }
+    let mut prices = Vec::new();
+    for _ in 0..requests.len() {
+        let (v, st) = master.recv_obj(ANY_SOURCE, TAG).unwrap();
+        prices.push((st.src, v.as_scalar().unwrap()));
+    }
+    prices.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for (rank, price) in &prices {
+        println!("slave {rank} priced: {price:.4}");
+    }
+
+    // Stop the children and reap them.
+    for child in 1..=3 {
+        master.send_obj(&Value::string(""), child, TAG).unwrap();
+    }
+    spawned.join();
+    println!("all slaves joined.");
+}

@@ -1,0 +1,247 @@
+//! Integration: the paper's script shapes executed by the `nsplang`
+//! interpreter, including the Fig. 4/5 master/slave portfolio pricer on a
+//! live `minimpi` world with one interpreter per rank.
+
+use minimpi::World;
+use nsplang::Interp;
+use std::rc::Rc;
+
+#[test]
+fn section_3_3_premia_session() {
+    let src = r#"
+P = premia_create()
+P.set_asset[str="equity"]
+P.set_model[str="BlackScholes1dim"]
+P.set_option[str="CallEuro"]
+P.set_method[str="CF"]
+P.compute[]
+L = P.get_method_results[]
+price = L(1)(3)
+"#;
+    let mut i = Interp::new();
+    i.run(src).unwrap();
+    let price = i.get_value("price").unwrap().as_scalar().unwrap();
+    assert!((price - 10.4506).abs() < 1e-3);
+}
+
+#[test]
+fn fig2_sload_session() {
+    let dir = std::env::temp_dir().join("it_nsp_fig2");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = format!(
+        r#"
+H.A = rand(4,5)
+H.B = rand(4,1)
+save('{d}/saved.bin', H)
+S = sload('{d}/saved.bin')
+H1 = S.unserialize[]
+ok = H1.equal[H]
+"#,
+        d = dir.display()
+    );
+    let mut i = Interp::new();
+    i.run(&src).unwrap();
+    assert_eq!(i.get_value("ok").unwrap().as_bool(), Some(true));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn obj_send_recv_between_interpreted_ranks() {
+    // §3.2's A=list('string',%t,rand(4,4)); MPI_Send_Obj / MPI_Recv_Obj
+    // example, with an interpreter on each rank.
+    let outputs = World::run(2, |comm| {
+        let rank = comm.rank();
+        let mut interp = Interp::with_comm(Rc::new(comm));
+        if rank == 0 {
+            interp
+                .run(
+                    "MCW = mpicomm_create('WORLD')\nA = list('string', %t, rand(4,4))\nMPI_Send_Obj(A, 1, 3, MCW)\nMPI_Send_Obj(A, 1, 4, MCW)",
+                )
+                .unwrap();
+            true
+        } else {
+            interp
+                .run(
+                    "MCW = mpicomm_create('WORLD')\nB = MPI_Recv_Obj(0, 3, MCW)\nC = MPI_Recv_Obj(0, 4, MCW)\nok = B.equal[C]",
+                )
+                .unwrap();
+            interp.get_value("ok").unwrap().as_bool().unwrap()
+        }
+    });
+    assert!(outputs[1]);
+}
+
+#[test]
+fn fig4_style_farm_runs_interpreted() {
+    // Scaled-down Fig. 4/5: 8 problems, 1 master + 2 slaves, full
+    // pack/probe/mpibuf protocol.
+    let dir = std::env::temp_dir().join("it_nsp_fig4");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let jobs = farm::portfolio::toy_portfolio(8);
+    for (k, job) in jobs.iter().enumerate() {
+        riskbench::xdrser::save(
+            dir.join(format!("pb-{}.bin", k + 1)),
+            &job.problem.to_value(),
+        )
+        .unwrap();
+    }
+    let script = format!(
+        r#"
+TAG = 7
+MCW = mpicomm_create('WORLD')
+mpi_rank = MPI_Comm_rank(MCW)
+mpi_size = MPI_Comm_size(MCW)
+
+function send_pb(name, slv, TAG, MCW)
+  ser_obj = sload(name)
+  MPI_Send_Obj(name, slv, TAG, MCW)
+  pack_obj = MPI_Pack(ser_obj, MCW)
+  MPI_Send(pack_obj, slv, TAG, MCW)
+endfunction
+
+function [sl, result] = receive_res(TAG, MCW)
+  stat = MPI_Probe(-1, -1, MCW)
+  sl = stat.src
+  result = MPI_Recv_Obj(sl, TAG, MCW)
+endfunction
+
+if mpi_rank <> 0 then
+  while %t then
+    name = MPI_Recv_Obj(0, TAG, MCW)
+    if name == '' then break end
+    stat = MPI_Probe(-1, -1, MCW)
+    elems = MPI_Get_elements(stat, '')
+    pack_obj = mpibuf_create(elems)
+    stat = MPI_Recv(pack_obj, 0, TAG, MCW)
+    ser_obj = MPI_Unpack(pack_obj, MCW)
+    P = unserialize(ser_obj)
+    P.compute[]
+    L = P.get_method_results[]
+    MPI_Send_Obj(L(1)(3), 0, TAG, MCW)
+  end
+else
+  Lpb = list()
+  for k = 1:8 do
+    Lpb.add_last['{d}/pb-' + string(k) + '.bin']
+  end
+  res = list()
+  slv = 1
+  sent = 0
+  for k = 1:min(mpi_size-1, 8) do
+    send_pb(Lpb(k), slv, TAG, MCW)
+    slv = slv + 1
+    sent = sent + 1
+  end
+  Lpb(1:sent) = []
+  for pb = Lpb' do
+    [sl, result] = receive_res(TAG, MCW)
+    res.add_last[list(sl, result)]
+    send_pb(pb, sl, TAG, MCW)
+  end
+  for k = 1:sent do
+    [sl, result] = receive_res(TAG, MCW)
+    res.add_last[list(sl, result)]
+  end
+  for slv = 1:mpi_size-1 do
+    MPI_Send_Obj('', slv, TAG, MCW)
+  end
+  total = 0
+  for r = res do
+    total = total + r(2)
+  end
+  n_res = size(res, '*')
+"#,
+        d = dir.display()
+    ) + "\nend\n";
+
+    let outputs = World::run(3, |comm| {
+        let rank = comm.rank();
+        let mut interp = Interp::with_comm(Rc::new(comm));
+        interp.run(&script).unwrap_or_else(|e| panic!("rank {rank}: {e}"));
+        if rank == 0 {
+            Some((
+                interp.get_value("total").unwrap().as_scalar().unwrap(),
+                interp.get_value("n_res").unwrap().as_scalar().unwrap(),
+            ))
+        } else {
+            None
+        }
+    });
+    let (total, n_res) = outputs[0].unwrap();
+    assert_eq!(n_res, 8.0);
+    let serial: f64 = jobs
+        .iter()
+        .map(|j| j.problem.compute().unwrap().price)
+        .sum();
+    assert!(
+        (total - serial).abs() < 1e-9,
+        "scripted {total} vs serial {serial}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn interpreter_errors_are_reported_not_panicking() {
+    let mut i = Interp::new();
+    assert!(i.run("x = undefined_thing + 1").is_err());
+    assert!(i.run("P = premia_create()\nP.compute[]").is_err()); // incomplete problem
+    assert!(i.run("L = list(1)\ny = L(5)").is_err()); // out of bounds
+}
+
+#[test]
+fn shipped_scripts_parse() {
+    // The standalone scripts in scripts/ must stay syntactically valid.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scripts");
+    let mut found = 0;
+    for entry in std::fs::read_dir(&root).expect("scripts directory") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("nsp") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        nsplang::parse_program(&src)
+            .unwrap_or_else(|e| panic!("{} fails to parse: {e}", path.display()));
+        found += 1;
+    }
+    assert!(found >= 4, "expected the shipped scripts, found {found}");
+}
+
+#[test]
+fn fig2_script_runs_standalone() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scripts");
+    let src = std::fs::read_to_string(root.join("fig2_sload.nsp")).unwrap();
+    let mut i = Interp::new();
+    i.run(&src).unwrap();
+    assert_eq!(i.get_value("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(i.get_value("ok2").unwrap().as_bool(), Some(true));
+}
+
+#[test]
+fn section33_script_runs_standalone() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scripts");
+    let src = std::fs::read_to_string(root.join("section33_premia.nsp")).unwrap();
+    let mut i = Interp::new();
+    i.run(&src).unwrap();
+    assert_eq!(i.get_value("ok").unwrap().as_bool(), Some(true));
+}
+
+#[test]
+fn rates_workflow_through_interpreter() {
+    // The §2 interest-rate extension is reachable from scripts too.
+    let src = r#"
+P = premia_create()
+P.set_asset[str="rates"]
+P.set_model[str="Vasicek1dim"]
+P.set_option[str="ZCBond"]
+P.set_method[str="CF"]
+P.compute[]
+L = P.get_method_results[]
+price = L(1)(3)
+"#;
+    let mut i = Interp::new();
+    i.run(src).unwrap();
+    let price = i.get_value("price").unwrap().as_scalar().unwrap();
+    assert!(price > 0.0 && price < 1.0, "ZCB price {price}");
+}

@@ -1,0 +1,142 @@
+//! Integration tests of the portfolio generators and the pricing layer:
+//! the §4.3 composition, financial sanity of the produced prices, and
+//! XDR persistence of whole portfolios.
+
+use riskbench::prelude::*;
+
+#[test]
+fn full_realistic_portfolio_counts() {
+    let jobs = realistic_portfolio(PortfolioScale::Quick, 1);
+    assert_eq!(jobs.len(), 7931);
+    let count = |c: JobClass| jobs.iter().filter(|j| j.class == c).count();
+    assert_eq!(count(JobClass::VanillaClosedForm), 1952);
+    assert_eq!(count(JobClass::BarrierPde), 1952);
+    assert_eq!(count(JobClass::BasketMc), 525);
+    assert_eq!(count(JobClass::LocalVolMc), 1025);
+    assert_eq!(count(JobClass::AmericanPde), 1952);
+    assert_eq!(count(JobClass::AmericanBasketLsm), 525);
+}
+
+#[test]
+fn vanilla_grid_matches_paper_description() {
+    // §4.3: "maturities quarterly distributed between 4 months and 8
+    // years and strikes uniformly varying between 70% and 130% of the
+    // spot price with a step of 1%".
+    let jobs = realistic_portfolio(PortfolioScale::Quick, 1);
+    let vanillas: Vec<_> = jobs
+        .iter()
+        .filter(|j| j.class == JobClass::VanillaClosedForm)
+        .collect();
+    let strikes: std::collections::BTreeSet<i64> = vanillas
+        .iter()
+        .map(|j| (j.problem.option.strike() * 100.0).round() as i64)
+        .collect();
+    assert_eq!(strikes.len(), 61);
+    assert_eq!(*strikes.iter().next().unwrap(), 7000); // 70% of 100
+    assert_eq!(*strikes.iter().last().unwrap(), 13000); // 130%
+    let maturities: std::collections::BTreeSet<i64> = vanillas
+        .iter()
+        .map(|j| (j.problem.option.maturity() * 1200.0).round() as i64)
+        .collect();
+    assert_eq!(maturities.len(), 32);
+    assert_eq!(*maturities.iter().next().unwrap(), 400); // 4 months
+}
+
+#[test]
+fn financial_sanity_across_one_maturity_slice() {
+    // Within one maturity, vanilla call prices must decrease in strike,
+    // and each barrier (down-out) price must not exceed its vanilla.
+    let jobs = realistic_portfolio(PortfolioScale::Quick, 1);
+    let t = 1.0 / 3.0; // the 4-month slice
+    let mut calls: Vec<(f64, f64)> = jobs
+        .iter()
+        .filter(|j| {
+            j.class == JobClass::VanillaClosedForm
+                && (j.problem.option.maturity() - t).abs() < 1e-9
+        })
+        .map(|j| {
+            (
+                j.problem.option.strike(),
+                j.problem.compute().unwrap().price,
+            )
+        })
+        .collect();
+    calls.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    assert_eq!(calls.len(), 61);
+    for w in calls.windows(2) {
+        assert!(
+            w[1].1 <= w[0].1 + 1e-9,
+            "call price not decreasing in strike: {w:?}"
+        );
+    }
+    // Barrier ≤ vanilla for matching contracts.
+    for j in jobs
+        .iter()
+        .filter(|j| j.class == JobClass::BarrierPde && (j.problem.option.maturity() - t).abs() < 1e-9)
+        .take(10)
+    {
+        let k = j.problem.option.strike();
+        let vanilla = calls
+            .iter()
+            .find(|(s, _)| (s - k).abs() < 1e-9)
+            .expect("matching vanilla")
+            .1;
+        let b = j.problem.compute().unwrap().price;
+        // Quick-scale PDE carries discretisation error; allow a small
+        // tolerance on the dominance check.
+        assert!(
+            b <= vanilla + 0.05,
+            "barrier {b} above vanilla {vanilla} at strike {k}"
+        );
+    }
+}
+
+#[test]
+fn american_puts_dominate_intrinsic() {
+    let jobs = realistic_portfolio(PortfolioScale::Quick, 97);
+    for j in jobs.iter().filter(|j| j.class == JobClass::AmericanPde) {
+        let price = j.problem.compute().unwrap().price;
+        let intrinsic = (j.problem.option.strike() - 100.0).max(0.0);
+        assert!(
+            price >= intrinsic - 0.05,
+            "American put below intrinsic: {} < {} (strike {})",
+            price,
+            intrinsic,
+            j.problem.option.strike()
+        );
+    }
+}
+
+#[test]
+fn portfolio_files_round_trip_en_masse() {
+    let dir = std::env::temp_dir().join("it_portfolio_files");
+    let _ = std::fs::remove_dir_all(&dir);
+    let jobs = realistic_portfolio(PortfolioScale::Quick, 61);
+    let files = save_portfolio(&jobs, &dir).unwrap();
+    assert_eq!(files.len(), jobs.len());
+    for (job, file) in jobs.iter().zip(&files) {
+        let v = riskbench::xdrser::load(file).unwrap();
+        assert_eq!(PremiaProblem::from_value(&v).unwrap(), job.problem);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn toy_portfolio_is_the_table2_workload() {
+    let jobs = toy_portfolio(10_000);
+    assert_eq!(jobs.len(), 10_000);
+    // All closed-form — "priced using closed-form formula" (§4.2).
+    assert!(jobs
+        .iter()
+        .all(|j| matches!(j.problem.method, MethodSpec::ClosedForm)));
+    // And genuinely fast: price 1000 of them and check sub-second total.
+    let t0 = std::time::Instant::now();
+    for j in jobs.iter().take(1000) {
+        j.problem.compute().unwrap();
+    }
+    assert!(
+        t0.elapsed().as_secs_f64() < 1.0,
+        "closed-form pricing too slow: {:?}",
+        t0.elapsed()
+    );
+}

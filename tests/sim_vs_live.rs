@@ -1,0 +1,117 @@
+//! Agreement between the discrete-event simulator and the live threaded
+//! farm at small scale: the simulator, fed with *measured* per-class
+//! costs, must predict the live farm's wall-clock within a reasonable
+//! band, and both must show the same qualitative scaling.
+
+use riskbench::clustersim::{simulate_farm, NfsCache, SimConfig, SimJob};
+use riskbench::prelude::*;
+
+/// Build matched live files + sim jobs for a compute-heavy workload.
+fn matched_workload(
+    dir: &std::path::Path,
+) -> (Vec<std::path::PathBuf>, Vec<SimJob>) {
+    let jobs: Vec<PortfolioJob> = realistic_portfolio(PortfolioScale::Quick, 130)
+        .into_iter()
+        .filter(|j| {
+            matches!(
+                j.class,
+                JobClass::AmericanPde | JobClass::BarrierPde | JobClass::LocalVolMc
+            )
+        })
+        .collect();
+    assert!(jobs.len() >= 15, "{} jobs", jobs.len());
+    std::fs::create_dir_all(dir).unwrap();
+    let files: Vec<_> = jobs
+        .iter()
+        .enumerate()
+        .map(|(k, j)| {
+            let p = dir.join(format!("pb-{k}.bin"));
+            riskbench::xdrser::save(&p, &j.problem.to_value()).unwrap();
+            p
+        })
+        .collect();
+    // Measure each job's real compute cost once.
+    let sim_jobs: Vec<SimJob> = jobs
+        .iter()
+        .enumerate()
+        .map(|(k, j)| {
+            let t0 = std::time::Instant::now();
+            j.problem.compute().unwrap();
+            SimJob {
+                id: k,
+                class: j.class,
+                bytes: riskbench::xdrser::serialize_to_bytes(&j.problem.to_value()).len(),
+                compute: t0.elapsed().as_secs_f64(),
+            }
+        })
+        .collect();
+    (files, sim_jobs)
+}
+
+#[test]
+fn simulator_predicts_live_makespan_within_band() {
+    let dir = std::env::temp_dir().join("it_sim_vs_live");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (files, sim_jobs) = matched_workload(&dir);
+    let cfg = SimConfig::default();
+
+    // On a single-core machine two live slaves time-share one CPU, which
+    // the simulator (one CPU per slave) cannot model — restrict to one
+    // slave there.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let slave_counts: &[usize] = if cores >= 3 { &[1, 2] } else { &[1] };
+    for &slaves in slave_counts {
+        let live = run_farm(&files, slaves, Transmission::SerializedLoad)
+            .unwrap()
+            .elapsed
+            .as_secs_f64();
+        let sim = simulate_farm(
+            &sim_jobs,
+            slaves,
+            Transmission::SerializedLoad,
+            &cfg,
+            &mut NfsCache::new(),
+        )
+        .makespan;
+        let ratio = live / sim;
+        // Thread scheduling noise and measurement jitter are real; demand
+        // agreement within a factor of two, which is tight enough to
+        // catch structural modelling errors.
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "slaves={slaves}: live {live:.3}s vs sim {sim:.3}s (ratio {ratio:.2})"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn simulator_and_live_farm_agree_on_scaling_direction() {
+    if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 4 {
+        eprintln!("skipping: fewer than 4 cores");
+        return;
+    }
+    let dir = std::env::temp_dir().join("it_sim_vs_live_scaling");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (files, sim_jobs) = matched_workload(&dir);
+    let cfg = SimConfig::default();
+
+    let live1 = run_farm(&files, 1, Transmission::SerializedLoad)
+        .unwrap()
+        .elapsed
+        .as_secs_f64();
+    let live3 = run_farm(&files, 3, Transmission::SerializedLoad)
+        .unwrap()
+        .elapsed
+        .as_secs_f64();
+    let sim1 = simulate_farm(&sim_jobs, 1, Transmission::SerializedLoad, &cfg, &mut NfsCache::new())
+        .makespan;
+    let sim3 = simulate_farm(&sim_jobs, 3, Transmission::SerializedLoad, &cfg, &mut NfsCache::new())
+        .makespan;
+    // Both must improve substantially from 1 to 3 slaves.
+    assert!(live3 < 0.8 * live1, "live: {live1:.3} -> {live3:.3}");
+    assert!(sim3 < 0.8 * sim1, "sim: {sim1:.3} -> {sim3:.3}");
+    std::fs::remove_dir_all(&dir).ok();
+}

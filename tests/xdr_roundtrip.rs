@@ -1,0 +1,146 @@
+//! Property-based integration tests of the serialization stack: arbitrary
+//! Nsp value trees survive serialize/unserialize, save/load/sload, the
+//! compressor, and MPI pack/unpack — the invariants every transmission
+//! strategy rests on.
+
+use nspval::{BoolMatrix, Hash, List, Matrix, StrMatrix, Value};
+use proptest::prelude::*;
+
+/// Strategy generating arbitrary Nsp values (depth-bounded).
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<f64>().prop_filter("finite", |x| x.is_finite()).prop_map(Value::scalar),
+        any::<bool>().prop_map(Value::boolean),
+        "[a-zA-Z0-9 _.:/-]{0,24}".prop_map(Value::string),
+        (1usize..5, 1usize..5, proptest::collection::vec(-1e6f64..1e6, 1..25)).prop_map(
+            |(r, c, mut data)| {
+                data.resize(r * c, 0.0);
+                Value::Real(Matrix::from_col_major(r, c, data))
+            }
+        ),
+        (1usize..4, proptest::collection::vec(any::<bool>(), 1..4)).prop_map(|(r, mut data)| {
+            let c = data.len();
+            let mut full = Vec::with_capacity(r * c);
+            for _ in 0..r {
+                full.extend(data.iter().copied());
+            }
+            data.clear();
+            Value::Bool(BoolMatrix::from_col_major(r, c, {
+                full.truncate(r * c);
+                full
+            }))
+        }),
+        proptest::collection::vec("[a-z]{0,8}", 1..4)
+            .prop_map(|v| Value::Str(StrMatrix::row(v))),
+        Just(Value::None),
+        Just(Value::empty_matrix()),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4)
+                .prop_map(|items| Value::List(List::from_vec(items))),
+            proptest::collection::vec(("[a-zA-Z][a-zA-Z0-9_]{0,6}", inner), 0..4).prop_map(
+                |pairs| {
+                    let mut h = Hash::new();
+                    for (k, v) in pairs {
+                        h.set(&k, v);
+                    }
+                    Value::Hash(h)
+                }
+            ),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn serialize_unserialize_round_trips(v in arb_value()) {
+        let s = xdrser::serialize(&v);
+        let back = xdrser::unserialize(&s).unwrap();
+        prop_assert!(v.equal(&back));
+    }
+
+    #[test]
+    fn compressed_serial_round_trips(v in arb_value()) {
+        let s = xdrser::serialize(&v);
+        let c = xdrser::compress_serial(&s).unwrap();
+        // Transparent decompression inside unserialize (§3.2).
+        let back = xdrser::unserialize(&c).unwrap();
+        prop_assert!(v.equal(&back));
+    }
+
+    #[test]
+    fn compress_bytes_round_trips(bytes in proptest::collection::vec(any::<u8>(), 0..2000)) {
+        let c = xdrser::compress::compress_bytes(&bytes);
+        let d = xdrser::compress::decompress_bytes(&c).unwrap();
+        prop_assert_eq!(d, bytes);
+    }
+
+    #[test]
+    fn save_load_sload_agree(v in arb_value(), salt in 0u64..u64::MAX) {
+        let dir = std::env::temp_dir().join("it_xdr_prop");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("v-{salt:x}.bin"));
+        xdrser::save(&path, &v).unwrap();
+        let loaded = xdrser::load(&path).unwrap();
+        prop_assert!(v.equal(&loaded));
+        let s = xdrser::sload(&path).unwrap();
+        let expected = xdrser::serialize_to_bytes(&v);
+        prop_assert_eq!(s.bytes(), expected.as_slice());
+        let unsealed = xdrser::unserialize(&s).unwrap();
+        prop_assert!(v.equal(&unsealed));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_never_panics(v in arb_value(), cut_frac in 0.0f64..1.0) {
+        let bytes = xdrser::serialize_to_bytes(&v);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        // Must return an error or a value — never panic.
+        let _ = xdrser::unserialize_bytes(&bytes[..cut]);
+    }
+
+    #[test]
+    fn corruption_never_panics(v in arb_value(), pos_frac in 0.0f64..1.0, byte in any::<u8>()) {
+        let mut bytes = xdrser::serialize_to_bytes(&v);
+        if !bytes.is_empty() {
+            let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+            bytes[pos] = byte;
+        }
+        let _ = xdrser::unserialize_bytes(&bytes);
+    }
+}
+
+#[test]
+fn mpi_object_transmission_preserves_arbitrary_values() {
+    // A fixed set of tricky values through actual minimpi transmission.
+    use minimpi::World;
+    let values = vec![
+        Value::scalar(f64::MAX),
+        Value::scalar(-0.0),
+        Value::string(""),
+        Value::list(vec![Value::None, Value::empty_matrix()]),
+        {
+            let mut h = nspval::Hash::new();
+            h.set("nested", Value::list(vec![Value::Serial(xdrser::serialize(&Value::scalar(1.0)))]));
+            Value::Hash(h)
+        },
+    ];
+    let out = World::run(2, |comm| {
+        if comm.rank() == 0 {
+            for v in &values {
+                comm.send_obj(v, 1, 0).unwrap();
+            }
+            true
+        } else {
+            for v in &values {
+                let (got, _) = comm.recv_obj_raw(0, 0).unwrap();
+                assert!(got.equal(v), "mismatch: {got:?} vs {v:?}");
+            }
+            true
+        }
+    });
+    assert!(out.iter().all(|&b| b));
+}
