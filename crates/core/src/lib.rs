@@ -67,8 +67,12 @@ pub mod prelude {
         realistic_portfolio, regression_portfolio, save_portfolio, toy_portfolio, JobClass,
         PortfolioJob, PortfolioScale,
     };
-    pub use farm::{run_farm, FarmReport, Transmission};
-    pub use minimpi::{Comm, MpiBuf, SpawnedWorld, World, ANY_SOURCE, ANY_TAG};
+    pub use farm::supervisor::{run_supervised_farm, SupervisorConfig};
+    pub use farm::{run_farm, FarmError, FarmReport, Transmission};
+    pub use minimpi::{
+        Comm, FaultEvent, FaultPlan, MpiBuf, SendFault, SpawnedWorld, World, ANY_SOURCE,
+        ANY_TAG,
+    };
     pub use nspval::{Hash, List, Matrix, Serial, Value};
     pub use pricing::{
         MethodSpec, ModelSpec, OptionSpec, PremiaProblem, PricingError, PricingResult,

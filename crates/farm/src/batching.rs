@@ -140,6 +140,9 @@ fn master(
         outcomes,
         elapsed: start.elapsed(),
         per_slave,
+        failed_jobs: Vec::new(),
+        retries: 0,
+        dead_slaves: Vec::new(),
         strategy,
     })
 }

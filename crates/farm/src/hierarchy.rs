@@ -134,6 +134,9 @@ fn global_master(comm: &Comm, files: &[PathBuf], topo: Topology) -> Result<FarmR
         outcomes,
         elapsed: start.elapsed(),
         per_slave,
+        failed_jobs: Vec::new(),
+        retries: 0,
+        dead_slaves: Vec::new(),
         strategy: Transmission::SerializedLoad,
     })
 }

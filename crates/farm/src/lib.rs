@@ -16,6 +16,10 @@
 //!   all together" improvement.
 //! * [`hierarchy`] — the §5 sub-master improvement ("divide the nodes
 //!   into sub-groups, each group having its own master").
+//! * [`supervisor`] — the fault-tolerant Robin-Hood master: per-job
+//!   deadlines, bounded retries with exponential backoff, dead-slave
+//!   detection and graceful degradation, exercised against
+//!   `minimpi`'s deterministic fault injection.
 //! * [`calibrate`] — single-problem cost measurements feeding the
 //!   `clustersim` cost model.
 //! * [`risk`] — the §1 risk-evaluation scenario: bump-and-revalue
@@ -30,10 +34,12 @@ pub mod portfolio;
 pub mod risk;
 pub mod robin_hood;
 pub mod strategy;
+pub mod supervisor;
 
 pub use portfolio::{
     realistic_portfolio, regression_portfolio, toy_portfolio, JobClass, PortfolioJob,
     PortfolioScale,
 };
-pub use robin_hood::{run_farm, FarmError, FarmReport};
+pub use robin_hood::{run_farm, FarmError, FarmReport, JobOutcome};
 pub use strategy::Transmission;
+pub use supervisor::{run_supervised_farm, SupervisorConfig};

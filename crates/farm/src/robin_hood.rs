@@ -21,7 +21,7 @@ use std::fmt;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-const TAG: i32 = 7;
+pub(crate) const TAG: i32 = 7;
 
 /// One priced job as collected by the master.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,12 +47,33 @@ pub struct FarmReport {
     pub per_slave: Vec<usize>,
     /// Transmission strategy used.
     pub strategy: Transmission,
+    /// Jobs abandoned after exhausting their retry budget (supervised
+    /// runs only; always empty for the plain Robin-Hood master).
+    pub failed_jobs: Vec<usize>,
+    /// Number of job re-dispatches the supervisor performed (deadline
+    /// expiries and explicit slave failure reports).
+    pub retries: usize,
+    /// Slave ranks the supervisor declared dead during the run.
+    pub dead_slaves: Vec<usize>,
 }
 
 impl FarmReport {
     /// Total number of priced jobs.
     pub fn completed(&self) -> usize {
         self.outcomes.len()
+    }
+
+    /// Sorted `(job, price, std_error)` triples — the scheduling-order-
+    /// independent view used to compare runs (live vs simulated, faulty
+    /// vs fault-free).
+    pub fn by_job(&self) -> Vec<(usize, f64, Option<f64>)> {
+        let mut v: Vec<_> = self
+            .outcomes
+            .iter()
+            .map(|o| (o.job, o.price, o.std_error))
+            .collect();
+        v.sort_by_key(|&(j, _, _)| j);
+        v
     }
 }
 
@@ -65,6 +86,14 @@ pub enum FarmError {
     Mpi(MpiError),
     /// A problem file failed to load/transmit.
     Io(String),
+    /// Every slave died before the portfolio was drained; the supervised
+    /// master aborts cleanly instead of spinning on retries forever.
+    AllSlavesDead {
+        /// Jobs successfully priced before the farm collapsed.
+        completed: usize,
+        /// Jobs still unpriced at collapse.
+        remaining: usize,
+    },
 }
 
 impl fmt::Display for FarmError {
@@ -73,6 +102,13 @@ impl fmt::Display for FarmError {
             FarmError::NoSlaves => write!(f, "farm needs at least one slave"),
             FarmError::Mpi(e) => write!(f, "MPI error: {e}"),
             FarmError::Io(m) => write!(f, "I/O error: {m}"),
+            FarmError::AllSlavesDead {
+                completed,
+                remaining,
+            } => write!(
+                f,
+                "all slaves dead with {remaining} jobs unpriced ({completed} completed)"
+            ),
         }
     }
 }
@@ -86,7 +122,7 @@ impl From<MpiError> for FarmError {
 }
 
 /// Encode a result message (slave → master).
-fn result_value(job: usize, result: &PricingResult) -> Value {
+pub(crate) fn result_value(job: usize, result: &PricingResult) -> Value {
     let mut h = Hash::new();
     h.set("job", Value::scalar(job as f64));
     h.set("price", Value::scalar(result.price));
@@ -96,7 +132,7 @@ fn result_value(job: usize, result: &PricingResult) -> Value {
     Value::Hash(h)
 }
 
-fn decode_result(v: &Value) -> Option<(usize, f64, Option<f64>)> {
+pub(crate) fn decode_result(v: &Value) -> Option<(usize, f64, Option<f64>)> {
     let h = v.as_hash()?;
     let job = h.get("job")?.as_scalar()? as usize;
     let price = h.get("price")?.as_scalar()?;
@@ -105,7 +141,7 @@ fn decode_result(v: &Value) -> Option<(usize, f64, Option<f64>)> {
 }
 
 /// Master-side: send job `idx` (file `path`) to `slave`.
-fn send_job(
+pub(crate) fn send_job(
     comm: &Comm,
     slave: usize,
     idx: usize,
@@ -220,6 +256,9 @@ fn master_loop(
         elapsed: start.elapsed(),
         per_slave,
         strategy,
+        failed_jobs: Vec::new(),
+        retries: 0,
+        dead_slaves: Vec::new(),
     })
 }
 

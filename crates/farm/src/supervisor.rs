@@ -1,0 +1,572 @@
+//! A supervised Robin-Hood master: the Fig. 4 farm hardened against the
+//! failure modes the fault layer ([`minimpi::FaultPlan`]) can inject.
+//!
+//! The plain master of [`crate::robin_hood`] trusts its slaves: a lost
+//! message stalls the refeed loop forever and a dead slave strands its
+//! job. The supervised master instead
+//!
+//! * gives every dispatched job a **deadline** (calibrated from the
+//!   [`crate::calibrate`] cost model via
+//!   [`SupervisorConfig::from_cost_model`]), after which the job is
+//!   requeued with exponential backoff and a bounded retry budget;
+//! * detects **dead slaves** — both eagerly, when a send fails fast with
+//!   [`minimpi::MpiError::Poisoned`], and by polling rank liveness — and
+//!   immediately requeues their in-flight jobs;
+//! * **deduplicates** late results: if a presumed-lost job is answered
+//!   after being reassigned, the first answer wins and the straggler's
+//!   copy is dropped;
+//! * **degrades gracefully**: jobs that exhaust their retry budget land
+//!   in [`FarmReport::failed_jobs`] instead of aborting the run, and only
+//!   the collapse of *every* slave aborts, with
+//!   [`FarmError::AllSlavesDead`] rather than a hang.
+//!
+//! Under an inert fault plan the supervised farm prices exactly the same
+//! portfolio to exactly the same values as the plain one — the zero-fault
+//! equivalence checked by `tests/sim_vs_live.rs` and `tests/farm_chaos.rs`.
+
+use crate::calibrate::CostModel;
+use crate::portfolio::JobClass;
+use crate::robin_hood::{
+    decode_result, result_value, send_job, FarmError, FarmReport, JobOutcome, TAG,
+};
+use crate::strategy::{recover_problem, Transmission};
+use minimpi::{Comm, FaultPlan, MpiBuf, MpiError, World, ANY_SOURCE};
+use nspval::{Hash, Value};
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of the supervised master. Start from
+/// [`SupervisorConfig::default`] (test-scale timings) or
+/// [`SupervisorConfig::from_cost_model`] (calibrated for a real
+/// portfolio) and override fields as needed.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Per-dispatch deadline: a job unanswered for this long is presumed
+    /// lost and requeued.
+    pub job_deadline: Duration,
+    /// Maximum dispatch attempts per job before it is abandoned into
+    /// [`FarmReport::failed_jobs`]. Must be at least 1.
+    pub max_attempts: usize,
+    /// Base of the exponential backoff between re-dispatches of the same
+    /// job: attempt *n* waits `backoff_base * 2^(n-1)` after its failure.
+    pub backoff_base: Duration,
+    /// Master poll granularity: the longest the master blocks in one
+    /// receive before re-checking deadlines and liveness.
+    pub poll: Duration,
+    /// Slave-side patience: how long an idle slave waits for traffic from
+    /// the master before concluding it was orphaned and exiting. This
+    /// bounds shutdown even if the stop sentinel itself is injected away.
+    pub slave_idle_timeout: Duration,
+    /// Slave-side deadline for the packed payload that follows a name
+    /// message under the loaded strategies; on expiry the slave reports a
+    /// failure for that job instead of blocking the farm.
+    pub payload_timeout: Duration,
+}
+
+impl Default for SupervisorConfig {
+    /// Aggressive, test-scale timings (tens of milliseconds): right for
+    /// the toy portfolio whose jobs price in microseconds.
+    fn default() -> Self {
+        SupervisorConfig {
+            job_deadline: Duration::from_millis(200),
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(5),
+            poll: Duration::from_millis(20),
+            slave_idle_timeout: Duration::from_secs(2),
+            payload_timeout: Duration::from_millis(200),
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Calibrate deadlines from a [`CostModel`]: the job deadline is
+    /// `safety ×` the *worst-case* single-job cost across all job
+    /// classes (floored at 50 ms so message latency never triggers a
+    /// spurious retry), and the slave idle timeout is sized so a slave
+    /// outlives a full master poll cycle plus one worst-case job.
+    pub fn from_cost_model(model: &CostModel, safety: f64) -> Self {
+        assert!(safety >= 1.0, "safety factor must be >= 1");
+        let worst = JobClass::ALL
+            .iter()
+            .map(|&c| model.cost_range(c).1)
+            .fold(0.0f64, f64::max);
+        let deadline = Duration::from_secs_f64((worst * safety).max(0.05));
+        SupervisorConfig {
+            job_deadline: deadline,
+            slave_idle_timeout: deadline * 4,
+            payload_timeout: deadline,
+            ..SupervisorConfig::default()
+        }
+    }
+}
+
+/// Slave → master failure report for `job`.
+fn failure_value(job: usize, why: &str) -> Value {
+    let mut h = Hash::new();
+    h.set("job", Value::scalar(job as f64));
+    h.set("failed", Value::string(why.to_string()));
+    Value::Hash(h)
+}
+
+fn decode_failure(v: &Value) -> Option<(usize, String)> {
+    let h = v.as_hash()?;
+    let why = h.get("failed")?.as_str()?.to_string();
+    let job = h.get("job")?.as_scalar()? as usize;
+    Some((job, why))
+}
+
+/// `true` for the comm errors that mean "this endpoint is finished" as
+/// opposed to a protocol bug.
+fn is_fatal_comm(e: &MpiError) -> bool {
+    matches!(e, MpiError::Poisoned(_) | MpiError::Disconnected)
+}
+
+/// Supervised slave loop: same wire protocol as Fig. 4, but every blocking
+/// wait is bounded and every local failure is *reported* (or at worst
+/// abandoned to the master's deadline) instead of panicking the world.
+fn supervised_slave(
+    comm: &Comm,
+    strategy: Transmission,
+    cfg: &SupervisorConfig,
+) -> Result<usize, FarmError> {
+    let mut done = 0usize;
+    loop {
+        let msg = match comm.recv_obj_timeout(0, TAG, cfg.slave_idle_timeout) {
+            // Silence for a whole idle window: the master is gone (or our
+            // stop sentinel was injected away). Exit instead of hanging.
+            Ok(None) => return Ok(done),
+            Ok(Some((msg, _st))) => msg,
+            // A fault-truncated name message: clear the mangled frame and
+            // wait for the retry.
+            Err(MpiError::Truncated { .. }) => {
+                let _ = comm.discard(0, TAG);
+                continue;
+            }
+            Err(e) if is_fatal_comm(&e) => return Ok(done),
+            Err(e) => return Err(e.into()),
+        };
+        if msg.is_empty_matrix() {
+            return Ok(done); // stop sentinel
+        }
+        // Name message: [path, job index]. A garbled frame that still
+        // decodes (e.g. a payload whose name message was dropped) cannot
+        // be attributed to a job; drop it and let the deadline requeue.
+        let Some((name, idx)) = msg.as_list().and_then(|l| {
+            let name = l.get(0)?.as_str()?.to_string();
+            let idx = l.get(1)?.as_scalar()? as usize;
+            Some((name, idx))
+        }) else {
+            continue;
+        };
+
+        let payload = match strategy {
+            Transmission::Nfs => None,
+            _ => match comm.recv_timeout(0, TAG, cfg.payload_timeout) {
+                Ok(Some((bytes, _st))) => match comm.unpack(&MpiBuf::from_bytes(bytes)) {
+                    Ok(v) if v.is_empty_matrix() => {
+                        // The payload was lost and the frame we consumed
+                        // is our own stop sentinel: shut down.
+                        return Ok(done);
+                    }
+                    Ok(v) => Some(v),
+                    Err(_) => {
+                        report_failure(comm, idx, "payload undecodable")?;
+                        continue;
+                    }
+                },
+                Ok(None) => {
+                    report_failure(comm, idx, "payload timeout")?;
+                    continue;
+                }
+                Err(MpiError::Truncated { .. }) => {
+                    let _ = comm.discard(0, TAG);
+                    report_failure(comm, idx, "payload truncated")?;
+                    continue;
+                }
+                Err(e) if is_fatal_comm(&e) => return Ok(done),
+                Err(e) => return Err(e.into()),
+            },
+        };
+
+        let computed = recover_problem(strategy, &name, payload.as_ref())
+            .map_err(|e| e.to_string())
+            .and_then(|p| p.compute().map_err(|e| format!("compute failed: {e}")));
+        let reply = match &computed {
+            Ok(result) => result_value(idx, result),
+            Err(why) => failure_value(idx, why),
+        };
+        match comm.send_obj(&reply, 0, TAG) {
+            Ok(()) => {
+                if computed.is_ok() {
+                    done += 1;
+                }
+            }
+            Err(e) if is_fatal_comm(&e) => return Ok(done),
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Send a failure report, treating a dead master as a clean exit signal.
+fn report_failure(comm: &Comm, job: usize, why: &str) -> Result<(), FarmError> {
+    match comm.send_obj(&failure_value(job, why), 0, TAG) {
+        Ok(()) => Ok(()),
+        Err(e) if is_fatal_comm(&e) => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlaveState {
+    /// Ready for a dispatch. A slave whose job missed its deadline also
+    /// returns here: if it is merely slow, the extra dispatch queues in
+    /// its mailbox FIFO and is handled after the straggler; if it is
+    /// dead, the next send to it fails fast and buries it. Either way the
+    /// farm keeps making progress — there is no state a live job can get
+    /// stuck in.
+    Idle,
+    /// Computing a dispatched job (tracked in `MasterState::inflight`).
+    Busy,
+    /// Declared dead: mailbox poisoned, never dispatched to again.
+    Dead,
+}
+
+struct MasterState {
+    slave_state: Vec<SlaveState>,
+    /// `slave → (job, deadline)` for Busy slaves.
+    inflight: Vec<Option<(usize, Instant)>>,
+    /// Jobs awaiting (re)dispatch, with their earliest-dispatch instant.
+    pending: VecDeque<(usize, Instant)>,
+    attempts: Vec<usize>,
+    done: Vec<bool>,
+    failed: Vec<bool>,
+    retries: usize,
+}
+
+impl MasterState {
+    fn new(jobs: usize, ranks: usize) -> Self {
+        MasterState {
+            slave_state: vec![SlaveState::Idle; ranks],
+            inflight: vec![None; ranks],
+            pending: (0..jobs).map(|j| (j, Instant::now())).collect(),
+            attempts: vec![0; jobs],
+            done: vec![false; jobs],
+            failed: vec![false; jobs],
+            retries: 0,
+        }
+    }
+
+    fn unfinished(&self) -> usize {
+        self.done
+            .iter()
+            .zip(&self.failed)
+            .filter(|&(&d, &f)| !d && !f)
+            .count()
+    }
+
+    fn alive_slaves(&self) -> usize {
+        self.slave_state[1..]
+            .iter()
+            .filter(|&&s| s != SlaveState::Dead)
+            .count()
+    }
+
+    /// Requeue `job` after a presumed or reported failure, honouring the
+    /// retry budget and exponential backoff.
+    fn requeue(&mut self, job: usize, cfg: &SupervisorConfig) {
+        if self.done[job] || self.failed[job] {
+            return;
+        }
+        if self.attempts[job] >= cfg.max_attempts {
+            self.failed[job] = true;
+            return;
+        }
+        self.retries += 1;
+        let exp = self.attempts[job].saturating_sub(1).min(16) as u32;
+        let backoff = cfg.backoff_base * 2u32.saturating_pow(exp);
+        self.pending.push_back((job, Instant::now() + backoff));
+    }
+
+    /// Declare `slave` dead and recover its in-flight job, if any.
+    fn bury(&mut self, slave: usize, cfg: &SupervisorConfig) {
+        if self.slave_state[slave] == SlaveState::Dead {
+            return;
+        }
+        self.slave_state[slave] = SlaveState::Dead;
+        if let Some((job, _)) = self.inflight[slave].take() {
+            self.requeue(job, cfg);
+        }
+    }
+}
+
+/// Supervised master loop. Returns the enriched [`FarmReport`]; errors
+/// only on unrecoverable conditions (every slave dead, or the master's
+/// own endpoint failing).
+fn supervised_master(
+    comm: &Comm,
+    files: &[PathBuf],
+    strategy: Transmission,
+    cfg: &SupervisorConfig,
+) -> Result<FarmReport, FarmError> {
+    let ranks = comm.size();
+    let start = Instant::now();
+    let mut st = MasterState::new(files.len(), ranks);
+    let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(files.len());
+    let mut per_slave = vec![0usize; ranks];
+
+    while st.unfinished() > 0 {
+        // 1. Liveness sweep: notice kills even without trying to send.
+        for slave in 1..ranks {
+            if st.slave_state[slave] != SlaveState::Dead && !comm.rank_alive(slave) {
+                st.bury(slave, cfg);
+            }
+        }
+        if st.alive_slaves() == 0 {
+            let completed = outcomes.len();
+            return Err(FarmError::AllSlavesDead {
+                completed,
+                remaining: st.unfinished(),
+            });
+        }
+
+        // 2. Deadline sweep: presumed-lost jobs go back in the queue and
+        // the slave becomes dispatchable again (see `SlaveState::Idle`).
+        let now = Instant::now();
+        for slave in 1..ranks {
+            if let Some((job, due)) = st.inflight[slave] {
+                if now >= due {
+                    st.inflight[slave] = None;
+                    st.slave_state[slave] = SlaveState::Idle;
+                    st.requeue(job, cfg);
+                }
+            }
+        }
+
+        // 3. Dispatch ready jobs to idle slaves.
+        let mut deferred: VecDeque<(usize, Instant)> = VecDeque::new();
+        'dispatch: while let Some(&(job, not_before)) = st.pending.front() {
+            if st.done[job] || st.failed[job] {
+                st.pending.pop_front();
+                continue;
+            }
+            if not_before > Instant::now() {
+                // Not ready; look no further (the queue is roughly
+                // time-ordered) but keep what we deferred.
+                break;
+            }
+            let Some(slave) = (1..ranks).find(|&s| st.slave_state[s] == SlaveState::Idle)
+            else {
+                break 'dispatch;
+            };
+            st.pending.pop_front();
+            match send_job(comm, slave, job, &files[job], strategy) {
+                Ok(()) => {
+                    st.attempts[job] += 1;
+                    st.slave_state[slave] = SlaveState::Busy;
+                    st.inflight[slave] = Some((job, Instant::now() + cfg.job_deadline));
+                }
+                Err(FarmError::Mpi(MpiError::Poisoned(dead))) if dead == slave => {
+                    st.bury(slave, cfg);
+                    // The job was not really attempted; try the next slave.
+                    deferred.push_back((job, not_before));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for item in deferred.into_iter().rev() {
+            st.pending.push_front(item);
+        }
+
+        if st.unfinished() == 0 {
+            break;
+        }
+
+        // 4. Collect one answer (or poll out and sweep again).
+        match comm.recv_obj_timeout(ANY_SOURCE, TAG, cfg.poll) {
+            Ok(None) => {}
+            Ok(Some((v, from))) => {
+                let slave = from.src;
+                let (job, verdict) = if let Some((job, price, se)) = decode_result(&v) {
+                    (job, Some((price, se)))
+                } else if let Some((job, _why)) = decode_failure(&v) {
+                    (job, None)
+                } else {
+                    return Err(FarmError::Io("bad result message".into()));
+                };
+                // Free the slave only if this answers its *current*
+                // dispatch; a stale (already-reassigned) answer must not
+                // mask the job it is now computing.
+                if st.inflight[slave].map(|(j, _)| j) == Some(job) {
+                    st.inflight[slave] = None;
+                    if st.slave_state[slave] == SlaveState::Busy {
+                        st.slave_state[slave] = SlaveState::Idle;
+                    }
+                }
+                match verdict {
+                    Some((price, se)) => {
+                        // First answer wins; duplicates from requeued
+                        // attempts are silently dropped.
+                        if job < files.len() && !st.done[job] && !st.failed[job] {
+                            st.done[job] = true;
+                            outcomes.push(JobOutcome {
+                                job,
+                                slave,
+                                price,
+                                std_error: se,
+                            });
+                            per_slave[slave] += 1;
+                        }
+                    }
+                    None => {
+                        if job < files.len() {
+                            st.requeue(job, cfg);
+                        }
+                    }
+                }
+            }
+            // A truncated result: clear it; the job deadline requeues it.
+            Err(MpiError::Truncated { .. }) => {
+                let _ = comm.discard(ANY_SOURCE, TAG);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+
+    // Shutdown: stop every slave that can still hear us. A dead slave's
+    // fast-fail is expected; anything else would strand the world.
+    for slave in 1..ranks {
+        if st.slave_state[slave] != SlaveState::Dead {
+            match comm.send_obj(&Value::empty_matrix(), slave as i32, TAG) {
+                Ok(()) | Err(MpiError::Poisoned(_)) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    let failed_jobs: Vec<usize> = st
+        .failed
+        .iter()
+        .enumerate()
+        .filter_map(|(j, &f)| f.then_some(j))
+        .collect();
+    let dead_slaves: Vec<usize> = st
+        .slave_state
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter_map(|(s, &state)| (state == SlaveState::Dead).then_some(s))
+        .collect();
+    Ok(FarmReport {
+        outcomes,
+        elapsed: start.elapsed(),
+        per_slave,
+        strategy,
+        failed_jobs,
+        retries: st.retries,
+        dead_slaves,
+    })
+}
+
+/// Run the supervised farm over `slaves` worker ranks with an optional
+/// fault plan (pass `None` for a fault-free but still supervised run; the
+/// result must then match [`crate::run_farm`] job for job).
+pub fn run_supervised_farm(
+    files: &[PathBuf],
+    slaves: usize,
+    strategy: Transmission,
+    cfg: &SupervisorConfig,
+    plan: Option<Arc<FaultPlan>>,
+) -> Result<FarmReport, FarmError> {
+    if slaves == 0 {
+        return Err(FarmError::NoSlaves);
+    }
+    assert!(cfg.max_attempts >= 1, "max_attempts must be at least 1");
+    let body = |comm: Comm| {
+        if comm.rank() == 0 {
+            Some(supervised_master(&comm, files, strategy, cfg))
+        } else {
+            // A supervised slave never panics the world: local failures
+            // are reported upstream, comm failures end the loop.
+            match supervised_slave(&comm, strategy, cfg) {
+                Ok(_) | Err(_) => None,
+            }
+        }
+    };
+    let results = match plan {
+        Some(plan) => World::run_with_faults(slaves + 1, plan, body),
+        None => World::run(slaves + 1, body),
+    };
+    results
+        .into_iter()
+        .next()
+        .flatten()
+        .expect("master produces the report")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portfolio::{save_portfolio, toy_portfolio};
+
+    fn setup(count: usize, tag: &str) -> (Vec<PathBuf>, Vec<f64>, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("farm_sup_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let jobs = toy_portfolio(count);
+        let paths = save_portfolio(&jobs, &dir).unwrap();
+        let expected: Vec<f64> = jobs
+            .iter()
+            .map(|j| j.problem.compute().unwrap().price)
+            .collect();
+        (paths, expected, dir)
+    }
+
+    #[test]
+    fn fault_free_supervised_farm_prices_everything() {
+        let (paths, expected, dir) = setup(30, "clean");
+        let cfg = SupervisorConfig::default();
+        let report =
+            run_supervised_farm(&paths, 3, Transmission::SerializedLoad, &cfg, None).unwrap();
+        assert_eq!(report.completed(), expected.len());
+        assert!(report.failed_jobs.is_empty());
+        assert_eq!(report.retries, 0);
+        assert!(report.dead_slaves.is_empty());
+        for o in &report.outcomes {
+            assert!((o.price - expected[o.job]).abs() < 1e-12);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_slaves_rejected() {
+        assert!(matches!(
+            run_supervised_farm(
+                &[],
+                0,
+                Transmission::Nfs,
+                &SupervisorConfig::default(),
+                None
+            ),
+            Err(FarmError::NoSlaves)
+        ));
+    }
+
+    #[test]
+    fn config_from_cost_model_calibrates_deadline() {
+        let cfg = SupervisorConfig::from_cost_model(&crate::calibrate::paper_costs(), 3.0);
+        // Paper costs top out above 60 s (American MC), so the deadline
+        // is far above the floor and scaled by the safety factor.
+        assert!(cfg.job_deadline >= Duration::from_secs(60));
+        assert!(cfg.slave_idle_timeout > cfg.job_deadline);
+    }
+
+    #[test]
+    fn deadline_floor_protects_fast_jobs() {
+        let cfg = SupervisorConfig::from_cost_model(
+            &crate::calibrate::paper_costs().scaled(1e-9),
+            1.0,
+        );
+        assert!(cfg.job_deadline >= Duration::from_millis(50));
+    }
+}

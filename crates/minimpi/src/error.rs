@@ -10,9 +10,8 @@ pub enum MpiError {
     /// User tags must be non-negative (negative tags are reserved for
     /// wildcards and internal collectives).
     InvalidTag(i32),
-    /// A receive buffer was smaller than the matched message
-    /// (MPI_ERR_TRUNCATE).
-    /// Receive buffer smaller than the matched message (MPI_ERR_TRUNCATE).
+    /// A receive buffer (or in-flight payload mangled by fault injection)
+    /// was smaller than the matched message (MPI_ERR_TRUNCATE).
     Truncated {
         /// Size of the matched message in bytes.
         needed: usize,
@@ -23,6 +22,12 @@ pub enum MpiError {
     Decode(xdrser::XdrError),
     /// The communicator was torn down while blocked (a peer panicked).
     Disconnected,
+    /// The given rank is dead: either a fault plan killed it (see
+    /// [`crate::FaultPlan`]) or it was administratively severed. A send
+    /// to a dead rank fails fast with this error instead of queueing into
+    /// a mailbox nobody will drain; every operation *by* a dead rank also
+    /// fails with this error (carrying its own rank).
+    Poisoned(usize),
 }
 
 impl fmt::Display for MpiError {
@@ -35,6 +40,7 @@ impl fmt::Display for MpiError {
             }
             MpiError::Decode(e) => write!(f, "object decode failed: {e}"),
             MpiError::Disconnected => write!(f, "communicator torn down"),
+            MpiError::Poisoned(rank) => write!(f, "rank {rank} is dead (mailbox poisoned)"),
         }
     }
 }

@@ -16,6 +16,16 @@
 //! serialize/pack/transmit/unpack/unserialize code path of Figs. 4–5 is
 //! exercised faithfully.
 //!
+//! On top of the faithful surface sits a testing-oriented extension: a
+//! deterministic fault-injection layer ([`FaultPlan`], activated by
+//! [`World::run_with_faults`]) that can drop, delay or truncate messages
+//! in flight and kill ranks outright, with every decision a pure function
+//! of `(seed, rank, operation index)` so chaos scenarios replay exactly.
+//! Timed receives ([`Comm::recv_timeout`], [`Comm::probe_timeout`]) and
+//! liveness queries ([`Comm::rank_alive`], [`Comm::sever`]) give
+//! higher layers what they need to supervise unreliable peers. See
+//! `docs/FAULTS.md` at the repository root.
+//!
 //! # Example: the paper's §3.2 object send
 //!
 //! ```
@@ -46,11 +56,13 @@
 mod buf;
 mod comm;
 mod error;
+mod fault;
 mod world;
 
 pub use buf::MpiBuf;
 pub use comm::{Comm, Status};
 pub use error::MpiError;
+pub use fault::{FaultEvent, FaultPlan, SendFault};
 pub use world::{SpawnedWorld, World};
 
 /// Wildcard source for `recv`/`probe` — the paper's `MPI_Probe(-1, ...)`.

@@ -2,8 +2,9 @@
 //! the dynamic `NSP_spawn` (MPI_Comm_spawn + MPI_Intercomm_merge) path.
 
 use crate::comm::{Comm, Group};
+use crate::fault::FaultPlan;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread;
 
 /// Entry points for creating communicator groups.
@@ -26,8 +27,31 @@ impl World {
         F: Fn(Comm) -> T + Send + Sync,
         T: Send,
     {
+        Self::run_inner(size, None, f)
+    }
+
+    /// Like [`World::run`] but every rank's traffic is filtered through
+    /// `plan` — the chaos-testing entry point. Pass an `Arc` so the caller
+    /// keeps a handle for [`FaultPlan::events`] after the world finishes.
+    ///
+    /// A rank killed by the plan does not panic: its next operation
+    /// returns [`crate::MpiError::Poisoned`] and the closure decides how to
+    /// wind down, exactly as a real process would observe a comm failure.
+    pub fn run_with_faults<T, F>(size: usize, plan: Arc<FaultPlan>, f: F) -> Vec<T>
+    where
+        F: Fn(Comm) -> T + Send + Sync,
+        T: Send,
+    {
+        Self::run_inner(size, Some(plan), f)
+    }
+
+    fn run_inner<T, F>(size: usize, plan: Option<Arc<FaultPlan>>, f: F) -> Vec<T>
+    where
+        F: Fn(Comm) -> T + Send + Sync,
+        T: Send,
+    {
         assert!(size >= 1, "world needs at least one rank");
-        let group = Group::new(size);
+        let group = Group::new_with_plan(size, plan);
         let results: Vec<Mutex<Option<T>>> = (0..size).map(|_| Mutex::new(None)).collect();
         let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
@@ -167,6 +191,50 @@ mod tests {
             })
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn run_joins_every_rank_even_when_one_panics() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Every surviving rank must run to completion (threads joined, not
+        // detached) before `run` rethrows the panic.
+        let finished = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            World::run(4, |c| {
+                if c.rank() == 3 {
+                    panic!("rank 3 died");
+                }
+                // Survivors do real work, then block on a recv that only
+                // the poison pulse can release.
+                let _ = c.recv(ANY_SOURCE, crate::ANY_TAG);
+                finished.fetch_add(1, Ordering::SeqCst);
+            })
+        }));
+        assert!(r.is_err());
+        // thread::scope guarantees joins: all 3 survivors finished.
+        assert_eq!(finished.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn run_with_faults_joins_killed_ranks() {
+        use crate::{FaultPlan, MpiError};
+        use std::sync::Arc;
+        let plan = Arc::new(FaultPlan::new(17).kill_rank_at_op(0, 0));
+        let out = World::run_with_faults(2, plan, |c| {
+            if c.rank() == 0 {
+                matches!(c.recv(1, 0), Err(MpiError::Poisoned(0)))
+            } else {
+                // Peer finds out via the fast-fail send and still returns.
+                loop {
+                    match c.send(&[1], 0, 0) {
+                        Err(MpiError::Poisoned(0)) => return true,
+                        Ok(()) => std::thread::sleep(std::time::Duration::from_millis(1)),
+                        Err(e) => panic!("unexpected {e:?}"),
+                    }
+                }
+            }
+        });
+        assert_eq!(out, vec![true, true]);
     }
 
     #[test]

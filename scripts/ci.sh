@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 gate for this repository (documented in ROADMAP.md).
+#
+#   1. release build of the whole workspace
+#   2. full test suite (quiet); a failing run is retried ONCE so that
+#      machine-load flakes in the timing-sensitive live-farm tests do not
+#      mask real regressions — deterministic failures (the chaos suite is
+#      seed-driven) reproduce on the retry and still fail the gate
+#   3. clippy over the workspace with warnings denied
+#
+# Usage: ./scripts/ci.sh [extra cargo-test args]
+
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --workspace --release || exit 1
+
+echo "==> cargo test -q --workspace $*"
+if ! cargo test -q --workspace "$@"; then
+    echo "==> test failure; retrying once to rule out machine-load flakes"
+    run cargo test -q --workspace "$@" || exit 1
+fi
+
+# Clippy is part of the gate when the component is installed (it is on
+# the standard toolchain; skip gracefully on minimal installs).
+if cargo clippy --version >/dev/null 2>&1; then
+    run cargo clippy --workspace --all-targets -- -D warnings || exit 1
+else
+    echo "==> clippy unavailable; skipping lint stage"
+fi
+
+echo "==> tier-1 gate green"

@@ -1,0 +1,226 @@
+//! Offline shim for `criterion`: a minimal wall-clock benchmark harness
+//! exposing the API surface the `bench` crate uses. It runs each closure
+//! for a fixed measurement budget, reports mean time per iteration (and
+//! throughput when configured), and prints one line per benchmark.
+//!
+//! No statistics, no HTML reports, no comparison with saved baselines —
+//! just honest timings so `cargo bench` works offline.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement driver passed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+            budget,
+        }
+    }
+
+    /// Time `f` repeatedly until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: one call, then scale batches.
+        let t0 = Instant::now();
+        black_box(f());
+        let first = t0.elapsed().max(Duration::from_nanos(1));
+        let per_call = first.as_secs_f64();
+        let budget = self.budget.as_secs_f64();
+        let target_iters = ((budget / per_call) as u64).clamp(1, 1_000_000);
+
+        let t0 = Instant::now();
+        for _ in 0..target_iters {
+            black_box(f());
+        }
+        let total = t0.elapsed();
+        self.iters = target_iters;
+        self.mean_ns = total.as_nanos() as f64 / target_iters as f64;
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterised benchmark (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name with a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Top-level benchmark registry/driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs short: these are smoke benchmarks, not publication runs.
+        let ms = std::env::var("CRITERION_SHIM_BUDGET_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    fn run_one(&self, label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        let mut line = format!("bench {label:<48} {:>12}/iter  ({} iters)", human(b.mean_ns), b.iters);
+        if let Some(tp) = throughput {
+            let per_sec = match tp {
+                Throughput::Bytes(n) => format!("{:.1} MiB/s", n as f64 / (b.mean_ns * 1e-9) / (1024.0 * 1024.0)),
+                Throughput::Elements(n) => format!("{:.0} elem/s", n as f64 / (b.mean_ns * 1e-9)),
+            };
+            line.push_str(&format!("  {per_sec}"));
+        }
+        println!("{line}");
+    }
+
+    /// Benchmark a single closure.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(name, None, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a closure under this group.
+    pub fn bench_function(&mut self, name: impl fmt::Display, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        self.criterion.run_one(&label, self.throughput, &mut f);
+        self
+    }
+
+    /// Benchmark a closure parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let mut g = |b: &mut Bencher| f(b, input);
+        self.criterion.run_one(&label, self.throughput, &mut g);
+        self
+    }
+
+    /// Finish the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group function, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        std::env::set_var("CRITERION_SHIM_BUDGET_MS", "10");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("x", |b| b.iter(|| black_box(2) * 2));
+        g.bench_with_input(BenchmarkId::new("y", 4), &4usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+}

@@ -88,6 +88,55 @@ fn simulator_predicts_live_makespan_within_band() {
 }
 
 #[test]
+fn zero_fault_supervision_is_free() {
+    // Regression guard for the supervised master: under a zero-fault
+    // plan (and under no plan at all) the supervised farm must produce
+    // byte-identical job→(price, std_error) results to the plain
+    // Fig. 4 master — supervision may only change behaviour when faults
+    // actually occur.
+    use riskbench::farm::supervisor::{run_supervised_farm, SupervisorConfig};
+    use riskbench::minimpi::FaultPlan;
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join("it_zero_fault_supervised");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (files, _) = matched_workload(&dir);
+
+    let plain = run_farm(&files, 2, Transmission::SerializedLoad).unwrap();
+    let cfg = SupervisorConfig::from_cost_model(&riskbench::farm::calibrate::paper_costs(), 2.0);
+    let inert = Arc::new(FaultPlan::new(2024));
+    let supervised = run_supervised_farm(
+        &files,
+        2,
+        Transmission::SerializedLoad,
+        &cfg,
+        Some(Arc::clone(&inert)),
+    )
+    .unwrap();
+    let unplanned =
+        run_supervised_farm(&files, 2, Transmission::SerializedLoad, &cfg, None).unwrap();
+
+    // The inert plan must not have injected anything...
+    assert!(inert.events().is_empty());
+    // ...and the reports must agree exactly, job for job, bit for bit
+    // (completion *order* is scheduling-dependent; the sorted view is
+    // the invariant).
+    let key = |r: &FarmReport| -> Vec<(usize, u64, Option<u64>)> {
+        r.by_job()
+            .into_iter()
+            .map(|(j, p, se)| (j, p.to_bits(), se.map(f64::to_bits)))
+            .collect()
+    };
+    assert_eq!(key(&plain), key(&supervised));
+    assert_eq!(key(&plain), key(&unplanned));
+    // No phantom degradation bookkeeping either.
+    assert!(supervised.failed_jobs.is_empty());
+    assert_eq!(supervised.retries, 0);
+    assert!(supervised.dead_slaves.is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn simulator_and_live_farm_agree_on_scaling_direction() {
     if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 4 {
         eprintln!("skipping: fewer than 4 cores");
