@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use farm::portfolio::{save_portfolio, toy_portfolio};
-use farm::{run_farm, Transmission};
+use farm::{run, FarmConfig, Transmission};
 
 fn bench_farm(c: &mut Criterion) {
     let dir = std::env::temp_dir().join("riskbench_farm_bench");
@@ -21,7 +21,7 @@ fn bench_farm(c: &mut Criterion) {
                 BenchmarkId::new(strategy.label().replace(' ', "_"), slaves),
                 &slaves,
                 |b, &slaves| {
-                    b.iter(|| run_farm(&files, slaves, strategy).unwrap());
+                    b.iter(|| run(&files, &FarmConfig::new(slaves, strategy)).unwrap());
                 },
             );
         }

@@ -6,12 +6,22 @@
 //! Quick-scale regression suite, demonstrating genuine parallel speedup
 //! end to end.
 
+use bench::breakdown::run_cli;
 use bench::{render_comparison, PAPER_TABLE1};
-use clustersim::{table1_rows, SimConfig, TABLE1_CPUS};
+use clustersim::{table1_rows, table1_sim_jobs, SimConfig, TABLE1_CPUS};
 use farm::portfolio::{regression_portfolio, save_portfolio, PortfolioScale};
-use farm::{run_farm, Transmission};
+use farm::{run, FarmConfig, Transmission};
 
 fn main() {
+    // `--breakdown [--cpus N]`: per-phase decomposition of one cluster
+    // size on the regression workload instead of the sweep.
+    if run_cli(
+        "Table I breakdown — per-phase cost decomposition by strategy",
+        &["--live"],
+        |_| table1_sim_jobs(),
+    ) {
+        return;
+    }
     let live = std::env::args().any(|a| a == "--live");
     let cfg = SimConfig::default();
     let rows = table1_rows(&TABLE1_CPUS, &cfg);
@@ -36,8 +46,11 @@ fn main() {
         println!("{:>8} {:>12} {:>14}", "CPUs", "Time (s)", "Speedup ratio");
         let mut t2 = None;
         for slaves in [1usize, 2, 3, 4, 6, 8].iter().filter(|&&s| s < cores.max(2)) {
-            let report =
-                run_farm(&files, *slaves, Transmission::SerializedLoad).expect("farm run");
+            let report = run(
+                &files,
+                &FarmConfig::new(*slaves, Transmission::SerializedLoad),
+            )
+            .expect("farm run");
             let t = report.elapsed.as_secs_f64();
             let t2v = *t2.get_or_insert(t);
             println!(

@@ -7,10 +7,20 @@
 //! (§4.2). The NFS sweep shares the server block cache across CPU counts,
 //! reproducing the caching bias the paper calls out.
 
+use bench::breakdown::run_cli;
 use bench::{render_three_strategy, PAPER_TABLE2};
-use clustersim::{table2_rows, SimConfig, TABLE2_CPUS};
+use clustersim::{table2_rows, table2_sim_jobs, SimConfig, TABLE2_CPUS};
 
 fn main() {
+    // `--breakdown [--jobs N] [--cpus N]`: per-phase decomposition of
+    // one cluster size instead of the full sweep.
+    if run_cli(
+        "Table II breakdown — per-phase cost decomposition by strategy",
+        &[],
+        |opts| table2_sim_jobs(opts.jobs.unwrap_or(10_000)),
+    ) {
+        return;
+    }
     let cfg = SimConfig::default();
     let all = table2_rows(&TABLE2_CPUS, &cfg);
     println!(

@@ -6,10 +6,20 @@
 //! sent" and "with 256 nodes, the speedup ratio is still better than 0.8"
 //! (§4.3).
 
+use bench::breakdown::run_cli;
 use bench::{render_three_strategy, PAPER_TABLE3};
-use clustersim::{table3_rows, SimConfig, TABLE3_CPUS};
+use clustersim::{table3_rows, table3_sim_jobs, SimConfig, TABLE3_CPUS};
 
 fn main() {
+    // `--breakdown [--cpus N]`: per-phase decomposition of one cluster
+    // size on the realistic portfolio instead of the sweep.
+    if run_cli(
+        "Table III breakdown — per-phase cost decomposition by strategy",
+        &[],
+        |_| table3_sim_jobs(),
+    ) {
+        return;
+    }
     let cfg = SimConfig::default();
     let all = table3_rows(&TABLE3_CPUS, &cfg);
     println!(

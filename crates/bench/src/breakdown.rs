@@ -1,0 +1,254 @@
+//! The `--breakdown` surface shared by the table binaries.
+//!
+//! Replays one CPU count of a table's workload through
+//! [`clustersim::simulate_farm_recorded`] — once per transmission
+//! strategy, each against a *cold* NFS cache so the strategies are
+//! compared on equal footing — aggregates the recorded event stream into
+//! an [`obs::BreakdownReport`], self-checks it (phase seconds within the
+//! cpu-seconds budget, no dropped events, and the §4.2 claim that
+//! serialized load pays the least problem-acquisition time), and prints
+//! both the fixed-width table and the machine-readable JSON form.
+
+use clustersim::{simulate_farm_recorded, NfsCache, SimConfig, SimJob};
+use farm::Transmission;
+use obs::{Breakdown, BreakdownReport, Recorder, StrategyBreakdown};
+
+/// Ring capacity per rank. The master is the busiest rank: it records a
+/// handful of events per job (prepare, pack, send, result recv), so this
+/// comfortably holds the 10 000-job Table II workload without wrapping.
+const RING_CAPACITY: usize = 1 << 17;
+
+/// Parsed command-line options for a table binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakdownOpts {
+    /// `--breakdown`: emit the per-phase decomposition instead of (only)
+    /// the speedup table.
+    pub enabled: bool,
+    /// `--jobs N`: portfolio size override for workloads that scale
+    /// (Table II). `None` keeps the table's paper-sized default.
+    pub jobs: Option<usize>,
+    /// `--cpus N`: cluster size (master + slaves) for the breakdown run.
+    pub cpus: usize,
+}
+
+impl Default for BreakdownOpts {
+    fn default() -> Self {
+        BreakdownOpts {
+            enabled: false,
+            jobs: None,
+            cpus: 8,
+        }
+    }
+}
+
+impl BreakdownOpts {
+    /// Parse `--breakdown [--jobs N] [--cpus N]` from an argument list
+    /// (not including the program name). Flags listed in `passthrough`
+    /// are silently skipped (they belong to the hosting binary, e.g.
+    /// table1's `--live`); anything else unknown is an error so typos
+    /// fail loudly in CI.
+    pub fn parse<I, S>(args: I, passthrough: &[&str]) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut opts = BreakdownOpts::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_ref() {
+                a if passthrough.contains(&a) => {}
+                "--breakdown" => opts.enabled = true,
+                "--jobs" => {
+                    let v = it.next().ok_or("--jobs needs a value")?;
+                    let n: usize = v
+                        .as_ref()
+                        .parse()
+                        .map_err(|_| format!("--jobs: bad count {:?}", v.as_ref()))?;
+                    if n == 0 {
+                        return Err("--jobs must be at least 1".into());
+                    }
+                    opts.jobs = Some(n);
+                }
+                "--cpus" => {
+                    let v = it.next().ok_or("--cpus needs a value")?;
+                    let n: usize = v
+                        .as_ref()
+                        .parse()
+                        .map_err(|_| format!("--cpus: bad count {:?}", v.as_ref()))?;
+                    if n < 2 {
+                        return Err("--cpus must be at least 2 (master + one slave)".into());
+                    }
+                    opts.cpus = n;
+                }
+                other => return Err(format!("unknown argument {other:?} (try --breakdown)")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// Run the workload once per strategy on `cpus - 1` slaves, recording
+/// every phase, and assemble the checked report.
+///
+/// Each strategy starts from a cold [`NfsCache`] — the §4.2 caching bias
+/// is deliberately *excluded* here, because the breakdown's job is to
+/// expose what each strategy intrinsically pays per problem.
+pub fn breakdown_report(
+    title: &str,
+    jobs: &[SimJob],
+    cpus: usize,
+    cfg: &SimConfig,
+) -> Result<BreakdownReport, String> {
+    if cpus < 2 {
+        return Err("breakdown needs at least 2 CPUs".into());
+    }
+    let slaves = cpus - 1;
+    let mut report = BreakdownReport::new(title);
+    for strategy in Transmission::ALL {
+        let rec = Recorder::with_capacity(slaves + 1, RING_CAPACITY);
+        let out = simulate_farm_recorded(jobs, slaves, strategy, cfg, &mut NfsCache::new(), Some(&rec));
+        report.runs.push(StrategyBreakdown {
+            strategy: strategy.label().to_string(),
+            cpus,
+            wall_s: out.makespan,
+            breakdown: Breakdown::from_events(&rec.events()),
+            dropped: rec.dropped(),
+        });
+    }
+    report.check()?;
+    check_sload_prepare_cheapest(&report)?;
+    Ok(report)
+}
+
+/// The §4.2 acceptance check: serialized load's prepare seconds
+/// (`Serialize + Sload + Pack + NfsRead`, wherever they run) must be
+/// *strictly* the smallest of the three strategies — the master skips
+/// materialisation and the slaves skip NFS.
+pub fn check_sload_prepare_cheapest(report: &BreakdownReport) -> Result<(), String> {
+    let prepare = |strategy: Transmission| -> Result<f64, String> {
+        report
+            .run(strategy.label())
+            .map(|r| r.breakdown.prepare_s())
+            .ok_or_else(|| format!("missing {strategy} run in breakdown report"))
+    };
+    let sload = prepare(Transmission::SerializedLoad)?;
+    for other in [Transmission::FullLoad, Transmission::Nfs] {
+        let o = prepare(other)?;
+        if sload >= o {
+            return Err(format!(
+                "serialized load prepare {sload:.6}s is not strictly below {other} {o:.6}s"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Print a checked report (text table, then one line of JSON) for a
+/// table binary. The caller exits nonzero on `Err`.
+pub fn print_breakdown(
+    title: &str,
+    jobs: &[SimJob],
+    opts: &BreakdownOpts,
+    cfg: &SimConfig,
+) -> Result<(), String> {
+    let report = breakdown_report(title, jobs, opts.cpus, cfg)?;
+    println!("{}", report.render());
+    println!("JSON: {}", report.to_json());
+    Ok(())
+}
+
+/// The `main`-shaped wrapper the binaries share: run the breakdown when
+/// requested (returns `true` — the caller should stop), otherwise fall
+/// through to the table rendering (`false`). Exits the process with
+/// status 2 on bad arguments or a failed check.
+pub fn run_cli(
+    title: &str,
+    passthrough: &[&str],
+    build_jobs: impl FnOnce(&BreakdownOpts) -> Vec<SimJob>,
+) -> bool {
+    let opts = match BreakdownOpts::parse(std::env::args().skip(1), passthrough) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: --breakdown [--jobs N] [--cpus N]");
+            std::process::exit(2);
+        }
+    };
+    if !opts.enabled {
+        return false;
+    }
+    let jobs = build_jobs(&opts);
+    if let Err(e) = print_breakdown(title, &jobs, &opts, &SimConfig::default()) {
+        eprintln!("breakdown check failed: {e}");
+        std::process::exit(2);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_flags_and_rejects_junk() {
+        assert_eq!(
+            BreakdownOpts::parse(["--breakdown"], &[]).unwrap(),
+            BreakdownOpts {
+                enabled: true,
+                ..BreakdownOpts::default()
+            }
+        );
+        let o =
+            BreakdownOpts::parse(["--breakdown", "--jobs", "500", "--cpus", "4"], &[]).unwrap();
+        assert!(o.enabled);
+        assert_eq!(o.jobs, Some(500));
+        assert_eq!(o.cpus, 4);
+        assert!(BreakdownOpts::parse(["--frobnicate"], &[]).is_err());
+        assert!(BreakdownOpts::parse(["--jobs"], &[]).is_err());
+        assert!(BreakdownOpts::parse(["--jobs", "0"], &[]).is_err());
+        assert!(BreakdownOpts::parse(["--cpus", "1"], &[]).is_err());
+        assert!(!BreakdownOpts::parse(Vec::<String>::new(), &[]).unwrap().enabled);
+        // Host-binary flags pass through without tripping the parser.
+        let o = BreakdownOpts::parse(["--live", "--breakdown"], &["--live"]).unwrap();
+        assert!(o.enabled);
+        assert!(BreakdownOpts::parse(["--live"], &[]).is_err());
+    }
+
+    #[test]
+    fn table2_breakdown_passes_all_checks() {
+        // A scaled-down Table II workload: the checks inside
+        // breakdown_report are the acceptance criteria themselves.
+        let jobs = clustersim::table2_sim_jobs(400);
+        let report = breakdown_report("test", &jobs, 4, &SimConfig::default()).unwrap();
+        assert_eq!(report.runs.len(), 3);
+        for run in &report.runs {
+            assert_eq!(run.cpus, 4);
+            assert!(run.breakdown.compute_s() > 0.0, "{}", run.strategy);
+            assert_eq!(run.dropped, 0);
+        }
+        // Strict ordering of prepare time: sload < full load < cold NFS.
+        let p = |s: Transmission| report.run(s.label()).unwrap().breakdown.prepare_s();
+        assert!(p(Transmission::SerializedLoad) < p(Transmission::FullLoad));
+        assert!(p(Transmission::FullLoad) < p(Transmission::Nfs));
+        // All strategies computed the same portfolio: identical compute
+        // seconds (the sim charges the measured per-job cost verbatim).
+        let c = |s: Transmission| report.run(s.label()).unwrap().breakdown.compute_s();
+        let base = c(Transmission::SerializedLoad);
+        assert!((c(Transmission::FullLoad) - base).abs() < 1e-9);
+        assert!((c(Transmission::Nfs) - base).abs() < 1e-9);
+        // Render and JSON both carry the summary columns.
+        let text = report.render();
+        assert!(text.contains("prepare="));
+        let json = report.to_json();
+        assert!(json.contains("\"prepare_s\":"));
+        assert!(json.contains("\"strategy\":"));
+    }
+
+    #[test]
+    fn report_fails_when_a_strategy_is_missing() {
+        let jobs = clustersim::table2_sim_jobs(50);
+        let mut report = breakdown_report("test", &jobs, 2, &SimConfig::default()).unwrap();
+        report.runs.retain(|r| r.strategy != Transmission::SerializedLoad.label());
+        assert!(check_sload_prepare_cheapest(&report).is_err());
+    }
+}

@@ -6,6 +6,8 @@
 
 use clustersim::TableRow;
 
+pub mod breakdown;
+
 /// A published (CPUs, time, ratio) row from the paper, for side-by-side
 /// display. `None` entries mark cells the paper leaves blank.
 #[derive(Debug, Clone, Copy)]

@@ -5,6 +5,7 @@ use crate::params::SimConfig;
 use crate::resource::Resource;
 use farm::strategy::Transmission;
 use farm::JobClass;
+use obs::{Event, EventKind, Recorder, NO_JOB};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -95,7 +96,43 @@ pub fn simulate_farm(
     cfg: &SimConfig,
     cache: &mut NfsCache,
 ) -> SimOutcome {
+    simulate_farm_recorded(jobs, slaves, strategy, cfg, cache, None)
+}
+
+/// [`simulate_farm`] with phase-level observability: every simulated
+/// phase lands in `recorder` as the *same* [`obs::EventKind`] stream the
+/// live instrumented farm produces (master prep as `Serialize`/`Sload`,
+/// NIC occupancy as `Send`, slave-side `Probe`/`Recv`/`Unpack` or
+/// `NfsRead`, then `Compute` and the reply), with simulated seconds
+/// mapped to nanosecond timestamps. This makes simulated and live runs
+/// diffable per phase through one [`obs::Breakdown`] aggregator.
+///
+/// Rank convention matches the live farm: rank 0 is the master, slave
+/// *s* is rank `s + 1` — size the recorder with at least `slaves + 1`
+/// ranks.
+pub fn simulate_farm_recorded(
+    jobs: &[SimJob],
+    slaves: usize,
+    strategy: Transmission,
+    cfg: &SimConfig,
+    cache: &mut NfsCache,
+    recorder: Option<&Recorder>,
+) -> SimOutcome {
     assert!(slaves >= 1, "need at least one slave");
+    // Simulated-seconds → event-record adapter. All events funnel through
+    // here so disabling the recorder costs exactly one branch.
+    let emit = |kind: EventKind, rank: usize, job: i64, start_s: f64, dur_s: f64, bytes: usize| {
+        if let Some(rec) = recorder {
+            rec.record(Event {
+                kind,
+                rank: rank as u16,
+                job,
+                start_ns: (start_s * 1e9) as u64,
+                dur_ns: (dur_s * 1e9) as u64,
+                bytes: bytes as u64,
+            });
+        }
+    };
     let mut master = Resource::new();
     let mut nfs = Resource::new();
     let mut slave_res: Vec<Resource> = (0..slaves).map(|_| Resource::new()).collect();
@@ -131,10 +168,38 @@ pub fn simulate_farm(
                         slave_res: &mut [Resource],
                         cache: &mut NfsCache|
      -> f64 {
+        let jid = job.id as i64;
+        let srank = s + 1;
+        let prep = master_prep(strategy);
+        let transfer = cfg.network.transfer_time(wire_bytes(strategy, job));
         // Master: prep + NIC occupancy (serialised on the master).
-        let send_done = master.acquire(
-            ready,
-            master_prep(strategy) + cfg.network.transfer_time(wire_bytes(strategy, job)),
+        let send_done = master.acquire(ready, prep + transfer);
+        // Master-side phases, mirroring the live farm's event stream:
+        // strategy prep (Serialize / Sload), then the tiny name-message
+        // Serialize, Pack (free: the payload is already serial bytes),
+        // and the NIC occupancy as Send.
+        let t0 = send_done - prep - transfer;
+        let name_prep = cfg.master.nfs_prep.min(prep);
+        match strategy {
+            Transmission::FullLoad => {
+                emit(EventKind::Serialize, 0, jid, t0, prep - name_prep, job.bytes);
+            }
+            Transmission::SerializedLoad => {
+                emit(EventKind::Sload, 0, jid, t0, prep - name_prep, job.bytes);
+            }
+            Transmission::Nfs => {}
+        }
+        emit(EventKind::Serialize, 0, jid, t0 + (prep - name_prep), name_prep, 64);
+        if strategy != Transmission::Nfs {
+            emit(EventKind::Pack, 0, jid, t0 + prep, 0.0, job.bytes);
+        }
+        emit(
+            EventKind::Send,
+            0,
+            jid,
+            t0 + prep,
+            transfer,
+            wire_bytes(strategy, job),
         );
         // Slave receives and recovers the problem.
         let mut t = slave_res[s].acquire(send_done, 0.0);
@@ -146,11 +211,34 @@ pub fn simulate_farm(
                 cfg.nfs.cold_read
             };
             t = nfs.acquire(t, service);
+            emit(EventKind::NfsRead, srank, jid, t - service, service, job.bytes);
         } else {
+            let wire = wire_bytes(strategy, job);
+            emit(EventKind::Probe, srank, jid, t, 0.0, wire);
+            emit(EventKind::Recv, srank, jid, t, 0.0, wire);
+            emit(EventKind::Unpack, srank, jid, t, cfg.slave.unpack, job.bytes);
             t += cfg.slave.unpack;
         }
         // Compute + result send.
         let done = slave_res[s].acquire(t, job.compute + cfg.slave.result_prep);
+        let compute_start = done - job.compute - cfg.slave.result_prep;
+        emit(EventKind::Compute, srank, jid, compute_start, job.compute, 0);
+        emit(
+            EventKind::Serialize,
+            srank,
+            jid,
+            compute_start + job.compute,
+            cfg.slave.result_prep,
+            RESULT_BYTES,
+        );
+        emit(
+            EventKind::Send,
+            srank,
+            jid,
+            done,
+            cfg.network.transfer_time(RESULT_BYTES),
+            RESULT_BYTES,
+        );
         done + cfg.network.transfer_time(RESULT_BYTES)
     };
 
@@ -175,8 +263,17 @@ pub fn simulate_farm(
 
     let mut makespan: f64 = 0.0;
     while let Some(Reverse((Time(arrival), s))) = heap.pop() {
-        // Master takes the result off the wire.
+        // Master takes the result off the wire. Like the live master's
+        // ANY_SOURCE result receive, this is not attributed to a job.
         let handled = master.acquire(arrival, cfg.master.result_handle);
+        emit(
+            EventKind::Recv,
+            0,
+            NO_JOB,
+            handled - cfg.master.result_handle,
+            cfg.master.result_handle,
+            RESULT_BYTES,
+        );
         per_slave[s] += 1;
         makespan = makespan.max(handled);
         if next < jobs.len() {
@@ -354,6 +451,80 @@ mod tests {
             .collect();
         let out2 = simulate_farm(&heavy, 4, Transmission::SerializedLoad, &cfg(), &mut NfsCache::new());
         assert!(out2.master_utilisation < 0.05, "util {}", out2.master_utilisation);
+    }
+
+    #[test]
+    fn recorded_replay_matches_unrecorded_and_emits_live_schema() {
+        use std::collections::BTreeSet;
+        let jobs = cheap_jobs(12, 2e-3);
+        for strategy in Transmission::ALL {
+            let plain = simulate_farm(&jobs, 2, strategy, &cfg(), &mut NfsCache::new());
+            let rec = Recorder::new(3);
+            let recorded = simulate_farm_recorded(
+                &jobs,
+                2,
+                strategy,
+                &cfg(),
+                &mut NfsCache::new(),
+                Some(&rec),
+            );
+            // Observability must not perturb the simulated schedule.
+            assert_eq!(plain, recorded, "{strategy}");
+            let events = rec.events();
+            assert_eq!(rec.dropped(), 0);
+            // Per-job kind sets match the live instrumented farm schema.
+            let expect: BTreeSet<EventKind> = match strategy {
+                Transmission::FullLoad => [
+                    EventKind::Serialize,
+                    EventKind::Pack,
+                    EventKind::Send,
+                    EventKind::Probe,
+                    EventKind::Recv,
+                    EventKind::Unpack,
+                    EventKind::Compute,
+                ]
+                .into_iter()
+                .collect(),
+                Transmission::SerializedLoad => [
+                    EventKind::Sload,
+                    EventKind::Serialize,
+                    EventKind::Pack,
+                    EventKind::Send,
+                    EventKind::Probe,
+                    EventKind::Recv,
+                    EventKind::Unpack,
+                    EventKind::Compute,
+                ]
+                .into_iter()
+                .collect(),
+                Transmission::Nfs => [
+                    EventKind::Serialize,
+                    EventKind::Send,
+                    EventKind::NfsRead,
+                    EventKind::Compute,
+                ]
+                .into_iter()
+                .collect(),
+            };
+            for job in 0..jobs.len() as i64 {
+                let kinds: BTreeSet<EventKind> = events
+                    .iter()
+                    .filter(|e| e.job == job)
+                    .map(|e| e.kind)
+                    .collect();
+                assert_eq!(kinds, expect, "{strategy} job {job}");
+            }
+            // Compute seconds aggregate exactly to the drawn costs.
+            let compute_s: f64 = events
+                .iter()
+                .filter(|e| e.kind == EventKind::Compute)
+                .map(|e| e.dur_s())
+                .sum();
+            assert!(
+                (compute_s - 12.0 * 2e-3).abs() < 1e-9,
+                "{strategy}: {compute_s}"
+            );
+        }
     }
 
     #[test]

@@ -110,9 +110,9 @@ pub const TABLE3_T2: f64 = 5776.33;
 /// subtracted).
 pub const TABLE2_VANILLA_COST: f64 = 0.55e-3;
 
-/// Table I: speedup of the Premia non-regression tests, `sload`
-/// transmission ("the pricing problems are sent using the sload method").
-pub fn table1_rows(cpus: &[usize], cfg: &SimConfig) -> Vec<TableRow> {
+/// The Table I workload as simulator jobs: the regression portfolio
+/// replicated twice, per-class costs normalised to the paper's T(2).
+pub fn table1_sim_jobs() -> Vec<SimJob> {
     // The paper runs "several sets of these tests … with different
     // parameters"; our regression portfolio (69 problems) is replicated
     // to the same order of magnitude of jobs.
@@ -125,8 +125,30 @@ pub fn table1_rows(cpus: &[usize], cfg: &SimConfig) -> Vec<TableRow> {
             jobs.push(job);
         }
     }
-    let sim_jobs = build_sim_jobs(&jobs, table1_class_range, TABLE1_T2, 0x7AB1E1);
+    build_sim_jobs(&jobs, table1_class_range, TABLE1_T2, 0x7AB1E1)
+}
+
+/// Table I: speedup of the Premia non-regression tests, `sload`
+/// transmission ("the pricing problems are sent using the sload method").
+pub fn table1_rows(cpus: &[usize], cfg: &SimConfig) -> Vec<TableRow> {
+    let sim_jobs = table1_sim_jobs();
     sweep(&sim_jobs, cpus, Transmission::SerializedLoad, cfg, false)
+}
+
+/// The Table II workload as simulator jobs: `count` closed-form
+/// vanillas with ±30 % jitter around the implied per-vanilla cost.
+pub fn table2_sim_jobs(count: usize) -> Vec<SimJob> {
+    let jobs = toy_portfolio(count);
+    let mut rng = SplitMix64::new(0x7AB1E2);
+    jobs.iter()
+        .map(|j| SimJob {
+            id: j.id,
+            class: j.class,
+            bytes: xdrser::serialize_to_bytes(&j.problem.to_value()).len(),
+            // ±30 % jitter around the implied per-vanilla cost.
+            compute: TABLE2_VANILLA_COST * rng.uniform(0.7, 1.3),
+        })
+        .collect()
 }
 
 /// Table II: the 10 000-vanilla toy portfolio under all three
@@ -135,18 +157,7 @@ pub fn table1_rows(cpus: &[usize], cfg: &SimConfig) -> Vec<TableRow> {
 /// across CPU counts, reproducing the §4.2 caching bias the paper calls
 /// out ("the comparison with the NFS file system may be highly biased").
 pub fn table2_rows(cpus: &[usize], cfg: &SimConfig) -> Vec<(Transmission, Vec<TableRow>)> {
-    let jobs = toy_portfolio(10_000);
-    let mut rng = SplitMix64::new(0x7AB1E2);
-    let sim_jobs: Vec<SimJob> = jobs
-        .iter()
-        .map(|j| SimJob {
-            id: j.id,
-            class: j.class,
-            bytes: xdrser::serialize_to_bytes(&j.problem.to_value()).len(),
-            // ±30 % jitter around the implied per-vanilla cost.
-            compute: TABLE2_VANILLA_COST * rng.uniform(0.7, 1.3),
-        })
-        .collect();
+    let sim_jobs = table2_sim_jobs(10_000);
     Transmission::ALL
         .iter()
         .map(|&strategy| {
@@ -156,11 +167,17 @@ pub fn table2_rows(cpus: &[usize], cfg: &SimConfig) -> Vec<(Transmission, Vec<Ta
         .collect()
 }
 
+/// The Table III workload as simulator jobs: the realistic portfolio,
+/// per-class costs normalised to the paper's T(2).
+pub fn table3_sim_jobs() -> Vec<SimJob> {
+    let jobs = realistic_portfolio(PortfolioScale::Quick, 1);
+    build_sim_jobs(&jobs, table3_class_range, TABLE3_T2, 0x7AB1E3)
+}
+
 /// Table III: the 7 931-claim realistic portfolio under all three
 /// strategies, up to 512 CPUs.
 pub fn table3_rows(cpus: &[usize], cfg: &SimConfig) -> Vec<(Transmission, Vec<TableRow>)> {
-    let jobs = realistic_portfolio(PortfolioScale::Quick, 1);
-    let sim_jobs = build_sim_jobs(&jobs, table3_class_range, TABLE3_T2, 0x7AB1E3);
+    let sim_jobs = table3_sim_jobs();
     Transmission::ALL
         .iter()
         .map(|&strategy| {

@@ -40,7 +40,7 @@
 //! let dir = std::env::temp_dir().join("riskbench_doc_quickstart");
 //! let jobs = toy_portfolio(16);
 //! let files = save_portfolio(&jobs, &dir).unwrap();
-//! let report = run_farm(&files, 2, Transmission::SerializedLoad).unwrap();
+//! let report = farm::run(&files, &FarmConfig::new(2, Transmission::SerializedLoad)).unwrap();
 //! assert_eq!(report.completed(), 16);
 //! std::fs::remove_dir_all(&dir).ok();
 //! ```
@@ -51,6 +51,7 @@ pub use minimpi;
 pub use nspval;
 pub use nsplang;
 pub use numerics;
+pub use obs;
 pub use pricing;
 pub use xdrser;
 
@@ -67,8 +68,13 @@ pub mod prelude {
         realistic_portfolio, regression_portfolio, save_portfolio, toy_portfolio, JobClass,
         PortfolioJob, PortfolioScale,
     };
-    pub use farm::supervisor::{run_supervised_farm, SupervisorConfig};
-    pub use farm::{run_farm, FarmError, FarmReport, Transmission};
+    pub use farm::supervisor::SupervisorConfig;
+    #[allow(deprecated)]
+    pub use farm::supervisor::run_supervised_farm;
+    #[allow(deprecated)]
+    pub use farm::run_farm;
+    pub use farm::{run, FarmConfig, FarmError, FarmReport, Transmission};
+    pub use obs::{Breakdown, BreakdownReport, Event, EventKind, Recorder, StrategyBreakdown};
     pub use minimpi::{
         Comm, FaultEvent, FaultPlan, MpiBuf, SendFault, SpawnedWorld, World, ANY_SOURCE,
         ANY_TAG,

@@ -7,11 +7,14 @@
 //! `batch_size` problems per message; slaves answer with one result list
 //! per batch.
 
+use crate::instrument;
 use crate::robin_hood::{FarmError, FarmReport, JobOutcome};
-use crate::strategy::{prepare_payload, recover_problem, Transmission};
+use crate::strategy::{prepare_payload_recorded, recover_problem_recorded, Transmission};
 use minimpi::{Comm, MpiBuf, World, ANY_SOURCE};
 use nspval::{Hash, List, Value};
+use obs::{EventKind, Recorder};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 const TAG: i32 = 9;
@@ -27,8 +30,22 @@ pub fn run_batched_farm(
     if slaves == 0 {
         return Err(FarmError::NoSlaves);
     }
-    assert!(batch_size >= 1, "batch size must be at least 1");
-    let results = World::run(slaves + 1, |comm| {
+    if batch_size == 0 {
+        return Err(FarmError::Config("batch size must be at least 1".into()));
+    }
+    run_batched_inner(files, slaves, strategy, batch_size, None)
+}
+
+/// The batched route behind [`crate::run`]: the validated entry point
+/// with phase-level observability threaded through.
+pub(crate) fn run_batched_inner(
+    files: &[PathBuf],
+    slaves: usize,
+    strategy: Transmission,
+    batch_size: usize,
+    recorder: Option<Arc<Recorder>>,
+) -> Result<FarmReport, FarmError> {
+    let results = World::run_instrumented(slaves + 1, None, recorder, |comm| {
         if comm.rank() == 0 {
             Some(master(&comm, files, strategy, batch_size))
         } else {
@@ -54,19 +71,19 @@ fn send_batch(
     let mut batch = List::new();
     for idx in range {
         let path = &files[idx];
+        comm.set_job(Some(idx));
         let mut h = Hash::new();
         h.set("idx", Value::scalar(idx as f64));
         h.set(
             "name",
             Value::string(path.to_string_lossy().to_string()),
         );
-        if let Some(payload) =
-            prepare_payload(strategy, path).map_err(|e| FarmError::Io(e.to_string()))?
-        {
+        if let Some(payload) = prepare_payload_recorded(comm, strategy, path)? {
             h.set("payload", payload);
         }
         batch.add_last(Value::Hash(h));
     }
+    comm.set_job(None);
     // One packed message for the whole batch.
     let packed = comm.pack(&Value::List(batch));
     comm.send(packed.bytes(), slave as i32, TAG)?;
@@ -174,11 +191,13 @@ fn slave(comm: &Comm, strategy: Transmission) -> Result<(), FarmError> {
                 .get("name")
                 .and_then(|x| x.as_str())
                 .ok_or_else(|| FarmError::Io("missing name".into()))?;
-            let problem = recover_problem(strategy, name, h.get("payload"))
-                .map_err(|e| FarmError::Io(e.to_string()))?;
+            comm.set_job(Some(idx));
+            let problem = recover_problem_recorded(comm, strategy, name, h.get("payload"))?;
+            let t0 = instrument::t0(comm);
             let r = problem
                 .compute()
                 .map_err(|e| FarmError::Io(format!("compute failed: {e}")))?;
+            instrument::span(comm, EventKind::Compute, t0, 0);
             let mut out = Hash::new();
             out.set("job", Value::scalar(idx as f64));
             out.set("price", Value::scalar(r.price));
@@ -187,6 +206,7 @@ fn slave(comm: &Comm, strategy: Transmission) -> Result<(), FarmError> {
             }
             results.add_last(Value::Hash(out));
         }
+        comm.set_job(None);
         let packed = comm.pack(&Value::List(results));
         comm.send(packed.bytes(), 0, TAG)?;
     }
@@ -195,8 +215,17 @@ fn slave(comm: &Comm, strategy: Transmission) -> Result<(), FarmError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{run, FarmConfig};
     use crate::portfolio::{save_portfolio, toy_portfolio};
-    use crate::robin_hood::run_farm;
+
+    /// The plain farm via the unified entry point.
+    fn run_farm(
+        files: &[PathBuf],
+        slaves: usize,
+        strategy: Transmission,
+    ) -> Result<FarmReport, FarmError> {
+        run(files, &FarmConfig::new(slaves, strategy))
+    }
 
     fn setup(count: usize, tag: &str) -> (Vec<PathBuf>, std::path::PathBuf) {
         let dir = std::env::temp_dir().join(format!("farm_batch_{tag}"));

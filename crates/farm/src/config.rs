@@ -1,0 +1,293 @@
+//! The unified farm entry point: one [`FarmConfig`] builder routing to
+//! the plain, batched or supervised master, with optional fault
+//! injection and phase-level observability.
+//!
+//! Before this module the crate exposed one free function per master
+//! variant (`run_farm`, `run_batched_farm`, `run_supervised_farm`), each
+//! with its own positional-argument spelling and its own error habits.
+//! [`run`] replaces them: build a [`FarmConfig`], pass the portfolio,
+//! get a `Result<FarmReport, FarmError>`.
+//!
+//! ```
+//! use farm::{run, FarmConfig, Transmission};
+//! # use farm::portfolio::{save_portfolio, toy_portfolio};
+//! # let dir = std::env::temp_dir().join("farm_config_doc");
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! # let paths = save_portfolio(&toy_portfolio(6), &dir).unwrap();
+//! let cfg = FarmConfig::new(2, Transmission::SerializedLoad);
+//! let report = run(&paths, &cfg).unwrap();
+//! assert_eq!(report.completed(), 6);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+use crate::batching::run_batched_inner;
+use crate::robin_hood::{run_farm_inner, FarmError, FarmReport};
+use crate::strategy::Transmission;
+use crate::supervisor::{run_supervised_inner, SupervisorConfig};
+use minimpi::FaultPlan;
+use obs::Recorder;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Everything a farm run needs, behind one builder.
+///
+/// Defaults: no batching (`batch_size == 1`), no supervision, no fault
+/// plan, no recorder — i.e. exactly the plain Robin-Hood farm.
+#[derive(Debug, Clone)]
+pub struct FarmConfig {
+    slaves: usize,
+    strategy: Transmission,
+    batch_size: usize,
+    supervised: bool,
+    supervisor: SupervisorConfig,
+    fault_plan: Option<Arc<FaultPlan>>,
+    recorder: Option<Arc<Recorder>>,
+}
+
+impl FarmConfig {
+    /// A plain Robin-Hood farm over `slaves` worker ranks (the tables
+    /// count `slaves + 1` CPUs) using `strategy`.
+    pub fn new(slaves: usize, strategy: Transmission) -> Self {
+        FarmConfig {
+            slaves,
+            strategy,
+            batch_size: 1,
+            supervised: false,
+            supervisor: SupervisorConfig::default(),
+            fault_plan: None,
+            recorder: None,
+        }
+    }
+
+    /// Ship `batch_size` problems per message (§5 batching improvement).
+    /// `1` is the plain per-job protocol. Incompatible with supervision.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Enable the supervised master (deadlines, bounded retries,
+    /// dead-slave burial) with its default test-scale timings.
+    pub fn supervised(mut self, on: bool) -> Self {
+        self.supervised = on;
+        self
+    }
+
+    /// Enable supervision with explicit [`SupervisorConfig`] timings.
+    pub fn supervisor(mut self, cfg: SupervisorConfig) -> Self {
+        self.supervised = true;
+        self.supervisor = cfg;
+        self
+    }
+
+    /// Inject faults from `plan` (implies nothing by itself — but [`run`]
+    /// rejects a fault plan without supervision, since the plain master
+    /// would hang or panic under injected faults).
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Install a phase-event [`Recorder`]: every rank's comm traffic and
+    /// the farm-level prepare/compute/supervision phases are timestamped
+    /// into it. Size it with at least `slaves + 1` ranks.
+    pub fn recorder(mut self, rec: Arc<Recorder>) -> Self {
+        self.recorder = Some(rec);
+        self
+    }
+
+    /// Number of worker ranks this config will run.
+    pub fn slaves(&self) -> usize {
+        self.slaves
+    }
+
+    /// The transmission strategy this config will use.
+    pub fn strategy(&self) -> Transmission {
+        self.strategy
+    }
+
+    /// Validate cross-field invariants.
+    fn validate(&self) -> Result<(), FarmError> {
+        if self.slaves == 0 {
+            return Err(FarmError::NoSlaves);
+        }
+        if self.batch_size == 0 {
+            return Err(FarmError::Config("batch size must be at least 1".into()));
+        }
+        if self.supervised && self.batch_size > 1 {
+            return Err(FarmError::Config(
+                "batching is not supported under supervision".into(),
+            ));
+        }
+        if self.fault_plan.is_some() && !self.supervised {
+            return Err(FarmError::Config(
+                "fault injection requires the supervised master".into(),
+            ));
+        }
+        if self.supervised && self.supervisor.max_attempts == 0 {
+            return Err(FarmError::Config("max_attempts must be at least 1".into()));
+        }
+        if let Some(rec) = &self.recorder {
+            if rec.ranks() < self.slaves + 1 {
+                return Err(FarmError::Config(format!(
+                    "recorder covers {} ranks but the farm needs {}",
+                    rec.ranks(),
+                    self.slaves + 1
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run a farm over `files` as configured. This is the single entry
+/// point the table binaries, examples and tests go through; the legacy
+/// `run_farm` / `run_supervised_farm` free functions are thin deprecated
+/// wrappers around it.
+pub fn run(files: &[PathBuf], cfg: &FarmConfig) -> Result<FarmReport, FarmError> {
+    cfg.validate()?;
+    if cfg.supervised {
+        run_supervised_inner(
+            files,
+            cfg.slaves,
+            cfg.strategy,
+            &cfg.supervisor,
+            cfg.fault_plan.clone(),
+            cfg.recorder.clone(),
+        )
+    } else if cfg.batch_size > 1 {
+        run_batched_inner(
+            files,
+            cfg.slaves,
+            cfg.strategy,
+            cfg.batch_size,
+            cfg.recorder.clone(),
+        )
+    } else {
+        run_farm_inner(files, cfg.slaves, cfg.strategy, cfg.recorder.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portfolio::{save_portfolio, toy_portfolio};
+
+    fn setup(count: usize, tag: &str) -> (Vec<PathBuf>, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("farm_cfg_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let paths = save_portfolio(&toy_portfolio(count), &dir).unwrap();
+        (paths, dir)
+    }
+
+    #[test]
+    fn zero_slaves_rejected() {
+        let cfg = FarmConfig::new(0, Transmission::Nfs);
+        assert!(matches!(run(&[], &cfg), Err(FarmError::NoSlaves)));
+    }
+
+    #[test]
+    fn zero_batch_rejected() {
+        let cfg = FarmConfig::new(2, Transmission::Nfs).batch_size(0);
+        assert!(matches!(run(&[], &cfg), Err(FarmError::Config(_))));
+    }
+
+    #[test]
+    fn supervised_batching_rejected() {
+        let cfg = FarmConfig::new(2, Transmission::Nfs)
+            .batch_size(4)
+            .supervised(true);
+        assert!(matches!(run(&[], &cfg), Err(FarmError::Config(_))));
+    }
+
+    #[test]
+    fn fault_plan_without_supervision_rejected() {
+        let cfg = FarmConfig::new(2, Transmission::Nfs)
+            .fault_plan(Arc::new(FaultPlan::new(1)));
+        assert!(matches!(run(&[], &cfg), Err(FarmError::Config(_))));
+    }
+
+    #[test]
+    fn zero_max_attempts_rejected() {
+        let sup = SupervisorConfig {
+            max_attempts: 0,
+            ..SupervisorConfig::default()
+        };
+        let cfg = FarmConfig::new(2, Transmission::Nfs).supervisor(sup);
+        assert!(matches!(run(&[], &cfg), Err(FarmError::Config(_))));
+    }
+
+    #[test]
+    fn undersized_recorder_rejected() {
+        let cfg = FarmConfig::new(3, Transmission::Nfs)
+            .recorder(Arc::new(Recorder::new(2)));
+        assert!(matches!(run(&[], &cfg), Err(FarmError::Config(_))));
+    }
+
+    #[test]
+    fn plain_batched_and_supervised_routes_agree() {
+        let (paths, dir) = setup(18, "routes");
+        let plain = run(&paths, &FarmConfig::new(2, Transmission::SerializedLoad)).unwrap();
+        let batched = run(
+            &paths,
+            &FarmConfig::new(2, Transmission::SerializedLoad).batch_size(5),
+        )
+        .unwrap();
+        let supervised = run(
+            &paths,
+            &FarmConfig::new(2, Transmission::SerializedLoad).supervised(true),
+        )
+        .unwrap();
+        let by_job = |r: &FarmReport| {
+            let mut v: Vec<(usize, u64)> = r
+                .outcomes
+                .iter()
+                .map(|o| (o.job, o.price.to_bits()))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(by_job(&plain), by_job(&batched));
+        assert_eq!(by_job(&plain), by_job(&supervised));
+        assert!(supervised.failed_jobs.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recorder_captures_all_strategies() {
+        use obs::EventKind;
+        let (paths, dir) = setup(8, "recorded");
+        for strategy in Transmission::ALL {
+            let rec = Arc::new(Recorder::new(3));
+            let cfg = FarmConfig::new(2, strategy).recorder(rec.clone());
+            let report = run(&paths, &cfg).unwrap();
+            assert_eq!(report.completed(), 8);
+            let events = rec.events();
+            assert!(!events.is_empty(), "{strategy}: no events");
+            let kinds: std::collections::BTreeSet<EventKind> =
+                events.iter().map(|e| e.kind).collect();
+            assert!(kinds.contains(&EventKind::Compute), "{strategy}: {kinds:?}");
+            assert!(kinds.contains(&EventKind::Send), "{strategy}");
+            match strategy {
+                Transmission::SerializedLoad => {
+                    assert!(kinds.contains(&EventKind::Sload), "{strategy}")
+                }
+                Transmission::Nfs => {
+                    assert!(kinds.contains(&EventKind::NfsRead), "{strategy}")
+                }
+                Transmission::FullLoad => {
+                    assert!(kinds.contains(&EventKind::Pack), "{strategy}")
+                }
+            }
+            // Every job got a Compute event attributed to it.
+            let computed: std::collections::BTreeSet<i64> = events
+                .iter()
+                .filter(|e| e.kind == EventKind::Compute)
+                .map(|e| e.job)
+                .collect();
+            assert_eq!(computed.len(), 8, "{strategy}: {computed:?}");
+            assert_eq!(rec.dropped(), 0);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

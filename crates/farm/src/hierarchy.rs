@@ -8,11 +8,14 @@
 //! Robin-Hood loop over its own slaves and reports its collected results
 //! back to the global master when its chunk is drained.
 
+use crate::instrument;
 use crate::robin_hood::{FarmError, FarmReport, JobOutcome};
-use crate::strategy::{prepare_payload, recover_problem, Transmission};
+use crate::strategy::{prepare_payload_recorded, recover_problem_recorded, Transmission};
 use minimpi::{Comm, MpiBuf, World, ANY_SOURCE};
 use nspval::{Hash, List, Value};
+use obs::{EventKind, Recorder};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 const TAG: i32 = 11;
@@ -52,6 +55,20 @@ pub fn run_hierarchical_farm(
     slaves_per_group: usize,
     strategy: Transmission,
 ) -> Result<FarmReport, FarmError> {
+    run_hierarchical_farm_recorded(files, groups, slaves_per_group, strategy, None)
+}
+
+/// [`run_hierarchical_farm`] with phase-level observability: every rank's
+/// comm traffic plus sub-master prepare and slave compute phases land in
+/// `recorder` (size it with at least the world size:
+/// `1 + groups * (slaves_per_group + 1)` ranks).
+pub fn run_hierarchical_farm_recorded(
+    files: &[PathBuf],
+    groups: usize,
+    slaves_per_group: usize,
+    strategy: Transmission,
+    recorder: Option<Arc<Recorder>>,
+) -> Result<FarmReport, FarmError> {
     if groups == 0 || slaves_per_group == 0 {
         return Err(FarmError::NoSlaves);
     }
@@ -59,7 +76,16 @@ pub fn run_hierarchical_farm(
         groups,
         slaves_per_group,
     };
-    let results = World::run(topo.world_size(), |comm| {
+    if let Some(rec) = &recorder {
+        if rec.ranks() < topo.world_size() {
+            return Err(FarmError::Config(format!(
+                "recorder covers {} ranks but the hierarchy needs {}",
+                rec.ranks(),
+                topo.world_size()
+            )));
+        }
+    }
+    let results = World::run_instrumented(topo.world_size(), None, recorder, |comm| {
         let rank = comm.rank();
         if rank == 0 {
             Some(global_master(&comm, files, topo))
@@ -171,17 +197,17 @@ fn sub_master(
     let mut outstanding = 0usize;
 
     let send_one = |comm: &Comm, slave: usize, (idx, path): &(usize, PathBuf)| -> Result<(), FarmError> {
+        comm.set_job(Some(*idx));
         let name = Value::list(vec![
             Value::string(path.to_string_lossy().to_string()),
             Value::scalar(*idx as f64),
         ]);
         comm.send_obj(&name, slave as i32, TAG)?;
-        if let Some(payload) =
-            prepare_payload(strategy, path).map_err(|e| FarmError::Io(e.to_string()))?
-        {
+        if let Some(payload) = prepare_payload_recorded(comm, strategy, path)? {
             let packed = comm.pack(&payload);
             comm.send(packed.bytes(), slave as i32, TAG)?;
         }
+        comm.set_job(None);
         Ok(())
     };
 
@@ -245,6 +271,7 @@ fn slave(comm: &Comm, master_rank: usize, strategy: Transmission) -> Result<(), 
             .get(1)
             .and_then(|v| v.as_scalar())
             .ok_or_else(|| FarmError::Io("missing idx".into()))? as usize;
+        comm.set_job(Some(idx));
         let payload = match strategy {
             Transmission::Nfs => None,
             _ => {
@@ -254,11 +281,12 @@ fn slave(comm: &Comm, master_rank: usize, strategy: Transmission) -> Result<(), 
                 Some(comm.unpack(&buf)?)
             }
         };
-        let problem = recover_problem(strategy, &name, payload.as_ref())
-            .map_err(|e| FarmError::Io(e.to_string()))?;
+        let problem = recover_problem_recorded(comm, strategy, &name, payload.as_ref())?;
+        let t0 = instrument::t0(comm);
         let r = problem
             .compute()
             .map_err(|e| FarmError::Io(format!("compute failed: {e}")))?;
+        instrument::span(comm, EventKind::Compute, t0, 0);
         let mut h = Hash::new();
         h.set("job", Value::scalar(idx as f64));
         h.set("price", Value::scalar(r.price));
@@ -266,6 +294,7 @@ fn slave(comm: &Comm, master_rank: usize, strategy: Transmission) -> Result<(), 
             h.set("std_error", Value::scalar(se));
         }
         comm.send_obj(&Value::Hash(h), master_rank as i32, TAG)?;
+        comm.set_job(None);
     }
 }
 

@@ -26,20 +26,31 @@
 //!   parameter sweeps (delta/gamma/vega/rho per claim) that multiply the
 //!   portfolio into the paper's "around 10⁶ atomic computations".
 
+//! * [`config`] — the unified entry point: build a [`FarmConfig`]
+//!   (strategy, batching, supervision, fault plan, [`obs::Recorder`]) and
+//!   call [`run`]; the per-variant free functions are deprecated shims.
+
 #![warn(missing_docs)]
 pub mod batching;
 pub mod calibrate;
+pub mod config;
 pub mod hierarchy;
+mod instrument;
 pub mod portfolio;
 pub mod risk;
 pub mod robin_hood;
 pub mod strategy;
 pub mod supervisor;
 
+pub use config::{run, FarmConfig};
 pub use portfolio::{
     realistic_portfolio, regression_portfolio, toy_portfolio, JobClass, PortfolioJob,
     PortfolioScale,
 };
-pub use robin_hood::{run_farm, FarmError, FarmReport, JobOutcome};
+#[allow(deprecated)]
+pub use robin_hood::run_farm;
+pub use robin_hood::{FarmError, FarmReport, JobOutcome};
 pub use strategy::Transmission;
-pub use supervisor::{run_supervised_farm, SupervisorConfig};
+#[allow(deprecated)]
+pub use supervisor::run_supervised_farm;
+pub use supervisor::SupervisorConfig;

@@ -13,12 +13,15 @@
 //! receives, unpacks, unserializes, computes and replies with a result
 //! object.
 
-use crate::strategy::{prepare_payload, recover_problem, Transmission};
+use crate::instrument;
+use crate::strategy::{prepare_payload_recorded, recover_problem_recorded, Transmission};
 use minimpi::{Comm, MpiBuf, MpiError, World, ANY_SOURCE};
 use nspval::{Hash, Value};
+use obs::{EventKind, Recorder};
 use pricing::PricingResult;
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub(crate) const TAG: i32 = 7;
@@ -86,6 +89,12 @@ pub enum FarmError {
     Mpi(MpiError),
     /// A problem file failed to load/transmit.
     Io(String),
+    /// A serialization / XDR decode failure (bad problem file, corrupt
+    /// payload).
+    Xdr(xdrser::XdrError),
+    /// The [`crate::FarmConfig`] combination is invalid (e.g. batching
+    /// under supervision, a zero retry budget, an undersized recorder).
+    Config(String),
     /// Every slave died before the portfolio was drained; the supervised
     /// master aborts cleanly instead of spinning on retries forever.
     AllSlavesDead {
@@ -102,6 +111,8 @@ impl fmt::Display for FarmError {
             FarmError::NoSlaves => write!(f, "farm needs at least one slave"),
             FarmError::Mpi(e) => write!(f, "MPI error: {e}"),
             FarmError::Io(m) => write!(f, "I/O error: {m}"),
+            FarmError::Xdr(e) => write!(f, "serialization error: {e}"),
+            FarmError::Config(m) => write!(f, "invalid farm config: {m}"),
             FarmError::AllSlavesDead {
                 completed,
                 remaining,
@@ -118,6 +129,12 @@ impl std::error::Error for FarmError {}
 impl From<MpiError> for FarmError {
     fn from(e: MpiError) -> Self {
         FarmError::Mpi(e)
+    }
+}
+
+impl From<xdrser::XdrError> for FarmError {
+    fn from(e: xdrser::XdrError) -> Self {
+        FarmError::Xdr(e)
     }
 }
 
@@ -148,13 +165,26 @@ pub(crate) fn send_job(
     path: &std::path::Path,
     strategy: Transmission,
 ) -> Result<(), FarmError> {
+    comm.set_job(Some(idx));
+    let sent = send_job_span(comm, slave, idx, path, strategy);
+    comm.set_job(None);
+    sent
+}
+
+fn send_job_span(
+    comm: &Comm,
+    slave: usize,
+    idx: usize,
+    path: &std::path::Path,
+    strategy: Transmission,
+) -> Result<(), FarmError> {
     // Name message: [name, job index].
     let name = Value::list(vec![
         Value::string(path.to_string_lossy().to_string()),
         Value::scalar(idx as f64),
     ]);
     comm.send_obj(&name, slave as i32, TAG)?;
-    if let Some(payload) = prepare_payload(strategy, path).map_err(|e| FarmError::Io(e.to_string()))? {
+    if let Some(payload) = prepare_payload_recorded(comm, strategy, path)? {
         let packed = comm.pack(&payload);
         comm.send(packed.bytes(), slave as i32, TAG)?;
     }
@@ -182,6 +212,7 @@ fn slave_loop(comm: &Comm, strategy: Transmission) -> Result<usize, FarmError> {
             .get(1)
             .and_then(|v| v.as_scalar())
             .ok_or_else(|| FarmError::Io("missing job index".into()))? as usize;
+        comm.set_job(Some(idx));
 
         let payload = match strategy {
             Transmission::Nfs => None,
@@ -193,12 +224,14 @@ fn slave_loop(comm: &Comm, strategy: Transmission) -> Result<usize, FarmError> {
                 Some(comm.unpack(&buf)?)
             }
         };
-        let problem = recover_problem(strategy, &name, payload.as_ref())
-            .map_err(|e| FarmError::Io(e.to_string()))?;
+        let problem = recover_problem_recorded(comm, strategy, &name, payload.as_ref())?;
+        let t0 = instrument::t0(comm);
         let result = problem
             .compute()
             .map_err(|e| FarmError::Io(format!("compute failed: {e}")))?;
+        instrument::span(comm, EventKind::Compute, t0, 0);
         comm.send_obj(&result_value(idx, &result), 0, TAG)?;
+        comm.set_job(None);
         done += 1;
     }
 }
@@ -264,6 +297,10 @@ fn master_loop(
 
 /// Run the Robin-Hood farm over `slaves` worker ranks (the tables count
 /// `slaves + 1` CPUs: master + slaves). Returns the master's report.
+///
+/// Deprecated: build a [`crate::FarmConfig`] and call [`crate::run`],
+/// which also routes batching, supervision, fault plans and recorders.
+#[deprecated(since = "0.1.0", note = "use `farm::run` with a `FarmConfig`")]
 pub fn run_farm(
     files: &[PathBuf],
     slaves: usize,
@@ -272,7 +309,19 @@ pub fn run_farm(
     if slaves == 0 {
         return Err(FarmError::NoSlaves);
     }
-    let results = World::run(slaves + 1, |comm| {
+    run_farm_inner(files, slaves, strategy, None)
+}
+
+/// The actual plain-farm runner behind both [`run_farm`] and
+/// [`crate::run`]: `recorder == None` is byte-for-byte the PR-1
+/// behaviour (guarded by `tests/obs_overhead.rs`).
+pub(crate) fn run_farm_inner(
+    files: &[PathBuf],
+    slaves: usize,
+    strategy: Transmission,
+    recorder: Option<Arc<Recorder>>,
+) -> Result<FarmReport, FarmError> {
+    let results = World::run_instrumented(slaves + 1, None, recorder, |comm| {
         if comm.rank() == 0 {
             Some(master_loop(&comm, files, strategy))
         } else {
@@ -292,7 +341,16 @@ pub fn run_farm(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{run, FarmConfig};
     use crate::portfolio::{save_portfolio, toy_portfolio};
+
+    fn run_farm(
+        files: &[PathBuf],
+        slaves: usize,
+        strategy: Transmission,
+    ) -> Result<FarmReport, FarmError> {
+        run(files, &FarmConfig::new(slaves, strategy))
+    }
 
     fn setup(count: usize, tag: &str) -> (Vec<PathBuf>, Vec<f64>, std::path::PathBuf) {
         let dir = std::env::temp_dir().join(format!("farm_rh_{tag}"));

@@ -1,7 +1,9 @@
 //! Transmission strategies — how a pricing problem travels from the
 //! master to a slave (§3.3/§4, the column families of Tables II and III).
 
+use minimpi::Comm;
 use nspval::Value;
+use obs::EventKind;
 use pricing::PremiaProblem;
 use std::fmt;
 use std::path::Path;
@@ -72,6 +74,59 @@ pub fn prepare_payload(
             let serial = xdrser::sload(path)?;
             Ok(Some(Value::Serial(serial)))
         }
+    }
+}
+
+/// [`prepare_payload`] with phase attribution: when `comm` carries a
+/// recorder, the preparation is timed as [`EventKind::Serialize`] (full
+/// load — the master materialises and re-serializes) or
+/// [`EventKind::Sload`] (serialized load). NFS prepares nothing and
+/// records nothing. Byte volume is the prepared serial's size.
+pub(crate) fn prepare_payload_recorded(
+    comm: &Comm,
+    strategy: Transmission,
+    path: &Path,
+) -> Result<Option<Value>, xdrser::XdrError> {
+    let Some(rec) = comm.recorder() else {
+        return prepare_payload(strategy, path);
+    };
+    let kind = match strategy {
+        Transmission::FullLoad => EventKind::Serialize,
+        Transmission::SerializedLoad => EventKind::Sload,
+        Transmission::Nfs => return prepare_payload(strategy, path),
+    };
+    let rec = rec.clone();
+    let t0 = rec.now_ns();
+    let payload = prepare_payload(strategy, path)?;
+    let bytes = payload
+        .as_ref()
+        .and_then(|v| v.as_serial())
+        .map_or(0, |s| s.bytes().len() as u64);
+    rec.record_span(comm.rank(), kind, comm.current_job(), t0, bytes);
+    Ok(payload)
+}
+
+/// [`recover_problem`] with phase attribution: under NFS the slave's
+/// shared-filesystem read (the dominant slave-side acquisition cost) is
+/// timed as [`EventKind::NfsRead`]. The loaded strategies record nothing
+/// here — their slave-side decode is already captured by the
+/// `Recv`/`Unpack` comm events.
+pub(crate) fn recover_problem_recorded(
+    comm: &Comm,
+    strategy: Transmission,
+    name: &str,
+    payload: Option<&Value>,
+) -> Result<PremiaProblem, xdrser::XdrError> {
+    match (comm.recorder(), strategy) {
+        (Some(rec), Transmission::Nfs) => {
+            let rec = rec.clone();
+            let t0 = rec.now_ns();
+            let problem = recover_problem(strategy, name, payload)?;
+            let bytes = std::fs::metadata(name).map_or(0, |m| m.len());
+            rec.record_span(comm.rank(), EventKind::NfsRead, comm.current_job(), t0, bytes);
+            Ok(problem)
+        }
+        _ => recover_problem(strategy, name, payload),
     }
 }
 

@@ -25,13 +25,15 @@
 //! equivalence checked by `tests/sim_vs_live.rs` and `tests/farm_chaos.rs`.
 
 use crate::calibrate::CostModel;
+use crate::instrument;
 use crate::portfolio::JobClass;
 use crate::robin_hood::{
     decode_result, result_value, send_job, FarmError, FarmReport, JobOutcome, TAG,
 };
-use crate::strategy::{recover_problem, Transmission};
+use crate::strategy::{recover_problem_recorded, Transmission};
 use minimpi::{Comm, FaultPlan, MpiBuf, MpiError, World, ANY_SOURCE};
 use nspval::{Hash, Value};
+use obs::{EventKind, Recorder, NO_JOB};
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -133,6 +135,7 @@ fn supervised_slave(
 ) -> Result<usize, FarmError> {
     let mut done = 0usize;
     loop {
+        comm.set_job(None);
         let msg = match comm.recv_obj_timeout(0, TAG, cfg.slave_idle_timeout) {
             // Silence for a whole idle window: the master is gone (or our
             // stop sentinel was injected away). Exit instead of hanging.
@@ -160,6 +163,7 @@ fn supervised_slave(
         }) else {
             continue;
         };
+        comm.set_job(Some(idx));
 
         let payload = match strategy {
             Transmission::Nfs => None,
@@ -190,9 +194,16 @@ fn supervised_slave(
             },
         };
 
-        let computed = recover_problem(strategy, &name, payload.as_ref())
+        let computed = recover_problem_recorded(comm, strategy, &name, payload.as_ref())
             .map_err(|e| e.to_string())
-            .and_then(|p| p.compute().map_err(|e| format!("compute failed: {e}")));
+            .and_then(|p| {
+                let t0 = instrument::t0(comm);
+                let r = p.compute().map_err(|e| format!("compute failed: {e}"));
+                if r.is_ok() {
+                    instrument::span(comm, EventKind::Compute, t0, 0);
+                }
+                r
+            });
         let reply = match &computed {
             Ok(result) => result_value(idx, result),
             Err(why) => failure_value(idx, why),
@@ -274,30 +285,41 @@ impl MasterState {
     }
 
     /// Requeue `job` after a presumed or reported failure, honouring the
-    /// retry budget and exponential backoff.
-    fn requeue(&mut self, job: usize, cfg: &SupervisorConfig) {
+    /// retry budget and exponential backoff. Returns whether a retry was
+    /// actually queued (false: already settled or budget exhausted).
+    fn requeue(&mut self, job: usize, cfg: &SupervisorConfig) -> bool {
         if self.done[job] || self.failed[job] {
-            return;
+            return false;
         }
         if self.attempts[job] >= cfg.max_attempts {
             self.failed[job] = true;
-            return;
+            return false;
         }
         self.retries += 1;
         let exp = self.attempts[job].saturating_sub(1).min(16) as u32;
         let backoff = cfg.backoff_base * 2u32.saturating_pow(exp);
         self.pending.push_back((job, Instant::now() + backoff));
+        true
     }
+}
 
-    /// Declare `slave` dead and recover its in-flight job, if any.
-    fn bury(&mut self, slave: usize, cfg: &SupervisorConfig) {
-        if self.slave_state[slave] == SlaveState::Dead {
-            return;
-        }
-        self.slave_state[slave] = SlaveState::Dead;
-        if let Some((job, _)) = self.inflight[slave].take() {
-            self.requeue(job, cfg);
-        }
+/// Requeue `job` and record the supervision event stream ([`EventKind::Retry`]).
+fn requeue_recorded(comm: &Comm, st: &mut MasterState, job: usize, cfg: &SupervisorConfig) {
+    if st.requeue(job, cfg) {
+        instrument::mark(comm, EventKind::Retry, job as i64, 0);
+    }
+}
+
+/// Declare `slave` dead ([`EventKind::SlaveDeath`], with the buried rank
+/// in the event's `bytes` field) and recover its in-flight job, if any.
+fn bury_recorded(comm: &Comm, st: &mut MasterState, slave: usize, cfg: &SupervisorConfig) {
+    if st.slave_state[slave] == SlaveState::Dead {
+        return;
+    }
+    st.slave_state[slave] = SlaveState::Dead;
+    instrument::mark(comm, EventKind::SlaveDeath, NO_JOB, slave as u64);
+    if let Some((job, _)) = st.inflight[slave].take() {
+        requeue_recorded(comm, st, job, cfg);
     }
 }
 
@@ -320,7 +342,7 @@ fn supervised_master(
         // 1. Liveness sweep: notice kills even without trying to send.
         for slave in 1..ranks {
             if st.slave_state[slave] != SlaveState::Dead && !comm.rank_alive(slave) {
-                st.bury(slave, cfg);
+                bury_recorded(comm, &mut st, slave, cfg);
             }
         }
         if st.alive_slaves() == 0 {
@@ -339,7 +361,8 @@ fn supervised_master(
                 if now >= due {
                     st.inflight[slave] = None;
                     st.slave_state[slave] = SlaveState::Idle;
-                    st.requeue(job, cfg);
+                    instrument::mark(comm, EventKind::Deadline, job as i64, 0);
+                    requeue_recorded(comm, &mut st, job, cfg);
                 }
             }
         }
@@ -368,7 +391,7 @@ fn supervised_master(
                     st.inflight[slave] = Some((job, Instant::now() + cfg.job_deadline));
                 }
                 Err(FarmError::Mpi(MpiError::Poisoned(dead))) if dead == slave => {
-                    st.bury(slave, cfg);
+                    bury_recorded(comm, &mut st, slave, cfg);
                     // The job was not really attempted; try the next slave.
                     deferred.push_back((job, not_before));
                 }
@@ -421,7 +444,7 @@ fn supervised_master(
                     }
                     None => {
                         if job < files.len() {
-                            st.requeue(job, cfg);
+                            requeue_recorded(comm, &mut st, job, cfg);
                         }
                     }
                 }
@@ -471,7 +494,8 @@ fn supervised_master(
 
 /// Run the supervised farm over `slaves` worker ranks with an optional
 /// fault plan (pass `None` for a fault-free but still supervised run; the
-/// result must then match [`crate::run_farm`] job for job).
+/// result must then match the plain farm job for job).
+#[deprecated(since = "0.1.0", note = "use `farm::run` with a `FarmConfig`")]
 pub fn run_supervised_farm(
     files: &[PathBuf],
     slaves: usize,
@@ -482,7 +506,22 @@ pub fn run_supervised_farm(
     if slaves == 0 {
         return Err(FarmError::NoSlaves);
     }
-    assert!(cfg.max_attempts >= 1, "max_attempts must be at least 1");
+    if cfg.max_attempts == 0 {
+        return Err(FarmError::Config("max_attempts must be at least 1".into()));
+    }
+    run_supervised_inner(files, slaves, strategy, cfg, plan, None)
+}
+
+/// The supervised route behind [`crate::run`]: the validated entry point
+/// with fault injection and phase-level observability threaded through.
+pub(crate) fn run_supervised_inner(
+    files: &[PathBuf],
+    slaves: usize,
+    strategy: Transmission,
+    cfg: &SupervisorConfig,
+    plan: Option<Arc<FaultPlan>>,
+    recorder: Option<Arc<Recorder>>,
+) -> Result<FarmReport, FarmError> {
     let body = |comm: Comm| {
         if comm.rank() == 0 {
             Some(supervised_master(&comm, files, strategy, cfg))
@@ -494,10 +533,7 @@ pub fn run_supervised_farm(
             }
         }
     };
-    let results = match plan {
-        Some(plan) => World::run_with_faults(slaves + 1, plan, body),
-        None => World::run(slaves + 1, body),
-    };
+    let results = World::run_instrumented(slaves + 1, plan, recorder, body);
     results
         .into_iter()
         .next()
@@ -508,7 +544,24 @@ pub fn run_supervised_farm(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{run, FarmConfig};
     use crate::portfolio::{save_portfolio, toy_portfolio};
+
+    /// Local shadow of the deprecated free function, routed through the
+    /// unified [`crate::run`] entry point.
+    fn run_supervised_farm(
+        files: &[PathBuf],
+        slaves: usize,
+        strategy: Transmission,
+        cfg: &SupervisorConfig,
+        plan: Option<Arc<FaultPlan>>,
+    ) -> Result<FarmReport, FarmError> {
+        let mut fc = FarmConfig::new(slaves, strategy).supervisor(cfg.clone());
+        if let Some(plan) = plan {
+            fc = fc.fault_plan(plan);
+        }
+        run(files, &fc)
+    }
 
     fn setup(count: usize, tag: &str) -> (Vec<PathBuf>, Vec<f64>, std::path::PathBuf) {
         let dir = std::env::temp_dir().join(format!("farm_sup_{tag}"));

@@ -5,6 +5,7 @@ use crate::error::MpiError;
 use crate::fault::{FaultEvent, FaultPlan, SendFault};
 use crate::{ANY_SOURCE, ANY_TAG};
 use nspval::{Serial, Value};
+use obs::{Event, EventKind, Recorder, NO_JOB};
 use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -155,15 +156,65 @@ pub struct Comm {
     ops: Cell<u64>,
     /// Per-rank send counter indexing the deterministic send-fault schedule.
     sends: Cell<u64>,
+    /// Optional phase-event sink ([`World::run_instrumented`]); `None`
+    /// (the default) makes every instrumentation site a no-op that takes
+    /// no timestamps.
+    ///
+    /// [`World::run_instrumented`]: crate::World::run_instrumented
+    recorder: Option<Arc<Recorder>>,
+    /// Job-attribution context for recorded events ([`Comm::set_job`]).
+    job: Cell<i64>,
 }
 
 impl Comm {
-    pub(crate) fn new(group: Arc<Group>, rank: usize) -> Self {
+    pub(crate) fn new(group: Arc<Group>, rank: usize, recorder: Option<Arc<Recorder>>) -> Self {
         Comm {
             group,
             rank,
             ops: Cell::new(0),
             sends: Cell::new(0),
+            recorder,
+            job: Cell::new(NO_JOB),
+        }
+    }
+
+    // ----- observability ----------------------------------------------------
+
+    /// The event recorder wired in by
+    /// [`World::run_instrumented`](crate::World::run_instrumented), if any.
+    /// Higher layers (the farm) use this to emit their own phase events
+    /// into the same stream.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Set the job id attributed to subsequent recorded events on this
+    /// rank (`None` clears it). Cheap — a `Cell` store — and meaningful
+    /// only when a recorder is installed.
+    pub fn set_job(&self, job: Option<usize>) {
+        self.job.set(job.map_or(NO_JOB, |j| j as i64));
+    }
+
+    /// The current job-attribution context ([`obs::NO_JOB`] when unset).
+    /// Higher layers use this to stamp their own events consistently
+    /// with the comm-level ones.
+    pub fn current_job(&self) -> i64 {
+        self.job.get()
+    }
+
+    /// Timestamp helper: `Some(now)` only when recording, so un-recorded
+    /// runs never touch the clock.
+    #[inline]
+    fn obs_start(&self) -> Option<u64> {
+        self.recorder.as_ref().map(|r| r.now_ns())
+    }
+
+    /// Record a span started by [`Comm::obs_start`]. No-op when the
+    /// recorder is absent.
+    #[inline]
+    fn obs_span(&self, kind: EventKind, start: Option<u64>, bytes: usize) {
+        if let (Some(rec), Some(t0)) = (&self.recorder, start) {
+            rec.record_span(self.rank, kind, self.job.get(), t0, bytes as u64);
         }
     }
 
@@ -183,6 +234,17 @@ impl Comm {
                     op,
                 });
                 self.group.mark_dead(self.rank);
+                // Fault path: a self-observed death is an event too.
+                if let Some(rec) = &self.recorder {
+                    rec.record(Event {
+                        kind: EventKind::SlaveDeath,
+                        rank: self.rank as u16,
+                        job: self.job.get(),
+                        start_ns: rec.now_ns(),
+                        dur_ns: 0,
+                        bytes: 0,
+                    });
+                }
                 return Err(MpiError::Poisoned(self.rank));
             }
         }
@@ -229,6 +291,7 @@ impl Comm {
     fn send_internal(&self, mut payload: Vec<u8>, dest: i32, tag: i32) -> Result<(), MpiError> {
         let dest = self.check_dest(dest)?;
         self.pre_op()?;
+        let t0 = self.obs_start();
         let full_len = payload.len();
         let mut visible_at = None;
         if let Some(plan) = &self.group.plan {
@@ -241,7 +304,9 @@ impl Comm {
                         rank: self.rank,
                         send,
                     });
-                    // Silently lost in flight: the send itself succeeds.
+                    // Silently lost in flight: the send itself succeeds
+                    // (and still cost the sender its time).
+                    self.obs_span(EventKind::Send, t0, full_len);
                     return Ok(());
                 }
                 SendFault::Delay(by) => {
@@ -281,6 +346,8 @@ impl Comm {
             visible_at,
         });
         mb.cond.notify_all();
+        drop(st);
+        self.obs_span(EventKind::Send, t0, full_len);
         Ok(())
     }
 
@@ -410,9 +477,11 @@ impl Comm {
     /// pending and return its status without consuming it.
     pub fn probe(&self, src: i32, tag: i32) -> Result<Status, MpiError> {
         self.pre_op()?;
+        let t0 = self.obs_start();
         let m = self
             .match_deadline(src, tag, None, false)?
             .expect("no deadline, so never None");
+        self.obs_span(EventKind::Probe, t0, m.full_len);
         Ok(m.status())
     }
 
@@ -426,9 +495,12 @@ impl Comm {
         timeout: Duration,
     ) -> Result<Option<Status>, MpiError> {
         self.pre_op()?;
-        Ok(self
-            .match_deadline(src, tag, Some(Instant::now() + timeout), false)?
-            .map(|m| m.status()))
+        let t0 = self.obs_start();
+        let matched = self.match_deadline(src, tag, Some(Instant::now() + timeout), false)?;
+        if let Some(m) = &matched {
+            self.obs_span(EventKind::Probe, t0, m.full_len);
+        }
+        Ok(matched.map(|m| m.status()))
     }
 
     /// Non-blocking `MPI_Iprobe`.
@@ -468,17 +540,21 @@ impl Comm {
                 capacity: buf.capacity(),
             });
         }
+        let t0 = self.obs_start();
         let msg = self.recv_message(status.src as i32, status.tag)?;
         let status = msg.status();
         buf.fill(&msg.payload);
+        self.obs_span(EventKind::Recv, t0, msg.payload.len());
         Ok(status)
     }
 
     /// Convenience receive returning an owned byte vector.
     pub fn recv(&self, src: i32, tag: i32) -> Result<(Vec<u8>, Status), MpiError> {
         self.pre_op()?;
+        let t0 = self.obs_start();
         let msg = self.recv_message(src, tag)?;
         let status = msg.status();
+        self.obs_span(EventKind::Recv, t0, msg.payload.len());
         Ok((msg.payload, status))
     }
 
@@ -491,10 +567,12 @@ impl Comm {
         timeout: Duration,
     ) -> Result<Option<(Vec<u8>, Status)>, MpiError> {
         self.pre_op()?;
+        let t0 = self.obs_start();
         Ok(self
             .match_deadline(src, tag, Some(Instant::now() + timeout), true)?
             .map(|msg| {
                 let status = msg.status();
+                self.obs_span(EventKind::Recv, t0, msg.payload.len());
                 (msg.payload, status)
             }))
     }
@@ -548,7 +626,10 @@ impl Comm {
     /// transmit Nsp Objects" (§3.2).
     pub fn send_obj(&self, v: &Value, dest: i32, tag: i32) -> Result<(), MpiError> {
         Self::check_tag(tag)?;
-        self.send_internal(xdrser::serialize_to_bytes(v), dest, tag)
+        let t0 = self.obs_start();
+        let bytes = xdrser::serialize_to_bytes(v);
+        self.obs_span(EventKind::Serialize, t0, bytes.len());
+        self.send_internal(bytes, dest, tag)
     }
 
     /// `MPI_Recv_Obj`: receive and deserialize a value. Per §3.2, when the
@@ -565,11 +646,20 @@ impl Comm {
     }
 
     /// Like [`Comm::recv_obj`] but without the unseal step: a transmitted
-    /// `Serial` stays a `Serial`. This is what Fig. 4's slave loop needs
-    /// when it wants to unpack/unserialize explicitly.
-    pub fn recv_obj_raw(&self, src: i32, tag: i32) -> Result<(Value, Status), MpiError> {
+    /// `Serial` stays a `Serial` — the un-materialised form, mirroring
+    /// what `sload` produces on the sending side. This is what Fig. 4's
+    /// slave loop needs when it wants to unpack/unserialize explicitly.
+    pub fn recv_obj_serial(&self, src: i32, tag: i32) -> Result<(Value, Status), MpiError> {
         let (bytes, status) = self.recv(src, tag)?;
         Ok((xdrser::unserialize_bytes(&bytes)?, status))
+    }
+
+    /// Deprecated name for [`Comm::recv_obj_serial`]. "Raw" suggested raw
+    /// bytes; the method actually returns the un-materialised `Serial`
+    /// value — the mismatch has already bitten the supervisor code once.
+    #[deprecated(since = "0.1.0", note = "renamed to `recv_obj_serial`")]
+    pub fn recv_obj_raw(&self, src: i32, tag: i32) -> Result<(Value, Status), MpiError> {
+        self.recv_obj_serial(src, tag)
     }
 
     /// [`Comm::recv_obj`] with a timeout: `Ok(None)` if nothing matching
@@ -597,19 +687,28 @@ impl Comm {
     /// `MPI_Pack`: encode a value into a contiguous buffer suitable for
     /// `send`.
     pub fn pack(&self, v: &Value) -> MpiBuf {
-        MpiBuf::from_bytes(xdrser::serialize_to_bytes(v))
+        let t0 = self.obs_start();
+        let buf = MpiBuf::from_bytes(xdrser::serialize_to_bytes(v));
+        self.obs_span(EventKind::Pack, t0, buf.len());
+        buf
     }
 
     /// Pack an already-serialized object without re-encoding its payload —
     /// the cheap path used by the "serialized load" strategy, where the
     /// master never materialises the value.
     pub fn pack_serial(&self, s: &Serial) -> MpiBuf {
-        MpiBuf::from_bytes(xdrser::serialize_to_bytes(&Value::Serial(s.clone())))
+        let t0 = self.obs_start();
+        let buf = MpiBuf::from_bytes(xdrser::serialize_to_bytes(&Value::Serial(s.clone())));
+        self.obs_span(EventKind::Pack, t0, buf.len());
+        buf
     }
 
     /// `MPI_Unpack`: decode a buffer produced by [`Comm::pack`].
     pub fn unpack(&self, buf: &MpiBuf) -> Result<Value, MpiError> {
-        Ok(xdrser::unserialize_bytes(buf.bytes())?)
+        let t0 = self.obs_start();
+        let v = xdrser::unserialize_bytes(buf.bytes())?;
+        self.obs_span(EventKind::Unpack, t0, buf.len());
+        Ok(v)
     }
 
     // ----- collectives ------------------------------------------------------

@@ -3,6 +3,7 @@
 
 use crate::comm::{Comm, Group};
 use crate::fault::FaultPlan;
+use obs::Recorder;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -27,7 +28,7 @@ impl World {
         F: Fn(Comm) -> T + Send + Sync,
         T: Send,
     {
-        Self::run_inner(size, None, f)
+        Self::run_inner(size, None, None, f)
     }
 
     /// Like [`World::run`] but every rank's traffic is filtered through
@@ -42,10 +43,34 @@ impl World {
         F: Fn(Comm) -> T + Send + Sync,
         T: Send,
     {
-        Self::run_inner(size, Some(plan), f)
+        Self::run_inner(size, Some(plan), None, f)
     }
 
-    fn run_inner<T, F>(size: usize, plan: Option<Arc<FaultPlan>>, f: F) -> Vec<T>
+    /// The fully general entry point: [`World::run`] plus an optional
+    /// fault plan and an optional phase-event [`Recorder`]. Every rank's
+    /// [`Comm`] carries the recorder handle, so all point-to-point and
+    /// pack/unpack traffic is timestamped into the per-rank ring buffers;
+    /// with `recorder == None` the instrumentation compiles down to a
+    /// `None` check and no clock reads (see `tests/obs_overhead.rs`).
+    pub fn run_instrumented<T, F>(
+        size: usize,
+        plan: Option<Arc<FaultPlan>>,
+        recorder: Option<Arc<Recorder>>,
+        f: F,
+    ) -> Vec<T>
+    where
+        F: Fn(Comm) -> T + Send + Sync,
+        T: Send,
+    {
+        Self::run_inner(size, plan, recorder, f)
+    }
+
+    fn run_inner<T, F>(
+        size: usize,
+        plan: Option<Arc<FaultPlan>>,
+        recorder: Option<Arc<Recorder>>,
+        f: F,
+    ) -> Vec<T>
     where
         F: Fn(Comm) -> T + Send + Sync,
         T: Send,
@@ -57,7 +82,7 @@ impl World {
 
         thread::scope(|scope| {
             for rank in 0..size {
-                let comm = Comm::new(group.clone(), rank);
+                let comm = Comm::new(group.clone(), rank, recorder.clone());
                 let f = &f;
                 let results = &results;
                 let group = &group;
@@ -113,12 +138,12 @@ impl SpawnedWorld {
         let group = Group::new(n_children + 1);
         let mut handles = Vec::with_capacity(n_children);
         for rank in 1..=n_children {
-            let comm = Comm::new(group.clone(), rank);
+            let comm = Comm::new(group.clone(), rank, None);
             let child = child.clone();
             handles.push(thread::spawn(move || child(comm)));
         }
         SpawnedWorld {
-            comm: Some(Comm::new(group, 0)),
+            comm: Some(Comm::new(group, 0, None)),
             handles,
         }
     }
@@ -235,6 +260,35 @@ mod tests {
             }
         });
         assert_eq!(out, vec![true, true]);
+    }
+
+    #[test]
+    fn run_instrumented_records_comm_events() {
+        use obs::{EventKind, Recorder};
+        let rec = Arc::new(Recorder::new(2));
+        World::run_instrumented(2, None, Some(rec.clone()), |c| {
+            if c.rank() == 0 {
+                c.set_job(Some(7));
+                c.send_obj(&Value::scalar(1.0), 1, 3).unwrap();
+            } else {
+                let st = c.probe(0, 3).unwrap();
+                let (_, _) = c.recv(0, st.tag).unwrap();
+            }
+        });
+        let events = rec.events();
+        let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::Serialize));
+        assert!(kinds.contains(&EventKind::Send));
+        assert!(kinds.contains(&EventKind::Probe));
+        assert!(kinds.contains(&EventKind::Recv));
+        // Job attribution flows from set_job on the sending rank.
+        let send = events
+            .iter()
+            .find(|e| e.kind == EventKind::Send)
+            .expect("send event");
+        assert_eq!(send.job, 7);
+        assert_eq!(send.rank, 0);
+        assert!(send.bytes > 0);
     }
 
     #[test]

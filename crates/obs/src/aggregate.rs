@@ -1,0 +1,281 @@
+//! Post-run aggregation: events → per-phase statistics.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, EventKind};
+
+/// Nearest-rank percentile of a **sorted** slice: the smallest element
+/// such that at least `q`·n of the sample is ≤ it. `q` in `[0, 1]`.
+/// Returns 0.0 for an empty slice.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    let rank = (q * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+/// Aggregate statistics for one phase ([`EventKind`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStats {
+    /// The phase.
+    pub kind: EventKind,
+    /// Number of events.
+    pub count: u64,
+    /// Sum of durations, seconds.
+    pub total_s: f64,
+    /// Sum of byte volumes.
+    pub bytes: u64,
+    /// Mean duration, seconds.
+    pub mean_s: f64,
+    /// Median (nearest-rank p50), seconds.
+    pub p50_s: f64,
+    /// Nearest-rank p90, seconds.
+    pub p90_s: f64,
+    /// Nearest-rank p99, seconds.
+    pub p99_s: f64,
+    /// Maximum duration, seconds.
+    pub max_s: f64,
+}
+
+impl PhaseStats {
+    fn from_durations(kind: EventKind, mut durs: Vec<f64>, bytes: u64) -> Self {
+        durs.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let count = durs.len() as u64;
+        let total: f64 = durs.iter().sum();
+        PhaseStats {
+            kind,
+            count,
+            total_s: total,
+            bytes,
+            mean_s: if count > 0 { total / count as f64 } else { 0.0 },
+            p50_s: percentile(&durs, 0.50),
+            p90_s: percentile(&durs, 0.90),
+            p99_s: percentile(&durs, 0.99),
+            max_s: durs.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// A full per-phase cost decomposition of one run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Breakdown {
+    /// Stats per phase, only for phases that occurred, in
+    /// [`EventKind::ALL`] order.
+    pub phases: Vec<PhaseStats>,
+    /// Total event count.
+    pub events: u64,
+    /// Per-job-class compute totals (class → (count, seconds)). The job
+    /// class is `job % classes` when built via
+    /// [`Breakdown::from_events_classed`], else a single class 0.
+    pub by_class: BTreeMap<u64, (u64, f64)>,
+}
+
+impl Breakdown {
+    /// Aggregate `events` with all compute attributed to class 0.
+    pub fn from_events(events: &[Event]) -> Self {
+        Self::from_events_classed(events, 1)
+    }
+
+    /// Aggregate `events`; [`EventKind::Compute`] events with a job id
+    /// are bucketed into `job % classes` job classes.
+    pub fn from_events_classed(events: &[Event], classes: u64) -> Self {
+        let classes = classes.max(1);
+        let mut durs: BTreeMap<EventKind, Vec<f64>> = BTreeMap::new();
+        let mut bytes: BTreeMap<EventKind, u64> = BTreeMap::new();
+        let mut by_class: BTreeMap<u64, (u64, f64)> = BTreeMap::new();
+        for ev in events {
+            durs.entry(ev.kind).or_default().push(ev.dur_s());
+            *bytes.entry(ev.kind).or_insert(0) += ev.bytes;
+            if ev.kind == EventKind::Compute {
+                let class = if ev.job >= 0 {
+                    ev.job as u64 % classes
+                } else {
+                    0
+                };
+                let slot = by_class.entry(class).or_insert((0, 0.0));
+                slot.0 += 1;
+                slot.1 += ev.dur_s();
+            }
+        }
+        let mut phases = Vec::new();
+        for kind in EventKind::ALL {
+            if let Some(d) = durs.remove(&kind) {
+                let b = bytes.get(&kind).copied().unwrap_or(0);
+                phases.push(PhaseStats::from_durations(kind, d, b));
+            }
+        }
+        Breakdown {
+            phases,
+            events: events.len() as u64,
+            by_class,
+        }
+    }
+
+    /// Stats for one phase, if it occurred.
+    pub fn phase(&self, kind: EventKind) -> Option<&PhaseStats> {
+        self.phases.iter().find(|p| p.kind == kind)
+    }
+
+    fn total_of(&self, kinds: &[EventKind]) -> f64 {
+        kinds
+            .iter()
+            .filter_map(|k| self.phase(*k))
+            .map(|p| p.total_s)
+            .sum()
+    }
+
+    /// Problem-acquisition ("prepare") seconds, wherever they run:
+    /// `Serialize + Sload + Pack + NfsRead`. This is the column §4.2
+    /// argues about — for `sload` it is strictly the cheapest of the
+    /// three strategies because the master skips materialisation *and*
+    /// the slaves skip NFS.
+    pub fn prepare_s(&self) -> f64 {
+        self.total_of(&[
+            EventKind::Serialize,
+            EventKind::Sload,
+            EventKind::Pack,
+            EventKind::NfsRead,
+        ])
+    }
+
+    /// Wire seconds (`Send`).
+    pub fn wire_s(&self) -> f64 {
+        self.total_of(&[EventKind::Send])
+    }
+
+    /// Wait seconds (`Probe + Recv + Unpack`): time ranks spend blocked
+    /// on or handling inbound messages.
+    pub fn wait_s(&self) -> f64 {
+        self.total_of(&[EventKind::Probe, EventKind::Recv, EventKind::Unpack])
+    }
+
+    /// Compute seconds (`Compute`).
+    pub fn compute_s(&self) -> f64 {
+        self.total_of(&[EventKind::Compute])
+    }
+
+    /// Sum of *all* phase seconds. Bounded above by makespan × ranks
+    /// (each rank is busy at most the whole run).
+    pub fn total_s(&self) -> f64 {
+        self.phases.iter().map(|p| p.total_s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NO_JOB;
+
+    fn ev(kind: EventKind, job: i64, dur_ns: u64, bytes: u64) -> Event {
+        Event {
+            kind,
+            rank: 0,
+            job,
+            start_ns: 0,
+            dur_ns,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank_exact() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.50), 2.0);
+        assert_eq!(percentile(&v, 0.90), 4.0);
+        assert_eq!(percentile(&v, 0.25), 1.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn synthetic_stream_exact_numbers() {
+        // 3 sends of 100/200/300 µs carrying 10/20/30 bytes,
+        // 2 computes of 1 ms / 3 ms on jobs 0 and 1.
+        let events = vec![
+            ev(EventKind::Send, 0, 100_000, 10),
+            ev(EventKind::Send, 1, 200_000, 20),
+            ev(EventKind::Send, 2, 300_000, 30),
+            ev(EventKind::Compute, 0, 1_000_000, 0),
+            ev(EventKind::Compute, 1, 3_000_000, 0),
+        ];
+        let b = Breakdown::from_events(&events);
+        assert_eq!(b.events, 5);
+
+        let send = b.phase(EventKind::Send).unwrap();
+        assert_eq!(send.count, 3);
+        assert_eq!(send.bytes, 60);
+        assert!((send.total_s - 600e-6).abs() < 1e-12);
+        assert!((send.mean_s - 200e-6).abs() < 1e-12);
+        assert!((send.p50_s - 200e-6).abs() < 1e-12);
+        assert!((send.p90_s - 300e-6).abs() < 1e-12);
+        assert!((send.max_s - 300e-6).abs() < 1e-12);
+
+        let comp = b.phase(EventKind::Compute).unwrap();
+        assert_eq!(comp.count, 2);
+        assert!((comp.total_s - 4e-3).abs() < 1e-12);
+        assert!((comp.p50_s - 1e-3).abs() < 1e-12);
+        assert!((comp.p99_s - 3e-3).abs() < 1e-12);
+
+        assert!((b.wire_s() - 600e-6).abs() < 1e-12);
+        assert!((b.compute_s() - 4e-3).abs() < 1e-12);
+        assert_eq!(b.prepare_s(), 0.0);
+        assert!((b.total_s() - (600e-6 + 4e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prepare_groups_acquisition_kinds() {
+        let events = vec![
+            ev(EventKind::Serialize, 0, 380_000, 0),
+            ev(EventKind::Sload, 1, 100_000, 0),
+            ev(EventKind::Pack, 1, 5_000, 0),
+            ev(EventKind::NfsRead, 2, 1_200_000, 0),
+            ev(EventKind::Send, 0, 50_000, 0),
+        ];
+        let b = Breakdown::from_events(&events);
+        assert!((b.prepare_s() - 1_685_000e-9).abs() < 1e-12);
+        assert!((b.wire_s() - 50_000e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn job_classes_bucket_compute() {
+        let events = vec![
+            ev(EventKind::Compute, 0, 1_000_000, 0),
+            ev(EventKind::Compute, 1, 2_000_000, 0),
+            ev(EventKind::Compute, 2, 4_000_000, 0),
+            ev(EventKind::Compute, 3, 8_000_000, 0),
+            ev(EventKind::Compute, NO_JOB, 16_000_000, 0),
+        ];
+        let b = Breakdown::from_events_classed(&events, 2);
+        // class 0: jobs 0, 2 and the NO_JOB event; class 1: jobs 1, 3.
+        let c0 = b.by_class.get(&0).unwrap();
+        let c1 = b.by_class.get(&1).unwrap();
+        assert_eq!(c0.0, 3);
+        assert!((c0.1 - 21e-3).abs() < 1e-12);
+        assert_eq!(c1.0, 2);
+        assert!((c1.1 - 10e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phases_render_in_all_order() {
+        let events = vec![
+            ev(EventKind::Compute, 0, 1, 0),
+            ev(EventKind::Pack, 0, 1, 0),
+            ev(EventKind::Recv, 0, 1, 0),
+        ];
+        let b = Breakdown::from_events(&events);
+        let kinds: Vec<EventKind> = b.phases.iter().map(|p| p.kind).collect();
+        assert_eq!(kinds, vec![EventKind::Pack, EventKind::Recv, EventKind::Compute]);
+    }
+
+    #[test]
+    fn empty_stream_is_empty_breakdown() {
+        let b = Breakdown::from_events(&[]);
+        assert_eq!(b.events, 0);
+        assert!(b.phases.is_empty());
+        assert_eq!(b.total_s(), 0.0);
+    }
+}

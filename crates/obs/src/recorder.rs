@@ -1,0 +1,255 @@
+//! Lock-free per-rank ring-buffer event sink.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::event::{Event, EventKind};
+
+/// Default ring capacity per rank (events). 64Ki × 48 B ≈ 3 MiB/rank.
+const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// One rank's ring: a fixed slab of slots plus a monotone write counter.
+///
+/// Single-writer (the rank's thread), many-reader-after-quiescence: the
+/// aggregator only reads once the worker threads have been joined, so the
+/// `Release` store on `len` paired with the reader's `Acquire` load is
+/// enough to publish the slot contents.
+struct Ring {
+    slots: Box<[UnsafeCell<Event>]>,
+    /// Total events ever written (may exceed `slots.len()` — the ring
+    /// wraps and `written - capacity` oldest events are dropped).
+    written: AtomicU64,
+}
+
+// SAFETY: the single-writer-per-ring contract (documented on
+// `Recorder::record`) plus the Release/Acquire pairing on `written`
+// makes concurrent use sound: only one thread ever writes a given ring,
+// and readers observe fully-written slots.
+unsafe impl Sync for Ring {}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        let zero = Event {
+            kind: EventKind::Pack,
+            rank: 0,
+            job: crate::event::NO_JOB,
+            start_ns: 0,
+            dur_ns: 0,
+            bytes: 0,
+        };
+        Ring {
+            slots: (0..capacity).map(|_| UnsafeCell::new(zero)).collect(),
+            written: AtomicU64::new(0),
+        }
+    }
+
+    /// Append an event. Caller must be the ring's unique writer.
+    fn push(&self, ev: Event) {
+        let n = self.written.load(Ordering::Relaxed);
+        let idx = (n as usize) % self.slots.len();
+        // SAFETY: single-writer contract — no other thread writes this
+        // ring, and readers only run after the writer thread has been
+        // joined (or tolerate torn reads of the in-flight slot, which we
+        // exclude by reading at most `written` events post-quiescence).
+        unsafe { *self.slots[idx].get() = ev };
+        self.written.store(n + 1, Ordering::Release);
+    }
+
+    fn snapshot(&self) -> (Vec<Event>, u64) {
+        let n = self.written.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let kept = n.min(cap) as usize;
+        let mut out = Vec::with_capacity(kept);
+        // Oldest surviving event first.
+        let first = n.saturating_sub(cap);
+        for i in 0..kept as u64 {
+            let idx = ((first + i) as usize) % self.slots.len();
+            // SAFETY: slots `first..n` were fully written before the
+            // Release store we Acquire-loaded above, and the writer is
+            // quiescent by the reader contract.
+            out.push(unsafe { *self.slots[idx].get() });
+        }
+        (out, n.saturating_sub(cap))
+    }
+}
+
+/// A lock-free event sink with one ring buffer per rank.
+///
+/// # Contract
+///
+/// * **One writer per rank**: [`Recorder::record`] for a given `rank`
+///   must only be called from that rank's thread. The farm stack
+///   guarantees this naturally (one thread per rank).
+/// * **Read after quiescence**: [`Recorder::events`] and
+///   [`Recorder::dropped`] are intended for after the instrumented run
+///   has joined its worker threads. (They are memory-safe regardless,
+///   but mid-run snapshots may miss in-flight events.)
+/// * **Zero overhead when absent**: instrumented code takes
+///   `Option<&Recorder>` (or holds `Option<Arc<Recorder>>`) and must not
+///   call [`Instant::now`] when it is `None`.
+pub struct Recorder {
+    rings: Vec<Ring>,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("ranks", &self.rings.len())
+            .field("capacity", &self.rings.first().map_or(0, |r| r.slots.len()))
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// A recorder for `ranks` ranks with the default per-rank capacity.
+    pub fn new(ranks: usize) -> Self {
+        Self::with_capacity(ranks, DEFAULT_CAPACITY)
+    }
+
+    /// A recorder for `ranks` ranks keeping at most `capacity` events
+    /// per rank (older events are dropped, counted by [`Recorder::dropped`]).
+    pub fn with_capacity(ranks: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "recorder capacity must be positive");
+        Recorder {
+            rings: (0..ranks).map(|_| Ring::new(capacity)).collect(),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Number of ranks this recorder covers.
+    pub fn ranks(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Nanoseconds since this recorder's epoch (monotonic).
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Append `ev` to its rank's ring. Must be called from that rank's
+    /// thread (single-writer contract). Events for out-of-range ranks
+    /// are silently ignored rather than panicking mid-farm.
+    pub fn record(&self, ev: Event) {
+        if let Some(ring) = self.rings.get(ev.rank as usize) {
+            ring.push(ev);
+        }
+    }
+
+    /// Convenience: record a span that started at `start_ns` (from
+    /// [`Recorder::now_ns`]) and ends now.
+    pub fn record_span(&self, rank: usize, kind: EventKind, job: i64, start_ns: u64, bytes: u64) {
+        let end = self.now_ns();
+        self.record(Event {
+            kind,
+            rank: rank as u16,
+            job,
+            start_ns,
+            dur_ns: end.saturating_sub(start_ns),
+            bytes,
+        });
+    }
+
+    /// All surviving events across every rank, sorted by start time
+    /// (ties broken by rank). Intended for after the run has quiesced.
+    pub fn events(&self) -> Vec<Event> {
+        let mut all = Vec::new();
+        for ring in &self.rings {
+            let (mut evs, _) = ring.snapshot();
+            all.append(&mut evs);
+        }
+        all.sort_by_key(|e| (e.start_ns, e.rank));
+        all
+    }
+
+    /// Total events lost to ring wrap-around, across all ranks.
+    pub fn dropped(&self) -> u64 {
+        self.rings.iter().map(|r| r.snapshot().1).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NO_JOB;
+
+    fn ev(rank: u16, kind: EventKind, start: u64) -> Event {
+        Event {
+            kind,
+            rank,
+            job: NO_JOB,
+            start_ns: start,
+            dur_ns: 1,
+            bytes: 0,
+        }
+    }
+
+    #[test]
+    fn records_and_sorts_across_ranks() {
+        let rec = Recorder::new(2);
+        rec.record(ev(1, EventKind::Compute, 20));
+        rec.record(ev(0, EventKind::Send, 10));
+        rec.record(ev(0, EventKind::Probe, 30));
+        let evs = rec.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(
+            evs.iter().map(|e| e.start_ns).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let rec = Recorder::with_capacity(1, 4);
+        for i in 0..10 {
+            rec.record(ev(0, EventKind::Recv, i));
+        }
+        let evs = rec.events();
+        assert_eq!(evs.len(), 4);
+        // Oldest surviving is 6 (10 written, capacity 4).
+        assert_eq!(
+            evs.iter().map(|e| e.start_ns).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        assert_eq!(rec.dropped(), 6);
+    }
+
+    #[test]
+    fn out_of_range_rank_is_ignored() {
+        let rec = Recorder::new(1);
+        rec.record(ev(7, EventKind::Send, 0));
+        assert!(rec.events().is_empty());
+    }
+
+    #[test]
+    fn record_span_measures_elapsed() {
+        let rec = Recorder::new(1);
+        let t0 = rec.now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        rec.record_span(0, EventKind::Compute, 3, t0, 128);
+        let evs = rec.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].job, 3);
+        assert_eq!(evs[0].bytes, 128);
+        assert!(evs[0].dur_ns >= 1_000_000, "span at least 1ms");
+    }
+
+    #[test]
+    fn concurrent_writers_one_per_rank() {
+        let rec = std::sync::Arc::new(Recorder::new(4));
+        std::thread::scope(|s| {
+            for rank in 0..4u16 {
+                let rec = rec.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        rec.record(ev(rank, EventKind::Compute, i));
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.events().len(), 4000);
+        assert_eq!(rec.dropped(), 0);
+    }
+}

@@ -44,7 +44,11 @@ fn main() {
         if slaves > cores {
             break;
         }
-        let report = run_farm(&files, slaves, Transmission::SerializedLoad).unwrap();
+        let report = run(
+            &files,
+            &FarmConfig::new(slaves, Transmission::SerializedLoad),
+        )
+        .unwrap();
         let t = report.elapsed.as_secs_f64();
         let t2v = *t2.get_or_insert(t);
         println!(

@@ -70,7 +70,7 @@ fn main() {
     let jobs = toy_portfolio(500);
     let files = save_portfolio(&jobs, &dir).unwrap();
     for strategy in Transmission::ALL {
-        let report = run_farm(&files, 4, strategy).unwrap();
+        let report = run(&files, &FarmConfig::new(4, strategy)).unwrap();
         println!(
             "{:16} {} jobs in {:?} (per-slave: {:?})",
             strategy.label(),

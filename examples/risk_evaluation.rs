@@ -48,7 +48,7 @@ fn main() {
         })
         .collect();
     let t0 = std::time::Instant::now();
-    let report = run_farm(&files, 4, Transmission::SerializedLoad).unwrap();
+    let report = run(&files, &FarmConfig::new(4, Transmission::SerializedLoad)).unwrap();
     println!(
         "farmed {} computations over 4 slaves in {:?}",
         report.completed(),

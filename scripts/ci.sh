@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 gate for this repository (documented in ROADMAP.md).
 #
-#   1. release build of the whole workspace
-#   2. full test suite (quiet); a failing run is retried ONCE so that
+#   1. dependency hygiene: the workspace must resolve entirely from
+#      in-repo path crates, and every shim must be one documented in
+#      shims/README.md (the build environment has no registry access)
+#   2. release build of the whole workspace
+#   3. observability smoke: `table2 --breakdown` self-checks the §4.2
+#      cost decomposition (sload prepare strictly cheapest) and exits
+#      nonzero on any violated invariant
+#   4. full test suite (quiet); a failing run is retried ONCE so that
 #      machine-load flakes in the timing-sensitive live-farm tests do not
 #      mask real regressions — deterministic failures (the chaos suite is
 #      seed-driven) reproduce on the retry and still fail the gate
-#   3. clippy over the workspace with warnings denied
+#   5. clippy over the workspace with warnings denied
 #
 # Usage: ./scripts/ci.sh [extra cargo-test args]
 
@@ -19,7 +25,34 @@ run() {
     "$@"
 }
 
+echo "==> dependency allowlist (shims/README.md)"
+# Every shim directory must be documented in the shims/README.md table.
+allow=$(sed -n 's/^| `\([a-z_]*\)`.*/\1/p' shims/README.md)
+for d in shims/*/; do
+    name=$(basename "$d")
+    if ! printf '%s\n' "$allow" | grep -qx "$name"; then
+        echo "error: shim '$name' is not documented in shims/README.md"
+        exit 1
+    fi
+done
+# No crate in the graph may come from a registry or git source: offline
+# builds require every package to be a path dependency inside this repo.
+external=$(cargo metadata --format-version 1 2>/dev/null \
+    | grep -o '"source":"[^"]*"' | sort -u)
+if [ -n "$external" ]; then
+    echo "error: non-path dependencies in the workspace graph:"
+    echo "$external"
+    exit 1
+fi
+
 run cargo build --workspace --release || exit 1
+
+# Observability smoke on a small portfolio: the breakdown self-checks
+# (non-empty report, phase seconds within the cpu-seconds budget, no
+# dropped events, serialized-load prepare strictly the cheapest) and
+# exits nonzero if any invariant fails.
+echo "==> cargo run -p bench --bin table2 --release -q -- --breakdown --jobs 2000 (self-checking; output suppressed)"
+cargo run -p bench --bin table2 --release -q -- --breakdown --jobs 2000 >/dev/null || exit 1
 
 echo "==> cargo test -q --workspace $*"
 if ! cargo test -q --workspace "$@"; then

@@ -17,14 +17,38 @@
 //!   job exactly once across `outcomes ∪ failed_jobs`.
 
 use farm::portfolio::{save_portfolio, toy_portfolio};
-use farm::supervisor::{run_supervised_farm, SupervisorConfig};
-use farm::{run_farm, FarmError, FarmReport, Transmission};
+use farm::supervisor::SupervisorConfig;
+use farm::{run, FarmConfig, FarmError, FarmReport, Transmission};
 use minimpi::{FaultPlan, SendFault};
 use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
+
+/// Plain farm via the unified [`farm::run`] entry point.
+fn run_farm(
+    files: &[PathBuf],
+    slaves: usize,
+    strategy: Transmission,
+) -> Result<FarmReport, FarmError> {
+    run(files, &FarmConfig::new(slaves, strategy))
+}
+
+/// Supervised farm (with optional fault plan) via [`farm::run`].
+fn run_supervised_farm(
+    files: &[PathBuf],
+    slaves: usize,
+    strategy: Transmission,
+    cfg: &SupervisorConfig,
+    plan: Option<Arc<FaultPlan>>,
+) -> Result<FarmReport, FarmError> {
+    let mut fc = FarmConfig::new(slaves, strategy).supervisor(cfg.clone());
+    if let Some(plan) = plan {
+        fc = fc.fault_plan(plan);
+    }
+    run(files, &fc)
+}
 
 // ---------------------------------------------------------------------------
 // Harness

@@ -4,6 +4,15 @@
 
 use riskbench::prelude::*;
 
+/// Plain farm via the unified [`farm::run`] entry point.
+fn run_farm(
+    files: &[std::path::PathBuf],
+    slaves: usize,
+    strategy: Transmission,
+) -> Result<FarmReport, FarmError> {
+    run(files, &FarmConfig::new(slaves, strategy))
+}
+
 fn setup(tag: &str, count: usize) -> (Vec<std::path::PathBuf>, Vec<f64>, std::path::PathBuf) {
     let dir = std::env::temp_dir().join(format!("it_farm_{tag}"));
     let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,104 @@
+//! Observability must be free when disabled: a recorder-less run through
+//! the unified [`farm::run`] entry point must produce exactly the same
+//! report — job for job, price bit for price bit — as the legacy
+//! pre-observability entry points, and enabling a recorder must not
+//! change any numerical result either.
+
+use riskbench::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn setup(count: usize, tag: &str) -> (Vec<PathBuf>, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("it_obs_overhead_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let jobs = toy_portfolio(count);
+    let files = save_portfolio(&jobs, &dir).unwrap();
+    (files, dir)
+}
+
+/// Sorted `(job, price bits, std_error bits)` view of a report.
+fn by_job(r: &FarmReport) -> Vec<(usize, u64, Option<u64>)> {
+    r.by_job()
+        .into_iter()
+        .map(|(j, p, se)| (j, p.to_bits(), se.map(f64::to_bits)))
+        .collect()
+}
+
+#[test]
+fn recorder_off_matches_legacy_entry_point_exactly() {
+    let (files, dir) = setup(40, "legacy_eq");
+    for strategy in Transmission::ALL {
+        #[allow(deprecated)]
+        let legacy = farm::run_farm(&files, 3, strategy).unwrap();
+        let unified = run(&files, &FarmConfig::new(3, strategy)).unwrap();
+        assert_eq!(by_job(&legacy), by_job(&unified), "{strategy}");
+        assert_eq!(legacy.completed(), 40, "{strategy}");
+        assert!(unified.failed_jobs.is_empty());
+        assert_eq!(unified.retries, 0);
+        assert!(unified.dead_slaves.is_empty());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recorder_on_changes_no_numbers() {
+    let (files, dir) = setup(25, "rec_eq");
+    let baseline = run(&files, &FarmConfig::new(2, Transmission::SerializedLoad)).unwrap();
+    let rec = Arc::new(Recorder::new(3));
+    let recorded = run(
+        &files,
+        &FarmConfig::new(2, Transmission::SerializedLoad).recorder(rec.clone()),
+    )
+    .unwrap();
+    assert_eq!(by_job(&baseline), by_job(&recorded));
+    // And the recorder actually saw the run.
+    assert!(!rec.events().is_empty());
+    assert_eq!(rec.dropped(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn supervised_legacy_wrapper_matches_unified_route() {
+    let (files, dir) = setup(20, "sup_eq");
+    let cfg = SupervisorConfig::default();
+    #[allow(deprecated)]
+    let legacy =
+        farm::run_supervised_farm(&files, 2, Transmission::Nfs, &cfg, None).unwrap();
+    let unified = run(
+        &files,
+        &FarmConfig::new(2, Transmission::Nfs).supervisor(cfg),
+    )
+    .unwrap();
+    assert_eq!(by_job(&legacy), by_job(&unified));
+    assert!(legacy.failed_jobs.is_empty() && unified.failed_jobs.is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn breakdown_from_recorded_farm_is_consistent() {
+    let (files, dir) = setup(30, "breakdown");
+    let rec = Arc::new(Recorder::new(4));
+    let report = run(
+        &files,
+        &FarmConfig::new(3, Transmission::SerializedLoad).recorder(rec.clone()),
+    )
+    .unwrap();
+    let events = rec.events();
+    let bd = Breakdown::from_events(&events);
+    // Every phase-seconds figure is finite and non-negative; compute got
+    // attributed once per job; total phase time fits in the cpu-seconds
+    // budget of the run.
+    assert!(bd.total_s().is_finite() && bd.total_s() >= 0.0);
+    let compute_events = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Compute)
+        .count();
+    assert_eq!(compute_events, 30);
+    let budget = report.elapsed.as_secs_f64() * 4.0;
+    assert!(
+        bd.total_s() <= budget * 1.5 + 1e-3,
+        "phases {}s vs budget {budget}s",
+        bd.total_s()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -174,7 +174,7 @@ proptest! {
         strategy_idx in 0usize..3,
     ) {
         use farm::portfolio::{save_portfolio, toy_portfolio};
-        use farm::{run_farm, Transmission};
+        use farm::{run, FarmConfig, Transmission};
         let strategy = Transmission::ALL[strategy_idx];
         let dir = std::env::temp_dir().join(format!(
             "prop_farm_{jobs}_{slaves}_{strategy_idx}"
@@ -182,7 +182,7 @@ proptest! {
         let _ = std::fs::remove_dir_all(&dir);
         let portfolio = toy_portfolio(jobs);
         let files = save_portfolio(&portfolio, &dir).unwrap();
-        let report = run_farm(&files, slaves, strategy).unwrap();
+        let report = run(&files, &FarmConfig::new(slaves, strategy)).unwrap();
         prop_assert_eq!(report.completed(), jobs);
         let mut seen = vec![false; jobs];
         for o in &report.outcomes {

@@ -6,6 +6,15 @@
 use riskbench::clustersim::{simulate_farm, NfsCache, SimConfig, SimJob};
 use riskbench::prelude::*;
 
+/// Plain farm via the unified [`farm::run`] entry point.
+fn run_farm(
+    files: &[std::path::PathBuf],
+    slaves: usize,
+    strategy: Transmission,
+) -> Result<FarmReport, FarmError> {
+    run(files, &FarmConfig::new(slaves, strategy))
+}
+
 /// Build matched live files + sim jobs for a compute-heavy workload.
 fn matched_workload(
     dir: &std::path::Path,
@@ -94,9 +103,20 @@ fn zero_fault_supervision_is_free() {
     // byte-identical job→(price, std_error) results to the plain
     // Fig. 4 master — supervision may only change behaviour when faults
     // actually occur.
-    use riskbench::farm::supervisor::{run_supervised_farm, SupervisorConfig};
     use riskbench::minimpi::FaultPlan;
     use std::sync::Arc;
+
+    let run_supervised_farm = |files: &[std::path::PathBuf],
+                               slaves: usize,
+                               strategy: Transmission,
+                               cfg: &SupervisorConfig,
+                               plan: Option<Arc<FaultPlan>>| {
+        let mut fc = FarmConfig::new(slaves, strategy).supervisor(cfg.clone());
+        if let Some(plan) = plan {
+            fc = fc.fault_plan(plan);
+        }
+        run(files, &fc)
+    };
 
     let dir = std::env::temp_dir().join("it_zero_fault_supervised");
     let _ = std::fs::remove_dir_all(&dir);
@@ -133,6 +153,67 @@ fn zero_fault_supervision_is_free() {
     assert!(supervised.failed_jobs.is_empty());
     assert_eq!(supervised.retries, 0);
     assert!(supervised.dead_slaves.is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sim_and_live_emit_identical_per_job_event_kinds() {
+    // The tentpole diffability claim: the simulator's event stream uses
+    // the *same* per-job phase schema as the live instrumented farm, so
+    // one Breakdown aggregator can compare them phase by phase.
+    use riskbench::clustersim::simulate_farm_recorded;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join("it_sim_vs_live_kinds");
+    let _ = std::fs::remove_dir_all(&dir);
+    let jobs = toy_portfolio(10);
+    let files = save_portfolio(&jobs, &dir).unwrap();
+    let sim_jobs: Vec<SimJob> = jobs
+        .iter()
+        .enumerate()
+        .map(|(k, j)| SimJob {
+            id: k,
+            class: j.class,
+            bytes: riskbench::xdrser::serialize_to_bytes(&j.problem.to_value()).len(),
+            compute: 1e-4,
+        })
+        .collect();
+
+    for strategy in Transmission::ALL {
+        let live_rec = Arc::new(Recorder::new(3));
+        let report = run(
+            &files,
+            &FarmConfig::new(2, strategy).recorder(live_rec.clone()),
+        )
+        .unwrap();
+        assert_eq!(report.completed(), 10, "{strategy}");
+
+        let sim_rec = Recorder::new(3);
+        simulate_farm_recorded(
+            &sim_jobs,
+            2,
+            strategy,
+            &SimConfig::default(),
+            &mut NfsCache::new(),
+            Some(&sim_rec),
+        );
+
+        let kinds = |events: &[Event], job: i64| -> BTreeSet<EventKind> {
+            events.iter().filter(|e| e.job == job).map(|e| e.kind).collect()
+        };
+        let live_events = live_rec.events();
+        let sim_events = sim_rec.events();
+        for job in 0..10i64 {
+            assert_eq!(
+                kinds(&live_events, job),
+                kinds(&sim_events, job),
+                "{strategy} job {job}: live vs sim phase schema diverged"
+            );
+        }
+        assert_eq!(live_rec.dropped(), 0);
+        assert_eq!(sim_rec.dropped(), 0);
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -136,7 +136,7 @@ fn mpi_object_transmission_preserves_arbitrary_values() {
             true
         } else {
             for v in &values {
-                let (got, _) = comm.recv_obj_raw(0, 0).unwrap();
+                let (got, _) = comm.recv_obj_serial(0, 0).unwrap();
                 assert!(got.equal(v), "mismatch: {got:?} vs {v:?}");
             }
             true
