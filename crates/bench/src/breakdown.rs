@@ -9,9 +9,9 @@
 //! serialized load pays the least problem-acquisition time), and prints
 //! both the fixed-width table and the machine-readable JSON form.
 
-use clustersim::{simulate_farm_recorded, NfsCache, SimConfig, SimJob};
+use clustersim::{simulate_farm_cached, SimCaches, SimConfig, SimJob};
 use farm::Transmission;
-use obs::{Breakdown, BreakdownReport, Recorder, StrategyBreakdown};
+use obs::{Breakdown, BreakdownReport, EventKind, Recorder, StrategyBreakdown};
 
 /// Ring capacity per rank. The master is the busiest rank: it records a
 /// handful of events per job (prepare, pack, send, result recv), so this
@@ -29,6 +29,13 @@ pub struct BreakdownOpts {
     pub jobs: Option<usize>,
     /// `--cpus N`: cluster size (master + slaves) for the breakdown run.
     pub cpus: usize,
+    /// `--warm`: model the `store` crate's client-side problem cache —
+    /// each strategy runs twice against one shared cache state, and the
+    /// warm re-run is reported as an extra `"<strategy> (warm)"` row.
+    pub warm: bool,
+    /// `--compress`: model the compressed-wire option for loaded
+    /// payloads (`FarmConfig::compress_wire`).
+    pub compress: bool,
 }
 
 impl Default for BreakdownOpts {
@@ -37,6 +44,8 @@ impl Default for BreakdownOpts {
             enabled: false,
             jobs: None,
             cpus: 8,
+            warm: false,
+            compress: false,
         }
     }
 }
@@ -58,6 +67,8 @@ impl BreakdownOpts {
             match arg.as_ref() {
                 a if passthrough.contains(&a) => {}
                 "--breakdown" => opts.enabled = true,
+                "--warm" => opts.warm = true,
+                "--compress" => opts.compress = true,
                 "--jobs" => {
                     let v = it.next().ok_or("--jobs needs a value")?;
                     let n: usize = v
@@ -87,37 +98,146 @@ impl BreakdownOpts {
     }
 }
 
-/// Run the workload once per strategy on `cpus - 1` slaves, recording
-/// every phase, and assemble the checked report.
+/// Run the workload once per strategy on `opts.cpus - 1` slaves,
+/// recording every phase, and assemble the checked report.
 ///
-/// Each strategy starts from a cold [`NfsCache`] — the §4.2 caching bias
+/// Each strategy starts from cold [`SimCaches`] — the §4.2 caching bias
 /// is deliberately *excluded* here, because the breakdown's job is to
-/// expose what each strategy intrinsically pays per problem.
+/// expose what each strategy intrinsically pays per problem. With
+/// `opts.warm`, each strategy is run a second time against the cache
+/// state its cold run left behind, and the re-run lands in the report as
+/// `"<strategy> (warm)"`; with `opts.compress`, loaded payloads go over
+/// the wire through the modelled LZSS codec.
 pub fn breakdown_report(
     title: &str,
     jobs: &[SimJob],
-    cpus: usize,
+    opts: &BreakdownOpts,
     cfg: &SimConfig,
 ) -> Result<BreakdownReport, String> {
-    if cpus < 2 {
+    if opts.cpus < 2 {
         return Err("breakdown needs at least 2 CPUs".into());
     }
-    let slaves = cpus - 1;
+    let slaves = opts.cpus - 1;
+    let mut cfg = *cfg;
+    if opts.warm {
+        cfg.store.client_cache = true;
+    }
+    if opts.compress {
+        cfg.store.compress = true;
+    }
     let mut report = BreakdownReport::new(title);
     for strategy in Transmission::ALL {
-        let rec = Recorder::with_capacity(slaves + 1, RING_CAPACITY);
-        let out = simulate_farm_recorded(jobs, slaves, strategy, cfg, &mut NfsCache::new(), Some(&rec));
-        report.runs.push(StrategyBreakdown {
-            strategy: strategy.label().to_string(),
-            cpus,
-            wall_s: out.makespan,
-            breakdown: Breakdown::from_events(&rec.events()),
-            dropped: rec.dropped(),
-        });
+        // One cache state per strategy: the cold run fills it, the
+        // optional warm run reuses it.
+        let mut caches = SimCaches::new();
+        let one_run = |label: String, caches: &mut SimCaches| {
+            let rec = Recorder::with_capacity(slaves + 1, RING_CAPACITY);
+            let out = simulate_farm_cached(jobs, slaves, strategy, &cfg, caches, Some(&rec));
+            StrategyBreakdown {
+                strategy: label,
+                cpus: opts.cpus,
+                wall_s: out.makespan,
+                breakdown: Breakdown::from_events(&rec.events()),
+                dropped: rec.dropped(),
+            }
+        };
+        report
+            .runs
+            .push(one_run(strategy.label().to_string(), &mut caches));
+        if opts.warm {
+            report
+                .runs
+                .push(one_run(format!("{} (warm)", strategy.label()), &mut caches));
+        }
     }
     report.check()?;
     check_sload_prepare_cheapest(&report)?;
+    if opts.warm {
+        check_warm_cache_effect(&report)?;
+    }
+    if opts.compress {
+        check_compression_effect(&report)?;
+    }
     Ok(report)
+}
+
+/// The warm-store acceptance check: for every strategy, the warm run's
+/// prepare seconds must be *strictly* below its cold run's (the cache
+/// removed real fetch work), while compute and wait are unchanged within
+/// noise (the cache must not touch what the slaves do), and the warm run
+/// actually hit the cache.
+pub fn check_warm_cache_effect(report: &BreakdownReport) -> Result<(), String> {
+    for strategy in Transmission::ALL {
+        let cold = report
+            .run(strategy.label())
+            .ok_or_else(|| format!("missing {strategy} cold run"))?;
+        let warm_label = format!("{} (warm)", strategy.label());
+        let warm = report
+            .run(&warm_label)
+            .ok_or_else(|| format!("missing {warm_label:?} run"))?;
+        let (c, w) = (&cold.breakdown, &warm.breakdown);
+        if w.prepare_s() >= c.prepare_s() {
+            return Err(format!(
+                "{strategy}: warm prepare {:.6}s not strictly below cold {:.6}s",
+                w.prepare_s(),
+                c.prepare_s()
+            ));
+        }
+        if (w.compute_s() - c.compute_s()).abs() > 1e-9 {
+            return Err(format!(
+                "{strategy}: cache changed compute ({:.9}s vs {:.9}s)",
+                w.compute_s(),
+                c.compute_s()
+            ));
+        }
+        if (w.wait_s() - c.wait_s()).abs() > 1e-9 {
+            return Err(format!(
+                "{strategy}: cache changed wait ({:.9}s vs {:.9}s)",
+                w.wait_s(),
+                c.wait_s()
+            ));
+        }
+        if w.count_of(EventKind::CacheHit) == 0 {
+            return Err(format!("{strategy}: warm run recorded no cache hits"));
+        }
+        if w.cache_hit_rate() <= 0.0 {
+            return Err(format!("{strategy}: warm run hit-rate is zero"));
+        }
+    }
+    Ok(())
+}
+
+/// The compressed-wire acceptance check: both loaded strategies must
+/// have compressed every over-threshold payload (matching decompression
+/// on the slaves, net bytes actually saved), and NFS — which ships only
+/// names — must be untouched by the codec.
+pub fn check_compression_effect(report: &BreakdownReport) -> Result<(), String> {
+    for strategy in [Transmission::FullLoad, Transmission::SerializedLoad] {
+        let run = report
+            .run(strategy.label())
+            .ok_or_else(|| format!("missing {strategy} run"))?;
+        let b = &run.breakdown;
+        let z = b
+            .phase(EventKind::Compress)
+            .ok_or_else(|| format!("{strategy}: no compress events recorded"))?;
+        if b.count_of(EventKind::Decompress) != z.count {
+            return Err(format!(
+                "{strategy}: {} compressions but {} decompressions",
+                z.count,
+                b.count_of(EventKind::Decompress)
+            ));
+        }
+        if z.bytes == 0 {
+            return Err(format!("{strategy}: compression saved no bytes"));
+        }
+    }
+    let nfs = report
+        .run(Transmission::Nfs.label())
+        .ok_or("missing NFS run")?;
+    if nfs.breakdown.count_of(EventKind::Compress) != 0 {
+        return Err("NFS run has compress events (names are never compressed)".into());
+    }
+    Ok(())
 }
 
 /// The §4.2 acceptance check: serialized load's prepare seconds
@@ -151,7 +271,7 @@ pub fn print_breakdown(
     opts: &BreakdownOpts,
     cfg: &SimConfig,
 ) -> Result<(), String> {
-    let report = breakdown_report(title, jobs, opts.cpus, cfg)?;
+    let report = breakdown_report(title, jobs, opts, cfg)?;
     println!("{}", report.render());
     println!("JSON: {}", report.to_json());
     Ok(())
@@ -170,7 +290,7 @@ pub fn run_cli(
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: --breakdown [--jobs N] [--cpus N]");
+            eprintln!("usage: --breakdown [--jobs N] [--cpus N] [--warm] [--compress]");
             std::process::exit(2);
         }
     };
@@ -214,12 +334,20 @@ mod tests {
         assert!(BreakdownOpts::parse(["--live"], &[]).is_err());
     }
 
+    fn opts(cpus: usize) -> BreakdownOpts {
+        BreakdownOpts {
+            enabled: true,
+            cpus,
+            ..BreakdownOpts::default()
+        }
+    }
+
     #[test]
     fn table2_breakdown_passes_all_checks() {
         // A scaled-down Table II workload: the checks inside
         // breakdown_report are the acceptance criteria themselves.
         let jobs = clustersim::table2_sim_jobs(400);
-        let report = breakdown_report("test", &jobs, 4, &SimConfig::default()).unwrap();
+        let report = breakdown_report("test", &jobs, &opts(4), &SimConfig::default()).unwrap();
         assert_eq!(report.runs.len(), 3);
         for run in &report.runs {
             assert_eq!(run.cpus, 4);
@@ -247,8 +375,74 @@ mod tests {
     #[test]
     fn report_fails_when_a_strategy_is_missing() {
         let jobs = clustersim::table2_sim_jobs(50);
-        let mut report = breakdown_report("test", &jobs, 2, &SimConfig::default()).unwrap();
+        let mut report =
+            breakdown_report("test", &jobs, &opts(2), &SimConfig::default()).unwrap();
         report.runs.retain(|r| r.strategy != Transmission::SerializedLoad.label());
         assert!(check_sload_prepare_cheapest(&report).is_err());
+    }
+
+    #[test]
+    fn parse_accepts_warm_and_compress() {
+        let o = BreakdownOpts::parse(["--breakdown", "--warm", "--compress"], &[]).unwrap();
+        assert!(o.enabled && o.warm && o.compress);
+        let o = BreakdownOpts::parse(["--breakdown"], &[]).unwrap();
+        assert!(!o.warm && !o.compress);
+    }
+
+    #[test]
+    fn warm_breakdown_adds_checked_warm_rows() {
+        let jobs = clustersim::table2_sim_jobs(400);
+        let o = BreakdownOpts {
+            warm: true,
+            ..opts(4)
+        };
+        let report = breakdown_report("test warm", &jobs, &o, &SimConfig::default()).unwrap();
+        // Three cold rows + three warm rows, and the warm check held
+        // (breakdown_report would have errored otherwise).
+        assert_eq!(report.runs.len(), 6);
+        for strategy in Transmission::ALL {
+            let cold = report.run(strategy.label()).unwrap();
+            let warm = report.run(&format!("{} (warm)", strategy.label())).unwrap();
+            assert!(
+                warm.breakdown.prepare_s() < cold.breakdown.prepare_s(),
+                "{strategy}"
+            );
+            assert!(warm.breakdown.cache_hit_rate() > 0.99, "{strategy}");
+        }
+        // The JSON form carries the new store columns.
+        let json = report.to_json();
+        assert!(json.contains("\"store_s\":"));
+        assert!(json.contains("\"cache_hit_rate\":"));
+        assert!(json.contains("(warm)"));
+    }
+
+    #[test]
+    fn compressed_breakdown_passes_codec_checks() {
+        let jobs = clustersim::table2_sim_jobs(400);
+        let o = BreakdownOpts {
+            compress: true,
+            ..opts(4)
+        };
+        let report = breakdown_report("test z", &jobs, &o, &SimConfig::default()).unwrap();
+        check_compression_effect(&report).unwrap();
+        let sload = report.run(Transmission::SerializedLoad.label()).unwrap();
+        assert!(sload.breakdown.store_s() > 0.0, "codec time missing");
+        // NFS ships names only — no codec anywhere near it.
+        let nfs = report.run(Transmission::Nfs.label()).unwrap();
+        assert_eq!(nfs.breakdown.count_of(EventKind::Decompress), 0);
+    }
+
+    #[test]
+    fn warm_and_compress_compose() {
+        let jobs = clustersim::table2_sim_jobs(300);
+        let o = BreakdownOpts {
+            warm: true,
+            compress: true,
+            ..opts(4)
+        };
+        let report = breakdown_report("test wz", &jobs, &o, &SimConfig::default()).unwrap();
+        assert_eq!(report.runs.len(), 6);
+        check_warm_cache_effect(&report).unwrap();
+        check_compression_effect(&report).unwrap();
     }
 }

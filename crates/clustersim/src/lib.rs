@@ -30,8 +30,11 @@ pub mod resource;
 pub mod sim;
 pub mod tables;
 
-pub use params::{MasterCosts, NetworkParams, NfsParams, SimConfig, SlaveCosts};
-pub use sim::{simulate_farm, simulate_farm_recorded, NfsCache, SimJob, SimOutcome};
+pub use params::{MasterCosts, NetworkParams, NfsParams, SimConfig, SlaveCosts, StoreParams};
+pub use sim::{
+    simulate_farm, simulate_farm_cached, simulate_farm_recorded, ClientCache, NfsCache,
+    SimCaches, SimJob, SimOutcome,
+};
 pub use tables::{
     format_table, speedup_ratio, table1_rows, table1_sim_jobs, table2_rows, table2_sim_jobs,
     table3_rows, table3_sim_jobs, TableRow, TABLE1_CPUS, TABLE1_T2, TABLE2_CPUS,

@@ -92,6 +92,47 @@ impl Default for SlaveCosts {
     }
 }
 
+/// Client-side problem-store model: the `store` crate's byte-budgeted
+/// cache in front of the master's fetches (and the slaves' NFS reads),
+/// plus the compressed-wire option for loaded payloads. Both knobs are
+/// **off** by default so the baseline model reproduces the paper's
+/// Tables I–III unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreParams {
+    /// Model a warm client-side problem cache: repeat fetches of the
+    /// same file skip the backend.
+    pub client_cache: bool,
+    /// Service time of a cache hit (a memory lookup plus an `Arc`
+    /// clone — far below any disk or NFS read).
+    pub hit_fetch: f64,
+    /// Compress loaded payloads on the wire.
+    pub compress: bool,
+    /// Minimum payload size worth compressing, bytes (mirrors
+    /// `WirePolicy::compressed(threshold)` in the live farm).
+    pub compress_threshold: usize,
+    /// Compressed/raw size ratio for XDR problem files (LZSS on the
+    /// highly repetitive Premia descriptors lands near one half).
+    pub compress_ratio: f64,
+    /// Master-side compression CPU, seconds per input byte.
+    pub compress_cpu: f64,
+    /// Slave-side decompression CPU, seconds per input byte.
+    pub decompress_cpu: f64,
+}
+
+impl Default for StoreParams {
+    fn default() -> Self {
+        StoreParams {
+            client_cache: false,
+            hit_fetch: 0.01e-3,
+            compress: false,
+            compress_threshold: 256,
+            compress_ratio: 0.5,
+            compress_cpu: 5e-9,
+            decompress_cpu: 2e-9,
+        }
+    }
+}
+
 /// Full simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SimConfig {
@@ -103,6 +144,8 @@ pub struct SimConfig {
     pub master: MasterCosts,
     /// Slave-side per-job overheads.
     pub slave: SlaveCosts,
+    /// Problem-store model (client cache + wire compression).
+    pub store: StoreParams,
 }
 
 #[cfg(test)]
@@ -127,5 +170,18 @@ mod tests {
         assert!(m.sload_prep > m.nfs_prep);
         let nfs = NfsParams::default();
         assert!(nfs.cold_read > nfs.warm_read);
+    }
+
+    #[test]
+    fn store_model_is_off_by_default_and_hits_beat_every_read() {
+        let s = StoreParams::default();
+        assert!(!s.client_cache && !s.compress);
+        // A cache hit must be cheaper than even a warm NFS read and any
+        // master-side fetch span — otherwise caching could never help.
+        let nfs = NfsParams::default();
+        let m = MasterCosts::default();
+        assert!(s.hit_fetch < nfs.warm_read);
+        assert!(s.hit_fetch < m.sload_prep - m.nfs_prep);
+        assert!(s.compress_ratio > 0.0 && s.compress_ratio < 1.0);
     }
 }

@@ -54,6 +54,58 @@ impl NfsCache {
     }
 }
 
+/// The client-side problem cache (the `store` crate's [`CachingStore`]
+/// as the simulator models it): a set of problem files already resident
+/// on the farm side. Unlike [`NfsCache`] — which lives on the *server*
+/// and only accelerates the NFS strategy's reads — this one sits in
+/// front of every fetch the farm makes, whichever strategy runs.
+///
+/// [`CachingStore`]: https://docs.rs/store
+#[derive(Debug, Default, Clone)]
+pub struct ClientCache {
+    files: HashSet<usize>,
+}
+
+impl ClientCache {
+    /// A fresh, empty cache.
+    pub fn new() -> Self {
+        ClientCache::default()
+    }
+
+    /// Record an access; returns true if it was already cached.
+    fn access(&mut self, file: usize) -> bool {
+        !self.files.insert(file)
+    }
+
+    /// Number of resident files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+/// Both caches a simulated run can carry across calls: the NFS server's
+/// block cache and the farm's client-side problem cache. Pass the same
+/// value again to model a warm re-run; pass a fresh one for cold.
+#[derive(Debug, Default, Clone)]
+pub struct SimCaches {
+    /// NFS server block cache (server side).
+    pub nfs: NfsCache,
+    /// Problem-store cache (client side).
+    pub client: ClientCache,
+}
+
+impl SimCaches {
+    /// Fresh cold caches.
+    pub fn new() -> Self {
+        SimCaches::default()
+    }
+}
+
 /// Simulation result for one farm run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimOutcome {
@@ -118,6 +170,34 @@ pub fn simulate_farm_recorded(
     cache: &mut NfsCache,
     recorder: Option<&Recorder>,
 ) -> SimOutcome {
+    let mut caches = SimCaches {
+        nfs: std::mem::take(cache),
+        client: ClientCache::new(),
+    };
+    let out = simulate_farm_cached(jobs, slaves, strategy, cfg, &mut caches, recorder);
+    *cache = caches.nfs;
+    out
+}
+
+/// [`simulate_farm_recorded`] with the full cache state: the NFS server
+/// block cache *and* the client-side problem cache persist across calls
+/// through `caches`, so warm-store re-runs (`SimConfig::store` with
+/// `client_cache` on) and compressed-wire runs can be replayed at
+/// cluster scale. With the default [`crate::params::StoreParams`] (both
+/// knobs off) this is bit-identical to [`simulate_farm_recorded`].
+///
+/// When `client_cache` is on, every fetch additionally lands in the
+/// recorder as a zero-duration `CacheHit`/`CacheMiss` mark on the rank
+/// that fetched (master for loaded strategies, the slave for NFS) —
+/// the same schema the live farm emits through a `CachingStore`.
+pub fn simulate_farm_cached(
+    jobs: &[SimJob],
+    slaves: usize,
+    strategy: Transmission,
+    cfg: &SimConfig,
+    caches: &mut SimCaches,
+    recorder: Option<&Recorder>,
+) -> SimOutcome {
     assert!(slaves >= 1, "need at least one slave");
     // Simulated-seconds → event-record adapter. All events funnel through
     // here so disabling the recorder costs exactly one branch.
@@ -158,6 +238,7 @@ pub fn simulate_farm_recorded(
     // Result messages are small fixed-size records.
     const RESULT_BYTES: usize = 96;
 
+    let store = cfg.store;
     // Dispatch job to slave starting from master-ready time; returns the
     // time the result lands back at the master.
     let dispatch = |job: &SimJob,
@@ -166,56 +247,127 @@ pub fn simulate_farm_recorded(
                         master: &mut Resource,
                         nfs: &mut Resource,
                         slave_res: &mut [Resource],
-                        cache: &mut NfsCache|
+                        caches: &mut SimCaches|
      -> f64 {
         let jid = job.id as i64;
         let srank = s + 1;
-        let prep = master_prep(strategy);
-        let transfer = cfg.network.transfer_time(wire_bytes(strategy, job));
-        // Master: prep + NIC occupancy (serialised on the master).
-        let send_done = master.acquire(ready, prep + transfer);
+        let base_prep = master_prep(strategy);
+        let name_prep = cfg.master.nfs_prep.min(base_prep);
+        // The strategy-specific fetch+materialise span beyond the tiny
+        // name-message build.
+        let uncached_span = base_prep - name_prep;
+        // Client cache (loaded strategies, master side): a warm hit
+        // shrinks the *fetch* part of the span to `hit_fetch`; full
+        // load's materialisation (unserialize + rebuild + reserialize)
+        // is CPU work the cache cannot skip and is paid either way.
+        let (fetch_span, master_hit) = if store.client_cache && strategy != Transmission::Nfs {
+            let hit = caches.client.access(job.id);
+            let materialise = match strategy {
+                Transmission::FullLoad => {
+                    (cfg.master.full_load_prep - cfg.master.sload_prep).max(0.0)
+                }
+                _ => 0.0,
+            };
+            let fetch = if hit {
+                store.hit_fetch
+            } else {
+                (uncached_span - materialise).max(0.0)
+            };
+            (materialise + fetch, Some(hit))
+        } else {
+            (uncached_span, None)
+        };
+        let prep = name_prep + fetch_span;
+        // Wire compression (loaded strategies, payload over threshold):
+        // the payload shrinks by `compress_ratio`, the master pays
+        // per-byte compression CPU, the slave pays decompression.
+        let raw_wire = wire_bytes(strategy, job);
+        let (wire, compress_cpu, decompress_cpu) = if store.compress
+            && strategy != Transmission::Nfs
+            && job.bytes >= store.compress_threshold
+        {
+            let compressed = 96 + (job.bytes as f64 * store.compress_ratio).ceil() as usize;
+            (
+                compressed.min(raw_wire),
+                store.compress_cpu * job.bytes as f64,
+                store.decompress_cpu * job.bytes as f64,
+            )
+        } else {
+            (raw_wire, 0.0, 0.0)
+        };
+        let transfer = cfg.network.transfer_time(wire);
+        // Master: prep (+ compression) + NIC occupancy (serialised on
+        // the master).
+        let send_done = master.acquire(ready, prep + compress_cpu + transfer);
         // Master-side phases, mirroring the live farm's event stream:
         // strategy prep (Serialize / Sload), then the tiny name-message
         // Serialize, Pack (free: the payload is already serial bytes),
         // and the NIC occupancy as Send.
-        let t0 = send_done - prep - transfer;
-        let name_prep = cfg.master.nfs_prep.min(prep);
+        let t0 = send_done - prep - compress_cpu - transfer;
         match strategy {
             Transmission::FullLoad => {
-                emit(EventKind::Serialize, 0, jid, t0, prep - name_prep, job.bytes);
+                emit(EventKind::Serialize, 0, jid, t0, fetch_span, job.bytes);
             }
             Transmission::SerializedLoad => {
-                emit(EventKind::Sload, 0, jid, t0, prep - name_prep, job.bytes);
+                emit(EventKind::Sload, 0, jid, t0, fetch_span, job.bytes);
             }
             Transmission::Nfs => {}
         }
-        emit(EventKind::Serialize, 0, jid, t0 + (prep - name_prep), name_prep, 64);
+        if let Some(hit) = master_hit {
+            let kind = if hit { EventKind::CacheHit } else { EventKind::CacheMiss };
+            emit(kind, 0, jid, t0 + fetch_span, 0.0, job.bytes);
+        }
+        emit(EventKind::Serialize, 0, jid, t0 + fetch_span, name_prep, 64);
+        if compress_cpu > 0.0 {
+            emit(
+                EventKind::Compress,
+                0,
+                jid,
+                t0 + prep,
+                compress_cpu,
+                raw_wire - wire,
+            );
+        }
         if strategy != Transmission::Nfs {
-            emit(EventKind::Pack, 0, jid, t0 + prep, 0.0, job.bytes);
+            emit(EventKind::Pack, 0, jid, t0 + prep + compress_cpu, 0.0, job.bytes);
         }
         emit(
             EventKind::Send,
             0,
             jid,
-            t0 + prep,
+            t0 + prep + compress_cpu,
             transfer,
-            wire_bytes(strategy, job),
+            wire,
         );
         // Slave receives and recovers the problem.
         let mut t = slave_res[s].acquire(send_done, 0.0);
         if strategy == Transmission::Nfs {
-            // Slave reads the file from the NFS server (FIFO + cache).
-            let service = if cache.access(job.id) {
-                cfg.nfs.warm_read
+            if store.client_cache && caches.client.access(job.id) {
+                // Warm client cache: the slave's fetch never leaves the
+                // node — no NFS server trip, no FIFO queueing.
+                t += store.hit_fetch;
+                emit(EventKind::NfsRead, srank, jid, t - store.hit_fetch, store.hit_fetch, job.bytes);
+                emit(EventKind::CacheHit, srank, jid, t, 0.0, job.bytes);
             } else {
-                cfg.nfs.cold_read
-            };
-            t = nfs.acquire(t, service);
-            emit(EventKind::NfsRead, srank, jid, t - service, service, job.bytes);
+                // Slave reads the file from the NFS server (FIFO + cache).
+                let service = if caches.nfs.access(job.id) {
+                    cfg.nfs.warm_read
+                } else {
+                    cfg.nfs.cold_read
+                };
+                t = nfs.acquire(t, service);
+                emit(EventKind::NfsRead, srank, jid, t - service, service, job.bytes);
+                if store.client_cache {
+                    emit(EventKind::CacheMiss, srank, jid, t, 0.0, job.bytes);
+                }
+            }
         } else {
-            let wire = wire_bytes(strategy, job);
             emit(EventKind::Probe, srank, jid, t, 0.0, wire);
             emit(EventKind::Recv, srank, jid, t, 0.0, wire);
+            if decompress_cpu > 0.0 {
+                emit(EventKind::Decompress, srank, jid, t, decompress_cpu, job.bytes);
+                t += decompress_cpu;
+            }
             emit(EventKind::Unpack, srank, jid, t, cfg.slave.unpack, job.bytes);
             t += cfg.slave.unpack;
         }
@@ -255,7 +407,7 @@ pub fn simulate_farm_recorded(
             &mut master,
             &mut nfs,
             &mut slave_res,
-            cache,
+            caches,
         );
         heap.push(Reverse((Time(arrival), s)));
         next += 1;
@@ -284,7 +436,7 @@ pub fn simulate_farm_recorded(
                 &mut master,
                 &mut nfs,
                 &mut slave_res,
-                cache,
+                caches,
             );
             heap.push(Reverse((Time(next_arrival), s)));
             next += 1;
@@ -525,6 +677,117 @@ mod tests {
                 "{strategy}: {compute_s}"
             );
         }
+    }
+
+    #[test]
+    fn store_knobs_off_is_bit_identical_to_base_model() {
+        let jobs = cheap_jobs(500, 0.5e-3);
+        for strategy in Transmission::ALL {
+            let base = simulate_farm(&jobs, 4, strategy, &cfg(), &mut NfsCache::new());
+            let via_cached = simulate_farm_cached(
+                &jobs,
+                4,
+                strategy,
+                &cfg(),
+                &mut SimCaches::new(),
+                None,
+            );
+            assert_eq!(base, via_cached, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn warm_client_cache_cuts_prepare_not_compute() {
+        use obs::Breakdown;
+        let jobs = cheap_jobs(800, 0.5e-3);
+        let mut config = cfg();
+        config.store.client_cache = true;
+        for strategy in Transmission::ALL {
+            let mut caches = SimCaches::new();
+            let rec_cold = Recorder::with_capacity(3, 1 << 16);
+            let cold =
+                simulate_farm_cached(&jobs, 2, strategy, &config, &mut caches, Some(&rec_cold));
+            let rec_warm = Recorder::with_capacity(3, 1 << 16);
+            let warm =
+                simulate_farm_cached(&jobs, 2, strategy, &config, &mut caches, Some(&rec_warm));
+            let bd_cold = Breakdown::from_events(&rec_cold.events());
+            let bd_warm = Breakdown::from_events(&rec_warm.events());
+            assert!(
+                bd_warm.prepare_s() < bd_cold.prepare_s(),
+                "{strategy}: warm prepare {} !< cold {}",
+                bd_warm.prepare_s(),
+                bd_cold.prepare_s()
+            );
+            assert!(
+                (bd_warm.compute_s() - bd_cold.compute_s()).abs() < 1e-9,
+                "{strategy}: compute changed"
+            );
+            assert!(warm.makespan <= cold.makespan, "{strategy}");
+            // The cold pass misses every file, the warm pass hits it.
+            assert_eq!(bd_cold.cache_hit_rate(), 0.0, "{strategy}");
+            assert_eq!(bd_warm.cache_hit_rate(), 1.0, "{strategy}");
+            assert_eq!(rec_cold.dropped() + rec_warm.dropped(), 0);
+        }
+    }
+
+    #[test]
+    fn compressed_wire_trades_bandwidth_for_cpu() {
+        use obs::Breakdown;
+        // Big payloads on a slow link: halving the bytes must shorten
+        // the wire phase; the codec CPU shows up under store_s.
+        let jobs: Vec<SimJob> = (0..600)
+            .map(|id| SimJob {
+                id,
+                class: JobClass::VanillaClosedForm,
+                bytes: 60_000,
+                compute: 0.5e-3,
+            })
+            .collect();
+        let mut config = cfg();
+        config.network.bandwidth = 10e6; // stress the link
+        let record = |c: &SimConfig| {
+            let rec = Recorder::with_capacity(3, 1 << 16);
+            let out =
+                simulate_farm_cached(&jobs, 2, Transmission::SerializedLoad, c, &mut SimCaches::new(), Some(&rec));
+            (out, Breakdown::from_events(&rec.events()))
+        };
+        let (raw_out, raw_bd) = record(&config);
+        config.store.compress = true;
+        let (z_out, z_bd) = record(&config);
+        assert!(
+            z_bd.wire_s() < 0.7 * raw_bd.wire_s(),
+            "compression did not shrink wire: {} vs {}",
+            z_bd.wire_s(),
+            raw_bd.wire_s()
+        );
+        assert!(z_bd.store_s() > 0.0, "no codec time recorded");
+        assert_eq!(raw_bd.store_s(), 0.0);
+        assert!(
+            z_out.makespan < raw_out.makespan,
+            "compression should win on a slow link: {} vs {}",
+            z_out.makespan,
+            raw_out.makespan
+        );
+        // Compute untouched.
+        assert!((z_bd.compute_s() - raw_bd.compute_s()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_payloads_below_threshold_stay_raw() {
+        let jobs = cheap_jobs(200, 0.3e-3); // 600-byte files
+        let mut config = cfg();
+        config.store.compress = true;
+        config.store.compress_threshold = 4096; // above the payloads
+        let plain = simulate_farm(&jobs, 2, Transmission::SerializedLoad, &cfg(), &mut NfsCache::new());
+        let gated = simulate_farm_cached(
+            &jobs,
+            2,
+            Transmission::SerializedLoad,
+            &config,
+            &mut SimCaches::new(),
+            None,
+        );
+        assert_eq!(plain, gated, "threshold gate leaked compression");
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   serialization (`serialize`, `save`/`load`, the `sload` fast path,
 //!   LZSS compression).
 //! * [`minimpi`] — the in-process MPI runtime backing the live farm.
+//! * [`store`] — the tiered problem store: every problem byte reaches
+//!   the farm through its `ProblemStore` trait (directory backend,
+//!   byte-budgeted LRU cache, master-side prefetch).
 //! * [`farm`] — portfolio generators (§4.1–§4.3 workloads), the three
 //!   transmission strategies, and the Robin-Hood / batched / hierarchical
 //!   farms.
@@ -53,6 +56,7 @@ pub use nsplang;
 pub use numerics;
 pub use obs;
 pub use pricing;
+pub use store;
 pub use xdrser;
 
 /// The commonly used types and functions in one import.
@@ -69,11 +73,8 @@ pub mod prelude {
         PortfolioJob, PortfolioScale,
     };
     pub use farm::supervisor::SupervisorConfig;
-    #[allow(deprecated)]
-    pub use farm::supervisor::run_supervised_farm;
-    #[allow(deprecated)]
-    pub use farm::run_farm;
-    pub use farm::{run, FarmConfig, FarmError, FarmReport, Transmission};
+    pub use farm::{run, FarmConfig, FarmError, FarmReport, Transmission, WirePolicy};
+    pub use store::{CachingStore, DirStore, Fetched, Prefetcher, ProblemStore, StoreStats};
     pub use obs::{Breakdown, BreakdownReport, Event, EventKind, Recorder, StrategyBreakdown};
     pub use minimpi::{
         Comm, FaultEvent, FaultPlan, MpiBuf, SendFault, SpawnedWorld, World, ANY_SOURCE,

@@ -7,6 +7,7 @@
 //! `batch_size` problems per message; slaves answer with one result list
 //! per batch.
 
+use crate::config::RunCtx;
 use crate::instrument;
 use crate::robin_hood::{FarmError, FarmReport, JobOutcome};
 use crate::strategy::{prepare_payload_recorded, recover_problem_recorded, Transmission};
@@ -33,7 +34,7 @@ pub fn run_batched_farm(
     if batch_size == 0 {
         return Err(FarmError::Config("batch size must be at least 1".into()));
     }
-    run_batched_inner(files, slaves, strategy, batch_size, None)
+    run_batched_inner(files, slaves, strategy, batch_size, None, &RunCtx::default_ctx())
 }
 
 /// The batched route behind [`crate::run`]: the validated entry point
@@ -44,12 +45,13 @@ pub(crate) fn run_batched_inner(
     strategy: Transmission,
     batch_size: usize,
     recorder: Option<Arc<Recorder>>,
+    ctx: &RunCtx,
 ) -> Result<FarmReport, FarmError> {
     let results = World::run_instrumented(slaves + 1, None, recorder, |comm| {
         if comm.rank() == 0 {
-            Some(master(&comm, files, strategy, batch_size))
+            Some(master(&comm, ctx, files, strategy, batch_size))
         } else {
-            slave(&comm, strategy).expect("batched slave failed");
+            slave(&comm, ctx, strategy).expect("batched slave failed");
             None
         }
     });
@@ -63,6 +65,7 @@ pub(crate) fn run_batched_inner(
 /// Send jobs `range` as one batch message.
 fn send_batch(
     comm: &Comm,
+    ctx: &RunCtx,
     slave: usize,
     files: &[PathBuf],
     range: std::ops::Range<usize>,
@@ -78,7 +81,7 @@ fn send_batch(
             "name",
             Value::string(path.to_string_lossy().to_string()),
         );
-        if let Some(payload) = prepare_payload_recorded(comm, strategy, path)? {
+        if let Some(payload) = prepare_payload_recorded(comm, ctx, strategy, path)? {
             h.set("payload", payload);
         }
         batch.add_last(Value::Hash(h));
@@ -92,6 +95,7 @@ fn send_batch(
 
 fn master(
     comm: &Comm,
+    ctx: &RunCtx,
     files: &[PathBuf],
     strategy: Transmission,
     batch_size: usize,
@@ -108,8 +112,9 @@ fn master(
             return Ok(false);
         }
         let end = (*next + batch_size).min(files.len());
-        send_batch(comm, slave, files, *next..end, strategy)?;
+        send_batch(comm, ctx, slave, files, *next..end, strategy)?;
         *next = end;
+        ctx.advance(end);
         Ok(true)
     };
 
@@ -164,7 +169,7 @@ fn master(
     })
 }
 
-fn slave(comm: &Comm, strategy: Transmission) -> Result<(), FarmError> {
+fn slave(comm: &Comm, ctx: &RunCtx, strategy: Transmission) -> Result<(), FarmError> {
     loop {
         let st = comm.probe(0, TAG)?;
         if st.count() == 0 {
@@ -192,7 +197,7 @@ fn slave(comm: &Comm, strategy: Transmission) -> Result<(), FarmError> {
                 .and_then(|x| x.as_str())
                 .ok_or_else(|| FarmError::Io("missing name".into()))?;
             comm.set_job(Some(idx));
-            let problem = recover_problem_recorded(comm, strategy, name, h.get("payload"))?;
+            let problem = recover_problem_recorded(comm, ctx, strategy, name, h.get("payload"))?;
             let t0 = instrument::t0(comm);
             let r = problem
                 .compute()
@@ -219,7 +224,7 @@ mod tests {
     use crate::portfolio::{save_portfolio, toy_portfolio};
 
     /// The plain farm via the unified entry point.
-    fn run_farm(
+    fn run_plain_farm(
         files: &[PathBuf],
         slaves: usize,
         strategy: Transmission,
@@ -252,7 +257,7 @@ mod tests {
     #[test]
     fn batch_one_matches_plain_farm_prices() {
         let (paths, dir) = setup(12, "vs_plain");
-        let plain = run_farm(&paths, 2, Transmission::SerializedLoad).unwrap();
+        let plain = run_plain_farm(&paths, 2, Transmission::SerializedLoad).unwrap();
         let batched = run_batched_farm(&paths, 2, Transmission::SerializedLoad, 1).unwrap();
         let by_job = |r: &FarmReport| {
             let mut v: Vec<(usize, u64)> = r

@@ -22,12 +22,47 @@
 
 use crate::batching::run_batched_inner;
 use crate::robin_hood::{run_farm_inner, FarmError, FarmReport};
-use crate::strategy::Transmission;
+use crate::strategy::{Transmission, WirePolicy};
 use crate::supervisor::{run_supervised_inner, SupervisorConfig};
 use minimpi::FaultPlan;
 use obs::Recorder;
 use std::path::PathBuf;
 use std::sync::Arc;
+use store::{CachingStore, DirStore, Prefetcher, ProblemStore};
+
+/// The per-run context every master/slave loop threads through: the one
+/// [`ProblemStore`] all byte-paths fetch from, the wire encoding policy,
+/// and the optional master-side prefetch pipeline.
+#[derive(Debug)]
+pub(crate) struct RunCtx {
+    /// The store every fetch (master prepare, NFS slave read) routes
+    /// through. Shared across all ranks of the in-process world.
+    pub(crate) store: Arc<dyn ProblemStore>,
+    /// Wire encoding for loaded payloads.
+    pub(crate) wire: WirePolicy,
+    /// Bounded prefetch pipeline (master-side); dropped — and thereby
+    /// joined — when the run finishes.
+    prefetcher: Option<Prefetcher>,
+}
+
+impl RunCtx {
+    /// The PR-2-equivalent context: direct directory reads, raw wire,
+    /// no prefetch. Used by the deprecated free-function entry points.
+    pub(crate) fn default_ctx() -> Self {
+        RunCtx {
+            store: Arc::new(DirStore::new()),
+            wire: WirePolicy::RAW,
+            prefetcher: None,
+        }
+    }
+
+    /// Tell the prefetcher (if any) that `n` jobs have been dispatched.
+    pub(crate) fn advance(&self, n: usize) {
+        if let Some(pf) = &self.prefetcher {
+            pf.advance(n);
+        }
+    }
+}
 
 /// Everything a farm run needs, behind one builder.
 ///
@@ -42,6 +77,10 @@ pub struct FarmConfig {
     supervisor: SupervisorConfig,
     fault_plan: Option<Arc<FaultPlan>>,
     recorder: Option<Arc<Recorder>>,
+    store: Option<Arc<dyn ProblemStore>>,
+    cache_bytes: Option<u64>,
+    compress_threshold: Option<usize>,
+    prefetch_depth: usize,
 }
 
 impl FarmConfig {
@@ -56,6 +95,10 @@ impl FarmConfig {
             supervisor: SupervisorConfig::default(),
             fault_plan: None,
             recorder: None,
+            store: None,
+            cache_bytes: None,
+            compress_threshold: None,
+            prefetch_depth: 0,
         }
     }
 
@@ -93,6 +136,41 @@ impl FarmConfig {
     /// into it. Size it with at least `slaves + 1` ranks.
     pub fn recorder(mut self, rec: Arc<Recorder>) -> Self {
         self.recorder = Some(rec);
+        self
+    }
+
+    /// Route every problem fetch through `store` instead of the default
+    /// direct-directory backend. Pass an `Arc<CachingStore>` you keep a
+    /// handle to when you want warm-cache persistence across runs or
+    /// access to its [`store::StoreStats`] afterwards.
+    pub fn store(mut self, store: Arc<dyn ProblemStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Wrap the backend (the configured [`store`](Self::store), or the
+    /// default directory store) in a byte-budgeted [`CachingStore`]:
+    /// warm fetches of the same unmodified problem file skip disk.
+    pub fn cache_bytes(mut self, budget: u64) -> Self {
+        self.cache_bytes = Some(budget);
+        self
+    }
+
+    /// Compress loaded payloads of at least `threshold` bytes on the
+    /// wire (§3.2's compressed serialized buffers). Payloads below the
+    /// threshold — or that fail to shrink — are sent raw.
+    pub fn compress_wire(mut self, threshold: usize) -> Self {
+        self.compress_threshold = Some(threshold);
+        self
+    }
+
+    /// Prefetch up to `depth` problems ahead of the dispatch watermark
+    /// into the store (requires a caching store — [`Self::cache_bytes`]
+    /// or a custom [`Self::store`] — so prefetched bytes are retained).
+    /// With a recorder sized `slaves + 2`, the pipeline's fetches are
+    /// timed as `Prefetch` events on the virtual rank `slaves + 1`.
+    pub fn prefetch(mut self, depth: usize) -> Self {
+        self.prefetch_depth = depth;
         self
     }
 
@@ -136,7 +214,43 @@ impl FarmConfig {
                 )));
             }
         }
+        if self.cache_bytes == Some(0) {
+            return Err(FarmError::Config("cache budget must be nonzero".into()));
+        }
+        if self.prefetch_depth > 0 && self.cache_bytes.is_none() && self.store.is_none() {
+            return Err(FarmError::Config(
+                "prefetch needs a retaining store (set cache_bytes or store)".into(),
+            ));
+        }
         Ok(())
+    }
+
+    /// Assemble the per-run context: the store stack (custom backend →
+    /// optional cache decorator), the wire policy, and the prefetch
+    /// pipeline over `files`.
+    fn build_ctx(&self, files: &[PathBuf]) -> RunCtx {
+        let base: Arc<dyn ProblemStore> = match (&self.store, self.cache_bytes) {
+            (Some(s), None) => s.clone(),
+            (Some(s), Some(budget)) => Arc::new(CachingStore::new(s.clone(), budget)),
+            (None, Some(budget)) => Arc::new(CachingStore::over_dir(budget)),
+            (None, None) => Arc::new(DirStore::new()),
+        };
+        let wire = match self.compress_threshold {
+            Some(t) => WirePolicy::compressed(t),
+            None => WirePolicy::RAW,
+        };
+        let prefetcher = (self.prefetch_depth > 0 && !files.is_empty()).then(|| {
+            // The prefetcher records on the virtual rank `slaves + 1`;
+            // a recorder sized exactly `slaves + 1` silently ignores it
+            // (out of range), so existing breakdowns are unaffected.
+            let rec = self.recorder.as_ref().map(|r| (r.clone(), self.slaves + 1));
+            Prefetcher::spawn(base.clone(), files.to_vec(), self.prefetch_depth, rec)
+        });
+        RunCtx {
+            store: base,
+            wire,
+            prefetcher,
+        }
     }
 }
 
@@ -146,6 +260,7 @@ impl FarmConfig {
 /// wrappers around it.
 pub fn run(files: &[PathBuf], cfg: &FarmConfig) -> Result<FarmReport, FarmError> {
     cfg.validate()?;
+    let ctx = cfg.build_ctx(files);
     if cfg.supervised {
         run_supervised_inner(
             files,
@@ -154,6 +269,7 @@ pub fn run(files: &[PathBuf], cfg: &FarmConfig) -> Result<FarmReport, FarmError>
             &cfg.supervisor,
             cfg.fault_plan.clone(),
             cfg.recorder.clone(),
+            &ctx,
         )
     } else if cfg.batch_size > 1 {
         run_batched_inner(
@@ -162,9 +278,10 @@ pub fn run(files: &[PathBuf], cfg: &FarmConfig) -> Result<FarmReport, FarmError>
             cfg.strategy,
             cfg.batch_size,
             cfg.recorder.clone(),
+            &ctx,
         )
     } else {
-        run_farm_inner(files, cfg.slaves, cfg.strategy, cfg.recorder.clone())
+        run_farm_inner(files, cfg.slaves, cfg.strategy, cfg.recorder.clone(), &ctx)
     }
 }
 
@@ -222,6 +339,107 @@ mod tests {
         let cfg = FarmConfig::new(3, Transmission::Nfs)
             .recorder(Arc::new(Recorder::new(2)));
         assert!(matches!(run(&[], &cfg), Err(FarmError::Config(_))));
+    }
+
+    #[test]
+    fn zero_cache_budget_rejected() {
+        let cfg = FarmConfig::new(2, Transmission::Nfs).cache_bytes(0);
+        assert!(matches!(run(&[], &cfg), Err(FarmError::Config(_))));
+    }
+
+    #[test]
+    fn prefetch_without_retaining_store_rejected() {
+        let cfg = FarmConfig::new(2, Transmission::SerializedLoad).prefetch(4);
+        assert!(matches!(run(&[], &cfg), Err(FarmError::Config(_))));
+    }
+
+    #[test]
+    fn cached_compressed_prefetched_run_matches_plain() {
+        let (paths, dir) = setup(20, "store_knobs");
+        let plain = run(&paths, &FarmConfig::new(2, Transmission::SerializedLoad)).unwrap();
+        let tricked_out = run(
+            &paths,
+            &FarmConfig::new(2, Transmission::SerializedLoad)
+                .cache_bytes(1 << 20)
+                .compress_wire(1)
+                .prefetch(4),
+        )
+        .unwrap();
+        let by_job = |r: &FarmReport| {
+            let mut v: Vec<(usize, u64)> = r
+                .outcomes
+                .iter()
+                .map(|o| (o.job, o.price.to_bits()))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(by_job(&plain), by_job(&tricked_out));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn external_store_collects_stats_across_runs() {
+        use store::{CachingStore, ProblemStore};
+        let (paths, dir) = setup(10, "ext_store");
+        let cache = Arc::new(CachingStore::over_dir(1 << 20));
+        for _ in 0..2 {
+            let cfg = FarmConfig::new(2, Transmission::SerializedLoad)
+                .store(cache.clone());
+            run(&paths, &cfg).unwrap();
+        }
+        let stats = cache.stats();
+        // Second run is fully warm: at least one hit per file.
+        assert!(stats.hits >= 10, "{stats:?}");
+        assert_eq!(stats.misses, 10, "{stats:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recorder_with_cache_sees_cache_events() {
+        use obs::EventKind;
+        let (paths, dir) = setup(8, "cache_events");
+        let cache = Arc::new(store::CachingStore::over_dir(1 << 20));
+        let mut hit_any = false;
+        for pass in 0..2 {
+            // Size the recorder slaves + 2 so the prefetch virtual rank
+            // is captured too.
+            let rec = Arc::new(Recorder::new(4));
+            let cfg = FarmConfig::new(2, Transmission::SerializedLoad)
+                .store(cache.clone())
+                .prefetch(3)
+                .recorder(rec.clone());
+            run(&paths, &cfg).unwrap();
+            let kinds: std::collections::BTreeSet<EventKind> =
+                rec.events().iter().map(|e| e.kind).collect();
+            assert!(kinds.contains(&EventKind::Prefetch), "pass {pass}: {kinds:?}");
+            assert!(
+                kinds.contains(&EventKind::CacheHit) || kinds.contains(&EventKind::CacheMiss),
+                "pass {pass}: {kinds:?}"
+            );
+            hit_any |= kinds.contains(&EventKind::CacheHit);
+            assert_eq!(rec.dropped(), 0);
+        }
+        // The second pass runs against a warm cache: hits must appear.
+        assert!(hit_any);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compressed_wire_run_emits_compress_and_decompress() {
+        use obs::EventKind;
+        let (paths, dir) = setup(8, "wire_events");
+        let rec = Arc::new(Recorder::new(3));
+        let cfg = FarmConfig::new(2, Transmission::SerializedLoad)
+            .compress_wire(1)
+            .recorder(rec.clone());
+        let report = run(&paths, &cfg).unwrap();
+        assert_eq!(report.completed(), 8);
+        let kinds: std::collections::BTreeSet<EventKind> =
+            rec.events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::Compress), "{kinds:?}");
+        assert!(kinds.contains(&EventKind::Decompress), "{kinds:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! Robin-Hood loop over its own slaves and reports its collected results
 //! back to the global master when its chunk is drained.
 
+use crate::config::RunCtx;
 use crate::instrument;
 use crate::robin_hood::{FarmError, FarmReport, JobOutcome};
 use crate::strategy::{prepare_payload_recorded, recover_problem_recorded, Transmission};
@@ -85,6 +86,7 @@ pub fn run_hierarchical_farm_recorded(
             )));
         }
     }
+    let ctx = RunCtx::default_ctx();
     let results = World::run_instrumented(topo.world_size(), None, recorder, |comm| {
         let rank = comm.rank();
         if rank == 0 {
@@ -92,9 +94,9 @@ pub fn run_hierarchical_farm_recorded(
         } else {
             let (g, is_sub) = topo.classify(rank);
             if is_sub {
-                sub_master(&comm, topo, g, strategy).expect("sub-master failed");
+                sub_master(&comm, &ctx, topo, g, strategy).expect("sub-master failed");
             } else {
-                slave(&comm, topo.sub_master_rank(g), strategy).expect("slave failed");
+                slave(&comm, &ctx, topo.sub_master_rank(g), strategy).expect("slave failed");
             }
             None
         }
@@ -171,6 +173,7 @@ fn global_master(comm: &Comm, files: &[PathBuf], topo: Topology) -> Result<FarmR
 /// aggregated report to the global master.
 fn sub_master(
     comm: &Comm,
+    ctx: &RunCtx,
     topo: Topology,
     group: usize,
     strategy: Transmission,
@@ -203,7 +206,7 @@ fn sub_master(
             Value::scalar(*idx as f64),
         ]);
         comm.send_obj(&name, slave as i32, TAG)?;
-        if let Some(payload) = prepare_payload_recorded(comm, strategy, path)? {
+        if let Some(payload) = prepare_payload_recorded(comm, ctx, strategy, path)? {
             let packed = comm.pack(&payload);
             comm.send(packed.bytes(), slave as i32, TAG)?;
         }
@@ -253,7 +256,12 @@ fn sub_master(
 
 /// Compute slave of one group: identical protocol to the flat farm but
 /// pointed at its sub-master.
-fn slave(comm: &Comm, master_rank: usize, strategy: Transmission) -> Result<(), FarmError> {
+fn slave(
+    comm: &Comm,
+    ctx: &RunCtx,
+    master_rank: usize,
+    strategy: Transmission,
+) -> Result<(), FarmError> {
     loop {
         let (msg, _) = comm.recv_obj(master_rank as i32, TAG)?;
         if msg.is_empty_matrix() {
@@ -281,7 +289,7 @@ fn slave(comm: &Comm, master_rank: usize, strategy: Transmission) -> Result<(), 
                 Some(comm.unpack(&buf)?)
             }
         };
-        let problem = recover_problem_recorded(comm, strategy, &name, payload.as_ref())?;
+        let problem = recover_problem_recorded(comm, ctx, strategy, &name, payload.as_ref())?;
         let t0 = instrument::t0(comm);
         let r = problem
             .compute()

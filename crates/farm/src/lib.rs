@@ -27,8 +27,12 @@
 //!   portfolio into the paper's "around 10⁶ atomic computations".
 
 //! * [`config`] — the unified entry point: build a [`FarmConfig`]
-//!   (strategy, batching, supervision, fault plan, [`obs::Recorder`]) and
-//!   call [`run`]; the per-variant free functions are deprecated shims.
+//!   (strategy, batching, supervision, fault plan, [`obs::Recorder`],
+//!   problem store / cache / wire-compression / prefetch) and call
+//!   [`run`]; the per-variant free functions are deprecated shims.
+//!
+//! Since the `store` crate landed, every byte of problem data reaches the
+//! farm through a [`store::ProblemStore`] — see `docs/STORE.md`.
 
 #![warn(missing_docs)]
 pub mod batching;
@@ -47,10 +51,6 @@ pub use portfolio::{
     realistic_portfolio, regression_portfolio, toy_portfolio, JobClass, PortfolioJob,
     PortfolioScale,
 };
-#[allow(deprecated)]
-pub use robin_hood::run_farm;
 pub use robin_hood::{FarmError, FarmReport, JobOutcome};
-pub use strategy::Transmission;
-#[allow(deprecated)]
-pub use supervisor::run_supervised_farm;
+pub use strategy::{Transmission, WirePolicy};
 pub use supervisor::SupervisorConfig;

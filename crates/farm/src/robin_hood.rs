@@ -13,6 +13,7 @@
 //! receives, unpacks, unserializes, computes and replies with a result
 //! object.
 
+use crate::config::RunCtx;
 use crate::instrument;
 use crate::strategy::{prepare_payload_recorded, recover_problem_recorded, Transmission};
 use minimpi::{Comm, MpiBuf, MpiError, World, ANY_SOURCE};
@@ -160,19 +161,21 @@ pub(crate) fn decode_result(v: &Value) -> Option<(usize, f64, Option<f64>)> {
 /// Master-side: send job `idx` (file `path`) to `slave`.
 pub(crate) fn send_job(
     comm: &Comm,
+    ctx: &RunCtx,
     slave: usize,
     idx: usize,
     path: &std::path::Path,
     strategy: Transmission,
 ) -> Result<(), FarmError> {
     comm.set_job(Some(idx));
-    let sent = send_job_span(comm, slave, idx, path, strategy);
+    let sent = send_job_span(comm, ctx, slave, idx, path, strategy);
     comm.set_job(None);
     sent
 }
 
 fn send_job_span(
     comm: &Comm,
+    ctx: &RunCtx,
     slave: usize,
     idx: usize,
     path: &std::path::Path,
@@ -184,7 +187,7 @@ fn send_job_span(
         Value::scalar(idx as f64),
     ]);
     comm.send_obj(&name, slave as i32, TAG)?;
-    if let Some(payload) = prepare_payload_recorded(comm, strategy, path)? {
+    if let Some(payload) = prepare_payload_recorded(comm, ctx, strategy, path)? {
         let packed = comm.pack(&payload);
         comm.send(packed.bytes(), slave as i32, TAG)?;
     }
@@ -192,7 +195,7 @@ fn send_job_span(
 }
 
 /// Slave loop — Fig. 4's `if mpi_rank <> 0` branch.
-fn slave_loop(comm: &Comm, strategy: Transmission) -> Result<usize, FarmError> {
+fn slave_loop(comm: &Comm, ctx: &RunCtx, strategy: Transmission) -> Result<usize, FarmError> {
     let mut done = 0;
     loop {
         let (msg, _st) = comm.recv_obj(0, TAG)?;
@@ -224,7 +227,7 @@ fn slave_loop(comm: &Comm, strategy: Transmission) -> Result<usize, FarmError> {
                 Some(comm.unpack(&buf)?)
             }
         };
-        let problem = recover_problem_recorded(comm, strategy, &name, payload.as_ref())?;
+        let problem = recover_problem_recorded(comm, ctx, strategy, &name, payload.as_ref())?;
         let t0 = instrument::t0(comm);
         let result = problem
             .compute()
@@ -241,6 +244,7 @@ fn slave_loop(comm: &Comm, strategy: Transmission) -> Result<usize, FarmError> {
 /// stop sentinel.
 fn master_loop(
     comm: &Comm,
+    ctx: &RunCtx,
     files: &[PathBuf],
     strategy: Transmission,
 ) -> Result<FarmReport, FarmError> {
@@ -253,8 +257,9 @@ fn master_loop(
     // Prime each slave with one job.
     for slave in 1..=slaves {
         if next < files.len() {
-            send_job(comm, slave, next, &files[next], strategy)?;
+            send_job(comm, ctx, slave, next, &files[next], strategy)?;
             next += 1;
+            ctx.advance(next);
         } else {
             comm.send_obj(&Value::empty_matrix(), slave as i32, TAG)?;
         }
@@ -275,8 +280,9 @@ fn master_loop(
         });
         per_slave[st.src] += 1;
         if next < files.len() {
-            send_job(comm, st.src, next, &files[next], strategy)?;
+            send_job(comm, ctx, st.src, next, &files[next], strategy)?;
             next += 1;
+            ctx.advance(next);
         } else {
             outstanding -= 1;
             // Tell this slave to stop.
@@ -309,25 +315,26 @@ pub fn run_farm(
     if slaves == 0 {
         return Err(FarmError::NoSlaves);
     }
-    run_farm_inner(files, slaves, strategy, None)
+    run_farm_inner(files, slaves, strategy, None, &RunCtx::default_ctx())
 }
 
 /// The actual plain-farm runner behind both [`run_farm`] and
-/// [`crate::run`]: `recorder == None` is byte-for-byte the PR-1
-/// behaviour (guarded by `tests/obs_overhead.rs`).
+/// [`crate::run`]: `recorder == None` with the default context is
+/// byte-for-byte the PR-1 behaviour (guarded by `tests/obs_overhead.rs`).
 pub(crate) fn run_farm_inner(
     files: &[PathBuf],
     slaves: usize,
     strategy: Transmission,
     recorder: Option<Arc<Recorder>>,
+    ctx: &RunCtx,
 ) -> Result<FarmReport, FarmError> {
     let results = World::run_instrumented(slaves + 1, None, recorder, |comm| {
         if comm.rank() == 0 {
-            Some(master_loop(&comm, files, strategy))
+            Some(master_loop(&comm, ctx, files, strategy))
         } else {
             // A slave failure must not silently drop a job: panic and let
             // World poison the group (surfaces as an error at the master).
-            slave_loop(&comm, strategy).expect("slave failed");
+            slave_loop(&comm, ctx, strategy).expect("slave failed");
             None
         }
     });

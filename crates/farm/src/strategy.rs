@@ -1,12 +1,23 @@
 //! Transmission strategies — how a pricing problem travels from the
 //! master to a slave (§3.3/§4, the column families of Tables II and III).
+//!
+//! Since the store subsystem landed, every byte of problem data flows
+//! through a [`store::ProblemStore`]: the master's full-load and
+//! serialized-load prepares *and* the NFS slave-side read all call
+//! [`ProblemStore::fetch`] instead of touching the filesystem directly.
+//! That makes the §4 storage effects first-class: put a
+//! [`store::CachingStore`] in the [`crate::FarmConfig`] and warm reads
+//! skip disk; turn on the [`WirePolicy`] and loaded payloads travel
+//! compressed.
 
+use crate::instrument;
 use minimpi::Comm;
-use nspval::Value;
+use nspval::{Serial, Value};
 use obs::EventKind;
 use pricing::PremiaProblem;
 use std::fmt;
 use std::path::Path;
+use store::{Fetched, ProblemStore};
 
 /// The three ways of shipping a problem, labelled exactly as in the
 /// tables.
@@ -50,109 +61,269 @@ impl fmt::Display for Transmission {
     }
 }
 
-/// Master-side preparation of one job message. Returns the payload value
-/// to pack and send after the name message — `None` for NFS, where the
-/// name alone suffices.
-pub fn prepare_payload(
-    strategy: Transmission,
-    path: &Path,
-) -> Result<Option<Value>, xdrser::XdrError> {
-    match strategy {
-        Transmission::FullLoad => {
-            // load → materialise → re-serialize (the deliberately
-            // wasteful baseline of §4.2: "the object created by the
-            // master would actually be useless...").
-            let value = xdrser::load(path)?;
-            let problem = PremiaProblem::from_value(&value)
-                .map_err(|e| xdrser::XdrError::Corrupt(e.to_string()))?;
-            let serial = xdrser::serialize(&problem.to_value());
-            Ok(Some(Value::Serial(serial)))
-        }
-        Transmission::Nfs => Ok(None),
-        Transmission::SerializedLoad => {
-            // sload: file bytes → Serial, no materialisation.
-            let serial = xdrser::sload(path)?;
-            Ok(Some(Value::Serial(serial)))
+/// How loaded payloads are encoded on the wire.
+///
+/// §3.2 of the paper introduces compressed serialized buffers and leaves
+/// their effect on transmission as future work; this knob turns them on
+/// for the FullLoad/SerializedLoad payload messages. The threshold gates
+/// out small payloads where the LZSS header + incompressibility would
+/// cost more than the wire saves: a payload is sent compressed only when
+/// it is at least `threshold` bytes long *and* actually shrank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WirePolicy {
+    /// Compress payloads of at least this many bytes; `None` = never.
+    pub compress_threshold: Option<usize>,
+}
+
+impl WirePolicy {
+    /// Send every payload raw (the paper's measured configuration).
+    pub const RAW: WirePolicy = WirePolicy {
+        compress_threshold: None,
+    };
+
+    /// Compress payloads of at least `threshold` bytes.
+    pub fn compressed(threshold: usize) -> Self {
+        WirePolicy {
+            compress_threshold: Some(threshold),
         }
     }
 }
 
-/// [`prepare_payload`] with phase attribution: when `comm` carries a
-/// recorder, the preparation is timed as [`EventKind::Serialize`] (full
-/// load — the master materialises and re-serializes) or
-/// [`EventKind::Sload`] (serialized load). NFS prepares nothing and
-/// records nothing. Byte volume is the prepared serial's size.
+impl Default for WirePolicy {
+    fn default() -> Self {
+        WirePolicy::RAW
+    }
+}
+
+/// Apply `wire` to a prepared serial: returns the serial to actually
+/// send plus the bytes *saved* (0 when sent raw — below threshold,
+/// incompressible, or compression disabled).
+pub fn compress_for_wire(serial: Serial, wire: &WirePolicy) -> (Serial, u64) {
+    let Some(threshold) = wire.compress_threshold else {
+        return (serial, 0);
+    };
+    if serial.is_compressed() || serial.len() < threshold {
+        return (serial, 0);
+    }
+    match xdrser::compress_serial(&serial) {
+        Ok(compressed) if compressed.len() < serial.len() => {
+            let saved = (serial.len() - compressed.len()) as u64;
+            (compressed, saved)
+        }
+        _ => (serial, 0),
+    }
+}
+
+/// Master-side problem acquisition: fetch through the store and produce
+/// the serial the strategy ships — `None` for NFS, where the name alone
+/// suffices. Returns the store's fetch disposition alongside so callers
+/// can account cache behaviour.
+fn prepare_serial(
+    store: &dyn ProblemStore,
+    strategy: Transmission,
+    path: &Path,
+) -> Result<Option<(Fetched, Serial)>, xdrser::XdrError> {
+    match strategy {
+        Transmission::FullLoad => {
+            // fetch → materialise → re-serialize (the deliberately
+            // wasteful baseline of §4.2: "the object created by the
+            // master would actually be useless...").
+            let fetched = store.fetch(path)?;
+            let value = xdrser::unserialize(&fetched.serial)?;
+            let problem = PremiaProblem::from_value(&value)
+                .map_err(|e| xdrser::XdrError::Corrupt(e.to_string()))?;
+            let serial = xdrser::serialize(&problem.to_value());
+            Ok(Some((fetched, serial)))
+        }
+        Transmission::Nfs => Ok(None),
+        Transmission::SerializedLoad => {
+            // sload semantics: the store hands back the raw file image
+            // as an unmaterialised Serial; ship it as-is.
+            let fetched = store.fetch(path)?;
+            let serial = (*fetched.serial).clone();
+            Ok(Some((fetched, serial)))
+        }
+    }
+}
+
+/// Master-side preparation of one job message. Returns the payload value
+/// to pack and send after the name message — `None` for NFS.
+pub fn prepare_payload(
+    store: &dyn ProblemStore,
+    strategy: Transmission,
+    path: &Path,
+    wire: &WirePolicy,
+) -> Result<Option<Value>, xdrser::XdrError> {
+    let Some((_, serial)) = prepare_serial(store, strategy, path)? else {
+        return Ok(None);
+    };
+    let (serial, _) = compress_for_wire(serial, wire);
+    Ok(Some(Value::Serial(serial)))
+}
+
+/// Emit the store-cache marks for one fetch (hit/miss disposition and
+/// any eviction it forced). No-op for cache-less stores (`cached ==
+/// None`) and without a recorder.
+fn mark_cache(comm: &Comm, fetched: &Fetched) {
+    match fetched.cached {
+        Some(true) => instrument::mark(
+            comm,
+            EventKind::CacheHit,
+            comm.current_job(),
+            fetched.serial.len() as u64,
+        ),
+        Some(false) => instrument::mark(
+            comm,
+            EventKind::CacheMiss,
+            comm.current_job(),
+            fetched.serial.len() as u64,
+        ),
+        None => {}
+    }
+    if fetched.evicted_bytes > 0 {
+        instrument::mark(
+            comm,
+            EventKind::Evict,
+            comm.current_job(),
+            fetched.evicted_bytes,
+        );
+    }
+}
+
+/// [`prepare_payload`] with phase attribution: the store fetch +
+/// materialisation is timed as [`EventKind::Serialize`] (full load) or
+/// [`EventKind::Sload`] (serialized load), the store's disposition lands
+/// as `CacheHit`/`CacheMiss`/`Evict` marks, and a beneficial wire
+/// compression is timed as [`EventKind::Compress`] with `bytes` = bytes
+/// saved. NFS prepares nothing and records nothing. Byte volume of the
+/// prepare span is the *uncompressed* serial size, so phase totals stay
+/// comparable across wire policies.
 pub(crate) fn prepare_payload_recorded(
     comm: &Comm,
+    ctx: &crate::config::RunCtx,
     strategy: Transmission,
     path: &Path,
 ) -> Result<Option<Value>, xdrser::XdrError> {
     let Some(rec) = comm.recorder() else {
-        return prepare_payload(strategy, path);
+        return prepare_payload(ctx.store.as_ref(), strategy, path, &ctx.wire);
     };
     let kind = match strategy {
         Transmission::FullLoad => EventKind::Serialize,
         Transmission::SerializedLoad => EventKind::Sload,
-        Transmission::Nfs => return prepare_payload(strategy, path),
+        Transmission::Nfs => return Ok(None),
     };
     let rec = rec.clone();
     let t0 = rec.now_ns();
-    let payload = prepare_payload(strategy, path)?;
-    let bytes = payload
-        .as_ref()
-        .and_then(|v| v.as_serial())
-        .map_or(0, |s| s.bytes().len() as u64);
-    rec.record_span(comm.rank(), kind, comm.current_job(), t0, bytes);
-    Ok(payload)
+    let prepared = prepare_serial(ctx.store.as_ref(), strategy, path)?;
+    let Some((fetched, serial)) = prepared else {
+        return Ok(None);
+    };
+    rec.record_span(
+        comm.rank(),
+        kind,
+        comm.current_job(),
+        t0,
+        serial.len() as u64,
+    );
+    mark_cache(comm, &fetched);
+
+    let tc = rec.now_ns();
+    let (serial, saved) = compress_for_wire(serial, &ctx.wire);
+    if saved > 0 {
+        rec.record_span(comm.rank(), EventKind::Compress, comm.current_job(), tc, saved);
+    }
+    Ok(Some(Value::Serial(serial)))
 }
 
 /// [`recover_problem`] with phase attribution: under NFS the slave's
-/// shared-filesystem read (the dominant slave-side acquisition cost) is
-/// timed as [`EventKind::NfsRead`]. The loaded strategies record nothing
-/// here — their slave-side decode is already captured by the
+/// store fetch (the dominant slave-side acquisition cost) is timed as
+/// [`EventKind::NfsRead`] with the cache disposition marked alongside;
+/// a compressed loaded payload's inflation is timed as
+/// [`EventKind::Decompress`]. The uncompressed loaded path records
+/// nothing here — its slave-side decode is already captured by the
 /// `Recv`/`Unpack` comm events.
 pub(crate) fn recover_problem_recorded(
     comm: &Comm,
+    ctx: &crate::config::RunCtx,
     strategy: Transmission,
     name: &str,
     payload: Option<&Value>,
 ) -> Result<PremiaProblem, xdrser::XdrError> {
-    match (comm.recorder(), strategy) {
-        (Some(rec), Transmission::Nfs) => {
-            let rec = rec.clone();
+    let Some(rec) = comm.recorder() else {
+        return recover_problem(ctx.store.as_ref(), strategy, name, payload);
+    };
+    let rec = rec.clone();
+    match strategy {
+        Transmission::Nfs => {
             let t0 = rec.now_ns();
-            let problem = recover_problem(strategy, name, payload)?;
-            let bytes = std::fs::metadata(name).map_or(0, |m| m.len());
-            rec.record_span(comm.rank(), EventKind::NfsRead, comm.current_job(), t0, bytes);
-            Ok(problem)
+            let fetched = ctx.store.fetch(Path::new(name))?;
+            rec.record_span(
+                comm.rank(),
+                EventKind::NfsRead,
+                comm.current_job(),
+                t0,
+                fetched.serial.len() as u64,
+            );
+            mark_cache(comm, &fetched);
+            let value = xdrser::unserialize(&fetched.serial)?;
+            PremiaProblem::from_value(&value)
+                .map_err(|e| xdrser::XdrError::Corrupt(e.to_string()))
         }
-        _ => recover_problem(strategy, name, payload),
+        Transmission::FullLoad | Transmission::SerializedLoad => {
+            let serial = payload_serial(payload)?;
+            if serial.is_compressed() {
+                let t0 = rec.now_ns();
+                let plain = xdrser::decompress_serial(serial)?;
+                rec.record_span(
+                    comm.rank(),
+                    EventKind::Decompress,
+                    comm.current_job(),
+                    t0,
+                    plain.len() as u64,
+                );
+                let value = xdrser::unserialize(&plain)?;
+                PremiaProblem::from_value(&value)
+                    .map_err(|e| xdrser::XdrError::Corrupt(e.to_string()))
+            } else {
+                decode_problem(serial)
+            }
+        }
     }
 }
 
-/// Slave-side recovery of the problem from what arrived.
+fn payload_serial(payload: Option<&Value>) -> Result<&Serial, xdrser::XdrError> {
+    let v = payload.ok_or_else(|| {
+        xdrser::XdrError::Corrupt("missing payload for loaded transmission".into())
+    })?;
+    v.as_serial()
+        .ok_or_else(|| xdrser::XdrError::Corrupt("payload is not a Serial".into()))
+}
+
+fn decode_problem(serial: &Serial) -> Result<PremiaProblem, xdrser::XdrError> {
+    // `unserialize` transparently decompresses a compressed serial.
+    let value = xdrser::unserialize(serial)?;
+    PremiaProblem::from_value(&value).map_err(|e| xdrser::XdrError::Corrupt(e.to_string()))
+}
+
+/// Slave-side recovery of the problem from what arrived. All filesystem
+/// access (the NFS read) goes through `store`.
 pub fn recover_problem(
+    store: &dyn ProblemStore,
     strategy: Transmission,
     name: &str,
     payload: Option<&Value>,
 ) -> Result<PremiaProblem, xdrser::XdrError> {
     match strategy {
         Transmission::Nfs => {
-            // The slave reads the shared filesystem itself.
-            let value = xdrser::load(Path::new(name))?;
+            // The slave reads the shared filesystem itself — through the
+            // store, so a warm cache serves repeated reads.
+            let fetched = store.fetch(Path::new(name))?;
+            let value = xdrser::unserialize(&fetched.serial)?;
             PremiaProblem::from_value(&value)
                 .map_err(|e| xdrser::XdrError::Corrupt(e.to_string()))
         }
         Transmission::FullLoad | Transmission::SerializedLoad => {
-            let v = payload.ok_or_else(|| {
-                xdrser::XdrError::Corrupt("missing payload for loaded transmission".into())
-            })?;
-            let serial = v
-                .as_serial()
-                .ok_or_else(|| xdrser::XdrError::Corrupt("payload is not a Serial".into()))?;
-            let value = xdrser::unserialize(serial)?;
-            PremiaProblem::from_value(&value)
-                .map_err(|e| xdrser::XdrError::Corrupt(e.to_string()))
+            decode_problem(payload_serial(payload)?)
         }
     }
 }
@@ -161,6 +332,7 @@ pub fn recover_problem(
 mod tests {
     use super::*;
     use pricing::PremiaProblem;
+    use store::{CachingStore, DirStore};
 
     fn save_problem(dir: &str) -> (std::path::PathBuf, PremiaProblem) {
         let dir = std::env::temp_dir().join(dir);
@@ -174,25 +346,32 @@ mod tests {
     #[test]
     fn full_load_round_trip() {
         let (path, p) = save_problem("strategy_full_load");
-        let payload = prepare_payload(Transmission::FullLoad, &path)
+        let st = DirStore::new();
+        let payload = prepare_payload(&st, Transmission::FullLoad, &path, &WirePolicy::RAW)
             .unwrap()
             .unwrap();
-        let back =
-            recover_problem(Transmission::FullLoad, path.to_str().unwrap(), Some(&payload))
-                .unwrap();
+        let back = recover_problem(
+            &st,
+            Transmission::FullLoad,
+            path.to_str().unwrap(),
+            Some(&payload),
+        )
+        .unwrap();
         assert_eq!(back, p);
     }
 
     #[test]
     fn serialized_load_round_trip_and_matches_file_bytes() {
         let (path, p) = save_problem("strategy_sload");
-        let payload = prepare_payload(Transmission::SerializedLoad, &path)
+        let st = DirStore::new();
+        let payload = prepare_payload(&st, Transmission::SerializedLoad, &path, &WirePolicy::RAW)
             .unwrap()
             .unwrap();
         // sload payload is the raw file content.
         let serial = payload.as_serial().unwrap();
         assert_eq!(serial.bytes(), std::fs::read(&path).unwrap().as_slice());
         let back = recover_problem(
+            &st,
             Transmission::SerializedLoad,
             path.to_str().unwrap(),
             Some(&payload),
@@ -204,15 +383,71 @@ mod tests {
     #[test]
     fn nfs_round_trip_needs_no_payload() {
         let (path, p) = save_problem("strategy_nfs");
-        assert!(prepare_payload(Transmission::Nfs, &path).unwrap().is_none());
-        let back = recover_problem(Transmission::Nfs, path.to_str().unwrap(), None).unwrap();
+        let st = DirStore::new();
+        assert!(prepare_payload(&st, Transmission::Nfs, &path, &WirePolicy::RAW)
+            .unwrap()
+            .is_none());
+        let back = recover_problem(&st, Transmission::Nfs, path.to_str().unwrap(), None).unwrap();
         assert_eq!(back, p);
     }
 
     #[test]
     fn missing_payload_is_error() {
         let (path, _) = save_problem("strategy_missing");
-        assert!(recover_problem(Transmission::FullLoad, path.to_str().unwrap(), None).is_err());
+        let st = DirStore::new();
+        assert!(
+            recover_problem(&st, Transmission::FullLoad, path.to_str().unwrap(), None).is_err()
+        );
+    }
+
+    #[test]
+    fn compressed_wire_round_trips_for_both_loaded_strategies() {
+        let (path, p) = save_problem("strategy_wire");
+        let st = DirStore::new();
+        let wire = WirePolicy::compressed(1); // compress everything
+        for strategy in [Transmission::FullLoad, Transmission::SerializedLoad] {
+            let payload = prepare_payload(&st, strategy, &path, &wire).unwrap().unwrap();
+            let back =
+                recover_problem(&st, strategy, path.to_str().unwrap(), Some(&payload)).unwrap();
+            assert_eq!(back, p, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn wire_threshold_gates_small_payloads() {
+        let small = xdrser::serialize(&Value::scalar(1.0));
+        let (kept, saved) = compress_for_wire(small.clone(), &WirePolicy::compressed(1 << 20));
+        assert!(!kept.is_compressed());
+        assert_eq!(saved, 0);
+        assert_eq!(kept, small);
+        // RAW never compresses regardless of size.
+        let big = xdrser::serialize(&Value::string("a".repeat(4096)));
+        let (kept, saved) = compress_for_wire(big.clone(), &WirePolicy::RAW);
+        assert!(!kept.is_compressed());
+        assert_eq!(saved, 0);
+        assert_eq!(kept, big);
+    }
+
+    #[test]
+    fn wire_compression_saves_what_it_claims() {
+        let big = xdrser::serialize(&Value::string("ab".repeat(4096)));
+        let (sent, saved) = compress_for_wire(big.clone(), &WirePolicy::compressed(64));
+        assert!(sent.is_compressed());
+        assert!(saved > 0);
+        assert_eq!(sent.len() as u64 + saved, big.len() as u64);
+        assert_eq!(xdrser::decompress_serial(&sent).unwrap(), big);
+    }
+
+    #[test]
+    fn warm_store_serves_identical_payloads() {
+        let (path, _) = save_problem("strategy_warm");
+        let st = CachingStore::over_dir(1 << 20);
+        for strategy in Transmission::ALL {
+            let cold = prepare_payload(&st, strategy, &path, &WirePolicy::RAW).unwrap();
+            let warm = prepare_payload(&st, strategy, &path, &WirePolicy::RAW).unwrap();
+            assert_eq!(cold, warm, "{strategy}");
+        }
+        assert!(st.stats().hits > 0);
     }
 
     #[test]

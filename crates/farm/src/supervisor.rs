@@ -25,6 +25,7 @@
 //! equivalence checked by `tests/sim_vs_live.rs` and `tests/farm_chaos.rs`.
 
 use crate::calibrate::CostModel;
+use crate::config::RunCtx;
 use crate::instrument;
 use crate::portfolio::JobClass;
 use crate::robin_hood::{
@@ -130,6 +131,7 @@ fn is_fatal_comm(e: &MpiError) -> bool {
 /// abandoned to the master's deadline) instead of panicking the world.
 fn supervised_slave(
     comm: &Comm,
+    ctx: &RunCtx,
     strategy: Transmission,
     cfg: &SupervisorConfig,
 ) -> Result<usize, FarmError> {
@@ -194,7 +196,7 @@ fn supervised_slave(
             },
         };
 
-        let computed = recover_problem_recorded(comm, strategy, &name, payload.as_ref())
+        let computed = recover_problem_recorded(comm, ctx, strategy, &name, payload.as_ref())
             .map_err(|e| e.to_string())
             .and_then(|p| {
                 let t0 = instrument::t0(comm);
@@ -328,6 +330,7 @@ fn bury_recorded(comm: &Comm, st: &mut MasterState, slave: usize, cfg: &Supervis
 /// own endpoint failing).
 fn supervised_master(
     comm: &Comm,
+    ctx: &RunCtx,
     files: &[PathBuf],
     strategy: Transmission,
     cfg: &SupervisorConfig,
@@ -384,11 +387,14 @@ fn supervised_master(
                 break 'dispatch;
             };
             st.pending.pop_front();
-            match send_job(comm, slave, job, &files[job], strategy) {
+            match send_job(comm, ctx, slave, job, &files[job], strategy) {
                 Ok(()) => {
                     st.attempts[job] += 1;
                     st.slave_state[slave] = SlaveState::Busy;
                     st.inflight[slave] = Some((job, Instant::now() + cfg.job_deadline));
+                    // Slide the prefetch window past this job (monotonic:
+                    // retries of earlier jobs don't pull it back).
+                    ctx.advance(job + 1);
                 }
                 Err(FarmError::Mpi(MpiError::Poisoned(dead))) if dead == slave => {
                     bury_recorded(comm, &mut st, slave, cfg);
@@ -509,7 +515,7 @@ pub fn run_supervised_farm(
     if cfg.max_attempts == 0 {
         return Err(FarmError::Config("max_attempts must be at least 1".into()));
     }
-    run_supervised_inner(files, slaves, strategy, cfg, plan, None)
+    run_supervised_inner(files, slaves, strategy, cfg, plan, None, &RunCtx::default_ctx())
 }
 
 /// The supervised route behind [`crate::run`]: the validated entry point
@@ -521,14 +527,15 @@ pub(crate) fn run_supervised_inner(
     cfg: &SupervisorConfig,
     plan: Option<Arc<FaultPlan>>,
     recorder: Option<Arc<Recorder>>,
+    ctx: &RunCtx,
 ) -> Result<FarmReport, FarmError> {
     let body = |comm: Comm| {
         if comm.rank() == 0 {
-            Some(supervised_master(&comm, files, strategy, cfg))
+            Some(supervised_master(&comm, ctx, files, strategy, cfg))
         } else {
             // A supervised slave never panics the world: local failures
             // are reported upstream, comm failures end the loop.
-            match supervised_slave(&comm, strategy, cfg) {
+            match supervised_slave(&comm, ctx, strategy, cfg) {
                 Ok(_) | Err(_) => None,
             }
         }

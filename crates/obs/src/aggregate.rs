@@ -156,6 +156,40 @@ impl Breakdown {
         self.total_of(&[EventKind::Compute])
     }
 
+    /// Problem-store seconds (`CacheHit + CacheMiss + Evict + Compress +
+    /// Decompress + Prefetch`): time spent in the tiered store and the
+    /// wire codec. Cache hit/miss/evict marks are zero-duration counters
+    /// (their *count* and *bytes* carry the signal); compress, decompress
+    /// and prefetch are real timed spans. Zero for runs without a
+    /// caching/compressing store.
+    pub fn store_s(&self) -> f64 {
+        self.total_of(&[
+            EventKind::CacheHit,
+            EventKind::CacheMiss,
+            EventKind::Evict,
+            EventKind::Compress,
+            EventKind::Decompress,
+            EventKind::Prefetch,
+        ])
+    }
+
+    /// Count of events of one kind (0 if the phase never occurred).
+    pub fn count_of(&self, kind: EventKind) -> u64 {
+        self.phase(kind).map_or(0, |p| p.count)
+    }
+
+    /// Cache hit fraction over `CacheHit + CacheMiss` marks (0 when the
+    /// run recorded no cache traffic).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.count_of(EventKind::CacheHit) as f64;
+        let misses = self.count_of(EventKind::CacheMiss) as f64;
+        if hits + misses == 0.0 {
+            0.0
+        } else {
+            hits / (hits + misses)
+        }
+    }
+
     /// Sum of *all* phase seconds. Bounded above by makespan × ranks
     /// (each rank is busy at most the whole run).
     pub fn total_s(&self) -> f64 {
@@ -257,6 +291,36 @@ mod tests {
         assert!((c0.1 - 21e-3).abs() < 1e-12);
         assert_eq!(c1.0, 2);
         assert!((c1.1 - 10e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn store_bucket_groups_cache_and_codec_kinds() {
+        let events = vec![
+            ev(EventKind::CacheHit, 0, 0, 96),
+            ev(EventKind::CacheHit, 1, 0, 96),
+            ev(EventKind::CacheMiss, 2, 0, 96),
+            ev(EventKind::Evict, 2, 0, 96),
+            ev(EventKind::Compress, 0, 40_000, 30),
+            ev(EventKind::Decompress, 0, 20_000, 96),
+            ev(EventKind::Prefetch, 3, 100_000, 96),
+            ev(EventKind::Sload, 0, 500_000, 96),
+        ];
+        let b = Breakdown::from_events(&events);
+        // Only the timed spans contribute seconds...
+        assert!((b.store_s() - 160_000e-9).abs() < 1e-15);
+        // ...and sload stays in prepare, not store.
+        assert!((b.prepare_s() - 500_000e-9).abs() < 1e-15);
+        // Hit-rate over the zero-duration marks.
+        assert!((b.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(b.count_of(EventKind::Evict), 1);
+        assert_eq!(b.count_of(EventKind::Recv), 0);
+    }
+
+    #[test]
+    fn cache_hit_rate_zero_without_cache_traffic() {
+        let b = Breakdown::from_events(&[ev(EventKind::Compute, 0, 1_000, 0)]);
+        assert_eq!(b.cache_hit_rate(), 0.0);
+        assert_eq!(b.store_s(), 0.0);
     }
 
     #[test]

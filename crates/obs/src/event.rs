@@ -41,11 +41,29 @@ pub enum EventKind {
     Deadline,
     /// Supervisor buried a dead slave.
     SlaveDeath,
+    /// Problem store served a fetch from its client-side cache
+    /// (zero-duration mark; `bytes` = serial size served).
+    CacheHit,
+    /// Problem store had to go to the backend for a fetch
+    /// (zero-duration mark; `bytes` = serial size loaded).
+    CacheMiss,
+    /// Problem store evicted entries to respect its byte budget
+    /// (zero-duration mark; `bytes` = bytes reclaimed).
+    Evict,
+    /// Wire compression of an outbound payload (master side; `bytes` =
+    /// bytes *saved*, i.e. raw − compressed).
+    Compress,
+    /// Wire decompression of an inbound payload (slave side; `bytes` =
+    /// decompressed size).
+    Decompress,
+    /// Master-side prefetch of a problem into the store ahead of
+    /// dispatch (recorded on the prefetcher's own virtual rank).
+    Prefetch,
 }
 
 impl EventKind {
     /// Every kind, in declaration (and render) order.
-    pub const ALL: [EventKind; 12] = [
+    pub const ALL: [EventKind; 18] = [
         EventKind::Pack,
         EventKind::Send,
         EventKind::Probe,
@@ -58,6 +76,12 @@ impl EventKind {
         EventKind::Retry,
         EventKind::Deadline,
         EventKind::SlaveDeath,
+        EventKind::CacheHit,
+        EventKind::CacheMiss,
+        EventKind::Evict,
+        EventKind::Compress,
+        EventKind::Decompress,
+        EventKind::Prefetch,
     ];
 
     /// Stable lowercase label used in rendered tables and JSON.
@@ -75,6 +99,12 @@ impl EventKind {
             EventKind::Retry => "retry",
             EventKind::Deadline => "deadline",
             EventKind::SlaveDeath => "slave_death",
+            EventKind::CacheHit => "cache_hit",
+            EventKind::CacheMiss => "cache_miss",
+            EventKind::Evict => "evict",
+            EventKind::Compress => "compress",
+            EventKind::Decompress => "decompress",
+            EventKind::Prefetch => "prefetch",
         }
     }
 }

@@ -118,14 +118,25 @@ impl BreakdownReport {
             let b = &run.breakdown;
             let _ = writeln!(
                 out,
-                "  -- prepare={:.6}s wire={:.6}s wait={:.6}s compute={:.6}s (sum {:.6}s <= {:.6} cpu-s)",
+                "  -- prepare={:.6}s wire={:.6}s wait={:.6}s compute={:.6}s store={:.6}s (sum {:.6}s <= {:.6} cpu-s)",
                 b.prepare_s(),
                 b.wire_s(),
                 b.wait_s(),
                 b.compute_s(),
+                b.store_s(),
                 b.total_s(),
                 run.wall_s * run.cpus as f64
             );
+            if b.cache_hit_rate() > 0.0 {
+                let _ = writeln!(
+                    out,
+                    "  -- cache hit-rate {:.1}% (hits {} / misses {} / evictions {})",
+                    b.cache_hit_rate() * 100.0,
+                    b.count_of(crate::event::EventKind::CacheHit),
+                    b.count_of(crate::event::EventKind::CacheMiss),
+                    b.count_of(crate::event::EventKind::Evict),
+                );
+            }
         }
         out
     }
@@ -155,11 +166,13 @@ impl BreakdownReport {
             let b = &run.breakdown;
             let _ = write!(
                 s,
-                ",\"prepare_s\":{},\"wire_s\":{},\"wait_s\":{},\"compute_s\":{}",
+                ",\"prepare_s\":{},\"wire_s\":{},\"wait_s\":{},\"compute_s\":{},\"store_s\":{},\"cache_hit_rate\":{}",
                 json_f64(b.prepare_s()),
                 json_f64(b.wire_s()),
                 json_f64(b.wait_s()),
-                json_f64(b.compute_s())
+                json_f64(b.compute_s()),
+                json_f64(b.store_s()),
+                json_f64(b.cache_hit_rate())
             );
             s.push_str(",\"phases\":[");
             for (j, p) in b.phases.iter().enumerate() {

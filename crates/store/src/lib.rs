@@ -1,0 +1,34 @@
+//! The tiered problem store — the storage subsystem behind the farm's
+//! three transmission strategies (§4 of the paper).
+//!
+//! The §4 strategy comparison is really a storage story: NFS wins or
+//! loses on *client-side caching effects*, and serialized load wins
+//! because it ships unmaterialised `Serial` bytes straight off disk.
+//! This crate makes that story explicit:
+//!
+//! * [`ProblemStore`] — the one trait through which the farm acquires
+//!   problem bytes. Every byte-path (full load, the NFS slave-side read,
+//!   serialized load) fetches through it; `crates/farm` contains no
+//!   direct `std::fs` reads on its job paths.
+//! * [`DirStore`] — the base backend: a shared directory (the paper's
+//!   NFS export) read via [`xdrser::sload`], returning the raw on-disk
+//!   XDR image as an unmaterialised [`nspval::Serial`].
+//! * [`CachingStore`] — a byte-budgeted LRU decorator holding `Serial`
+//!   buffers, content-addressed by path + file fingerprint (length +
+//!   mtime), with explicit invalidation and full hit/miss/eviction
+//!   accounting ([`StoreStats`]).
+//! * [`Prefetcher`] — a bounded master-side pipeline that pulls the next
+//!   `depth` problems into the store while earlier sends are still in
+//!   flight, so a warm cache greets every dispatch.
+//!
+//! See `docs/STORE.md` for the design discussion.
+
+#![warn(missing_docs)]
+
+mod backend;
+mod cache;
+mod prefetch;
+
+pub use backend::{DirStore, Fetched, ProblemStore, StoreStats};
+pub use cache::CachingStore;
+pub use prefetch::Prefetcher;

@@ -1,0 +1,250 @@
+//! A bounded master-side prefetch pipeline.
+//!
+//! The Robin-Hood master prepares each problem on the critical path: the
+//! slave that just answered waits while the master reads the next file.
+//! The [`Prefetcher`] overlaps that read with the in-flight sends: a
+//! background thread pulls problems into the (shared, caching)
+//! [`ProblemStore`] at most `depth` jobs ahead of the dispatch
+//! watermark, so by the time the master fetches job *i* the bytes are
+//! already resident.
+//!
+//! The window is advanced by the master via [`Prefetcher::advance`];
+//! dropping the prefetcher stops the thread and joins it, so a run can
+//! never leak the worker.
+
+use crate::backend::ProblemStore;
+use obs::{EventKind, Recorder};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+#[derive(Debug, Default)]
+struct Gate {
+    /// Jobs the master has dispatched so far (the window base).
+    dispatched: usize,
+    /// Shutdown flag (set on drop).
+    stop: bool,
+}
+
+#[derive(Debug, Default)]
+struct Shared {
+    gate: Mutex<Gate>,
+    cv: Condvar,
+}
+
+/// Handle to the background prefetch thread. See the module docs.
+#[derive(Debug)]
+pub struct Prefetcher {
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    /// Start prefetching `files` through `store`, staying at most
+    /// `depth` jobs ahead of the dispatch watermark ([`advance`]).
+    ///
+    /// When `recorder` is given, every prefetch is timed as an
+    /// [`EventKind::Prefetch`] span attributed to its job id on the
+    /// supplied *virtual rank* (use `slaves + 1`, a rank no live thread
+    /// records on, so the single-writer-per-rank contract holds).
+    ///
+    /// Fetch errors are swallowed here: the master fetches the same path
+    /// itself at dispatch time and reports the failure with full
+    /// context.
+    ///
+    /// [`advance`]: Prefetcher::advance
+    pub fn spawn(
+        store: Arc<dyn ProblemStore>,
+        files: Vec<PathBuf>,
+        depth: usize,
+        recorder: Option<(Arc<Recorder>, usize)>,
+    ) -> Self {
+        assert!(depth >= 1, "prefetch depth must be at least 1");
+        let shared = Arc::new(Shared::default());
+        let worker_shared = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("store-prefetch".into())
+            .spawn(move || {
+                for (i, path) in files.iter().enumerate() {
+                    {
+                        let mut gate = worker_shared.gate.lock().expect("prefetch gate");
+                        while !gate.stop && i >= gate.dispatched + depth {
+                            gate = worker_shared
+                                .cv
+                                .wait(gate)
+                                .expect("prefetch gate");
+                        }
+                        if gate.stop {
+                            return;
+                        }
+                    }
+                    match &recorder {
+                        Some((rec, rank)) => {
+                            let t0 = rec.now_ns();
+                            let bytes = store
+                                .fetch(path)
+                                .map_or(0, |f| f.serial.len() as u64);
+                            rec.record_span(*rank, EventKind::Prefetch, i as i64, t0, bytes);
+                        }
+                        None => {
+                            let _ = store.fetch(path);
+                        }
+                    }
+                }
+            })
+            .expect("spawn prefetch thread");
+        Prefetcher {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Tell the prefetcher the master has dispatched `n` jobs: the
+    /// window slides to `[n, n + depth)`. Monotonic — a smaller `n`
+    /// than previously reported is ignored.
+    pub fn advance(&self, n: usize) {
+        let mut gate = self.shared.gate.lock().expect("prefetch gate");
+        if n > gate.dispatched {
+            gate.dispatched = n;
+            self.shared.cv.notify_all();
+        }
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        {
+            let mut gate = self.shared.gate.lock().expect("prefetch gate");
+            gate.stop = true;
+            self.shared.cv.notify_all();
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CachingStore, DirStore};
+    use nspval::Value;
+    use std::time::{Duration, Instant};
+
+    fn save_files(tag: &str, count: usize) -> (Vec<PathBuf>, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("store_prefetch_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let paths = (0..count)
+            .map(|i| {
+                let p = dir.join(format!("p{i}.bin"));
+                xdrser::save(&p, &Value::scalar(i as f64)).unwrap();
+                p
+            })
+            .collect();
+        (paths, dir)
+    }
+
+    /// Poll `cond` until true or panic after 5 s.
+    fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !cond() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn prefetch_warms_the_cache_ahead_of_fetches() {
+        let (paths, dir) = save_files("warm", 6);
+        let store: Arc<CachingStore> = Arc::new(CachingStore::over_dir(1 << 20));
+        {
+            let pf = Prefetcher::spawn(store.clone(), paths.clone(), paths.len(), None);
+            wait_for(|| store.stats().misses >= 6, "all files prefetched");
+            drop(pf);
+        }
+        for p in &paths {
+            assert_eq!(store.fetch(p).unwrap().cached, Some(true), "{p:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn window_is_bounded_until_advanced() {
+        let (paths, dir) = save_files("bounded", 8);
+        let store: Arc<CachingStore> = Arc::new(CachingStore::over_dir(1 << 20));
+        let pf = Prefetcher::spawn(store.clone(), paths.clone(), 2, None);
+        wait_for(|| store.stats().fetches == 2, "initial window");
+        // Hold: no advance, no further fetches.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(store.stats().fetches, 2, "window overran without advance");
+        pf.advance(3);
+        wait_for(|| store.stats().fetches == 5, "window slid to 3+2");
+        // Advancing backwards is a no-op.
+        pf.advance(1);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(store.stats().fetches, 5);
+        pf.advance(paths.len());
+        wait_for(|| store.stats().fetches == 8, "drain");
+        drop(pf);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drop_while_blocked_joins_cleanly() {
+        let (paths, dir) = save_files("drop", 50);
+        let store: Arc<CachingStore> = Arc::new(CachingStore::over_dir(1 << 20));
+        let pf = Prefetcher::spawn(store.clone(), paths, 1, None);
+        // Drop immediately: the worker is blocked on the gate and must
+        // wake, observe stop, and exit (Drop joins — a hang fails CI).
+        drop(pf);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recorder_sees_prefetch_spans_on_the_virtual_rank() {
+        let (paths, dir) = save_files("recorded", 4);
+        let store: Arc<dyn ProblemStore> = Arc::new(DirStore::new());
+        let rec = Arc::new(Recorder::new(5));
+        {
+            let pf = Prefetcher::spawn(store, paths.clone(), 4, Some((rec.clone(), 4)));
+            wait_for(
+                || {
+                    rec.events()
+                        .iter()
+                        .filter(|e| e.kind == EventKind::Prefetch)
+                        .count()
+                        == 4
+                },
+                "prefetch events",
+            );
+            drop(pf);
+        }
+        let events = rec.events();
+        let jobs: Vec<i64> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Prefetch)
+            .map(|e| e.job)
+            .collect();
+        assert_eq!(jobs.len(), 4);
+        for (i, e) in events.iter().filter(|e| e.kind == EventKind::Prefetch).enumerate() {
+            assert_eq!(e.rank, 4, "virtual rank");
+            assert!(e.bytes > 0, "prefetch {i} recorded its payload size");
+        }
+        assert_eq!(rec.dropped(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fetch_errors_are_swallowed() {
+        let (mut paths, dir) = save_files("errors", 2);
+        paths.insert(1, dir.join("missing.bin"));
+        let store: Arc<CachingStore> = Arc::new(CachingStore::over_dir(1 << 20));
+        let pf = Prefetcher::spawn(store.clone(), paths.clone(), paths.len(), None);
+        wait_for(|| store.stats().fetches >= 2, "good files fetched");
+        drop(pf);
+        assert_eq!(store.fetch(&paths[0]).unwrap().cached, Some(true));
+        assert_eq!(store.fetch(&paths[2]).unwrap().cached, Some(true));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

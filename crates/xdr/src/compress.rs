@@ -142,6 +142,18 @@ pub fn decompress_bytes(input: &[u8]) -> Result<Vec<u8>, XdrError> {
         return Err(XdrError::BadMagic);
     }
     let expect = u32::from_be_bytes([input[4], input[5], input[6], input[7]]) as usize;
+    // Guard the pre-allocation against a corrupted (or hostile) header:
+    // every token byte after the 8-byte header expands to at most
+    // MAX_MATCH = 18 < 9×2 output bytes (a 2-byte match token), and a
+    // flag byte every 8 items costs more, so a genuine stream can never
+    // claim more than 9× its remaining length. Anything larger is
+    // corrupt — reject it instead of allocating unbounded memory.
+    if expect > (input.len() - 8).saturating_mul(9).saturating_add(8) {
+        return Err(XdrError::Corrupt(format!(
+            "header claims {expect} bytes from a {}-byte stream",
+            input.len()
+        )));
+    }
     let mut out = Vec::with_capacity(expect);
     let mut i = 8;
     'outer: while i < input.len() && out.len() < expect {
@@ -315,6 +327,28 @@ mod tests {
         let mut bad = s.clone();
         bad[0] = b'X';
         assert!(matches!(decompress_bytes(&bad), Err(XdrError::BadMagic)));
+    }
+
+    #[test]
+    fn absurd_length_header_rejected_without_allocation() {
+        // A hostile header claiming u32::MAX output bytes from a tiny
+        // stream must be rejected up front (no pre-allocation of 4 GiB).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        bytes.extend_from_slice(&[0x00, b'a', b'b', b'c']);
+        match decompress_bytes(&bytes) {
+            Err(XdrError::Corrupt(msg)) => assert!(msg.contains("claims")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // The bound is tight-ish: a header just above the 9x expansion
+        // limit is rejected, one within it proceeds to token decoding.
+        let payload = [0u8; 16];
+        let mut over = Vec::new();
+        over.extend_from_slice(MAGIC);
+        over.extend_from_slice(&((payload.len() * 9 + 9) as u32).to_be_bytes());
+        over.extend_from_slice(&payload);
+        assert!(matches!(decompress_bytes(&over), Err(XdrError::Corrupt(_))));
     }
 
     #[test]

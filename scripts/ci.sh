@@ -45,6 +45,21 @@ if [ -n "$external" ]; then
     exit 1
 fi
 
+echo "==> deprecation gate: no callers of run_farm / run_supervised_farm / recv_obj_raw outside their defining modules"
+# The store-backed entry points (FarmConfig::run / run_supervised) are the
+# supported surface; the raw helpers stay only as the implementation inside
+# their defining modules. Comment lines are ignored.
+stragglers=$(grep -rnE '\b(run_farm|run_supervised_farm|recv_obj_raw)\s*\(' \
+    --include='*.rs' crates tests benches 2>/dev/null \
+    | grep -v -E '^[^:]*:[0-9]+:\s*(//|//!|///)' \
+    | grep -v -E '^crates/farm/src/(robin_hood|supervisor)\.rs:' \
+    | grep -v -E '^crates/minimpi/src/comm\.rs:')
+if [ -n "$stragglers" ]; then
+    echo "error: deprecated farm/comm entry points called outside their defining modules:"
+    echo "$stragglers"
+    exit 1
+fi
+
 run cargo build --workspace --release || exit 1
 
 # Observability smoke on a small portfolio: the breakdown self-checks
@@ -53,6 +68,23 @@ run cargo build --workspace --release || exit 1
 # exits nonzero if any invariant fails.
 echo "==> cargo run -p bench --bin table2 --release -q -- --breakdown --jobs 2000 (self-checking; output suppressed)"
 cargo run -p bench --bin table2 --release -q -- --breakdown --jobs 2000 >/dev/null || exit 1
+
+# Store smoke: the warm-cache breakdown self-checks that every strategy's
+# warm prepare phase is strictly cheaper than its cold run, that the cache
+# reports a nonzero hit-rate, and that wait/compute are untouched (the
+# checks live in bench::breakdown and fail the process). The JSON line is
+# captured as the committed benchmark artifact.
+echo "==> cargo run -p bench --bin table2 --release -q -- --breakdown --warm --jobs 10000 --cpus 8 (store smoke -> BENCH_3.json)"
+store_out=$(cargo run -p bench --bin table2 --release -q -- --breakdown --warm --jobs 10000 --cpus 8) || exit 1
+if ! printf '%s\n' "$store_out" | grep -q 'cache hit-rate'; then
+    echo "error: warm breakdown reported no cache hit-rate line"
+    exit 1
+fi
+printf '%s\n' "$store_out" | sed -n 's/^JSON: //p' > BENCH_3.json
+if ! grep -q '"cache_hit_rate"' BENCH_3.json; then
+    echo "error: BENCH_3.json missing cache_hit_rate column"
+    exit 1
+fi
 
 echo "==> cargo test -q --workspace $*"
 if ! cargo test -q --workspace "$@"; then

@@ -27,7 +27,7 @@ use std::thread;
 use std::time::Duration;
 
 /// Plain farm via the unified [`farm::run`] entry point.
-fn run_farm(
+fn run_plain_farm(
     files: &[PathBuf],
     slaves: usize,
     strategy: Transmission,
@@ -36,7 +36,7 @@ fn run_farm(
 }
 
 /// Supervised farm (with optional fault plan) via [`farm::run`].
-fn run_supervised_farm(
+fn run_supervised(
     files: &[PathBuf],
     slaves: usize,
     strategy: Transmission,
@@ -148,7 +148,7 @@ fn slave_killed_mid_portfolio_loses_no_jobs() {
         // rank when it dies (op 10, the cycle boundary, would race the
         // master's dispatch and sometimes die idle).
         let plan = Arc::new(FaultPlan::new(0xC0FFEE).kill_rank_at_op(2, 11));
-        let report = run_supervised_farm(
+        let report = run_supervised(
             &paths,
             3,
             Transmission::SerializedLoad,
@@ -199,7 +199,7 @@ fn same_seed_reproduces_identical_schedule_and_results() {
     let run_once = |tag: &str| {
         let (paths, expected, dir) = setup(18, tag);
         let plan = Arc::new(FaultPlan::new(0xDEAD_BEEF).kill_rank_at_op(3, 12));
-        let r = run_supervised_farm(
+        let r = run_supervised(
             &paths,
             3,
             Transmission::FullLoad,
@@ -234,7 +234,7 @@ fn all_slaves_dead_fails_cleanly_not_hangs() {
                 .kill_rank_at_op(1, 2)
                 .kill_rank_at_op(2, 2),
         );
-        let err = run_supervised_farm(
+        let err = run_supervised(
             &paths,
             2,
             Transmission::SerializedLoad,
@@ -270,7 +270,7 @@ fn dropped_dispatch_is_retried_under_every_strategy() {
             // in flight; the job must come back via deadline + retry.
             let plan = Arc::new(FaultPlan::new(11).force_send(0, 0, SendFault::Drop));
             let report =
-                run_supervised_farm(&paths, 2, strategy, &chaos_config(), Some(plan)).unwrap();
+                run_supervised(&paths, 2, strategy, &chaos_config(), Some(plan)).unwrap();
             std::fs::remove_dir_all(&dir).ok();
             (report, expected)
         });
@@ -296,7 +296,7 @@ fn truncated_result_is_retried() {
         // truncated in flight: the master must discard the mangled frame
         // and recover the job by deadline.
         let plan = Arc::new(FaultPlan::new(13).force_send(1, 0, SendFault::Truncate(3)));
-        let report = run_supervised_farm(
+        let report = run_supervised(
             &paths,
             2,
             Transmission::Nfs,
@@ -324,7 +324,7 @@ fn delayed_results_are_deduplicated_not_double_counted() {
             0,
             SendFault::Delay(Duration::from_millis(400)),
         ));
-        let report = run_supervised_farm(
+        let report = run_supervised(
             &paths,
             2,
             Transmission::Nfs,
@@ -349,10 +349,10 @@ fn delayed_results_are_deduplicated_not_double_counted() {
 fn inert_plan_supervised_farm_matches_unsupervised_exactly() {
     let ((plain, supervised, supervised_none), expected) = with_watchdog(60, || {
         let (paths, expected, dir) = setup(20, "inert_eq");
-        let plain = run_farm(&paths, 3, Transmission::SerializedLoad).unwrap();
+        let plain = run_plain_farm(&paths, 3, Transmission::SerializedLoad).unwrap();
         let inert = Arc::new(FaultPlan::new(99));
         assert!(inert.is_inert());
-        let supervised = run_supervised_farm(
+        let supervised = run_supervised(
             &paths,
             3,
             Transmission::SerializedLoad,
@@ -361,7 +361,7 @@ fn inert_plan_supervised_farm_matches_unsupervised_exactly() {
         )
         .unwrap();
         assert!(inert.events().is_empty(), "inert plan injected something");
-        let supervised_none = run_supervised_farm(
+        let supervised_none = run_supervised(
             &paths,
             3,
             Transmission::SerializedLoad,
@@ -414,7 +414,7 @@ proptest! {
                 plan = plan.kill_rank_at_op(1, 7);
             }
             let strategy = Transmission::ALL[(seed % 3) as usize];
-            let out = run_supervised_farm(
+            let out = run_supervised(
                 &paths,
                 slaves,
                 strategy,

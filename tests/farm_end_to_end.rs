@@ -5,7 +5,7 @@
 use riskbench::prelude::*;
 
 /// Plain farm via the unified [`farm::run`] entry point.
-fn run_farm(
+fn run_plain_farm(
     files: &[std::path::PathBuf],
     slaves: usize,
     strategy: Transmission,
@@ -29,7 +29,7 @@ fn setup(tag: &str, count: usize) -> (Vec<std::path::PathBuf>, Vec<f64>, std::pa
 fn all_strategies_price_identically_to_serial() {
     let (files, expected, dir) = setup("strategies", 60);
     for strategy in Transmission::ALL {
-        let report = run_farm(&files, 3, strategy).unwrap();
+        let report = run_plain_farm(&files, 3, strategy).unwrap();
         assert_eq!(report.completed(), 60, "{strategy}");
         for o in &report.outcomes {
             assert_eq!(
@@ -51,7 +51,7 @@ fn heterogeneous_portfolio_through_the_farm() {
     let jobs = realistic_portfolio(PortfolioScale::Quick, 300);
     assert!(jobs.len() >= 20, "stride too coarse: {}", jobs.len());
     let files = save_portfolio(&jobs, &dir).unwrap();
-    let report = run_farm(&files, 4, Transmission::SerializedLoad).unwrap();
+    let report = run_plain_farm(&files, 4, Transmission::SerializedLoad).unwrap();
     assert_eq!(report.completed(), jobs.len());
     // Spot-check a few against direct computation.
     for o in report.outcomes.iter().take(5) {
@@ -68,7 +68,7 @@ fn regression_suite_through_the_farm_like_table1() {
     let _ = std::fs::remove_dir_all(&dir);
     let jobs = regression_portfolio(PortfolioScale::Quick);
     let files = save_portfolio(&jobs, &dir).unwrap();
-    let report = run_farm(&files, 4, Transmission::SerializedLoad).unwrap();
+    let report = run_plain_farm(&files, 4, Transmission::SerializedLoad).unwrap();
     assert_eq!(report.completed(), jobs.len());
     // Every job answered exactly once with a finite price.
     let mut seen = vec![false; jobs.len()];
@@ -124,10 +124,10 @@ fn farm_scales_on_real_cores() {
             })
             .collect()
     };
-    let t1 = run_farm(&files, 1, Transmission::SerializedLoad)
+    let t1 = run_plain_farm(&files, 1, Transmission::SerializedLoad)
         .unwrap()
         .elapsed;
-    let t4 = run_farm(&files, 4, Transmission::SerializedLoad)
+    let t4 = run_plain_farm(&files, 4, Transmission::SerializedLoad)
         .unwrap()
         .elapsed;
     assert!(
@@ -156,7 +156,7 @@ fn risk_sweep_through_the_farm() {
             p
         })
         .collect();
-    let report = run_farm(&files, 3, Transmission::SerializedLoad).unwrap();
+    let report = run_plain_farm(&files, 3, Transmission::SerializedLoad).unwrap();
     assert_eq!(report.completed(), sweep.len());
     let prices = outcomes_to_prices(sweep.len(), &report.outcomes);
     assert!(prices.iter().all(|p| p.is_finite()));

@@ -1,8 +1,8 @@
 //! Observability must be free when disabled: a recorder-less run through
 //! the unified [`farm::run`] entry point must produce exactly the same
-//! report — job for job, price bit for price bit — as the legacy
-//! pre-observability entry points, and enabling a recorder must not
-//! change any numerical result either.
+//! report — job for job, price bit for price bit — whatever combination
+//! of store features (cache, wire compression, prefetch) is switched on,
+//! and enabling a recorder must not change any numerical result either.
 
 use riskbench::prelude::*;
 use std::path::PathBuf;
@@ -25,22 +25,6 @@ fn by_job(r: &FarmReport) -> Vec<(usize, u64, Option<u64>)> {
 }
 
 #[test]
-fn recorder_off_matches_legacy_entry_point_exactly() {
-    let (files, dir) = setup(40, "legacy_eq");
-    for strategy in Transmission::ALL {
-        #[allow(deprecated)]
-        let legacy = farm::run_farm(&files, 3, strategy).unwrap();
-        let unified = run(&files, &FarmConfig::new(3, strategy)).unwrap();
-        assert_eq!(by_job(&legacy), by_job(&unified), "{strategy}");
-        assert_eq!(legacy.completed(), 40, "{strategy}");
-        assert!(unified.failed_jobs.is_empty());
-        assert_eq!(unified.retries, 0);
-        assert!(unified.dead_slaves.is_empty());
-    }
-    std::fs::remove_dir_all(&dir).ok();
-}
-
-#[test]
 fn recorder_on_changes_no_numbers() {
     let (files, dir) = setup(25, "rec_eq");
     let baseline = run(&files, &FarmConfig::new(2, Transmission::SerializedLoad)).unwrap();
@@ -58,19 +42,51 @@ fn recorder_on_changes_no_numbers() {
 }
 
 #[test]
-fn supervised_legacy_wrapper_matches_unified_route() {
-    let (files, dir) = setup(20, "sup_eq");
-    let cfg = SupervisorConfig::default();
-    #[allow(deprecated)]
-    let legacy =
-        farm::run_supervised_farm(&files, 2, Transmission::Nfs, &cfg, None).unwrap();
-    let unified = run(
-        &files,
-        &FarmConfig::new(2, Transmission::Nfs).supervisor(cfg),
-    )
-    .unwrap();
-    assert_eq!(by_job(&legacy), by_job(&unified));
-    assert!(legacy.failed_jobs.is_empty() && unified.failed_jobs.is_empty());
+fn store_features_without_recorder_change_no_numbers() {
+    // The store instrumentation (cache hit/miss marks, compress spans,
+    // prefetch spans) must be a strict no-op when no recorder is
+    // attached: every feature combination prices bit-identically to the
+    // plain farm, under every transmission strategy.
+    let (files, dir) = setup(30, "store_eq");
+    for strategy in Transmission::ALL {
+        let baseline = run(&files, &FarmConfig::new(2, strategy)).unwrap();
+        let combos: Vec<FarmConfig> = vec![
+            FarmConfig::new(2, strategy).cache_bytes(1 << 20),
+            FarmConfig::new(2, strategy).compress_wire(1),
+            FarmConfig::new(2, strategy).cache_bytes(1 << 20).prefetch(4),
+            FarmConfig::new(2, strategy)
+                .cache_bytes(1 << 20)
+                .compress_wire(1)
+                .prefetch(8),
+        ];
+        for (i, cfg) in combos.iter().enumerate() {
+            let got = run(&files, cfg).unwrap();
+            assert_eq!(
+                by_job(&baseline),
+                by_job(&got),
+                "{strategy} combo {i}: store features changed prices"
+            );
+            assert!(got.failed_jobs.is_empty());
+            assert_eq!(got.retries, 0);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn warm_cache_without_recorder_matches_cold_exactly() {
+    // Re-running against an externally owned warm cache must also be
+    // numerically invisible — with the recorder disabled the only
+    // observable difference is the store's own hit statistics.
+    let (files, dir) = setup(20, "warm_eq");
+    let store = Arc::new(CachingStore::over_dir(8 << 20));
+    let cfg = FarmConfig::new(2, Transmission::SerializedLoad).store(store.clone());
+    let cold = run(&files, &cfg).unwrap();
+    let warm = run(&files, &cfg).unwrap();
+    assert_eq!(by_job(&cold), by_job(&warm));
+    let stats = store.stats();
+    assert_eq!(stats.misses, 20, "cold pass should miss once per file");
+    assert!(stats.hits >= 20, "warm pass should hit the cache");
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -100,5 +116,38 @@ fn breakdown_from_recorded_farm_is_consistent() {
         "phases {}s vs budget {budget}s",
         bd.total_s()
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cache_and_prefetch_events_only_appear_with_recorder() {
+    // With a recorder sized to include the prefetcher's virtual rank the
+    // store spans show up; the numbers still match the silent run.
+    let (files, dir) = setup(16, "store_events");
+    let silent = run(
+        &files,
+        &FarmConfig::new(2, Transmission::SerializedLoad)
+            .cache_bytes(1 << 20)
+            .prefetch(4),
+    )
+    .unwrap();
+    let rec = Arc::new(Recorder::new(4)); // ranks 0..=2 + prefetch rank 3
+    let loud = run(
+        &files,
+        &FarmConfig::new(2, Transmission::SerializedLoad)
+            .cache_bytes(1 << 20)
+            .prefetch(4)
+            .recorder(rec.clone()),
+    )
+    .unwrap();
+    assert_eq!(by_job(&silent), by_job(&loud));
+    let events = rec.events();
+    let count = |k: EventKind| events.iter().filter(|e| e.kind == k).count();
+    assert!(count(EventKind::Prefetch) > 0, "no prefetch spans recorded");
+    assert!(
+        count(EventKind::CacheHit) + count(EventKind::CacheMiss) > 0,
+        "no cache marks recorded"
+    );
+    assert_eq!(rec.dropped(), 0);
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,208 @@
+//! Integration: the tiered problem store under the live farm.
+//!
+//! Every byte of problem data reaches the farm through a
+//! [`ProblemStore`]; these tests prove the store layer is *correct*, not
+//! just fast: cold and warm cached runs price bit-identically to direct
+//! disk reads under all three transmission strategies, rewritten files
+//! are revalidated (never served stale), explicit invalidation forces a
+//! reload, eviction respects the byte budget, and the whole stack
+//! survives fault injection under the supervised master.
+
+use riskbench::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn setup(count: usize, tag: &str) -> (Vec<PortfolioJob>, Vec<PathBuf>, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("it_problem_store_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let jobs = toy_portfolio(count);
+    let files = save_portfolio(&jobs, &dir).unwrap();
+    (jobs, files, dir)
+}
+
+/// Sorted `(job, price bits)` view of a report.
+fn by_job(r: &FarmReport) -> Vec<(usize, u64)> {
+    let mut v: Vec<(usize, u64)> = r
+        .outcomes
+        .iter()
+        .map(|o| (o.job, o.price.to_bits()))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn cold_and_warm_cache_match_direct_disk_under_every_strategy() {
+    let (_jobs, files, dir) = setup(24, "strategies");
+    for strategy in Transmission::ALL {
+        // Reference: direct disk reads (the default DirStore path).
+        let direct = run(&files, &FarmConfig::new(2, strategy)).unwrap();
+        assert_eq!(direct.completed(), 24, "{strategy}");
+
+        // One cache shared by a cold then a warm run.
+        let cache = Arc::new(CachingStore::over_dir(16 << 20));
+        let cfg = FarmConfig::new(2, strategy).store(cache.clone());
+        let cold = run(&files, &cfg).unwrap();
+        let warm = run(&files, &cfg).unwrap();
+
+        assert_eq!(by_job(&direct), by_job(&cold), "{strategy}: cold differs");
+        assert_eq!(by_job(&direct), by_job(&warm), "{strategy}: warm differs");
+
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 24, "{strategy}: every file misses once");
+        assert!(stats.hits >= 24, "{strategy}: warm run must hit: {stats:?}");
+        assert!(stats.hit_rate() > 0.0, "{strategy}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rewritten_problem_file_is_never_served_stale() {
+    let (_jobs, files, dir) = setup(10, "rewrite");
+    let cache = Arc::new(CachingStore::over_dir(16 << 20));
+    let cfg = FarmConfig::new(2, Transmission::SerializedLoad).store(cache.clone());
+    let before = run(&files, &cfg).unwrap();
+
+    // Rewrite job 3's file with a *different* problem (different
+    // problem → different length → the fingerprint moves).
+    let replacement = PremiaProblem::create("BlackScholes1dim", "PutEuro", "CF").unwrap();
+    riskbench::xdrser::save(&files[3], &replacement.to_value()).unwrap();
+    let expected = replacement.compute().unwrap().price;
+
+    let after = run(&files, &cfg).unwrap();
+    let price_of = |r: &FarmReport, job: usize| {
+        r.outcomes
+            .iter()
+            .find(|o| o.job == job)
+            .map(|o| o.price)
+            .unwrap()
+    };
+    assert_eq!(
+        price_of(&after, 3).to_bits(),
+        expected.to_bits(),
+        "cache served the pre-rewrite problem"
+    );
+    // Untouched jobs still priced identically (and from cache).
+    for job in (0..10).filter(|&j| j != 3) {
+        assert_eq!(
+            price_of(&before, job).to_bits(),
+            price_of(&after, job).to_bits(),
+            "job {job}"
+        );
+    }
+    assert!(cache.stats().invalidations >= 1, "{:?}", cache.stats());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn explicit_invalidation_forces_a_backend_reload() {
+    let (_jobs, files, dir) = setup(6, "invalidate");
+    let cache = Arc::new(CachingStore::over_dir(16 << 20));
+    let cfg = FarmConfig::new(2, Transmission::SerializedLoad).store(cache.clone());
+    run(&files, &cfg).unwrap();
+    let misses_cold = cache.stats().misses;
+    assert_eq!(misses_cold, 6);
+
+    for f in &files {
+        cache.invalidate(f);
+    }
+    let report = run(&files, &cfg).unwrap();
+    assert_eq!(report.completed(), 6);
+    let stats = cache.stats();
+    assert_eq!(stats.invalidations, 6, "{stats:?}");
+    assert_eq!(stats.misses, 12, "invalidated entries must re-read disk");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tight_budget_evicts_but_never_corrupts() {
+    let (_jobs, files, dir) = setup(20, "evict");
+    // Budget holds roughly three problem files: constant churn.
+    let one = std::fs::metadata(&files[0]).unwrap().len();
+    let cache = Arc::new(CachingStore::over_dir(3 * one + one / 2));
+    let cfg = FarmConfig::new(2, Transmission::SerializedLoad).store(cache.clone());
+
+    let direct = run(&files, &FarmConfig::new(2, Transmission::SerializedLoad)).unwrap();
+    let squeezed = run(&files, &cfg).unwrap();
+    let again = run(&files, &cfg).unwrap();
+
+    assert_eq!(by_job(&direct), by_job(&squeezed));
+    assert_eq!(by_job(&direct), by_job(&again));
+    let stats = cache.stats();
+    assert!(stats.evictions > 0, "budget never forced an eviction: {stats:?}");
+    assert!(
+        stats.resident_bytes <= cache.budget(),
+        "budget exceeded: {stats:?}"
+    );
+    assert!(stats.resident_entries <= 3, "{stats:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn prefetched_run_warms_the_cache_it_shares_with_the_master() {
+    let (_jobs, files, dir) = setup(12, "prefetch");
+    let cache = Arc::new(CachingStore::over_dir(16 << 20));
+    let cfg = FarmConfig::new(2, Transmission::SerializedLoad)
+        .store(cache.clone())
+        .prefetch(4);
+    let direct = run(&files, &FarmConfig::new(2, Transmission::SerializedLoad)).unwrap();
+    let prefetched = run(&files, &cfg).unwrap();
+    assert_eq!(by_job(&direct), by_job(&prefetched));
+    let stats = cache.stats();
+    // Prefetcher + master both fetch each file; whichever lands second
+    // is a hit, so hits must be substantial even on a "cold" run.
+    assert!(stats.hits > 0, "prefetch produced no cache hits: {stats:?}");
+    assert_eq!(stats.misses, 12, "{stats:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cached_store_survives_truncation_chaos_under_supervision() {
+    // The store layer must not break exactly-once accounting when the
+    // wire is unreliable: a seed-driven truncation plan under the
+    // supervised master, with every fetch routed through a shared cache.
+    let (jobs, files, dir) = setup(16, "chaos");
+    let expected: Vec<f64> = jobs
+        .iter()
+        .map(|j| j.problem.compute().unwrap().price)
+        .collect();
+    let sup = SupervisorConfig {
+        job_deadline: Duration::from_millis(150),
+        max_attempts: 5,
+        backoff_base: Duration::from_millis(2),
+        poll: Duration::from_millis(10),
+        slave_idle_timeout: Duration::from_millis(900),
+        payload_timeout: Duration::from_millis(150),
+    };
+    let cache = Arc::new(CachingStore::over_dir(16 << 20));
+    let plan = Arc::new(FaultPlan::new(0x5EED).with_truncate_rate(0.04));
+    let report = run(
+        &files,
+        &FarmConfig::new(3, Transmission::SerializedLoad)
+            .store(cache.clone())
+            .supervisor(sup)
+            .fault_plan(plan),
+    )
+    .unwrap();
+
+    // Exactly-once over outcomes ∪ failed_jobs, bit-exact prices.
+    let mut seen = vec![false; expected.len()];
+    for o in &report.outcomes {
+        assert!(!seen[o.job], "job {} twice", o.job);
+        seen[o.job] = true;
+        assert_eq!(
+            o.price.to_bits(),
+            expected[o.job].to_bits(),
+            "job {} priced wrong under chaos",
+            o.job
+        );
+    }
+    for &j in &report.failed_jobs {
+        assert!(!seen[j], "job {j} both done and failed");
+        seen[j] = true;
+    }
+    assert!(seen.iter().all(|&s| s), "jobs lost under chaos");
+    assert!(cache.stats().fetches > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -7,7 +7,7 @@ use riskbench::clustersim::{simulate_farm, NfsCache, SimConfig, SimJob};
 use riskbench::prelude::*;
 
 /// Plain farm via the unified [`farm::run`] entry point.
-fn run_farm(
+fn run_plain_farm(
     files: &[std::path::PathBuf],
     slaves: usize,
     strategy: Transmission,
@@ -72,7 +72,7 @@ fn simulator_predicts_live_makespan_within_band() {
         .unwrap_or(1);
     let slave_counts: &[usize] = if cores >= 3 { &[1, 2] } else { &[1] };
     for &slaves in slave_counts {
-        let live = run_farm(&files, slaves, Transmission::SerializedLoad)
+        let live = run_plain_farm(&files, slaves, Transmission::SerializedLoad)
             .unwrap()
             .elapsed
             .as_secs_f64();
@@ -106,7 +106,7 @@ fn zero_fault_supervision_is_free() {
     use riskbench::minimpi::FaultPlan;
     use std::sync::Arc;
 
-    let run_supervised_farm = |files: &[std::path::PathBuf],
+    let run_supervised = |files: &[std::path::PathBuf],
                                slaves: usize,
                                strategy: Transmission,
                                cfg: &SupervisorConfig,
@@ -122,10 +122,10 @@ fn zero_fault_supervision_is_free() {
     let _ = std::fs::remove_dir_all(&dir);
     let (files, _) = matched_workload(&dir);
 
-    let plain = run_farm(&files, 2, Transmission::SerializedLoad).unwrap();
+    let plain = run_plain_farm(&files, 2, Transmission::SerializedLoad).unwrap();
     let cfg = SupervisorConfig::from_cost_model(&riskbench::farm::calibrate::paper_costs(), 2.0);
     let inert = Arc::new(FaultPlan::new(2024));
-    let supervised = run_supervised_farm(
+    let supervised = run_supervised(
         &files,
         2,
         Transmission::SerializedLoad,
@@ -134,7 +134,7 @@ fn zero_fault_supervision_is_free() {
     )
     .unwrap();
     let unplanned =
-        run_supervised_farm(&files, 2, Transmission::SerializedLoad, &cfg, None).unwrap();
+        run_supervised(&files, 2, Transmission::SerializedLoad, &cfg, None).unwrap();
 
     // The inert plan must not have injected anything...
     assert!(inert.events().is_empty());
@@ -228,11 +228,11 @@ fn simulator_and_live_farm_agree_on_scaling_direction() {
     let (files, sim_jobs) = matched_workload(&dir);
     let cfg = SimConfig::default();
 
-    let live1 = run_farm(&files, 1, Transmission::SerializedLoad)
+    let live1 = run_plain_farm(&files, 1, Transmission::SerializedLoad)
         .unwrap()
         .elapsed
         .as_secs_f64();
-    let live3 = run_farm(&files, 3, Transmission::SerializedLoad)
+    let live3 = run_plain_farm(&files, 3, Transmission::SerializedLoad)
         .unwrap()
         .elapsed
         .as_secs_f64();

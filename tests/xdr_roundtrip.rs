@@ -79,6 +79,61 @@ proptest! {
     }
 
     #[test]
+    fn incompressible_noise_round_trips(seed in any::<u64>(), len in 0usize..4000) {
+        // xorshift noise: essentially incompressible, so the stream is
+        // dominated by literals + flag bytes. Must still round trip and
+        // never blow up more than the 9/8 worst case plus the header.
+        let mut x = seed | 1;
+        let bytes: Vec<u8> = (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 0xFF) as u8
+            })
+            .collect();
+        let c = xdrser::compress::compress_bytes(&bytes);
+        prop_assert!(c.len() <= 8 + bytes.len() + bytes.len() / 8 + 1);
+        let d = xdrser::compress::decompress_bytes(&c).unwrap();
+        prop_assert_eq!(d, bytes);
+    }
+
+    #[test]
+    fn corrupted_compressed_stream_never_panics(
+        v in arb_value(),
+        pos_frac in 0.0f64..1.0,
+        byte in any::<u8>(),
+    ) {
+        // Flip one byte anywhere in a genuine compressed stream (header
+        // included): decompression must return Ok or Err, never panic,
+        // and never allocate past what the guarded header admits.
+        let mut c = xdrser::compress::compress_bytes(&xdrser::serialize_to_bytes(&v));
+        let pos = ((c.len() - 1) as f64 * pos_frac) as usize;
+        c[pos] ^= byte;
+        let _ = xdrser::compress::decompress_bytes(&c);
+    }
+
+    #[test]
+    fn hostile_length_header_rejected(
+        claim in any::<u64>(),
+        tail in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Hand-built stream: valid magic, arbitrary claimed length,
+        // arbitrary token bytes. Claims beyond the 9x expansion bound
+        // must be rejected before any allocation happens.
+        let claim = (claim & 0xFFFF_FFFF) as u32;
+        let mut s = Vec::with_capacity(8 + tail.len());
+        s.extend_from_slice(b"NSPZ");
+        s.extend_from_slice(&claim.to_be_bytes());
+        s.extend_from_slice(&tail);
+        let r = xdrser::compress::decompress_bytes(&s);
+        if claim as usize > tail.len() * 9 + 8 {
+            prop_assert!(r.is_err());
+        }
+        // Otherwise Ok or Err are both legitimate — just no panic.
+    }
+
+    #[test]
     fn save_load_sload_agree(v in arb_value(), salt in 0u64..u64::MAX) {
         let dir = std::env::temp_dir().join("it_xdr_prop");
         std::fs::create_dir_all(&dir).unwrap();
