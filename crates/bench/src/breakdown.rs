@@ -36,6 +36,12 @@ pub struct BreakdownOpts {
     /// `--compress`: model the compressed-wire option for loaded
     /// payloads (`FarmConfig::compress_wire`).
     pub compress: bool,
+    /// `--threads N`: model the intra-slave chunked executor
+    /// (`FarmConfig::threads`) — each strategy runs a second time with
+    /// `N` worker threads per slave, reported as an extra
+    /// `"<strategy> (xN threads)"` row and self-checked: compute-phase
+    /// seconds must shrink ~linearly while prepare/wire/wait stay put.
+    pub threads: usize,
 }
 
 impl Default for BreakdownOpts {
@@ -46,6 +52,7 @@ impl Default for BreakdownOpts {
             cpus: 8,
             warm: false,
             compress: false,
+            threads: 1,
         }
     }
 }
@@ -91,6 +98,17 @@ impl BreakdownOpts {
                     }
                     opts.cpus = n;
                 }
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    let n: usize = v
+                        .as_ref()
+                        .parse()
+                        .map_err(|_| format!("--threads: bad count {:?}", v.as_ref()))?;
+                    if n == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                    opts.threads = n;
+                }
                 other => return Err(format!("unknown argument {other:?} (try --breakdown)")),
             }
         }
@@ -125,14 +143,18 @@ pub fn breakdown_report(
     if opts.compress {
         cfg.store.compress = true;
     }
+    // The threaded comparison runs against the same strategy/caches but
+    // with the executor model on.
+    let mut cfg_thr = cfg;
+    cfg_thr.exec.threads = opts.threads;
     let mut report = BreakdownReport::new(title);
     for strategy in Transmission::ALL {
         // One cache state per strategy: the cold run fills it, the
         // optional warm run reuses it.
         let mut caches = SimCaches::new();
-        let one_run = |label: String, caches: &mut SimCaches| {
+        let one_run = |label: String, run_cfg: &SimConfig, caches: &mut SimCaches| {
             let rec = Recorder::with_capacity(slaves + 1, RING_CAPACITY);
-            let out = simulate_farm_cached(jobs, slaves, strategy, &cfg, caches, Some(&rec));
+            let out = simulate_farm_cached(jobs, slaves, strategy, run_cfg, caches, Some(&rec));
             StrategyBreakdown {
                 strategy: label,
                 cpus: opts.cpus,
@@ -143,11 +165,22 @@ pub fn breakdown_report(
         };
         report
             .runs
-            .push(one_run(strategy.label().to_string(), &mut caches));
+            .push(one_run(strategy.label().to_string(), &cfg, &mut caches));
         if opts.warm {
-            report
-                .runs
-                .push(one_run(format!("{} (warm)", strategy.label()), &mut caches));
+            report.runs.push(one_run(
+                format!("{} (warm)", strategy.label()),
+                &cfg,
+                &mut caches,
+            ));
+        }
+        if opts.threads > 1 {
+            // Threaded run from cold caches: compared against the cold
+            // baseline, so the only variable is the executor.
+            report.runs.push(one_run(
+                format!("{} (x{} threads)", strategy.label(), opts.threads),
+                &cfg_thr,
+                &mut SimCaches::new(),
+            ));
         }
     }
     report.check()?;
@@ -158,7 +191,68 @@ pub fn breakdown_report(
     if opts.compress {
         check_compression_effect(&report)?;
     }
+    if opts.threads > 1 {
+        check_thread_scaling(&report, opts.threads)?;
+    }
     Ok(report)
+}
+
+/// The intra-slave-threads acceptance check: for every strategy, the
+/// threaded run's compute seconds must shrink ~linearly — at least
+/// `threads / 2` times below the sequential run (the default Amdahl
+/// model with a 5 % serial fraction gives ×5.9 at 8 threads) but never
+/// superlinearly — while prepare, wire and wait are untouched within
+/// noise (the executor lives entirely inside the compute phase), and the
+/// threaded run actually recorded per-chunk diagnostics.
+pub fn check_thread_scaling(report: &BreakdownReport, threads: usize) -> Result<(), String> {
+    for strategy in Transmission::ALL {
+        let seq = report
+            .run(strategy.label())
+            .ok_or_else(|| format!("missing {strategy} sequential run"))?;
+        let thr_label = format!("{} (x{threads} threads)", strategy.label());
+        let thr = report
+            .run(&thr_label)
+            .ok_or_else(|| format!("missing {thr_label:?} run"))?;
+        let (s, t) = (&seq.breakdown, &thr.breakdown);
+        let ratio = s.compute_s() / t.compute_s();
+        if ratio < threads as f64 / 2.0 {
+            return Err(format!(
+                "{strategy}: compute only shrank x{ratio:.2} with {threads} threads \
+                 ({:.6}s -> {:.6}s)",
+                s.compute_s(),
+                t.compute_s()
+            ));
+        }
+        if ratio >= threads as f64 {
+            return Err(format!(
+                "{strategy}: superlinear compute speedup x{ratio:.2} with {threads} threads"
+            ));
+        }
+        for (phase, a, b) in [
+            ("prepare", s.prepare_s(), t.prepare_s()),
+            ("wire", s.wire_s(), t.wire_s()),
+            ("wait", s.wait_s(), t.wait_s()),
+        ] {
+            if (a - b).abs() > 1e-9 {
+                return Err(format!(
+                    "{strategy}: threads changed {phase} ({a:.9}s vs {b:.9}s)"
+                ));
+            }
+        }
+        if t.count_of(EventKind::ComputeChunk) == 0 {
+            return Err(format!("{strategy}: threaded run recorded no chunk spans"));
+        }
+        if t.parallelism() <= 1.0 {
+            return Err(format!(
+                "{strategy}: parallelism x{:.2} not above 1",
+                t.parallelism()
+            ));
+        }
+        if s.parallel_s() != 0.0 {
+            return Err(format!("{strategy}: sequential run has chunk diagnostics"));
+        }
+    }
+    Ok(())
 }
 
 /// The warm-store acceptance check: for every strategy, the warm run's
@@ -290,7 +384,9 @@ pub fn run_cli(
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: --breakdown [--jobs N] [--cpus N] [--warm] [--compress]");
+            eprintln!(
+                "usage: --breakdown [--jobs N] [--cpus N] [--threads N] [--warm] [--compress]"
+            );
             std::process::exit(2);
         }
     };
@@ -430,6 +526,52 @@ mod tests {
         // NFS ships names only — no codec anywhere near it.
         let nfs = report.run(Transmission::Nfs.label()).unwrap();
         assert_eq!(nfs.breakdown.count_of(EventKind::Decompress), 0);
+    }
+
+    #[test]
+    fn parse_accepts_threads_and_rejects_zero() {
+        let o = BreakdownOpts::parse(["--breakdown", "--threads", "8"], &[]).unwrap();
+        assert!(o.enabled);
+        assert_eq!(o.threads, 8);
+        assert_eq!(BreakdownOpts::parse(["--breakdown"], &[]).unwrap().threads, 1);
+        assert!(BreakdownOpts::parse(["--threads", "0"], &[]).is_err());
+        assert!(BreakdownOpts::parse(["--threads"], &[]).is_err());
+    }
+
+    #[test]
+    fn threaded_breakdown_passes_scaling_checks() {
+        // The acceptance criterion itself: `--breakdown --threads 8`
+        // must show compute >= 4x cheaper with prepare/wire/wait put.
+        let jobs = clustersim::table2_sim_jobs(400);
+        let o = BreakdownOpts {
+            threads: 8,
+            ..opts(4)
+        };
+        let report = breakdown_report("test t8", &jobs, &o, &SimConfig::default()).unwrap();
+        assert_eq!(report.runs.len(), 6);
+        check_thread_scaling(&report, 8).unwrap();
+        for strategy in Transmission::ALL {
+            let seq = report.run(strategy.label()).unwrap();
+            let thr = report
+                .run(&format!("{} (x8 threads)", strategy.label()))
+                .unwrap();
+            let ratio = seq.breakdown.compute_s() / thr.breakdown.compute_s();
+            assert!(ratio >= 4.0, "{strategy}: x{ratio:.2}");
+            assert!(thr.wall_s < seq.wall_s, "{strategy}");
+            assert!(thr.breakdown.parallelism() > 4.0, "{strategy}");
+        }
+        // The threaded rows survive render and JSON with the new column.
+        let json = report.to_json();
+        assert!(json.contains("(x8 threads)"));
+        assert!(json.contains("\"parallelism\":"));
+        assert!(report.render().contains("intra-slave parallelism"));
+    }
+
+    #[test]
+    fn thread_scaling_check_fails_without_threaded_rows() {
+        let jobs = clustersim::table2_sim_jobs(50);
+        let report = breakdown_report("test", &jobs, &opts(2), &SimConfig::default()).unwrap();
+        assert!(check_thread_scaling(&report, 8).is_err());
     }
 
     #[test]

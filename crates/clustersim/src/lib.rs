@@ -30,7 +30,9 @@ pub mod resource;
 pub mod sim;
 pub mod tables;
 
-pub use params::{MasterCosts, NetworkParams, NfsParams, SimConfig, SlaveCosts, StoreParams};
+pub use params::{
+    ExecParams, MasterCosts, NetworkParams, NfsParams, SimConfig, SlaveCosts, StoreParams,
+};
 pub use sim::{
     simulate_farm, simulate_farm_cached, simulate_farm_recorded, ClientCache, NfsCache,
     SimCaches, SimJob, SimOutcome,

@@ -133,6 +133,66 @@ impl Default for StoreParams {
     }
 }
 
+/// Intra-slave compute-parallelism model: the `exec` crate's chunked
+/// executor as the simulator sees it. **Off** by default (`threads == 1`)
+/// so the baseline model reproduces the paper's Tables I–III unchanged —
+/// exactly like [`StoreParams`].
+///
+/// The model applies to every job's pre-drawn compute cost: a `SimJob`
+/// carries a duration, not a pricing method, so the per-class drawn cost
+/// stands in for the path-chunked kernel work the live farm routes
+/// through the executor (`JobClass::chunked_kernel` documents which
+/// methods those are on the live side).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecParams {
+    /// Worker threads per slave rank (1 = today's sequential kernels).
+    pub threads: usize,
+    /// Amdahl serial fraction of a chunked-kernel job: path generation
+    /// parallelises, the LSM backward regression and the final reduction
+    /// do not.
+    pub serial_fraction: f64,
+    /// Fixed per-job cost of spinning up the chunk queues and joining
+    /// the scope, seconds (a scoped spawn of a handful of workers on
+    /// Linux lands in the tens of microseconds). Charged only when
+    /// `threads >= 2`.
+    pub spawn_overhead: f64,
+}
+
+impl Default for ExecParams {
+    fn default() -> Self {
+        ExecParams {
+            threads: 1,
+            serial_fraction: 0.05,
+            spawn_overhead: 0.02e-3,
+        }
+    }
+}
+
+impl ExecParams {
+    /// Amdahl speedup of one chunked-kernel job at this thread count:
+    /// `1 / (s + (1 - s)/T)`. Exactly 1.0 when `threads <= 1`.
+    pub fn speedup(&self) -> f64 {
+        if self.threads <= 1 {
+            return 1.0;
+        }
+        let t = self.threads as f64;
+        1.0 / (self.serial_fraction + (1.0 - self.serial_fraction) / t)
+    }
+
+    /// Wall seconds of a chunked-kernel job that costs `compute`
+    /// sequential seconds, plus the worker-CPU seconds spent inside
+    /// parallel chunks (what the live farm's `ComputeChunk` diagnostics
+    /// sum to). Returns `(compute, 0.0)` untouched when threads ≤ 1.
+    pub fn apply(&self, compute: f64) -> (f64, f64) {
+        if self.threads <= 1 {
+            return (compute, 0.0);
+        }
+        let parallel = compute * (1.0 - self.serial_fraction);
+        let wall = compute - parallel + parallel / self.threads as f64 + self.spawn_overhead;
+        (wall, parallel)
+    }
+}
+
 /// Full simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SimConfig {
@@ -146,6 +206,8 @@ pub struct SimConfig {
     pub slave: SlaveCosts,
     /// Problem-store model (client cache + wire compression).
     pub store: StoreParams,
+    /// Intra-slave compute-parallelism model (chunked executor).
+    pub exec: ExecParams,
 }
 
 #[cfg(test)]
@@ -183,5 +245,33 @@ mod tests {
         assert!(s.hit_fetch < nfs.warm_read);
         assert!(s.hit_fetch < m.sload_prep - m.nfs_prep);
         assert!(s.compress_ratio > 0.0 && s.compress_ratio < 1.0);
+    }
+
+    #[test]
+    fn exec_model_off_by_default_and_speedup_is_sane() {
+        let e = ExecParams::default();
+        assert_eq!(e.threads, 1);
+        assert_eq!(e.speedup(), 1.0);
+        assert_eq!(e.apply(20.0), (20.0, 0.0));
+        // More threads always help, but sublinearly (Amdahl).
+        let mut prev = 1.0;
+        for threads in [2, 4, 8, 16] {
+            let e = ExecParams {
+                threads,
+                ..ExecParams::default()
+            };
+            let s = e.speedup();
+            assert!(s > prev, "threads {threads}: {s} !> {prev}");
+            assert!(s < threads as f64, "threads {threads}: superlinear {s}");
+            prev = s;
+        }
+        // apply() is consistent with speedup() up to the fixed overhead.
+        let e = ExecParams {
+            threads: 8,
+            ..ExecParams::default()
+        };
+        let (wall, parallel) = e.apply(20.0);
+        assert!((wall - e.spawn_overhead - 20.0 / e.speedup()).abs() < 1e-12);
+        assert!((parallel - 20.0 * (1.0 - e.serial_fraction)).abs() < 1e-12);
     }
 }

@@ -18,6 +18,10 @@
 //!   serialization (`serialize`, `save`/`load`, the `sload` fast path,
 //!   LZSS compression).
 //! * [`minimpi`] — the in-process MPI runtime backing the live farm.
+//! * [`exec`] — the deterministic chunked executor behind intra-slave
+//!   compute parallelism (`FarmConfig::threads`): fixed-size path chunks,
+//!   one seeded RNG stream per chunk, bit-identical results for any
+//!   worker count.
 //! * [`store`] — the tiered problem store: every problem byte reaches
 //!   the farm through its `ProblemStore` trait (directory backend,
 //!   byte-budgeted LRU cache, master-side prefetch).
@@ -49,6 +53,7 @@
 //! ```
 
 pub use clustersim;
+pub use exec;
 pub use farm;
 pub use minimpi;
 pub use nspval;
@@ -72,6 +77,7 @@ pub mod prelude {
         realistic_portfolio, regression_portfolio, save_portfolio, toy_portfolio, JobClass,
         PortfolioJob, PortfolioScale,
     };
+    pub use exec::{ExecPolicy, ExecStats, StatsSink};
     pub use farm::supervisor::SupervisorConfig;
     pub use farm::{run, FarmConfig, FarmError, FarmReport, Transmission, WirePolicy};
     pub use store::{CachingStore, DirStore, Fetched, Prefetcher, ProblemStore, StoreStats};

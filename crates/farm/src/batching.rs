@@ -13,7 +13,7 @@ use crate::robin_hood::{FarmError, FarmReport, JobOutcome};
 use crate::strategy::{prepare_payload_recorded, recover_problem_recorded, Transmission};
 use minimpi::{Comm, MpiBuf, World, ANY_SOURCE};
 use nspval::{Hash, List, Value};
-use obs::{EventKind, Recorder};
+use obs::Recorder;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -198,11 +198,8 @@ fn slave(comm: &Comm, ctx: &RunCtx, strategy: Transmission) -> Result<(), FarmEr
                 .ok_or_else(|| FarmError::Io("missing name".into()))?;
             comm.set_job(Some(idx));
             let problem = recover_problem_recorded(comm, ctx, strategy, name, h.get("payload"))?;
-            let t0 = instrument::t0(comm);
-            let r = problem
-                .compute()
+            let r = instrument::compute_recorded(comm, ctx, &problem)
                 .map_err(|e| FarmError::Io(format!("compute failed: {e}")))?;
-            instrument::span(comm, EventKind::Compute, t0, 0);
             let mut out = Hash::new();
             out.set("job", Value::scalar(idx as f64));
             out.set("price", Value::scalar(r.price));

@@ -24,6 +24,7 @@ use crate::batching::run_batched_inner;
 use crate::robin_hood::{run_farm_inner, FarmError, FarmReport};
 use crate::strategy::{Transmission, WirePolicy};
 use crate::supervisor::{run_supervised_inner, SupervisorConfig};
+use exec::ExecPolicy;
 use minimpi::FaultPlan;
 use obs::Recorder;
 use std::path::PathBuf;
@@ -43,6 +44,12 @@ pub(crate) struct RunCtx {
     /// Bounded prefetch pipeline (master-side); dropped — and thereby
     /// joined — when the run finishes.
     prefetcher: Option<Prefetcher>,
+    /// Intra-slave compute policy: `Some` routes every slave compute
+    /// through [`pricing::PremiaProblem::compute_with`] on the chunked
+    /// executor; `None` (the default) is the legacy single-threaded
+    /// [`pricing::PremiaProblem::compute`], bit-identical to every
+    /// release since the seed.
+    pub(crate) exec: Option<ExecPolicy>,
 }
 
 impl RunCtx {
@@ -53,6 +60,7 @@ impl RunCtx {
             store: Arc::new(DirStore::new()),
             wire: WirePolicy::RAW,
             prefetcher: None,
+            exec: None,
         }
     }
 
@@ -81,6 +89,8 @@ pub struct FarmConfig {
     cache_bytes: Option<u64>,
     compress_threshold: Option<usize>,
     prefetch_depth: usize,
+    threads: usize,
+    compute_chunk: usize,
 }
 
 impl FarmConfig {
@@ -99,7 +109,33 @@ impl FarmConfig {
             cache_bytes: None,
             compress_threshold: None,
             prefetch_depth: 0,
+            threads: 1,
+            compute_chunk: 0,
         }
+    }
+
+    /// Run every slave's Monte-Carlo/LSM path loops on `threads` compute
+    /// workers (the intra-slave dimension of parallelism; the farm's
+    /// slave count is the inter-node dimension). `1` — the default — is
+    /// the legacy single-threaded compute, bit-identical to every
+    /// release since the seed. For `threads >= 2` the kernels switch to
+    /// the chunked executor: prices are then bit-identical for *any*
+    /// thread count (2 == 8 == 64) but form a different deterministic
+    /// sample than `threads == 1`; see `docs/PARALLEL.md`. Methods
+    /// without a path loop (closed form, PDE, tree, QMC) are unaffected.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Override the executor chunk size (paths per chunk; 0 — the
+    /// default — means [`exec::DEFAULT_CHUNK`]). The chunk size is part
+    /// of the sampled result (it fixes the RNG-stream split), exactly as
+    /// the seed is; the thread count never is. Only meaningful with
+    /// [`Self::threads`] `>= 2`.
+    pub fn compute_chunk(mut self, chunk: usize) -> Self {
+        self.compute_chunk = chunk;
+        self
     }
 
     /// Ship `batch_size` problems per message (§5 batching improvement).
@@ -179,6 +215,11 @@ impl FarmConfig {
         self.slaves
     }
 
+    /// Compute threads per slave (1 = legacy single-threaded kernels).
+    pub fn compute_threads(&self) -> usize {
+        self.threads
+    }
+
     /// The transmission strategy this config will use.
     pub fn strategy(&self) -> Transmission {
         self.strategy
@@ -222,6 +263,16 @@ impl FarmConfig {
                 "prefetch needs a retaining store (set cache_bytes or store)".into(),
             ));
         }
+        if self.threads == 0 {
+            return Err(FarmError::Config(
+                "compute threads must be at least 1".into(),
+            ));
+        }
+        if self.compute_chunk > 0 && self.threads <= 1 {
+            return Err(FarmError::Config(
+                "compute_chunk only applies with threads >= 2".into(),
+            ));
+        }
         Ok(())
     }
 
@@ -246,10 +297,13 @@ impl FarmConfig {
             let rec = self.recorder.as_ref().map(|r| (r.clone(), self.slaves + 1));
             Prefetcher::spawn(base.clone(), files.to_vec(), self.prefetch_depth, rec)
         });
+        let exec = (self.threads > 1)
+            .then(|| ExecPolicy::new(self.threads).chunk(self.compute_chunk));
         RunCtx {
             store: base,
             wire,
             prefetcher,
+            exec,
         }
     }
 }
@@ -351,6 +405,122 @@ mod tests {
     fn prefetch_without_retaining_store_rejected() {
         let cfg = FarmConfig::new(2, Transmission::SerializedLoad).prefetch(4);
         assert!(matches!(run(&[], &cfg), Err(FarmError::Config(_))));
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let cfg = FarmConfig::new(2, Transmission::Nfs).threads(0);
+        assert!(matches!(run(&[], &cfg), Err(FarmError::Config(_))));
+    }
+
+    #[test]
+    fn compute_chunk_without_threads_rejected() {
+        let cfg = FarmConfig::new(2, Transmission::Nfs).compute_chunk(512);
+        assert!(matches!(run(&[], &cfg), Err(FarmError::Config(_))));
+    }
+
+    /// A small all-Monte-Carlo portfolio: unlike [`toy_portfolio`] (closed
+    /// form, no chunked kernel), these jobs actually exercise the
+    /// intra-slave executor when `threads >= 2`.
+    fn mc_setup(count: usize, tag: &str) -> (Vec<PathBuf>, std::path::PathBuf) {
+        use crate::portfolio::{JobClass, PortfolioJob};
+        use pricing::models::BlackScholes;
+        use pricing::{MethodSpec, ModelSpec, OptionSpec, PremiaProblem};
+        let dir = std::env::temp_dir().join(format!("farm_cfg_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let jobs: Vec<PortfolioJob> = (0..count)
+            .map(|i| PortfolioJob {
+                id: i,
+                class: JobClass::LocalVolMc,
+                problem: PremiaProblem::new(
+                    ModelSpec::BlackScholes(BlackScholes::new(100.0, 0.2, 0.05, 0.0)),
+                    OptionSpec::Call {
+                        strike: 90.0 + 2.0 * i as f64,
+                        maturity: 1.0,
+                    },
+                    MethodSpec::MonteCarlo {
+                        paths: 2_000,
+                        time_steps: 8,
+                        antithetic: false,
+                        seed: 42 + i as u64,
+                    },
+                ),
+            })
+            .collect();
+        let paths = save_portfolio(&jobs, &dir).unwrap();
+        (paths, dir)
+    }
+
+    #[test]
+    fn threaded_farm_bit_identical_across_thread_counts() {
+        let (paths, dir) = mc_setup(6, "threads_bits");
+        let by_job = |r: &FarmReport| {
+            let mut v: Vec<(usize, u64)> = r
+                .outcomes
+                .iter()
+                .map(|o| (o.job, o.price.to_bits()))
+                .collect();
+            v.sort();
+            v
+        };
+        let t2 = run(
+            &paths,
+            &FarmConfig::new(2, Transmission::SerializedLoad).threads(2),
+        )
+        .unwrap();
+        let t8 = run(
+            &paths,
+            &FarmConfig::new(2, Transmission::SerializedLoad).threads(8),
+        )
+        .unwrap();
+        assert_eq!(by_job(&t2), by_job(&t8));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn threads_one_is_bit_identical_to_default() {
+        let (paths, dir) = setup(8, "threads_one");
+        let by_job = |r: &FarmReport| {
+            let mut v: Vec<(usize, u64)> = r
+                .outcomes
+                .iter()
+                .map(|o| (o.job, o.price.to_bits()))
+                .collect();
+            v.sort();
+            v
+        };
+        let default = run(&paths, &FarmConfig::new(2, Transmission::SerializedLoad)).unwrap();
+        let one = run(
+            &paths,
+            &FarmConfig::new(2, Transmission::SerializedLoad).threads(1),
+        )
+        .unwrap();
+        assert_eq!(by_job(&default), by_job(&one));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn threaded_recorded_run_emits_compute_chunk_diagnostics() {
+        use obs::{Breakdown, EventKind};
+        let (paths, dir) = mc_setup(4, "threads_events");
+        let rec = Arc::new(Recorder::new(3));
+        let cfg = FarmConfig::new(2, Transmission::SerializedLoad)
+            .threads(2)
+            .compute_chunk(256)
+            .recorder(rec.clone());
+        let report = run(&paths, &cfg).unwrap();
+        assert_eq!(report.completed(), 4);
+        let events = rec.events();
+        let b = Breakdown::from_events(&events);
+        // Chunked kernels ran: per-chunk diagnostics are present and the
+        // worker-CPU seconds roughly cover the compute wall seconds.
+        assert!(b.count_of(EventKind::ComputeChunk) > 0);
+        assert!(b.parallel_s() > 0.0);
+        assert!(b.compute_s() > 0.0);
+        // Diagnostics never inflate the cpu-seconds budget.
+        assert!(b.total_s() >= b.compute_s());
+        assert_eq!(rec.dropped(), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

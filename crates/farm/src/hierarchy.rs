@@ -14,7 +14,7 @@ use crate::robin_hood::{FarmError, FarmReport, JobOutcome};
 use crate::strategy::{prepare_payload_recorded, recover_problem_recorded, Transmission};
 use minimpi::{Comm, MpiBuf, World, ANY_SOURCE};
 use nspval::{Hash, List, Value};
-use obs::{EventKind, Recorder};
+use obs::Recorder;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -290,11 +290,8 @@ fn slave(
             }
         };
         let problem = recover_problem_recorded(comm, ctx, strategy, &name, payload.as_ref())?;
-        let t0 = instrument::t0(comm);
-        let r = problem
-            .compute()
+        let r = instrument::compute_recorded(comm, ctx, &problem)
             .map_err(|e| FarmError::Io(format!("compute failed: {e}")))?;
-        instrument::span(comm, EventKind::Compute, t0, 0);
         let mut h = Hash::new();
         h.set("job", Value::scalar(idx as f64));
         h.set("price", Value::scalar(r.price));

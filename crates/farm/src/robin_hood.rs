@@ -18,7 +18,7 @@ use crate::instrument;
 use crate::strategy::{prepare_payload_recorded, recover_problem_recorded, Transmission};
 use minimpi::{Comm, MpiBuf, MpiError, World, ANY_SOURCE};
 use nspval::{Hash, Value};
-use obs::{EventKind, Recorder};
+use obs::Recorder;
 use pricing::PricingResult;
 use std::fmt;
 use std::path::PathBuf;
@@ -159,6 +159,11 @@ pub(crate) fn decode_result(v: &Value) -> Option<(usize, f64, Option<f64>)> {
 }
 
 /// Master-side: send job `idx` (file `path`) to `slave`.
+///
+/// `scratch` is a pack buffer hoisted out of the dispatch loop: loaded
+/// strategies recycle one allocation across the whole run
+/// ([`Comm::pack_into`]), and each reuse shows up as an
+/// [`minimpi::obs::EventKind::CopySaved`] mark when recording.
 pub(crate) fn send_job(
     comm: &Comm,
     ctx: &RunCtx,
@@ -166,9 +171,10 @@ pub(crate) fn send_job(
     idx: usize,
     path: &std::path::Path,
     strategy: Transmission,
+    scratch: &mut MpiBuf,
 ) -> Result<(), FarmError> {
     comm.set_job(Some(idx));
-    let sent = send_job_span(comm, ctx, slave, idx, path, strategy);
+    let sent = send_job_span(comm, ctx, slave, idx, path, strategy, scratch);
     comm.set_job(None);
     sent
 }
@@ -180,6 +186,7 @@ fn send_job_span(
     idx: usize,
     path: &std::path::Path,
     strategy: Transmission,
+    scratch: &mut MpiBuf,
 ) -> Result<(), FarmError> {
     // Name message: [name, job index].
     let name = Value::list(vec![
@@ -188,8 +195,8 @@ fn send_job_span(
     ]);
     comm.send_obj(&name, slave as i32, TAG)?;
     if let Some(payload) = prepare_payload_recorded(comm, ctx, strategy, path)? {
-        let packed = comm.pack(&payload);
-        comm.send(packed.bytes(), slave as i32, TAG)?;
+        comm.pack_into(&payload, scratch);
+        comm.send(scratch.bytes(), slave as i32, TAG)?;
     }
     Ok(())
 }
@@ -228,11 +235,8 @@ fn slave_loop(comm: &Comm, ctx: &RunCtx, strategy: Transmission) -> Result<usize
             }
         };
         let problem = recover_problem_recorded(comm, ctx, strategy, &name, payload.as_ref())?;
-        let t0 = instrument::t0(comm);
-        let result = problem
-            .compute()
+        let result = instrument::compute_recorded(comm, ctx, &problem)
             .map_err(|e| FarmError::Io(format!("compute failed: {e}")))?;
-        instrument::span(comm, EventKind::Compute, t0, 0);
         comm.send_obj(&result_value(idx, &result), 0, TAG)?;
         comm.set_job(None);
         done += 1;
@@ -253,11 +257,12 @@ fn master_loop(
     let mut outcomes = Vec::with_capacity(files.len());
     let mut per_slave = vec![0usize; comm.size()];
     let mut next = 0usize;
+    let mut scratch = MpiBuf::with_capacity(0);
 
     // Prime each slave with one job.
     for slave in 1..=slaves {
         if next < files.len() {
-            send_job(comm, ctx, slave, next, &files[next], strategy)?;
+            send_job(comm, ctx, slave, next, &files[next], strategy, &mut scratch)?;
             next += 1;
             ctx.advance(next);
         } else {
@@ -280,7 +285,7 @@ fn master_loop(
         });
         per_slave[st.src] += 1;
         if next < files.len() {
-            send_job(comm, ctx, st.src, next, &files[next], strategy)?;
+            send_job(comm, ctx, st.src, next, &files[next], strategy, &mut scratch)?;
             next += 1;
             ctx.advance(next);
         } else {

@@ -199,12 +199,8 @@ fn supervised_slave(
         let computed = recover_problem_recorded(comm, ctx, strategy, &name, payload.as_ref())
             .map_err(|e| e.to_string())
             .and_then(|p| {
-                let t0 = instrument::t0(comm);
-                let r = p.compute().map_err(|e| format!("compute failed: {e}"));
-                if r.is_ok() {
-                    instrument::span(comm, EventKind::Compute, t0, 0);
-                }
-                r
+                instrument::compute_recorded(comm, ctx, &p)
+                    .map_err(|e| format!("compute failed: {e}"))
             });
         let reply = match &computed {
             Ok(result) => result_value(idx, result),
@@ -340,6 +336,8 @@ fn supervised_master(
     let mut st = MasterState::new(files.len(), ranks);
     let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(files.len());
     let mut per_slave = vec![0usize; ranks];
+    // Reused pack buffer for loaded payloads (see `send_job`).
+    let mut scratch = MpiBuf::with_capacity(0);
 
     while st.unfinished() > 0 {
         // 1. Liveness sweep: notice kills even without trying to send.
@@ -387,7 +385,7 @@ fn supervised_master(
                 break 'dispatch;
             };
             st.pending.pop_front();
-            match send_job(comm, ctx, slave, job, &files[job], strategy) {
+            match send_job(comm, ctx, slave, job, &files[job], strategy, &mut scratch) {
                 Ok(()) => {
                     st.attempts[job] += 1;
                     st.slave_state[slave] = SlaveState::Busy;

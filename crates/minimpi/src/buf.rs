@@ -62,6 +62,14 @@ impl MpiBuf {
         self.data.clear();
         self.data.extend_from_slice(bytes);
     }
+
+    /// Take the underlying storage out of the buffer, leaving it empty
+    /// with zero capacity. `Comm::pack_into` uses this to recycle one
+    /// allocation across a rank's pack → send loop.
+    pub fn take_bytes(&mut self) -> Vec<u8> {
+        self.capacity = 0;
+        std::mem::take(&mut self.data)
+    }
 }
 
 #[cfg(test)]

@@ -30,11 +30,56 @@ impl Status {
     }
 }
 
+/// Message payload storage. Plain sends own their bytes; shared sends
+/// ([`Comm::send_shared`], broadcast fan-out) put one allocation behind an
+/// `Arc` so every in-process destination queues the *same* bytes instead
+/// of a per-destination clone.
+#[derive(Debug, Clone)]
+enum Payload {
+    Owned(Vec<u8>),
+    Shared(Arc<Vec<u8>>),
+}
+
+impl Payload {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Payload::Owned(v) => v,
+            Payload::Shared(a) => a,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Shrink to `keep` bytes (fault-injected truncation). A shared
+    /// payload degrades to an owned copy so the other destinations keep
+    /// their intact bytes.
+    fn truncate(&mut self, keep: usize) {
+        match self {
+            Payload::Owned(v) => v.truncate(keep),
+            Payload::Shared(a) => {
+                *self = Payload::Owned(a[..keep.min(a.len())].to_vec());
+            }
+        }
+    }
+
+    /// Surrender the bytes. Owned payloads move for free; a shared
+    /// payload is reclaimed without a copy when this was the last
+    /// reference (the common case for the final broadcast receiver).
+    fn into_vec(self) -> Vec<u8> {
+        match self {
+            Payload::Owned(v) => v,
+            Payload::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Message {
     src: usize,
     tag: i32,
-    payload: Vec<u8>,
+    payload: Payload,
     /// Advertised length: equals `payload.len()` unless the fault layer
     /// truncated the payload in flight.
     full_len: usize,
@@ -218,6 +263,22 @@ impl Comm {
         }
     }
 
+    /// Record a zero-duration diagnostic mark (e.g. `CopySaved`). No-op
+    /// when the recorder is absent.
+    #[inline]
+    fn obs_mark(&self, kind: EventKind, bytes: usize) {
+        if let Some(rec) = &self.recorder {
+            rec.record(Event {
+                kind,
+                rank: self.rank as u16,
+                job: self.job.get(),
+                start_ns: rec.now_ns(),
+                dur_ns: 0,
+                bytes: bytes as u64,
+            });
+        }
+    }
+
     /// Count one operation against the fault plan. Returns
     /// `Err(Poisoned(self.rank))` if this rank is already dead or the plan
     /// kills it at this op boundary.
@@ -285,10 +346,24 @@ impl Comm {
     /// `MPI_Send`: send raw bytes to `dest` with `tag`.
     pub fn send(&self, bytes: &[u8], dest: i32, tag: i32) -> Result<(), MpiError> {
         Self::check_tag(tag)?;
-        self.send_internal(bytes.to_vec(), dest, tag)
+        self.send_internal(Payload::Owned(bytes.to_vec()), dest, tag)
     }
 
-    fn send_internal(&self, mut payload: Vec<u8>, dest: i32, tag: i32) -> Result<(), MpiError> {
+    /// Send a payload already behind an `Arc` *without copying it*: every
+    /// in-process destination queues a reference to the same allocation.
+    /// This is the broadcast fan-out path — sending the same N-byte
+    /// message to k destinations costs one allocation instead of k.
+    ///
+    /// Each call records the avoided clone as a zero-duration `CopySaved`
+    /// diagnostic mark (bytes = the payload size a [`Comm::send`] would
+    /// have copied).
+    pub fn send_shared(&self, bytes: &Arc<Vec<u8>>, dest: i32, tag: i32) -> Result<(), MpiError> {
+        Self::check_tag(tag)?;
+        self.obs_mark(EventKind::CopySaved, bytes.len());
+        self.send_internal(Payload::Shared(Arc::clone(bytes)), dest, tag)
+    }
+
+    fn send_internal(&self, mut payload: Payload, dest: i32, tag: i32) -> Result<(), MpiError> {
         let dest = self.check_dest(dest)?;
         self.pre_op()?;
         let t0 = self.obs_start();
@@ -398,7 +473,7 @@ impl Comm {
                 return Ok(Some(Message {
                     src: m.src,
                     tag: m.tag,
-                    payload: Vec::new(),
+                    payload: Payload::Owned(Vec::new()),
                     full_len: m.full_len,
                     visible_at: m.visible_at,
                 }));
@@ -445,7 +520,7 @@ impl Comm {
                                     return Ok(Some(Message {
                                         src: m.src,
                                         tag: m.tag,
-                                        payload: Vec::new(),
+                                        payload: Payload::Owned(Vec::new()),
                                         full_len: m.full_len,
                                         visible_at: m.visible_at,
                                     }));
@@ -543,7 +618,7 @@ impl Comm {
         let t0 = self.obs_start();
         let msg = self.recv_message(status.src as i32, status.tag)?;
         let status = msg.status();
-        buf.fill(&msg.payload);
+        buf.fill(msg.payload.as_slice());
         self.obs_span(EventKind::Recv, t0, msg.payload.len());
         Ok(status)
     }
@@ -555,7 +630,7 @@ impl Comm {
         let msg = self.recv_message(src, tag)?;
         let status = msg.status();
         self.obs_span(EventKind::Recv, t0, msg.payload.len());
-        Ok((msg.payload, status))
+        Ok((msg.payload.into_vec(), status))
     }
 
     /// [`Comm::recv`] with a timeout: `Ok(None)` if nothing matching
@@ -573,7 +648,7 @@ impl Comm {
             .map(|msg| {
                 let status = msg.status();
                 self.obs_span(EventKind::Recv, t0, msg.payload.len());
-                (msg.payload, status)
+                (msg.payload.into_vec(), status)
             }))
     }
 
@@ -629,7 +704,7 @@ impl Comm {
         let t0 = self.obs_start();
         let bytes = xdrser::serialize_to_bytes(v);
         self.obs_span(EventKind::Serialize, t0, bytes.len());
-        self.send_internal(bytes, dest, tag)
+        self.send_internal(Payload::Owned(bytes), dest, tag)
     }
 
     /// `MPI_Recv_Obj`: receive and deserialize a value. Per §3.2, when the
@@ -703,6 +778,27 @@ impl Comm {
         buf
     }
 
+    /// [`Comm::pack`] into a caller-owned buffer, recycling its
+    /// allocation: the buffer is cleared and the frame is encoded into
+    /// the existing storage. A rank that packs one message per job keeps
+    /// the pack path allocation-free in steady state; the reused bytes
+    /// (capacity already in hand, capped by the frame size) are recorded
+    /// as a zero-duration `CopySaved` diagnostic mark. Returns the
+    /// packed length.
+    pub fn pack_into(&self, v: &Value, buf: &mut MpiBuf) -> usize {
+        let t0 = self.obs_start();
+        let mut data = buf.take_bytes();
+        let reusable = data.capacity();
+        let len = xdrser::serialize_into(v, &mut data);
+        *buf = MpiBuf::from_bytes(data);
+        self.obs_span(EventKind::Pack, t0, len);
+        let saved = reusable.min(len);
+        if saved > 0 {
+            self.obs_mark(EventKind::CopySaved, saved);
+        }
+        len
+    }
+
     /// `MPI_Unpack`: decode a buffer produced by [`Comm::pack`].
     pub fn unpack(&self, buf: &MpiBuf) -> Result<Value, MpiError> {
         let t0 = self.obs_start();
@@ -731,14 +827,20 @@ impl Comm {
     }
 
     /// `MPI_Bcast` of a value from `root` (simple linear fan-out).
+    ///
+    /// The root serializes once and fans the *same* allocation out behind
+    /// an `Arc` ([`Comm::send_shared`]) — broadcasting an N-byte value to
+    /// k destinations used to clone it k times; now it never copies on
+    /// the send side, and the saved bytes land in the recorder as
+    /// `CopySaved` marks.
     pub fn bcast(&self, v: Option<&Value>, root: usize) -> Result<Value, MpiError> {
         const BCAST_TAG: i32 = i32::MAX - 1;
         if self.rank == root {
             let v = v.expect("root must supply the broadcast value");
-            let bytes = xdrser::serialize_to_bytes(v);
+            let bytes = Arc::new(xdrser::serialize_to_bytes(v));
             for dest in 0..self.size() {
                 if dest != root {
-                    self.send_internal(bytes.clone(), dest as i32, BCAST_TAG)?;
+                    self.send_shared(&bytes, dest as i32, BCAST_TAG)?;
                 }
             }
             Ok(v.clone())
@@ -762,7 +864,7 @@ impl Comm {
             Ok(Some(total))
         } else {
             self.send_internal(
-                xdrser::serialize_to_bytes(&Value::scalar(x)),
+                Payload::Owned(xdrser::serialize_to_bytes(&Value::scalar(x))),
                 root as i32,
                 REDUCE_TAG,
             )?;
@@ -1025,6 +1127,127 @@ mod tests {
             c.bcast(v.as_ref(), 1).unwrap().as_str().unwrap().to_string()
         });
         assert_eq!(out, vec!["params", "params", "params"]);
+    }
+
+    #[test]
+    fn send_shared_delivers_one_allocation_to_every_rank() {
+        let payload = vec![42u8; 4096];
+        let out = World::run(4, |c| {
+            if c.rank() == 0 {
+                let shared = Arc::new(payload.clone());
+                for dest in 1..c.size() {
+                    c.send_shared(&shared, dest as i32, 5).unwrap();
+                }
+                // The root still holds the only *sender-side* handle:
+                // everything else lives in the mailboxes until consumed.
+                shared.len()
+            } else {
+                let (bytes, st) = c.recv(0, 5).unwrap();
+                assert_eq!(st.count(), 4096);
+                assert!(bytes.iter().all(|&b| b == 42));
+                bytes.len()
+            }
+        });
+        assert_eq!(out, vec![4096; 4]);
+    }
+
+    #[test]
+    fn shared_sends_record_copy_saved_marks() {
+        use obs::Recorder;
+        let rec = Arc::new(Recorder::new(3));
+        World::run_instrumented(3, None, Some(rec.clone()), |c| {
+            if c.rank() == 0 {
+                let v = Value::string("broadcast me");
+                c.bcast(Some(&v), 0).unwrap();
+            } else {
+                c.bcast(None, 0).unwrap();
+            }
+        });
+        let events = rec.events();
+        let saved: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::CopySaved)
+            .collect();
+        // One avoided clone per non-root destination, all on the root.
+        assert_eq!(saved.len(), 2);
+        assert!(saved.iter().all(|e| e.rank == 0 && e.dur_ns == 0));
+        let frame = xdrser::serialize_to_bytes(&Value::string("broadcast me")).len();
+        assert!(saved.iter().all(|e| e.bytes == frame as u64));
+    }
+
+    #[test]
+    fn pack_into_matches_pack_and_reuses_capacity() {
+        World::run(1, |c| {
+            let v = Value::string("a value big enough to need real bytes");
+            let reference = c.pack(&v);
+            let mut buf = MpiBuf::with_capacity(0);
+            // First pack: no capacity to recycle yet.
+            let n1 = c.pack_into(&v, &mut buf);
+            assert_eq!(buf.bytes(), reference.bytes());
+            assert_eq!(n1, reference.len());
+            // Second pack recycles the first frame's allocation and is
+            // still byte-identical.
+            let n2 = c.pack_into(&v, &mut buf);
+            assert_eq!(n2, n1);
+            assert_eq!(buf.bytes(), reference.bytes());
+            // The recycled buffer round-trips through unpack.
+            assert_eq!(c.unpack(&buf).unwrap().as_str(), v.as_str());
+        });
+    }
+
+    #[test]
+    fn pack_into_records_copy_saved_only_on_reuse() {
+        use obs::Recorder;
+        let rec = Arc::new(Recorder::new(1));
+        World::run_instrumented(1, None, Some(rec.clone()), |c| {
+            let v = Value::string("steady-state frame");
+            let mut buf = MpiBuf::with_capacity(0);
+            c.pack_into(&v, &mut buf); // cold: nothing to reuse
+            c.pack_into(&v, &mut buf); // warm: full frame reused
+            c.pack_into(&v, &mut buf); // warm again
+        });
+        let events = rec.events();
+        let saved: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::CopySaved)
+            .collect();
+        assert_eq!(saved.len(), 2, "only the warm packs save bytes");
+        let frame = xdrser::serialize_to_bytes(&Value::string("steady-state frame")).len();
+        assert!(saved.iter().all(|e| e.bytes >= frame as u64));
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.kind == EventKind::Pack)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn truncated_shared_payload_degrades_without_corrupting_peers() {
+        // Rank 0 shares one payload with ranks 1 and 2; the fault plan
+        // truncates the *first* send in flight. The second destination
+        // must still see the intact bytes (copy-on-truncate).
+        let plan = Arc::new(FaultPlan::new(11).force_send(0, 0, SendFault::Truncate(3)));
+        let out = World::run_with_faults(3, plan, |c| {
+            if c.rank() == 0 {
+                let shared = Arc::new(vec![7u8; 64]);
+                c.send_shared(&shared, 1, 9).unwrap();
+                c.send_shared(&shared, 2, 9).unwrap();
+                0
+            } else if c.rank() == 1 {
+                // The mangled frame errors, then gets discarded.
+                let err = c.recv(0, 9);
+                assert!(matches!(err, Err(MpiError::Truncated { .. })));
+                assert!(c.discard(0, 9).unwrap());
+                1
+            } else {
+                let (bytes, _) = c.recv(0, 9).unwrap();
+                assert_eq!(bytes, vec![7u8; 64]);
+                2
+            }
+        });
+        assert_eq!(out, vec![0, 1, 2]);
     }
 
     #[test]

@@ -59,11 +59,27 @@ pub enum EventKind {
     /// Master-side prefetch of a problem into the store ahead of
     /// dispatch (recorded on the prefetcher's own virtual rank).
     Prefetch,
+    /// One executed chunk of an intra-slave parallel compute region
+    /// (`bytes` = paths the chunk covered). Emitted *after* the parallel
+    /// region by the rank's own thread. Diagnostic: its seconds are
+    /// worker-CPU time already covered by the enclosing [`Compute`]
+    /// span's wall time, so it is excluded from
+    /// [`crate::Breakdown::total_s`].
+    ///
+    /// [`Compute`]: EventKind::Compute
+    ComputeChunk,
+    /// Work-stealing activity inside a parallel compute region
+    /// (zero-duration mark; `bytes` = successful steals). Diagnostic.
+    Steal,
+    /// A per-message payload copy the comm layer avoided by sharing one
+    /// buffer across in-process destinations (zero-duration mark;
+    /// `bytes` = bytes *not* copied). Diagnostic.
+    CopySaved,
 }
 
 impl EventKind {
     /// Every kind, in declaration (and render) order.
-    pub const ALL: [EventKind; 18] = [
+    pub const ALL: [EventKind; 21] = [
         EventKind::Pack,
         EventKind::Send,
         EventKind::Probe,
@@ -82,6 +98,18 @@ impl EventKind {
         EventKind::Compress,
         EventKind::Decompress,
         EventKind::Prefetch,
+        EventKind::ComputeChunk,
+        EventKind::Steal,
+        EventKind::CopySaved,
+    ];
+
+    /// Diagnostic kinds: double-counted or purely informational marks
+    /// whose seconds/bytes are already represented by a primary phase.
+    /// Excluded from [`crate::Breakdown::total_s`]'s cpu-seconds budget.
+    pub const DIAGNOSTIC: [EventKind; 3] = [
+        EventKind::ComputeChunk,
+        EventKind::Steal,
+        EventKind::CopySaved,
     ];
 
     /// Stable lowercase label used in rendered tables and JSON.
@@ -105,6 +133,9 @@ impl EventKind {
             EventKind::Compress => "compress",
             EventKind::Decompress => "decompress",
             EventKind::Prefetch => "prefetch",
+            EventKind::ComputeChunk => "compute_chunk",
+            EventKind::Steal => "steal",
+            EventKind::CopySaved => "copy_saved",
         }
     }
 }

@@ -127,6 +127,17 @@ impl BreakdownReport {
                 b.total_s(),
                 run.wall_s * run.cpus as f64
             );
+            if b.parallel_s() > 0.0 {
+                let _ = writeln!(
+                    out,
+                    "  -- intra-slave parallelism x{:.2} ({:.6} chunk-s over {:.6} compute-s, {} chunks, {} steals)",
+                    b.parallelism(),
+                    b.parallel_s(),
+                    b.compute_s(),
+                    b.count_of(crate::event::EventKind::ComputeChunk),
+                    b.bytes_of(crate::event::EventKind::Steal),
+                );
+            }
             if b.cache_hit_rate() > 0.0 {
                 let _ = writeln!(
                     out,
@@ -173,6 +184,12 @@ impl BreakdownReport {
                 json_f64(b.compute_s()),
                 json_f64(b.store_s()),
                 json_f64(b.cache_hit_rate())
+            );
+            let _ = write!(
+                s,
+                ",\"parallel_s\":{},\"parallelism\":{}",
+                json_f64(b.parallel_s()),
+                json_f64(b.parallelism())
             );
             s.push_str(",\"phases\":[");
             for (j, p) in b.phases.iter().enumerate() {

@@ -4,6 +4,7 @@
 
 use crate::models::Vasicek;
 use crate::options::OptionRight;
+use exec::{stream_seed, ExecPolicy};
 use numerics::norm_cdf;
 use numerics::rng::NormalGen;
 use numerics::stats::RunningStats;
@@ -68,6 +69,49 @@ pub fn mc_zcb_price(m: &Vasicek, maturity: f64, cfg: &McConfig) -> McResult {
         } else {
             stats.push(d1);
         }
+    }
+    McResult {
+        price: stats.mean(),
+        std_error: stats.std_error(),
+        delta: None,
+    }
+}
+
+/// Chunked-deterministic variant of [`mc_zcb_price`]: per-chunk
+/// [`stream_seed`]-derived OU streams, chunk-order merge — bit-identical
+/// for any worker count in `pol`.
+pub fn mc_zcb_price_exec(
+    m: &Vasicek,
+    maturity: f64,
+    cfg: &McConfig,
+    pol: &ExecPolicy,
+) -> McResult {
+    cfg.validate().expect("invalid MC config");
+    assert!(maturity > 0.0);
+    let dt = maturity / cfg.time_steps as f64;
+    let parts = pol.run(cfg.paths, |c| {
+        let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+        let mut gen = NormalGen::new();
+        let mut zs = vec![0.0; cfg.time_steps];
+        let mut stats = RunningStats::new();
+        for _ in c.start..c.end {
+            gen.fill(&mut rng, &mut zs);
+            let d1 = discount_path(m, dt, &zs);
+            if cfg.antithetic {
+                for z in zs.iter_mut() {
+                    *z = -*z;
+                }
+                let d2 = discount_path(m, dt, &zs);
+                stats.push(0.5 * (d1 + d2));
+            } else {
+                stats.push(d1);
+            }
+        }
+        stats
+    });
+    let mut stats = RunningStats::new();
+    for p in &parts {
+        stats.merge(p);
     }
     McResult {
         price: stats.mean(),
@@ -182,6 +226,29 @@ mod tests {
                 mc.std_error
             );
         }
+    }
+
+    #[test]
+    fn exec_zcb_bit_identical_across_worker_counts_and_valid() {
+        let m = model();
+        let cfg = McConfig {
+            paths: 20_000,
+            time_steps: 50,
+            antithetic: true,
+            seed: 9,
+        };
+        let p1 = mc_zcb_price_exec(&m, 2.0, &cfg, &ExecPolicy::new(1));
+        let p2 = mc_zcb_price_exec(&m, 2.0, &cfg, &ExecPolicy::new(2));
+        let p8 = mc_zcb_price_exec(&m, 2.0, &cfg, &ExecPolicy::new(8));
+        assert_eq!(p1.price.to_bits(), p2.price.to_bits());
+        assert_eq!(p1.price.to_bits(), p8.price.to_bits());
+        assert_eq!(p1.std_error.to_bits(), p8.std_error.to_bits());
+        let exact = m.zcb_price(2.0);
+        assert!(
+            (p1.price - exact).abs() < 4.0 * p1.std_error + 1e-4,
+            "exec zcb {} exact {exact}",
+            p1.price
+        );
     }
 
     #[test]

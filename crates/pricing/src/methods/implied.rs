@@ -36,6 +36,27 @@ impl std::fmt::Display for ImpliedVolError {
 
 impl std::error::Error for ImpliedVolError {}
 
+/// Converged inversion with solver diagnostics.
+///
+/// Calibration sweeps (a whole smile per maturity, per bump scenario)
+/// invert thousands of prices; the iteration count is the natural unit
+/// for profiling them, exactly as the per-phase spans are for the farm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImpliedVol {
+    /// The implied volatility σ*.
+    pub sigma: f64,
+    /// Newton/bisection iterations actually spent (0 for degenerate
+    /// intrinsic prices that short-circuit).
+    pub iterations: usize,
+    /// |BS(σ*) − price| at exit.
+    pub residual: f64,
+}
+
+/// Iteration cap. The safeguarded Newton iteration converges in well
+/// under 20 steps for any arbitrage-free price; the cap only guards
+/// against pathological floating-point cycling.
+const MAX_ITER: usize = 100;
+
 /// Invert Black–Scholes: find σ such that `BS(σ) = price`.
 ///
 /// `market` supplies spot, rate and dividend; its `sigma` field is
@@ -45,6 +66,25 @@ pub fn implied_vol(
     option: &Vanilla,
     price: f64,
 ) -> Result<f64, ImpliedVolError> {
+    implied_vol_diagnostic(market, option, price).map(|iv| iv.sigma)
+}
+
+/// [`implied_vol`], returning the full [`ImpliedVol`] diagnostic.
+///
+/// The solver stops on the **first** of three conditions rather than
+/// always burning a fixed iteration budget:
+///
+/// 1. price convergence: |BS(σ) − price| < 1e-12 · spot;
+/// 2. bracket collapse: the maintained bisection bracket `[lo, hi]`
+///    narrows below floating-point resolution around σ — the answer
+///    cannot improve further even when the price tolerance is
+///    unreachable (deep in/out-of-the-money, vega ≈ 0);
+/// 3. the [`MAX_ITER`] safety cap.
+pub fn implied_vol_diagnostic(
+    market: &BlackScholes,
+    option: &Vanilla,
+    price: f64,
+) -> Result<ImpliedVol, ImpliedVolError> {
     option.validate().expect("invalid option");
     let t = option.maturity;
     let k = option.strike;
@@ -65,7 +105,11 @@ pub fn implied_vol(
     }
     // Degenerate: price exactly intrinsic ⇒ σ → 0.
     if price <= lower + 1e-14 {
-        return Ok(1e-8);
+        return Ok(ImpliedVol {
+            sigma: 1e-8,
+            iterations: 0,
+            residual: 0.0,
+        });
     }
 
     let f = |sigma: f64| -> (f64, f64) {
@@ -86,15 +130,32 @@ pub fn implied_vol(
     }
     let mut sigma = 0.2; // conventional start
     let tol = 1e-12 * market.spot.max(1.0);
-    for _ in 0..100 {
-        let (diff, vega) = f(sigma);
+    let mut diff = 0.0;
+    for iterations in 1..=MAX_ITER {
+        let vega;
+        (diff, vega) = f(sigma);
         if diff.abs() < tol {
-            return Ok(sigma);
+            // Price converged.
+            return Ok(ImpliedVol {
+                sigma,
+                iterations,
+                residual: diff.abs(),
+            });
         }
         if diff > 0.0 {
             hi = sigma;
         } else {
             lo = sigma;
+        }
+        if hi - lo < 1e-12 * sigma.max(1.0) {
+            // Bracket collapsed to floating-point resolution around σ:
+            // more iterations cannot move the answer (typically a
+            // vega ≈ 0 corner where the price tolerance is unreachable).
+            return Ok(ImpliedVol {
+                sigma,
+                iterations,
+                residual: diff.abs(),
+            });
         }
         // Newton step, safeguarded by the bracket.
         let newton = sigma - diff / vega.max(1e-12);
@@ -104,7 +165,11 @@ pub fn implied_vol(
             0.5 * (lo + hi)
         };
     }
-    Ok(sigma)
+    Ok(ImpliedVol {
+        sigma,
+        iterations: MAX_ITER,
+        residual: diff.abs(),
+    })
 }
 
 #[cfg(test)]
@@ -151,6 +216,54 @@ mod tests {
         let price = bs_price(&BlackScholes { sigma: 0.33, ..m }, &opt).price;
         let iv = implied_vol(&m, &opt, price).unwrap();
         assert!((iv - 0.33).abs() < 1e-8, "recovered {iv}");
+    }
+
+    #[test]
+    fn diagnostic_reports_fast_convergence_on_known_vol() {
+        let m = market();
+        let opt = Vanilla::european_call(105.0, 1.0);
+        let price = bs_price(&BlackScholes { sigma: 0.27, ..m }, &opt).price;
+        let iv = implied_vol_diagnostic(&m, &opt, price).unwrap();
+        assert!((iv.sigma - 0.27).abs() < 1e-10, "recovered {}", iv.sigma);
+        // Safeguarded Newton on a near-the-money option is quadratic:
+        // single-digit iterations, never the 100-step budget.
+        assert!(
+            (1..=10).contains(&iv.iterations),
+            "took {} iterations",
+            iv.iterations
+        );
+        assert!(iv.residual < 1e-12 * m.spot);
+        // The scalar entry point agrees with the diagnostic one.
+        assert_eq!(implied_vol(&m, &opt, price).unwrap(), iv.sigma);
+    }
+
+    #[test]
+    fn bracket_collapse_terminates_vega_starved_corners() {
+        // Deep ITM, tiny maturity: vega is ~0 and the 1e-12·spot price
+        // tolerance can be unreachable. The bracket-collapse exit must
+        // still terminate well under the iteration cap with the bracket
+        // at floating-point resolution.
+        let m = market();
+        let opt = Vanilla::european_call(40.0, 0.05);
+        let price = bs_price(&BlackScholes { sigma: 0.15, ..m }, &opt).price;
+        let iv = implied_vol_diagnostic(&m, &opt, price).unwrap();
+        assert!(iv.iterations < 100, "hit the cap: {}", iv.iterations);
+        // Whatever σ it settles on must reproduce the price to far
+        // better than a basis point of spot.
+        let back = bs_price(&BlackScholes { sigma: iv.sigma, ..m }, &opt).price;
+        assert!((back - price).abs() < 1e-8 * m.spot);
+    }
+
+    #[test]
+    fn degenerate_intrinsic_price_reports_zero_iterations() {
+        let m = market();
+        let opt = Vanilla::european_call(80.0, 1.0);
+        let t = opt.maturity;
+        let intrinsic =
+            m.spot * (-m.dividend * t).exp() - opt.strike * (-m.rate * t).exp();
+        let iv = implied_vol_diagnostic(&m, &opt, intrinsic).unwrap();
+        assert_eq!(iv.iterations, 0);
+        assert!(iv.sigma < 1e-6);
     }
 
     #[test]

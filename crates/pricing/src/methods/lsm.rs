@@ -9,8 +9,17 @@
 //! state to estimate the continuation value, exercising when intrinsic
 //! value beats it.
 
+//! The `*_exec` variants parallelise the **path-generation** stage (the
+//! dominant cost) through the [`exec`] chunked executor: each chunk of
+//! paths simulates from its own [`exec::stream_seed`]-derived stream and
+//! the per-chunk state blocks are scattered back in chunk order, so the
+//! generated state matrix — and therefore the regression and the price —
+//! is bit-identical for any worker count. The backward induction stays
+//! sequential (it is a cross-path regression per date).
+
 use crate::models::{BlackScholes, Heston, MultiBlackScholes};
 use crate::options::{BasketOption, Exercise, OptionRight, Vanilla};
+use exec::{stream_seed, ExecPolicy};
 use numerics::linalg::lstsq;
 use numerics::poly::{BasisKind, RegressionBasis};
 use numerics::rng::NormalGen;
@@ -134,6 +143,33 @@ fn lsm_backward(
     }
 }
 
+/// Reassemble chunk-generated path blocks into the `states[d][p]` matrix
+/// the backward induction consumes. Each block is paths-major
+/// (`c.len() × dates × dim` flat), blocks arrive in chunk order, so the
+/// scatter is a pure function of the chunk partition.
+fn scatter_blocks(
+    blocks: &[Vec<f64>],
+    paths: usize,
+    dates: usize,
+    dim: usize,
+) -> Vec<Vec<Vec<f64>>> {
+    let mut states = vec![vec![vec![0.0; dim]; paths]; dates];
+    let row_len = dates * dim;
+    let mut p0 = 0usize;
+    for block in blocks {
+        let n = block.len() / row_len;
+        for pi in 0..n {
+            let row = &block[pi * row_len..(pi + 1) * row_len];
+            for d in 0..dates {
+                states[d][p0 + pi].copy_from_slice(&row[d * dim..(d + 1) * dim]);
+            }
+        }
+        p0 += n;
+    }
+    debug_assert_eq!(p0, paths);
+    states
+}
+
 /// American put under Black–Scholes via LSM.
 pub fn lsm_vanilla_bs(m: &BlackScholes, option: &Vanilla, cfg: &LsmConfig) -> McResult {
     cfg.validate().expect("invalid LSM config");
@@ -202,6 +238,98 @@ pub fn lsm_basket(m: &MultiBlackScholes, option: &BasketOption, cfg: &LsmConfig)
     )
 }
 
+/// Chunked-deterministic variant of [`lsm_basket`]: per-chunk correlated
+/// streams, chunk-order scatter — bit-identical for any worker count.
+pub fn lsm_basket_exec(
+    m: &MultiBlackScholes,
+    option: &BasketOption,
+    cfg: &LsmConfig,
+    pol: &ExecPolicy,
+) -> McResult {
+    cfg.validate().expect("invalid LSM config");
+    option.validate().expect("invalid option");
+    assert!(option.exercise == Exercise::American, "LSM prices American claims");
+    let dt = option.maturity / cfg.exercise_dates as f64;
+    let dates = cfg.exercise_dates;
+    let dim = m.dim;
+    let blocks = pol.run(cfg.paths, |c| {
+        let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+        let mut corr = m.correlator();
+        let mut z = vec![0.0; dim];
+        let mut block = vec![0.0; c.len() * dates * dim];
+        for pi in 0..c.len() {
+            let row = &mut block[pi * dates * dim..(pi + 1) * dates * dim];
+            let mut s = vec![m.spot; dim];
+            for d in 0..dates {
+                corr.sample(&mut rng, &mut z);
+                m.step(&mut s, dt, &z);
+                row[d * dim..(d + 1) * dim].copy_from_slice(&s);
+            }
+        }
+        block
+    });
+    let states = scatter_blocks(&blocks, cfg.paths, dates, dim);
+    let k = option.strike;
+    lsm_backward(
+        &states,
+        &move |st: &[f64]| {
+            let avg = st.iter().sum::<f64>() / st.len() as f64;
+            (k - avg).max(0.0)
+        },
+        dt,
+        m.rate,
+        m.spot,
+        cfg,
+    )
+}
+
+/// Chunked-deterministic variant of [`lsm_vanilla_bs`]: path generation
+/// runs on the [`exec`] executor with per-chunk [`stream_seed`]-derived
+/// streams, so the price is bit-identical for any worker count in `pol`.
+pub fn lsm_vanilla_bs_exec(
+    m: &BlackScholes,
+    option: &Vanilla,
+    cfg: &LsmConfig,
+    pol: &ExecPolicy,
+) -> McResult {
+    cfg.validate().expect("invalid LSM config");
+    option.validate().expect("invalid option");
+    assert!(
+        option.exercise == Exercise::American,
+        "LSM prices American claims"
+    );
+    assert!(
+        option.right == OptionRight::Put,
+        "American calls without dividends are European; benchmark uses puts"
+    );
+    let dt = option.maturity / cfg.exercise_dates as f64;
+    let dates = cfg.exercise_dates;
+    let blocks = pol.run(cfg.paths, |c| {
+        let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+        let mut gen = NormalGen::new();
+        let mut block = vec![0.0; c.len() * dates];
+        for pi in 0..c.len() {
+            let row = &mut block[pi * dates..(pi + 1) * dates];
+            let mut s = m.spot;
+            for slot in row.iter_mut() {
+                s = m.step(s, dt, gen.sample(&mut rng));
+                *slot = s;
+            }
+        }
+        block
+    });
+    let states = scatter_blocks(&blocks, cfg.paths, dates, 1);
+    let k = option.strike;
+    lsm_backward(
+        &states,
+        &|st: &[f64]| (k - st[0]).max(0.0),
+        dt,
+        m.rate,
+        m.spot,
+        cfg,
+    )
+}
+
 /// American put under Heston via LSM — the §3.3 example
 /// (`Heston1dim` + `MC_AM_*_LongstaffSchwartz`). The regression state is
 /// `(S, v)`; we regress on the polynomial basis of `S` augmented with a
@@ -229,6 +357,49 @@ pub fn lsm_heston(m: &Heston, option: &Vanilla, cfg: &LsmConfig) -> McResult {
             states[d][p][0] = s;
         }
     }
+    let k = option.strike;
+    lsm_backward(
+        &states,
+        &move |st: &[f64]| (k - st[0]).max(0.0),
+        dt,
+        m.rate,
+        m.spot,
+        cfg,
+    )
+}
+
+/// Chunked-deterministic variant of [`lsm_heston`]: per-chunk `(S, v)`
+/// streams, chunk-order scatter — bit-identical for any worker count.
+pub fn lsm_heston_exec(
+    m: &Heston,
+    option: &Vanilla,
+    cfg: &LsmConfig,
+    pol: &ExecPolicy,
+) -> McResult {
+    cfg.validate().expect("invalid LSM config");
+    option.validate().expect("invalid option");
+    assert!(option.exercise == Exercise::American, "LSM prices American claims");
+    assert!(option.right == OptionRight::Put, "benchmark uses American puts");
+    let dt = option.maturity / cfg.exercise_dates as f64;
+    let dates = cfg.exercise_dates;
+    let blocks = pol.run(cfg.paths, |c| {
+        let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+        let mut gen = NormalGen::new();
+        let mut block = vec![0.0; c.len() * dates];
+        for pi in 0..c.len() {
+            let row = &mut block[pi * dates..(pi + 1) * dates];
+            let mut s = m.spot;
+            let mut v = m.v0;
+            for slot in row.iter_mut() {
+                let (s2, v2) = m.step(s, v, dt, gen.sample(&mut rng), gen.sample(&mut rng));
+                s = s2;
+                v = v2;
+                *slot = s;
+            }
+        }
+        block
+    });
+    let states = scatter_blocks(&blocks, cfg.paths, dates, 1);
     let k = option.strike;
     lsm_backward(
         &states,
@@ -385,6 +556,58 @@ mod tests {
         let opt = Vanilla::american_put(100.0, 1.0);
         let lsm = lsm_vanilla_bs(&m, &opt, &quick_cfg()).price;
         assert!(lsm >= 49.5, "deep ITM american put {lsm} << intrinsic 50");
+    }
+
+    #[test]
+    fn exec_lsm_bit_identical_across_worker_counts() {
+        let cfg = LsmConfig {
+            paths: 4_000,
+            exercise_dates: 12,
+            ..LsmConfig::default()
+        };
+        let bs = model();
+        let put = Vanilla::american_put(100.0, 1.0);
+        let multi = MultiBlackScholes::new(4, 100.0, 0.2, 0.3, 0.05, 0.0);
+        let basket = BasketOption::american_put(100.0, 1.0);
+        let hes = Heston::standard(100.0, 0.05);
+        for (label, run) in [
+            (
+                "vanilla",
+                Box::new(|w: usize| lsm_vanilla_bs_exec(&bs, &put, &cfg, &ExecPolicy::new(w)).price)
+                    as Box<dyn Fn(usize) -> f64>,
+            ),
+            (
+                "basket",
+                Box::new(|w: usize| lsm_basket_exec(&multi, &basket, &cfg, &ExecPolicy::new(w)).price),
+            ),
+            (
+                "heston",
+                Box::new(|w: usize| lsm_heston_exec(&hes, &put, &cfg, &ExecPolicy::new(w)).price),
+            ),
+        ] {
+            let p1 = run(1);
+            let p2 = run(2);
+            let p8 = run(8);
+            assert_eq!(p1.to_bits(), p2.to_bits(), "{label}: 1 vs 2 workers");
+            assert_eq!(p1.to_bits(), p8.to_bits(), "{label}: 1 vs 8 workers");
+        }
+    }
+
+    #[test]
+    fn exec_lsm_agrees_with_sequential_statistically() {
+        // The chunked variant draws a *different* (equally valid) sample
+        // than the legacy sequential kernel, so prices agree statistically.
+        let m = model();
+        let opt = Vanilla::american_put(100.0, 1.0);
+        let cfg = quick_cfg();
+        let seq = lsm_vanilla_bs(&m, &opt, &cfg);
+        let par = lsm_vanilla_bs_exec(&m, &opt, &cfg, &ExecPolicy::new(4));
+        assert!(
+            (seq.price - par.price).abs() < 4.0 * (seq.std_error + par.std_error) + 0.05,
+            "seq {} par {}",
+            seq.price,
+            par.price
+        );
     }
 
     #[test]

@@ -11,9 +11,19 @@
 //! * full-truncation simulation for Heston,
 //! * a quasi-Monte-Carlo (Sobol/Halton + inverse-CDF) variant used by the
 //!   ablation benchmarks.
+//!
+//! Every plain-MC pricer also has a `*_exec` variant that runs the path
+//! loop through the [`exec`] chunked executor: the path space is split
+//! into fixed-size chunks, each chunk draws from its own
+//! [`exec::stream_seed`]-derived RNG stream, and chunk partials are
+//! merged in chunk order — so the price is **bit-identical for any
+//! worker count** (see `docs/PARALLEL.md`). The chunked result is a
+//! different (equally valid) sample than the legacy single-stream loop,
+//! which therefore stays as the default path.
 
 use crate::models::{BlackScholes, Heston, LocalVol, MultiBlackScholes};
 use crate::options::{BasketOption, Exercise, Vanilla};
+use exec::{stream_seed, ExecPolicy};
 use numerics::rng::NormalGen;
 use numerics::sobol::{Halton, Sobol};
 use numerics::stats::RunningStats;
@@ -110,6 +120,54 @@ pub fn mc_vanilla_bs(m: &BlackScholes, option: &Vanilla, cfg: &McConfig) -> McRe
     }
 }
 
+/// Chunked-deterministic variant of [`mc_vanilla_bs`]: each chunk of
+/// paths draws from its own [`stream_seed`]-derived stream and the
+/// per-chunk statistics are merged in chunk order, so the result is
+/// bit-identical for any worker count in `pol`.
+pub fn mc_vanilla_bs_exec(
+    m: &BlackScholes,
+    option: &Vanilla,
+    cfg: &McConfig,
+    pol: &ExecPolicy,
+) -> McResult {
+    cfg.validate().expect("invalid MC config");
+    option.validate().expect("invalid option");
+    assert_european(option.exercise);
+    let t = option.maturity;
+    let df = m.discount(t);
+    let sign = option.right.sign();
+    let parts = pol.run(cfg.paths, |c| {
+        let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+        let mut gen = NormalGen::new();
+        let mut stats = RunningStats::new();
+        let mut delta_stats = RunningStats::new();
+        for _ in c.start..c.end {
+            let z = gen.sample(&mut rng);
+            let (pay, dlt) = vanilla_sample(m, option, t, z, sign);
+            if cfg.antithetic {
+                let (pay2, dlt2) = vanilla_sample(m, option, t, -z, sign);
+                stats.push(df * 0.5 * (pay + pay2));
+                delta_stats.push(df * 0.5 * (dlt + dlt2));
+            } else {
+                stats.push(df * pay);
+                delta_stats.push(df * dlt);
+            }
+        }
+        (stats, delta_stats)
+    });
+    let mut stats = RunningStats::new();
+    let mut delta_stats = RunningStats::new();
+    for (s, d) in &parts {
+        stats.merge(s);
+        delta_stats.merge(d);
+    }
+    McResult {
+        price: stats.mean(),
+        std_error: stats.std_error(),
+        delta: Some(delta_stats.mean()),
+    }
+}
+
 #[inline]
 fn vanilla_sample(m: &BlackScholes, option: &Vanilla, t: f64, z: f64, sign: f64) -> (f64, f64) {
     let st = m.terminal(t, z);
@@ -170,6 +228,52 @@ pub fn mc_basket(m: &MultiBlackScholes, option: &BasketOption, cfg: &McConfig) -
         } else {
             stats.push(df * pay);
         }
+    }
+    McResult {
+        price: stats.mean(),
+        std_error: stats.std_error(),
+        delta: None,
+    }
+}
+
+/// Chunked-deterministic variant of [`mc_basket`] (per-chunk correlated
+/// streams, chunk-order merge — bit-identical for any worker count).
+pub fn mc_basket_exec(
+    m: &MultiBlackScholes,
+    option: &BasketOption,
+    cfg: &McConfig,
+    pol: &ExecPolicy,
+) -> McResult {
+    cfg.validate().expect("invalid MC config");
+    option.validate().expect("invalid option");
+    assert_european(option.exercise);
+    let t = option.maturity;
+    let df = m.discount(t);
+    let parts = pol.run(cfg.paths, |c| {
+        let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+        let mut corr = m.correlator();
+        let mut z = vec![0.0; m.dim];
+        let mut s = vec![0.0; m.dim];
+        let mut stats = RunningStats::new();
+        for _ in c.start..c.end {
+            corr.sample(&mut rng, &mut z);
+            m.terminal(t, &z, &mut s);
+            let pay = option.payoff(&s);
+            if cfg.antithetic {
+                for zi in z.iter_mut() {
+                    *zi = -*zi;
+                }
+                m.terminal(t, &z, &mut s);
+                stats.push(df * 0.5 * (pay + option.payoff(&s)));
+            } else {
+                stats.push(df * pay);
+            }
+        }
+        stats
+    });
+    let mut stats = RunningStats::new();
+    for p in &parts {
+        stats.merge(p);
     }
     McResult {
         price: stats.mean(),
@@ -240,6 +344,50 @@ pub fn mc_local_vol(m: &LocalVol, option: &Vanilla, cfg: &McConfig) -> McResult 
     }
 }
 
+/// Chunked-deterministic variant of [`mc_local_vol`].
+pub fn mc_local_vol_exec(
+    m: &LocalVol,
+    option: &Vanilla,
+    cfg: &McConfig,
+    pol: &ExecPolicy,
+) -> McResult {
+    cfg.validate().expect("invalid MC config");
+    option.validate().expect("invalid option");
+    assert_european(option.exercise);
+    let t = option.maturity;
+    let df = m.discount(t);
+    let dt = t / cfg.time_steps as f64;
+    let parts = pol.run(cfg.paths, |c| {
+        let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+        let mut gen = NormalGen::new();
+        let mut zbuf = vec![0.0; cfg.time_steps];
+        let mut stats = RunningStats::new();
+        for _ in c.start..c.end {
+            gen.fill(&mut rng, &mut zbuf);
+            let pay = local_vol_path(m, option, dt, &zbuf);
+            if cfg.antithetic {
+                for z in zbuf.iter_mut() {
+                    *z = -*z;
+                }
+                let pay2 = local_vol_path(m, option, dt, &zbuf);
+                stats.push(df * 0.5 * (pay + pay2));
+            } else {
+                stats.push(df * pay);
+            }
+        }
+        stats
+    });
+    let mut stats = RunningStats::new();
+    for p in &parts {
+        stats.merge(p);
+    }
+    McResult {
+        price: stats.mean(),
+        std_error: stats.std_error(),
+        delta: None,
+    }
+}
+
 #[inline]
 fn local_vol_path(m: &LocalVol, option: &Vanilla, dt: f64, zs: &[f64]) -> f64 {
     let mut s = m.spot;
@@ -280,6 +428,55 @@ pub fn mc_heston(m: &Heston, option: &Vanilla, cfg: &McConfig) -> McResult {
         } else {
             stats.push(df * pay);
         }
+    }
+    McResult {
+        price: stats.mean(),
+        std_error: stats.std_error(),
+        delta: None,
+    }
+}
+
+/// Chunked-deterministic variant of [`mc_heston`].
+pub fn mc_heston_exec(
+    m: &Heston,
+    option: &Vanilla,
+    cfg: &McConfig,
+    pol: &ExecPolicy,
+) -> McResult {
+    cfg.validate().expect("invalid MC config");
+    option.validate().expect("invalid option");
+    assert_european(option.exercise);
+    let t = option.maturity;
+    let df = m.discount(t);
+    let dt = t / cfg.time_steps as f64;
+    let parts = pol.run(cfg.paths, |c| {
+        let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+        let mut gen = NormalGen::new();
+        let mut z1 = vec![0.0; cfg.time_steps];
+        let mut z2 = vec![0.0; cfg.time_steps];
+        let mut stats = RunningStats::new();
+        for _ in c.start..c.end {
+            gen.fill(&mut rng, &mut z1);
+            gen.fill(&mut rng, &mut z2);
+            let pay = heston_path(m, option, dt, &z1, &z2);
+            if cfg.antithetic {
+                for z in z1.iter_mut() {
+                    *z = -*z;
+                }
+                for z in z2.iter_mut() {
+                    *z = -*z;
+                }
+                let pay2 = heston_path(m, option, dt, &z1, &z2);
+                stats.push(df * 0.5 * (pay + pay2));
+            } else {
+                stats.push(df * pay);
+            }
+        }
+        stats
+    });
+    let mut stats = RunningStats::new();
+    for p in &parts {
+        stats.merge(p);
     }
     McResult {
         price: stats.mean(),
@@ -547,6 +744,78 @@ mod tests {
             "heston {} bs {exact}",
             mc.price
         );
+    }
+
+    #[test]
+    fn exec_variants_bit_identical_across_worker_counts() {
+        let m = model();
+        let opt = Vanilla::european_call(100.0, 1.0);
+        let cfg = McConfig {
+            paths: 20_000,
+            ..McConfig::default()
+        };
+        let p1 = mc_vanilla_bs_exec(&m, &opt, &cfg, &ExecPolicy::new(1));
+        let p2 = mc_vanilla_bs_exec(&m, &opt, &cfg, &ExecPolicy::new(2));
+        let p8 = mc_vanilla_bs_exec(&m, &opt, &cfg, &ExecPolicy::new(8));
+        assert_eq!(p1.price.to_bits(), p2.price.to_bits());
+        assert_eq!(p1.price.to_bits(), p8.price.to_bits());
+        assert_eq!(p1.std_error.to_bits(), p8.std_error.to_bits());
+        assert_eq!(
+            p1.delta.unwrap().to_bits(),
+            p8.delta.unwrap().to_bits()
+        );
+        // And the chunked estimate is still a valid price.
+        let exact = bs_price(&m, &opt).price;
+        assert!((p1.price - exact).abs() < 4.0 * p1.std_error);
+    }
+
+    #[test]
+    fn exec_basket_and_heston_agree_with_sequential_statistically() {
+        let pol = ExecPolicy::new(4);
+        let multi = MultiBlackScholes::new(5, 100.0, 0.2, 0.3, 0.05, 0.0);
+        let basket = BasketOption::european_put(100.0, 1.0);
+        let cfg = McConfig {
+            paths: 20_000,
+            ..McConfig::default()
+        };
+        let seq = mc_basket(&multi, &basket, &cfg);
+        let par = mc_basket_exec(&multi, &basket, &cfg, &pol);
+        assert!(
+            (par.price - seq.price).abs() < 4.0 * (par.std_error + seq.std_error),
+            "basket exec {} seq {}",
+            par.price,
+            seq.price
+        );
+        let h = Heston::standard(100.0, 0.05);
+        let opt = Vanilla::european_put(100.0, 1.0);
+        let hcfg = McConfig {
+            paths: 10_000,
+            time_steps: 20,
+            ..McConfig::default()
+        };
+        let hseq = mc_heston(&h, &opt, &hcfg);
+        let hpar = mc_heston_exec(&h, &opt, &hcfg, &pol);
+        assert!(
+            (hpar.price - hseq.price).abs() < 4.0 * (hpar.std_error + hseq.std_error),
+            "heston exec {} seq {}",
+            hpar.price,
+            hseq.price
+        );
+    }
+
+    #[test]
+    fn exec_chunk_size_changes_sample_thread_count_does_not() {
+        let m = model();
+        let opt = Vanilla::european_call(100.0, 1.0);
+        let cfg = McConfig {
+            paths: 8_192,
+            ..McConfig::default()
+        };
+        let a = mc_vanilla_bs_exec(&m, &opt, &cfg, &ExecPolicy::new(2).chunk(512));
+        let b = mc_vanilla_bs_exec(&m, &opt, &cfg, &ExecPolicy::new(7).chunk(512));
+        let c = mc_vanilla_bs_exec(&m, &opt, &cfg, &ExecPolicy::new(2).chunk(1024));
+        assert_eq!(a.price.to_bits(), b.price.to_bits());
+        assert_ne!(a.price.to_bits(), c.price.to_bits());
     }
 
     #[test]

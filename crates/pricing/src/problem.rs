@@ -23,13 +23,18 @@
 
 use crate::methods::closed_form::{bs_price, down_out_call_price};
 use crate::methods::heston_cf::heston_cf_price;
-use crate::methods::lsm::{lsm_basket, lsm_heston, lsm_vanilla_bs, LsmConfig};
+use crate::methods::lsm::{
+    lsm_basket, lsm_basket_exec, lsm_heston, lsm_heston_exec, lsm_vanilla_bs,
+    lsm_vanilla_bs_exec, LsmConfig,
+};
 use crate::methods::montecarlo::{
-    mc_basket, mc_heston, mc_local_vol, mc_vanilla_bs, qmc_basket, qmc_vanilla_bs, McConfig,
+    mc_basket, mc_basket_exec, mc_heston, mc_heston_exec, mc_local_vol, mc_local_vol_exec,
+    mc_vanilla_bs, mc_vanilla_bs_exec, qmc_basket, qmc_vanilla_bs, McConfig,
 };
 use crate::methods::pde::{pde_barrier, pde_vanilla, PdeConfig};
 use crate::methods::tree::{tree_vanilla, TreeConfig};
-use crate::methods::bond::{bond_option_price, mc_zcb_price};
+use crate::methods::bond::{bond_option_price, mc_zcb_price, mc_zcb_price_exec};
+use exec::ExecPolicy;
 use crate::models::{BlackScholes, Heston, LocalVol, MultiBlackScholes, Vasicek};
 use crate::options::{Barrier, BasketOption, Exercise, OptionRight, Vanilla};
 use nspval::{Hash, Value};
@@ -398,7 +403,24 @@ impl PremiaProblem {
 
     /// `P.compute[]`: run the numerical method. Unsupported combinations
     /// return `Err(Unsupported)` — Premia's compatibility matrix.
+    ///
+    /// Single-threaded; bit-identical to every release since the seed.
     pub fn compute(&self) -> Result<PricingResult, PricingError> {
+        self.compute_inner(None)
+    }
+
+    /// [`Self::compute`] with intra-problem compute parallelism: the
+    /// Monte-Carlo and LSM path loops run on the [`exec`] chunked executor
+    /// under `pol`. Prices are bit-identical for any worker count in `pol`
+    /// (the chunked kernels draw per-chunk [`exec::stream_seed`] streams),
+    /// but are a *different deterministic sample* than [`Self::compute`] —
+    /// choose one contract per experiment. Methods without a path loop
+    /// (closed form, PDE, tree, QMC) ignore the policy.
+    pub fn compute_with(&self, pol: &ExecPolicy) -> Result<PricingResult, PricingError> {
+        self.compute_inner(Some(pol))
+    }
+
+    fn compute_inner(&self, pol: Option<&ExecPolicy>) -> Result<PricingResult, PricingError> {
         use MethodSpec as M;
         use ModelSpec as Mo;
         use OptionSpec as O;
@@ -472,16 +494,16 @@ impl PremiaProblem {
                         antithetic,
                         seed,
                     } => {
-                        let r = mc_vanilla_bs(
-                            m,
-                            &opt,
-                            &McConfig {
-                                paths: *paths,
-                                time_steps: *time_steps,
-                                antithetic: *antithetic,
-                                seed: *seed,
-                            },
-                        );
+                        let cfg = McConfig {
+                            paths: *paths,
+                            time_steps: *time_steps,
+                            antithetic: *antithetic,
+                            seed: *seed,
+                        };
+                        let r = match pol {
+                            Some(p) => mc_vanilla_bs_exec(m, &opt, &cfg, p),
+                            None => mc_vanilla_bs(m, &opt, &cfg),
+                        };
                         Ok(PricingResult {
                             price: r.price,
                             delta: r.delta,
@@ -564,17 +586,17 @@ impl PremiaProblem {
                         })
                     }
                     M::Lsm { paths, exercise_dates, basis_degree, seed } => {
-                        let r = lsm_vanilla_bs(
-                            m,
-                            &opt,
-                            &LsmConfig {
-                                paths: *paths,
-                                exercise_dates: *exercise_dates,
-                                basis_degree: *basis_degree,
-                                basis: BasisKind::Monomial,
-                                seed: *seed,
-                            },
-                        );
+                        let cfg = LsmConfig {
+                            paths: *paths,
+                            exercise_dates: *exercise_dates,
+                            basis_degree: *basis_degree,
+                            basis: BasisKind::Monomial,
+                            seed: *seed,
+                        };
+                        let r = match pol {
+                            Some(p) => lsm_vanilla_bs_exec(m, &opt, &cfg, p),
+                            None => lsm_vanilla_bs(m, &opt, &cfg),
+                        };
                         Ok(PricingResult {
                             price: r.price,
                             delta: None,
@@ -591,16 +613,16 @@ impl PremiaProblem {
                 let opt = BasketOption::european_put(*strike, *maturity);
                 match &self.method {
                     M::MonteCarlo { paths, time_steps, antithetic, seed } => {
-                        let r = mc_basket(
-                            m,
-                            &opt,
-                            &McConfig {
-                                paths: *paths,
-                                time_steps: *time_steps,
-                                antithetic: *antithetic,
-                                seed: *seed,
-                            },
-                        );
+                        let cfg = McConfig {
+                            paths: *paths,
+                            time_steps: *time_steps,
+                            antithetic: *antithetic,
+                            seed: *seed,
+                        };
+                        let r = match pol {
+                            Some(p) => mc_basket_exec(m, &opt, &cfg, p),
+                            None => mc_basket(m, &opt, &cfg),
+                        };
                         Ok(PricingResult {
                             price: r.price,
                             delta: None,
@@ -624,17 +646,17 @@ impl PremiaProblem {
                 let opt = BasketOption::american_put(*strike, *maturity);
                 match &self.method {
                     M::Lsm { paths, exercise_dates, basis_degree, seed } => {
-                        let r = lsm_basket(
-                            m,
-                            &opt,
-                            &LsmConfig {
-                                paths: *paths,
-                                exercise_dates: *exercise_dates,
-                                basis_degree: *basis_degree,
-                                basis: BasisKind::Monomial,
-                                seed: *seed,
-                            },
-                        );
+                        let cfg = LsmConfig {
+                            paths: *paths,
+                            exercise_dates: *exercise_dates,
+                            basis_degree: *basis_degree,
+                            basis: BasisKind::Monomial,
+                            seed: *seed,
+                        };
+                        let r = match pol {
+                            Some(p) => lsm_basket_exec(m, &opt, &cfg, p),
+                            None => lsm_basket(m, &opt, &cfg),
+                        };
                         Ok(PricingResult {
                             price: r.price,
                             delta: None,
@@ -662,16 +684,16 @@ impl PremiaProblem {
                 };
                 match &self.method {
                     M::MonteCarlo { paths, time_steps, antithetic, seed } => {
-                        let r = mc_local_vol(
-                            m,
-                            &opt,
-                            &McConfig {
-                                paths: *paths,
-                                time_steps: *time_steps,
-                                antithetic: *antithetic,
-                                seed: *seed,
-                            },
-                        );
+                        let cfg = McConfig {
+                            paths: *paths,
+                            time_steps: *time_steps,
+                            antithetic: *antithetic,
+                            seed: *seed,
+                        };
+                        let r = match pol {
+                            Some(p) => mc_local_vol_exec(m, &opt, &cfg, p),
+                            None => mc_local_vol(m, &opt, &cfg),
+                        };
                         Ok(PricingResult {
                             price: r.price,
                             delta: None,
@@ -705,16 +727,16 @@ impl PremiaProblem {
                         method: self.method.name().into(),
                     }),
                     M::MonteCarlo { paths, time_steps, antithetic, seed } => {
-                        let r = mc_heston(
-                            m,
-                            &opt,
-                            &McConfig {
-                                paths: *paths,
-                                time_steps: *time_steps,
-                                antithetic: *antithetic,
-                                seed: *seed,
-                            },
-                        );
+                        let cfg = McConfig {
+                            paths: *paths,
+                            time_steps: *time_steps,
+                            antithetic: *antithetic,
+                            seed: *seed,
+                        };
+                        let r = match pol {
+                            Some(p) => mc_heston_exec(m, &opt, &cfg, p),
+                            None => mc_heston(m, &opt, &cfg),
+                        };
                         Ok(PricingResult {
                             price: r.price,
                             delta: None,
@@ -729,17 +751,17 @@ impl PremiaProblem {
                 let opt = Vanilla::american_put(*strike, *maturity);
                 match &self.method {
                     M::Lsm { paths, exercise_dates, basis_degree, seed } => {
-                        let r = lsm_heston(
-                            m,
-                            &opt,
-                            &LsmConfig {
-                                paths: *paths,
-                                exercise_dates: *exercise_dates,
-                                basis_degree: *basis_degree,
-                                basis: BasisKind::Monomial,
-                                seed: *seed,
-                            },
-                        );
+                        let cfg = LsmConfig {
+                            paths: *paths,
+                            exercise_dates: *exercise_dates,
+                            basis_degree: *basis_degree,
+                            basis: BasisKind::Monomial,
+                            seed: *seed,
+                        };
+                        let r = match pol {
+                            Some(p) => lsm_heston_exec(m, &opt, &cfg, p),
+                            None => lsm_heston(m, &opt, &cfg),
+                        };
                         Ok(PricingResult {
                             price: r.price,
                             delta: None,
@@ -765,16 +787,16 @@ impl PremiaProblem {
                     antithetic,
                     seed,
                 } => {
-                    let r = mc_zcb_price(
-                        m,
-                        *maturity,
-                        &McConfig {
-                            paths: *paths,
-                            time_steps: *time_steps,
-                            antithetic: *antithetic,
-                            seed: *seed,
-                        },
-                    );
+                    let cfg = McConfig {
+                        paths: *paths,
+                        time_steps: *time_steps,
+                        antithetic: *antithetic,
+                        seed: *seed,
+                    };
+                    let r = match pol {
+                        Some(p) => mc_zcb_price_exec(m, *maturity, &cfg, p),
+                        None => mc_zcb_price(m, *maturity, &cfg),
+                    };
                     Ok(PricingResult {
                         price: r.price,
                         delta: None,
@@ -1250,6 +1272,28 @@ mod tests {
         // Equity methods on rates products are rejected.
         let bad = PremiaProblem::create("Vasicek1dim", "CallEuro", "CF").unwrap();
         assert!(matches!(bad.compute(), Err(PricingError::Unsupported(_))));
+    }
+
+    #[test]
+    fn compute_with_is_bit_identical_across_worker_counts() {
+        let mut p =
+            PremiaProblem::create("Heston1dim", "PutAmer", "MC_AM_LongstaffSchwartz").unwrap();
+        p.method = MethodSpec::Lsm {
+            paths: 2_000,
+            exercise_dates: 10,
+            basis_degree: 3,
+            seed: 1,
+        };
+        let r1 = p.compute_with(&ExecPolicy::new(1)).unwrap();
+        let r8 = p.compute_with(&ExecPolicy::new(8)).unwrap();
+        assert_eq!(r1.price.to_bits(), r8.price.to_bits());
+
+        // Methods without a path loop ignore the policy entirely.
+        let cf = PremiaProblem::create("BlackScholes1dim", "CallEuro", "CF").unwrap();
+        assert_eq!(
+            cf.compute().unwrap().price.to_bits(),
+            cf.compute_with(&ExecPolicy::new(8)).unwrap().price.to_bits()
+        );
     }
 
     #[test]

@@ -27,6 +27,15 @@ impl XdrWriter {
         }
     }
 
+    /// Recycle an existing vector as the output buffer: the contents are
+    /// cleared, the allocation is kept. This is how hot encode loops
+    /// (e.g. a farm slave packing one result message per job) stay
+    /// allocation-free in steady state.
+    pub fn from_vec(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        XdrWriter { buf }
+    }
+
     /// Consume into the raw byte vector.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf

@@ -29,4 +29,7 @@ mod ser;
 pub use codec::{XdrReader, XdrWriter};
 pub use compress::{compress_serial, decompress_serial};
 pub use error::XdrError;
-pub use ser::{load, save, serialize, serialize_to_bytes, sload, unserialize, unserialize_bytes};
+pub use ser::{
+    load, save, serialize, serialize_into, serialize_to_bytes, sload, unserialize,
+    unserialize_bytes,
+};

@@ -169,6 +169,18 @@ pub fn serialize_to_bytes(v: &Value) -> Vec<u8> {
     w.into_bytes()
 }
 
+/// [`serialize_to_bytes`] into a recycled vector: `out` is cleared, the
+/// frame is encoded into its existing allocation, and the number of bytes
+/// written is returned. Byte-for-byte identical to [`serialize_to_bytes`].
+pub fn serialize_into(v: &Value, out: &mut Vec<u8>) -> usize {
+    let mut w = XdrWriter::from_vec(std::mem::take(out));
+    w.put_u32(u32::from_be_bytes(*MAGIC));
+    w.put_u32(VERSION);
+    encode_value(&mut w, v);
+    *out = w.into_bytes();
+    out.len()
+}
+
 /// Nsp's `serialize(A)`: value → `Serial` object.
 pub fn serialize(v: &Value) -> Serial {
     Serial::new(serialize_to_bytes(v))

@@ -7,7 +7,9 @@
 #   2. release build of the whole workspace
 #   3. observability smoke: `table2 --breakdown` self-checks the §4.2
 #      cost decomposition (sload prepare strictly cheapest) and exits
-#      nonzero on any violated invariant
+#      nonzero on any violated invariant; the `--warm` store smoke and
+#      the `--threads 8` thread-scaling smoke do the same for the PR 3/4
+#      knobs and commit BENCH_3.json / BENCH_4.json
 #   4. full test suite (quiet); a failing run is retried ONCE so that
 #      machine-load flakes in the timing-sensitive live-farm tests do not
 #      mask real regressions — deterministic failures (the chaos suite is
@@ -83,6 +85,37 @@ fi
 printf '%s\n' "$store_out" | sed -n 's/^JSON: //p' > BENCH_3.json
 if ! grep -q '"cache_hit_rate"' BENCH_3.json; then
     echo "error: BENCH_3.json missing cache_hit_rate column"
+    exit 1
+fi
+
+# Thread-scaling smoke: the 8-thread breakdown self-checks that the
+# compute phase shrinks ~linearly (>= threads/2) while prepare/wire/wait
+# are unchanged, and that ComputeChunk diagnostics flow (the checks live
+# in bench::breakdown::check_thread_scaling and fail the process). The
+# JSON line is the committed PR 4 artifact.
+echo "==> cargo run -p bench --bin table2 --release -q -- --breakdown --threads 8 --jobs 2000 --cpus 4 (thread-scaling smoke -> BENCH_4.json)"
+thr_out=$(cargo run -p bench --bin table2 --release -q -- --breakdown --threads 8 --jobs 2000 --cpus 4) || exit 1
+if ! printf '%s\n' "$thr_out" | grep -q 'intra-slave parallelism'; then
+    echo "error: threaded breakdown reported no intra-slave parallelism line"
+    exit 1
+fi
+printf '%s\n' "$thr_out" | sed -n 's/^JSON: //p' > BENCH_4.json
+if ! grep -q '"parallelism"' BENCH_4.json; then
+    echo "error: BENCH_4.json missing parallelism column"
+    exit 1
+fi
+
+echo "==> parallelism gate: no raw thread spawns in pricing kernels outside crates/exec"
+# Kernel parallelism must route through the deterministic chunked
+# executor; ad-hoc std::thread::spawn in the pricing crate would bypass
+# the bit-identity contract. (std::thread::scope inside crates/exec is
+# the one sanctioned spawn site.)
+spawns=$(grep -rnE 'std::thread::spawn|thread::spawn\(' \
+    --include='*.rs' crates/pricing 2>/dev/null \
+    | grep -v -E '^[^:]*:[0-9]+:\s*(//|//!|///)')
+if [ -n "$spawns" ]; then
+    echo "error: raw thread spawns in crates/pricing (use exec::ExecPolicy):"
+    echo "$spawns"
     exit 1
 fi
 

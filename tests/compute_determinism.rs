@@ -1,0 +1,188 @@
+//! Bit-identity battery for the chunked compute executor.
+//!
+//! The contract under test (see `docs/PARALLEL.md`): for every
+//! parallelised kernel, the `*_exec` entry points produce **bit-identical**
+//! prices for any worker count, because determinism is carried by the
+//! chunk layout (fixed-size chunks, one seeded RNG stream per chunk,
+//! reduction in chunk order) and never by the thread schedule. The worker
+//! count may change *when* a chunk runs, never *what* it computes.
+//!
+//! Separately, the default farm configuration (`threads = 1`) must keep
+//! using the legacy sequential kernels byte-for-byte — intra-slave
+//! parallelism is strictly opt-in.
+
+use exec::ExecPolicy;
+use pricing::methods::lsm::{lsm_vanilla_bs_exec, LsmConfig};
+use pricing::methods::montecarlo::{mc_vanilla_bs_exec, McConfig};
+use pricing::models::{BlackScholes, Vasicek};
+use pricing::options::Vanilla;
+use pricing::{MethodSpec, ModelSpec, OptionSpec, PremiaProblem};
+use proptest::prelude::*;
+
+/// Worker counts that must all agree bitwise.
+const WORKERS: [usize; 3] = [1, 2, 8];
+
+fn bits(x: f64) -> u64 {
+    x.to_bits()
+}
+
+// ---------------------------------------------------------------------------
+// One test per parallelised kernel family
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mc_call_bit_identical_across_worker_counts() {
+    let m = BlackScholes::new(100.0, 0.25, 0.04, 0.01);
+    let opt = Vanilla::european_call(105.0, 1.5);
+    for &antithetic in &[false, true] {
+        let cfg = McConfig {
+            paths: 30_000,
+            time_steps: 1,
+            antithetic,
+            seed: 7,
+        };
+        let base = mc_vanilla_bs_exec(&m, &opt, &cfg, &ExecPolicy::new(1));
+        for &w in &WORKERS[1..] {
+            let r = mc_vanilla_bs_exec(&m, &opt, &cfg, &ExecPolicy::new(w));
+            assert_eq!(
+                bits(r.price),
+                bits(base.price),
+                "MC call price drifted at {w} workers (antithetic={antithetic})"
+            );
+            assert_eq!(
+                bits(r.std_error),
+                bits(base.std_error),
+                "MC call std error drifted at {w} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn lsm_american_put_bit_identical_across_worker_counts() {
+    let m = BlackScholes::new(100.0, 0.3, 0.05, 0.0);
+    let opt = Vanilla::american_put(110.0, 1.0);
+    let cfg = LsmConfig {
+        paths: 4_000,
+        ..LsmConfig::default()
+    };
+    let base = lsm_vanilla_bs_exec(&m, &opt, &cfg, &ExecPolicy::new(1));
+    for &w in &WORKERS[1..] {
+        let r = lsm_vanilla_bs_exec(&m, &opt, &cfg, &ExecPolicy::new(w));
+        assert_eq!(
+            bits(r.price),
+            bits(base.price),
+            "LSM put price drifted at {w} workers"
+        );
+    }
+}
+
+#[test]
+fn vasicek_bond_bit_identical_across_worker_counts() {
+    use pricing::methods::bond::mc_zcb_price_exec;
+    let m = Vasicek::new(0.03, 0.8, 0.05, 0.015);
+    let cfg = McConfig {
+        paths: 8_000,
+        time_steps: 32,
+        antithetic: false,
+        seed: 99,
+    };
+    let base = mc_zcb_price_exec(&m, 2.0, &cfg, &ExecPolicy::new(1));
+    for &w in &WORKERS[1..] {
+        let r = mc_zcb_price_exec(&m, 2.0, &cfg, &ExecPolicy::new(w));
+        assert_eq!(
+            bits(r.price),
+            bits(base.price),
+            "Vasicek ZCB price drifted at {w} workers"
+        );
+    }
+}
+
+#[test]
+fn chunk_size_is_part_of_the_contract_thread_count_is_not() {
+    // Same chunk ⇒ same bits at any worker count; a different chunk is a
+    // different (equally valid) estimator. This is the boundary of the
+    // determinism contract, stated as a test so nobody "fixes" it.
+    let m = BlackScholes::new(100.0, 0.25, 0.04, 0.01);
+    let opt = Vanilla::european_call(105.0, 1.5);
+    let cfg = McConfig {
+        paths: 30_000,
+        time_steps: 1,
+        antithetic: false,
+        seed: 7,
+    };
+    let a = mc_vanilla_bs_exec(&m, &opt, &cfg, &ExecPolicy::new(2).chunk(512));
+    let b = mc_vanilla_bs_exec(&m, &opt, &cfg, &ExecPolicy::new(8).chunk(512));
+    let c = mc_vanilla_bs_exec(&m, &opt, &cfg, &ExecPolicy::new(8).chunk(256));
+    assert_eq!(bits(a.price), bits(b.price));
+    assert_ne!(
+        bits(a.price),
+        bits(c.price),
+        "different chunk sizes should give different (valid) samples"
+    );
+    // Both estimates still agree to Monte-Carlo accuracy.
+    assert!((a.price - c.price).abs() < 4.0 * (a.std_error + c.std_error));
+}
+
+#[test]
+fn problem_level_compute_with_matches_across_worker_counts() {
+    // The farm-facing entry point: a PremiaProblem routed through
+    // compute_with(pol) must satisfy the same contract as the raw kernels.
+    let p = PremiaProblem::new(
+        ModelSpec::BlackScholes(BlackScholes::new(100.0, 0.2, 0.05, 0.0)),
+        OptionSpec::Call {
+            strike: 95.0,
+            maturity: 2.0,
+        },
+        MethodSpec::MonteCarlo {
+            paths: 20_000,
+            time_steps: 16,
+            antithetic: true,
+            seed: 4242,
+        },
+    );
+    let base = p.compute_with(&ExecPolicy::new(1)).unwrap();
+    for &w in &WORKERS[1..] {
+        let r = p.compute_with(&ExecPolicy::new(w)).unwrap();
+        assert_eq!(bits(r.price), bits(base.price), "{w} workers");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property: the contract holds over the seed/path space, not just at
+// hand-picked points
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mc_bit_identity_over_seeds(
+        seed in 0u64..1_000_000,
+        paths in 500usize..6_000,
+        strike in 60.0f64..150.0,
+    ) {
+        let m = BlackScholes::new(100.0, 0.25, 0.04, 0.0);
+        let opt = Vanilla::european_call(strike, 1.0);
+        let cfg = McConfig { paths, time_steps: 1, antithetic: false, seed };
+        let r1 = mc_vanilla_bs_exec(&m, &opt, &cfg, &ExecPolicy::new(1));
+        let r2 = mc_vanilla_bs_exec(&m, &opt, &cfg, &ExecPolicy::new(2));
+        let r8 = mc_vanilla_bs_exec(&m, &opt, &cfg, &ExecPolicy::new(8));
+        prop_assert_eq!(bits(r1.price), bits(r2.price));
+        prop_assert_eq!(bits(r1.price), bits(r8.price));
+        prop_assert_eq!(bits(r1.std_error), bits(r8.std_error));
+    }
+
+    #[test]
+    fn lsm_bit_identity_over_seeds(
+        seed in 0u64..1_000_000,
+        paths in 500usize..3_000,
+    ) {
+        let m = BlackScholes::new(100.0, 0.3, 0.05, 0.0);
+        let opt = Vanilla::american_put(100.0, 1.0);
+        let cfg = LsmConfig { paths, seed, ..LsmConfig::default() };
+        let r1 = lsm_vanilla_bs_exec(&m, &opt, &cfg, &ExecPolicy::new(1));
+        let r8 = lsm_vanilla_bs_exec(&m, &opt, &cfg, &ExecPolicy::new(8));
+        prop_assert_eq!(bits(r1.price), bits(r8.price));
+    }
+}
