@@ -9,7 +9,9 @@
 //! serialized load pays the least problem-acquisition time), and prints
 //! both the fixed-width table and the machine-readable JSON form.
 
-use clustersim::{simulate_farm_cached, SimCaches, SimConfig, SimJob};
+use clustersim::{
+    simulate_farm_sched, DispatchPolicy, SimCaches, SimConfig, SimJob, SimSchedOpts,
+};
 use farm::Transmission;
 use obs::{Breakdown, BreakdownReport, EventKind, Recorder, StrategyBreakdown};
 
@@ -42,6 +44,13 @@ pub struct BreakdownOpts {
     /// `"<strategy> (xN threads)"` row and self-checked: compute-phase
     /// seconds must shrink ~linearly while prepare/wire/wait stay put.
     pub threads: usize,
+    /// `--order lpt`: model the [`DispatchPolicy::Lpt`] dispatch order
+    /// (`FarmConfig::order`) — each strategy runs a second time with the
+    /// queue sorted longest-cost-first, reported as an extra
+    /// `"<strategy> (lpt)"` row and self-checked: per-job wait seconds
+    /// must not regress against FIFO, compute is untouched, and the
+    /// makespan must not degrade beyond noise.
+    pub order_lpt: bool,
 }
 
 impl Default for BreakdownOpts {
@@ -53,6 +62,7 @@ impl Default for BreakdownOpts {
             warm: false,
             compress: false,
             threads: 1,
+            order_lpt: false,
         }
     }
 }
@@ -97,6 +107,16 @@ impl BreakdownOpts {
                         return Err("--cpus must be at least 2 (master + one slave)".into());
                     }
                     opts.cpus = n;
+                }
+                "--order" => {
+                    let v = it.next().ok_or("--order needs a value (fifo|lpt)")?;
+                    match v.as_ref() {
+                        "fifo" => opts.order_lpt = false,
+                        "lpt" => opts.order_lpt = true,
+                        other => {
+                            return Err(format!("--order: unknown policy {other:?} (fifo|lpt)"))
+                        }
+                    }
                 }
                 "--threads" => {
                     let v = it.next().ok_or("--threads needs a value")?;
@@ -152,9 +172,22 @@ pub fn breakdown_report(
         // One cache state per strategy: the cold run fills it, the
         // optional warm run reuses it.
         let mut caches = SimCaches::new();
-        let one_run = |label: String, run_cfg: &SimConfig, caches: &mut SimCaches| {
+        let fifo = SimSchedOpts::default();
+        let one_run = |label: String,
+                       run_cfg: &SimConfig,
+                       caches: &mut SimCaches,
+                       sched_opts: &SimSchedOpts| {
             let rec = Recorder::with_capacity(slaves + 1, RING_CAPACITY);
-            let out = simulate_farm_cached(jobs, slaves, strategy, run_cfg, caches, Some(&rec));
+            let (out, _) = simulate_farm_sched(
+                jobs,
+                slaves,
+                strategy,
+                run_cfg,
+                caches,
+                Some(&rec),
+                sched_opts,
+            )
+            .expect("breakdown scheduling options are always self-consistent");
             StrategyBreakdown {
                 strategy: label,
                 cpus: opts.cpus,
@@ -165,12 +198,13 @@ pub fn breakdown_report(
         };
         report
             .runs
-            .push(one_run(strategy.label().to_string(), &cfg, &mut caches));
+            .push(one_run(strategy.label().to_string(), &cfg, &mut caches, &fifo));
         if opts.warm {
             report.runs.push(one_run(
                 format!("{} (warm)", strategy.label()),
                 &cfg,
                 &mut caches,
+                &fifo,
             ));
         }
         if opts.threads > 1 {
@@ -180,6 +214,24 @@ pub fn breakdown_report(
                 format!("{} (x{} threads)", strategy.label(), opts.threads),
                 &cfg_thr,
                 &mut SimCaches::new(),
+                &fifo,
+            ));
+        }
+        if opts.order_lpt {
+            // LPT run from cold caches: the only variable is the queue
+            // order, fed with the jobs' own (here: exact) costs, the way
+            // `FarmConfig::order` feeds a calibrated CostModel estimate.
+            let lpt = SimSchedOpts {
+                policy: DispatchPolicy::Lpt {
+                    costs: jobs.iter().map(|j| j.compute).collect(),
+                },
+                ..SimSchedOpts::default()
+            };
+            report.runs.push(one_run(
+                format!("{} (lpt)", strategy.label()),
+                &cfg,
+                &mut SimCaches::new(),
+                &lpt,
             ));
         }
     }
@@ -194,7 +246,50 @@ pub fn breakdown_report(
     if opts.threads > 1 {
         check_thread_scaling(&report, opts.threads)?;
     }
+    if opts.order_lpt {
+        check_lpt_order(&report)?;
+    }
     Ok(report)
+}
+
+/// The `--order lpt` acceptance check: for every strategy, the LPT run
+/// must price the same portfolio (identical compute seconds), its
+/// cumulative wait seconds (`Probe + Recv + Unpack`) must not regress
+/// against FIFO, and its makespan must not degrade beyond scheduling
+/// noise — LPT exists to shave the end-of-run straggler tail, never to
+/// add communication.
+pub fn check_lpt_order(report: &BreakdownReport) -> Result<(), String> {
+    for strategy in Transmission::ALL {
+        let fifo = report
+            .run(strategy.label())
+            .ok_or_else(|| format!("missing {strategy} FIFO run"))?;
+        let lpt_label = format!("{} (lpt)", strategy.label());
+        let lpt = report
+            .run(&lpt_label)
+            .ok_or_else(|| format!("missing {lpt_label:?} run"))?;
+        let (f, l) = (&fifo.breakdown, &lpt.breakdown);
+        if l.wait_s() > f.wait_s() + 1e-9 {
+            return Err(format!(
+                "{strategy}: LPT wait {:.9}s regressed above FIFO {:.9}s",
+                l.wait_s(),
+                f.wait_s()
+            ));
+        }
+        if (l.compute_s() - f.compute_s()).abs() > 1e-9 {
+            return Err(format!(
+                "{strategy}: LPT changed compute ({:.9}s vs {:.9}s)",
+                l.compute_s(),
+                f.compute_s()
+            ));
+        }
+        if lpt.wall_s > fifo.wall_s * 1.05 + 1e-9 {
+            return Err(format!(
+                "{strategy}: LPT makespan {:.6}s degraded FIFO's {:.6}s",
+                lpt.wall_s, fifo.wall_s
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// The intra-slave-threads acceptance check: for every strategy, the
@@ -385,7 +480,8 @@ pub fn run_cli(
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: --breakdown [--jobs N] [--cpus N] [--threads N] [--warm] [--compress]"
+                "usage: --breakdown [--jobs N] [--cpus N] [--threads N] [--order fifo|lpt] \
+                 [--warm] [--compress]"
             );
             std::process::exit(2);
         }
@@ -565,6 +661,66 @@ mod tests {
         assert!(json.contains("(x8 threads)"));
         assert!(json.contains("\"parallelism\":"));
         assert!(report.render().contains("intra-slave parallelism"));
+    }
+
+    #[test]
+    fn parse_accepts_order_and_rejects_junk_policies() {
+        let o = BreakdownOpts::parse(["--breakdown", "--order", "lpt"], &[]).unwrap();
+        assert!(o.enabled && o.order_lpt);
+        let o = BreakdownOpts::parse(["--breakdown", "--order", "fifo"], &[]).unwrap();
+        assert!(!o.order_lpt);
+        assert!(!BreakdownOpts::parse(["--breakdown"], &[]).unwrap().order_lpt);
+        assert!(BreakdownOpts::parse(["--order"], &[]).is_err());
+        assert!(BreakdownOpts::parse(["--order", "sjf"], &[]).is_err());
+    }
+
+    #[test]
+    fn lpt_breakdown_passes_wait_and_makespan_checks() {
+        // Uniform Table II vanillas: LPT degenerates to FIFO (stable
+        // sort), so wait and makespan agree exactly.
+        let jobs = clustersim::table2_sim_jobs(400);
+        let o = BreakdownOpts {
+            order_lpt: true,
+            ..opts(4)
+        };
+        let report = breakdown_report("test lpt", &jobs, &o, &SimConfig::default()).unwrap();
+        assert_eq!(report.runs.len(), 6);
+        check_lpt_order(&report).unwrap();
+        let json = report.to_json();
+        assert!(json.contains("(lpt)"));
+    }
+
+    #[test]
+    fn lpt_breakdown_beats_fifo_on_a_straggler_tail() {
+        // A heterogeneous portfolio with the expensive job *last*: FIFO
+        // strands it on one slave at the end of the run; LPT fronts it
+        // and the makespan drops, with wait untouched.
+        let mut jobs = clustersim::table2_sim_jobs(60);
+        let n = jobs.len();
+        jobs[n - 1].compute = 1.0;
+        let o = BreakdownOpts {
+            order_lpt: true,
+            ..opts(4)
+        };
+        let report = breakdown_report("test lpt tail", &jobs, &o, &SimConfig::default()).unwrap();
+        check_lpt_order(&report).unwrap();
+        for strategy in Transmission::ALL {
+            let fifo = report.run(strategy.label()).unwrap();
+            let lpt = report.run(&format!("{} (lpt)", strategy.label())).unwrap();
+            assert!(
+                lpt.wall_s < fifo.wall_s,
+                "{strategy}: lpt {:.4}s vs fifo {:.4}s",
+                lpt.wall_s,
+                fifo.wall_s
+            );
+        }
+    }
+
+    #[test]
+    fn lpt_check_fails_without_lpt_rows() {
+        let jobs = clustersim::table2_sim_jobs(50);
+        let report = breakdown_report("test", &jobs, &opts(2), &SimConfig::default()).unwrap();
+        assert!(check_lpt_order(&report).is_err());
     }
 
     #[test]

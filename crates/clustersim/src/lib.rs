@@ -33,9 +33,10 @@ pub mod tables;
 pub use params::{
     ExecParams, MasterCosts, NetworkParams, NfsParams, SimConfig, SlaveCosts, StoreParams,
 };
+pub use sched::{DispatchPolicy, SchedError, Supervision, Trace};
 pub use sim::{
-    simulate_farm, simulate_farm_cached, simulate_farm_recorded, ClientCache, NfsCache,
-    SimCaches, SimJob, SimOutcome,
+    simulate_farm, simulate_farm_cached, simulate_farm_recorded, simulate_farm_sched,
+    ClientCache, NfsCache, SimCaches, SimFault, SimJob, SimOutcome, SimSchedOpts,
 };
 pub use tables::{
     format_table, speedup_ratio, table1_rows, table1_sim_jobs, table2_rows, table2_sim_jobs,

@@ -1,11 +1,24 @@
 //! The Robin-Hood replay: event-driven simulation of Fig. 4's protocol
 //! over the [`crate::params`] performance model.
+//!
+//! The simulator holds **no scheduling logic of its own**: every
+//! dispatch decision comes from the same pure [`sched::Scheduler`] state
+//! machine the live `minimpi` masters drive. The simulator's job is the
+//! *performance model* — what each decision costs in master CPU, NIC
+//! occupancy, NFS queueing and slave compute — plus the event heap that
+//! turns those costs back into the scheduler's event stream. A live run
+//! and a simulated run of the same workload therefore render
+//! byte-identical decision [`Trace`]s (`tests/sched_parity.rs`).
 
 use crate::params::SimConfig;
 use crate::resource::Resource;
 use farm::strategy::Transmission;
 use farm::JobClass;
 use obs::{Event, EventKind, Recorder, NO_JOB};
+use sched::{
+    Action, DispatchPolicy, Event as SchedEvent, SchedConfig, SchedError, Scheduler, Supervision,
+    Trace,
+};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -118,6 +131,52 @@ pub struct SimOutcome {
     pub master_utilisation: f64,
 }
 
+/// A scripted slave death for [`simulate_farm_sched`]: the simulated
+/// counterpart of `minimpi`'s `FaultPlan::kill_rank_at_op`. The slave
+/// computes its fatal job in full but dies *sending the result* — the
+/// answer never reaches the master, whose liveness sweep notices the
+/// death `detect_delay_s` simulated seconds later.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimFault {
+    /// Slave index, `0..slaves` (MPI rank `slave + 1`).
+    pub slave: usize,
+    /// Dies answering the `fatal_dispatch`-th dispatch it receives
+    /// (0-based count of dispatches to this slave).
+    pub fatal_dispatch: usize,
+    /// Simulated master-side detection latency after the fatal send
+    /// began (the live analogue is one supervisor poll interval).
+    pub detect_delay_s: f64,
+}
+
+/// Scheduling options for [`simulate_farm_sched`]: which
+/// [`DispatchPolicy`] orders the queue, whether the supervised master
+/// (deadlines, retries, burial) runs, whether the decision [`Trace`] is
+/// recorded, and any scripted [`SimFault`]s. The default — FIFO,
+/// unsupervised, untraced, fault-free — is the plain Fig. 4 master that
+/// [`simulate_farm_cached`] and friends replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSchedOpts {
+    /// Dispatch order for queued jobs.
+    pub policy: DispatchPolicy,
+    /// `Some` runs the supervised master; required for `faults`.
+    pub supervision: Option<Supervision>,
+    /// Record the scheduler's timestamp-free decision trace.
+    pub record_trace: bool,
+    /// Scripted slave deaths (at most one can fire per slave).
+    pub faults: Vec<SimFault>,
+}
+
+impl Default for SimSchedOpts {
+    fn default() -> Self {
+        SimSchedOpts {
+            policy: DispatchPolicy::Fifo,
+            supervision: None,
+            record_trace: false,
+            faults: Vec::new(),
+        }
+    }
+}
+
 /// Total f64 ordering wrapper for the event heap.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Time(f64);
@@ -198,7 +257,39 @@ pub fn simulate_farm_cached(
     caches: &mut SimCaches,
     recorder: Option<&Recorder>,
 ) -> SimOutcome {
+    let (out, _) = simulate_farm_sched(
+        jobs,
+        slaves,
+        strategy,
+        cfg,
+        caches,
+        recorder,
+        &SimSchedOpts::default(),
+    )
+    .expect("the default scheduling options are always valid");
+    out
+}
+
+/// [`simulate_farm_cached`] with the scheduler exposed: the same
+/// performance model, but the dispatch decisions — order, supervision,
+/// scripted slave deaths — come from [`SimSchedOpts`], and the
+/// scheduler's timestamp-free decision [`Trace`] is returned alongside
+/// the outcome when `opts.record_trace` is set. With the default
+/// options this is bit-identical to [`simulate_farm_cached`].
+pub fn simulate_farm_sched(
+    jobs: &[SimJob],
+    slaves: usize,
+    strategy: Transmission,
+    cfg: &SimConfig,
+    caches: &mut SimCaches,
+    recorder: Option<&Recorder>,
+    opts: &SimSchedOpts,
+) -> Result<(SimOutcome, Option<Trace>), SchedError> {
     assert!(slaves >= 1, "need at least one slave");
+    assert!(
+        opts.faults.is_empty() || opts.supervision.is_some(),
+        "scripted slave deaths require supervision (the plain master would hang)"
+    );
     // Simulated-seconds → event-record adapter. All events funnel through
     // here so disabling the recorder costs exactly one branch.
     let emit = |kind: EventKind, rank: usize, job: i64, start_s: f64, dur_s: f64, bytes: usize| {
@@ -218,8 +309,12 @@ pub fn simulate_farm_cached(
     let mut slave_res: Vec<Resource> = (0..slaves).map(|_| Resource::new()).collect();
     let mut per_slave = vec![0usize; slaves];
 
-    // (result-arrival-at-master, slave index) min-heap.
-    let mut heap: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
+    // (arrival-at-master, slave, ANSWER/DEAD, job) min-heap. The slave
+    // index is the tie-breaker for simultaneous arrivals, exactly as in
+    // the pre-scheduler replay loop.
+    const ANSWER: u8 = 0;
+    const DEAD: u8 = 1;
+    let mut heap: BinaryHeap<Reverse<(Time, usize, u8, usize)>> = BinaryHeap::new();
 
     let master_prep = |strategy: Transmission| -> f64 {
         match strategy {
@@ -412,52 +507,182 @@ pub fn simulate_farm_cached(
         done + cfg.network.transfer_time(RESULT_BYTES)
     };
 
-    let mut next = 0usize;
-    // Prime one job per slave (Fig. 4's first loop).
-    for s in 0..slaves {
-        if next >= jobs.len() {
-            break;
+    // The scheduler: the same pure state machine the live masters drive.
+    let mut sched = Scheduler::new(SchedConfig {
+        jobs: jobs.len(),
+        slaves,
+        batch: 1,
+        policy: opts.policy.clone(),
+        supervision: opts.supervision,
+        record_trace: opts.record_trace,
+    })?;
+    // Per-slave dispatch counter, for matching scripted faults.
+    let mut dispatched = vec![0usize; slaves];
+    let ns = |t: f64| -> u64 { (t * 1e9) as u64 };
+
+    // Execute one action batch: dispatches run the performance model and
+    // push their arrival (or scripted death) onto the heap; supervision
+    // actions mirror the live driver's master-side marks.
+    let run_actions = |actions: Vec<Action>,
+                       now: f64,
+                       master: &mut Resource,
+                       nfs: &mut Resource,
+                       slave_res: &mut [Resource],
+                       caches: &mut SimCaches,
+                       heap: &mut BinaryHeap<Reverse<(Time, usize, u8, usize)>>,
+                       per_slave: &mut [usize],
+                       dispatched: &mut [usize]| {
+        for a in actions {
+            match a {
+                Action::Dispatch { job, slave, .. } => {
+                    let s = slave - 1;
+                    let nth = dispatched[s];
+                    dispatched[s] += 1;
+                    let arrival =
+                        dispatch(&jobs[job], s, now, master, nfs, slave_res, caches);
+                    let fault = opts
+                        .faults
+                        .iter()
+                        .find(|f| f.slave == s && f.fatal_dispatch == nth);
+                    match fault {
+                        Some(f) => {
+                            // The slave dies *sending* this result: the
+                            // answer never arrives, and the master's
+                            // liveness sweep notices `detect_delay_s`
+                            // after the fatal send began.
+                            let death = arrival - cfg.network.transfer_time(RESULT_BYTES);
+                            heap.push(Reverse((
+                                Time(death + f.detect_delay_s),
+                                s,
+                                DEAD,
+                                job,
+                            )));
+                        }
+                        None => heap.push(Reverse((Time(arrival), s, ANSWER, job))),
+                    }
+                }
+                // Stop sentinels and terminal markers are free in the
+                // performance model.
+                Action::Stop { .. } | Action::AllSlavesDead | Action::Finish => {}
+                Action::Accept { slave, .. } => per_slave[slave - 1] += 1,
+                // The live supervised driver's master-side marks.
+                Action::Expire { job, .. } => {
+                    emit(EventKind::Deadline, 0, jobs[job].id as i64, now, 0.0, 0)
+                }
+                Action::Requeue { job } => {
+                    emit(EventKind::Retry, 0, jobs[job].id as i64, now, 0.0, 0)
+                }
+                Action::Bury { slave } => {
+                    emit(EventKind::SlaveDeath, 0, NO_JOB, now, 0.0, slave)
+                }
+            }
         }
-        let arrival = dispatch(
-            &jobs[next],
-            s,
+    };
+
+    // Priming: one SlaveReady per slave, in rank order (Fig. 4).
+    for s in 1..=slaves {
+        let acts = sched.on(SchedEvent::SlaveReady { slave: s }, 0);
+        run_actions(
+            acts,
             0.0,
             &mut master,
             &mut nfs,
             &mut slave_res,
             caches,
+            &mut heap,
+            &mut per_slave,
+            &mut dispatched,
         );
-        heap.push(Reverse((Time(arrival), s)));
-        next += 1;
     }
 
+    // Drain: pop arrivals and deaths, feed the scheduler, execute its
+    // decisions. Under supervision a deadline tick rides on every pop
+    // (the live master ticks before every receive); when the heap runs
+    // dry with embargoed retries pending, simulated time skips forward
+    // in doubling steps until a backoff or deadline fires.
     let mut makespan: f64 = 0.0;
-    while let Some(Reverse((Time(arrival), s))) = heap.pop() {
-        // Master takes the result off the wire. Like the live master's
-        // ANY_SOURCE result receive, this is not attributed to a job.
-        let handled = master.acquire(arrival, cfg.master.result_handle);
-        emit(
-            EventKind::Recv,
-            0,
-            NO_JOB,
-            handled - cfg.master.result_handle,
-            cfg.master.result_handle,
-            RESULT_BYTES,
-        );
-        per_slave[s] += 1;
-        makespan = makespan.max(handled);
-        if next < jobs.len() {
-            let next_arrival = dispatch(
-                &jobs[next],
-                s,
+    let mut now: f64 = 0.0;
+    let mut idle_step = 1e-3;
+    while !sched.is_terminal() {
+        let Some(Reverse((Time(t), s, kind, job))) = heap.pop() else {
+            if opts.supervision.is_none() {
+                break; // plain runs finish through the answer stream alone
+            }
+            now += idle_step;
+            idle_step *= 2.0;
+            let acts = sched.on(SchedEvent::Deadline, ns(now));
+            run_actions(
+                acts,
+                now,
+                &mut master,
+                &mut nfs,
+                &mut slave_res,
+                caches,
+                &mut heap,
+                &mut per_slave,
+                &mut dispatched,
+            );
+            continue;
+        };
+        idle_step = 1e-3;
+        now = now.max(t);
+        if opts.supervision.is_some() {
+            let acts = sched.on(SchedEvent::Deadline, ns(now));
+            run_actions(
+                acts,
+                now,
+                &mut master,
+                &mut nfs,
+                &mut slave_res,
+                caches,
+                &mut heap,
+                &mut per_slave,
+                &mut dispatched,
+            );
+            if sched.is_terminal() {
+                break;
+            }
+        }
+        if kind == ANSWER {
+            // Master takes the result off the wire. Like the live
+            // master's ANY_SOURCE result receive, this is not attributed
+            // to a job.
+            let handled = master.acquire(t, cfg.master.result_handle);
+            emit(
+                EventKind::Recv,
+                0,
+                NO_JOB,
+                handled - cfg.master.result_handle,
+                cfg.master.result_handle,
+                RESULT_BYTES,
+            );
+            makespan = makespan.max(handled);
+            now = now.max(handled);
+            let acts = sched.on(SchedEvent::Answer { job, slave: s + 1 }, ns(handled));
+            run_actions(
+                acts,
                 handled,
                 &mut master,
                 &mut nfs,
                 &mut slave_res,
                 caches,
+                &mut heap,
+                &mut per_slave,
+                &mut dispatched,
             );
-            heap.push(Reverse((Time(next_arrival), s)));
-            next += 1;
+        } else {
+            let acts = sched.on(SchedEvent::SlaveDead { slave: s + 1 }, ns(t));
+            run_actions(
+                acts,
+                t,
+                &mut master,
+                &mut nfs,
+                &mut slave_res,
+                caches,
+                &mut heap,
+                &mut per_slave,
+                &mut dispatched,
+            );
         }
     }
 
@@ -466,11 +691,14 @@ pub fn simulate_farm_cached(
     } else {
         0.0
     };
-    SimOutcome {
-        makespan,
-        per_slave,
-        master_utilisation: util,
-    }
+    Ok((
+        SimOutcome {
+            makespan,
+            per_slave,
+            master_utilisation: util,
+        },
+        sched.take_trace(),
+    ))
 }
 
 #[cfg(test)]
@@ -890,6 +1118,84 @@ mod tests {
         let speedup = t1 / t8;
         assert!(speedup > 1.0, "threads did nothing: {speedup}");
         assert!(speedup < 8.0, "superlinear compute speedup: {speedup}");
+    }
+
+    #[test]
+    fn scripted_death_requeues_onto_survivors() {
+        let jobs = cheap_jobs(10, 5e-3);
+        let opts = SimSchedOpts {
+            supervision: Some(Supervision {
+                deadline_ns: 10_000_000_000,
+                max_attempts: 4,
+                backoff_base_ns: 0,
+            }),
+            record_trace: true,
+            faults: vec![SimFault {
+                slave: 1,
+                fatal_dispatch: 0,
+                detect_delay_s: 0.02,
+            }],
+            ..Default::default()
+        };
+        let (out, trace) = simulate_farm_sched(
+            &jobs,
+            2,
+            Transmission::SerializedLoad,
+            &cfg(),
+            &mut SimCaches::new(),
+            None,
+            &opts,
+        )
+        .unwrap();
+        // Every job completes despite the death; the dead slave (which
+        // perished sending its first answer) contributes nothing.
+        assert_eq!(out.per_slave.iter().sum::<usize>(), 10);
+        assert_eq!(out.per_slave[1], 0, "{:?}", out.per_slave);
+        let text = trace.unwrap().render();
+        assert!(
+            text.contains("dead(2) -> bury(2) requeue("),
+            "no burial decision in:\n{text}"
+        );
+    }
+
+    #[test]
+    fn lpt_dispatches_longest_job_first_and_beats_fifo_on_a_straggler() {
+        let mut jobs = cheap_jobs(6, 1e-3);
+        jobs[5].compute = 1.0; // the straggler FIFO leaves for last
+        let costs: Vec<f64> = jobs.iter().map(|j| j.compute).collect();
+        let opts = SimSchedOpts {
+            policy: DispatchPolicy::Lpt { costs },
+            record_trace: true,
+            ..Default::default()
+        };
+        let (lpt, trace) = simulate_farm_sched(
+            &jobs,
+            2,
+            Transmission::SerializedLoad,
+            &cfg(),
+            &mut SimCaches::new(),
+            None,
+            &opts,
+        )
+        .unwrap();
+        let text = trace.unwrap().render();
+        assert!(
+            text.starts_with("ready(1) -> dispatch(5->1)\n"),
+            "LPT did not lead with the straggler:\n{text}"
+        );
+        let fifo = simulate_farm(
+            &jobs,
+            2,
+            Transmission::SerializedLoad,
+            &cfg(),
+            &mut NfsCache::new(),
+        );
+        assert!(
+            lpt.makespan < fifo.makespan,
+            "LPT {} !< FIFO {}",
+            lpt.makespan,
+            fifo.makespan
+        );
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //!   serialization (`serialize`, `save`/`load`, the `sload` fast path,
 //!   LZSS compression).
 //! * [`minimpi`] — the in-process MPI runtime backing the live farm.
+//! * [`sched`] — the pure, transport-free Robin-Hood scheduler state
+//!   machine; every master (live farm and simulator alike) is a thin
+//!   driver of it, and `tests/sched_parity.rs` proves both worlds render
+//!   byte-identical decision traces.
 //! * [`exec`] — the deterministic chunked executor behind intra-slave
 //!   compute parallelism (`FarmConfig::threads`): fixed-size path chunks,
 //!   one seeded RNG stream per chunk, bit-identical results for any
@@ -61,6 +65,7 @@ pub use nsplang;
 pub use numerics;
 pub use obs;
 pub use pricing;
+pub use sched;
 pub use store;
 pub use xdrser;
 

@@ -7,13 +7,16 @@
 //! `batch_size` problems per message; slaves answer with one result list
 //! per batch.
 
-use crate::config::RunCtx;
+use crate::config::{RunCtx, SchedKnobs};
+use crate::driver::{self, JobMap, RecvStyle};
 use crate::instrument;
-use crate::robin_hood::{FarmError, FarmReport, JobOutcome};
+use crate::robin_hood::{FarmError, FarmReport};
 use crate::strategy::{prepare_payload_recorded, recover_problem_recorded, Transmission};
-use minimpi::{Comm, MpiBuf, World, ANY_SOURCE};
-use nspval::{Hash, List, Value};
+use crate::wire::{batch_reply_value, Answer, BatchItem};
+use minimpi::{Comm, MpiBuf, World};
+use nspval::{List, Value};
 use obs::Recorder;
+use sched::SchedConfig;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -34,7 +37,15 @@ pub fn run_batched_farm(
     if batch_size == 0 {
         return Err(FarmError::Config("batch size must be at least 1".into()));
     }
-    run_batched_inner(files, slaves, strategy, batch_size, None, &RunCtx::default_ctx())
+    run_batched_inner(
+        files,
+        slaves,
+        strategy,
+        batch_size,
+        None,
+        &RunCtx::default_ctx(),
+        &SchedKnobs::default(),
+    )
 }
 
 /// The batched route behind [`crate::run`]: the validated entry point
@@ -46,10 +57,11 @@ pub(crate) fn run_batched_inner(
     batch_size: usize,
     recorder: Option<Arc<Recorder>>,
     ctx: &RunCtx,
+    knobs: &SchedKnobs,
 ) -> Result<FarmReport, FarmError> {
     let results = World::run_instrumented(slaves + 1, None, recorder, |comm| {
         if comm.rank() == 0 {
-            Some(master(&comm, ctx, files, strategy, batch_size))
+            Some(master(&comm, ctx, files, strategy, batch_size, knobs))
         } else {
             slave(&comm, ctx, strategy).expect("batched slave failed");
             None
@@ -75,16 +87,12 @@ fn send_batch(
     for idx in range {
         let path = &files[idx];
         comm.set_job(Some(idx));
-        let mut h = Hash::new();
-        h.set("idx", Value::scalar(idx as f64));
-        h.set(
-            "name",
-            Value::string(path.to_string_lossy().to_string()),
-        );
-        if let Some(payload) = prepare_payload_recorded(comm, ctx, strategy, path)? {
-            h.set("payload", payload);
-        }
-        batch.add_last(Value::Hash(h));
+        let item = BatchItem {
+            idx,
+            name: path.to_string_lossy().to_string(),
+            payload: prepare_payload_recorded(comm, ctx, strategy, path)?,
+        };
+        batch.add_last(item.to_value());
     }
     comm.set_job(None);
     // One packed message for the whole batch.
@@ -93,79 +101,51 @@ fn send_batch(
     Ok(())
 }
 
+/// Batched master, as a thin [`driver`] of the shared scheduler: the
+/// state machine hands out contiguous FIFO batches; this function only
+/// packs and ships them.
 fn master(
     comm: &Comm,
     ctx: &RunCtx,
     files: &[PathBuf],
     strategy: Transmission,
     batch_size: usize,
+    knobs: &SchedKnobs,
 ) -> Result<FarmReport, FarmError> {
     let slaves = comm.size() - 1;
     let start = Instant::now();
-    let mut outcomes = Vec::with_capacity(files.len());
-    let mut per_slave = vec![0usize; comm.size()];
-    let mut next = 0usize;
-    let mut outstanding = 0usize;
-
-    let dispatch = |comm: &Comm, slave: usize, next: &mut usize| -> Result<bool, FarmError> {
-        if *next >= files.len() {
-            return Ok(false);
-        }
-        let end = (*next + batch_size).min(files.len());
-        send_batch(comm, ctx, slave, files, *next..end, strategy)?;
-        *next = end;
-        ctx.advance(end);
-        Ok(true)
-    };
-
-    for slave in 1..=slaves {
-        if dispatch(comm, slave, &mut next)? {
-            outstanding += 1;
-        } else {
-            comm.send(&[], slave as i32, TAG)?; // empty stop message
-        }
+    let ranks: Vec<usize> = (0..=slaves).collect();
+    // Batching is FIFO-only (contiguous index ranges); `FarmConfig`
+    // rejects an LPT order with batch_size > 1 before we get here.
+    let mut cfg = SchedConfig::plain(files.len(), slaves)
+        .policy(knobs.policy.clone())
+        .batch(batch_size);
+    if knobs.record_trace {
+        cfg = cfg.record_trace();
     }
-    while outstanding > 0 {
-        let st = comm.probe(ANY_SOURCE, TAG)?;
-        let mut buf = MpiBuf::with_capacity(st.count());
-        comm.recv_into(&mut buf, st.src as i32, TAG)?;
-        let v = comm.unpack(&buf)?;
-        let list = v
-            .as_list()
-            .ok_or_else(|| FarmError::Io("bad batch result".into()))?;
-        for item in list.iter() {
-            let h = item
-                .as_hash()
-                .ok_or_else(|| FarmError::Io("bad batch result item".into()))?;
-            let job = h
-                .get("job")
-                .and_then(|x| x.as_scalar())
-                .ok_or_else(|| FarmError::Io("missing job id".into()))? as usize;
-            let price = h
-                .get("price")
-                .and_then(|x| x.as_scalar())
-                .ok_or_else(|| FarmError::Io("missing price".into()))?;
-            outcomes.push(JobOutcome {
-                job,
-                slave: st.src,
-                price,
-                std_error: h.get("std_error").and_then(|x| x.as_scalar()),
-            });
-            per_slave[st.src] += 1;
-        }
-        if !dispatch(comm, st.src, &mut next)? {
-            outstanding -= 1;
-            comm.send(&[], st.src as i32, TAG)?;
-        }
-    }
+    let run = driver::drive_plain(
+        comm,
+        TAG,
+        cfg,
+        &ranks,
+        RecvStyle::Packed,
+        JobMap::Identity,
+        |job, rank, batch| {
+            send_batch(comm, ctx, rank, files, job..job + batch, strategy)?;
+            ctx.advance(job + batch);
+            Ok(())
+        },
+        |rank| Ok(comm.send(&[], rank as i32, TAG)?), // empty stop message
+    )?;
     Ok(FarmReport {
-        outcomes,
+        outcomes: run.outcomes,
         elapsed: start.elapsed(),
-        per_slave,
+        per_slave: run.per_slave,
         failed_jobs: Vec::new(),
         retries: 0,
         dead_slaves: Vec::new(),
         strategy,
+        trace: run.trace,
     })
 }
 
@@ -182,34 +162,19 @@ fn slave(comm: &Comm, ctx: &RunCtx, strategy: Transmission) -> Result<(), FarmEr
         let v = comm.unpack(&buf)?;
         let list = v
             .as_list()
-            .ok_or_else(|| FarmError::Io("bad batch message".into()))?;
-        let mut results = List::new();
+            .ok_or_else(|| FarmError::Protocol(format!("undecodable batch message: {v}")))?;
+        let mut answers = Vec::new();
         for item in list.iter() {
-            let h = item
-                .as_hash()
-                .ok_or_else(|| FarmError::Io("bad batch item".into()))?;
-            let idx = h
-                .get("idx")
-                .and_then(|x| x.as_scalar())
-                .ok_or_else(|| FarmError::Io("missing idx".into()))? as usize;
-            let name = h
-                .get("name")
-                .and_then(|x| x.as_str())
-                .ok_or_else(|| FarmError::Io("missing name".into()))?;
+            let BatchItem { idx, name, payload } = BatchItem::decode(item)?;
             comm.set_job(Some(idx));
-            let problem = recover_problem_recorded(comm, ctx, strategy, name, h.get("payload"))?;
+            let problem =
+                recover_problem_recorded(comm, ctx, strategy, &name, payload.as_ref())?;
             let r = instrument::compute_recorded(comm, ctx, &problem)
                 .map_err(|e| FarmError::Io(format!("compute failed: {e}")))?;
-            let mut out = Hash::new();
-            out.set("job", Value::scalar(idx as f64));
-            out.set("price", Value::scalar(r.price));
-            if let Some(se) = r.std_error {
-                out.set("std_error", Value::scalar(se));
-            }
-            results.add_last(Value::Hash(out));
+            answers.push(Answer::priced(idx, &r));
         }
         comm.set_job(None);
-        let packed = comm.pack(&Value::List(results));
+        let packed = comm.pack(&batch_reply_value(&answers));
         comm.send(packed.bytes(), 0, TAG)?;
     }
 }

@@ -27,9 +27,29 @@ use crate::supervisor::{run_supervised_inner, SupervisorConfig};
 use exec::ExecPolicy;
 use minimpi::FaultPlan;
 use obs::Recorder;
+use sched::DispatchPolicy;
 use std::path::PathBuf;
 use std::sync::Arc;
 use store::{CachingStore, DirStore, Prefetcher, ProblemStore};
+
+/// The scheduler-facing knobs every master loop threads through to the
+/// shared [`sched::Scheduler`]: dispatch order and trace recording.
+#[derive(Debug, Clone)]
+pub(crate) struct SchedKnobs {
+    /// Dispatch order ([`DispatchPolicy::Fifo`] unless overridden).
+    pub(crate) policy: DispatchPolicy,
+    /// Record the decision trace into [`crate::FarmReport::trace`].
+    pub(crate) record_trace: bool,
+}
+
+impl Default for SchedKnobs {
+    fn default() -> Self {
+        SchedKnobs {
+            policy: DispatchPolicy::Fifo,
+            record_trace: false,
+        }
+    }
+}
 
 /// The per-run context every master/slave loop threads through: the one
 /// [`ProblemStore`] all byte-paths fetch from, the wire encoding policy,
@@ -91,6 +111,8 @@ pub struct FarmConfig {
     prefetch_depth: usize,
     threads: usize,
     compute_chunk: usize,
+    policy: DispatchPolicy,
+    record_trace: bool,
 }
 
 impl FarmConfig {
@@ -111,7 +133,30 @@ impl FarmConfig {
             prefetch_depth: 0,
             threads: 1,
             compute_chunk: 0,
+            policy: DispatchPolicy::Fifo,
+            record_trace: false,
         }
+    }
+
+    /// Dispatch queued jobs in `policy` order: [`DispatchPolicy::Fifo`]
+    /// (the default, the paper's Fig. 4 master) or
+    /// [`DispatchPolicy::Lpt`] (longest-predicted-cost-first, the
+    /// classic makespan heuristic for the end-of-run straggler tail —
+    /// costs come from a calibrated [`crate::calibrate::CostModel`]).
+    /// LPT is incompatible with [`Self::batch_size`] `> 1` (batches are
+    /// contiguous index ranges).
+    pub fn order(mut self, policy: DispatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Record the scheduler's timestamp-free decision trace into
+    /// [`crate::FarmReport::trace`]. A live run and a simulated run of
+    /// the same workload render byte-identical traces
+    /// (`tests/sched_parity.rs`).
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
     }
 
     /// Run every slave's Monte-Carlo/LSM path loops on `threads` compute
@@ -273,6 +318,12 @@ impl FarmConfig {
                 "compute_chunk only applies with threads >= 2".into(),
             ));
         }
+        if matches!(self.policy, DispatchPolicy::Lpt { .. }) && self.batch_size > 1 {
+            return Err(FarmError::Config(
+                "LPT order is incompatible with batching (batches are contiguous index ranges)"
+                    .into(),
+            ));
+        }
         Ok(())
     }
 
@@ -314,7 +365,20 @@ impl FarmConfig {
 /// wrappers around it.
 pub fn run(files: &[PathBuf], cfg: &FarmConfig) -> Result<FarmReport, FarmError> {
     cfg.validate()?;
+    if let DispatchPolicy::Lpt { costs } = &cfg.policy {
+        if costs.len() != files.len() {
+            return Err(FarmError::Config(format!(
+                "LPT cost vector covers {} jobs but the portfolio has {}",
+                costs.len(),
+                files.len()
+            )));
+        }
+    }
     let ctx = cfg.build_ctx(files);
+    let knobs = SchedKnobs {
+        policy: cfg.policy.clone(),
+        record_trace: cfg.record_trace,
+    };
     if cfg.supervised {
         run_supervised_inner(
             files,
@@ -324,6 +388,7 @@ pub fn run(files: &[PathBuf], cfg: &FarmConfig) -> Result<FarmReport, FarmError>
             cfg.fault_plan.clone(),
             cfg.recorder.clone(),
             &ctx,
+            &knobs,
         )
     } else if cfg.batch_size > 1 {
         run_batched_inner(
@@ -333,9 +398,17 @@ pub fn run(files: &[PathBuf], cfg: &FarmConfig) -> Result<FarmReport, FarmError>
             cfg.batch_size,
             cfg.recorder.clone(),
             &ctx,
+            &knobs,
         )
     } else {
-        run_farm_inner(files, cfg.slaves, cfg.strategy, cfg.recorder.clone(), &ctx)
+        run_farm_inner(
+            files,
+            cfg.slaves,
+            cfg.strategy,
+            cfg.recorder.clone(),
+            &ctx,
+            &knobs,
+        )
     }
 }
 

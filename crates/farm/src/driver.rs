@@ -1,0 +1,354 @@
+//! The live-side drivers of the [`sched`] state machine.
+//!
+//! Every farm master in this crate — plain, batched, supervised, and
+//! each hierarchy sub-master — used to carry its own copy of the
+//! Robin-Hood refeed loop. They are now thin *drivers*: they translate
+//! wire messages into [`sched::Event`]s, feed the pure scheduler, and
+//! execute the returned [`sched::Action`]s as sends. All scheduling
+//! *decisions* (who gets which job next, when a job is presumed lost,
+//! when a slave is buried, when the run is finished) live in
+//! `crates/sched`, where the cluster simulator drives the identical
+//! state machine with simulated time — the parity property locked down
+//! by `tests/sched_parity.rs`.
+//!
+//! This module is also the only place in the crate allowed to receive
+//! from `ANY_SOURCE` (enforced by a grep gate in `scripts/ci.sh`): the
+//! master's gather point is a driver concern, not a protocol one.
+
+use crate::instrument;
+use crate::robin_hood::{FarmError, JobOutcome};
+use crate::wire::{self, Answer};
+use minimpi::{Comm, MpiBuf, MpiError, Status, ANY_SOURCE};
+use nspval::Value;
+use obs::{EventKind, NO_JOB};
+use sched::{Action, Event, SchedConfig, Scheduler, Trace};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// How a master's gather point receives slave answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RecvStyle {
+    /// One `recv_obj` per answer (plain and hierarchy protocols).
+    Obj,
+    /// Probe → sized buffer → unpack; one packed message carries a whole
+    /// batch reply (the §5 batching protocol).
+    Packed,
+}
+
+/// Mapping between the scheduler's dense job ids (`0..jobs`) and the job
+/// indices that travel on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum JobMap {
+    /// Wire ids are scheduler ids (flat farms).
+    Identity,
+    /// Wire ids are `base + sched_id` (a hierarchy sub-master's
+    /// contiguous chunk of the global file list).
+    Offset(usize),
+}
+
+impl JobMap {
+    fn to_wire(self, job: usize) -> usize {
+        match self {
+            JobMap::Identity => job,
+            JobMap::Offset(base) => base + job,
+        }
+    }
+
+    fn sched_of_wire(self, wire_job: usize) -> Option<usize> {
+        match self {
+            JobMap::Identity => Some(wire_job),
+            JobMap::Offset(base) => wire_job.checked_sub(base),
+        }
+    }
+}
+
+/// What [`drive_plain`] hands back to its master.
+#[derive(Debug)]
+pub(crate) struct PlainRun {
+    /// Priced jobs in completion order, `job` in *wire* ids.
+    pub(crate) outcomes: Vec<JobOutcome>,
+    /// Jobs completed per MPI rank (index 0, the master, stays 0).
+    pub(crate) per_slave: Vec<usize>,
+    /// The decision trace, when the config asked for one.
+    pub(crate) trace: Option<Trace>,
+}
+
+/// What [`drive_supervised`] hands back to its master.
+#[derive(Debug)]
+pub(crate) struct SupRun {
+    /// Priced jobs in acceptance order.
+    pub(crate) outcomes: Vec<JobOutcome>,
+    /// Jobs completed per MPI rank.
+    pub(crate) per_slave: Vec<usize>,
+    /// Jobs abandoned after exhausting their attempt budget.
+    pub(crate) failed_jobs: Vec<usize>,
+    /// Total re-dispatches performed.
+    pub(crate) retries: usize,
+    /// Slave ranks buried during the run.
+    pub(crate) dead_slaves: Vec<usize>,
+    /// The decision trace, when the config asked for one.
+    pub(crate) trace: Option<Trace>,
+}
+
+/// Receive one object from any source — the gather point shared by the
+/// plain drivers and the hierarchy's global master.
+pub(crate) fn recv_any(comm: &Comm, tag: i32) -> Result<(Value, Status), FarmError> {
+    Ok(comm.recv_obj(ANY_SOURCE, tag)?)
+}
+
+/// Map a sender rank to its scheduler slave id via the driver's rank
+/// table (`ranks[s]` = MPI rank of slave `s`; `ranks[0]` is the master).
+fn slave_of(ranks: &[usize], src: usize) -> Result<usize, FarmError> {
+    ranks[1..]
+        .iter()
+        .position(|&r| r == src)
+        .map(|i| i + 1)
+        .ok_or_else(|| FarmError::Protocol(format!("answer from unknown rank {src}")))
+}
+
+/// Drive an unsupervised (plain or batched) farm master to completion.
+///
+/// `ranks[s]` is the MPI rank of scheduler slave `s` (`ranks[0]` = this
+/// master's own rank, unused). `send(job, rank, batch)` ships jobs
+/// `job..job+batch` (scheduler ids) to `rank`; `stop(rank)` sends the
+/// protocol's stop sentinel. The driver owns the gather point and the
+/// per-dispatch [`EventKind::Dispatch`] diagnostic mark.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive_plain(
+    comm: &Comm,
+    tag: i32,
+    cfg: SchedConfig,
+    ranks: &[usize],
+    style: RecvStyle,
+    map: JobMap,
+    mut send: impl FnMut(usize, usize, usize) -> Result<(), FarmError>,
+    mut stop: impl FnMut(usize) -> Result<(), FarmError>,
+) -> Result<PlainRun, FarmError> {
+    debug_assert!(cfg.supervision.is_none(), "use drive_supervised");
+    debug_assert_eq!(ranks.len(), cfg.slaves + 1);
+    let slaves = cfg.slaves;
+    let jobs = cfg.jobs;
+    let mut sched = Scheduler::new(cfg).map_err(|e| FarmError::Config(e.to_string()))?;
+    let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs);
+    let mut per_slave = vec![0usize; comm.size()];
+
+    let mut apply = |actions: Vec<Action>| -> Result<(), FarmError> {
+        for a in actions {
+            match a {
+                Action::Dispatch { job, slave, batch } => {
+                    send(job, ranks[slave], batch)?;
+                    instrument::mark(
+                        comm,
+                        EventKind::Dispatch,
+                        map.to_wire(job) as i64,
+                        batch as u64,
+                    );
+                }
+                Action::Stop { slave } => stop(ranks[slave])?,
+                Action::Accept { .. } | Action::Finish => {}
+                _ => unreachable!("plain scheduler emits no supervision actions"),
+            }
+        }
+        Ok(())
+    };
+
+    // Priming: one SlaveReady per slave, in rank order (Fig. 4).
+    for s in 1..=slaves {
+        apply(sched.on(Event::SlaveReady { slave: s }, 0))?;
+    }
+
+    // Gather/refeed loop.
+    while !sched.is_terminal() {
+        let (answers, src) = match style {
+            RecvStyle::Obj => {
+                let (v, st) = recv_any(comm, tag)?;
+                (vec![wire::decode_answer(&v)?], st.src)
+            }
+            RecvStyle::Packed => {
+                let st = comm.probe(ANY_SOURCE, tag)?;
+                let mut buf = MpiBuf::with_capacity(st.count());
+                comm.recv_into(&mut buf, st.src as i32, tag)?;
+                let v = comm.unpack(&buf)?;
+                (wire::decode_batch_reply(&v)?, st.src)
+            }
+        };
+        let slave = slave_of(ranks, src)?;
+        let head = answers
+            .first()
+            .map(|a| a.job())
+            .ok_or_else(|| FarmError::Protocol(format!("empty batch reply from rank {src}")))?;
+        for a in answers {
+            match a {
+                Answer::Priced { job, price, std_error } => {
+                    outcomes.push(JobOutcome { job, slave: src, price, std_error });
+                    per_slave[src] += 1;
+                }
+                Answer::Failed { job, why } => {
+                    return Err(FarmError::Protocol(format!(
+                        "unsupervised slave {src} reported failure for job {job}: {why}"
+                    )));
+                }
+            }
+        }
+        let sched_job = map
+            .sched_of_wire(head)
+            .filter(|&j| j < jobs)
+            .ok_or_else(|| FarmError::Protocol(format!("answer for unknown job {head}")))?;
+        apply(sched.on(Event::Answer { job: sched_job, slave }, 0))?;
+    }
+
+    Ok(PlainRun {
+        outcomes,
+        per_slave,
+        trace: sched.take_trace(),
+    })
+}
+
+/// Drive the supervised farm master to completion.
+///
+/// Slave ids are MPI ranks (`1..=slaves`); `send(job, rank)` ships one
+/// job. A send that fails fast with [`MpiError::Poisoned`] for the
+/// target rank is reported back as [`Event::SendFailed`] — the scheduler
+/// reverses the attempt and buries the slave — and the recovery actions
+/// run *before* the rest of the current batch, keeping the live driver
+/// in lock-step with the simulator. Undecodable replies surface as
+/// [`FarmError::Protocol`] instead of being dropped.
+pub(crate) fn drive_supervised(
+    comm: &Comm,
+    tag: i32,
+    cfg: SchedConfig,
+    poll: Duration,
+    mut send: impl FnMut(usize, usize) -> Result<(), FarmError>,
+) -> Result<SupRun, FarmError> {
+    debug_assert!(cfg.supervision.is_some(), "use drive_plain");
+    let slaves = cfg.slaves;
+    let jobs = cfg.jobs;
+    let mut sched = Scheduler::new(cfg).map_err(|e| FarmError::Config(e.to_string()))?;
+    let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs);
+    let mut per_slave = vec![0usize; comm.size()];
+    // The priced answer currently being fed to the scheduler; consumed
+    // by the Accept action it may produce (dedup leaves it unconsumed).
+    let mut pending: Option<(f64, Option<f64>)> = None;
+
+    let epoch = Instant::now();
+    let now = |epoch: &Instant| epoch.elapsed().as_nanos() as u64;
+
+    // Execute an action batch; a failed dispatch send feeds SendFailed
+    // and front-splices the recovery actions before the remainder.
+    let mut run_actions = |sched: &mut Scheduler,
+                           pending: &mut Option<(f64, Option<f64>)>,
+                           actions: Vec<Action>|
+     -> Result<(), FarmError> {
+        let mut work: VecDeque<Action> = actions.into();
+        while let Some(a) = work.pop_front() {
+            match a {
+                Action::Dispatch { job, slave, .. } => {
+                    match send(job, slave) {
+                        Ok(()) => {
+                            instrument::mark(comm, EventKind::Dispatch, job as i64, 1);
+                        }
+                        Err(FarmError::Mpi(MpiError::Poisoned(dead))) if dead == slave => {
+                            let recovery =
+                                sched.on(Event::SendFailed { job, slave }, now(&epoch));
+                            for r in recovery.into_iter().rev() {
+                                work.push_front(r);
+                            }
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Action::Stop { slave } => {
+                    match comm.send_obj(&Value::empty_matrix(), slave as i32, tag) {
+                        Ok(()) | Err(MpiError::Poisoned(_)) => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                Action::Accept { job, slave } => {
+                    let (price, std_error) =
+                        pending.take().expect("Accept follows a priced answer");
+                    outcomes.push(JobOutcome { job, slave, price, std_error });
+                    per_slave[slave] += 1;
+                }
+                Action::Expire { job, .. } => {
+                    instrument::mark(comm, EventKind::Deadline, job as i64, 0);
+                }
+                Action::Requeue { job } => {
+                    instrument::mark(comm, EventKind::Retry, job as i64, 0);
+                }
+                Action::Bury { slave } => {
+                    instrument::mark(comm, EventKind::SlaveDeath, NO_JOB, slave as u64);
+                }
+                Action::AllSlavesDead | Action::Finish => {}
+            }
+        }
+        Ok(())
+    };
+
+    // Priming.
+    for s in 1..=slaves {
+        let acts = sched.on(Event::SlaveReady { slave: s }, now(&epoch));
+        run_actions(&mut sched, &mut pending, acts)?;
+    }
+
+    while !sched.is_terminal() {
+        // 1. Liveness sweep: notice kills even without trying to send.
+        for s in 1..=slaves {
+            if !sched.is_dead(s) && !comm.rank_alive(s) {
+                let acts = sched.on(Event::SlaveDead { slave: s }, now(&epoch));
+                run_actions(&mut sched, &mut pending, acts)?;
+            }
+        }
+        if sched.is_terminal() {
+            break;
+        }
+        // 2. Deadline/backoff tick.
+        let acts = sched.on(Event::Deadline, now(&epoch));
+        run_actions(&mut sched, &mut pending, acts)?;
+        if sched.is_terminal() {
+            break;
+        }
+        // 3. Collect one answer (or poll out and sweep again).
+        match comm.recv_obj_timeout(ANY_SOURCE, tag, poll) {
+            Ok(None) => {}
+            Ok(Some((v, st))) => {
+                // An undecodable reply is a protocol violation, surfaced
+                // with the offending value rendered — never dropped.
+                let answer = wire::decode_answer(&v)?;
+                match answer {
+                    Answer::Priced { job, price, std_error } => {
+                        pending = Some((price, std_error));
+                        let acts =
+                            sched.on(Event::Answer { job, slave: st.src }, now(&epoch));
+                        run_actions(&mut sched, &mut pending, acts)?;
+                        pending = None; // duplicate answers never accept
+                    }
+                    Answer::Failed { job, .. } => {
+                        let acts =
+                            sched.on(Event::Failure { job, slave: st.src }, now(&epoch));
+                        run_actions(&mut sched, &mut pending, acts)?;
+                    }
+                }
+            }
+            // A truncated result: clear it; the job deadline requeues it.
+            Err(MpiError::Truncated { .. }) => {
+                let _ = comm.discard(ANY_SOURCE, tag);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+
+    if sched.aborted() {
+        return Err(FarmError::AllSlavesDead {
+            completed: outcomes.len(),
+            remaining: sched.unfinished(),
+        });
+    }
+    Ok(SupRun {
+        outcomes,
+        per_slave,
+        failed_jobs: sched.failed_jobs(),
+        retries: sched.retries() as usize,
+        dead_slaves: sched.dead_slaves(),
+        trace: sched.take_trace(),
+    })
+}

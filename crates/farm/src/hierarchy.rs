@@ -9,12 +9,15 @@
 //! back to the global master when its chunk is drained.
 
 use crate::config::RunCtx;
+use crate::driver::{self, JobMap, RecvStyle};
 use crate::instrument;
 use crate::robin_hood::{FarmError, FarmReport, JobOutcome};
 use crate::strategy::{prepare_payload_recorded, recover_problem_recorded, Transmission};
-use minimpi::{Comm, MpiBuf, World, ANY_SOURCE};
+use crate::wire::{Answer, JobMsg};
+use minimpi::{Comm, MpiBuf, World};
 use nspval::{Hash, List, Value};
 use obs::Recorder;
+use sched::SchedConfig;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -132,7 +135,7 @@ fn global_master(comm: &Comm, files: &[PathBuf], topo: Topology) -> Result<FarmR
     let mut outcomes = Vec::with_capacity(files.len());
     let mut per_slave = vec![0usize; comm.size()];
     for _ in 0..topo.groups {
-        let (v, _st) = comm.recv_obj(ANY_SOURCE, TAG)?;
+        let (v, _st) = driver::recv_any(comm, TAG)?;
         let list = v
             .as_list()
             .ok_or_else(|| FarmError::Io("bad group report".into()))?;
@@ -166,6 +169,7 @@ fn global_master(comm: &Comm, files: &[PathBuf], topo: Topology) -> Result<FarmR
         retries: 0,
         dead_slaves: Vec::new(),
         strategy: Transmission::SerializedLoad,
+        trace: None,
     })
 }
 
@@ -194,18 +198,19 @@ fn sub_master(
         .collect();
 
     let my_rank = comm.rank();
-    let my_slaves: Vec<usize> = (1..=topo.slaves_per_group).map(|k| my_rank + k).collect();
-    let mut results = List::new();
-    let mut next = 0usize;
-    let mut outstanding = 0usize;
+    // Scheduler slave `s` is MPI rank `my_rank + s`; sched job `j` is
+    // global job `base + j` (chunks are contiguous).
+    let mut ranks = vec![my_rank];
+    ranks.extend((1..=topo.slaves_per_group).map(|k| my_rank + k));
+    let base = jobs.first().map(|&(g, _)| g).unwrap_or(0);
 
     let send_one = |comm: &Comm, slave: usize, (idx, path): &(usize, PathBuf)| -> Result<(), FarmError> {
         comm.set_job(Some(*idx));
-        let name = Value::list(vec![
-            Value::string(path.to_string_lossy().to_string()),
-            Value::scalar(*idx as f64),
-        ]);
-        comm.send_obj(&name, slave as i32, TAG)?;
+        let msg = JobMsg {
+            idx: *idx,
+            name: path.to_string_lossy().to_string(),
+        };
+        comm.send_obj(&msg.to_value(), slave as i32, TAG)?;
         if let Some(payload) = prepare_payload_recorded(comm, ctx, strategy, path)? {
             let packed = comm.pack(&payload);
             comm.send(packed.bytes(), slave as i32, TAG)?;
@@ -214,40 +219,30 @@ fn sub_master(
         Ok(())
     };
 
-    for &slave in &my_slaves {
-        if next < jobs.len() {
-            send_one(comm, slave, &jobs[next])?;
-            next += 1;
-            outstanding += 1;
-        } else {
-            comm.send_obj(&Value::empty_matrix(), slave as i32, TAG)?;
-        }
-    }
-    while outstanding > 0 {
-        let (v, st) = comm.recv_obj(ANY_SOURCE, TAG)?;
-        let h = v
-            .as_hash()
-            .ok_or_else(|| FarmError::Io("bad slave result".into()))?;
+    let cfg = SchedConfig::plain(jobs.len(), topo.slaves_per_group);
+    let run = driver::drive_plain(
+        comm,
+        TAG,
+        cfg,
+        &ranks,
+        RecvStyle::Obj,
+        JobMap::Offset(base),
+        |job, rank, _batch| send_one(comm, rank, &jobs[job]),
+        |rank| Ok(comm.send_obj(&Value::empty_matrix(), rank as i32, TAG)?),
+    )?;
+
+    // Aggregate report for the global master, in completion order, with
+    // the legacy `{job, price, std_error?, slave}` item layout.
+    let mut results = List::new();
+    for o in &run.outcomes {
         let mut out = Hash::new();
-        out.set("job", h.get("job").cloned().unwrap_or(Value::scalar(-1.0)));
-        out.set(
-            "price",
-            h.get("price")
-                .cloned()
-                .ok_or_else(|| FarmError::Io("missing price".into()))?,
-        );
-        if let Some(se) = h.get("std_error") {
-            out.set("std_error", se.clone());
+        out.set("job", Value::scalar(o.job as f64));
+        out.set("price", Value::scalar(o.price));
+        if let Some(se) = o.std_error {
+            out.set("std_error", Value::scalar(se));
         }
-        out.set("slave", Value::scalar(st.src as f64));
+        out.set("slave", Value::scalar(o.slave as f64));
         results.add_last(Value::Hash(out));
-        if next < jobs.len() {
-            send_one(comm, st.src, &jobs[next])?;
-            next += 1;
-        } else {
-            outstanding -= 1;
-            comm.send_obj(&Value::empty_matrix(), st.src as i32, TAG)?;
-        }
     }
     comm.send_obj(&Value::List(results), 0, TAG)?;
     let _ = group;
@@ -267,18 +262,8 @@ fn slave(
         if msg.is_empty_matrix() {
             return Ok(());
         }
-        let list = msg
-            .as_list()
-            .ok_or_else(|| FarmError::Io("bad name message".into()))?;
-        let name = list
-            .get(0)
-            .and_then(|v| v.as_str())
-            .ok_or_else(|| FarmError::Io("missing name".into()))?
-            .to_string();
-        let idx = list
-            .get(1)
-            .and_then(|v| v.as_scalar())
-            .ok_or_else(|| FarmError::Io("missing idx".into()))? as usize;
+        let JobMsg { idx, name } = JobMsg::decode(&msg)
+            .ok_or_else(|| FarmError::Protocol(format!("undecodable job request: {msg}")))?;
         comm.set_job(Some(idx));
         let payload = match strategy {
             Transmission::Nfs => None,
@@ -292,13 +277,7 @@ fn slave(
         let problem = recover_problem_recorded(comm, ctx, strategy, &name, payload.as_ref())?;
         let r = instrument::compute_recorded(comm, ctx, &problem)
             .map_err(|e| FarmError::Io(format!("compute failed: {e}")))?;
-        let mut h = Hash::new();
-        h.set("job", Value::scalar(idx as f64));
-        h.set("price", Value::scalar(r.price));
-        if let Some(se) = r.std_error {
-            h.set("std_error", Value::scalar(se));
-        }
-        comm.send_obj(&Value::Hash(h), master_rank as i32, TAG)?;
+        comm.send_obj(&Answer::priced(idx, &r).to_value(), master_rank as i32, TAG)?;
         comm.set_job(None);
     }
 }

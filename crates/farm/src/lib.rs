@@ -26,6 +26,9 @@
 //!   parameter sweeps (delta/gamma/vega/rho per claim) that multiply the
 //!   portfolio into the paper's "around 10⁶ atomic computations".
 
+//! * [`wire`] — the typed wire codec every master/slave pair shares:
+//!   job requests, batch items, and priced/failed answers, with total
+//!   decoding ([`FarmError::Protocol`] instead of silent drops).
 //! * [`config`] — the unified entry point: build a [`FarmConfig`]
 //!   (strategy, batching, supervision, fault plan, [`obs::Recorder`],
 //!   problem store / cache / wire-compression / prefetch) and call
@@ -33,11 +36,16 @@
 //!
 //! Since the `store` crate landed, every byte of problem data reaches the
 //! farm through a [`store::ProblemStore`] — see `docs/STORE.md`.
+//!
+//! Since the `sched` crate landed, every master loop above is a thin
+//! *driver* of the same pure scheduler state machine ([`sched::Scheduler`])
+//! that also powers the cluster simulator — see `docs/SCHEDULER.md`.
 
 #![warn(missing_docs)]
 pub mod batching;
 pub mod calibrate;
 pub mod config;
+mod driver;
 pub mod hierarchy;
 mod instrument;
 pub mod portfolio;
@@ -45,8 +53,10 @@ pub mod risk;
 pub mod robin_hood;
 pub mod strategy;
 pub mod supervisor;
+pub mod wire;
 
 pub use config::{run, FarmConfig};
+pub use sched::{DispatchPolicy, Trace};
 pub use portfolio::{
     realistic_portfolio, regression_portfolio, toy_portfolio, JobClass, PortfolioJob,
     PortfolioScale,

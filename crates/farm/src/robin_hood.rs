@@ -13,13 +13,15 @@
 //! receives, unpacks, unserializes, computes and replies with a result
 //! object.
 
-use crate::config::RunCtx;
+use crate::config::{RunCtx, SchedKnobs};
+use crate::driver::{self, JobMap, RecvStyle};
 use crate::instrument;
 use crate::strategy::{prepare_payload_recorded, recover_problem_recorded, Transmission};
-use minimpi::{Comm, MpiBuf, MpiError, World, ANY_SOURCE};
-use nspval::{Hash, Value};
+use crate::wire::{Answer, JobMsg};
+use minimpi::{Comm, MpiBuf, MpiError, World};
+use nspval::Value;
 use obs::Recorder;
-use pricing::PricingResult;
+use sched::SchedConfig;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -59,6 +61,11 @@ pub struct FarmReport {
     pub retries: usize,
     /// Slave ranks the supervisor declared dead during the run.
     pub dead_slaves: Vec<usize>,
+    /// The scheduler's decision trace, recorded when the run was
+    /// configured with [`crate::FarmConfig::record_trace`]. Timestamp-
+    /// free, so it is byte-comparable with a simulated run of the same
+    /// workload (`tests/sched_parity.rs`).
+    pub trace: Option<sched::Trace>,
 }
 
 impl FarmReport {
@@ -96,6 +103,10 @@ pub enum FarmError {
     /// The [`crate::FarmConfig`] combination is invalid (e.g. batching
     /// under supervision, a zero retry budget, an undersized recorder).
     Config(String),
+    /// A peer sent a message the wire codec cannot decode: a protocol
+    /// violation, surfaced with the offending value rendered instead of
+    /// silently dropped.
+    Protocol(String),
     /// Every slave died before the portfolio was drained; the supervised
     /// master aborts cleanly instead of spinning on retries forever.
     AllSlavesDead {
@@ -114,6 +125,7 @@ impl fmt::Display for FarmError {
             FarmError::Io(m) => write!(f, "I/O error: {m}"),
             FarmError::Xdr(e) => write!(f, "serialization error: {e}"),
             FarmError::Config(m) => write!(f, "invalid farm config: {m}"),
+            FarmError::Protocol(m) => write!(f, "protocol violation: {m}"),
             FarmError::AllSlavesDead {
                 completed,
                 remaining,
@@ -137,25 +149,6 @@ impl From<xdrser::XdrError> for FarmError {
     fn from(e: xdrser::XdrError) -> Self {
         FarmError::Xdr(e)
     }
-}
-
-/// Encode a result message (slave → master).
-pub(crate) fn result_value(job: usize, result: &PricingResult) -> Value {
-    let mut h = Hash::new();
-    h.set("job", Value::scalar(job as f64));
-    h.set("price", Value::scalar(result.price));
-    if let Some(se) = result.std_error {
-        h.set("std_error", Value::scalar(se));
-    }
-    Value::Hash(h)
-}
-
-pub(crate) fn decode_result(v: &Value) -> Option<(usize, f64, Option<f64>)> {
-    let h = v.as_hash()?;
-    let job = h.get("job")?.as_scalar()? as usize;
-    let price = h.get("price")?.as_scalar()?;
-    let se = h.get("std_error").and_then(|x| x.as_scalar());
-    Some((job, price, se))
 }
 
 /// Master-side: send job `idx` (file `path`) to `slave`.
@@ -210,18 +203,8 @@ fn slave_loop(comm: &Comm, ctx: &RunCtx, strategy: Transmission) -> Result<usize
             // Stop sentinel.
             return Ok(done);
         }
-        let list = msg
-            .as_list()
-            .ok_or_else(|| FarmError::Io("bad name message".into()))?;
-        let name = list
-            .get(0)
-            .and_then(|v| v.as_str())
-            .ok_or_else(|| FarmError::Io("missing file name".into()))?
-            .to_string();
-        let idx = list
-            .get(1)
-            .and_then(|v| v.as_scalar())
-            .ok_or_else(|| FarmError::Io("missing job index".into()))? as usize;
+        let JobMsg { idx, name } = JobMsg::decode(&msg)
+            .ok_or_else(|| FarmError::Protocol(format!("undecodable job request: {msg}")))?;
         comm.set_job(Some(idx));
 
         let payload = match strategy {
@@ -237,72 +220,55 @@ fn slave_loop(comm: &Comm, ctx: &RunCtx, strategy: Transmission) -> Result<usize
         let problem = recover_problem_recorded(comm, ctx, strategy, &name, payload.as_ref())?;
         let result = instrument::compute_recorded(comm, ctx, &problem)
             .map_err(|e| FarmError::Io(format!("compute failed: {e}")))?;
-        comm.send_obj(&result_value(idx, &result), 0, TAG)?;
+        comm.send_obj(&Answer::priced(idx, &result).to_value(), 0, TAG)?;
         comm.set_job(None);
         done += 1;
     }
 }
 
-/// Master loop — Fig. 4's `else` branch: prime every slave with one job,
-/// then refeed on every answer until the list is drained, then send the
-/// stop sentinel.
+/// Master loop — Fig. 4's `else` branch, as a thin [`driver`] of the
+/// [`sched::Scheduler`]: prime every slave, refeed on every answer,
+/// stop with the empty-name sentinel. The dispatch *decisions* all come
+/// from the shared state machine; this function only moves bytes.
 fn master_loop(
     comm: &Comm,
     ctx: &RunCtx,
     files: &[PathBuf],
     strategy: Transmission,
+    knobs: &SchedKnobs,
 ) -> Result<FarmReport, FarmError> {
     let slaves = comm.size() - 1;
     let start = Instant::now();
-    let mut outcomes = Vec::with_capacity(files.len());
-    let mut per_slave = vec![0usize; comm.size()];
-    let mut next = 0usize;
     let mut scratch = MpiBuf::with_capacity(0);
-
-    // Prime each slave with one job.
-    for slave in 1..=slaves {
-        if next < files.len() {
-            send_job(comm, ctx, slave, next, &files[next], strategy, &mut scratch)?;
-            next += 1;
-            ctx.advance(next);
-        } else {
-            comm.send_obj(&Value::empty_matrix(), slave as i32, TAG)?;
-        }
+    // Flat farm: scheduler slave `s` is MPI rank `s`.
+    let ranks: Vec<usize> = (0..=slaves).collect();
+    let mut cfg = SchedConfig::plain(files.len(), slaves).policy(knobs.policy.clone());
+    if knobs.record_trace {
+        cfg = cfg.record_trace();
     }
-    let primed = next.min(files.len());
-    let mut outstanding = primed;
-
-    // Refeed loop.
-    while outstanding > 0 {
-        let (v, st) = comm.recv_obj(ANY_SOURCE, TAG)?;
-        let (job, price, se) =
-            decode_result(&v).ok_or_else(|| FarmError::Io("bad result message".into()))?;
-        outcomes.push(JobOutcome {
-            job,
-            slave: st.src,
-            price,
-            std_error: se,
-        });
-        per_slave[st.src] += 1;
-        if next < files.len() {
-            send_job(comm, ctx, st.src, next, &files[next], strategy, &mut scratch)?;
-            next += 1;
-            ctx.advance(next);
-        } else {
-            outstanding -= 1;
-            // Tell this slave to stop.
-            comm.send_obj(&Value::empty_matrix(), st.src as i32, TAG)?;
-        }
-    }
-    // Slaves that never got a job were already stopped during priming.
+    let run = driver::drive_plain(
+        comm,
+        TAG,
+        cfg,
+        &ranks,
+        RecvStyle::Obj,
+        JobMap::Identity,
+        |job, rank, _batch| {
+            send_job(comm, ctx, rank, job, &files[job], strategy, &mut scratch)?;
+            ctx.advance(job + 1);
+            Ok(())
+        },
+        |rank| Ok(comm.send_obj(&Value::empty_matrix(), rank as i32, TAG)?),
+    )?;
     Ok(FarmReport {
-        outcomes,
+        outcomes: run.outcomes,
         elapsed: start.elapsed(),
-        per_slave,
+        per_slave: run.per_slave,
         strategy,
         failed_jobs: Vec::new(),
         retries: 0,
         dead_slaves: Vec::new(),
+        trace: run.trace,
     })
 }
 
@@ -320,7 +286,14 @@ pub fn run_farm(
     if slaves == 0 {
         return Err(FarmError::NoSlaves);
     }
-    run_farm_inner(files, slaves, strategy, None, &RunCtx::default_ctx())
+    run_farm_inner(
+        files,
+        slaves,
+        strategy,
+        None,
+        &RunCtx::default_ctx(),
+        &SchedKnobs::default(),
+    )
 }
 
 /// The actual plain-farm runner behind both [`run_farm`] and
@@ -332,10 +305,11 @@ pub(crate) fn run_farm_inner(
     strategy: Transmission,
     recorder: Option<Arc<Recorder>>,
     ctx: &RunCtx,
+    knobs: &SchedKnobs,
 ) -> Result<FarmReport, FarmError> {
     let results = World::run_instrumented(slaves + 1, None, recorder, |comm| {
         if comm.rank() == 0 {
-            Some(master_loop(&comm, ctx, files, strategy))
+            Some(master_loop(&comm, ctx, files, strategy, knobs))
         } else {
             // A slave failure must not silently drop a job: panic and let
             // World poison the group (surfaces as an error at the master).

@@ -25,17 +25,16 @@
 //! equivalence checked by `tests/sim_vs_live.rs` and `tests/farm_chaos.rs`.
 
 use crate::calibrate::CostModel;
-use crate::config::RunCtx;
+use crate::config::{RunCtx, SchedKnobs};
+use crate::driver;
 use crate::instrument;
 use crate::portfolio::JobClass;
-use crate::robin_hood::{
-    decode_result, result_value, send_job, FarmError, FarmReport, JobOutcome, TAG,
-};
+use crate::robin_hood::{send_job, FarmError, FarmReport, TAG};
 use crate::strategy::{recover_problem_recorded, Transmission};
-use minimpi::{Comm, FaultPlan, MpiBuf, MpiError, World, ANY_SOURCE};
-use nspval::{Hash, Value};
-use obs::{EventKind, Recorder, NO_JOB};
-use std::collections::VecDeque;
+use crate::wire::Answer;
+use minimpi::{Comm, FaultPlan, MpiBuf, MpiError, World};
+use obs::Recorder;
+use sched::{SchedConfig, Supervision};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -103,21 +102,6 @@ impl SupervisorConfig {
             ..SupervisorConfig::default()
         }
     }
-}
-
-/// Slave → master failure report for `job`.
-fn failure_value(job: usize, why: &str) -> Value {
-    let mut h = Hash::new();
-    h.set("job", Value::scalar(job as f64));
-    h.set("failed", Value::string(why.to_string()));
-    Value::Hash(h)
-}
-
-fn decode_failure(v: &Value) -> Option<(usize, String)> {
-    let h = v.as_hash()?;
-    let why = h.get("failed")?.as_str()?.to_string();
-    let job = h.get("job")?.as_scalar()? as usize;
-    Some((job, why))
 }
 
 /// `true` for the comm errors that mean "this endpoint is finished" as
@@ -203,8 +187,8 @@ fn supervised_slave(
                     .map_err(|e| format!("compute failed: {e}"))
             });
         let reply = match &computed {
-            Ok(result) => result_value(idx, result),
-            Err(why) => failure_value(idx, why),
+            Ok(result) => Answer::priced(idx, result).to_value(),
+            Err(why) => Answer::failed(idx, why.clone()).to_value(),
         };
         match comm.send_obj(&reply, 0, TAG) {
             Ok(()) => {
@@ -220,279 +204,64 @@ fn supervised_slave(
 
 /// Send a failure report, treating a dead master as a clean exit signal.
 fn report_failure(comm: &Comm, job: usize, why: &str) -> Result<(), FarmError> {
-    match comm.send_obj(&failure_value(job, why), 0, TAG) {
+    match comm.send_obj(&Answer::failed(job, why).to_value(), 0, TAG) {
         Ok(()) => Ok(()),
         Err(e) if is_fatal_comm(&e) => Ok(()),
         Err(e) => Err(e.into()),
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SlaveState {
-    /// Ready for a dispatch. A slave whose job missed its deadline also
-    /// returns here: if it is merely slow, the extra dispatch queues in
-    /// its mailbox FIFO and is handled after the straggler; if it is
-    /// dead, the next send to it fails fast and buries it. Either way the
-    /// farm keeps making progress — there is no state a live job can get
-    /// stuck in.
-    Idle,
-    /// Computing a dispatched job (tracked in `MasterState::inflight`).
-    Busy,
-    /// Declared dead: mailbox poisoned, never dispatched to again.
-    Dead,
-}
-
-struct MasterState {
-    slave_state: Vec<SlaveState>,
-    /// `slave → (job, deadline)` for Busy slaves.
-    inflight: Vec<Option<(usize, Instant)>>,
-    /// Jobs awaiting (re)dispatch, with their earliest-dispatch instant.
-    pending: VecDeque<(usize, Instant)>,
-    attempts: Vec<usize>,
-    done: Vec<bool>,
-    failed: Vec<bool>,
-    retries: usize,
-}
-
-impl MasterState {
-    fn new(jobs: usize, ranks: usize) -> Self {
-        MasterState {
-            slave_state: vec![SlaveState::Idle; ranks],
-            inflight: vec![None; ranks],
-            pending: (0..jobs).map(|j| (j, Instant::now())).collect(),
-            attempts: vec![0; jobs],
-            done: vec![false; jobs],
-            failed: vec![false; jobs],
-            retries: 0,
-        }
-    }
-
-    fn unfinished(&self) -> usize {
-        self.done
-            .iter()
-            .zip(&self.failed)
-            .filter(|&(&d, &f)| !d && !f)
-            .count()
-    }
-
-    fn alive_slaves(&self) -> usize {
-        self.slave_state[1..]
-            .iter()
-            .filter(|&&s| s != SlaveState::Dead)
-            .count()
-    }
-
-    /// Requeue `job` after a presumed or reported failure, honouring the
-    /// retry budget and exponential backoff. Returns whether a retry was
-    /// actually queued (false: already settled or budget exhausted).
-    fn requeue(&mut self, job: usize, cfg: &SupervisorConfig) -> bool {
-        if self.done[job] || self.failed[job] {
-            return false;
-        }
-        if self.attempts[job] >= cfg.max_attempts {
-            self.failed[job] = true;
-            return false;
-        }
-        self.retries += 1;
-        let exp = self.attempts[job].saturating_sub(1).min(16) as u32;
-        let backoff = cfg.backoff_base * 2u32.saturating_pow(exp);
-        self.pending.push_back((job, Instant::now() + backoff));
-        true
+/// Translate the wall-clock [`SupervisorConfig`] timings into the pure
+/// scheduler's [`Supervision`] parameters (nanosecond semantics are
+/// identical: attempt `n` backs off `backoff_base << min(n-1, 16)`).
+fn supervision_of(cfg: &SupervisorConfig) -> Supervision {
+    Supervision {
+        deadline_ns: cfg.job_deadline.as_nanos() as u64,
+        max_attempts: cfg.max_attempts as u32,
+        backoff_base_ns: cfg.backoff_base.as_nanos() as u64,
     }
 }
 
-/// Requeue `job` and record the supervision event stream ([`EventKind::Retry`]).
-fn requeue_recorded(comm: &Comm, st: &mut MasterState, job: usize, cfg: &SupervisorConfig) {
-    if st.requeue(job, cfg) {
-        instrument::mark(comm, EventKind::Retry, job as i64, 0);
-    }
-}
-
-/// Declare `slave` dead ([`EventKind::SlaveDeath`], with the buried rank
-/// in the event's `bytes` field) and recover its in-flight job, if any.
-fn bury_recorded(comm: &Comm, st: &mut MasterState, slave: usize, cfg: &SupervisorConfig) {
-    if st.slave_state[slave] == SlaveState::Dead {
-        return;
-    }
-    st.slave_state[slave] = SlaveState::Dead;
-    instrument::mark(comm, EventKind::SlaveDeath, NO_JOB, slave as u64);
-    if let Some((job, _)) = st.inflight[slave].take() {
-        requeue_recorded(comm, st, job, cfg);
-    }
-}
-
-/// Supervised master loop. Returns the enriched [`FarmReport`]; errors
-/// only on unrecoverable conditions (every slave dead, or the master's
-/// own endpoint failing).
+/// Supervised master loop, as a thin [`driver`] of the shared
+/// [`sched::Scheduler`]: this function only moves bytes and reads
+/// clocks; every decision (deadlines, retries with backoff, first-
+/// answer dedup, burial, all-dead abort) comes from the state machine.
+/// Returns the enriched [`FarmReport`]; errors only on unrecoverable
+/// conditions (every slave dead, or the master's own endpoint failing).
 fn supervised_master(
     comm: &Comm,
     ctx: &RunCtx,
     files: &[PathBuf],
     strategy: Transmission,
     cfg: &SupervisorConfig,
+    knobs: &SchedKnobs,
 ) -> Result<FarmReport, FarmError> {
-    let ranks = comm.size();
+    let slaves = comm.size() - 1;
     let start = Instant::now();
-    let mut st = MasterState::new(files.len(), ranks);
-    let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(files.len());
-    let mut per_slave = vec![0usize; ranks];
     // Reused pack buffer for loaded payloads (see `send_job`).
     let mut scratch = MpiBuf::with_capacity(0);
-
-    while st.unfinished() > 0 {
-        // 1. Liveness sweep: notice kills even without trying to send.
-        for slave in 1..ranks {
-            if st.slave_state[slave] != SlaveState::Dead && !comm.rank_alive(slave) {
-                bury_recorded(comm, &mut st, slave, cfg);
-            }
-        }
-        if st.alive_slaves() == 0 {
-            let completed = outcomes.len();
-            return Err(FarmError::AllSlavesDead {
-                completed,
-                remaining: st.unfinished(),
-            });
-        }
-
-        // 2. Deadline sweep: presumed-lost jobs go back in the queue and
-        // the slave becomes dispatchable again (see `SlaveState::Idle`).
-        let now = Instant::now();
-        for slave in 1..ranks {
-            if let Some((job, due)) = st.inflight[slave] {
-                if now >= due {
-                    st.inflight[slave] = None;
-                    st.slave_state[slave] = SlaveState::Idle;
-                    instrument::mark(comm, EventKind::Deadline, job as i64, 0);
-                    requeue_recorded(comm, &mut st, job, cfg);
-                }
-            }
-        }
-
-        // 3. Dispatch ready jobs to idle slaves.
-        let mut deferred: VecDeque<(usize, Instant)> = VecDeque::new();
-        'dispatch: while let Some(&(job, not_before)) = st.pending.front() {
-            if st.done[job] || st.failed[job] {
-                st.pending.pop_front();
-                continue;
-            }
-            if not_before > Instant::now() {
-                // Not ready; look no further (the queue is roughly
-                // time-ordered) but keep what we deferred.
-                break;
-            }
-            let Some(slave) = (1..ranks).find(|&s| st.slave_state[s] == SlaveState::Idle)
-            else {
-                break 'dispatch;
-            };
-            st.pending.pop_front();
-            match send_job(comm, ctx, slave, job, &files[job], strategy, &mut scratch) {
-                Ok(()) => {
-                    st.attempts[job] += 1;
-                    st.slave_state[slave] = SlaveState::Busy;
-                    st.inflight[slave] = Some((job, Instant::now() + cfg.job_deadline));
-                    // Slide the prefetch window past this job (monotonic:
-                    // retries of earlier jobs don't pull it back).
-                    ctx.advance(job + 1);
-                }
-                Err(FarmError::Mpi(MpiError::Poisoned(dead))) if dead == slave => {
-                    bury_recorded(comm, &mut st, slave, cfg);
-                    // The job was not really attempted; try the next slave.
-                    deferred.push_back((job, not_before));
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        for item in deferred.into_iter().rev() {
-            st.pending.push_front(item);
-        }
-
-        if st.unfinished() == 0 {
-            break;
-        }
-
-        // 4. Collect one answer (or poll out and sweep again).
-        match comm.recv_obj_timeout(ANY_SOURCE, TAG, cfg.poll) {
-            Ok(None) => {}
-            Ok(Some((v, from))) => {
-                let slave = from.src;
-                let (job, verdict) = if let Some((job, price, se)) = decode_result(&v) {
-                    (job, Some((price, se)))
-                } else if let Some((job, _why)) = decode_failure(&v) {
-                    (job, None)
-                } else {
-                    return Err(FarmError::Io("bad result message".into()));
-                };
-                // Free the slave only if this answers its *current*
-                // dispatch; a stale (already-reassigned) answer must not
-                // mask the job it is now computing.
-                if st.inflight[slave].map(|(j, _)| j) == Some(job) {
-                    st.inflight[slave] = None;
-                    if st.slave_state[slave] == SlaveState::Busy {
-                        st.slave_state[slave] = SlaveState::Idle;
-                    }
-                }
-                match verdict {
-                    Some((price, se)) => {
-                        // First answer wins; duplicates from requeued
-                        // attempts are silently dropped.
-                        if job < files.len() && !st.done[job] && !st.failed[job] {
-                            st.done[job] = true;
-                            outcomes.push(JobOutcome {
-                                job,
-                                slave,
-                                price,
-                                std_error: se,
-                            });
-                            per_slave[slave] += 1;
-                        }
-                    }
-                    None => {
-                        if job < files.len() {
-                            requeue_recorded(comm, &mut st, job, cfg);
-                        }
-                    }
-                }
-            }
-            // A truncated result: clear it; the job deadline requeues it.
-            Err(MpiError::Truncated { .. }) => {
-                let _ = comm.discard(ANY_SOURCE, TAG);
-            }
-            Err(e) => return Err(e.into()),
-        }
+    let mut scfg = SchedConfig::plain(files.len(), slaves)
+        .policy(knobs.policy.clone())
+        .supervised(supervision_of(cfg));
+    if knobs.record_trace {
+        scfg = scfg.record_trace();
     }
-
-    // Shutdown: stop every slave that can still hear us. A dead slave's
-    // fast-fail is expected; anything else would strand the world.
-    for slave in 1..ranks {
-        if st.slave_state[slave] != SlaveState::Dead {
-            match comm.send_obj(&Value::empty_matrix(), slave as i32, TAG) {
-                Ok(()) | Err(MpiError::Poisoned(_)) => {}
-                Err(e) => return Err(e.into()),
-            }
-        }
-    }
-
-    let failed_jobs: Vec<usize> = st
-        .failed
-        .iter()
-        .enumerate()
-        .filter_map(|(j, &f)| f.then_some(j))
-        .collect();
-    let dead_slaves: Vec<usize> = st
-        .slave_state
-        .iter()
-        .enumerate()
-        .skip(1)
-        .filter_map(|(s, &state)| (state == SlaveState::Dead).then_some(s))
-        .collect();
+    let run = driver::drive_supervised(comm, TAG, scfg, cfg.poll, |job, slave| {
+        send_job(comm, ctx, slave, job, &files[job], strategy, &mut scratch)?;
+        // Slide the prefetch window past this job (monotonic: retries
+        // of earlier jobs don't pull it back).
+        ctx.advance(job + 1);
+        Ok(())
+    })?;
     Ok(FarmReport {
-        outcomes,
+        outcomes: run.outcomes,
         elapsed: start.elapsed(),
-        per_slave,
+        per_slave: run.per_slave,
         strategy,
-        failed_jobs,
-        retries: st.retries,
-        dead_slaves,
+        failed_jobs: run.failed_jobs,
+        retries: run.retries,
+        dead_slaves: run.dead_slaves,
+        trace: run.trace,
     })
 }
 
@@ -513,11 +282,21 @@ pub fn run_supervised_farm(
     if cfg.max_attempts == 0 {
         return Err(FarmError::Config("max_attempts must be at least 1".into()));
     }
-    run_supervised_inner(files, slaves, strategy, cfg, plan, None, &RunCtx::default_ctx())
+    run_supervised_inner(
+        files,
+        slaves,
+        strategy,
+        cfg,
+        plan,
+        None,
+        &RunCtx::default_ctx(),
+        &SchedKnobs::default(),
+    )
 }
 
 /// The supervised route behind [`crate::run`]: the validated entry point
 /// with fault injection and phase-level observability threaded through.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_supervised_inner(
     files: &[PathBuf],
     slaves: usize,
@@ -526,10 +305,11 @@ pub(crate) fn run_supervised_inner(
     plan: Option<Arc<FaultPlan>>,
     recorder: Option<Arc<Recorder>>,
     ctx: &RunCtx,
+    knobs: &SchedKnobs,
 ) -> Result<FarmReport, FarmError> {
     let body = |comm: Comm| {
         if comm.rank() == 0 {
-            Some(supervised_master(&comm, ctx, files, strategy, cfg))
+            Some(supervised_master(&comm, ctx, files, strategy, cfg, knobs))
         } else {
             // A supervised slave never panics the world: local failures
             // are reported upstream, comm failures end the loop.

@@ -1,0 +1,296 @@
+//! The farm's wire codec, in one place.
+//!
+//! Every master/slave message of the Robin Hood protocol — job
+//! requests, batched requests, priced results, failure reports — used
+//! to be encoded and decoded ad hoc inside each master loop
+//! (`robin_hood::result_value`, `supervisor::failure_value`, batching's
+//! per-batch variants). This module is now the single typed codec both
+//! sides share; the encodings are bit-for-bit the legacy ones, so old
+//! and new farms interoperate and recorded payload sizes are unchanged.
+//!
+//! Decoding is total: [`decode_answer`] never silently drops an
+//! undecodable message — it returns [`FarmError::Protocol`] with the
+//! offending value rendered, which the supervised master surfaces
+//! instead of the old silent drop.
+
+use crate::robin_hood::FarmError;
+use nspval::{Hash, List, Value};
+use pricing::PricingResult;
+
+// ---------------------------------------------------------------------------
+// Job requests (master → slave)
+// ---------------------------------------------------------------------------
+
+/// The one-at-a-time job request: a *name message* `[path, idx]`
+/// (Fig. 4's file-name send), optionally followed on the wire by a
+/// packed payload under the loaded strategies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobMsg {
+    /// Index of the job in the submitted file list.
+    pub idx: usize,
+    /// Problem file path, as sent.
+    pub name: String,
+}
+
+impl JobMsg {
+    /// Encode as the legacy name message.
+    pub fn to_value(&self) -> Value {
+        Value::list(vec![
+            Value::string(self.name.clone()),
+            Value::scalar(self.idx as f64),
+        ])
+    }
+
+    /// Decode a name message; `None` when the value has another shape.
+    pub fn decode(v: &Value) -> Option<JobMsg> {
+        let l = v.as_list()?;
+        Some(JobMsg {
+            name: l.get(0)?.as_str()?.to_string(),
+            idx: l.get(1)?.as_scalar()? as usize,
+        })
+    }
+}
+
+/// One item of a batched request: `{idx, name, payload?}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchItem {
+    /// Index of the job in the submitted file list.
+    pub idx: usize,
+    /// Problem file path, as sent.
+    pub name: String,
+    /// The materialised problem, for the loaded strategies.
+    pub payload: Option<Value>,
+}
+
+impl BatchItem {
+    /// Encode as the legacy batch-request item.
+    pub fn to_value(&self) -> Value {
+        let mut h = Hash::new();
+        h.set("idx", Value::scalar(self.idx as f64));
+        h.set("name", Value::string(self.name.clone()));
+        if let Some(payload) = &self.payload {
+            h.set("payload", payload.clone());
+        }
+        Value::Hash(h)
+    }
+
+    /// Decode one batch-request item, or [`FarmError::Protocol`].
+    pub fn decode(v: &Value) -> Result<BatchItem, FarmError> {
+        let parse = |v: &Value| -> Option<BatchItem> {
+            let h = v.as_hash()?;
+            Some(BatchItem {
+                idx: h.get("idx")?.as_scalar()? as usize,
+                name: h.get("name")?.as_str()?.to_string(),
+                payload: h.get("payload").cloned(),
+            })
+        };
+        parse(v).ok_or_else(|| FarmError::Protocol(format!("undecodable batch item: {v}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Answers (slave → master)
+// ---------------------------------------------------------------------------
+
+/// A slave's reply about one job: a priced result (the legacy
+/// `{job, price, std_error?}` hash) or a supervised failure report (the
+/// legacy `{job, failed}` hash).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Answer {
+    /// The job priced successfully.
+    Priced {
+        /// The answered job.
+        job: usize,
+        /// Price estimate.
+        price: f64,
+        /// Monte-Carlo standard error, when the method reports one.
+        std_error: Option<f64>,
+    },
+    /// The slave could not complete the job and says why.
+    Failed {
+        /// The failed job.
+        job: usize,
+        /// Human-readable reason.
+        why: String,
+    },
+}
+
+impl Answer {
+    /// A priced answer from a [`PricingResult`].
+    pub fn priced(job: usize, result: &PricingResult) -> Answer {
+        Answer::Priced {
+            job,
+            price: result.price,
+            std_error: result.std_error,
+        }
+    }
+
+    /// A failure report.
+    pub fn failed(job: usize, why: impl Into<String>) -> Answer {
+        Answer::Failed { job, why: why.into() }
+    }
+
+    /// The job this answer is about.
+    pub fn job(&self) -> usize {
+        match self {
+            Answer::Priced { job, .. } | Answer::Failed { job, .. } => *job,
+        }
+    }
+
+    /// Encode with the legacy layouts (`result_value` /
+    /// `failure_value`), bit-for-bit.
+    pub fn to_value(&self) -> Value {
+        let mut h = Hash::new();
+        match self {
+            Answer::Priced { job, price, std_error } => {
+                h.set("job", Value::scalar(*job as f64));
+                h.set("price", Value::scalar(*price));
+                if let Some(se) = std_error {
+                    h.set("std_error", Value::scalar(*se));
+                }
+            }
+            Answer::Failed { job, why } => {
+                h.set("job", Value::scalar(*job as f64));
+                h.set("failed", Value::string(why.clone()));
+            }
+        }
+        Value::Hash(h)
+    }
+
+    /// Decode either answer shape; `None` when the value is neither.
+    pub fn decode(v: &Value) -> Option<Answer> {
+        let h = v.as_hash()?;
+        let job = h.get("job")?.as_scalar()? as usize;
+        if let Some(price) = h.get("price").and_then(|x| x.as_scalar()) {
+            return Some(Answer::Priced {
+                job,
+                price,
+                std_error: h.get("std_error").and_then(|x| x.as_scalar()),
+            });
+        }
+        let why = h.get("failed")?.as_str()?.to_string();
+        Some(Answer::Failed { job, why })
+    }
+}
+
+/// Decode an answer or fail loudly: an undecodable reply is a protocol
+/// violation ([`FarmError::Protocol`] carrying the rendered value), not
+/// something to drop on the floor.
+pub fn decode_answer(v: &Value) -> Result<Answer, FarmError> {
+    Answer::decode(v).ok_or_else(|| FarmError::Protocol(format!("undecodable answer: {v}")))
+}
+
+/// Encode a whole batch reply (one [`Answer::Priced`] item per job, in
+/// compute order) with the legacy list-of-hashes layout.
+pub fn batch_reply_value(answers: &[Answer]) -> Value {
+    let mut list = List::new();
+    for a in answers {
+        list.add_last(a.to_value());
+    }
+    Value::List(list)
+}
+
+/// Decode a whole batch reply; any malformed item is a
+/// [`FarmError::Protocol`].
+pub fn decode_batch_reply(v: &Value) -> Result<Vec<Answer>, FarmError> {
+    let list = v
+        .as_list()
+        .ok_or_else(|| FarmError::Protocol(format!("undecodable batch reply: {v}")))?;
+    list.iter().map(decode_answer).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn answer_layouts_match_the_legacy_encodings() {
+        // Priced: {job, price, std_error?} with scalar fields.
+        let v = Answer::Priced { job: 3, price: 1.5, std_error: Some(0.25) }.to_value();
+        let h = v.as_hash().unwrap();
+        assert_eq!(h.get("job").unwrap().as_scalar(), Some(3.0));
+        assert_eq!(h.get("price").unwrap().as_scalar(), Some(1.5));
+        assert_eq!(h.get("std_error").unwrap().as_scalar(), Some(0.25));
+        // Failure: {job, failed} with a string reason.
+        let v = Answer::failed(7, "payload timeout").to_value();
+        let h = v.as_hash().unwrap();
+        assert_eq!(h.get("job").unwrap().as_scalar(), Some(7.0));
+        assert_eq!(h.get("failed").unwrap().as_str(), Some("payload timeout"));
+    }
+
+    #[test]
+    fn undecodable_answer_is_a_protocol_error_with_the_value_rendered() {
+        let junk = Value::list(vec![Value::scalar(1.0)]);
+        match decode_answer(&junk) {
+            Err(FarmError::Protocol(msg)) => {
+                assert!(msg.contains("undecodable answer"), "{msg}");
+            }
+            other => panic!("expected Protocol error, got {other:?}"),
+        }
+        // A hash with a job but neither price nor failure is junk too.
+        let mut h = Hash::new();
+        h.set("job", Value::scalar(1.0));
+        assert!(matches!(
+            decode_answer(&Value::Hash(h)),
+            Err(FarmError::Protocol(_))
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn answer_round_trips(
+            job in 0usize..10_000,
+            price in -1e9f64..1e9,
+            has_se in any::<bool>(),
+            se in 0f64..1e6,
+            fail in any::<bool>(),
+            why in "[a-z ]{0,40}",
+        ) {
+            let a = if fail {
+                Answer::Failed { job, why: why.clone() }
+            } else {
+                Answer::Priced { job, price, std_error: has_se.then_some(se) }
+            };
+            // Value round trip.
+            let decoded = Answer::decode(&a.to_value());
+            prop_assert_eq!(decoded, Some(a.clone()));
+            // Full XDR wire round trip (what actually crosses minimpi).
+            let bytes = xdrser::serialize_to_bytes(&a.to_value());
+            let back = xdrser::unserialize_bytes(&bytes).unwrap();
+            prop_assert_eq!(decode_answer(&back).unwrap(), a);
+        }
+
+        #[test]
+        fn job_and_batch_requests_round_trip(
+            idx in 0usize..10_000,
+            name in "[a-z0-9/_.-]{1,40}",
+            with_payload in any::<bool>(),
+        ) {
+            let m = JobMsg { idx, name: name.clone() };
+            let decoded = JobMsg::decode(&m.to_value());
+            prop_assert_eq!(decoded, Some(m));
+            let item = BatchItem {
+                idx,
+                name: name.clone(),
+                payload: with_payload.then(|| Value::scalar(idx as f64)),
+            };
+            let back = BatchItem::decode(&item.to_value()).unwrap();
+            prop_assert_eq!(back, item);
+        }
+
+        #[test]
+        fn batch_replies_round_trip(
+            jobs in proptest::collection::vec((0usize..1000, -1e6f64..1e6), 0..20),
+        ) {
+            let answers: Vec<Answer> = jobs
+                .iter()
+                .map(|&(j, p)| Answer::Priced { job: j, price: p, std_error: None })
+                .collect();
+            let back = decode_batch_reply(&batch_reply_value(&answers)).unwrap();
+            prop_assert_eq!(back, answers);
+        }
+    }
+}

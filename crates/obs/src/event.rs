@@ -75,11 +75,18 @@ pub enum EventKind {
     /// buffer across in-process destinations (zero-duration mark;
     /// `bytes` = bytes *not* copied). Diagnostic.
     CopySaved,
+    /// A scheduler dispatch decision: the master handed a job (or batch
+    /// head) to a slave (zero-duration mark; `bytes` = batch size).
+    /// Emitted by the live drivers only; the wire cost of the dispatch is
+    /// already measured by the [`Send`] spans it triggers. Diagnostic.
+    ///
+    /// [`Send`]: EventKind::Send
+    Dispatch,
 }
 
 impl EventKind {
     /// Every kind, in declaration (and render) order.
-    pub const ALL: [EventKind; 21] = [
+    pub const ALL: [EventKind; 22] = [
         EventKind::Pack,
         EventKind::Send,
         EventKind::Probe,
@@ -101,15 +108,17 @@ impl EventKind {
         EventKind::ComputeChunk,
         EventKind::Steal,
         EventKind::CopySaved,
+        EventKind::Dispatch,
     ];
 
     /// Diagnostic kinds: double-counted or purely informational marks
     /// whose seconds/bytes are already represented by a primary phase.
     /// Excluded from [`crate::Breakdown::total_s`]'s cpu-seconds budget.
-    pub const DIAGNOSTIC: [EventKind; 3] = [
+    pub const DIAGNOSTIC: [EventKind; 4] = [
         EventKind::ComputeChunk,
         EventKind::Steal,
         EventKind::CopySaved,
+        EventKind::Dispatch,
     ];
 
     /// Stable lowercase label used in rendered tables and JSON.
@@ -136,6 +145,7 @@ impl EventKind {
             EventKind::ComputeChunk => "compute_chunk",
             EventKind::Steal => "steal",
             EventKind::CopySaved => "copy_saved",
+            EventKind::Dispatch => "dispatch",
         }
     }
 }

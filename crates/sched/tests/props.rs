@@ -1,0 +1,241 @@
+//! Property tests for the scheduler state machine: over randomized
+//! workloads, event interleavings, fault injections and dispatch
+//! policies, the scheduler must
+//!
+//! * never have one job in flight on two slaves at once, and never
+//!   dispatch a job that already has an accepted answer;
+//! * never dispatch to a buried (or stopped) slave;
+//! * always terminate — every fair event sequence reaches `Finish` or
+//!   `AllSlavesDead` in bounded steps.
+
+use proptest::prelude::*;
+use sched::{Action, DispatchPolicy, Event, SchedConfig, Scheduler, Supervision};
+
+/// A tiny deterministic RNG for the event walk (SplitMix64).
+struct Walk {
+    state: u64,
+}
+
+impl Walk {
+    fn new(seed: u64) -> Self {
+        Walk { state: seed }
+    }
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Driver-side mirror of the scheduler's assignments, built purely from
+/// the action stream, used to check the invariants.
+struct Model {
+    /// slave -> jobs currently assigned by an un-answered Dispatch.
+    inflight: Vec<Option<Vec<usize>>>,
+    dead: Vec<bool>,
+    stopped: Vec<bool>,
+    accepted: Vec<bool>,
+    finished: bool,
+    aborted: bool,
+}
+
+impl Model {
+    fn new(jobs: usize, slaves: usize) -> Self {
+        Model {
+            inflight: vec![None; slaves + 1],
+            dead: vec![false; slaves + 1],
+            stopped: vec![false; slaves + 1],
+            accepted: vec![false; jobs],
+            finished: false,
+            aborted: false,
+        }
+    }
+
+    /// Apply one action, asserting the safety invariants.
+    fn apply(&mut self, a: &Action) {
+        match *a {
+            Action::Dispatch { job, slave, batch } => {
+                assert!(!self.dead[slave], "dispatch({job}->{slave}) to a buried slave");
+                assert!(!self.stopped[slave], "dispatch({job}->{slave}) to a stopped slave");
+                assert!(
+                    self.inflight[slave].is_none(),
+                    "dispatch({job}->{slave}) to a busy slave"
+                );
+                for j in job..job + batch {
+                    assert!(!self.accepted[j], "job {j} redispatched after acceptance");
+                    for (s, inf) in self.inflight.iter().enumerate() {
+                        if let Some(batch_jobs) = inf {
+                            assert!(
+                                !batch_jobs.contains(&j),
+                                "job {j} double-dispatched (already on slave {s})"
+                            );
+                        }
+                    }
+                }
+                self.inflight[slave] = Some((job..job + batch).collect());
+            }
+            Action::Stop { slave } => {
+                assert!(!self.stopped[slave], "slave {slave} stopped twice");
+                self.stopped[slave] = true;
+            }
+            Action::Accept { job, .. } => {
+                assert!(!self.accepted[job], "job {job} accepted twice");
+                self.accepted[job] = true;
+            }
+            Action::Expire { slave, .. } => {
+                self.inflight[slave] = None;
+            }
+            Action::Requeue { .. } => {}
+            Action::Bury { slave } => {
+                assert!(!self.dead[slave], "slave {slave} buried twice");
+                self.dead[slave] = true;
+                self.inflight[slave] = None;
+            }
+            Action::AllSlavesDead => self.aborted = true,
+            Action::Finish => self.finished = true,
+        }
+    }
+
+    fn busy_slaves(&self) -> Vec<usize> {
+        (1..self.inflight.len())
+            .filter(|&s| self.inflight[s].is_some() && !self.dead[s])
+            .collect()
+    }
+}
+
+/// Random-walk one scheduler to termination under a fair environment.
+fn walk_to_termination(cfg: SchedConfig, seed: u64) -> (Scheduler, Model) {
+    let jobs = cfg.jobs;
+    let slaves = cfg.slaves;
+    let supervised = cfg.supervision.is_some();
+    let mut sched = Scheduler::new(cfg).expect("valid config");
+    let mut model = Model::new(jobs, slaves);
+    let mut rng = Walk::new(seed);
+    let mut now: u64 = 0;
+
+    let feed = |sched: &mut Scheduler, model: &mut Model, ev: Event, now: u64| {
+        for a in sched.on(ev, now) {
+            model.apply(&a);
+        }
+    };
+
+    for s in 1..=slaves {
+        feed(&mut sched, &mut model, Event::SlaveReady { slave: s }, now);
+    }
+
+    let budget = 64 * (jobs + 1) * (slaves + 1) + 10_000;
+    for _ in 0..budget {
+        if sched.is_terminal() {
+            break;
+        }
+        now += 1 + rng.below(40_000_000); // up to 40ms per step
+        let busy = model.busy_slaves();
+        let roll = rng.below(100);
+        if !busy.is_empty() && (roll < 55 || !supervised) {
+            // A slave answers its batch (identified by its first job).
+            let s = busy[rng.below(busy.len() as u64) as usize];
+            let batch_jobs = model.inflight[s].take().expect("busy");
+            let job = batch_jobs[0];
+            feed(&mut sched, &mut model, Event::Answer { job, slave: s }, now);
+            // The Accept action covers the batch head; its mates in the
+            // same dispatch were answered by the same message.
+            for j in batch_jobs.into_iter().skip(1) {
+                assert!(!model.accepted[j], "job {j} accepted twice");
+                model.accepted[j] = true;
+            }
+        } else if supervised && !busy.is_empty() && roll < 65 {
+            // A slave reports a failure instead of a result.
+            let s = busy[rng.below(busy.len() as u64) as usize];
+            let job = model.inflight[s].as_ref().expect("busy")[0];
+            model.inflight[s] = None;
+            feed(&mut sched, &mut model, Event::Failure { job, slave: s }, now);
+        } else if supervised && roll < 72 {
+            // A slave dies (possibly the last one).
+            let alive: Vec<usize> = (1..=slaves).filter(|&s| !model.dead[s]).collect();
+            if let Some(&s) = alive.get(rng.below(alive.len().max(1) as u64) as usize) {
+                model.inflight[s] = None;
+                feed(&mut sched, &mut model, Event::SlaveDead { slave: s }, now);
+            }
+        } else {
+            // Time passes; deadlines and backoffs mature.
+            now += 1 + rng.below(400_000_000); // up to 400ms
+            feed(&mut sched, &mut model, Event::Deadline, now);
+        }
+    }
+    (sched, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Plain-mode walks: safety invariants hold action by action and the
+    /// run always reaches `Finish` with every job accepted exactly once.
+    #[test]
+    fn plain_walks_terminate_with_every_job_accepted(
+        jobs in 0usize..24,
+        slaves in 1usize..5,
+        batch in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let cfg = SchedConfig::plain(jobs, slaves).batch(batch);
+        let (sched, model) = walk_to_termination(cfg, seed);
+        prop_assert!(sched.finished(), "plain run did not finish");
+        prop_assert!(model.finished);
+        prop_assert!(model.accepted.iter().all(|a| *a), "unanswered job in a finished run");
+        prop_assert!((1..=slaves).all(|s| model.stopped[s]), "finished without stopping a slave");
+    }
+
+    /// Supervised walks under answers, failures, deadline expiries and
+    /// slave deaths: safety invariants hold and the run terminates in
+    /// `Finish` or `AllSlavesDead`; on `Finish` every job was accepted
+    /// or exhausted its attempt budget.
+    #[test]
+    fn supervised_walks_terminate(
+        jobs in 0usize..24,
+        slaves in 1usize..5,
+        max_attempts in 1u32..5,
+        lpt in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let policy = if lpt {
+            // A non-trivial, collision-rich cost vector.
+            DispatchPolicy::Lpt {
+                costs: (0..jobs).map(|j| ((j * 7) % 5) as f64).collect(),
+            }
+        } else {
+            DispatchPolicy::Fifo
+        };
+        let cfg = SchedConfig::plain(jobs, slaves).policy(policy).supervised(Supervision {
+            deadline_ns: 150_000_000,
+            max_attempts,
+            backoff_base_ns: 5_000_000,
+        });
+        let (sched, model) = walk_to_termination(cfg, seed);
+        prop_assert!(
+            sched.is_terminal(),
+            "supervised run neither finished nor aborted"
+        );
+        if sched.finished() {
+            let failed = sched.failed_jobs();
+            for (j, acc) in model.accepted.iter().enumerate() {
+                prop_assert!(
+                    *acc || failed.contains(&j),
+                    "job {j} neither accepted nor abandoned in a finished run"
+                );
+            }
+            // Dead slaves never get the stop sentinel; live ones always do.
+            for s in 1..=slaves {
+                prop_assert!(model.dead[s] != model.stopped[s] || !model.dead[s]);
+            }
+        } else {
+            prop_assert!(model.aborted);
+            prop_assert!((1..=slaves).all(|s| model.dead[s]));
+            prop_assert!(sched.unfinished() > 0);
+        }
+    }
+}

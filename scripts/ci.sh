@@ -62,6 +62,21 @@ if [ -n "$stragglers" ]; then
     exit 1
 fi
 
+echo "==> scheduler gate: no ANY_SOURCE receives in crates/farm outside the sched driver"
+# Every master decision must flow through the sched state machine: the
+# one place the farm crate is allowed to receive from ANY_SOURCE is the
+# driver module that feeds scheduler events (drive_plain /
+# drive_supervised / recv_any). Comment lines are ignored.
+anysrc=$(grep -rnE 'recv_obj(_timeout)?\(ANY_SOURCE|probe\(ANY_SOURCE|discard\(ANY_SOURCE' \
+    --include='*.rs' crates/farm 2>/dev/null \
+    | grep -v -E '^[^:]*:[0-9]+:\s*(//|//!|///)' \
+    | grep -v -E '^crates/farm/src/driver\.rs:')
+if [ -n "$anysrc" ]; then
+    echo "error: ANY_SOURCE receive outside crates/farm/src/driver.rs (route it through the sched driver):"
+    echo "$anysrc"
+    exit 1
+fi
+
 run cargo build --workspace --release || exit 1
 
 # Observability smoke on a small portfolio: the breakdown self-checks
@@ -102,6 +117,17 @@ fi
 printf '%s\n' "$thr_out" | sed -n 's/^JSON: //p' > BENCH_4.json
 if ! grep -q '"parallelism"' BENCH_4.json; then
     echo "error: BENCH_4.json missing parallelism column"
+    exit 1
+fi
+
+# Dispatch-order smoke: the LPT breakdown self-checks that longest-cost-
+# first dispatch leaves per-job wait seconds untouched relative to FIFO
+# and never degrades the makespan beyond noise (the checks live in
+# bench::breakdown::check_lpt_order and fail the process).
+echo "==> cargo run -p bench --bin table2 --release -q -- --breakdown --order lpt --jobs 2000 (LPT dispatch smoke)"
+lpt_out=$(cargo run -p bench --bin table2 --release -q -- --breakdown --order lpt --jobs 2000) || exit 1
+if ! printf '%s\n' "$lpt_out" | grep -q '(lpt)'; then
+    echo "error: LPT breakdown reported no '(lpt)' rows"
     exit 1
 fi
 
