@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks of the SIMD-lane batched kernels against
+//! their scalar forms, plus the pooled-workspace vs fresh-allocation
+//! path-buffer comparison — the two wins `docs/SIMD.md` quotes. Lane
+//! widths change the sampled result (each width owns its own goldens),
+//! so these compare *throughput*, never prices.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exec::{ExecPolicy, WorkspacePool};
+use pricing::methods::lsm::{lsm_vanilla_bs_exec, LsmConfig};
+use pricing::methods::montecarlo::{mc_heston_exec, mc_local_vol_exec, McConfig};
+use pricing::models::{BlackScholes, Heston, LocalVol};
+use pricing::options::Vanilla;
+use std::hint::black_box;
+
+const LANE_WIDTHS: [usize; 3] = [1, 4, 8];
+
+fn bench_lane_kernels(c: &mut Criterion) {
+    let call = Vanilla::european_call(100.0, 1.0);
+    let cfg = McConfig {
+        paths: 4_000,
+        time_steps: 16,
+        ..McConfig::default()
+    };
+
+    let lv = LocalVol::standard(100.0, 0.2, 0.05, 0.0);
+    for lanes in LANE_WIDTHS {
+        c.bench_function(&format!("mc_local_vol_4k_x16_lanes{lanes}"), |b| {
+            let pol = ExecPolicy::new(1).lanes(lanes);
+            b.iter(|| mc_local_vol_exec(black_box(&lv), black_box(&call), &cfg, &pol))
+        });
+    }
+
+    let hes = Heston::standard(100.0, 0.05);
+    for lanes in LANE_WIDTHS {
+        c.bench_function(&format!("mc_heston_4k_x16_lanes{lanes}"), |b| {
+            let pol = ExecPolicy::new(1).lanes(lanes);
+            b.iter(|| mc_heston_exec(black_box(&hes), black_box(&call), &cfg, &pol))
+        });
+    }
+
+    let bs = BlackScholes::new(100.0, 0.3, 0.05, 0.0);
+    let amer = Vanilla::american_put(110.0, 1.0);
+    let lsm_cfg = LsmConfig {
+        paths: 4_000,
+        exercise_dates: 20,
+        ..LsmConfig::default()
+    };
+    for lanes in LANE_WIDTHS {
+        c.bench_function(&format!("lsm_vanilla_4k_x20_lanes{lanes}"), |b| {
+            let pol = ExecPolicy::new(1).lanes(lanes);
+            b.iter(|| lsm_vanilla_bs_exec(black_box(&bs), black_box(&amer), &lsm_cfg, &pol))
+        });
+    }
+}
+
+/// The zero-allocation claim in isolation: a per-chunk path buffer from
+/// the workspace pool (clear + resize of a retained allocation) against
+/// a fresh `vec![0.0; n]` every chunk — what the kernels did before the
+/// `PathWorkspace` threading.
+fn bench_workspace_pool(c: &mut Criterion) {
+    const CHUNK: usize = 4_096;
+
+    c.bench_function("path_buffer_fresh_alloc_4096", |b| {
+        b.iter(|| {
+            let buf = vec![0.0f64; black_box(CHUNK)];
+            black_box(buf[CHUNK - 1])
+        })
+    });
+
+    c.bench_function("path_buffer_pooled_4096", |b| {
+        let pool = WorkspacePool::new();
+        b.iter(|| {
+            let mut ws = pool.take();
+            let buf = ws.take(black_box(CHUNK));
+            let last = black_box(buf[CHUNK - 1]);
+            ws.put(buf);
+            pool.put(ws);
+            last
+        })
+    });
+}
+
+criterion_group!(benches, bench_lane_kernels, bench_workspace_pool);
+criterion_main!(benches);

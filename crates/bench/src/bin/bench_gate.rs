@@ -1,0 +1,308 @@
+//! CI perf-regression gate over the committed breakdown artifacts.
+//!
+//! ```text
+//! bench_gate <fresh BENCH_6.json> <committed BENCH_4.json> <committed BENCH_3.json>
+//! ```
+//!
+//! `BENCH_6.json` is the freshly written `table2 --breakdown --threads 8
+//! --lanes 8` report; `BENCH_4.json` / `BENCH_3.json` are the committed
+//! baselines from earlier PRs. The gate fails (exit 1) when:
+//!
+//! - any fresh sequential or `(x8 threads)` compute bucket drifts from
+//!   the committed `BENCH_4.json` bucket by more than 1e-9 — the
+//!   lanes-off model must stay bit-stable across PRs;
+//! - any `(x8 threads, 8 lanes)` compute bucket is **not at least 2x**
+//!   below the committed `(x8 threads)` bucket — the headline SIMD-lane
+//!   claim;
+//! - a lane row's prepare/wire/wait differ from the committed threaded
+//!   row's by more than 1e-9 — lane batching must live entirely inside
+//!   the compute phase;
+//! - the committed `BENCH_3.json` sanity anchors are gone (nonzero
+//!   compute, warm rows with a ~perfect cache hit-rate).
+//!
+//! The two committed files must never cross-compare per-job: they hold
+//! different portfolio sizes (2 000 vs 10 000 jobs), so their drawn
+//! per-job costs differ by construction.
+
+use std::process::exit;
+
+/// Transmission strategy labels, as printed by the farm crate.
+const STRATEGIES: [&str; 3] = ["full load", "NFS", "serialized load"];
+/// Thread/lane counts the CI invocation pins (`scripts/ci.sh`).
+const THREADS: usize = 8;
+const LANES: usize = 8;
+/// Bit-stability tolerance for buckets lanes must not touch.
+const EPS: f64 = 1e-9;
+
+/// One run row pulled out of a breakdown report's JSON.
+#[derive(Debug)]
+struct Run {
+    strategy: String,
+    prepare_s: f64,
+    wire_s: f64,
+    wait_s: f64,
+    compute_s: f64,
+    cache_hit_rate: f64,
+}
+
+/// Extract `"key":<number>` from one run object's text. The reports are
+/// written by `obs::BreakdownReport::to_json`, whose summary keys always
+/// precede the `"phases"` array — the scan stops there so phase entries
+/// can never shadow a summary bucket.
+fn field(seg: &str, key: &str) -> Result<f64, String> {
+    let head = seg.split("\"phases\"").next().unwrap_or(seg);
+    let pat = format!("\"{key}\":");
+    let at = head
+        .find(&pat)
+        .ok_or_else(|| format!("missing {key:?} in run object"))?;
+    let rest = &head[at + pat.len()..];
+    let end = rest
+        .find([',', '}'])
+        .ok_or_else(|| format!("unterminated {key:?} value"))?;
+    rest[..end]
+        .trim()
+        .parse::<f64>()
+        .map_err(|e| format!("bad {key:?} value {:?}: {e}", &rest[..end]))
+}
+
+/// Parse every run object out of a breakdown report's JSON.
+fn parse_runs(json: &str) -> Result<Vec<Run>, String> {
+    let body = json
+        .split("\"runs\":[")
+        .nth(1)
+        .ok_or("no \"runs\" array in report")?;
+    let mut runs = Vec::new();
+    for seg in body.split("{\"strategy\":\"").skip(1) {
+        let strategy = seg
+            .split('"')
+            .next()
+            .ok_or("unterminated strategy label")?
+            .to_string();
+        runs.push(Run {
+            prepare_s: field(seg, "prepare_s")?,
+            wire_s: field(seg, "wire_s")?,
+            wait_s: field(seg, "wait_s")?,
+            compute_s: field(seg, "compute_s")?,
+            cache_hit_rate: field(seg, "cache_hit_rate")?,
+            strategy,
+        });
+    }
+    if runs.is_empty() {
+        return Err("report has no runs".into());
+    }
+    Ok(runs)
+}
+
+fn run<'a>(runs: &'a [Run], label: &str, file: &str) -> Result<&'a Run, String> {
+    runs.iter()
+        .find(|r| r.strategy == label)
+        .ok_or_else(|| format!("{file}: missing run {label:?}"))
+}
+
+/// The whole gate. Returns the human-readable pass summary.
+fn gate(fresh: &str, bench4: &str, bench3: &str) -> Result<String, String> {
+    let f = parse_runs(fresh)?;
+    let b4 = parse_runs(bench4)?;
+    let b3 = parse_runs(bench3)?;
+    let mut out = String::new();
+    for s in STRATEGIES {
+        let thr_label = format!("{s} (x{THREADS} threads)");
+        let lane_label = format!("{s} (x{THREADS} threads, {LANES} lanes)");
+        // Lanes-off buckets must not regress against the committed runs.
+        for label in [s, thr_label.as_str()] {
+            let fresh = run(&f, label, "BENCH_6")?;
+            let pinned = run(&b4, label, "BENCH_4")?;
+            let drift = (fresh.compute_s - pinned.compute_s).abs();
+            if drift > EPS {
+                return Err(format!(
+                    "{label}: compute bucket drifted {drift:.3e}s from committed BENCH_4 \
+                     ({:.9}s vs {:.9}s)",
+                    fresh.compute_s, pinned.compute_s
+                ));
+            }
+        }
+        // The headline claim: lanes cut the threaded compute bucket >= 2x.
+        let lane = run(&f, &lane_label, "BENCH_6")?;
+        let thr = run(&b4, &thr_label, "BENCH_4")?;
+        let ratio = thr.compute_s / lane.compute_s;
+        if ratio < 2.0 {
+            return Err(format!(
+                "{s}: lanes cut the committed {:.6}s threaded compute bucket only x{ratio:.2} \
+                 (to {:.6}s), need >= 2x",
+                thr.compute_s, lane.compute_s
+            ));
+        }
+        // ... without touching anything outside the compute phase.
+        for (phase, fresh_v, pinned_v) in [
+            ("prepare", lane.prepare_s, thr.prepare_s),
+            ("wire", lane.wire_s, thr.wire_s),
+            ("wait", lane.wait_s, thr.wait_s),
+        ] {
+            let drift = (fresh_v - pinned_v).abs();
+            if drift > EPS {
+                return Err(format!(
+                    "{s}: lane row {phase} drifted {drift:.3e}s from the committed threaded \
+                     row ({fresh_v:.9}s vs {pinned_v:.9}s)"
+                ));
+            }
+        }
+        // BENCH_3 sanity anchors (the warm-cache artifact of PR 3).
+        let base3 = run(&b3, s, "BENCH_3")?;
+        if base3.compute_s <= 0.0 {
+            return Err(format!("BENCH_3 {s}: compute bucket is not positive"));
+        }
+        let warm3 = run(&b3, &format!("{s} (warm)"), "BENCH_3")?;
+        if warm3.cache_hit_rate < 0.99 {
+            return Err(format!(
+                "BENCH_3 {s} (warm): cache hit-rate {:.3} below 0.99",
+                warm3.cache_hit_rate
+            ));
+        }
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "{s}: lanes x{ratio:.2} over committed threaded bucket, lanes-off stable\n"
+            ),
+        );
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [fresh, b4, b3] = args.as_slice() else {
+        eprintln!("usage: bench_gate <BENCH_6.json> <BENCH_4.json> <BENCH_3.json>");
+        exit(2);
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            exit(2);
+        })
+    };
+    match gate(&read(fresh), &read(b4), &read(b3)) {
+        Ok(summary) => {
+            print!("bench_gate: PASS\n{summary}");
+        }
+        Err(e) => {
+            eprintln!("bench_gate: FAIL: {e}");
+            exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal report JSON with the given (strategy, prepare, wire,
+    /// wait, compute, hit_rate) rows in `obs::BreakdownReport` shape.
+    fn report(rows: &[(&str, f64, f64, f64, f64, f64)]) -> String {
+        let runs: Vec<String> = rows
+            .iter()
+            .map(|(s, p, wi, wa, c, h)| {
+                format!(
+                    "{{\"strategy\":\"{s}\",\"cpus\":4,\"wall_s\":1.0,\"events\":1,\
+                     \"dropped\":0,\"prepare_s\":{p},\"wire_s\":{wi},\"wait_s\":{wa},\
+                     \"compute_s\":{c},\"store_s\":0.0,\"cache_hit_rate\":{h},\
+                     \"parallel_s\":0.0,\"parallelism\":0.0,\"lanes\":0.0,\
+                     \"phases\":[{{\"phase\":\"compute\",\"count\":1,\"total_s\":9.9,\
+                     \"mean_s\":9.9,\"p50_s\":9.9,\"p90_s\":9.9,\"p99_s\":9.9,\
+                     \"max_s\":9.9,\"bytes\":0}}],\"by_class\":[]}}"
+                )
+            })
+            .collect();
+        format!("{{\"title\":\"t\",\"runs\":[{}]}}", runs.join(","))
+    }
+
+    fn bench4() -> String {
+        let mut rows = Vec::new();
+        for s in STRATEGIES {
+            rows.push((s, 0.8, 0.25, 0.14, 1.0968, 0.0));
+        }
+        let labels: Vec<String> = STRATEGIES
+            .iter()
+            .map(|s| format!("{s} (x8 threads)"))
+            .collect();
+        for l in &labels {
+            rows.push((l.as_str(), 0.8, 0.25, 0.14, 0.2251, 0.0));
+        }
+        report(&rows)
+    }
+
+    fn bench3() -> String {
+        let mut rows = Vec::new();
+        let warm: Vec<String> = STRATEGIES.iter().map(|s| format!("{s} (warm)")).collect();
+        for (s, w) in STRATEGIES.iter().zip(&warm) {
+            rows.push((*s, 0.8, 0.25, 0.14, 5.5, 0.0));
+            rows.push((w.as_str(), 0.1, 0.25, 0.14, 5.5, 1.0));
+        }
+        report(&rows)
+    }
+
+    fn bench6(lane_compute: f64) -> String {
+        let mut rows = Vec::new();
+        let thr: Vec<String> = STRATEGIES
+            .iter()
+            .map(|s| format!("{s} (x8 threads)"))
+            .collect();
+        let lane: Vec<String> = STRATEGIES
+            .iter()
+            .map(|s| format!("{s} (x8 threads, 8 lanes)"))
+            .collect();
+        for ((s, t), l) in STRATEGIES.iter().zip(&thr).zip(&lane) {
+            rows.push((*s, 0.8, 0.25, 0.14, 1.0968, 0.0));
+            rows.push((t.as_str(), 0.8, 0.25, 0.14, 0.2251, 0.0));
+            rows.push((l.as_str(), 0.8, 0.25, 0.14, lane_compute, 0.0));
+        }
+        report(&rows)
+    }
+
+    #[test]
+    fn parses_summary_buckets_not_phase_entries() {
+        let runs = parse_runs(&bench4()).unwrap();
+        assert_eq!(runs.len(), 6);
+        // total_s 9.9 in the phases array must never leak into a bucket.
+        assert_eq!(runs[0].compute_s, 1.0968);
+        assert_eq!(runs[0].strategy, "full load");
+    }
+
+    #[test]
+    fn gate_passes_on_a_2x_lane_win() {
+        let summary = gate(&bench6(0.0926), &bench4(), &bench3()).unwrap();
+        assert!(summary.contains("x2.43"), "{summary}");
+    }
+
+    #[test]
+    fn gate_fails_on_a_weak_lane_win() {
+        let err = gate(&bench6(0.2), &bench4(), &bench3()).unwrap_err();
+        assert!(err.contains("need >= 2x"), "{err}");
+    }
+
+    #[test]
+    fn gate_fails_on_compute_drift() {
+        let mut fresh = bench6(0.0926);
+        fresh = fresh.replacen("1.0968", "1.0969", 1);
+        let err = gate(&fresh, &bench4(), &bench3()).unwrap_err();
+        assert!(err.contains("drifted"), "{err}");
+    }
+
+    #[test]
+    fn gate_fails_when_lanes_touch_the_wire() {
+        let fresh = bench6(0.0926);
+        // Bump every lane row's wire bucket.
+        let fresh = fresh.replace(
+            "8 lanes)\",\"cpus\":4,\"wall_s\":1.0,\"events\":1,\"dropped\":0,\"prepare_s\":0.8,\"wire_s\":0.25",
+            "8 lanes)\",\"cpus\":4,\"wall_s\":1.0,\"events\":1,\"dropped\":0,\"prepare_s\":0.8,\"wire_s\":0.26",
+        );
+        let err = gate(&fresh, &bench4(), &bench3()).unwrap_err();
+        assert!(err.contains("wire drifted"), "{err}");
+    }
+
+    #[test]
+    fn gate_fails_without_warm_anchor() {
+        let b3 = bench3().replace("\"cache_hit_rate\":1", "\"cache_hit_rate\":0");
+        let err = gate(&bench6(0.0926), &bench4(), &b3).unwrap_err();
+        assert!(err.contains("hit-rate"), "{err}");
+    }
+}

@@ -44,6 +44,15 @@ pub struct BreakdownOpts {
     /// `"<strategy> (xN threads)"` row and self-checked: compute-phase
     /// seconds must shrink ~linearly while prepare/wire/wait stay put.
     pub threads: usize,
+    /// `--lanes N`: model the SIMD-lane batched, allocation-free kernels
+    /// (`FarmConfig::lanes`; widths 1, 4 or 8) — each strategy runs an
+    /// extra time with the lane model on (composed with `--threads` when
+    /// both are given), reported as an extra
+    /// `"<strategy> (xT threads, N lanes)"` row and self-checked:
+    /// compute-phase seconds must be at least 2x below the same-thread
+    /// baseline but under the lane width, with prepare/wire/wait
+    /// untouched and a `LaneBatch` mark per compute carrying the width.
+    pub lanes: usize,
     /// `--order lpt`: model the [`DispatchPolicy::Lpt`] dispatch order
     /// (`FarmConfig::order`) — each strategy runs a second time with the
     /// queue sorted longest-cost-first, reported as an extra
@@ -62,6 +71,7 @@ impl Default for BreakdownOpts {
             warm: false,
             compress: false,
             threads: 1,
+            lanes: 1,
             order_lpt: false,
         }
     }
@@ -129,6 +139,17 @@ impl BreakdownOpts {
                     }
                     opts.threads = n;
                 }
+                "--lanes" => {
+                    let v = it.next().ok_or("--lanes needs a value (1|4|8)")?;
+                    let n: usize = v
+                        .as_ref()
+                        .parse()
+                        .map_err(|_| format!("--lanes: bad width {:?}", v.as_ref()))?;
+                    if !matches!(n, 1 | 4 | 8) {
+                        return Err(format!("--lanes: unsupported width {n} (1|4|8)"));
+                    }
+                    opts.lanes = n;
+                }
                 other => return Err(format!("unknown argument {other:?} (try --breakdown)")),
             }
         }
@@ -167,6 +188,11 @@ pub fn breakdown_report(
     // with the executor model on.
     let mut cfg_thr = cfg;
     cfg_thr.exec.threads = opts.threads;
+    // The lane comparison composes with the thread knob: it is measured
+    // against whichever of the sequential/threaded rows shares its
+    // thread count, so the only variable left is the lane model.
+    let mut cfg_lane = cfg_thr;
+    cfg_lane.exec.lanes = opts.lanes;
     let mut report = BreakdownReport::new(title);
     for strategy in Transmission::ALL {
         // One cache state per strategy: the cold run fills it, the
@@ -217,6 +243,16 @@ pub fn breakdown_report(
                 &fifo,
             ));
         }
+        if opts.lanes > 1 {
+            // Lane run from cold caches, same thread count as the
+            // threaded row (or sequential when --threads is absent).
+            report.runs.push(one_run(
+                lane_label(strategy, opts),
+                &cfg_lane,
+                &mut SimCaches::new(),
+                &fifo,
+            ));
+        }
         if opts.order_lpt {
             // LPT run from cold caches: the only variable is the queue
             // order, fed with the jobs' own (here: exact) costs, the way
@@ -246,10 +282,94 @@ pub fn breakdown_report(
     if opts.threads > 1 {
         check_thread_scaling(&report, opts.threads)?;
     }
+    if opts.lanes > 1 {
+        check_lane_scaling(&report, opts)?;
+    }
     if opts.order_lpt {
         check_lpt_order(&report)?;
     }
     Ok(report)
+}
+
+/// Row label of the lane run for `strategy` under `opts`.
+fn lane_label(strategy: Transmission, opts: &BreakdownOpts) -> String {
+    if opts.threads > 1 {
+        format!(
+            "{} (x{} threads, {} lanes)",
+            strategy.label(),
+            opts.threads,
+            opts.lanes
+        )
+    } else {
+        format!("{} ({} lanes)", strategy.label(), opts.lanes)
+    }
+}
+
+/// The SIMD-lane acceptance check: for every strategy, the lane run's
+/// compute seconds must be at least **2x** below the same-thread-count
+/// baseline (the headline claim the committed `BENCH_*.json` artifacts
+/// pin) but below the lane width (the scalar RNG draw and payoff branch
+/// cap the win), prepare/wire/wait must be untouched within 1e-9 (lane
+/// batching lives entirely inside the compute phase), and the lane run
+/// must carry one `LaneBatch` self-check mark per compute with the
+/// configured width — while the baseline rows carry none (off by
+/// default).
+pub fn check_lane_scaling(report: &BreakdownReport, opts: &BreakdownOpts) -> Result<(), String> {
+    let lanes = opts.lanes;
+    for strategy in Transmission::ALL {
+        let base_label = if opts.threads > 1 {
+            format!("{} (x{} threads)", strategy.label(), opts.threads)
+        } else {
+            strategy.label().to_string()
+        };
+        let base = report
+            .run(&base_label)
+            .ok_or_else(|| format!("missing {base_label:?} baseline run"))?;
+        let lane_label = lane_label(strategy, opts);
+        let lane = report
+            .run(&lane_label)
+            .ok_or_else(|| format!("missing {lane_label:?} run"))?;
+        let (b, l) = (&base.breakdown, &lane.breakdown);
+        let ratio = b.compute_s() / l.compute_s();
+        if ratio < 2.0 {
+            return Err(format!(
+                "{strategy}: lanes only cut compute x{ratio:.2} ({:.6}s -> {:.6}s), need >= 2x",
+                b.compute_s(),
+                l.compute_s()
+            ));
+        }
+        if ratio >= lanes as f64 {
+            return Err(format!(
+                "{strategy}: implausible x{ratio:.2} compute cut from {lanes} lanes"
+            ));
+        }
+        for (phase, a, c) in [
+            ("prepare", b.prepare_s(), l.prepare_s()),
+            ("wire", b.wire_s(), l.wire_s()),
+            ("wait", b.wait_s(), l.wait_s()),
+        ] {
+            if (a - c).abs() > 1e-9 {
+                return Err(format!(
+                    "{strategy}: lanes changed {phase} ({a:.9}s vs {c:.9}s)"
+                ));
+            }
+        }
+        if l.count_of(EventKind::LaneBatch) == 0 {
+            return Err(format!("{strategy}: lane run recorded no LaneBatch marks"));
+        }
+        if l.lane_width() != lanes as f64 {
+            return Err(format!(
+                "{strategy}: lane marks carry width {} but {lanes} configured",
+                l.lane_width()
+            ));
+        }
+        if b.count_of(EventKind::LaneBatch) != 0 {
+            return Err(format!(
+                "{strategy}: baseline run has LaneBatch marks (lanes must be off by default)"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// The `--order lpt` acceptance check: for every strategy, the LPT run
@@ -345,6 +465,15 @@ pub fn check_thread_scaling(report: &BreakdownReport, threads: usize) -> Result<
         }
         if s.parallel_s() != 0.0 {
             return Err(format!("{strategy}: sequential run has chunk diagnostics"));
+        }
+        // Lane batching is off by default: neither the sequential nor the
+        // threads-only row may carry lane marks.
+        for (label, run) in [("sequential", s), ("threaded", t)] {
+            if run.count_of(EventKind::LaneBatch) != 0 {
+                return Err(format!(
+                    "{strategy}: {label} run has LaneBatch marks without --lanes"
+                ));
+            }
         }
     }
     Ok(())
@@ -480,8 +609,8 @@ pub fn run_cli(
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: --breakdown [--jobs N] [--cpus N] [--threads N] [--order fifo|lpt] \
-                 [--warm] [--compress]"
+                "usage: --breakdown [--jobs N] [--cpus N] [--threads N] [--lanes 1|4|8] \
+                 [--order fifo|lpt] [--warm] [--compress]"
             );
             std::process::exit(2);
         }
@@ -661,6 +790,86 @@ mod tests {
         assert!(json.contains("(x8 threads)"));
         assert!(json.contains("\"parallelism\":"));
         assert!(report.render().contains("intra-slave parallelism"));
+    }
+
+    #[test]
+    fn parse_accepts_lanes_and_rejects_bad_widths() {
+        let o = BreakdownOpts::parse(["--breakdown", "--lanes", "8"], &[]).unwrap();
+        assert!(o.enabled);
+        assert_eq!(o.lanes, 8);
+        assert_eq!(BreakdownOpts::parse(["--breakdown"], &[]).unwrap().lanes, 1);
+        for bad in ["0", "2", "3", "16", "x"] {
+            assert!(
+                BreakdownOpts::parse(["--lanes", bad], &[]).is_err(),
+                "--lanes {bad} should be rejected"
+            );
+        }
+        assert!(BreakdownOpts::parse(["--lanes"], &[]).is_err());
+    }
+
+    #[test]
+    fn laned_breakdown_passes_scaling_checks_with_threads() {
+        // The acceptance criterion itself: `--threads 8 --lanes 8` must
+        // show compute >= 2x below the threads-only row with
+        // prepare/wire/wait put, and the lane marks present.
+        let jobs = clustersim::table2_sim_jobs(400);
+        let o = BreakdownOpts {
+            threads: 8,
+            lanes: 8,
+            ..opts(4)
+        };
+        let report = breakdown_report("test t8 l8", &jobs, &o, &SimConfig::default()).unwrap();
+        assert_eq!(report.runs.len(), 9);
+        check_thread_scaling(&report, 8).unwrap();
+        check_lane_scaling(&report, &o).unwrap();
+        for strategy in Transmission::ALL {
+            let thr = report
+                .run(&format!("{} (x8 threads)", strategy.label()))
+                .unwrap();
+            let lane = report
+                .run(&format!("{} (x8 threads, 8 lanes)", strategy.label()))
+                .unwrap();
+            let ratio = thr.breakdown.compute_s() / lane.breakdown.compute_s();
+            assert!(ratio >= 2.0, "{strategy}: x{ratio:.2}");
+            assert!(lane.wall_s < thr.wall_s, "{strategy}");
+            assert_eq!(lane.breakdown.lane_width(), 8.0, "{strategy}");
+        }
+        // The lane rows survive render and JSON with the new column.
+        let json = report.to_json();
+        assert!(json.contains("(x8 threads, 8 lanes)"));
+        assert!(json.contains("\"lanes\":8.0"));
+        assert!(report.render().contains("simd lanes x8 alloc-free"));
+    }
+
+    #[test]
+    fn laned_breakdown_works_without_threads() {
+        let jobs = clustersim::table2_sim_jobs(400);
+        let o = BreakdownOpts {
+            lanes: 8,
+            ..opts(4)
+        };
+        let report = breakdown_report("test l8", &jobs, &o, &SimConfig::default()).unwrap();
+        assert_eq!(report.runs.len(), 6);
+        check_lane_scaling(&report, &o).unwrap();
+        for strategy in Transmission::ALL {
+            let seq = report.run(strategy.label()).unwrap();
+            let lane = report
+                .run(&format!("{} (8 lanes)", strategy.label()))
+                .unwrap();
+            assert!(lane.breakdown.compute_s() < seq.breakdown.compute_s() / 2.0);
+            assert_eq!(seq.breakdown.count_of(EventKind::LaneBatch), 0);
+        }
+    }
+
+    #[test]
+    fn lane_scaling_check_fails_without_lane_rows() {
+        let jobs = clustersim::table2_sim_jobs(50);
+        let report = breakdown_report("test", &jobs, &opts(2), &SimConfig::default()).unwrap();
+        let o = BreakdownOpts {
+            lanes: 8,
+            ..opts(2)
+        };
+        assert!(check_lane_scaling(&report, &o).is_err());
     }
 
     #[test]

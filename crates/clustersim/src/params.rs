@@ -156,6 +156,20 @@ pub struct ExecParams {
     /// Linux lands in the tens of microseconds). Charged only when
     /// `threads >= 2`.
     pub spawn_overhead: f64,
+    /// SIMD lane width of the batched kernels (1 = scalar kernels, the
+    /// pre-lane default). Like `threads`, **off** by default so the
+    /// baseline model is unchanged.
+    pub lanes: usize,
+    /// Fraction of a job's parallelisable work that vectorises across
+    /// lanes: the per-path exp/fma arithmetic batches, the RNG draw and
+    /// the payoff branch stay scalar.
+    pub lane_fraction: f64,
+    /// Fixed per-job cost when lane batching is on, seconds. The
+    /// workspace pool removes every hot-loop allocation, so the per-job
+    /// setup collapses to popping pooled buffers — far below the
+    /// allocating `spawn_overhead`, which it *replaces* when
+    /// `lanes >= 2`.
+    pub workspace_overhead: f64,
 }
 
 impl Default for ExecParams {
@@ -164,6 +178,9 @@ impl Default for ExecParams {
             threads: 1,
             serial_fraction: 0.05,
             spawn_overhead: 0.02e-3,
+            lanes: 1,
+            lane_fraction: 0.9,
+            workspace_overhead: 0.005e-3,
         }
     }
 }
@@ -179,17 +196,38 @@ impl ExecParams {
         1.0 / (self.serial_fraction + (1.0 - self.serial_fraction) / t)
     }
 
+    /// Amdahl-style speedup of the parallelisable region from SIMD lane
+    /// batching: `1 / ((1 - f) + f/L)` with `f = lane_fraction`. Exactly
+    /// 1.0 when `lanes <= 1`.
+    pub fn lane_speedup(&self) -> f64 {
+        if self.lanes <= 1 {
+            return 1.0;
+        }
+        let l = self.lanes as f64;
+        1.0 / ((1.0 - self.lane_fraction) + self.lane_fraction / l)
+    }
+
     /// Wall seconds of a chunked-kernel job that costs `compute`
     /// sequential seconds, plus the worker-CPU seconds spent inside
     /// parallel chunks (what the live farm's `ComputeChunk` diagnostics
-    /// sum to). Returns `(compute, 0.0)` untouched when threads ≤ 1.
+    /// sum to). Returns `(compute, 0.0)` untouched when both knobs are
+    /// off (threads ≤ 1 and lanes ≤ 1). Lane batching shrinks the
+    /// parallelisable region *before* it is divided across threads —
+    /// lanes compose multiplicatively with threads, and the pooled
+    /// workspaces replace the allocating spawn overhead.
     pub fn apply(&self, compute: f64) -> (f64, f64) {
-        if self.threads <= 1 {
+        if self.threads <= 1 && self.lanes <= 1 {
             return (compute, 0.0);
         }
         let parallel = compute * (1.0 - self.serial_fraction);
-        let wall = compute - parallel + parallel / self.threads as f64 + self.spawn_overhead;
-        (wall, parallel)
+        let laned = parallel / self.lane_speedup();
+        let overhead = if self.lanes > 1 {
+            self.workspace_overhead
+        } else {
+            self.spawn_overhead
+        };
+        let wall = compute - parallel + laned / self.threads.max(1) as f64 + overhead;
+        (wall, laned)
     }
 }
 
@@ -273,5 +311,56 @@ mod tests {
         let (wall, parallel) = e.apply(20.0);
         assert!((wall - e.spawn_overhead - 20.0 / e.speedup()).abs() < 1e-12);
         assert!((parallel - 20.0 * (1.0 - e.serial_fraction)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lane_model_off_by_default_and_bit_identical_when_scalar() {
+        let e = ExecParams::default();
+        assert_eq!(e.lanes, 1);
+        assert_eq!(e.lane_speedup(), 1.0);
+        // threads > 1 with lanes = 1 must reproduce the pre-lane model
+        // bit for bit (the lane terms must be exact no-ops).
+        for threads in [2, 4, 8] {
+            let e = ExecParams {
+                threads,
+                ..ExecParams::default()
+            };
+            let parallel = 20.0 * (1.0 - e.serial_fraction);
+            let want_wall = 20.0 - parallel + parallel / threads as f64 + e.spawn_overhead;
+            assert_eq!(e.apply(20.0), (want_wall, parallel));
+        }
+    }
+
+    #[test]
+    fn lane_model_compounds_with_threads_and_cuts_overhead() {
+        // Lanes alone help, lanes + threads help more, and wider lanes
+        // help sublinearly (the scalar RNG/payoff fraction caps it).
+        let base = ExecParams::default().apply(1.0).0;
+        let l8 = ExecParams {
+            lanes: 8,
+            ..ExecParams::default()
+        };
+        let l4 = ExecParams {
+            lanes: 4,
+            ..ExecParams::default()
+        };
+        assert!(l8.lane_speedup() > l4.lane_speedup());
+        assert!(l8.lane_speedup() < 8.0);
+        let (lane_wall, laned) = l8.apply(1.0);
+        assert!(lane_wall < base);
+        assert!(laned < 1.0 * (1.0 - l8.serial_fraction));
+        let both = ExecParams {
+            threads: 8,
+            lanes: 8,
+            ..ExecParams::default()
+        };
+        let t8 = ExecParams {
+            threads: 8,
+            ..ExecParams::default()
+        };
+        assert!(both.apply(1.0).0 < t8.apply(1.0).0);
+        assert!(both.apply(1.0).0 < lane_wall);
+        // The pooled-workspace overhead undercuts the allocating spawn.
+        assert!(both.workspace_overhead < both.spawn_overhead);
     }
 }

@@ -483,10 +483,15 @@ pub fn simulate_farm_sched(
             // the parallel worker-CPU seconds. Like the live stream these
             // overlap the `Compute` wall span and are excluded from
             // `Breakdown::total_s` (see `EventKind::DIAGNOSTIC`).
-            let per_thread = chunk_cpu / cfg.exec.threads as f64;
-            for _ in 0..cfg.exec.threads {
+            let per_thread = chunk_cpu / cfg.exec.threads.max(1) as f64;
+            for _ in 0..cfg.exec.threads.max(1) {
                 emit(EventKind::ComputeChunk, srank, jid, compute_start, per_thread, 0);
             }
+        }
+        if cfg.exec.lanes > 1 {
+            // Mirror the live executor's lane self-check mark: one
+            // zero-duration `LaneBatch` per compute, bytes = lane width.
+            emit(EventKind::LaneBatch, srank, jid, compute_start, 0.0, cfg.exec.lanes);
         }
         emit(
             EventKind::Serialize,

@@ -55,6 +55,117 @@ pub fn stream_seed(seed: u64, chunk_index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Supported SIMD lane widths for batched path generation.
+///
+/// With `L > 1` lanes a kernel advances `L` paths per loop iteration
+/// through the hand-rolled lane structs (`pricing::lanes::F64s`),
+/// drawing the normals of each group in `(group, step, lane)` order
+/// instead of the scalar `(path, step)` order. That draw order is part
+/// of the sampled result — exactly like the chunk size — so each lane
+/// width owns its own pinned goldens, and [`LaneConfig::Scalar`] keeps
+/// the pre-lane kernels byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LaneConfig {
+    /// One path at a time — the pre-lane scalar kernels, unchanged.
+    #[default]
+    Scalar,
+    /// Four paths per lane group (`F64x4`).
+    X4,
+    /// Eight paths per lane group (`F64x8`).
+    X8,
+}
+
+impl LaneConfig {
+    /// Parse a lane width; only 1 (scalar), 4 and 8 are supported.
+    pub fn from_width(width: usize) -> Result<Self, String> {
+        match width {
+            0 | 1 => Ok(LaneConfig::Scalar),
+            4 => Ok(LaneConfig::X4),
+            8 => Ok(LaneConfig::X8),
+            other => Err(format!(
+                "unsupported lane width {other} (supported: 1, 4, 8)"
+            )),
+        }
+    }
+
+    /// Number of paths advanced per lane group.
+    pub fn width(self) -> usize {
+        match self {
+            LaneConfig::Scalar => 1,
+            LaneConfig::X4 => 4,
+            LaneConfig::X8 => 8,
+        }
+    }
+}
+
+/// A per-worker scratch arena for kernel path buffers.
+///
+/// Kernels borrow zeroed `Vec<f64>` buffers with [`take`](Self::take)
+/// and hand them back with [`put`](Self::put); the capacity survives
+/// the round-trip, so after the first few chunks every `take` is a
+/// `clear` + in-capacity `resize` — **zero allocations in the
+/// steady-state hot loops**. One workspace is checked out per worker
+/// for the duration of a [`ExecPolicy::run_ws`] call and parked in the
+/// policy's shared [`WorkspacePool`] between runs, so buffers persist
+/// across the jobs of a farm slave.
+#[derive(Debug, Default)]
+pub struct PathWorkspace {
+    bufs: Vec<Vec<f64>>,
+}
+
+impl PathWorkspace {
+    /// A fresh workspace with no pooled buffers.
+    pub fn new() -> Self {
+        PathWorkspace::default()
+    }
+
+    /// Borrow a zero-filled buffer of exactly `len` elements, reusing
+    /// the capacity of a previously [`put`](Self::put) buffer when one
+    /// is available (same contents as `vec![0.0; len]`).
+    pub fn take(&mut self, len: usize) -> Vec<f64> {
+        let mut buf = self.bufs.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Return a buffer for reuse by later [`take`](Self::take) calls.
+    pub fn put(&mut self, buf: Vec<f64>) {
+        self.bufs.push(buf);
+    }
+}
+
+/// Thread-safe parking lot for idle [`PathWorkspace`]s, shared by every
+/// clone of an [`ExecPolicy`] — the farm clones its per-run policy for
+/// each job, so a slave's workers keep reusing the same warmed buffers
+/// job after job.
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    inner: Mutex<Vec<PathWorkspace>>,
+}
+
+impl WorkspacePool {
+    /// A fresh, empty pool.
+    pub fn new() -> Self {
+        WorkspacePool::default()
+    }
+
+    /// Check a workspace out (a fresh one if the pool is empty).
+    pub fn take(&self) -> PathWorkspace {
+        self.inner.lock().pop().unwrap_or_default()
+    }
+
+    /// Park a workspace for the next [`take`](Self::take).
+    pub fn put(&self, ws: PathWorkspace) {
+        self.inner.lock().push(ws);
+    }
+
+    /// Number of idle workspaces currently parked.
+    pub fn idle(&self) -> usize {
+        self.inner.lock().len()
+    }
+}
+
 /// One contiguous slice of the item (path) space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Chunk {
@@ -146,13 +257,15 @@ impl StatsSink {
 }
 
 /// How a kernel's path loop should execute: worker count, chunk size,
-/// and an optional statistics sink. The default — one thread, no sink —
-/// is the executor-free behaviour.
+/// SIMD lane width, and an optional statistics sink. The default — one
+/// thread, scalar lanes, no sink — is the executor-free behaviour.
 #[derive(Debug, Clone, Default)]
 pub struct ExecPolicy {
     threads: usize,
     chunk: usize,
+    lane: LaneConfig,
     sink: Option<Arc<StatsSink>>,
+    pool: Arc<WorkspacePool>,
 }
 
 impl ExecPolicy {
@@ -178,6 +291,22 @@ impl ExecPolicy {
         self
     }
 
+    /// Set the SIMD lane width (1, 4 or 8). **Changes the RNG draw
+    /// order** within each chunk and therefore the sampled result,
+    /// exactly as the chunk size does; see [`LaneConfig`]. Panics on an
+    /// unsupported width — validate with [`LaneConfig::from_width`]
+    /// first when the width comes from user input.
+    pub fn lanes(mut self, width: usize) -> Self {
+        self.lane = LaneConfig::from_width(width).expect("unsupported lane width");
+        self
+    }
+
+    /// Set the lane configuration directly.
+    pub fn lane(mut self, lane: LaneConfig) -> Self {
+        self.lane = lane;
+        self
+    }
+
     /// Attach a [`StatsSink`] that every run reports its chunk timings
     /// and steal count into.
     pub fn with_sink(mut self, sink: Arc<StatsSink>) -> Self {
@@ -188,6 +317,21 @@ impl ExecPolicy {
     /// Effective worker count.
     pub fn threads(&self) -> usize {
         self.threads.max(1)
+    }
+
+    /// The lane configuration.
+    pub fn lane_config(&self) -> LaneConfig {
+        self.lane
+    }
+
+    /// Effective lane width (1 for the scalar path).
+    pub fn lane_width(&self) -> usize {
+        self.lane.width()
+    }
+
+    /// The shared workspace pool behind [`Self::run_ws`].
+    pub fn workspace_pool(&self) -> &Arc<WorkspacePool> {
+        &self.pool
     }
 
     /// Effective chunk size.
@@ -228,21 +372,38 @@ impl ExecPolicy {
         R: Send,
         F: Fn(&Chunk) -> R + Sync,
     {
+        self.run_ws(items, |c, _| f(c))
+    }
+
+    /// Like [`Self::run`], but hands each chunk invocation a mutable
+    /// [`PathWorkspace`] so kernels can borrow reusable path buffers
+    /// instead of allocating in the hot loop. One workspace is checked
+    /// out of the shared [`WorkspacePool`] per worker and parked again
+    /// afterwards, so buffer capacity persists across runs (and across
+    /// the jobs of a farm slave). The workspace must not influence the
+    /// numerical result — it is scratch capacity, nothing else.
+    pub fn run_ws<R, F>(&self, items: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Chunk, &mut PathWorkspace) -> R + Sync,
+    {
         let chunks = self.plan(items);
         let n = chunks.len();
         let workers = self.threads().min(n.max(1));
         if workers <= 1 {
+            let mut ws = self.pool.take();
             let mut out = Vec::with_capacity(n);
             let mut timings = Vec::with_capacity(n);
             for c in &chunks {
                 let t0 = Instant::now();
-                out.push(f(c));
+                out.push(f(c, &mut ws));
                 timings.push(ChunkTiming {
                     index: c.index,
                     items: c.len() as u64,
                     dur_ns: t0.elapsed().as_nanos() as u64,
                 });
             }
+            self.pool.put(ws);
             if let Some(sink) = &self.sink {
                 sink.add_run(1, timings, 0);
             }
@@ -264,11 +425,13 @@ impl ExecPolicy {
         let chunks_ref = &chunks;
         let queues_ref = &queues;
         let steals_ref = &steals;
+        let pool_ref = &self.pool;
 
         let mut produced: Vec<(usize, R, u64)> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     s.spawn(move || {
+                        let mut ws = pool_ref.take();
                         let mut local: Vec<(usize, R, u64)> = Vec::new();
                         loop {
                             // Own queue first...
@@ -295,9 +458,10 @@ impl ExecPolicy {
                             let Some(i) = next else { break };
                             let c = &chunks_ref[i];
                             let t0 = Instant::now();
-                            let r = f(c);
+                            let r = f(c, &mut ws);
                             local.push((i, r, t0.elapsed().as_nanos() as u64));
                         }
+                        pool_ref.put(ws);
                         local
                     })
                 })
@@ -467,5 +631,65 @@ mod tests {
         assert_eq!(pol.chunk_size(), DEFAULT_CHUNK);
         assert_eq!(ExecPolicy::new(0).threads(), 1);
         assert_eq!(ExecPolicy::sequential().chunk(0).chunk_size(), DEFAULT_CHUNK);
+        assert_eq!(pol.lane_width(), 1);
+        assert_eq!(pol.lane_config(), LaneConfig::Scalar);
+    }
+
+    #[test]
+    fn lane_config_accepts_only_supported_widths() {
+        assert_eq!(LaneConfig::from_width(0), Ok(LaneConfig::Scalar));
+        assert_eq!(LaneConfig::from_width(1), Ok(LaneConfig::Scalar));
+        assert_eq!(LaneConfig::from_width(4), Ok(LaneConfig::X4));
+        assert_eq!(LaneConfig::from_width(8), Ok(LaneConfig::X8));
+        for bad in [2usize, 3, 5, 16] {
+            assert!(LaneConfig::from_width(bad).is_err(), "width {bad}");
+        }
+        assert_eq!(ExecPolicy::new(2).lanes(8).lane_width(), 8);
+        assert_eq!(ExecPolicy::new(2).lane(LaneConfig::X4).lane_width(), 4);
+    }
+
+    #[test]
+    fn workspace_reuses_capacity_across_take_put() {
+        let mut ws = PathWorkspace::new();
+        let mut buf = ws.take(100);
+        assert_eq!(buf, vec![0.0; 100]);
+        buf[0] = 7.0;
+        let ptr = buf.as_ptr();
+        ws.put(buf);
+        // Same allocation comes back, zeroed, even at a smaller length.
+        let again = ws.take(50);
+        assert_eq!(again.as_ptr(), ptr);
+        assert_eq!(again, vec![0.0; 50]);
+        assert!(again.capacity() >= 100);
+    }
+
+    #[test]
+    fn run_ws_pools_one_workspace_per_worker_and_is_deterministic() {
+        let pol = ExecPolicy::new(4).chunk(64);
+        let total = |pol: &ExecPolicy| -> u64 {
+            let parts = pol.run_ws(1_000, |c, ws| {
+                let mut buf = ws.take(c.len());
+                for (k, x) in buf.iter_mut().enumerate() {
+                    *x = chunk_value(9, c) + k as f64;
+                }
+                let s: f64 = buf.iter().sum();
+                ws.put(buf);
+                s
+            });
+            let mut acc = 0.0;
+            for p in parts {
+                acc = acc * 0.5 + p;
+            }
+            acc.to_bits()
+        };
+        let seq = total(&ExecPolicy::sequential().chunk(64));
+        assert_eq!(seq, total(&pol));
+        // Workers parked their workspaces; clones share the same pool.
+        assert!(pol.workspace_pool().idle() >= 1);
+        let before = pol.workspace_pool().idle();
+        let clone = pol.clone();
+        total(&clone);
+        assert!(clone.workspace_pool().idle() <= before.max(4));
+        assert!(Arc::ptr_eq(pol.workspace_pool(), clone.workspace_pool()));
     }
 }

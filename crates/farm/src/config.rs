@@ -111,6 +111,7 @@ pub struct FarmConfig {
     prefetch_depth: usize,
     threads: usize,
     compute_chunk: usize,
+    lanes: usize,
     policy: DispatchPolicy,
     record_trace: bool,
 }
@@ -133,6 +134,7 @@ impl FarmConfig {
             prefetch_depth: 0,
             threads: 1,
             compute_chunk: 0,
+            lanes: 1,
             policy: DispatchPolicy::Fifo,
             record_trace: false,
         }
@@ -180,6 +182,19 @@ impl FarmConfig {
     /// [`Self::threads`] `>= 2`.
     pub fn compute_chunk(mut self, chunk: usize) -> Self {
         self.compute_chunk = chunk;
+        self
+    }
+
+    /// Batch the slaves' path loops across `lanes` SIMD lanes with
+    /// pooled, allocation-free per-worker workspaces. `1` — the default —
+    /// is the scalar kernel, bit-identical to every release since the
+    /// seed. Supported widths are 1, 4 and 8; like the chunk size (and
+    /// unlike the thread count) the lane width is part of the sampled
+    /// result — lanes consume each chunk's RNG stream in
+    /// `(group, step, lane)` order — so each width owns its own pinned
+    /// goldens (`tests/kernel_goldens.rs`); see `docs/SIMD.md`.
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes;
         self
     }
 
@@ -265,6 +280,11 @@ impl FarmConfig {
         self.threads
     }
 
+    /// SIMD lane width of the path kernels (1 = scalar kernels).
+    pub fn compute_lanes(&self) -> usize {
+        self.lanes
+    }
+
     /// The transmission strategy this config will use.
     pub fn strategy(&self) -> Transmission {
         self.strategy
@@ -318,6 +338,9 @@ impl FarmConfig {
                 "compute_chunk only applies with threads >= 2".into(),
             ));
         }
+        if let Err(e) = exec::LaneConfig::from_width(self.lanes) {
+            return Err(FarmError::Config(e));
+        }
         if matches!(self.policy, DispatchPolicy::Lpt { .. }) && self.batch_size > 1 {
             return Err(FarmError::Config(
                 "LPT order is incompatible with batching (batches are contiguous index ranges)"
@@ -348,8 +371,11 @@ impl FarmConfig {
             let rec = self.recorder.as_ref().map(|r| (r.clone(), self.slaves + 1));
             Prefetcher::spawn(base.clone(), files.to_vec(), self.prefetch_depth, rec)
         });
-        let exec = (self.threads > 1)
-            .then(|| ExecPolicy::new(self.threads).chunk(self.compute_chunk));
+        let exec = (self.threads > 1 || self.lanes > 1).then(|| {
+            ExecPolicy::new(self.threads)
+                .chunk(self.compute_chunk)
+                .lanes(self.lanes)
+        });
         RunCtx {
             store: base,
             wire,
@@ -492,6 +518,17 @@ mod tests {
         assert!(matches!(run(&[], &cfg), Err(FarmError::Config(_))));
     }
 
+    #[test]
+    fn unsupported_lane_width_rejected() {
+        for lanes in [2usize, 3, 5, 16] {
+            let cfg = FarmConfig::new(2, Transmission::Nfs).lanes(lanes);
+            assert!(
+                matches!(run(&[], &cfg), Err(FarmError::Config(_))),
+                "lanes={lanes} should be rejected"
+            );
+        }
+    }
+
     /// A small all-Monte-Carlo portfolio: unlike [`toy_portfolio`] (closed
     /// form, no chunked kernel), these jobs actually exercise the
     /// intra-slave executor when `threads >= 2`.
@@ -592,6 +629,76 @@ mod tests {
         assert!(b.compute_s() > 0.0);
         // Diagnostics never inflate the cpu-seconds budget.
         assert!(b.total_s() >= b.compute_s());
+        assert_eq!(rec.dropped(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lanes_one_is_bit_identical_to_default() {
+        let (paths, dir) = mc_setup(6, "lanes_one");
+        let by_job = |r: &FarmReport| {
+            let mut v: Vec<(usize, u64)> = r
+                .outcomes
+                .iter()
+                .map(|o| (o.job, o.price.to_bits()))
+                .collect();
+            v.sort();
+            v
+        };
+        let default = run(&paths, &FarmConfig::new(2, Transmission::SerializedLoad)).unwrap();
+        let one = run(
+            &paths,
+            &FarmConfig::new(2, Transmission::SerializedLoad).lanes(1),
+        )
+        .unwrap();
+        assert_eq!(by_job(&default), by_job(&one));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn laned_farm_bit_identical_across_thread_counts() {
+        let (paths, dir) = mc_setup(6, "lanes_bits");
+        let by_job = |r: &FarmReport| {
+            let mut v: Vec<(usize, u64)> = r
+                .outcomes
+                .iter()
+                .map(|o| (o.job, o.price.to_bits()))
+                .collect();
+            v.sort();
+            v
+        };
+        let l8t1 = run(
+            &paths,
+            &FarmConfig::new(2, Transmission::SerializedLoad).lanes(8),
+        )
+        .unwrap();
+        let l8t8 = run(
+            &paths,
+            &FarmConfig::new(2, Transmission::SerializedLoad)
+                .threads(8)
+                .lanes(8),
+        )
+        .unwrap();
+        assert_eq!(by_job(&l8t1), by_job(&l8t8));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn laned_recorded_run_emits_lane_batch_marks() {
+        use obs::{Breakdown, EventKind};
+        let (paths, dir) = mc_setup(4, "lanes_events");
+        let rec = Arc::new(Recorder::new(3));
+        let cfg = FarmConfig::new(2, Transmission::SerializedLoad)
+            .threads(2)
+            .lanes(8)
+            .recorder(rec.clone());
+        let report = run(&paths, &cfg).unwrap();
+        assert_eq!(report.completed(), 4);
+        let b = Breakdown::from_events(&rec.events());
+        // One zero-duration mark per chunked compute, carrying the width.
+        assert_eq!(b.count_of(EventKind::LaneBatch), 4);
+        assert_eq!(b.lane_width(), 8.0);
+        assert!(b.count_of(EventKind::ComputeChunk) > 0);
         assert_eq!(rec.dropped(), 0);
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -81,6 +81,18 @@ pub(crate) fn compute_recorded(
                     bytes: stats.steals,
                 });
             }
+            if pol.lane_width() > 1 {
+                // Lane self-check mark: breakdowns read the lane width
+                // back out of `bytes` (`Breakdown::lane_width`).
+                rec.record(Event {
+                    kind: EventKind::LaneBatch,
+                    rank,
+                    job,
+                    start_ns: rec.now_ns(),
+                    dur_ns: 0,
+                    bytes: pol.lane_width() as u64,
+                });
+            }
             Ok(r)
         }
     }

@@ -196,6 +196,19 @@ impl Breakdown {
         }
     }
 
+    /// Mean SIMD lane width of the run's compute regions, from
+    /// [`EventKind::LaneBatch`] marks (`bytes` = lane width per mark).
+    /// 0 when the run recorded no lane-batched compute — i.e. lanes off,
+    /// the default.
+    pub fn lane_width(&self) -> f64 {
+        let n = self.count_of(EventKind::LaneBatch);
+        if n == 0 {
+            0.0
+        } else {
+            self.bytes_of(EventKind::LaneBatch) as f64 / n as f64
+        }
+    }
+
     /// Count of events of one kind (0 if the phase never occurred).
     pub fn count_of(&self, kind: EventKind) -> u64 {
         self.phase(kind).map_or(0, |p| p.count)
@@ -380,6 +393,24 @@ mod tests {
         let b = Breakdown::from_events(&[ev(EventKind::Compute, 0, 1_000, 0)]);
         assert_eq!(b.parallel_s(), 0.0);
         assert_eq!(b.parallelism(), 0.0);
+    }
+
+    #[test]
+    fn lane_width_from_lane_batch_marks() {
+        // Off by default: no marks → 0.
+        let b = Breakdown::from_events(&[ev(EventKind::Compute, 0, 1_000, 0)]);
+        assert_eq!(b.lane_width(), 0.0);
+        // Two computes batched 8-wide; marks are diagnostic (no seconds).
+        let events = vec![
+            ev(EventKind::Compute, 0, 10_000_000, 0),
+            ev(EventKind::LaneBatch, 0, 0, 8),
+            ev(EventKind::Compute, 1, 10_000_000, 0),
+            ev(EventKind::LaneBatch, 1, 0, 8),
+        ];
+        let b = Breakdown::from_events(&events);
+        assert_eq!(b.lane_width(), 8.0);
+        assert_eq!(b.count_of(EventKind::LaneBatch), 2);
+        assert!((b.total_s() - 20e-3).abs() < 1e-12);
     }
 
     #[test]

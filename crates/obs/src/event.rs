@@ -82,11 +82,17 @@ pub enum EventKind {
     ///
     /// [`Send`]: EventKind::Send
     Dispatch,
+    /// A SIMD-lane batched, allocation-free compute region ran on this
+    /// rank (zero-duration mark; `bytes` = lane width). Emitted once per
+    /// compute when the executor's lane width exceeds 1, so breakdowns
+    /// can self-check that lane batching was actually on (or off).
+    /// Diagnostic.
+    LaneBatch,
 }
 
 impl EventKind {
     /// Every kind, in declaration (and render) order.
-    pub const ALL: [EventKind; 22] = [
+    pub const ALL: [EventKind; 23] = [
         EventKind::Pack,
         EventKind::Send,
         EventKind::Probe,
@@ -109,16 +115,18 @@ impl EventKind {
         EventKind::Steal,
         EventKind::CopySaved,
         EventKind::Dispatch,
+        EventKind::LaneBatch,
     ];
 
     /// Diagnostic kinds: double-counted or purely informational marks
     /// whose seconds/bytes are already represented by a primary phase.
     /// Excluded from [`crate::Breakdown::total_s`]'s cpu-seconds budget.
-    pub const DIAGNOSTIC: [EventKind; 4] = [
+    pub const DIAGNOSTIC: [EventKind; 5] = [
         EventKind::ComputeChunk,
         EventKind::Steal,
         EventKind::CopySaved,
         EventKind::Dispatch,
+        EventKind::LaneBatch,
     ];
 
     /// Stable lowercase label used in rendered tables and JSON.
@@ -146,6 +154,7 @@ impl EventKind {
             EventKind::Steal => "steal",
             EventKind::CopySaved => "copy_saved",
             EventKind::Dispatch => "dispatch",
+            EventKind::LaneBatch => "lane_batch",
         }
     }
 }

@@ -138,6 +138,14 @@ impl BreakdownReport {
                     b.bytes_of(crate::event::EventKind::Steal),
                 );
             }
+            if b.count_of(crate::event::EventKind::LaneBatch) > 0 {
+                let _ = writeln!(
+                    out,
+                    "  -- simd lanes x{:.0} alloc-free ({} lane-batched computes)",
+                    b.lane_width(),
+                    b.count_of(crate::event::EventKind::LaneBatch),
+                );
+            }
             if b.cache_hit_rate() > 0.0 {
                 let _ = writeln!(
                     out,
@@ -187,9 +195,10 @@ impl BreakdownReport {
             );
             let _ = write!(
                 s,
-                ",\"parallel_s\":{},\"parallelism\":{}",
+                ",\"parallel_s\":{},\"parallelism\":{},\"lanes\":{}",
                 json_f64(b.parallel_s()),
-                json_f64(b.parallelism())
+                json_f64(b.parallelism()),
+                json_f64(b.lane_width())
             );
             s.push_str(",\"phases\":[");
             for (j, p) in b.phases.iter().enumerate() {
@@ -366,6 +375,35 @@ mod tests {
             json.matches('[').count(),
             json.matches(']').count()
         );
+    }
+
+    #[test]
+    fn lane_line_rendered_only_when_lane_batches_present() {
+        let plain = sample_report();
+        assert!(!plain.render().contains("simd lanes"));
+        assert!(plain.to_json().contains("\"lanes\":0.0"));
+
+        let mut r = sample_report();
+        let mut events = vec![Event {
+            kind: EventKind::LaneBatch,
+            rank: 1,
+            job: 0,
+            start_ns: 200_000,
+            dur_ns: 0,
+            bytes: 8,
+        }];
+        events.push(Event {
+            kind: EventKind::Compute,
+            rank: 1,
+            job: 0,
+            start_ns: 200_000,
+            dur_ns: 2_000_000,
+            bytes: 0,
+        });
+        r.runs[0].breakdown = Breakdown::from_events(&events);
+        let text = r.render();
+        assert!(text.contains("simd lanes x8 alloc-free"), "{text}");
+        assert!(r.to_json().contains("\"lanes\":8.0"));
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //! European options on them (Jamshidian's closed form), with a
 //! Monte-Carlo cross-check pricer.
 
+use crate::lanes::F64s;
 use crate::models::Vasicek;
 use crate::options::OptionRight;
-use exec::{stream_seed, ExecPolicy};
+use exec::{stream_seed, Chunk, ExecPolicy, PathWorkspace};
 use numerics::norm_cdf;
 use numerics::rng::NormalGen;
 use numerics::stats::RunningStats;
@@ -89,26 +90,11 @@ pub fn mc_zcb_price_exec(
     cfg.validate().expect("invalid MC config");
     assert!(maturity > 0.0);
     let dt = maturity / cfg.time_steps as f64;
-    let parts = pol.run(cfg.paths, |c| {
-        let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
-        let mut gen = NormalGen::new();
-        let mut zs = vec![0.0; cfg.time_steps];
-        let mut stats = RunningStats::new();
-        for _ in c.start..c.end {
-            gen.fill(&mut rng, &mut zs);
-            let d1 = discount_path(m, dt, &zs);
-            if cfg.antithetic {
-                for z in zs.iter_mut() {
-                    *z = -*z;
-                }
-                let d2 = discount_path(m, dt, &zs);
-                stats.push(0.5 * (d1 + d2));
-            } else {
-                stats.push(d1);
-            }
-        }
-        stats
-    });
+    let parts = match pol.lane_width() {
+        4 => pol.run_ws(cfg.paths, |c, ws| zcb_chunk_lanes::<4>(m, cfg, dt, c, ws)),
+        8 => pol.run_ws(cfg.paths, |c, ws| zcb_chunk_lanes::<8>(m, cfg, dt, c, ws)),
+        _ => pol.run_ws(cfg.paths, |c, ws| zcb_chunk_scalar(m, cfg, dt, c, ws)),
+    };
     let mut stats = RunningStats::new();
     for p in &parts {
         stats.merge(p);
@@ -118,6 +104,119 @@ pub fn mc_zcb_price_exec(
         std_error: stats.std_error(),
         delta: None,
     }
+}
+
+/// Scalar (lanes = 1) chunk body; `zs` comes from the per-worker
+/// [`PathWorkspace`] pool (zero-filled, numerically identical to the
+/// old `vec!`).
+fn zcb_chunk_scalar(
+    m: &Vasicek,
+    cfg: &McConfig,
+    dt: f64,
+    c: &Chunk,
+    ws: &mut PathWorkspace,
+) -> RunningStats {
+    let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+    let mut gen = NormalGen::new();
+    let mut zs = ws.take(cfg.time_steps);
+    let mut stats = RunningStats::new();
+    // ALLOC-FREE-BEGIN: per-path loop must not allocate (gated by ci.sh).
+    for _ in c.start..c.end {
+        gen.fill(&mut rng, &mut zs);
+        let d1 = discount_path(m, dt, &zs);
+        if cfg.antithetic {
+            for z in zs.iter_mut() {
+                *z = -*z;
+            }
+            let d2 = discount_path(m, dt, &zs);
+            stats.push(0.5 * (d1 + d2));
+        } else {
+            stats.push(d1);
+        }
+    }
+    // ALLOC-FREE-END
+    ws.put(zs);
+    stats
+}
+
+/// `L`-wide chunk body: `L` exact OU paths advance in lockstep with one
+/// normal group per time step (`(group, step, lane)` draw order) and the
+/// trapezoidal rate integral accumulates per lane with fused `mul_add`.
+fn zcb_chunk_lanes<const L: usize>(
+    m: &Vasicek,
+    cfg: &McConfig,
+    dt: f64,
+    c: &Chunk,
+    ws: &mut PathWorkspace,
+) -> RunningStats {
+    let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+    let mut gen = NormalGen::new();
+    let mut zs = ws.take(cfg.time_steps);
+    let mut stats = RunningStats::new();
+    // Exact OU transition constants: r' = θ + (r − θ)e^{-κΔ} + sd·z.
+    let e = (-m.kappa * dt).exp();
+    let sd = (m.sigma * m.sigma * (1.0 - e * e) / (2.0 * m.kappa)).sqrt();
+    let groups = c.len() / L;
+    // ALLOC-FREE-BEGIN: per-group loop must not allocate (gated by ci.sh).
+    for _ in 0..groups {
+        let mut r = F64s::<L>::splat(m.r0);
+        let mut r2 = r;
+        let mut integral = F64s::<L>::splat(0.0);
+        let mut integral2 = integral;
+        for _ in 0..cfg.time_steps {
+            let z = F64s::<L>::from_fn(|_| gen.sample(&mut rng));
+            let rn = ou_step_lanes(m, e, sd, r, z);
+            integral = (r + rn).mul_add(F64s::splat(0.5 * dt), integral);
+            r = rn;
+            if cfg.antithetic {
+                let rn2 = ou_step_lanes(m, e, sd, r2, -z);
+                integral2 = (r2 + rn2).mul_add(F64s::splat(0.5 * dt), integral2);
+                r2 = rn2;
+            }
+        }
+        let d1 = (-integral).exp();
+        if cfg.antithetic {
+            let d2 = (-integral2).exp();
+            for l in 0..L {
+                stats.push(0.5 * (d1.0[l] + d2.0[l]));
+            }
+        } else {
+            for l in 0..L {
+                stats.push(d1.0[l]);
+            }
+        }
+    }
+    // Tail: remainder paths continue the same chunk stream scalar-style.
+    for _ in c.start + groups * L..c.end {
+        gen.fill(&mut rng, &mut zs);
+        let d1 = discount_path(m, dt, &zs);
+        if cfg.antithetic {
+            for z in zs.iter_mut() {
+                *z = -*z;
+            }
+            let d2 = discount_path(m, dt, &zs);
+            stats.push(0.5 * (d1 + d2));
+        } else {
+            stats.push(d1);
+        }
+    }
+    // ALLOC-FREE-END
+    ws.put(zs);
+    stats
+}
+
+/// One lane-wide exact OU step with precomputed decay `e` and noise
+/// scale `sd`.
+#[inline]
+fn ou_step_lanes<const L: usize>(
+    m: &Vasicek,
+    e: f64,
+    sd: f64,
+    r: F64s<L>,
+    z: F64s<L>,
+) -> F64s<L> {
+    let theta = F64s::<L>::splat(m.theta);
+    (r - theta).mul_add(F64s::splat(e), z.mul_add(F64s::splat(sd), theta))
 }
 
 #[inline]

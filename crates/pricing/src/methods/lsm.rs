@@ -17,9 +17,10 @@
 //! is bit-identical for any worker count. The backward induction stays
 //! sequential (it is a cross-path regression per date).
 
+use crate::lanes::F64s;
 use crate::models::{BlackScholes, Heston, MultiBlackScholes};
 use crate::options::{BasketOption, Exercise, OptionRight, Vanilla};
-use exec::{stream_seed, ExecPolicy};
+use exec::{stream_seed, Chunk, ExecPolicy, PathWorkspace};
 use numerics::linalg::lstsq;
 use numerics::poly::{BasisKind, RegressionBasis};
 use numerics::rng::NormalGen;
@@ -27,7 +28,7 @@ use numerics::stats::RunningStats;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use super::montecarlo::McResult;
+use super::montecarlo::{heston_step_lanes, McResult};
 
 /// LSM parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -252,22 +253,11 @@ pub fn lsm_basket_exec(
     let dt = option.maturity / cfg.exercise_dates as f64;
     let dates = cfg.exercise_dates;
     let dim = m.dim;
-    let blocks = pol.run(cfg.paths, |c| {
-        let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
-        let mut corr = m.correlator();
-        let mut z = vec![0.0; dim];
-        let mut block = vec![0.0; c.len() * dates * dim];
-        for pi in 0..c.len() {
-            let row = &mut block[pi * dates * dim..(pi + 1) * dates * dim];
-            let mut s = vec![m.spot; dim];
-            for d in 0..dates {
-                corr.sample(&mut rng, &mut z);
-                m.step(&mut s, dt, &z);
-                row[d * dim..(d + 1) * dim].copy_from_slice(&s);
-            }
-        }
-        block
-    });
+    let blocks = match pol.lane_width() {
+        4 => pol.run_ws(cfg.paths, |c, ws| lsm_basket_chunk_lanes::<4>(m, cfg, dt, dates, c, ws)),
+        8 => pol.run_ws(cfg.paths, |c, ws| lsm_basket_chunk_lanes::<8>(m, cfg, dt, dates, c, ws)),
+        _ => pol.run_ws(cfg.paths, |c, ws| lsm_basket_chunk_scalar(m, cfg, dt, dates, c, ws)),
+    };
     let states = scatter_blocks(&blocks, cfg.paths, dates, dim);
     let k = option.strike;
     lsm_backward(
@@ -281,6 +271,107 @@ pub fn lsm_basket_exec(
         m.spot,
         cfg,
     )
+}
+
+/// Scalar (lanes = 1) basket path-generation chunk. The per-path state
+/// vector and the correlated-draw scratch come from the per-worker
+/// [`PathWorkspace`] pool (the state is re-initialised to `spot` per
+/// path, numerically identical to the old fresh `vec![m.spot; dim]`);
+/// the returned block is the chunk's result, allocated once per chunk.
+fn lsm_basket_chunk_scalar(
+    m: &MultiBlackScholes,
+    cfg: &LsmConfig,
+    dt: f64,
+    dates: usize,
+    c: &Chunk,
+    ws: &mut PathWorkspace,
+) -> Vec<f64> {
+    let dim = m.dim;
+    let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+    let mut corr = m.correlator();
+    let mut z = ws.take(dim);
+    let mut s = ws.take(dim);
+    let mut block = vec![0.0; c.len() * dates * dim];
+    // ALLOC-FREE-BEGIN: per-path loop must not allocate (gated by ci.sh).
+    for pi in 0..c.len() {
+        let row = &mut block[pi * dates * dim..(pi + 1) * dates * dim];
+        for si in s.iter_mut() {
+            *si = m.spot;
+        }
+        for d in 0..dates {
+            corr.sample(&mut rng, &mut z);
+            m.step(&mut s, dt, &z);
+            row[d * dim..(d + 1) * dim].copy_from_slice(&s);
+        }
+    }
+    // ALLOC-FREE-END
+    ws.put(s);
+    ws.put(z);
+    block
+}
+
+/// `L`-wide basket path-generation chunk: `L` paths advance in lockstep
+/// with lane-major state/draw scratch (`buf[l*dim..][..dim]` is lane
+/// `l`), correlated vectors drawn per lane in lane order per date —
+/// `(group, date, lane)` consumption — and the per-asset step vectorised
+/// across lanes with fused `mul_add`.
+fn lsm_basket_chunk_lanes<const L: usize>(
+    m: &MultiBlackScholes,
+    cfg: &LsmConfig,
+    dt: f64,
+    dates: usize,
+    c: &Chunk,
+    ws: &mut PathWorkspace,
+) -> Vec<f64> {
+    let dim = m.dim;
+    let row_len = dates * dim;
+    let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+    let mut corr = m.correlator();
+    let mut zbuf = ws.take(L * dim);
+    let mut sbuf = ws.take(L * dim);
+    let mut block = vec![0.0; c.len() * row_len];
+    let drift = F64s::<L>::splat(m.log_drift() * dt);
+    let volt = F64s::<L>::splat(m.sigma * dt.sqrt());
+    let groups = c.len() / L;
+    // ALLOC-FREE-BEGIN: per-group loop must not allocate (gated by ci.sh).
+    for g in 0..groups {
+        let p0 = g * L;
+        for si in sbuf.iter_mut() {
+            *si = m.spot;
+        }
+        for d in 0..dates {
+            for l in 0..L {
+                corr.sample(&mut rng, &mut zbuf[l * dim..(l + 1) * dim]);
+            }
+            for i in 0..dim {
+                let z = F64s::<L>::from_fn(|l| zbuf[l * dim + i]);
+                let s = F64s::<L>::from_fn(|l| sbuf[l * dim + i]);
+                let sn = s * z.mul_add(volt, drift).exp();
+                for l in 0..L {
+                    sbuf[l * dim + i] = sn.0[l];
+                    block[(p0 + l) * row_len + d * dim + i] = sn.0[l];
+                }
+            }
+        }
+    }
+    // Tail: remainder paths continue the same chunk stream scalar-style.
+    for pi in groups * L..c.len() {
+        let row = &mut block[pi * row_len..(pi + 1) * row_len];
+        let z = &mut zbuf[..dim];
+        let s = &mut sbuf[..dim];
+        for si in s.iter_mut() {
+            *si = m.spot;
+        }
+        for d in 0..dates {
+            corr.sample(&mut rng, z);
+            m.step(s, dt, z);
+            row[d * dim..(d + 1) * dim].copy_from_slice(s);
+        }
+    }
+    // ALLOC-FREE-END
+    ws.put(sbuf);
+    ws.put(zbuf);
+    block
 }
 
 /// Chunked-deterministic variant of [`lsm_vanilla_bs`]: path generation
@@ -304,20 +395,11 @@ pub fn lsm_vanilla_bs_exec(
     );
     let dt = option.maturity / cfg.exercise_dates as f64;
     let dates = cfg.exercise_dates;
-    let blocks = pol.run(cfg.paths, |c| {
-        let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
-        let mut gen = NormalGen::new();
-        let mut block = vec![0.0; c.len() * dates];
-        for pi in 0..c.len() {
-            let row = &mut block[pi * dates..(pi + 1) * dates];
-            let mut s = m.spot;
-            for slot in row.iter_mut() {
-                s = m.step(s, dt, gen.sample(&mut rng));
-                *slot = s;
-            }
-        }
-        block
-    });
+    let blocks = match pol.lane_width() {
+        4 => pol.run(cfg.paths, |c| lsm_vanilla_chunk_lanes::<4>(m, cfg, dt, dates, c)),
+        8 => pol.run(cfg.paths, |c| lsm_vanilla_chunk_lanes::<8>(m, cfg, dt, dates, c)),
+        _ => pol.run(cfg.paths, |c| lsm_vanilla_chunk_scalar(m, cfg, dt, dates, c)),
+    };
     let states = scatter_blocks(&blocks, cfg.paths, dates, 1);
     let k = option.strike;
     lsm_backward(
@@ -328,6 +410,73 @@ pub fn lsm_vanilla_bs_exec(
         m.spot,
         cfg,
     )
+}
+
+/// Scalar (lanes = 1) vanilla-BS path-generation chunk — the pre-lane
+/// kernel, preserved verbatim (the path state is a single `f64`, so no
+/// workspace scratch is needed; the block is the chunk result).
+fn lsm_vanilla_chunk_scalar(
+    m: &BlackScholes,
+    cfg: &LsmConfig,
+    dt: f64,
+    dates: usize,
+    c: &Chunk,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+    let mut gen = NormalGen::new();
+    let mut block = vec![0.0; c.len() * dates];
+    // ALLOC-FREE-BEGIN: per-path loop must not allocate (gated by ci.sh).
+    for pi in 0..c.len() {
+        let row = &mut block[pi * dates..(pi + 1) * dates];
+        let mut s = m.spot;
+        for slot in row.iter_mut() {
+            s = m.step(s, dt, gen.sample(&mut rng));
+            *slot = s;
+        }
+    }
+    // ALLOC-FREE-END
+    block
+}
+
+/// `L`-wide vanilla-BS path-generation chunk: `L` paths advance in
+/// lockstep, one normal group per exercise date (`(group, date, lane)`
+/// draw order), exact GBM transitions with fused `mul_add`.
+fn lsm_vanilla_chunk_lanes<const L: usize>(
+    m: &BlackScholes,
+    cfg: &LsmConfig,
+    dt: f64,
+    dates: usize,
+    c: &Chunk,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+    let mut gen = NormalGen::new();
+    let mut block = vec![0.0; c.len() * dates];
+    let drift = F64s::<L>::splat(m.log_drift() * dt);
+    let volt = F64s::<L>::splat(m.sigma * dt.sqrt());
+    let groups = c.len() / L;
+    // ALLOC-FREE-BEGIN: per-group loop must not allocate (gated by ci.sh).
+    for g in 0..groups {
+        let p0 = g * L;
+        let mut s = F64s::<L>::splat(m.spot);
+        for d in 0..dates {
+            let z = F64s::<L>::from_fn(|_| gen.sample(&mut rng));
+            s = s * z.mul_add(volt, drift).exp();
+            for l in 0..L {
+                block[(p0 + l) * dates + d] = s.0[l];
+            }
+        }
+    }
+    // Tail: remainder paths continue the same chunk stream scalar-style.
+    for pi in groups * L..c.len() {
+        let row = &mut block[pi * dates..(pi + 1) * dates];
+        let mut s = m.spot;
+        for slot in row.iter_mut() {
+            s = m.step(s, dt, gen.sample(&mut rng));
+            *slot = s;
+        }
+    }
+    // ALLOC-FREE-END
+    block
 }
 
 /// American put under Heston via LSM — the §3.3 example
@@ -382,23 +531,11 @@ pub fn lsm_heston_exec(
     assert!(option.right == OptionRight::Put, "benchmark uses American puts");
     let dt = option.maturity / cfg.exercise_dates as f64;
     let dates = cfg.exercise_dates;
-    let blocks = pol.run(cfg.paths, |c| {
-        let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
-        let mut gen = NormalGen::new();
-        let mut block = vec![0.0; c.len() * dates];
-        for pi in 0..c.len() {
-            let row = &mut block[pi * dates..(pi + 1) * dates];
-            let mut s = m.spot;
-            let mut v = m.v0;
-            for slot in row.iter_mut() {
-                let (s2, v2) = m.step(s, v, dt, gen.sample(&mut rng), gen.sample(&mut rng));
-                s = s2;
-                v = v2;
-                *slot = s;
-            }
-        }
-        block
-    });
+    let blocks = match pol.lane_width() {
+        4 => pol.run(cfg.paths, |c| lsm_heston_chunk_lanes::<4>(m, cfg, dt, dates, c)),
+        8 => pol.run(cfg.paths, |c| lsm_heston_chunk_lanes::<8>(m, cfg, dt, dates, c)),
+        _ => pol.run(cfg.paths, |c| lsm_heston_chunk_scalar(m, cfg, dt, dates, c)),
+    };
     let states = scatter_blocks(&blocks, cfg.paths, dates, 1);
     let k = option.strike;
     lsm_backward(
@@ -409,6 +546,81 @@ pub fn lsm_heston_exec(
         m.spot,
         cfg,
     )
+}
+
+/// Scalar (lanes = 1) Heston path-generation chunk — the pre-lane
+/// kernel, preserved verbatim.
+fn lsm_heston_chunk_scalar(
+    m: &Heston,
+    cfg: &LsmConfig,
+    dt: f64,
+    dates: usize,
+    c: &Chunk,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+    let mut gen = NormalGen::new();
+    let mut block = vec![0.0; c.len() * dates];
+    // ALLOC-FREE-BEGIN: per-path loop must not allocate (gated by ci.sh).
+    for pi in 0..c.len() {
+        let row = &mut block[pi * dates..(pi + 1) * dates];
+        let mut s = m.spot;
+        let mut v = m.v0;
+        for slot in row.iter_mut() {
+            let (s2, v2) = m.step(s, v, dt, gen.sample(&mut rng), gen.sample(&mut rng));
+            s = s2;
+            v = v2;
+            *slot = s;
+        }
+    }
+    // ALLOC-FREE-END
+    block
+}
+
+/// `L`-wide Heston path-generation chunk: `L` `(S, v)` pairs advance in
+/// lockstep; per date the spot normals are drawn for all lanes, then the
+/// variance normals — `(group, date, z1 lanes, z2 lanes)` draw order.
+fn lsm_heston_chunk_lanes<const L: usize>(
+    m: &Heston,
+    cfg: &LsmConfig,
+    dt: f64,
+    dates: usize,
+    c: &Chunk,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+    let mut gen = NormalGen::new();
+    let mut block = vec![0.0; c.len() * dates];
+    let sqdt = dt.sqrt();
+    let groups = c.len() / L;
+    // ALLOC-FREE-BEGIN: per-group loop must not allocate (gated by ci.sh).
+    for g in 0..groups {
+        let p0 = g * L;
+        let mut s = F64s::<L>::splat(m.spot);
+        let mut v = F64s::<L>::splat(m.v0);
+        for d in 0..dates {
+            let z1 = F64s::<L>::from_fn(|_| gen.sample(&mut rng));
+            let z2 = F64s::<L>::from_fn(|_| gen.sample(&mut rng));
+            let (sn, vn) = heston_step_lanes(m, dt, sqdt, s, v, z1, z2);
+            s = sn;
+            v = vn;
+            for l in 0..L {
+                block[(p0 + l) * dates + d] = s.0[l];
+            }
+        }
+    }
+    // Tail: remainder paths continue the same chunk stream scalar-style.
+    for pi in groups * L..c.len() {
+        let row = &mut block[pi * dates..(pi + 1) * dates];
+        let mut s = m.spot;
+        let mut v = m.v0;
+        for slot in row.iter_mut() {
+            let (s2, v2) = m.step(s, v, dt, gen.sample(&mut rng), gen.sample(&mut rng));
+            s = s2;
+            v = v2;
+            *slot = s;
+        }
+    }
+    // ALLOC-FREE-END
+    block
 }
 
 #[cfg(test)]

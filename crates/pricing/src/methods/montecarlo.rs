@@ -21,9 +21,10 @@
 //! different (equally valid) sample than the legacy single-stream loop,
 //! which therefore stays as the default path.
 
+use crate::lanes::F64s;
 use crate::models::{BlackScholes, Heston, LocalVol, MultiBlackScholes};
 use crate::options::{BasketOption, Exercise, Vanilla};
-use exec::{stream_seed, ExecPolicy};
+use exec::{stream_seed, Chunk, ExecPolicy, PathWorkspace};
 use numerics::rng::NormalGen;
 use numerics::sobol::{Halton, Sobol};
 use numerics::stats::RunningStats;
@@ -136,25 +137,11 @@ pub fn mc_vanilla_bs_exec(
     let t = option.maturity;
     let df = m.discount(t);
     let sign = option.right.sign();
-    let parts = pol.run(cfg.paths, |c| {
-        let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
-        let mut gen = NormalGen::new();
-        let mut stats = RunningStats::new();
-        let mut delta_stats = RunningStats::new();
-        for _ in c.start..c.end {
-            let z = gen.sample(&mut rng);
-            let (pay, dlt) = vanilla_sample(m, option, t, z, sign);
-            if cfg.antithetic {
-                let (pay2, dlt2) = vanilla_sample(m, option, t, -z, sign);
-                stats.push(df * 0.5 * (pay + pay2));
-                delta_stats.push(df * 0.5 * (dlt + dlt2));
-            } else {
-                stats.push(df * pay);
-                delta_stats.push(df * dlt);
-            }
-        }
-        (stats, delta_stats)
-    });
+    let parts = match pol.lane_width() {
+        4 => pol.run(cfg.paths, |c| vanilla_chunk_lanes::<4>(m, option, cfg, t, df, sign, c)),
+        8 => pol.run(cfg.paths, |c| vanilla_chunk_lanes::<8>(m, option, cfg, t, df, sign, c)),
+        _ => pol.run(cfg.paths, |c| vanilla_chunk_scalar(m, option, cfg, t, df, sign, c)),
+    };
     let mut stats = RunningStats::new();
     let mut delta_stats = RunningStats::new();
     for (s, d) in &parts {
@@ -168,12 +155,108 @@ pub fn mc_vanilla_bs_exec(
     }
 }
 
+/// Scalar (lanes = 1) chunk body — the pre-lane kernel, preserved
+/// verbatim so lanes-off results never move.
+fn vanilla_chunk_scalar(
+    m: &BlackScholes,
+    option: &Vanilla,
+    cfg: &McConfig,
+    t: f64,
+    df: f64,
+    sign: f64,
+    c: &Chunk,
+) -> (RunningStats, RunningStats) {
+    let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+    let mut gen = NormalGen::new();
+    let mut stats = RunningStats::new();
+    let mut delta_stats = RunningStats::new();
+    // ALLOC-FREE-BEGIN: per-path loop must not allocate (gated by ci.sh).
+    for _ in c.start..c.end {
+        let z = gen.sample(&mut rng);
+        let (pay, dlt) = vanilla_sample(m, option, t, z, sign);
+        if cfg.antithetic {
+            let (pay2, dlt2) = vanilla_sample(m, option, t, -z, sign);
+            stats.push(df * 0.5 * (pay + pay2));
+            delta_stats.push(df * 0.5 * (dlt + dlt2));
+        } else {
+            stats.push(df * pay);
+            delta_stats.push(df * dlt);
+        }
+    }
+    // ALLOC-FREE-END
+    (stats, delta_stats)
+}
+
+/// `L`-wide chunk body: `L` paths advance per loop iteration, normals
+/// drawn in `(group, lane)` order, terminal levels computed with fused
+/// `mul_add` (so lane prices are a distinct — equally valid — sample
+/// from the scalar kernel even where the draw order coincides). The
+/// remainder `c.len() % L` paths run scalar-style, continuing the same
+/// chunk stream.
+fn vanilla_chunk_lanes<const L: usize>(
+    m: &BlackScholes,
+    option: &Vanilla,
+    cfg: &McConfig,
+    t: f64,
+    df: f64,
+    sign: f64,
+    c: &Chunk,
+) -> (RunningStats, RunningStats) {
+    let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+    let mut gen = NormalGen::new();
+    let mut stats = RunningStats::new();
+    let mut delta_stats = RunningStats::new();
+    let drift = F64s::<L>::splat(m.log_drift() * t);
+    let volt = F64s::<L>::splat(m.sigma * t.sqrt());
+    let spot = F64s::<L>::splat(m.spot);
+    let groups = c.len() / L;
+    // ALLOC-FREE-BEGIN: per-group loop must not allocate (gated by ci.sh).
+    for _ in 0..groups {
+        let z = F64s::<L>::from_fn(|_| gen.sample(&mut rng));
+        let st = z.mul_add(volt, drift).exp() * spot;
+        if cfg.antithetic {
+            let st2 = (-z).mul_add(volt, drift).exp() * spot;
+            for l in 0..L {
+                let (pay, dlt) = payoff_delta(st.0[l], option.strike, sign, m.spot);
+                let (pay2, dlt2) = payoff_delta(st2.0[l], option.strike, sign, m.spot);
+                stats.push(df * 0.5 * (pay + pay2));
+                delta_stats.push(df * 0.5 * (dlt + dlt2));
+            }
+        } else {
+            for l in 0..L {
+                let (pay, dlt) = payoff_delta(st.0[l], option.strike, sign, m.spot);
+                stats.push(df * pay);
+                delta_stats.push(df * dlt);
+            }
+        }
+    }
+    // Tail: remainder paths continue the same chunk stream scalar-style.
+    for _ in c.start + groups * L..c.end {
+        let z = gen.sample(&mut rng);
+        let (pay, dlt) = vanilla_sample(m, option, t, z, sign);
+        if cfg.antithetic {
+            let (pay2, dlt2) = vanilla_sample(m, option, t, -z, sign);
+            stats.push(df * 0.5 * (pay + pay2));
+            delta_stats.push(df * 0.5 * (dlt + dlt2));
+        } else {
+            stats.push(df * pay);
+            delta_stats.push(df * dlt);
+        }
+    }
+    // ALLOC-FREE-END
+    (stats, delta_stats)
+}
+
 #[inline]
 fn vanilla_sample(m: &BlackScholes, option: &Vanilla, t: f64, z: f64, sign: f64) -> (f64, f64) {
-    let st = m.terminal(t, z);
-    let pay = (sign * (st - option.strike)).max(0.0);
+    payoff_delta(m.terminal(t, z), option.strike, sign, m.spot)
+}
+
+#[inline]
+fn payoff_delta(st: f64, strike: f64, sign: f64, spot: f64) -> (f64, f64) {
+    let pay = (sign * (st - strike)).max(0.0);
     // Pathwise delta: ∂payoff/∂S₀ = 1{exercised} · sign · S_T/S₀.
-    let dlt = if pay > 0.0 { sign * st / m.spot } else { 0.0 };
+    let dlt = if pay > 0.0 { sign * st / spot } else { 0.0 };
     (pay, dlt)
 }
 
@@ -249,28 +332,11 @@ pub fn mc_basket_exec(
     assert_european(option.exercise);
     let t = option.maturity;
     let df = m.discount(t);
-    let parts = pol.run(cfg.paths, |c| {
-        let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
-        let mut corr = m.correlator();
-        let mut z = vec![0.0; m.dim];
-        let mut s = vec![0.0; m.dim];
-        let mut stats = RunningStats::new();
-        for _ in c.start..c.end {
-            corr.sample(&mut rng, &mut z);
-            m.terminal(t, &z, &mut s);
-            let pay = option.payoff(&s);
-            if cfg.antithetic {
-                for zi in z.iter_mut() {
-                    *zi = -*zi;
-                }
-                m.terminal(t, &z, &mut s);
-                stats.push(df * 0.5 * (pay + option.payoff(&s)));
-            } else {
-                stats.push(df * pay);
-            }
-        }
-        stats
-    });
+    let parts = match pol.lane_width() {
+        4 => pol.run_ws(cfg.paths, |c, ws| basket_chunk_lanes::<4>(m, option, cfg, t, df, c, ws)),
+        8 => pol.run_ws(cfg.paths, |c, ws| basket_chunk_lanes::<8>(m, option, cfg, t, df, c, ws)),
+        _ => pol.run_ws(cfg.paths, |c, ws| basket_chunk_scalar(m, option, cfg, t, df, c, ws)),
+    };
     let mut stats = RunningStats::new();
     for p in &parts {
         stats.merge(p);
@@ -280,6 +346,122 @@ pub fn mc_basket_exec(
         std_error: stats.std_error(),
         delta: None,
     }
+}
+
+/// Scalar (lanes = 1) chunk body. The per-chunk `z`/`s` scratch now
+/// comes from the per-worker [`PathWorkspace`] pool instead of fresh
+/// `vec!`s — `take` zero-fills, so the numbers are unchanged and
+/// steady-state pricing stops allocating.
+fn basket_chunk_scalar(
+    m: &MultiBlackScholes,
+    option: &BasketOption,
+    cfg: &McConfig,
+    t: f64,
+    df: f64,
+    c: &Chunk,
+    ws: &mut PathWorkspace,
+) -> RunningStats {
+    let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+    let mut corr = m.correlator();
+    let mut z = ws.take(m.dim);
+    let mut s = ws.take(m.dim);
+    let mut stats = RunningStats::new();
+    // ALLOC-FREE-BEGIN: per-path loop must not allocate (gated by ci.sh).
+    for _ in c.start..c.end {
+        corr.sample(&mut rng, &mut z);
+        m.terminal(t, &z, &mut s);
+        let pay = option.payoff(&s);
+        if cfg.antithetic {
+            for zi in z.iter_mut() {
+                *zi = -*zi;
+            }
+            m.terminal(t, &z, &mut s);
+            stats.push(df * 0.5 * (pay + option.payoff(&s)));
+        } else {
+            stats.push(df * pay);
+        }
+    }
+    // ALLOC-FREE-END
+    ws.put(s);
+    ws.put(z);
+    stats
+}
+
+/// `L`-wide chunk body: lanes hold `L` paths' correlated draws and
+/// terminal levels in lane-major scratch (`buf[l*dim..][..dim]` is lane
+/// `l`). Correlated vectors are drawn per lane in lane order — the same
+/// consumption order as `L` consecutive scalar paths — and the terminal
+/// map vectorises across lanes per asset with fused `mul_add`.
+fn basket_chunk_lanes<const L: usize>(
+    m: &MultiBlackScholes,
+    option: &BasketOption,
+    cfg: &McConfig,
+    t: f64,
+    df: f64,
+    c: &Chunk,
+    ws: &mut PathWorkspace,
+) -> RunningStats {
+    let dim = m.dim;
+    let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+    let mut corr = m.correlator();
+    let mut zbuf = ws.take(L * dim);
+    let mut sbuf = ws.take(L * dim);
+    let mut s2buf = ws.take(L * dim);
+    let mut stats = RunningStats::new();
+    let drift = F64s::<L>::splat(m.log_drift() * t);
+    let volt = F64s::<L>::splat(m.sigma * t.sqrt());
+    let spot = F64s::<L>::splat(m.spot);
+    let groups = c.len() / L;
+    // ALLOC-FREE-BEGIN: per-group loop must not allocate (gated by ci.sh).
+    for _ in 0..groups {
+        for l in 0..L {
+            corr.sample(&mut rng, &mut zbuf[l * dim..(l + 1) * dim]);
+        }
+        for i in 0..dim {
+            let z = F64s::<L>::from_fn(|l| zbuf[l * dim + i]);
+            let st = z.mul_add(volt, drift).exp() * spot;
+            for l in 0..L {
+                sbuf[l * dim + i] = st.0[l];
+            }
+            if cfg.antithetic {
+                let st2 = (-z).mul_add(volt, drift).exp() * spot;
+                for l in 0..L {
+                    s2buf[l * dim + i] = st2.0[l];
+                }
+            }
+        }
+        for l in 0..L {
+            let pay = option.payoff(&sbuf[l * dim..(l + 1) * dim]);
+            if cfg.antithetic {
+                let pay2 = option.payoff(&s2buf[l * dim..(l + 1) * dim]);
+                stats.push(df * 0.5 * (pay + pay2));
+            } else {
+                stats.push(df * pay);
+            }
+        }
+    }
+    // Tail: remainder paths continue the same chunk stream scalar-style.
+    for _ in c.start + groups * L..c.end {
+        let z = &mut zbuf[..dim];
+        let s = &mut sbuf[..dim];
+        corr.sample(&mut rng, z);
+        m.terminal(t, z, s);
+        let pay = option.payoff(s);
+        if cfg.antithetic {
+            for zi in z.iter_mut() {
+                *zi = -*zi;
+            }
+            m.terminal(t, z, s);
+            stats.push(df * 0.5 * (pay + option.payoff(s)));
+        } else {
+            stats.push(df * pay);
+        }
+    }
+    // ALLOC-FREE-END
+    ws.put(s2buf);
+    ws.put(sbuf);
+    ws.put(zbuf);
+    stats
 }
 
 /// Halton-sequence QMC variant of [`mc_basket`] for moderate dimensions
@@ -357,26 +539,11 @@ pub fn mc_local_vol_exec(
     let t = option.maturity;
     let df = m.discount(t);
     let dt = t / cfg.time_steps as f64;
-    let parts = pol.run(cfg.paths, |c| {
-        let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
-        let mut gen = NormalGen::new();
-        let mut zbuf = vec![0.0; cfg.time_steps];
-        let mut stats = RunningStats::new();
-        for _ in c.start..c.end {
-            gen.fill(&mut rng, &mut zbuf);
-            let pay = local_vol_path(m, option, dt, &zbuf);
-            if cfg.antithetic {
-                for z in zbuf.iter_mut() {
-                    *z = -*z;
-                }
-                let pay2 = local_vol_path(m, option, dt, &zbuf);
-                stats.push(df * 0.5 * (pay + pay2));
-            } else {
-                stats.push(df * pay);
-            }
-        }
-        stats
-    });
+    let parts = match pol.lane_width() {
+        4 => pol.run_ws(cfg.paths, |c, ws| local_vol_chunk_lanes::<4>(m, option, cfg, df, dt, c, ws)),
+        8 => pol.run_ws(cfg.paths, |c, ws| local_vol_chunk_lanes::<8>(m, option, cfg, df, dt, c, ws)),
+        _ => pol.run_ws(cfg.paths, |c, ws| local_vol_chunk_scalar(m, option, cfg, df, dt, c, ws)),
+    };
     let mut stats = RunningStats::new();
     for p in &parts {
         stats.merge(p);
@@ -386,6 +553,129 @@ pub fn mc_local_vol_exec(
         std_error: stats.std_error(),
         delta: None,
     }
+}
+
+/// Scalar (lanes = 1) chunk body; `zbuf` comes from the per-worker
+/// [`PathWorkspace`] pool (zero-filled, numerically identical to the
+/// old `vec!`).
+fn local_vol_chunk_scalar(
+    m: &LocalVol,
+    option: &Vanilla,
+    cfg: &McConfig,
+    df: f64,
+    dt: f64,
+    c: &Chunk,
+    ws: &mut PathWorkspace,
+) -> RunningStats {
+    let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+    let mut gen = NormalGen::new();
+    let mut zbuf = ws.take(cfg.time_steps);
+    let mut stats = RunningStats::new();
+    // ALLOC-FREE-BEGIN: per-path loop must not allocate (gated by ci.sh).
+    for _ in c.start..c.end {
+        gen.fill(&mut rng, &mut zbuf);
+        let pay = local_vol_path(m, option, dt, &zbuf);
+        if cfg.antithetic {
+            for z in zbuf.iter_mut() {
+                *z = -*z;
+            }
+            let pay2 = local_vol_path(m, option, dt, &zbuf);
+            stats.push(df * 0.5 * (pay + pay2));
+        } else {
+            stats.push(df * pay);
+        }
+    }
+    // ALLOC-FREE-END
+    ws.put(zbuf);
+    stats
+}
+
+/// `L`-wide chunk body: `L` Euler paths advance in lockstep, one normal
+/// group per time step, so the draw order is `(group, step, lane)` —
+/// distinct from the scalar per-path `fill`. The time-dependent term
+/// factor of the vol surface is scalar per step (shared by all lanes);
+/// the spot-dependent skew is per-lane `tanh`.
+fn local_vol_chunk_lanes<const L: usize>(
+    m: &LocalVol,
+    option: &Vanilla,
+    cfg: &McConfig,
+    df: f64,
+    dt: f64,
+    c: &Chunk,
+    ws: &mut PathWorkspace,
+) -> RunningStats {
+    let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+    let mut gen = NormalGen::new();
+    let mut zbuf = ws.take(cfg.time_steps);
+    let mut stats = RunningStats::new();
+    let spot = F64s::<L>::splat(m.spot);
+    let sqdt = dt.sqrt();
+    let groups = c.len() / L;
+    // ALLOC-FREE-BEGIN: per-group loop must not allocate (gated by ci.sh).
+    for _ in 0..groups {
+        let mut s = spot;
+        let mut s2 = spot;
+        let mut tt = 0.0;
+        for _ in 0..cfg.time_steps {
+            let term = 1.0 + m.term_amp * (-tt / m.term_tau).exp();
+            let z = F64s::<L>::from_fn(|_| gen.sample(&mut rng));
+            s = lv_step_lanes(m, term, dt, sqdt, s, z);
+            if cfg.antithetic {
+                s2 = lv_step_lanes(m, term, dt, sqdt, s2, -z);
+            }
+            tt += dt;
+        }
+        for l in 0..L {
+            let pay = option.payoff(s.0[l]);
+            if cfg.antithetic {
+                stats.push(df * 0.5 * (pay + option.payoff(s2.0[l])));
+            } else {
+                stats.push(df * pay);
+            }
+        }
+    }
+    // Tail: remainder paths continue the same chunk stream scalar-style.
+    for _ in c.start + groups * L..c.end {
+        gen.fill(&mut rng, &mut zbuf);
+        let pay = local_vol_path(m, option, dt, &zbuf);
+        if cfg.antithetic {
+            for z in zbuf.iter_mut() {
+                *z = -*z;
+            }
+            let pay2 = local_vol_path(m, option, dt, &zbuf);
+            stats.push(df * 0.5 * (pay + pay2));
+        } else {
+            stats.push(df * pay);
+        }
+    }
+    // ALLOC-FREE-END
+    ws.put(zbuf);
+    stats
+}
+
+/// One lane-wide log-Euler step of the local-vol model: `term` is the
+/// (scalar) time factor of the surface, the skew factor is per-lane.
+#[inline]
+fn lv_step_lanes<const L: usize>(
+    m: &LocalVol,
+    term: f64,
+    dt: f64,
+    sqdt: f64,
+    s: F64s<L>,
+    z: F64s<L>,
+) -> F64s<L> {
+    let inv_w = 1.0 / (m.skew_width * m.spot);
+    let arg = (F64s::<L>::splat(m.spot) - s) * F64s::splat(inv_w);
+    let base = m.sigma0 * term;
+    let sig = arg
+        .map(f64::tanh)
+        .mul_add(F64s::splat(base * m.skew_amp), F64s::splat(base));
+    let drift = (sig * sig).mul_add(
+        F64s::splat(-0.5 * dt),
+        F64s::splat((m.rate - m.dividend) * dt),
+    );
+    let expo = (sig * z).mul_add(F64s::splat(sqdt), drift);
+    s * expo.exp()
 }
 
 #[inline]
@@ -449,31 +739,11 @@ pub fn mc_heston_exec(
     let t = option.maturity;
     let df = m.discount(t);
     let dt = t / cfg.time_steps as f64;
-    let parts = pol.run(cfg.paths, |c| {
-        let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
-        let mut gen = NormalGen::new();
-        let mut z1 = vec![0.0; cfg.time_steps];
-        let mut z2 = vec![0.0; cfg.time_steps];
-        let mut stats = RunningStats::new();
-        for _ in c.start..c.end {
-            gen.fill(&mut rng, &mut z1);
-            gen.fill(&mut rng, &mut z2);
-            let pay = heston_path(m, option, dt, &z1, &z2);
-            if cfg.antithetic {
-                for z in z1.iter_mut() {
-                    *z = -*z;
-                }
-                for z in z2.iter_mut() {
-                    *z = -*z;
-                }
-                let pay2 = heston_path(m, option, dt, &z1, &z2);
-                stats.push(df * 0.5 * (pay + pay2));
-            } else {
-                stats.push(df * pay);
-            }
-        }
-        stats
-    });
+    let parts = match pol.lane_width() {
+        4 => pol.run_ws(cfg.paths, |c, ws| heston_chunk_lanes::<4>(m, option, cfg, df, dt, c, ws)),
+        8 => pol.run_ws(cfg.paths, |c, ws| heston_chunk_lanes::<8>(m, option, cfg, df, dt, c, ws)),
+        _ => pol.run_ws(cfg.paths, |c, ws| heston_chunk_scalar(m, option, cfg, df, dt, c, ws)),
+    };
     let mut stats = RunningStats::new();
     for p in &parts {
         stats.merge(p);
@@ -483,6 +753,145 @@ pub fn mc_heston_exec(
         std_error: stats.std_error(),
         delta: None,
     }
+}
+
+/// Scalar (lanes = 1) chunk body; `z1`/`z2` come from the per-worker
+/// [`PathWorkspace`] pool.
+fn heston_chunk_scalar(
+    m: &Heston,
+    option: &Vanilla,
+    cfg: &McConfig,
+    df: f64,
+    dt: f64,
+    c: &Chunk,
+    ws: &mut PathWorkspace,
+) -> RunningStats {
+    let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+    let mut gen = NormalGen::new();
+    let mut z1 = ws.take(cfg.time_steps);
+    let mut z2 = ws.take(cfg.time_steps);
+    let mut stats = RunningStats::new();
+    // ALLOC-FREE-BEGIN: per-path loop must not allocate (gated by ci.sh).
+    for _ in c.start..c.end {
+        gen.fill(&mut rng, &mut z1);
+        gen.fill(&mut rng, &mut z2);
+        let pay = heston_path(m, option, dt, &z1, &z2);
+        if cfg.antithetic {
+            for z in z1.iter_mut() {
+                *z = -*z;
+            }
+            for z in z2.iter_mut() {
+                *z = -*z;
+            }
+            let pay2 = heston_path(m, option, dt, &z1, &z2);
+            stats.push(df * 0.5 * (pay + pay2));
+        } else {
+            stats.push(df * pay);
+        }
+    }
+    // ALLOC-FREE-END
+    ws.put(z2);
+    ws.put(z1);
+    stats
+}
+
+/// `L`-wide chunk body: `L` full-truncation Euler paths advance in
+/// lockstep. Per step the spot normals `z1` are drawn for all lanes,
+/// then the variance normals `z2` — so the draw order is
+/// `(group, step, z1 lanes, z2 lanes)`, distinct from the scalar
+/// per-path double `fill`.
+fn heston_chunk_lanes<const L: usize>(
+    m: &Heston,
+    option: &Vanilla,
+    cfg: &McConfig,
+    df: f64,
+    dt: f64,
+    c: &Chunk,
+    ws: &mut PathWorkspace,
+) -> RunningStats {
+    let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, c.index));
+    let mut gen = NormalGen::new();
+    let mut zb1 = ws.take(cfg.time_steps);
+    let mut zb2 = ws.take(cfg.time_steps);
+    let mut stats = RunningStats::new();
+    let spot = F64s::<L>::splat(m.spot);
+    let v0 = F64s::<L>::splat(m.v0);
+    let sqdt = dt.sqrt();
+    let groups = c.len() / L;
+    // ALLOC-FREE-BEGIN: per-group loop must not allocate (gated by ci.sh).
+    for _ in 0..groups {
+        let mut s = spot;
+        let mut v = v0;
+        let mut s2 = spot;
+        let mut v2 = v0;
+        for _ in 0..cfg.time_steps {
+            let z1 = F64s::<L>::from_fn(|_| gen.sample(&mut rng));
+            let z2 = F64s::<L>::from_fn(|_| gen.sample(&mut rng));
+            let (sn, vn) = heston_step_lanes(m, dt, sqdt, s, v, z1, z2);
+            s = sn;
+            v = vn;
+            if cfg.antithetic {
+                let (sn2, vn2) = heston_step_lanes(m, dt, sqdt, s2, v2, -z1, -z2);
+                s2 = sn2;
+                v2 = vn2;
+            }
+        }
+        for l in 0..L {
+            let pay = option.payoff(s.0[l]);
+            if cfg.antithetic {
+                stats.push(df * 0.5 * (pay + option.payoff(s2.0[l])));
+            } else {
+                stats.push(df * pay);
+            }
+        }
+    }
+    // Tail: remainder paths continue the same chunk stream scalar-style.
+    for _ in c.start + groups * L..c.end {
+        gen.fill(&mut rng, &mut zb1);
+        gen.fill(&mut rng, &mut zb2);
+        let pay = heston_path(m, option, dt, &zb1, &zb2);
+        if cfg.antithetic {
+            for z in zb1.iter_mut() {
+                *z = -*z;
+            }
+            for z in zb2.iter_mut() {
+                *z = -*z;
+            }
+            let pay2 = heston_path(m, option, dt, &zb1, &zb2);
+            stats.push(df * 0.5 * (pay + pay2));
+        } else {
+            stats.push(df * pay);
+        }
+    }
+    // ALLOC-FREE-END
+    ws.put(zb2);
+    ws.put(zb1);
+    stats
+}
+
+/// One lane-wide full-truncation Euler step of the `(s, v)` pair
+/// (shared with the LSM Heston path generator).
+#[inline]
+pub(crate) fn heston_step_lanes<const L: usize>(
+    m: &Heston,
+    dt: f64,
+    sqdt: f64,
+    s: F64s<L>,
+    v: F64s<L>,
+    z1: F64s<L>,
+    z2: F64s<L>,
+) -> (F64s<L>, F64s<L>) {
+    let vp = v.max(F64s::splat(0.0));
+    let rho2 = (1.0 - m.rho * m.rho).sqrt();
+    let zv = z2.mul_add(F64s::splat(rho2), z1 * F64s::splat(m.rho));
+    let sqvp = vp.sqrt();
+    let v_next = (F64s::<L>::splat(m.theta) - vp).mul_add(F64s::splat(m.kappa * dt), v)
+        + sqvp * zv * F64s::splat(m.xi * sqdt);
+    let expo = vp.mul_add(
+        F64s::splat(-0.5 * dt),
+        F64s::splat((m.rate - m.dividend) * dt),
+    ) + sqvp * z1 * F64s::splat(sqdt);
+    (s * expo.exp(), v_next)
 }
 
 #[inline]

@@ -9,7 +9,11 @@
 #      cost decomposition (sload prepare strictly cheapest) and exits
 #      nonzero on any violated invariant; the `--warm` store smoke and
 #      the `--threads 8` thread-scaling smoke do the same for the PR 3/4
-#      knobs and commit BENCH_3.json / BENCH_4.json
+#      knobs and commit BENCH_3.json / BENCH_4.json; the
+#      `--threads 8 --lanes 8` SIMD-lane smoke writes BENCH_6.json and
+#      bench_gate fails on any compute-bucket regression against the
+#      committed artifacts; the allocation gate bans hot-loop
+#      allocations inside the kernels' ALLOC-FREE regions
 #   4. full test suite (quiet); a failing run is retried ONCE so that
 #      machine-load flakes in the timing-sensitive live-farm tests do not
 #      mask real regressions — deterministic failures (the chaos suite is
@@ -120,6 +124,26 @@ if ! grep -q '"parallelism"' BENCH_4.json; then
     exit 1
 fi
 
+# SIMD-lane smoke: the 8-thread 8-lane breakdown self-checks that the
+# compute phase is at least 2x below the threads-only row while
+# prepare/wire/wait are unchanged and LaneBatch marks flow (the checks
+# live in bench::breakdown::check_lane_scaling and fail the process).
+# The JSON line is the committed PR 6 artifact, and bench_gate compares
+# its buckets against the committed BENCH_4.json / BENCH_3.json so any
+# compute-model regression fails the gate.
+echo "==> cargo run -p bench --bin table2 --release -q -- --breakdown --threads 8 --lanes 8 --jobs 2000 --cpus 4 (lane smoke -> BENCH_6.json)"
+lane_out=$(cargo run -p bench --bin table2 --release -q -- --breakdown --threads 8 --lanes 8 --jobs 2000 --cpus 4) || exit 1
+if ! printf '%s\n' "$lane_out" | grep -q 'simd lanes x8 alloc-free'; then
+    echo "error: lane breakdown reported no 'simd lanes' line"
+    exit 1
+fi
+printf '%s\n' "$lane_out" | sed -n 's/^JSON: //p' > BENCH_6.json
+if ! grep -q '"lanes"' BENCH_6.json; then
+    echo "error: BENCH_6.json missing lanes column"
+    exit 1
+fi
+run cargo run -p bench --bin bench_gate --release -q -- BENCH_6.json BENCH_4.json BENCH_3.json || exit 1
+
 # Dispatch-order smoke: the LPT breakdown self-checks that longest-cost-
 # first dispatch leaves per-job wait seconds untouched relative to FIFO
 # and never degrades the makespan beyond noise (the checks live in
@@ -144,6 +168,30 @@ if [ -n "$spawns" ]; then
     echo "$spawns"
     exit 1
 fi
+
+echo "==> allocation gate: no hot-loop allocations in the lane kernels"
+# The steady-state pricing loops are allocation-free by contract: every
+# per-path buffer comes from the pooled PathWorkspace threaded through
+# exec. Each kernel file brackets its per-path/per-group loops with
+# ALLOC-FREE-BEGIN/END markers; any allocating call inside a bracket
+# fails the gate (per-chunk setup and the chunk's return vec sit outside
+# the markers on purpose). Comment lines are ignored.
+for f in crates/pricing/src/methods/montecarlo.rs \
+         crates/pricing/src/methods/lsm.rs \
+         crates/pricing/src/methods/bond.rs; do
+    if ! grep -q 'ALLOC-FREE-BEGIN' "$f"; then
+        echo "error: $f lost its ALLOC-FREE markers (the allocation gate needs them)"
+        exit 1
+    fi
+    allocs=$(awk '/ALLOC-FREE-END/{inr=0} inr{print FILENAME":"FNR": "$0} /ALLOC-FREE-BEGIN/{inr=1}' "$f" \
+        | grep -E 'Vec::new|vec!|\.to_vec\(|Box::new' \
+        | grep -v -E '^[^:]*:[0-9]+:\s*(//|//!|///)')
+    if [ -n "$allocs" ]; then
+        echo "error: allocation inside an ALLOC-FREE region of $f:"
+        echo "$allocs"
+        exit 1
+    fi
+done
 
 echo "==> cargo test -q --workspace $*"
 if ! cargo test -q --workspace "$@"; then

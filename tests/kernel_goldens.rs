@@ -1,0 +1,195 @@
+//! Pinned golden prices for every chunked MC/LSM/Vasicek kernel.
+//!
+//! Each golden is the exact bit pattern (`f64::to_bits`) of the price a
+//! kernel produces for a fixed `(model, option, config, chunk, lanes)`
+//! tuple. The worker count is deliberately NOT part of the tuple — the
+//! determinism contract says it can never change a bit — so every golden
+//! is asserted at 1, 2 and 8 workers.
+//!
+//! ## Re-pin policy
+//!
+//! These constants may be rewritten ONLY when a PR intentionally changes
+//! the sampling scheme (a different RNG-stream layout, a different draw
+//! order), and at most once per such change. The lane goldens below were
+//! pinned when the lane-ordered draw scheme was introduced: with
+//! `lanes = L > 1` the normals of a chunk are consumed in
+//! `(group, step, lane)` order instead of `(path, step)` order, which is
+//! a different — equally valid — deterministic sample, so each supported
+//! lane count owns its own golden. `lanes = 1` MUST keep matching the
+//! pre-lane goldens forever: the scalar path is the pre-PR kernel,
+//! byte for byte. A diff to any constant in this file is loud on
+//! purpose; regenerate with
+//!
+//! ```text
+//! cargo test -q --test kernel_goldens -- --ignored --nocapture regen
+//! ```
+//!
+//! and justify the re-pin in the PR description.
+
+use exec::ExecPolicy;
+use pricing::methods::bond::mc_zcb_price_exec;
+use pricing::methods::lsm::{
+    lsm_basket_exec, lsm_heston_exec, lsm_vanilla_bs_exec, LsmConfig,
+};
+use pricing::methods::montecarlo::{
+    mc_basket_exec, mc_heston_exec, mc_local_vol_exec, mc_vanilla_bs_exec, McConfig,
+};
+use pricing::models::{BlackScholes, Heston, LocalVol, MultiBlackScholes, Vasicek};
+use pricing::options::{BasketOption, Vanilla};
+
+/// Kernel names in table order.
+const KERNELS: [&str; 8] = [
+    "mc_vanilla_bs_exec",
+    "mc_basket_exec",
+    "mc_local_vol_exec",
+    "mc_heston_exec",
+    "mc_zcb_price_exec",
+    "lsm_vanilla_bs_exec",
+    "lsm_basket_exec",
+    "lsm_heston_exec",
+];
+
+fn mc_cfg(paths: usize, time_steps: usize) -> McConfig {
+    McConfig {
+        paths,
+        time_steps,
+        antithetic: true,
+        seed: 42,
+    }
+}
+
+/// Price every kernel at the given policy, in [`KERNELS`] order.
+fn prices(pol: &ExecPolicy) -> [f64; 8] {
+    let bs = BlackScholes::new(100.0, 0.2, 0.05, 0.01);
+    let call = Vanilla::european_call(100.0, 1.0);
+    let mbs = MultiBlackScholes::new(4, 100.0, 0.2, 0.3, 0.05, 0.0);
+    let bput = BasketOption::european_put(100.0, 1.0);
+    let lv = LocalVol::standard(100.0, 0.2, 0.05, 0.0);
+    let hes = Heston::standard(100.0, 0.05);
+    let vas = Vasicek::standard();
+    let lsm_bs = BlackScholes::new(100.0, 0.3, 0.05, 0.0);
+    let aput = Vanilla::american_put(110.0, 1.0);
+    let lsm_mbs = MultiBlackScholes::new(3, 100.0, 0.2, 0.3, 0.05, 0.0);
+    let abput = BasketOption::american_put(100.0, 1.0);
+    let lsm_cfg = LsmConfig {
+        paths: 2_000,
+        exercise_dates: 10,
+        ..LsmConfig::default()
+    };
+    [
+        mc_vanilla_bs_exec(&bs, &call, &mc_cfg(4_000, 1), pol).price,
+        mc_basket_exec(&mbs, &bput, &mc_cfg(2_000, 1), pol).price,
+        mc_local_vol_exec(&lv, &call, &mc_cfg(2_000, 16), pol).price,
+        mc_heston_exec(&hes, &call, &mc_cfg(2_000, 16), pol).price,
+        mc_zcb_price_exec(&vas, 2.0, &mc_cfg(2_000, 16), pol).price,
+        lsm_vanilla_bs_exec(&lsm_bs, &aput, &lsm_cfg, pol).price,
+        lsm_basket_exec(&lsm_mbs, &abput, &lsm_cfg, pol).price,
+        lsm_heston_exec(&hes, &Vanilla::american_put(100.0, 1.0), &lsm_cfg, pol).price,
+    ]
+}
+
+/// Golden bit patterns per lane count, in [`KERNELS`] order.
+///
+/// `GOLDEN_LANES1` is the pre-lane capture (the scalar kernels, byte for
+/// byte). The lane tables were pinned when the lane kernels landed; note
+/// the single-step kernels (`mc_vanilla_bs_exec`, `mc_basket_exec`)
+/// consume draws in the same order at any lane count, so their lane
+/// prices differ from scalar only by `mul_add` fusion — per-sample ulps
+/// that happen to round to the same mean at these fixture sizes. The
+/// path-dependent kernels consume draws in `(group, step, lane)` order
+/// and own genuinely different goldens per lane count.
+const GOLDEN_LANES1: [u64; 8] = [
+    0x40233dec53a529b8, // mc_vanilla_bs_exec = 9.620943654929633
+    0x4009f128eb7b315d, // mc_basket_exec = 3.242753829667136
+    0x402694a100accd94, // mc_local_vol_exec = 11.290290852636453
+    0x4024fb373666ef58, // mc_heston_exec = 10.490655613007831
+    0x3fecf4c4add101f8, // mc_zcb_price_exec = 0.9048789400913497
+    0x402eb4937f175afa, // lsm_vanilla_bs_exec = 15.35268780860996
+    0x400fd65c54769848, // lsm_basket_exec = 3.9796682928745533
+    0x4017a07d07ddda20, // lsm_heston_exec = 5.90672695437982
+];
+
+const GOLDEN_LANES4: [u64; 8] = [
+    0x40233dec53a529b8, // mc_vanilla_bs_exec = 9.620943654929633
+    0x4009f128eb7b315d, // mc_basket_exec = 3.242753829667136
+    0x4026b778004aff32, // mc_local_vol_exec = 11.358337411074533
+    0x4024af6a7e118443, // mc_heston_exec = 10.34260934795214
+    0x3fecf4c7f47c16a9, // mc_zcb_price_exec = 0.9048805022327616
+    0x402f79d482faa3d7, // lsm_vanilla_bs_exec = 15.737949460120872
+    0x400f8e908573b883, // lsm_basket_exec = 3.9446115899982614
+    0x40171440cf472a25, // lsm_heston_exec = 5.769778479307694
+];
+
+const GOLDEN_LANES8: [u64; 8] = [
+    0x40233dec53a529b8, // mc_vanilla_bs_exec = 9.620943654929633
+    0x4009f128eb7b315d, // mc_basket_exec = 3.242753829667136
+    0x402666e8ae35edfe, // mc_local_vol_exec = 11.200993961413584
+    0x4024770da4efffd3, // mc_heston_exec = 10.232525972649375
+    0x3fecf4c187f9b93e, // mc_zcb_price_exec = 0.9048774390956067
+    0x402f3e2c215acbbc, // lsm_vanilla_bs_exec = 15.62143043740604
+    0x40102ff2ceb3869e, // lsm_basket_exec = 4.046824674327267
+    0x401799ae0e0828df, // lsm_heston_exec = 5.90007802891543
+];
+
+fn golden(lanes: usize) -> &'static [u64; 8] {
+    match lanes {
+        1 => &GOLDEN_LANES1,
+        4 => &GOLDEN_LANES4,
+        8 => &GOLDEN_LANES8,
+        other => panic!("no golden table for lane width {other}"),
+    }
+}
+
+/// One-time regeneration helper (see the re-pin policy above).
+#[test]
+#[ignore]
+fn regen() {
+    for lanes in [1usize, 4, 8] {
+        let p = prices(&ExecPolicy::new(1).lanes(lanes));
+        println!("// lanes = {lanes}");
+        for (name, v) in KERNELS.iter().zip(p) {
+            println!("    0x{:016x}, // {name} = {v}", v.to_bits());
+        }
+    }
+}
+
+#[test]
+fn goldens_hold_at_every_worker_count_and_lane_count() {
+    for lanes in [1usize, 4, 8] {
+        let want = golden(lanes);
+        for w in [1usize, 2, 8] {
+            let p = prices(&ExecPolicy::new(w).lanes(lanes));
+            for ((name, v), want) in KERNELS.iter().zip(p).zip(want) {
+                assert_eq!(
+                    v.to_bits(),
+                    *want,
+                    "{name}: lanes={lanes} workers={w} drifted: got {v} ({:#018x})",
+                    v.to_bits()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn path_dependent_lane_goldens_are_distinct_per_lane_count() {
+    // Kernels whose draw order changes with the lane width (everything
+    // past the two single-step samplers) must own distinct goldens.
+    for k in 2..8 {
+        assert_ne!(
+            GOLDEN_LANES1[k], GOLDEN_LANES4[k],
+            "{}: lanes=4 golden equals scalar",
+            KERNELS[k]
+        );
+        assert_ne!(
+            GOLDEN_LANES1[k], GOLDEN_LANES8[k],
+            "{}: lanes=8 golden equals scalar",
+            KERNELS[k]
+        );
+        assert_ne!(
+            GOLDEN_LANES4[k], GOLDEN_LANES8[k],
+            "{}: lanes=4 and lanes=8 goldens coincide",
+            KERNELS[k]
+        );
+    }
+}
