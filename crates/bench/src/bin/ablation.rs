@@ -148,7 +148,11 @@ fn hierarchy_ablation(cfg: &SimConfig) {
             let mut worst: f64 = 0.0;
             for g in 0..groups {
                 let lo = g * chunk;
-                let hi = if g + 1 == groups { jobs.len() } else { lo + chunk };
+                let hi = if g + 1 == groups {
+                    jobs.len()
+                } else {
+                    lo + chunk
+                };
                 let t = simulate_farm(
                     &jobs[lo..hi],
                     per_group.max(1),

@@ -1,12 +1,15 @@
 //! CI perf-regression gate over the committed breakdown artifacts.
 //!
 //! ```text
-//! bench_gate <fresh BENCH_6.json> <committed BENCH_4.json> <committed BENCH_3.json>
+//! bench_gate <fresh BENCH_6.json> <committed BENCH_4.json> <committed BENCH_3.json> \
+//!            [fresh BENCH_7.json]
 //! ```
 //!
 //! `BENCH_6.json` is the freshly written `table2 --breakdown --threads 8
 //! --lanes 8` report; `BENCH_4.json` / `BENCH_3.json` are the committed
-//! baselines from earlier PRs. The gate fails (exit 1) when:
+//! baselines from earlier PRs; the optional `BENCH_7.json` is the fresh
+//! `serve_smoke` artifact for the long-lived service. The gate fails
+//! (exit 1) when:
 //!
 //! - any fresh sequential or `(x8 threads)` compute bucket drifts from
 //!   the committed `BENCH_4.json` bucket by more than 1e-9 — the
@@ -18,7 +21,12 @@
 //!   row's by more than 1e-9 — lane batching must live entirely inside
 //!   the compute phase;
 //! - the committed `BENCH_3.json` sanity anchors are gone (nonzero
-//!   compute, warm rows with a ~perfect cache hit-rate).
+//!   compute, warm rows with a ~perfect cache hit-rate);
+//! - the `BENCH_7.json` service structure is off: request accounting
+//!   that does not balance (`answered != cold + warm`, sheds, failures),
+//!   a warm wave not fully served from the memo, zero computes, or a
+//!   warm p99 above the cold p99 (the one claim memoisation exists to
+//!   buy).
 //!
 //! The two committed files must never cross-compare per-job: they hold
 //! different portfolio sizes (2 000 vs 10 000 jobs), so their drawn
@@ -168,11 +176,78 @@ fn gate(fresh: &str, bench4: &str, bench3: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// Structural checks over the `serve_smoke` artifact (`BENCH_7.json`).
+///
+/// Every check is a counting identity the live session must satisfy by
+/// construction — the single timing assertion (warm p99 at or below
+/// cold p99) is the claim the result memo exists to deliver, with the
+/// whole cold wave's compute time as margin.
+fn gate_serve(json: &str) -> Result<String, String> {
+    let g = |key: &str| field(json, key).map_err(|e| format!("BENCH_7: {e}"));
+    let (cold, warm, per) = (
+        g("cold_count")?,
+        g("warm_count")?,
+        g("problems_per_request")?,
+    );
+    let (answered, failed, shed) = (g("answered")?, g("failed")?, g("shed")?);
+    if answered != cold + warm || failed != 0.0 || shed != 0.0 {
+        return Err(format!(
+            "BENCH_7: request accounting off (answered {answered} of {} waves, \
+             failed {failed}, shed {shed})",
+            cold + warm
+        ));
+    }
+    let requests = g("request_count")?;
+    if requests != answered {
+        return Err(format!(
+            "BENCH_7: breakdown saw {requests} requests but the session answered {answered}"
+        ));
+    }
+    let (memo_hits, computed) = (g("memo_hits")?, g("computed")?);
+    if memo_hits < warm * per {
+        return Err(format!(
+            "BENCH_7: memo hits {memo_hits} below the warm wave's {} problems",
+            warm * per
+        ));
+    }
+    if computed <= 0.0 || computed > cold * per {
+        return Err(format!(
+            "BENCH_7: computed {computed} outside (0, {}] — the cold wave's problem count",
+            cold * per
+        ));
+    }
+    if g("memo_hit_rate")? <= 0.0 {
+        return Err("BENCH_7: memo hit-rate is zero".into());
+    }
+    let (p50, p99) = (g("request_p50_s")?, g("request_p99_s")?);
+    if p50 <= 0.0 || p99 < p50 {
+        return Err(format!(
+            "BENCH_7: degenerate request percentiles (p50 {p50}s, p99 {p99}s)"
+        ));
+    }
+    let (cold_p99, warm_p99) = (g("cold_p99_s")?, g("warm_p99_s")?);
+    if warm_p99 > cold_p99 {
+        return Err(format!(
+            "BENCH_7: warm p99 {warm_p99}s above cold p99 {cold_p99}s"
+        ));
+    }
+    Ok(format!(
+        "serve: {answered} requests balanced, {memo_hits} memo hits, \
+         warm p99 {warm_p99:.6}s <= cold p99 {cold_p99:.6}s\n"
+    ))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [fresh, b4, b3] = args.as_slice() else {
-        eprintln!("usage: bench_gate <BENCH_6.json> <BENCH_4.json> <BENCH_3.json>");
-        exit(2);
+    let (core, b7) = match args.as_slice() {
+        [fresh, b4, b3] => ([fresh, b4, b3], None),
+        [fresh, b4, b3, b7] => ([fresh, b4, b3], Some(b7)),
+        _ => {
+            eprintln!(
+                "usage: bench_gate <BENCH_6.json> <BENCH_4.json> <BENCH_3.json> [BENCH_7.json]"
+            );
+            exit(2);
+        }
     };
     let read = |path: &str| {
         std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -180,7 +255,13 @@ fn main() {
             exit(2);
         })
     };
-    match gate(&read(fresh), &read(b4), &read(b3)) {
+    let serve = b7.map(|p| gate_serve(&read(p)));
+    match gate(&read(core[0]), &read(core[1]), &read(core[2])).and_then(|mut summary| {
+        if let Some(s) = serve {
+            summary.push_str(&s?);
+        }
+        Ok(summary)
+    }) {
         Ok(summary) => {
             print!("bench_gate: PASS\n{summary}");
         }
@@ -304,5 +385,43 @@ mod tests {
         let b3 = bench3().replace("\"cache_hit_rate\":1", "\"cache_hit_rate\":0");
         let err = gate(&bench6(0.0926), &bench4(), &b3).unwrap_err();
         assert!(err.contains("hit-rate"), "{err}");
+    }
+
+    /// A healthy `serve_smoke` artifact in BENCH_7 shape.
+    fn bench7() -> String {
+        "{\"title\":\"Serve session smoke\",\"slaves\":3,\
+         \"cold_count\":6,\"warm_count\":6,\"problems_per_request\":16,\
+         \"cold_p50_s\":0.004,\"cold_p99_s\":0.009,\
+         \"warm_p50_s\":0.0002,\"warm_p99_s\":0.0008,\
+         \"request_count\":12,\"request_p50_s\":0.002,\"request_p99_s\":0.009,\
+         \"memo_hits\":96,\"memo_hit_rate\":0.5,\"shed\":0,\"computed\":96,\
+         \"answered\":12,\"failed\":0}"
+            .into()
+    }
+
+    #[test]
+    fn serve_gate_passes_on_a_balanced_session() {
+        let summary = gate_serve(&bench7()).unwrap();
+        assert!(summary.contains("12 requests balanced"), "{summary}");
+    }
+
+    #[test]
+    fn serve_gate_fails_on_unbalanced_accounting() {
+        let err = gate_serve(&bench7().replace("\"answered\":12", "\"answered\":11")).unwrap_err();
+        assert!(err.contains("accounting off"), "{err}");
+    }
+
+    #[test]
+    fn serve_gate_fails_when_the_warm_wave_missed_the_memo() {
+        let err =
+            gate_serve(&bench7().replace("\"memo_hits\":96", "\"memo_hits\":90")).unwrap_err();
+        assert!(err.contains("memo hits"), "{err}");
+    }
+
+    #[test]
+    fn serve_gate_fails_when_warm_tail_exceeds_cold() {
+        let err = gate_serve(&bench7().replace("\"warm_p99_s\":0.0008", "\"warm_p99_s\":0.02"))
+            .unwrap_err();
+        assert!(err.contains("warm p99"), "{err}");
     }
 }

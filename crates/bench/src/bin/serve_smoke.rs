@@ -1,0 +1,194 @@
+//! Live smoke of the long-lived pricing service (`serve::Session`).
+//!
+//! Drives one resident session through two waves:
+//!
+//! * a **cold** wave of distinct portfolios — every problem computes on
+//!   a slave;
+//! * a **warm** wave resubmitting the same portfolios — every problem
+//!   must come back from the result memo, bit-identical, with zero
+//!   fresh computes.
+//!
+//! The run self-checks its own invariants (all tickets priced, warm
+//! wave fully memoised and bit-identical, nothing shed, request
+//! p50/p99 present in the `obs::Breakdown`, warm p99 no worse than
+//! cold p99) and exits nonzero on any violation. The final `JSON:`
+//! line is captured by `scripts/ci.sh` as the committed `BENCH_7.json`
+//! artifact that `bench_gate` re-validates structurally.
+
+use riskbench::prelude::*;
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cold-wave requests (the warm wave repeats the same ones).
+const REQUESTS: usize = 6;
+/// Problems per request.
+const PROBLEMS: usize = 16;
+/// Worker ranks under the session.
+const SLAVES: usize = 3;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve_smoke: FAIL: {msg}");
+    exit(1);
+}
+
+/// Nearest-rank percentile over unsorted latency samples, in seconds.
+fn percentile(samples: &[Duration], q: f64) -> f64 {
+    let mut s: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+    s.sort_by(f64::total_cmp);
+    s[((s.len() as f64 - 1.0) * q).round() as usize]
+}
+
+/// Submit `chunks` one request at a time, waiting each ticket, so the
+/// recorded latency is a full submission-to-answer round trip.
+fn wave(session: &Session, chunks: &[Vec<PremiaProblem>]) -> Vec<Response> {
+    chunks
+        .iter()
+        .map(|c| {
+            let ticket = session
+                .submit(Request::new(c.clone()))
+                .unwrap_or_else(|e| fail(&format!("submit rejected: {e}")));
+            ticket
+                .wait()
+                .unwrap_or_else(|e| fail(&format!("ticket unanswered: {e}")))
+        })
+        .collect()
+}
+
+fn main() {
+    let rec = Arc::new(Recorder::new(SLAVES + 1));
+    let session = Session::start(
+        ServeConfig::new(SLAVES)
+            .recorder(rec.clone())
+            .job_deadline(Duration::from_millis(500))
+            .poll(Duration::from_millis(5)),
+    )
+    .unwrap_or_else(|e| fail(&format!("session start: {e}")));
+
+    let chunks: Vec<Vec<PremiaProblem>> = toy_portfolio(REQUESTS * PROBLEMS)
+        .chunks(PROBLEMS)
+        .map(|c| c.iter().map(|j| j.problem.clone()).collect())
+        .collect();
+
+    let cold = wave(&session, &chunks);
+    let warm = wave(&session, &chunks);
+
+    for (wave_name, responses) in [("cold", &cold), ("warm", &warm)] {
+        for (i, r) in responses.iter().enumerate() {
+            if !r.all_priced() {
+                fail(&format!(
+                    "{wave_name} request {i} has failures: {:?}",
+                    r.results
+                ));
+            }
+        }
+    }
+    for (i, (c, w)) in cold.iter().zip(&warm).enumerate() {
+        if w.memoised_count() != PROBLEMS {
+            fail(&format!(
+                "warm request {i}: only {}/{PROBLEMS} answers memoised",
+                w.memoised_count()
+            ));
+        }
+        for (j, (a, b)) in c.results.iter().zip(&w.results).enumerate() {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            if a.price.to_bits() != b.price.to_bits()
+                || a.std_error.map(f64::to_bits) != b.std_error.map(f64::to_bits)
+            {
+                fail(&format!(
+                    "warm request {i} problem {j} differs from its cold answer"
+                ));
+            }
+        }
+    }
+
+    let report = session
+        .shutdown()
+        .unwrap_or_else(|e| fail(&format!("session died without a report: {e}")));
+    if report.answered != (2 * REQUESTS) as u64 || report.failed != 0 || report.shed != 0 {
+        fail(&format!(
+            "report counters off: answered {} failed {} shed {}",
+            report.answered, report.failed, report.shed
+        ));
+    }
+    if report.memo_hits < (REQUESTS * PROBLEMS) as u64 {
+        fail(&format!(
+            "memo hits {} below the warm wave's {} problems",
+            report.memo_hits,
+            REQUESTS * PROBLEMS
+        ));
+    }
+    if report.computed == 0 || report.computed > (REQUESTS * PROBLEMS) as u64 {
+        fail(&format!(
+            "computed {} outside (0, cold wave]",
+            report.computed
+        ));
+    }
+
+    let b = Breakdown::from_events(&rec.events());
+    if b.request_count() != (2 * REQUESTS) as u64 {
+        fail(&format!(
+            "breakdown saw {} requests, expected {}",
+            b.request_count(),
+            2 * REQUESTS
+        ));
+    }
+    if b.request_p50_s() <= 0.0 || b.request_p99_s() < b.request_p50_s() {
+        fail(&format!(
+            "request percentiles degenerate: p50 {:.9}s p99 {:.9}s",
+            b.request_p50_s(),
+            b.request_p99_s()
+        ));
+    }
+    if b.memo_hits() < (REQUESTS * PROBLEMS) as u64 {
+        fail(&format!(
+            "breakdown memo hits {} below the warm wave",
+            b.memo_hits()
+        ));
+    }
+
+    let lat = |rs: &[Response]| rs.iter().map(|r| r.latency).collect::<Vec<_>>();
+    let (cold_lat, warm_lat) = (lat(&cold), lat(&warm));
+    let (cold_p50, cold_p99) = (percentile(&cold_lat, 0.50), percentile(&cold_lat, 0.99));
+    let (warm_p50, warm_p99) = (percentile(&warm_lat, 0.50), percentile(&warm_lat, 0.99));
+    // The warm wave never leaves the front loop (zero computes, zero
+    // wire round trips), so its tail must sit at or below the cold tail.
+    if warm_p99 > cold_p99 {
+        fail(&format!(
+            "warm p99 {warm_p99:.6}s above cold p99 {cold_p99:.6}s — the memo bought nothing"
+        ));
+    }
+
+    println!(
+        "serve smoke: {} requests over {SLAVES} slaves, memo hit-rate {:.3}, \
+         request p50 {:.6}s p99 {:.6}s",
+        2 * REQUESTS,
+        b.memo_hit_rate(),
+        b.request_p50_s(),
+        b.request_p99_s()
+    );
+    println!(
+        "  cold p50 {cold_p50:.6}s p99 {cold_p99:.6}s | warm p50 {warm_p50:.6}s p99 {warm_p99:.6}s \
+         | computed {} memoised {}",
+        report.computed, report.memo_hits
+    );
+    println!(
+        "JSON: {{\"title\":\"Serve session smoke\",\"slaves\":{SLAVES},\
+         \"cold_count\":{REQUESTS},\"warm_count\":{REQUESTS},\
+         \"problems_per_request\":{PROBLEMS},\
+         \"cold_p50_s\":{cold_p50},\"cold_p99_s\":{cold_p99},\
+         \"warm_p50_s\":{warm_p50},\"warm_p99_s\":{warm_p99},\
+         \"request_count\":{},\"request_p50_s\":{},\"request_p99_s\":{},\
+         \"memo_hits\":{},\"memo_hit_rate\":{},\"shed\":{},\"computed\":{},\
+         \"answered\":{},\"failed\":{}}}",
+        b.request_count(),
+        b.request_p50_s(),
+        b.request_p99_s(),
+        report.memo_hits,
+        b.memo_hit_rate(),
+        report.shed,
+        report.computed,
+        report.answered,
+        report.failed
+    );
+}

@@ -45,7 +45,10 @@ fn main() {
             .unwrap_or(4);
         println!("{:>8} {:>12} {:>14}", "CPUs", "Time (s)", "Speedup ratio");
         let mut t2 = None;
-        for slaves in [1usize, 2, 3, 4, 6, 8].iter().filter(|&&s| s < cores.max(2)) {
+        for slaves in [1usize, 2, 3, 4, 6, 8]
+            .iter()
+            .filter(|&&s| s < cores.max(2))
+        {
             let report = run(
                 &files,
                 &FarmConfig::new(*slaves, Transmission::SerializedLoad),

@@ -9,9 +9,7 @@
 //! serialized load pays the least problem-acquisition time), and prints
 //! both the fixed-width table and the machine-readable JSON form.
 
-use clustersim::{
-    simulate_farm_sched, DispatchPolicy, SimCaches, SimConfig, SimJob, SimSchedOpts,
-};
+use clustersim::{simulate_farm_sched, DispatchPolicy, SimCaches, SimConfig, SimJob, SimSchedOpts};
 use farm::Transmission;
 use obs::{Breakdown, BreakdownReport, EventKind, Recorder, StrategyBreakdown};
 
@@ -222,9 +220,12 @@ pub fn breakdown_report(
                 dropped: rec.dropped(),
             }
         };
-        report
-            .runs
-            .push(one_run(strategy.label().to_string(), &cfg, &mut caches, &fifo));
+        report.runs.push(one_run(
+            strategy.label().to_string(),
+            &cfg,
+            &mut caches,
+            &fifo,
+        ));
         if opts.warm {
             report.runs.push(one_run(
                 format!("{} (warm)", strategy.label()),
@@ -639,8 +640,7 @@ mod tests {
                 ..BreakdownOpts::default()
             }
         );
-        let o =
-            BreakdownOpts::parse(["--breakdown", "--jobs", "500", "--cpus", "4"], &[]).unwrap();
+        let o = BreakdownOpts::parse(["--breakdown", "--jobs", "500", "--cpus", "4"], &[]).unwrap();
         assert!(o.enabled);
         assert_eq!(o.jobs, Some(500));
         assert_eq!(o.cpus, 4);
@@ -648,7 +648,11 @@ mod tests {
         assert!(BreakdownOpts::parse(["--jobs"], &[]).is_err());
         assert!(BreakdownOpts::parse(["--jobs", "0"], &[]).is_err());
         assert!(BreakdownOpts::parse(["--cpus", "1"], &[]).is_err());
-        assert!(!BreakdownOpts::parse(Vec::<String>::new(), &[]).unwrap().enabled);
+        assert!(
+            !BreakdownOpts::parse(Vec::<String>::new(), &[])
+                .unwrap()
+                .enabled
+        );
         // Host-binary flags pass through without tripping the parser.
         let o = BreakdownOpts::parse(["--live", "--breakdown"], &["--live"]).unwrap();
         assert!(o.enabled);
@@ -696,9 +700,10 @@ mod tests {
     #[test]
     fn report_fails_when_a_strategy_is_missing() {
         let jobs = clustersim::table2_sim_jobs(50);
-        let mut report =
-            breakdown_report("test", &jobs, &opts(2), &SimConfig::default()).unwrap();
-        report.runs.retain(|r| r.strategy != Transmission::SerializedLoad.label());
+        let mut report = breakdown_report("test", &jobs, &opts(2), &SimConfig::default()).unwrap();
+        report
+            .runs
+            .retain(|r| r.strategy != Transmission::SerializedLoad.label());
         assert!(check_sload_prepare_cheapest(&report).is_err());
     }
 
@@ -758,7 +763,10 @@ mod tests {
         let o = BreakdownOpts::parse(["--breakdown", "--threads", "8"], &[]).unwrap();
         assert!(o.enabled);
         assert_eq!(o.threads, 8);
-        assert_eq!(BreakdownOpts::parse(["--breakdown"], &[]).unwrap().threads, 1);
+        assert_eq!(
+            BreakdownOpts::parse(["--breakdown"], &[]).unwrap().threads,
+            1
+        );
         assert!(BreakdownOpts::parse(["--threads", "0"], &[]).is_err());
         assert!(BreakdownOpts::parse(["--threads"], &[]).is_err());
     }
@@ -878,7 +886,11 @@ mod tests {
         assert!(o.enabled && o.order_lpt);
         let o = BreakdownOpts::parse(["--breakdown", "--order", "fifo"], &[]).unwrap();
         assert!(!o.order_lpt);
-        assert!(!BreakdownOpts::parse(["--breakdown"], &[]).unwrap().order_lpt);
+        assert!(
+            !BreakdownOpts::parse(["--breakdown"], &[])
+                .unwrap()
+                .order_lpt
+        );
         assert!(BreakdownOpts::parse(["--order"], &[]).is_err());
         assert!(BreakdownOpts::parse(["--order", "sjf"], &[]).is_err());
     }

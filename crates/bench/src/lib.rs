@@ -19,20 +19,76 @@ pub struct PaperRow {
 
 /// Paper Table I (non-regression tests, sload transmission).
 pub const PAPER_TABLE1: [PaperRow; 14] = [
-    PaperRow { cpus: 2, time: Some(838.004), ratio: Some(1.0) },
-    PaperRow { cpus: 4, time: Some(285.356), ratio: Some(0.9789) },
-    PaperRow { cpus: 6, time: Some(172.146), ratio: Some(0.973597) },
-    PaperRow { cpus: 8, time: Some(124.78), ratio: Some(0.959407) },
-    PaperRow { cpus: 10, time: Some(97.1792), ratio: Some(0.958142) },
-    PaperRow { cpus: 16, time: Some(67.9677), ratio: Some(0.821963) },
-    PaperRow { cpus: 32, time: Some(45.6611), ratio: Some(0.592023) },
-    PaperRow { cpus: 64, time: Some(34.2828), ratio: Some(0.387998) },
-    PaperRow { cpus: 96, time: Some(31.4682), ratio: Some(0.280317) },
-    PaperRow { cpus: 128, time: Some(30.5574), ratio: Some(0.215937) },
-    PaperRow { cpus: 160, time: Some(16.1006), ratio: Some(0.327347) },
-    PaperRow { cpus: 192, time: Some(30.7013), ratio: Some(0.142908) },
-    PaperRow { cpus: 224, time: Some(30.5024), ratio: Some(0.123199) },
-    PaperRow { cpus: 256, time: Some(31.3172), ratio: Some(0.104935) },
+    PaperRow {
+        cpus: 2,
+        time: Some(838.004),
+        ratio: Some(1.0),
+    },
+    PaperRow {
+        cpus: 4,
+        time: Some(285.356),
+        ratio: Some(0.9789),
+    },
+    PaperRow {
+        cpus: 6,
+        time: Some(172.146),
+        ratio: Some(0.973597),
+    },
+    PaperRow {
+        cpus: 8,
+        time: Some(124.78),
+        ratio: Some(0.959407),
+    },
+    PaperRow {
+        cpus: 10,
+        time: Some(97.1792),
+        ratio: Some(0.958142),
+    },
+    PaperRow {
+        cpus: 16,
+        time: Some(67.9677),
+        ratio: Some(0.821963),
+    },
+    PaperRow {
+        cpus: 32,
+        time: Some(45.6611),
+        ratio: Some(0.592023),
+    },
+    PaperRow {
+        cpus: 64,
+        time: Some(34.2828),
+        ratio: Some(0.387998),
+    },
+    PaperRow {
+        cpus: 96,
+        time: Some(31.4682),
+        ratio: Some(0.280317),
+    },
+    PaperRow {
+        cpus: 128,
+        time: Some(30.5574),
+        ratio: Some(0.215937),
+    },
+    PaperRow {
+        cpus: 160,
+        time: Some(16.1006),
+        ratio: Some(0.327347),
+    },
+    PaperRow {
+        cpus: 192,
+        time: Some(30.7013),
+        ratio: Some(0.142908),
+    },
+    PaperRow {
+        cpus: 224,
+        time: Some(30.5024),
+        ratio: Some(0.123199),
+    },
+    PaperRow {
+        cpus: 256,
+        time: Some(31.3172),
+        ratio: Some(0.104935),
+    },
 ];
 
 /// Paper Table II columns (toy portfolio): (cpus, full, nfs, sload).

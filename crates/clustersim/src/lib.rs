@@ -21,6 +21,13 @@
 //!   [`farm::calibrate::CostModel`].
 //!
 //! [`tables`] assembles this into the generators for Tables I, II and III.
+//!
+//! [`simulate_serve`] layers the live `serve::Session` front loop on
+//! top: an open-loop arrival stream with per-priority admission shares,
+//! request coalescing, result memoisation, and the same request-level
+//! `Enqueue`/`Admit`/`Shed`/`MemoHit` event schema, so one
+//! `obs::Breakdown` reports p50/p99 for simulated and live service
+//! alike.
 
 #![warn(missing_docs)]
 #![allow(clippy::too_many_arguments)]
@@ -36,7 +43,8 @@ pub use params::{
 pub use sched::{DispatchPolicy, SchedError, Supervision, Trace};
 pub use sim::{
     simulate_farm, simulate_farm_cached, simulate_farm_recorded, simulate_farm_sched,
-    ClientCache, NfsCache, SimCaches, SimFault, SimJob, SimOutcome, SimSchedOpts,
+    simulate_serve, ClientCache, NfsCache, ServeSimOutcome, SimCaches, SimFault, SimJob,
+    SimOutcome, SimRequest, SimSchedOpts,
 };
 pub use tables::{
     format_table, speedup_ratio, table1_rows, table1_sim_jobs, table2_rows, table2_sim_jobs,

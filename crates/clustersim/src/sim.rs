@@ -337,12 +337,12 @@ pub fn simulate_farm_sched(
     // Dispatch job to slave starting from master-ready time; returns the
     // time the result lands back at the master.
     let dispatch = |job: &SimJob,
-                        s: usize,
-                        ready: f64,
-                        master: &mut Resource,
-                        nfs: &mut Resource,
-                        slave_res: &mut [Resource],
-                        caches: &mut SimCaches|
+                    s: usize,
+                    ready: f64,
+                    master: &mut Resource,
+                    nfs: &mut Resource,
+                    slave_res: &mut [Resource],
+                    caches: &mut SimCaches|
      -> f64 {
         let jid = job.id as i64;
         let srank = s + 1;
@@ -409,7 +409,11 @@ pub fn simulate_farm_sched(
             Transmission::Nfs => {}
         }
         if let Some(hit) = master_hit {
-            let kind = if hit { EventKind::CacheHit } else { EventKind::CacheMiss };
+            let kind = if hit {
+                EventKind::CacheHit
+            } else {
+                EventKind::CacheMiss
+            };
             emit(kind, 0, jid, t0 + fetch_span, 0.0, job.bytes);
         }
         emit(EventKind::Serialize, 0, jid, t0 + fetch_span, name_prep, 64);
@@ -424,7 +428,14 @@ pub fn simulate_farm_sched(
             );
         }
         if strategy != Transmission::Nfs {
-            emit(EventKind::Pack, 0, jid, t0 + prep + compress_cpu, 0.0, job.bytes);
+            emit(
+                EventKind::Pack,
+                0,
+                jid,
+                t0 + prep + compress_cpu,
+                0.0,
+                job.bytes,
+            );
         }
         emit(
             EventKind::Send,
@@ -441,7 +452,14 @@ pub fn simulate_farm_sched(
                 // Warm client cache: the slave's fetch never leaves the
                 // node — no NFS server trip, no FIFO queueing.
                 t += store.hit_fetch;
-                emit(EventKind::NfsRead, srank, jid, t - store.hit_fetch, store.hit_fetch, job.bytes);
+                emit(
+                    EventKind::NfsRead,
+                    srank,
+                    jid,
+                    t - store.hit_fetch,
+                    store.hit_fetch,
+                    job.bytes,
+                );
                 emit(EventKind::CacheHit, srank, jid, t, 0.0, job.bytes);
             } else {
                 // Slave reads the file from the NFS server (FIFO + cache).
@@ -451,7 +469,14 @@ pub fn simulate_farm_sched(
                     cfg.nfs.cold_read
                 };
                 t = nfs.acquire(t, service);
-                emit(EventKind::NfsRead, srank, jid, t - service, service, job.bytes);
+                emit(
+                    EventKind::NfsRead,
+                    srank,
+                    jid,
+                    t - service,
+                    service,
+                    job.bytes,
+                );
                 if store.client_cache {
                     emit(EventKind::CacheMiss, srank, jid, t, 0.0, job.bytes);
                 }
@@ -460,10 +485,24 @@ pub fn simulate_farm_sched(
             emit(EventKind::Probe, srank, jid, t, 0.0, wire);
             emit(EventKind::Recv, srank, jid, t, 0.0, wire);
             if decompress_cpu > 0.0 {
-                emit(EventKind::Decompress, srank, jid, t, decompress_cpu, job.bytes);
+                emit(
+                    EventKind::Decompress,
+                    srank,
+                    jid,
+                    t,
+                    decompress_cpu,
+                    job.bytes,
+                );
                 t += decompress_cpu;
             }
-            emit(EventKind::Unpack, srank, jid, t, cfg.slave.unpack, job.bytes);
+            emit(
+                EventKind::Unpack,
+                srank,
+                jid,
+                t,
+                cfg.slave.unpack,
+                job.bytes,
+            );
             t += cfg.slave.unpack;
         }
         // Compute + result send. With `cfg.exec.threads >= 2` the drawn
@@ -476,7 +515,14 @@ pub fn simulate_farm_sched(
         let (compute_wall, chunk_cpu) = cfg.exec.apply(job.compute);
         let done = slave_res[s].acquire(t, compute_wall + cfg.slave.result_prep);
         let compute_start = done - compute_wall - cfg.slave.result_prep;
-        emit(EventKind::Compute, srank, jid, compute_start, compute_wall, 0);
+        emit(
+            EventKind::Compute,
+            srank,
+            jid,
+            compute_start,
+            compute_wall,
+            0,
+        );
         if chunk_cpu > 0.0 {
             // Mirror the live farm's post-join diagnostics: one
             // `ComputeChunk` span per worker thread covering its share of
@@ -485,13 +531,27 @@ pub fn simulate_farm_sched(
             // `Breakdown::total_s` (see `EventKind::DIAGNOSTIC`).
             let per_thread = chunk_cpu / cfg.exec.threads.max(1) as f64;
             for _ in 0..cfg.exec.threads.max(1) {
-                emit(EventKind::ComputeChunk, srank, jid, compute_start, per_thread, 0);
+                emit(
+                    EventKind::ComputeChunk,
+                    srank,
+                    jid,
+                    compute_start,
+                    per_thread,
+                    0,
+                );
             }
         }
         if cfg.exec.lanes > 1 {
             // Mirror the live executor's lane self-check mark: one
             // zero-duration `LaneBatch` per compute, bytes = lane width.
-            emit(EventKind::LaneBatch, srank, jid, compute_start, 0.0, cfg.exec.lanes);
+            emit(
+                EventKind::LaneBatch,
+                srank,
+                jid,
+                compute_start,
+                0.0,
+                cfg.exec.lanes,
+            );
         }
         emit(
             EventKind::Serialize,
@@ -543,8 +603,7 @@ pub fn simulate_farm_sched(
                     let s = slave - 1;
                     let nth = dispatched[s];
                     dispatched[s] += 1;
-                    let arrival =
-                        dispatch(&jobs[job], s, now, master, nfs, slave_res, caches);
+                    let arrival = dispatch(&jobs[job], s, now, master, nfs, slave_res, caches);
                     let fault = opts
                         .faults
                         .iter()
@@ -556,12 +615,7 @@ pub fn simulate_farm_sched(
                             // liveness sweep notices `detect_delay_s`
                             // after the fatal send began.
                             let death = arrival - cfg.network.transfer_time(RESULT_BYTES);
-                            heap.push(Reverse((
-                                Time(death + f.detect_delay_s),
-                                s,
-                                DEAD,
-                                job,
-                            )));
+                            heap.push(Reverse((Time(death + f.detect_delay_s), s, DEAD, job)));
                         }
                         None => heap.push(Reverse((Time(arrival), s, ANSWER, job))),
                     }
@@ -577,9 +631,7 @@ pub fn simulate_farm_sched(
                 Action::Requeue { job } => {
                     emit(EventKind::Retry, 0, jobs[job].id as i64, now, 0.0, 0)
                 }
-                Action::Bury { slave } => {
-                    emit(EventKind::SlaveDeath, 0, NO_JOB, now, 0.0, slave)
-                }
+                Action::Bury { slave } => emit(EventKind::SlaveDeath, 0, NO_JOB, now, 0.0, slave),
             }
         }
     };
@@ -706,6 +758,183 @@ pub fn simulate_farm_sched(
     ))
 }
 
+// ---------------------------------------------------------------------------
+// Open-loop serving: the simulated counterpart of `serve::Session`
+// ---------------------------------------------------------------------------
+
+/// One request arriving at the simulated pricing service: the open-loop
+/// counterpart of a live `serve::Request`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimRequest {
+    /// Arrival time in simulated seconds (requests are processed in
+    /// arrival order; the slice must be sorted by this field).
+    pub arrival_s: f64,
+    /// The portfolio: job ids double as content fingerprints, so two
+    /// jobs with the same id are "identical problems" for coalescing
+    /// and memoisation.
+    pub jobs: Vec<SimJob>,
+    /// Priority class, 0 most urgent. Class `p` may hold at most
+    /// `queue_depth >> p` queue slots (floored at one), mirroring the
+    /// live admission control.
+    pub priority: u8,
+}
+
+/// What happened to one open-loop serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSimOutcome {
+    /// End-to-end latency per *answered* request, indexed by position
+    /// in the input slice (`None` for shed requests).
+    pub latency_s: Vec<Option<f64>>,
+    /// Requests turned away at admission.
+    pub shed: usize,
+    /// Problems answered without a fresh compute (memo or coalescing).
+    pub memo_hits: usize,
+    /// Unique problems actually computed on the slaves.
+    pub computed: usize,
+    /// Time the last answer left the service.
+    pub makespan_s: f64,
+}
+
+/// Replay an open-loop arrival stream against a resident simulated
+/// farm, mirroring the live `serve::Session` front loop: requests that
+/// arrive while a batch is in flight queue up (subject to per-priority
+/// admission shares over `queue_depth`) and are served as the next
+/// coalesced batch; job ids already computed are memo hits and cost no
+/// slave time.
+///
+/// With a `recorder`, every request lands in the same `obs` schema the
+/// live session emits — an `Enqueue` span for queue residency, an
+/// `Admit` span for end-to-end latency, `Shed` and `MemoHit` marks —
+/// so one [`obs::Breakdown`] reports p50/p99 for either world. Batch
+/// compute events are *not* re-emitted per batch (the inner farm replay
+/// restarts its clock per run); the request-level SLO stream is the
+/// parity surface.
+pub fn simulate_serve(
+    requests: &[SimRequest],
+    slaves: usize,
+    strategy: Transmission,
+    cfg: &SimConfig,
+    queue_depth: usize,
+    recorder: Option<&Recorder>,
+) -> ServeSimOutcome {
+    assert!(slaves >= 1, "need at least one slave");
+    assert!(queue_depth >= 1, "need at least one queue slot");
+    assert!(
+        requests
+            .windows(2)
+            .all(|w| w[0].arrival_s <= w[1].arrival_s),
+        "requests must be sorted by arrival time"
+    );
+    let emit = |kind: EventKind, job: i64, start_s: f64, dur_s: f64, bytes: usize| {
+        if let Some(rec) = recorder {
+            rec.record(Event {
+                kind,
+                rank: 0,
+                job,
+                start_ns: (start_s * 1e9) as u64,
+                dur_ns: (dur_s * 1e9) as u64,
+                bytes: bytes as u64,
+            });
+        }
+    };
+    let depth_limit =
+        |priority: u8| -> usize { (queue_depth >> (priority as usize).min(63)).max(1) };
+
+    let mut out = ServeSimOutcome {
+        latency_s: vec![None; requests.len()],
+        shed: 0,
+        memo_hits: 0,
+        computed: 0,
+        makespan_s: 0.0,
+    };
+    // The resident world's caches persist across batches, exactly as a
+    // live session's slaves keep their NFS client state warm.
+    let mut caches = SimCaches::new();
+    let mut memo: HashSet<usize> = HashSet::new();
+
+    let mut clock = 0.0f64;
+    let mut queued: Vec<usize> = Vec::new(); // request indices
+    let mut class_load = vec![0usize; 256];
+    let mut next = 0usize;
+
+    loop {
+        // Admit every arrival up to the current clock (they arrived
+        // while the previous batch was in flight).
+        while next < requests.len() && requests[next].arrival_s <= clock {
+            let r = &requests[next];
+            let class = r.priority as usize;
+            if class_load[class] + 1 > depth_limit(r.priority) {
+                emit(EventKind::Shed, NO_JOB, r.arrival_s, 0.0, r.jobs.len());
+                out.shed += 1;
+            } else {
+                class_load[class] += 1;
+                queued.push(next);
+            }
+            next += 1;
+        }
+        if queued.is_empty() {
+            // Idle: jump to the next arrival, or finish.
+            match requests.get(next) {
+                Some(r) => {
+                    clock = clock.max(r.arrival_s);
+                    continue;
+                }
+                None => break,
+            }
+        }
+
+        // Serve the queue as one coalesced batch.
+        let batch = std::mem::take(&mut queued);
+        let batch_start = clock;
+        let mut unique: Vec<SimJob> = Vec::new();
+        let mut seen: HashSet<usize> = HashSet::new();
+        for &ri in &batch {
+            let r = &requests[ri];
+            for job in &r.jobs {
+                if memo.contains(&job.id) || !seen.insert(job.id) {
+                    emit(EventKind::MemoHit, job.id as i64, batch_start, 0.0, 1);
+                    out.memo_hits += 1;
+                } else {
+                    unique.push(*job);
+                }
+            }
+        }
+        if !unique.is_empty() {
+            let (batch_out, _) = simulate_farm_sched(
+                &unique,
+                slaves,
+                strategy,
+                cfg,
+                &mut caches,
+                None,
+                &SimSchedOpts::default(),
+            )
+            .expect("default scheduling options are always valid");
+            clock += batch_out.makespan;
+            out.computed += unique.len();
+            for job in &unique {
+                memo.insert(job.id);
+            }
+        }
+        for &ri in &batch {
+            let r = &requests[ri];
+            class_load[r.priority as usize] -= 1;
+            let latency = clock - r.arrival_s;
+            emit(
+                EventKind::Enqueue,
+                NO_JOB,
+                r.arrival_s,
+                batch_start - r.arrival_s,
+                r.jobs.iter().map(|j| j.bytes).sum(),
+            );
+            emit(EventKind::Admit, NO_JOB, r.arrival_s, latency, r.jobs.len());
+            out.latency_s[ri] = Some(latency);
+        }
+        out.makespan_s = clock;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -752,10 +981,22 @@ mod tests {
                 compute: 20.0,
             })
             .collect();
-        let t1 = simulate_farm(&jobs, 1, Transmission::SerializedLoad, &cfg(), &mut NfsCache::new())
-            .makespan;
-        let t16 = simulate_farm(&jobs, 16, Transmission::SerializedLoad, &cfg(), &mut NfsCache::new())
-            .makespan;
+        let t1 = simulate_farm(
+            &jobs,
+            1,
+            Transmission::SerializedLoad,
+            &cfg(),
+            &mut NfsCache::new(),
+        )
+        .makespan;
+        let t16 = simulate_farm(
+            &jobs,
+            16,
+            Transmission::SerializedLoad,
+            &cfg(),
+            &mut NfsCache::new(),
+        )
+        .makespan;
         let speedup = t1 / t16;
         assert!(speedup > 15.0, "speedup {speedup}");
     }
@@ -765,10 +1006,22 @@ mod tests {
         // Sub-millisecond jobs: the master serialises all sends, so
         // adding slaves beyond a few must not help (§4.2's regime).
         let jobs = cheap_jobs(5000, 0.3e-3);
-        let t4 = simulate_farm(&jobs, 4, Transmission::FullLoad, &cfg(), &mut NfsCache::new())
-            .makespan;
-        let t50 = simulate_farm(&jobs, 50, Transmission::FullLoad, &cfg(), &mut NfsCache::new())
-            .makespan;
+        let t4 = simulate_farm(
+            &jobs,
+            4,
+            Transmission::FullLoad,
+            &cfg(),
+            &mut NfsCache::new(),
+        )
+        .makespan;
+        let t50 = simulate_farm(
+            &jobs,
+            50,
+            Transmission::FullLoad,
+            &cfg(),
+            &mut NfsCache::new(),
+        )
+        .makespan;
         assert!(
             t50 > 0.6 * t4,
             "full-load farm kept scaling implausibly: t4={t4} t50={t50}"
@@ -778,7 +1031,13 @@ mod tests {
     #[test]
     fn full_load_costs_master_more_than_sload() {
         let jobs = cheap_jobs(5000, 0.3e-3);
-        let full = simulate_farm(&jobs, 20, Transmission::FullLoad, &cfg(), &mut NfsCache::new());
+        let full = simulate_farm(
+            &jobs,
+            20,
+            Transmission::FullLoad,
+            &cfg(),
+            &mut NfsCache::new(),
+        );
         let sload = simulate_farm(
             &jobs,
             20,
@@ -842,8 +1101,18 @@ mod tests {
     #[test]
     fn master_utilisation_reported() {
         let jobs = cheap_jobs(2000, 0.2e-3);
-        let out = simulate_farm(&jobs, 40, Transmission::FullLoad, &cfg(), &mut NfsCache::new());
-        assert!(out.master_utilisation > 0.5, "util {}", out.master_utilisation);
+        let out = simulate_farm(
+            &jobs,
+            40,
+            Transmission::FullLoad,
+            &cfg(),
+            &mut NfsCache::new(),
+        );
+        assert!(
+            out.master_utilisation > 0.5,
+            "util {}",
+            out.master_utilisation
+        );
         let heavy: Vec<SimJob> = (0..100)
             .map(|id| SimJob {
                 id,
@@ -852,8 +1121,18 @@ mod tests {
                 compute: 30.0,
             })
             .collect();
-        let out2 = simulate_farm(&heavy, 4, Transmission::SerializedLoad, &cfg(), &mut NfsCache::new());
-        assert!(out2.master_utilisation < 0.05, "util {}", out2.master_utilisation);
+        let out2 = simulate_farm(
+            &heavy,
+            4,
+            Transmission::SerializedLoad,
+            &cfg(),
+            &mut NfsCache::new(),
+        );
+        assert!(
+            out2.master_utilisation < 0.05,
+            "util {}",
+            out2.master_utilisation
+        );
     }
 
     #[test]
@@ -935,14 +1214,8 @@ mod tests {
         let jobs = cheap_jobs(500, 0.5e-3);
         for strategy in Transmission::ALL {
             let base = simulate_farm(&jobs, 4, strategy, &cfg(), &mut NfsCache::new());
-            let via_cached = simulate_farm_cached(
-                &jobs,
-                4,
-                strategy,
-                &cfg(),
-                &mut SimCaches::new(),
-                None,
-            );
+            let via_cached =
+                simulate_farm_cached(&jobs, 4, strategy, &cfg(), &mut SimCaches::new(), None);
             assert_eq!(base, via_cached, "{strategy}");
         }
     }
@@ -998,8 +1271,14 @@ mod tests {
         config.network.bandwidth = 10e6; // stress the link
         let record = |c: &SimConfig| {
             let rec = Recorder::with_capacity(3, 1 << 16);
-            let out =
-                simulate_farm_cached(&jobs, 2, Transmission::SerializedLoad, c, &mut SimCaches::new(), Some(&rec));
+            let out = simulate_farm_cached(
+                &jobs,
+                2,
+                Transmission::SerializedLoad,
+                c,
+                &mut SimCaches::new(),
+                Some(&rec),
+            );
             (out, Breakdown::from_events(&rec.events()))
         };
         let (raw_out, raw_bd) = record(&config);
@@ -1029,7 +1308,13 @@ mod tests {
         let mut config = cfg();
         config.store.compress = true;
         config.store.compress_threshold = 4096; // above the payloads
-        let plain = simulate_farm(&jobs, 2, Transmission::SerializedLoad, &cfg(), &mut NfsCache::new());
+        let plain = simulate_farm(
+            &jobs,
+            2,
+            Transmission::SerializedLoad,
+            &cfg(),
+            &mut NfsCache::new(),
+        );
         let gated = simulate_farm_cached(
             &jobs,
             2,
@@ -1115,8 +1400,14 @@ mod tests {
         let makespan = |threads: usize| {
             let mut config = cfg();
             config.exec.threads = threads;
-            simulate_farm(&jobs, 2, Transmission::SerializedLoad, &config, &mut NfsCache::new())
-                .makespan
+            simulate_farm(
+                &jobs,
+                2,
+                Transmission::SerializedLoad,
+                &config,
+                &mut NfsCache::new(),
+            )
+            .makespan
         };
         let t1 = makespan(1);
         let t8 = makespan(8);
@@ -1205,13 +1496,99 @@ mod tests {
 
     #[test]
     fn empty_job_list_is_zero_makespan() {
-        let out = simulate_farm(
-            &[],
-            5,
-            Transmission::Nfs,
-            &cfg(),
-            &mut NfsCache::new(),
-        );
+        let out = simulate_farm(&[], 5, Transmission::Nfs, &cfg(), &mut NfsCache::new());
         assert_eq!(out.makespan, 0.0);
+    }
+
+    // -- open-loop serving ---------------------------------------------------
+
+    fn request(arrival_s: f64, ids: std::ops::Range<usize>, priority: u8) -> SimRequest {
+        SimRequest {
+            arrival_s,
+            jobs: ids
+                .map(|id| SimJob {
+                    id,
+                    class: JobClass::VanillaClosedForm,
+                    bytes: 600,
+                    compute: 0.05,
+                })
+                .collect(),
+            priority,
+        }
+    }
+
+    #[test]
+    fn serve_answers_every_admitted_request_and_memoises_repeats() {
+        let requests = vec![
+            request(0.0, 0..8, 0),
+            request(0.0, 0..8, 0),  // identical: fully coalesced/memoised
+            request(10.0, 0..8, 0), // repeat much later: memo hit
+        ];
+        let out = simulate_serve(&requests, 2, Transmission::SerializedLoad, &cfg(), 8, None);
+        assert_eq!(out.shed, 0);
+        assert!(out.latency_s.iter().all(Option::is_some));
+        assert_eq!(out.computed, 8, "each unique problem computes once");
+        assert_eq!(out.memo_hits, 16, "both repeats served without compute");
+        // The late repeat is answered instantly: nothing to compute.
+        assert_eq!(out.latency_s[2], Some(0.0));
+    }
+
+    #[test]
+    fn serve_sheds_over_admission_share_and_prefers_urgent_class() {
+        // queue_depth 4: class 0 keeps 4 slots, class 1 only 2. A burst
+        // of five class-1 arrivals while the first batch runs must shed.
+        let mut requests = vec![request(0.0, 0..64, 1)];
+        for i in 0..5 {
+            requests.push(request(0.001 + i as f64 * 1e-4, 100..132, 1));
+        }
+        let out = simulate_serve(&requests, 2, Transmission::SerializedLoad, &cfg(), 4, None);
+        assert!(out.shed >= 3, "class 1 holds 2 slots, 5 arrived: {out:?}");
+        // Shed requests carry no latency; admitted ones all do.
+        let answered = out.latency_s.iter().flatten().count();
+        assert_eq!(answered + out.shed, requests.len());
+    }
+
+    #[test]
+    fn serve_emits_the_live_session_slo_schema() {
+        let rec = Recorder::new(1);
+        let requests = vec![
+            request(0.0, 0..4, 0),
+            request(0.0, 0..4, 0),
+            request(5.0, 0..4, 0),
+        ];
+        simulate_serve(
+            &requests,
+            2,
+            Transmission::SerializedLoad,
+            &cfg(),
+            8,
+            Some(&rec),
+        );
+        let b = obs::Breakdown::from_events(&rec.events());
+        assert_eq!(b.request_count(), 3);
+        assert!(b.request_p99_s() >= b.request_p50_s());
+        assert!(b.memo_hits() >= 8, "repeats must surface as MemoHit");
+        // Queue residency (Enqueue) spans exist for every request.
+        let enq = rec
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Enqueue)
+            .count();
+        assert_eq!(enq, 3);
+    }
+
+    #[test]
+    fn serve_latency_includes_queue_wait_behind_a_running_batch() {
+        // A huge first batch, then a tiny request arriving just after it
+        // starts: the tiny one waits for the batch and its latency shows
+        // it (open-loop queueing delay).
+        let requests = vec![request(0.0, 0..512, 0), request(0.01, 1000..1001, 0)];
+        let out = simulate_serve(&requests, 2, Transmission::SerializedLoad, &cfg(), 8, None);
+        let first = out.latency_s[0].unwrap();
+        let second = out.latency_s[1].unwrap();
+        assert!(
+            second > first * 0.5,
+            "queued request must wait out the big batch: {second} vs {first}"
+        );
     }
 }

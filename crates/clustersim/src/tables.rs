@@ -8,7 +8,9 @@
 
 use crate::params::SimConfig;
 use crate::sim::{simulate_farm, NfsCache, SimJob};
-use farm::portfolio::{realistic_portfolio, regression_portfolio, toy_portfolio, PortfolioJob, PortfolioScale};
+use farm::portfolio::{
+    realistic_portfolio, regression_portfolio, toy_portfolio, PortfolioJob, PortfolioScale,
+};
 use farm::strategy::Transmission;
 use farm::JobClass;
 use numerics::rng::SplitMix64;
@@ -162,7 +164,10 @@ pub fn table2_rows(cpus: &[usize], cfg: &SimConfig) -> Vec<(Transmission, Vec<Ta
         .iter()
         .map(|&strategy| {
             let shared_cache = strategy == Transmission::Nfs;
-            (strategy, sweep(&sim_jobs, cpus, strategy, cfg, shared_cache))
+            (
+                strategy,
+                sweep(&sim_jobs, cpus, strategy, cfg, shared_cache),
+            )
         })
         .collect()
 }
@@ -182,7 +187,10 @@ pub fn table3_rows(cpus: &[usize], cfg: &SimConfig) -> Vec<(Transmission, Vec<Ta
         .iter()
         .map(|&strategy| {
             let shared_cache = strategy == Transmission::Nfs;
-            (strategy, sweep(&sim_jobs, cpus, strategy, cfg, shared_cache))
+            (
+                strategy,
+                sweep(&sim_jobs, cpus, strategy, cfg, shared_cache),
+            )
         })
         .collect()
 }
@@ -217,9 +225,15 @@ fn sweep(
 
 /// Render rows in the paper's two-column format.
 pub fn format_table(title: &str, rows: &[TableRow]) -> String {
-    let mut s = format!("{title}\n{:>8} {:>12} {:>14}\n", "CPUs", "Time", "Speedup ratio");
+    let mut s = format!(
+        "{title}\n{:>8} {:>12} {:>14}\n",
+        "CPUs", "Time", "Speedup ratio"
+    );
     for r in rows {
-        s.push_str(&format!("{:>8} {:>12.4} {:>14.6}\n", r.cpus, r.time, r.ratio));
+        s.push_str(&format!(
+            "{:>8} {:>12.4} {:>14.6}\n",
+            r.cpus, r.time, r.ratio
+        ));
     }
     s
 }
@@ -247,7 +261,11 @@ mod tests {
         let rows = table1_rows(&TABLE1_CPUS, &cfg());
         assert_eq!(rows.len(), TABLE1_CPUS.len());
         // T(2) is the normalisation target.
-        assert!((rows[0].time - TABLE1_T2).abs() / TABLE1_T2 < 0.2, "T(2) = {}", rows[0].time);
+        assert!(
+            (rows[0].time - TABLE1_T2).abs() / TABLE1_T2 < 0.2,
+            "T(2) = {}",
+            rows[0].time
+        );
         // Near-linear for n ≤ 16 (paper: ratio ≥ 0.82 up to 16 CPUs).
         for r in rows.iter().take_while(|r| r.cpus <= 16) {
             assert!(r.ratio > 0.75, "cpus {} ratio {}", r.cpus, r.ratio);
@@ -287,7 +305,12 @@ mod tests {
             );
         }
         // §4.2: NFS slowest at 2 CPUs (cold cache)...
-        assert!(nfs[0].time > sload[0].time, "NFS(2) {} sload(2) {}", nfs[0].time, sload[0].time);
+        assert!(
+            nfs[0].time > sload[0].time,
+            "NFS(2) {} sload(2) {}",
+            nfs[0].time,
+            sload[0].time
+        );
         // ...but fastest at 50 CPUs (tiny name messages, warm cache).
         let last = TABLE2_CPUS.len() - 1;
         assert!(
@@ -329,11 +352,7 @@ mod tests {
             // Paper: "with 256 nodes, the speedup ratio is still better
             // than 0.8".
             let r256 = rows.iter().find(|r| r.cpus == 256).unwrap();
-            assert!(
-                r256.ratio > 0.7,
-                "{strategy}: ratio(256) = {}",
-                r256.ratio
-            );
+            assert!(r256.ratio > 0.7, "{strategy}: ratio(256) = {}", r256.ratio);
             // And it drops noticeably by 512 (paper: ≈ 0.56-0.57).
             let r512 = rows.iter().find(|r| r.cpus == 512).unwrap();
             assert!(

@@ -32,6 +32,9 @@
 //! * [`farm`] — portfolio generators (§4.1–§4.3 workloads), the three
 //!   transmission strategies, and the Robin-Hood / batched / hierarchical
 //!   farms.
+//! * [`serve`] — the long-lived pricing service: a resident `Session`
+//!   over the same scheduler, with request coalescing, result
+//!   memoisation, priority backpressure and p50/p99 SLO reporting.
 //! * [`clustersim`] — the calibrated discrete-event simulator that
 //!   regenerates Tables I–III at cluster scale.
 //! * [`nsplang`] — a mini-Nsp interpreter able to run the paper's
@@ -60,41 +63,42 @@ pub use clustersim;
 pub use exec;
 pub use farm;
 pub use minimpi;
-pub use nspval;
 pub use nsplang;
+pub use nspval;
 pub use numerics;
 pub use obs;
 pub use pricing;
 pub use sched;
+pub use serve;
 pub use store;
 pub use xdrser;
 
 /// The commonly used types and functions in one import.
 pub mod prelude {
     pub use clustersim::{
-        simulate_farm, table1_rows, table2_rows, table3_rows, NfsCache, SimConfig, SimJob,
-        TableRow,
+        simulate_farm, simulate_serve, table1_rows, table2_rows, table3_rows, NfsCache,
+        ServeSimOutcome, SimConfig, SimJob, SimRequest, TableRow,
     };
+    pub use exec::{ExecPolicy, ExecStats, StatsSink};
     pub use farm::batching::run_batched_farm;
-    pub use farm::risk::{aggregate_risk, risk_sweep, BumpSpec, ClaimRisk, Scenario};
     pub use farm::hierarchy::run_hierarchical_farm;
     pub use farm::portfolio::{
         realistic_portfolio, regression_portfolio, save_portfolio, toy_portfolio, JobClass,
         PortfolioJob, PortfolioScale,
     };
-    pub use exec::{ExecPolicy, ExecStats, StatsSink};
+    pub use farm::risk::{aggregate_risk, risk_sweep, BumpSpec, ClaimRisk, Scenario};
     pub use farm::supervisor::SupervisorConfig;
     pub use farm::{run, FarmConfig, FarmError, FarmReport, Transmission, WirePolicy};
-    pub use store::{CachingStore, DirStore, Fetched, Prefetcher, ProblemStore, StoreStats};
-    pub use obs::{Breakdown, BreakdownReport, Event, EventKind, Recorder, StrategyBreakdown};
     pub use minimpi::{
-        Comm, FaultEvent, FaultPlan, MpiBuf, SendFault, SpawnedWorld, World, ANY_SOURCE,
-        ANY_TAG,
+        Comm, FaultEvent, FaultPlan, MpiBuf, SendFault, SpawnedWorld, World, ANY_SOURCE, ANY_TAG,
     };
     pub use nspval::{Hash, List, Matrix, Serial, Value};
+    pub use obs::{Breakdown, BreakdownReport, Event, EventKind, Recorder, StrategyBreakdown};
     pub use pricing::{
         MethodSpec, ModelSpec, OptionSpec, PremiaProblem, PricingError, PricingResult,
     };
+    pub use serve::{Priced, Request, Response, ServeConfig, ServeError, Session, Ticket};
+    pub use store::{CachingStore, DirStore, Fetched, Prefetcher, ProblemStore, StoreStats};
     pub use xdrser::{load, save, serialize, sload, unserialize};
 }
 

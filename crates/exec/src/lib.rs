@@ -33,6 +33,7 @@
 
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -54,6 +55,88 @@ pub fn stream_seed(seed: u64, chunk_index: u64) -> u64 {
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
+
+/// One invalid configuration field: which builder knob, and what is
+/// wrong with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigIssue {
+    /// The builder method / field name (e.g. `"threads"`).
+    pub field: &'static str,
+    /// What is wrong with the supplied value.
+    pub problem: String,
+}
+
+impl fmt::Display for ConfigIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.field, self.problem)
+    }
+}
+
+/// Every invalid field of a rejected configuration, collected in one
+/// pass — validation never stops at the first failure, so a caller
+/// fixing a config sees the complete list at once. Shared by
+/// `ExecPolicy`, `farm::FarmConfig` and `serve::ServeConfig`, which all
+/// follow the same builder convention: chainable setters, one
+/// `validate()` that returns this type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigIssues {
+    /// The collected issues, in field declaration order. Never empty.
+    pub issues: Vec<ConfigIssue>,
+}
+
+impl ConfigIssues {
+    /// An empty collector. Use [`reject`](Self::reject) to accumulate
+    /// and [`into_result`](Self::into_result) to finish.
+    pub fn collect() -> Self {
+        ConfigIssues { issues: Vec::new() }
+    }
+
+    /// A ready-made single-issue rejection, for call sites that detect
+    /// one late error outside a full `validate()` pass (e.g. a
+    /// cost-vector length that can only be checked against the inputs).
+    pub fn one(field: &'static str, problem: impl Into<String>) -> Self {
+        let mut issues = ConfigIssues::collect();
+        issues.reject(field, problem);
+        issues
+    }
+
+    /// Record one invalid field.
+    pub fn reject(&mut self, field: &'static str, problem: impl Into<String>) {
+        self.issues.push(ConfigIssue {
+            field,
+            problem: problem.into(),
+        });
+    }
+
+    /// `Ok(())` when nothing was rejected, else `Err(self)`.
+    pub fn into_result(self) -> Result<(), ConfigIssues> {
+        if self.issues.is_empty() {
+            Ok(())
+        } else {
+            Err(self)
+        }
+    }
+
+    /// Did validation reject this field?
+    pub fn has(&self, field: &str) -> bool {
+        self.issues.iter().any(|i| i.field == field)
+    }
+}
+
+impl fmt::Display for ConfigIssues {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: ")?;
+        for (i, issue) in self.issues.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{issue}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ConfigIssues {}
 
 /// Supported SIMD lane widths for batched path generation.
 ///
@@ -282,6 +365,27 @@ impl ExecPolicy {
         }
     }
 
+    /// Build a policy from raw user-supplied knobs, collecting **every**
+    /// invalid field into one [`ConfigIssues`] instead of failing on the
+    /// first (the workspace-wide builder convention — `FarmConfig` and
+    /// `ServeConfig` validate the same way). `chunk = 0` means
+    /// [`DEFAULT_CHUNK`]; `lanes` must be 1, 4 or 8 (0 = scalar).
+    pub fn validated(threads: usize, chunk: usize, lanes: usize) -> Result<Self, ConfigIssues> {
+        let mut issues = ConfigIssues::collect();
+        if threads == 0 {
+            issues.reject("threads", "needs at least one worker");
+        }
+        let lane = match LaneConfig::from_width(lanes) {
+            Ok(lane) => lane,
+            Err(why) => {
+                issues.reject("lanes", why);
+                LaneConfig::Scalar
+            }
+        };
+        issues.into_result()?;
+        Ok(ExecPolicy::new(threads).chunk(chunk).lane(lane))
+    }
+
     /// Override the chunk size (0 is treated as [`DEFAULT_CHUNK`]).
     /// **Changes the RNG-stream split** and therefore the sampled
     /// result, exactly as changing the seed would; the thread count
@@ -497,6 +601,28 @@ mod tests {
     use std::time::Duration;
 
     #[test]
+    fn validated_collects_every_invalid_field() {
+        let err = ExecPolicy::validated(0, 0, 3).unwrap_err();
+        assert_eq!(err.issues.len(), 2);
+        assert!(err.has("threads"));
+        assert!(err.has("lanes"));
+        assert!(!err.has("chunk"));
+        let text = err.to_string();
+        assert!(text.contains("threads") && text.contains("lanes"), "{text}");
+    }
+
+    #[test]
+    fn validated_accepts_defaults_and_sets_knobs() {
+        let pol = ExecPolicy::validated(8, 0, 8).unwrap();
+        assert_eq!(pol.threads(), 8);
+        assert_eq!(pol.chunk_size(), DEFAULT_CHUNK);
+        assert_eq!(pol.lane_width(), 8);
+        let scalar = ExecPolicy::validated(1, 256, 0).unwrap();
+        assert_eq!(scalar.chunk_size(), 256);
+        assert_eq!(scalar.lane_config(), LaneConfig::Scalar);
+    }
+
+    #[test]
     fn plan_covers_items_exactly_once() {
         for items in [0usize, 1, 7, 1024, 1025, 10_000] {
             for chunk in [1usize, 3, 1024] {
@@ -522,7 +648,9 @@ mod tests {
         let mut z = stream_seed(seed, c.index);
         let mut acc = 0.0;
         for _ in c.start..c.end {
-            z = z.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            z = z
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             acc = acc * 0.9999 + (z >> 11) as f64 / (1u64 << 53) as f64;
         }
         acc
@@ -594,10 +722,7 @@ mod tests {
         assert_eq!(stats.runs, 1);
         assert_eq!(stats.threads, 1);
         assert_eq!(stats.steals, 0);
-        assert_eq!(
-            stats.chunks.iter().map(|c| c.items).sum::<u64>(),
-            250
-        );
+        assert_eq!(stats.chunks.iter().map(|c| c.items).sum::<u64>(), 250);
     }
 
     #[test]
@@ -630,7 +755,10 @@ mod tests {
         assert_eq!(pol.threads(), 1);
         assert_eq!(pol.chunk_size(), DEFAULT_CHUNK);
         assert_eq!(ExecPolicy::new(0).threads(), 1);
-        assert_eq!(ExecPolicy::sequential().chunk(0).chunk_size(), DEFAULT_CHUNK);
+        assert_eq!(
+            ExecPolicy::sequential().chunk(0).chunk_size(),
+            DEFAULT_CHUNK
+        );
         assert_eq!(pol.lane_width(), 1);
         assert_eq!(pol.lane_config(), LaneConfig::Scalar);
     }

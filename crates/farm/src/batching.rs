@@ -35,7 +35,10 @@ pub fn run_batched_farm(
         return Err(FarmError::NoSlaves);
     }
     if batch_size == 0 {
-        return Err(FarmError::Config("batch size must be at least 1".into()));
+        return Err(FarmError::Config(exec::ConfigIssues::one(
+            "batch_size",
+            "must be at least 1",
+        )));
     }
     run_batched_inner(
         files,
@@ -167,8 +170,7 @@ fn slave(comm: &Comm, ctx: &RunCtx, strategy: Transmission) -> Result<(), FarmEr
         for item in list.iter() {
             let BatchItem { idx, name, payload } = BatchItem::decode(item)?;
             comm.set_job(Some(idx));
-            let problem =
-                recover_problem_recorded(comm, ctx, strategy, &name, payload.as_ref())?;
+            let problem = recover_problem_recorded(comm, ctx, strategy, &name, payload.as_ref())?;
             let r = instrument::compute_recorded(comm, ctx, &problem)
                 .map_err(|e| FarmError::Io(format!("compute failed: {e}")))?;
             answers.push(Answer::priced(idx, &r));
@@ -206,8 +208,7 @@ mod tests {
     fn batched_farm_completes_everything() {
         let (paths, dir) = setup(37, "complete");
         for batch in [1, 4, 10, 100] {
-            let report =
-                run_batched_farm(&paths, 3, Transmission::SerializedLoad, batch).unwrap();
+            let report = run_batched_farm(&paths, 3, Transmission::SerializedLoad, batch).unwrap();
             assert_eq!(report.completed(), 37, "batch {batch}");
             let mut jobs: Vec<usize> = report.outcomes.iter().map(|o| o.job).collect();
             jobs.sort();

@@ -59,7 +59,10 @@ fn representative_sizes() -> HashMap<JobClass, usize> {
             .iter()
             .find(|j| j.class == class)
             .expect("every class present at stride 1");
-        sizes.insert(class, xdrser::serialize_to_bytes(&job.problem.to_value()).len());
+        sizes.insert(
+            class,
+            xdrser::serialize_to_bytes(&job.problem.to_value()).len(),
+        );
     }
     sizes
 }

@@ -2,11 +2,11 @@
 //! the plain, batched or supervised master, with optional fault
 //! injection and phase-level observability.
 //!
-//! Before this module the crate exposed one free function per master
-//! variant (`run_farm`, `run_batched_farm`, `run_supervised_farm`), each
-//! with its own positional-argument spelling and its own error habits.
-//! [`run`] replaces them: build a [`FarmConfig`], pass the portfolio,
-//! get a `Result<FarmReport, FarmError>`.
+//! Historically the crate exposed one free function per master variant,
+//! each with its own positional-argument spelling and its own error
+//! habits. [`run`] replaced them — and the last deprecated shims are now
+//! deleted: build a [`FarmConfig`], pass the portfolio, get a
+//! `Result<FarmReport, FarmError>`.
 //!
 //! ```
 //! use farm::{run, FarmConfig, Transmission};
@@ -74,7 +74,7 @@ pub(crate) struct RunCtx {
 
 impl RunCtx {
     /// The PR-2-equivalent context: direct directory reads, raw wire,
-    /// no prefetch. Used by the deprecated free-function entry points.
+    /// no prefetch.
     pub(crate) fn default_ctx() -> Self {
         RunCtx {
             store: Arc::new(DirStore::new()),
@@ -290,64 +290,69 @@ impl FarmConfig {
         self.strategy
     }
 
-    /// Validate cross-field invariants.
+    /// Validate cross-field invariants, collecting *every* invalid
+    /// field into one [`exec::ConfigIssues`] instead of stopping at the
+    /// first failure — a caller fixing a rejected config sees the
+    /// complete list at once. The one exception stays its own variant:
+    /// a farm with zero slaves is [`FarmError::NoSlaves`], the paper's
+    /// "at least 2 CPUs" precondition rather than a knob value.
     fn validate(&self) -> Result<(), FarmError> {
         if self.slaves == 0 {
             return Err(FarmError::NoSlaves);
         }
+        let mut issues = exec::ConfigIssues::collect();
         if self.batch_size == 0 {
-            return Err(FarmError::Config("batch size must be at least 1".into()));
+            issues.reject("batch_size", "must be at least 1");
         }
         if self.supervised && self.batch_size > 1 {
-            return Err(FarmError::Config(
-                "batching is not supported under supervision".into(),
-            ));
+            issues.reject("batch_size", "batching is not supported under supervision");
         }
         if self.fault_plan.is_some() && !self.supervised {
-            return Err(FarmError::Config(
-                "fault injection requires the supervised master".into(),
-            ));
+            issues.reject(
+                "fault_plan",
+                "fault injection requires the supervised master",
+            );
         }
         if self.supervised && self.supervisor.max_attempts == 0 {
-            return Err(FarmError::Config("max_attempts must be at least 1".into()));
+            issues.reject("supervisor", "max_attempts must be at least 1");
         }
         if let Some(rec) = &self.recorder {
             if rec.ranks() < self.slaves + 1 {
-                return Err(FarmError::Config(format!(
-                    "recorder covers {} ranks but the farm needs {}",
-                    rec.ranks(),
-                    self.slaves + 1
-                )));
+                issues.reject(
+                    "recorder",
+                    format!(
+                        "covers {} ranks but the farm needs {}",
+                        rec.ranks(),
+                        self.slaves + 1
+                    ),
+                );
             }
         }
         if self.cache_bytes == Some(0) {
-            return Err(FarmError::Config("cache budget must be nonzero".into()));
+            issues.reject("cache_bytes", "cache budget must be nonzero");
         }
         if self.prefetch_depth > 0 && self.cache_bytes.is_none() && self.store.is_none() {
-            return Err(FarmError::Config(
-                "prefetch needs a retaining store (set cache_bytes or store)".into(),
-            ));
+            issues.reject(
+                "prefetch_depth",
+                "prefetch needs a retaining store (set cache_bytes or store)",
+            );
         }
         if self.threads == 0 {
-            return Err(FarmError::Config(
-                "compute threads must be at least 1".into(),
-            ));
+            issues.reject("threads", "compute threads must be at least 1");
         }
         if self.compute_chunk > 0 && self.threads <= 1 {
-            return Err(FarmError::Config(
-                "compute_chunk only applies with threads >= 2".into(),
-            ));
+            issues.reject("compute_chunk", "only applies with threads >= 2");
         }
         if let Err(e) = exec::LaneConfig::from_width(self.lanes) {
-            return Err(FarmError::Config(e));
+            issues.reject("lanes", e);
         }
         if matches!(self.policy, DispatchPolicy::Lpt { .. }) && self.batch_size > 1 {
-            return Err(FarmError::Config(
-                "LPT order is incompatible with batching (batches are contiguous index ranges)"
-                    .into(),
-            ));
+            issues.reject(
+                "policy",
+                "LPT order is incompatible with batching (batches are contiguous index ranges)",
+            );
         }
-        Ok(())
+        issues.into_result().map_err(FarmError::Config)
     }
 
     /// Assemble the per-run context: the store stack (custom backend →
@@ -385,20 +390,33 @@ impl FarmConfig {
     }
 }
 
-/// Run a farm over `files` as configured. This is the single entry
-/// point the table binaries, examples and tests go through; the legacy
-/// `run_farm` / `run_supervised_farm` free functions are thin deprecated
-/// wrappers around it.
+/// Run a farm over `files` as configured. One of the two entry points
+/// into the farm — the other being a long-lived `serve::Session`, which
+/// embeds the same scheduler behind a request queue.
 pub fn run(files: &[PathBuf], cfg: &FarmConfig) -> Result<FarmReport, FarmError> {
     cfg.validate()?;
-    if let DispatchPolicy::Lpt { costs } = &cfg.policy {
-        if costs.len() != files.len() {
-            return Err(FarmError::Config(format!(
-                "LPT cost vector covers {} jobs but the portfolio has {}",
-                costs.len(),
-                files.len()
+    match &cfg.policy {
+        DispatchPolicy::Lpt { costs } if costs.len() != files.len() => {
+            return Err(FarmError::Config(exec::ConfigIssues::one(
+                "policy",
+                format!(
+                    "LPT cost vector covers {} jobs but the portfolio has {}",
+                    costs.len(),
+                    files.len()
+                ),
             )));
         }
+        DispatchPolicy::Priority { class } if class.len() != files.len() => {
+            return Err(FarmError::Config(exec::ConfigIssues::one(
+                "policy",
+                format!(
+                    "priority class vector covers {} jobs but the portfolio has {}",
+                    class.len(),
+                    files.len()
+                ),
+            )));
+        }
+        _ => {}
     }
     let ctx = cfg.build_ctx(files);
     let knobs = SchedKnobs {
@@ -456,10 +474,19 @@ mod tests {
         assert!(matches!(run(&[], &cfg), Err(FarmError::NoSlaves)));
     }
 
+    /// Run the config against an empty portfolio and return the
+    /// collected issues, panicking on anything but a config rejection.
+    fn rejected(cfg: &FarmConfig) -> exec::ConfigIssues {
+        match run(&[], cfg) {
+            Err(FarmError::Config(issues)) => issues,
+            other => panic!("expected a config rejection, got {other:?}"),
+        }
+    }
+
     #[test]
     fn zero_batch_rejected() {
         let cfg = FarmConfig::new(2, Transmission::Nfs).batch_size(0);
-        assert!(matches!(run(&[], &cfg), Err(FarmError::Config(_))));
+        assert!(rejected(&cfg).has("batch_size"));
     }
 
     #[test]
@@ -467,14 +494,13 @@ mod tests {
         let cfg = FarmConfig::new(2, Transmission::Nfs)
             .batch_size(4)
             .supervised(true);
-        assert!(matches!(run(&[], &cfg), Err(FarmError::Config(_))));
+        assert!(rejected(&cfg).has("batch_size"));
     }
 
     #[test]
     fn fault_plan_without_supervision_rejected() {
-        let cfg = FarmConfig::new(2, Transmission::Nfs)
-            .fault_plan(Arc::new(FaultPlan::new(1)));
-        assert!(matches!(run(&[], &cfg), Err(FarmError::Config(_))));
+        let cfg = FarmConfig::new(2, Transmission::Nfs).fault_plan(Arc::new(FaultPlan::new(1)));
+        assert!(rejected(&cfg).has("fault_plan"));
     }
 
     #[test]
@@ -484,38 +510,37 @@ mod tests {
             ..SupervisorConfig::default()
         };
         let cfg = FarmConfig::new(2, Transmission::Nfs).supervisor(sup);
-        assert!(matches!(run(&[], &cfg), Err(FarmError::Config(_))));
+        assert!(rejected(&cfg).has("supervisor"));
     }
 
     #[test]
     fn undersized_recorder_rejected() {
-        let cfg = FarmConfig::new(3, Transmission::Nfs)
-            .recorder(Arc::new(Recorder::new(2)));
-        assert!(matches!(run(&[], &cfg), Err(FarmError::Config(_))));
+        let cfg = FarmConfig::new(3, Transmission::Nfs).recorder(Arc::new(Recorder::new(2)));
+        assert!(rejected(&cfg).has("recorder"));
     }
 
     #[test]
     fn zero_cache_budget_rejected() {
         let cfg = FarmConfig::new(2, Transmission::Nfs).cache_bytes(0);
-        assert!(matches!(run(&[], &cfg), Err(FarmError::Config(_))));
+        assert!(rejected(&cfg).has("cache_bytes"));
     }
 
     #[test]
     fn prefetch_without_retaining_store_rejected() {
         let cfg = FarmConfig::new(2, Transmission::SerializedLoad).prefetch(4);
-        assert!(matches!(run(&[], &cfg), Err(FarmError::Config(_))));
+        assert!(rejected(&cfg).has("prefetch_depth"));
     }
 
     #[test]
     fn zero_threads_rejected() {
         let cfg = FarmConfig::new(2, Transmission::Nfs).threads(0);
-        assert!(matches!(run(&[], &cfg), Err(FarmError::Config(_))));
+        assert!(rejected(&cfg).has("threads"));
     }
 
     #[test]
     fn compute_chunk_without_threads_rejected() {
         let cfg = FarmConfig::new(2, Transmission::Nfs).compute_chunk(512);
-        assert!(matches!(run(&[], &cfg), Err(FarmError::Config(_))));
+        assert!(rejected(&cfg).has("compute_chunk"));
     }
 
     #[test]
@@ -523,9 +548,62 @@ mod tests {
         for lanes in [2usize, 3, 5, 16] {
             let cfg = FarmConfig::new(2, Transmission::Nfs).lanes(lanes);
             assert!(
-                matches!(run(&[], &cfg), Err(FarmError::Config(_))),
+                rejected(&cfg).has("lanes"),
                 "lanes={lanes} should be rejected"
             );
+        }
+    }
+
+    #[test]
+    fn validation_collects_every_invalid_field_at_once() {
+        // Five independent mistakes in one config: validation reports
+        // all of them, in field order, instead of the first one found.
+        let cfg = FarmConfig::new(2, Transmission::Nfs)
+            .batch_size(0)
+            .cache_bytes(0)
+            .threads(0)
+            .lanes(3)
+            .fault_plan(Arc::new(FaultPlan::new(1)));
+        let issues = rejected(&cfg);
+        assert_eq!(issues.issues.len(), 5, "all five fields reported: {issues}");
+        for field in [
+            "batch_size",
+            "fault_plan",
+            "cache_bytes",
+            "threads",
+            "lanes",
+        ] {
+            assert!(issues.has(field), "missing {field} in {issues}");
+        }
+        // The rendered message names every field for the human reader.
+        let msg = FarmError::Config(issues).to_string();
+        for field in [
+            "batch_size",
+            "fault_plan",
+            "cache_bytes",
+            "threads",
+            "lanes",
+        ] {
+            assert!(msg.contains(field), "{field} absent from {msg}");
+        }
+    }
+
+    #[test]
+    fn priority_class_length_checked_against_portfolio() {
+        let (paths, dir) = setup(4, "prio_len");
+        let cfg = FarmConfig::new(2, Transmission::SerializedLoad)
+            .order(DispatchPolicy::Priority { class: vec![0, 1] });
+        let issues = rejected_for(&paths, &cfg);
+        assert!(issues.has("policy"), "{issues}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Like [`rejected`] but against a real portfolio (for the checks
+    /// that compare vector lengths with the file list).
+    fn rejected_for(files: &[PathBuf], cfg: &FarmConfig) -> exec::ConfigIssues {
+        match run(files, cfg) {
+            Err(FarmError::Config(issues)) => issues,
+            other => panic!("expected a config rejection, got {other:?}"),
         }
     }
 
@@ -734,8 +812,7 @@ mod tests {
         let (paths, dir) = setup(10, "ext_store");
         let cache = Arc::new(CachingStore::over_dir(1 << 20));
         for _ in 0..2 {
-            let cfg = FarmConfig::new(2, Transmission::SerializedLoad)
-                .store(cache.clone());
+            let cfg = FarmConfig::new(2, Transmission::SerializedLoad).store(cache.clone());
             run(&paths, &cfg).unwrap();
         }
         let stats = cache.stats();
@@ -762,7 +839,10 @@ mod tests {
             run(&paths, &cfg).unwrap();
             let kinds: std::collections::BTreeSet<EventKind> =
                 rec.events().iter().map(|e| e.kind).collect();
-            assert!(kinds.contains(&EventKind::Prefetch), "pass {pass}: {kinds:?}");
+            assert!(
+                kinds.contains(&EventKind::Prefetch),
+                "pass {pass}: {kinds:?}"
+            );
             assert!(
                 kinds.contains(&EventKind::CacheHit) || kinds.contains(&EventKind::CacheMiss),
                 "pass {pass}: {kinds:?}"

@@ -128,7 +128,8 @@ pub(crate) fn drive_plain(
     debug_assert_eq!(ranks.len(), cfg.slaves + 1);
     let slaves = cfg.slaves;
     let jobs = cfg.jobs;
-    let mut sched = Scheduler::new(cfg).map_err(|e| FarmError::Config(e.to_string()))?;
+    let mut sched = Scheduler::new(cfg)
+        .map_err(|e| FarmError::Config(exec::ConfigIssues::one("scheduler", e.to_string())))?;
     let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs);
     let mut per_slave = vec![0usize; comm.size()];
 
@@ -179,8 +180,17 @@ pub(crate) fn drive_plain(
             .ok_or_else(|| FarmError::Protocol(format!("empty batch reply from rank {src}")))?;
         for a in answers {
             match a {
-                Answer::Priced { job, price, std_error } => {
-                    outcomes.push(JobOutcome { job, slave: src, price, std_error });
+                Answer::Priced {
+                    job,
+                    price,
+                    std_error,
+                } => {
+                    outcomes.push(JobOutcome {
+                        job,
+                        slave: src,
+                        price,
+                        std_error,
+                    });
                     per_slave[src] += 1;
                 }
                 Answer::Failed { job, why } => {
@@ -194,7 +204,13 @@ pub(crate) fn drive_plain(
             .sched_of_wire(head)
             .filter(|&j| j < jobs)
             .ok_or_else(|| FarmError::Protocol(format!("answer for unknown job {head}")))?;
-        apply(sched.on(Event::Answer { job: sched_job, slave }, 0))?;
+        apply(sched.on(
+            Event::Answer {
+                job: sched_job,
+                slave,
+            },
+            0,
+        ))?;
     }
 
     Ok(PlainRun {
@@ -223,7 +239,8 @@ pub(crate) fn drive_supervised(
     debug_assert!(cfg.supervision.is_some(), "use drive_plain");
     let slaves = cfg.slaves;
     let jobs = cfg.jobs;
-    let mut sched = Scheduler::new(cfg).map_err(|e| FarmError::Config(e.to_string()))?;
+    let mut sched = Scheduler::new(cfg)
+        .map_err(|e| FarmError::Config(exec::ConfigIssues::one("scheduler", e.to_string())))?;
     let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs);
     let mut per_slave = vec![0usize; comm.size()];
     // The priced answer currently being fed to the scheduler; consumed
@@ -242,21 +259,18 @@ pub(crate) fn drive_supervised(
         let mut work: VecDeque<Action> = actions.into();
         while let Some(a) = work.pop_front() {
             match a {
-                Action::Dispatch { job, slave, .. } => {
-                    match send(job, slave) {
-                        Ok(()) => {
-                            instrument::mark(comm, EventKind::Dispatch, job as i64, 1);
-                        }
-                        Err(FarmError::Mpi(MpiError::Poisoned(dead))) if dead == slave => {
-                            let recovery =
-                                sched.on(Event::SendFailed { job, slave }, now(&epoch));
-                            for r in recovery.into_iter().rev() {
-                                work.push_front(r);
-                            }
-                        }
-                        Err(e) => return Err(e),
+                Action::Dispatch { job, slave, .. } => match send(job, slave) {
+                    Ok(()) => {
+                        instrument::mark(comm, EventKind::Dispatch, job as i64, 1);
                     }
-                }
+                    Err(FarmError::Mpi(MpiError::Poisoned(dead))) if dead == slave => {
+                        let recovery = sched.on(Event::SendFailed { job, slave }, now(&epoch));
+                        for r in recovery.into_iter().rev() {
+                            work.push_front(r);
+                        }
+                    }
+                    Err(e) => return Err(e),
+                },
                 Action::Stop { slave } => {
                     match comm.send_obj(&Value::empty_matrix(), slave as i32, tag) {
                         Ok(()) | Err(MpiError::Poisoned(_)) => {}
@@ -266,7 +280,12 @@ pub(crate) fn drive_supervised(
                 Action::Accept { job, slave } => {
                     let (price, std_error) =
                         pending.take().expect("Accept follows a priced answer");
-                    outcomes.push(JobOutcome { job, slave, price, std_error });
+                    outcomes.push(JobOutcome {
+                        job,
+                        slave,
+                        price,
+                        std_error,
+                    });
                     per_slave[slave] += 1;
                 }
                 Action::Expire { job, .. } => {
@@ -315,16 +334,18 @@ pub(crate) fn drive_supervised(
                 // with the offending value rendered — never dropped.
                 let answer = wire::decode_answer(&v)?;
                 match answer {
-                    Answer::Priced { job, price, std_error } => {
+                    Answer::Priced {
+                        job,
+                        price,
+                        std_error,
+                    } => {
                         pending = Some((price, std_error));
-                        let acts =
-                            sched.on(Event::Answer { job, slave: st.src }, now(&epoch));
+                        let acts = sched.on(Event::Answer { job, slave: st.src }, now(&epoch));
                         run_actions(&mut sched, &mut pending, acts)?;
                         pending = None; // duplicate answers never accept
                     }
                     Answer::Failed { job, .. } => {
-                        let acts =
-                            sched.on(Event::Failure { job, slave: st.src }, now(&epoch));
+                        let acts = sched.on(Event::Failure { job, slave: st.src }, now(&epoch));
                         run_actions(&mut sched, &mut pending, acts)?;
                     }
                 }

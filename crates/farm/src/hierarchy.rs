@@ -82,10 +82,13 @@ pub fn run_hierarchical_farm_recorded(
     };
     if let Some(rec) = &recorder {
         if rec.ranks() < topo.world_size() {
-            return Err(FarmError::Config(format!(
-                "recorder covers {} ranks but the hierarchy needs {}",
-                rec.ranks(),
-                topo.world_size()
+            return Err(FarmError::Config(exec::ConfigIssues::one(
+                "recorder",
+                format!(
+                    "covers {} ranks but the hierarchy needs {}",
+                    rec.ranks(),
+                    topo.world_size()
+                ),
             )));
         }
     }
@@ -148,10 +151,10 @@ fn global_master(comm: &Comm, files: &[PathBuf], topo: Topology) -> Result<FarmR
                 .get("price")
                 .and_then(|x| x.as_scalar())
                 .ok_or_else(|| FarmError::Io("missing price".into()))?;
-            let slave = h
-                .get("slave")
-                .and_then(|x| x.as_scalar())
-                .ok_or_else(|| FarmError::Io("missing slave".into()))? as usize;
+            let slave =
+                h.get("slave")
+                    .and_then(|x| x.as_scalar())
+                    .ok_or_else(|| FarmError::Io("missing slave".into()))? as usize;
             outcomes.push(JobOutcome {
                 job,
                 slave,
@@ -204,20 +207,21 @@ fn sub_master(
     ranks.extend((1..=topo.slaves_per_group).map(|k| my_rank + k));
     let base = jobs.first().map(|&(g, _)| g).unwrap_or(0);
 
-    let send_one = |comm: &Comm, slave: usize, (idx, path): &(usize, PathBuf)| -> Result<(), FarmError> {
-        comm.set_job(Some(*idx));
-        let msg = JobMsg {
-            idx: *idx,
-            name: path.to_string_lossy().to_string(),
+    let send_one =
+        |comm: &Comm, slave: usize, (idx, path): &(usize, PathBuf)| -> Result<(), FarmError> {
+            comm.set_job(Some(*idx));
+            let msg = JobMsg {
+                idx: *idx,
+                name: path.to_string_lossy().to_string(),
+            };
+            comm.send_obj(&msg.to_value(), slave as i32, TAG)?;
+            if let Some(payload) = prepare_payload_recorded(comm, ctx, strategy, path)? {
+                let packed = comm.pack(&payload);
+                comm.send(packed.bytes(), slave as i32, TAG)?;
+            }
+            comm.set_job(None);
+            Ok(())
         };
-        comm.send_obj(&msg.to_value(), slave as i32, TAG)?;
-        if let Some(payload) = prepare_payload_recorded(comm, ctx, strategy, path)? {
-            let packed = comm.pack(&payload);
-            comm.send(packed.bytes(), slave as i32, TAG)?;
-        }
-        comm.set_job(None);
-        Ok(())
-    };
 
     let cfg = SchedConfig::plain(jobs.len(), topo.slaves_per_group);
     let run = driver::drive_plain(
@@ -302,8 +306,7 @@ mod tests {
     #[test]
     fn hierarchical_farm_completes_portfolio() {
         let (paths, expected, dir) = setup(30, "complete");
-        let report =
-            run_hierarchical_farm(&paths, 2, 3, Transmission::SerializedLoad).unwrap();
+        let report = run_hierarchical_farm(&paths, 2, 3, Transmission::SerializedLoad).unwrap();
         assert_eq!(report.completed(), 30);
         let mut seen = [false; 30];
         for o in &report.outcomes {

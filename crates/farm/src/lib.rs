@@ -32,7 +32,9 @@
 //! * [`config`] — the unified entry point: build a [`FarmConfig`]
 //!   (strategy, batching, supervision, fault plan, [`obs::Recorder`],
 //!   problem store / cache / wire-compression / prefetch) and call
-//!   [`run`]; the per-variant free functions are deprecated shims.
+//!   [`run`]. The historical per-variant free functions are gone; the
+//!   other way in is a long-lived `serve::Session` over the same
+//!   scheduler.
 //!
 //! Since the `store` crate landed, every byte of problem data reaches the
 //! farm through a [`store::ProblemStore`] — see `docs/STORE.md`.
@@ -56,11 +58,11 @@ pub mod supervisor;
 pub mod wire;
 
 pub use config::{run, FarmConfig};
-pub use sched::{DispatchPolicy, Trace};
 pub use portfolio::{
     realistic_portfolio, regression_portfolio, toy_portfolio, JobClass, PortfolioJob,
     PortfolioScale,
 };
 pub use robin_hood::{FarmError, FarmReport, JobOutcome};
+pub use sched::{DispatchPolicy, Trace};
 pub use strategy::{Transmission, WirePolicy};
 pub use supervisor::SupervisorConfig;

@@ -12,8 +12,8 @@
 //! | 1952 | American puts, same grid as vanillas | PDE |
 //! | 525  | 7-dim American basket puts, maturities 0.2–5 y, strikes 90–110 % | Longstaff–Schwartz |
 
-use pricing::{MethodSpec, ModelSpec, OptionSpec, PremiaProblem};
 use pricing::models::{BlackScholes, LocalVol, MultiBlackScholes};
+use pricing::{MethodSpec, ModelSpec, OptionSpec, PremiaProblem};
 use std::path::{Path, PathBuf};
 
 /// Which §4.3 product class a job belongs to — the cost-model key used by
@@ -191,11 +191,7 @@ pub fn realistic_portfolio(scale: PortfolioScale, stride: usize) -> Vec<Portfoli
     let mut jobs = Vec::new();
     let mut id = 0;
     let mut push = |jobs: &mut Vec<PortfolioJob>, class, problem| {
-        jobs.push(PortfolioJob {
-            id,
-            class,
-            problem,
-        });
+        jobs.push(PortfolioJob { id, class, problem });
         id += 1;
     };
 
@@ -238,9 +234,8 @@ pub fn realistic_portfolio(scale: PortfolioScale, stride: usize) -> Vec<Portfoli
         );
     }
     // 525 basket-40 puts, Monte-Carlo.
-    let basket40 = ModelSpec::MultiBlackScholes(MultiBlackScholes::new(
-        40, SPOT, SIGMA, 0.3, RATE, 0.0,
-    ));
+    let basket40 =
+        ModelSpec::MultiBlackScholes(MultiBlackScholes::new(40, SPOT, SIGMA, 0.3, RATE, 0.0));
     for (i, &(strike, maturity)) in basket_grid().iter().enumerate() {
         if i % stride != 0 {
             continue;
@@ -516,7 +511,13 @@ mod tests {
         }
         // American classes cost more than European MC/PDE, which cost
         // more than closed form.
-        assert!(JobClass::AmericanPde.paper_cost_seconds().0 > JobClass::BarrierPde.paper_cost_seconds().1);
-        assert!(JobClass::BarrierPde.paper_cost_seconds().0 > JobClass::VanillaClosedForm.paper_cost_seconds().1);
+        assert!(
+            JobClass::AmericanPde.paper_cost_seconds().0
+                > JobClass::BarrierPde.paper_cost_seconds().1
+        );
+        assert!(
+            JobClass::BarrierPde.paper_cost_seconds().0
+                > JobClass::VanillaClosedForm.paper_cost_seconds().1
+        );
     }
 }

@@ -103,9 +103,7 @@ pub fn bump_model(model: &ModelSpec, scenario: Scenario, bump: &BumpSpec) -> Mod
         (ModelSpec::MultiBlackScholes(b), SpotUp) => b.spot *= 1.0 + bump.spot_rel,
         (ModelSpec::MultiBlackScholes(b), SpotDown) => b.spot *= 1.0 - bump.spot_rel,
         (ModelSpec::MultiBlackScholes(b), VolUp) => b.sigma += bump.vol_abs,
-        (ModelSpec::MultiBlackScholes(b), VolDown) => {
-            b.sigma = (b.sigma - bump.vol_abs).max(1e-4)
-        }
+        (ModelSpec::MultiBlackScholes(b), VolDown) => b.sigma = (b.sigma - bump.vol_abs).max(1e-4),
         (ModelSpec::MultiBlackScholes(b), RateUp) => b.rate += bump.rate_abs,
         (ModelSpec::MultiBlackScholes(b), RateDown) => b.rate -= bump.rate_abs,
 
@@ -137,9 +135,7 @@ pub fn bump_model(model: &ModelSpec, scenario: Scenario, bump: &BumpSpec) -> Mod
         // the vol/rate bumps act on σ and r₀.
         (ModelSpec::Vasicek(_), SpotUp) | (ModelSpec::Vasicek(_), SpotDown) => {}
         (ModelSpec::Vasicek(b), VolUp) => b.sigma += bump.vol_abs * 0.1,
-        (ModelSpec::Vasicek(b), VolDown) => {
-            b.sigma = (b.sigma - bump.vol_abs * 0.1).max(1e-5)
-        }
+        (ModelSpec::Vasicek(b), VolDown) => b.sigma = (b.sigma - bump.vol_abs * 0.1).max(1e-5),
         (ModelSpec::Vasicek(b), RateUp) => b.r0 += bump.rate_abs,
         (ModelSpec::Vasicek(b), RateDown) => b.r0 -= bump.rate_abs,
     }
@@ -227,10 +223,13 @@ pub fn aggregate_risk(
 }
 
 /// Price a risk sweep serially (the farmed version goes through
-/// `save_portfolio` + `run_farm` like any portfolio; this is the
+/// `save_portfolio` + [`crate::run`] like any portfolio; this is the
 /// convenience path for tests and small books).
 pub fn price_sweep_serial(sweep: &[RiskJob]) -> Result<Vec<f64>, pricing::PricingError> {
-    sweep.iter().map(|j| Ok(j.problem.compute()?.price)).collect()
+    sweep
+        .iter()
+        .map(|j| Ok(j.problem.compute()?.price))
+        .collect()
 }
 
 /// Re-associate farmed outcomes with sweep order.
@@ -285,10 +284,8 @@ mod tests {
                 ModelSpec::BlackScholes(m) => *m,
                 _ => unreachable!(),
             };
-            let opt = Vanilla::european_call(
-                job.problem.option.strike(),
-                job.problem.option.maturity(),
-            );
+            let opt =
+                Vanilla::european_call(job.problem.option.strike(), job.problem.option.maturity());
             let exact = bs_price(&m, &opt);
             assert!(
                 (risk.delta - exact.delta).abs() < 5e-4,
@@ -383,8 +380,7 @@ mod tests {
         let bump = BumpSpec::default();
         let up = bump_model(&m, Scenario::VolUp, &bump);
         let dn = bump_model(&m, Scenario::VolDown, &bump);
-        if let (ModelSpec::Heston(u), ModelSpec::Heston(d), ModelSpec::Heston(b)) = (&up, &dn, &m)
-        {
+        if let (ModelSpec::Heston(u), ModelSpec::Heston(d), ModelSpec::Heston(b)) = (&up, &dn, &m) {
             assert!((u.v0.sqrt() - b.v0.sqrt() - bump.vol_abs).abs() < 1e-12);
             assert!((b.v0.sqrt() - d.v0.sqrt() - bump.vol_abs).abs() < 1e-12);
         } else {
@@ -401,8 +397,8 @@ mod tests {
         for j in sweep.iter().take(40) {
             let v = j.problem.to_value();
             let s = xdrser::serialize(&v);
-            let back = pricing::PremiaProblem::from_value(&xdrser::unserialize(&s).unwrap())
-                .unwrap();
+            let back =
+                pricing::PremiaProblem::from_value(&xdrser::unserialize(&s).unwrap()).unwrap();
             assert_eq!(back, j.problem);
         }
     }

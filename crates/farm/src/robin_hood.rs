@@ -18,6 +18,7 @@ use crate::driver::{self, JobMap, RecvStyle};
 use crate::instrument;
 use crate::strategy::{prepare_payload_recorded, recover_problem_recorded, Transmission};
 use crate::wire::{Answer, JobMsg};
+use exec::ConfigIssues;
 use minimpi::{Comm, MpiBuf, MpiError, World};
 use nspval::Value;
 use obs::Recorder;
@@ -102,7 +103,8 @@ pub enum FarmError {
     Xdr(xdrser::XdrError),
     /// The [`crate::FarmConfig`] combination is invalid (e.g. batching
     /// under supervision, a zero retry budget, an undersized recorder).
-    Config(String),
+    /// Carries *every* rejected field, not just the first one found.
+    Config(ConfigIssues),
     /// A peer sent a message the wire codec cannot decode: a protocol
     /// violation, surfaced with the offending value rendered instead of
     /// silently dropped.
@@ -124,7 +126,7 @@ impl fmt::Display for FarmError {
             FarmError::Mpi(e) => write!(f, "MPI error: {e}"),
             FarmError::Io(m) => write!(f, "I/O error: {m}"),
             FarmError::Xdr(e) => write!(f, "serialization error: {e}"),
-            FarmError::Config(m) => write!(f, "invalid farm config: {m}"),
+            FarmError::Config(m) => write!(f, "{m}"),
             FarmError::Protocol(m) => write!(f, "protocol violation: {m}"),
             FarmError::AllSlavesDead {
                 completed,
@@ -272,33 +274,9 @@ fn master_loop(
     })
 }
 
-/// Run the Robin-Hood farm over `slaves` worker ranks (the tables count
-/// `slaves + 1` CPUs: master + slaves). Returns the master's report.
-///
-/// Deprecated: build a [`crate::FarmConfig`] and call [`crate::run`],
-/// which also routes batching, supervision, fault plans and recorders.
-#[deprecated(since = "0.1.0", note = "use `farm::run` with a `FarmConfig`")]
-pub fn run_farm(
-    files: &[PathBuf],
-    slaves: usize,
-    strategy: Transmission,
-) -> Result<FarmReport, FarmError> {
-    if slaves == 0 {
-        return Err(FarmError::NoSlaves);
-    }
-    run_farm_inner(
-        files,
-        slaves,
-        strategy,
-        None,
-        &RunCtx::default_ctx(),
-        &SchedKnobs::default(),
-    )
-}
-
-/// The actual plain-farm runner behind both [`run_farm`] and
-/// [`crate::run`]: `recorder == None` with the default context is
-/// byte-for-byte the PR-1 behaviour (guarded by `tests/obs_overhead.rs`).
+/// The plain-farm runner behind [`crate::run`]: `recorder == None` with
+/// the default context is byte-for-byte the PR-1 behaviour (guarded by
+/// `tests/obs_overhead.rs`).
 pub(crate) fn run_farm_inner(
     files: &[PathBuf],
     slaves: usize,
@@ -330,7 +308,7 @@ mod tests {
     use crate::config::{run, FarmConfig};
     use crate::portfolio::{save_portfolio, toy_portfolio};
 
-    fn run_farm(
+    fn run_plain(
         files: &[PathBuf],
         slaves: usize,
         strategy: Transmission,
@@ -372,7 +350,7 @@ mod tests {
     #[test]
     fn farm_prices_whole_portfolio_serialized_load() {
         let (paths, expected, dir) = setup(40, "sload");
-        let report = run_farm(&paths, 3, Transmission::SerializedLoad).unwrap();
+        let report = run_plain(&paths, 3, Transmission::SerializedLoad).unwrap();
         check_report(&report, &expected);
         // Work was actually distributed.
         let active = report.per_slave.iter().filter(|&&c| c > 0).count();
@@ -383,7 +361,7 @@ mod tests {
     #[test]
     fn farm_full_load_matches() {
         let (paths, expected, dir) = setup(25, "full");
-        let report = run_farm(&paths, 4, Transmission::FullLoad).unwrap();
+        let report = run_plain(&paths, 4, Transmission::FullLoad).unwrap();
         check_report(&report, &expected);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -391,7 +369,7 @@ mod tests {
     #[test]
     fn farm_nfs_matches() {
         let (paths, expected, dir) = setup(25, "nfs");
-        let report = run_farm(&paths, 4, Transmission::Nfs).unwrap();
+        let report = run_plain(&paths, 4, Transmission::Nfs).unwrap();
         check_report(&report, &expected);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -399,7 +377,7 @@ mod tests {
     #[test]
     fn more_slaves_than_jobs() {
         let (paths, expected, dir) = setup(3, "overstaffed");
-        let report = run_farm(&paths, 8, Transmission::SerializedLoad).unwrap();
+        let report = run_plain(&paths, 8, Transmission::SerializedLoad).unwrap();
         check_report(&report, &expected);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -407,7 +385,7 @@ mod tests {
     #[test]
     fn single_slave_farm() {
         let (paths, expected, dir) = setup(10, "single");
-        let report = run_farm(&paths, 1, Transmission::SerializedLoad).unwrap();
+        let report = run_plain(&paths, 1, Transmission::SerializedLoad).unwrap();
         check_report(&report, &expected);
         assert_eq!(report.per_slave[1], 10);
         std::fs::remove_dir_all(&dir).ok();
@@ -415,14 +393,14 @@ mod tests {
 
     #[test]
     fn empty_portfolio() {
-        let report = run_farm(&[], 2, Transmission::Nfs).unwrap();
+        let report = run_plain(&[], 2, Transmission::Nfs).unwrap();
         assert_eq!(report.completed(), 0);
     }
 
     #[test]
     fn zero_slaves_rejected() {
         assert!(matches!(
-            run_farm(&[], 0, Transmission::Nfs),
+            run_plain(&[], 0, Transmission::Nfs),
             Err(FarmError::NoSlaves)
         ));
     }
@@ -430,9 +408,9 @@ mod tests {
     #[test]
     fn strategies_agree_on_prices() {
         let (paths, _, dir) = setup(15, "agree");
-        let a = run_farm(&paths, 2, Transmission::FullLoad).unwrap();
-        let b = run_farm(&paths, 2, Transmission::SerializedLoad).unwrap();
-        let c = run_farm(&paths, 2, Transmission::Nfs).unwrap();
+        let a = run_plain(&paths, 2, Transmission::FullLoad).unwrap();
+        let b = run_plain(&paths, 2, Transmission::SerializedLoad).unwrap();
+        let c = run_plain(&paths, 2, Transmission::Nfs).unwrap();
         let by_job = |r: &FarmReport| {
             let mut v: Vec<(usize, f64)> = r.outcomes.iter().map(|o| (o.job, o.price)).collect();
             v.sort_by_key(|&(j, _)| j);

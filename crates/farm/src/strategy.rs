@@ -230,7 +230,13 @@ pub(crate) fn prepare_payload_recorded(
     let tc = rec.now_ns();
     let (serial, saved) = compress_for_wire(serial, &ctx.wire);
     if saved > 0 {
-        rec.record_span(comm.rank(), EventKind::Compress, comm.current_job(), tc, saved);
+        rec.record_span(
+            comm.rank(),
+            EventKind::Compress,
+            comm.current_job(),
+            tc,
+            saved,
+        );
     }
     Ok(Some(Value::Serial(serial)))
 }
@@ -266,8 +272,7 @@ pub(crate) fn recover_problem_recorded(
             );
             mark_cache(comm, &fetched);
             let value = xdrser::unserialize(&fetched.serial)?;
-            PremiaProblem::from_value(&value)
-                .map_err(|e| xdrser::XdrError::Corrupt(e.to_string()))
+            PremiaProblem::from_value(&value).map_err(|e| xdrser::XdrError::Corrupt(e.to_string()))
         }
         Transmission::FullLoad | Transmission::SerializedLoad => {
             let serial = payload_serial(payload)?;
@@ -319,8 +324,7 @@ pub fn recover_problem(
             // store, so a warm cache serves repeated reads.
             let fetched = store.fetch(Path::new(name))?;
             let value = xdrser::unserialize(&fetched.serial)?;
-            PremiaProblem::from_value(&value)
-                .map_err(|e| xdrser::XdrError::Corrupt(e.to_string()))
+            PremiaProblem::from_value(&value).map_err(|e| xdrser::XdrError::Corrupt(e.to_string()))
         }
         Transmission::FullLoad | Transmission::SerializedLoad => {
             decode_problem(payload_serial(payload)?)
@@ -384,9 +388,11 @@ mod tests {
     fn nfs_round_trip_needs_no_payload() {
         let (path, p) = save_problem("strategy_nfs");
         let st = DirStore::new();
-        assert!(prepare_payload(&st, Transmission::Nfs, &path, &WirePolicy::RAW)
-            .unwrap()
-            .is_none());
+        assert!(
+            prepare_payload(&st, Transmission::Nfs, &path, &WirePolicy::RAW)
+                .unwrap()
+                .is_none()
+        );
         let back = recover_problem(&st, Transmission::Nfs, path.to_str().unwrap(), None).unwrap();
         assert_eq!(back, p);
     }
@@ -406,7 +412,9 @@ mod tests {
         let st = DirStore::new();
         let wire = WirePolicy::compressed(1); // compress everything
         for strategy in [Transmission::FullLoad, Transmission::SerializedLoad] {
-            let payload = prepare_payload(&st, strategy, &path, &wire).unwrap().unwrap();
+            let payload = prepare_payload(&st, strategy, &path, &wire)
+                .unwrap()
+                .unwrap();
             let back =
                 recover_problem(&st, strategy, path.to_str().unwrap(), Some(&payload)).unwrap();
             assert_eq!(back, p, "{strategy}");

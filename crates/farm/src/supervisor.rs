@@ -265,35 +265,6 @@ fn supervised_master(
     })
 }
 
-/// Run the supervised farm over `slaves` worker ranks with an optional
-/// fault plan (pass `None` for a fault-free but still supervised run; the
-/// result must then match the plain farm job for job).
-#[deprecated(since = "0.1.0", note = "use `farm::run` with a `FarmConfig`")]
-pub fn run_supervised_farm(
-    files: &[PathBuf],
-    slaves: usize,
-    strategy: Transmission,
-    cfg: &SupervisorConfig,
-    plan: Option<Arc<FaultPlan>>,
-) -> Result<FarmReport, FarmError> {
-    if slaves == 0 {
-        return Err(FarmError::NoSlaves);
-    }
-    if cfg.max_attempts == 0 {
-        return Err(FarmError::Config("max_attempts must be at least 1".into()));
-    }
-    run_supervised_inner(
-        files,
-        slaves,
-        strategy,
-        cfg,
-        plan,
-        None,
-        &RunCtx::default_ctx(),
-        &SchedKnobs::default(),
-    )
-}
-
 /// The supervised route behind [`crate::run`]: the validated entry point
 /// with fault injection and phase-level observability threaded through.
 #[allow(clippy::too_many_arguments)]
@@ -332,9 +303,8 @@ mod tests {
     use crate::config::{run, FarmConfig};
     use crate::portfolio::{save_portfolio, toy_portfolio};
 
-    /// Local shadow of the deprecated free function, routed through the
-    /// unified [`crate::run`] entry point.
-    fn run_supervised_farm(
+    /// Shorthand routed through the unified [`crate::run`] entry point.
+    fn run_supervised(
         files: &[PathBuf],
         slaves: usize,
         strategy: Transmission,
@@ -364,8 +334,7 @@ mod tests {
     fn fault_free_supervised_farm_prices_everything() {
         let (paths, expected, dir) = setup(30, "clean");
         let cfg = SupervisorConfig::default();
-        let report =
-            run_supervised_farm(&paths, 3, Transmission::SerializedLoad, &cfg, None).unwrap();
+        let report = run_supervised(&paths, 3, Transmission::SerializedLoad, &cfg, None).unwrap();
         assert_eq!(report.completed(), expected.len());
         assert!(report.failed_jobs.is_empty());
         assert_eq!(report.retries, 0);
@@ -379,7 +348,7 @@ mod tests {
     #[test]
     fn zero_slaves_rejected() {
         assert!(matches!(
-            run_supervised_farm(
+            run_supervised(
                 &[],
                 0,
                 Transmission::Nfs,
@@ -401,10 +370,8 @@ mod tests {
 
     #[test]
     fn deadline_floor_protects_fast_jobs() {
-        let cfg = SupervisorConfig::from_cost_model(
-            &crate::calibrate::paper_costs().scaled(1e-9),
-            1.0,
-        );
+        let cfg =
+            SupervisorConfig::from_cost_model(&crate::calibrate::paper_costs().scaled(1e-9), 1.0);
         assert!(cfg.job_deadline >= Duration::from_millis(50));
     }
 }

@@ -127,7 +127,10 @@ impl Answer {
 
     /// A failure report.
     pub fn failed(job: usize, why: impl Into<String>) -> Answer {
-        Answer::Failed { job, why: why.into() }
+        Answer::Failed {
+            job,
+            why: why.into(),
+        }
     }
 
     /// The job this answer is about.
@@ -142,7 +145,11 @@ impl Answer {
     pub fn to_value(&self) -> Value {
         let mut h = Hash::new();
         match self {
-            Answer::Priced { job, price, std_error } => {
+            Answer::Priced {
+                job,
+                price,
+                std_error,
+            } => {
                 h.set("job", Value::scalar(*job as f64));
                 h.set("price", Value::scalar(*price));
                 if let Some(se) = std_error {
@@ -207,7 +214,12 @@ mod tests {
     #[test]
     fn answer_layouts_match_the_legacy_encodings() {
         // Priced: {job, price, std_error?} with scalar fields.
-        let v = Answer::Priced { job: 3, price: 1.5, std_error: Some(0.25) }.to_value();
+        let v = Answer::Priced {
+            job: 3,
+            price: 1.5,
+            std_error: Some(0.25),
+        }
+        .to_value();
         let h = v.as_hash().unwrap();
         assert_eq!(h.get("job").unwrap().as_scalar(), Some(3.0));
         assert_eq!(h.get("price").unwrap().as_scalar(), Some(1.5));

@@ -499,7 +499,9 @@ impl Comm {
                 Some(t) => {
                     let now = Instant::now();
                     if t <= now {
-                        if deadline.is_some_and(|d| d <= now) && next_visible.is_none_or(|v| v > now) {
+                        if deadline.is_some_and(|d| d <= now)
+                            && next_visible.is_none_or(|v| v > now)
+                        {
                             return Ok(None);
                         }
                         // A delayed message just became visible: loop.
@@ -727,14 +729,6 @@ impl Comm {
     pub fn recv_obj_serial(&self, src: i32, tag: i32) -> Result<(Value, Status), MpiError> {
         let (bytes, status) = self.recv(src, tag)?;
         Ok((xdrser::unserialize_bytes(&bytes)?, status))
-    }
-
-    /// Deprecated name for [`Comm::recv_obj_serial`]. "Raw" suggested raw
-    /// bytes; the method actually returns the un-materialised `Serial`
-    /// value — the mismatch has already bitten the supervisor code once.
-    #[deprecated(since = "0.1.0", note = "renamed to `recv_obj_serial`")]
-    pub fn recv_obj_raw(&self, src: i32, tag: i32) -> Result<(Value, Status), MpiError> {
-        self.recv_obj_serial(src, tag)
     }
 
     /// [`Comm::recv_obj`] with a timeout: `Ok(None)` if nothing matching
@@ -984,7 +978,10 @@ mod tests {
             } else {
                 let mut small = MpiBuf::with_capacity(8);
                 match c.recv_into(&mut small, 0, 0) {
-                    Err(MpiError::Truncated { needed: 32, capacity: 8 }) => {}
+                    Err(MpiError::Truncated {
+                        needed: 32,
+                        capacity: 8,
+                    }) => {}
                     other => panic!("expected truncation, got {other:?}"),
                 }
                 // Message still deliverable afterwards.
@@ -1062,7 +1059,10 @@ mod tests {
             h.set("A", Value::Bool(nspval::BoolMatrix::row(vec![true, false])));
             h.set(
                 "B",
-                Value::list(vec![Value::string("foo"), Value::Real(nspval::Matrix::range(1.0, 4.0))]),
+                Value::list(vec![
+                    Value::string("foo"),
+                    Value::Real(nspval::Matrix::range(1.0, 4.0)),
+                ]),
             );
             let hv = Value::Hash(h);
             if c.rank() == 0 {
@@ -1085,7 +1085,10 @@ mod tests {
         World::run(2, |c| {
             if c.rank() == 0 {
                 assert!(matches!(c.send(&[1], 5, 0), Err(MpiError::InvalidRank(5))));
-                assert!(matches!(c.send(&[1], -2, 0), Err(MpiError::InvalidRank(-2))));
+                assert!(matches!(
+                    c.send(&[1], -2, 0),
+                    Err(MpiError::InvalidRank(-2))
+                ));
                 assert!(matches!(c.send(&[1], 1, -3), Err(MpiError::InvalidTag(-3))));
             }
         });
@@ -1124,7 +1127,11 @@ mod tests {
             } else {
                 None
             };
-            c.bcast(v.as_ref(), 1).unwrap().as_str().unwrap().to_string()
+            c.bcast(v.as_ref(), 1)
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string()
         });
         assert_eq!(out, vec!["params", "params", "params"]);
     }
@@ -1215,10 +1222,7 @@ mod tests {
         let frame = xdrser::serialize_to_bytes(&Value::string("steady-state frame")).len();
         assert!(saved.iter().all(|e| e.bytes >= frame as u64));
         assert_eq!(
-            events
-                .iter()
-                .filter(|e| e.kind == EventKind::Pack)
-                .count(),
+            events.iter().filter(|e| e.kind == EventKind::Pack).count(),
             3
         );
     }
@@ -1386,7 +1390,7 @@ mod tests {
                 Duration::ZERO
             } else {
                 c.barrier(); // the message is already in flight
-                // Invisible now...
+                             // Invisible now...
                 assert!(c.iprobe(0, 0).unwrap().is_none());
                 let t0 = Instant::now();
                 let (_, _) = c.recv(0, 0).unwrap();
@@ -1405,9 +1409,7 @@ mod tests {
                 c.send(&[9; 8], 1, 1).unwrap(); // silently lost
                 true
             } else {
-                let got = c
-                    .recv_timeout(0, 1, Duration::from_millis(50))
-                    .unwrap();
+                let got = c.recv_timeout(0, 1, Duration::from_millis(50)).unwrap();
                 got.is_none()
             }
         });
@@ -1436,7 +1438,9 @@ mod tests {
     fn probe_timeout_expires_quietly() {
         World::run(1, |c| {
             let t0 = Instant::now();
-            let r = c.probe_timeout(ANY_SOURCE, ANY_TAG, Duration::from_millis(30)).unwrap();
+            let r = c
+                .probe_timeout(ANY_SOURCE, ANY_TAG, Duration::from_millis(30))
+                .unwrap();
             assert!(r.is_none());
             assert!(t0.elapsed() >= Duration::from_millis(25));
         });

@@ -36,7 +36,10 @@ impl fmt::Display for MpiError {
             MpiError::InvalidRank(r) => write!(f, "invalid rank {r}"),
             MpiError::InvalidTag(t) => write!(f, "invalid tag {t}"),
             MpiError::Truncated { needed, capacity } => {
-                write!(f, "message truncated: {needed} bytes into {capacity}-byte buffer")
+                write!(
+                    f,
+                    "message truncated: {needed} bytes into {capacity}-byte buffer"
+                )
             }
             MpiError::Decode(e) => write!(f, "object decode failed: {e}"),
             MpiError::Disconnected => write!(f, "communicator torn down"),

@@ -111,9 +111,7 @@ impl NValue {
         if let Some(h) = v.as_hash() {
             if h.get("class").and_then(|c| c.as_str()) == Some("PremiaModel") {
                 if let Ok(problem) = PremiaProblem::from_value(&v) {
-                    return NValue::Premia(Rc::new(RefCell::new(PremiaObj::from_problem(
-                        problem,
-                    ))));
+                    return NValue::Premia(Rc::new(RefCell::new(PremiaObj::from_problem(problem))));
                 }
             }
         }
@@ -329,11 +327,9 @@ impl Interp {
                     Ok(cols)
                 }
             }
-            NValue::V(Value::Str(s)) => Ok(s
-                .data()
-                .iter()
-                .map(|x| NValue::string(x.clone()))
-                .collect()),
+            NValue::V(Value::Str(s)) => {
+                Ok(s.data().iter().map(|x| NValue::string(x.clone())).collect())
+            }
             other => err(format!("cannot iterate over {}", other.type_name())),
         }
     }
@@ -368,10 +364,7 @@ impl Interp {
                         Some(NValue::V(Value::Hash(h))) => h.clone(),
                         None => Hash::new(), // auto-create, like Nsp's H.A = ...
                         Some(other) => {
-                            return err(format!(
-                                "cannot set field on {}",
-                                other.type_name()
-                            ))
+                            return err(format!("cannot set field on {}", other.type_name()))
                         }
                     };
                     hash.set(field, v.to_value()?);
@@ -393,11 +386,8 @@ impl Interp {
                     if m.len() > 1 {
                         if let NValue::V(val) = &v {
                             if val.is_empty_matrix() {
-                                let mut positions: Vec<usize> = m
-                                    .data()
-                                    .iter()
-                                    .map(|&x| x as usize)
-                                    .collect();
+                                let mut positions: Vec<usize> =
+                                    m.data().iter().map(|&x| x as usize).collect();
                                 positions.sort_unstable();
                                 positions.dedup();
                                 for p in positions.into_iter().rev() {
@@ -413,7 +403,8 @@ impl Interp {
                 }
                 let i = idx[0]
                     .as_scalar()
-                    .ok_or_else(|| NspError::new("list index must be a scalar"))? as usize;
+                    .ok_or_else(|| NspError::new("list index must be a scalar"))?
+                    as usize;
                 if i < 1 {
                     return err("list indices are 1-based");
                 }
@@ -858,12 +849,7 @@ impl Interp {
         for o in f.outs.iter().take(want.max(1).min(f.outs.len().max(1))) {
             match scope.get(o) {
                 Some(v) => outs.push(v.clone()),
-                None => {
-                    return err(format!(
-                        "function {} did not set output {o}",
-                        f.name
-                    ))
-                }
+                None => return err(format!("function {} did not set output {o}", f.name)),
             }
         }
         if outs.is_empty() {
@@ -937,9 +923,7 @@ impl Interp {
                             ])
                         }
                     }
-                    NValue::V(Value::Str(s)) => {
-                        one(NValue::scalar((s.rows() * s.cols()) as f64))
-                    }
+                    NValue::V(Value::Str(s)) => one(NValue::scalar((s.rows() * s.cols()) as f64)),
                     other => err(format!("size of {}", other.type_name())),
                 }
             }
@@ -975,7 +959,11 @@ impl Interp {
             "min" | "max" => {
                 let a = need_scalar(&pos[0], name)?;
                 let b = need_scalar(&pos[1], name)?;
-                one(NValue::scalar(if name == "min" { a.min(b) } else { a.max(b) }))
+                one(NValue::scalar(if name == "min" {
+                    a.min(b)
+                } else {
+                    a.max(b)
+                }))
             }
             "string" => {
                 let v = pos
@@ -1058,7 +1046,8 @@ impl Interp {
                     .ok_or_else(|| NspError::new("unserialize needs a serial"))?;
                 match v {
                     NValue::V(Value::Serial(s)) => {
-                        let val = xdrser::unserialize(s).map_err(|e| NspError::new(e.to_string()))?;
+                        let val =
+                            xdrser::unserialize(s).map_err(|e| NspError::new(e.to_string()))?;
                         one(NValue::wrap(val))
                     }
                     other => err(format!("unserialize of {}", other.type_name())),
@@ -1129,9 +1118,7 @@ impl Interp {
                 one(status_value(st))
             }
             "MPI_Get_count" | "MPI_Get_elements" => {
-                let stat = pos
-                    .first()
-                    .ok_or_else(|| NspError::new("needs a status"))?;
+                let stat = pos.first().ok_or_else(|| NspError::new("needs a status"))?;
                 match stat {
                     NValue::V(Value::Hash(h)) => {
                         let count = h
@@ -1484,10 +1471,7 @@ mod tests {
 
     #[test]
     fn string_concatenation_like_fig1() {
-        let i = run_script(
-            "cmd = 'exec(''src/loader.sce'');'\ncmd = cmd + 'MPI_Init();'",
-        )
-        .unwrap();
+        let i = run_script("cmd = 'exec(''src/loader.sce'');'\ncmd = cmd + 'MPI_Init();'").unwrap();
         assert_eq!(
             i.get_value("cmd").unwrap().as_str().unwrap(),
             "exec('src/loader.sce');MPI_Init();"
@@ -1719,7 +1703,11 @@ mod exec_tests {
         let dir = std::env::temp_dir().join("nsplang_exec");
         std::fs::create_dir_all(&dir).unwrap();
         let lib = dir.join("loader.sce");
-        std::fs::write(&lib, "function y = twice(x)\n y = 2 * x\nendfunction\nbase = 21\n").unwrap();
+        std::fs::write(
+            &lib,
+            "function y = twice(x)\n y = 2 * x\nendfunction\nbase = 21\n",
+        )
+        .unwrap();
         let src = format!("exec('{}')\nz = twice(base)", lib.display());
         let i = run_script(&src).unwrap();
         assert_eq!(i.get_value("z").unwrap().as_scalar(), Some(42.0));

@@ -178,7 +178,11 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, usize)>, LexError> {
                 // %t / %f boolean literals.
                 if i + 1 < n && (bytes[i + 1] == 't' || bytes[i + 1] == 'f') {
                     out.push((
-                        if bytes[i + 1] == 't' { Tok::True } else { Tok::False },
+                        if bytes[i + 1] == 't' {
+                            Tok::True
+                        } else {
+                            Tok::False
+                        },
                         line,
                     ));
                     i += 2;
@@ -187,8 +191,7 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, usize)>, LexError> {
                 }
             }
             '\'' | '"' => {
-                let is_transpose =
-                    c == '\'' && ends_expression(out.last().map(|(t, _)| t));
+                let is_transpose = c == '\'' && ends_expression(out.last().map(|(t, _)| t));
                 if is_transpose {
                     out.push((Tok::Quote, line));
                     i += 1;
@@ -224,7 +227,9 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, usize)>, LexError> {
                 let start = i;
                 while i < n && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
                     // Don't swallow the dot of `1.foo` field access or `1.e5`.
-                    if bytes[i] == '.' && i + 1 < n && !bytes[i + 1].is_ascii_digit()
+                    if bytes[i] == '.'
+                        && i + 1 < n
+                        && !bytes[i + 1].is_ascii_digit()
                         && bytes[i + 1] != 'e'
                         && bytes[i + 1] != 'E'
                     {
@@ -347,11 +352,19 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, usize)>, LexError> {
                 }
             }
             '&' => {
-                i += if i + 1 < n && bytes[i + 1] == '&' { 2 } else { 1 };
+                i += if i + 1 < n && bytes[i + 1] == '&' {
+                    2
+                } else {
+                    1
+                };
                 out.push((Tok::And, line));
             }
             '|' => {
-                i += if i + 1 < n && bytes[i + 1] == '|' { 2 } else { 1 };
+                i += if i + 1 < n && bytes[i + 1] == '|' {
+                    2
+                } else {
+                    1
+                };
                 out.push((Tok::Or, line));
             }
             other => {
@@ -394,10 +407,7 @@ mod tests {
     fn transpose_vs_string() {
         // After an identifier, ' is transpose; at expression start it is
         // a string opener.
-        assert_eq!(
-            toks("Lpb'"),
-            vec![Tok::Ident("Lpb".into()), Tok::Quote]
-        );
+        assert_eq!(toks("Lpb'"), vec![Tok::Ident("Lpb".into()), Tok::Quote]);
         assert_eq!(
             toks("x = 'str'"),
             vec![Tok::Ident("x".into()), Tok::Assign, Tok::Str("str".into())]
@@ -457,7 +467,8 @@ mod tests {
 
     #[test]
     fn paper_snippet_lexes() {
-        let src = "if mpi_rank <> 0 // Slave part\n  name = MPI_Recv_Obj(0,TAG,MPI_COMM_WORLD);\nend";
+        let src =
+            "if mpi_rank <> 0 // Slave part\n  name = MPI_Recv_Obj(0,TAG,MPI_COMM_WORLD);\nend";
         assert!(lex(src).is_ok());
     }
 

@@ -191,9 +191,7 @@ impl Parser {
                     Some(Tok::Ident(o)) => outs.push(o),
                     Some(Tok::RBracket) => break,
                     Some(Tok::Comma) => {}
-                    other => {
-                        return Err(self.err(format!("bad function outputs: {other:?}")))
-                    }
+                    other => return Err(self.err(format!("bad function outputs: {other:?}"))),
                 }
             }
             if !self.eat(&Tok::RBracket) && outs.is_empty() {
@@ -284,8 +282,8 @@ impl Parser {
         let expr = self.parse_expr()?;
         if self.eat(&Tok::Assign) {
             // Convert the parsed expression into an assignment target.
-            let target = expr_to_target(&expr)
-                .ok_or_else(|| self.err("invalid assignment target"))?;
+            let target =
+                expr_to_target(&expr).ok_or_else(|| self.err("invalid assignment target"))?;
             let rhs = self.parse_expr()?;
             return Ok(Stmt::Assign(vec![target], rhs));
         }
@@ -583,7 +581,9 @@ mod tests {
         match &prog[0] {
             Stmt::Expr(Expr::MethodCall(_, name, args)) => {
                 assert_eq!(name, "set_asset");
-                assert!(matches!(&args[0], Arg::Kw(k, Expr::Str(v)) if k == "str" && v == "equity"));
+                assert!(
+                    matches!(&args[0], Arg::Kw(k, Expr::Str(v)) if k == "str" && v == "equity")
+                );
             }
             other => panic!("{other:?}"),
         }

@@ -89,8 +89,8 @@ mod tests {
 
     #[test]
     fn round_trip_through_problem() {
-        let problem = PremiaProblem::create("Heston1dim", "PutAmer", "MC_AM_LongstaffSchwartz")
-            .unwrap();
+        let problem =
+            PremiaProblem::create("Heston1dim", "PutAmer", "MC_AM_LongstaffSchwartz").unwrap();
         let obj = PremiaObj::from_problem(problem.clone());
         assert_eq!(obj.to_problem().unwrap(), problem);
     }

@@ -27,7 +27,11 @@ impl Matrix {
                 out[c * rows + r] = data[r * cols + c];
             }
         }
-        Matrix { rows, cols, data: out }
+        Matrix {
+            rows,
+            cols,
+            data: out,
+        }
     }
 
     /// A zero-filled matrix of the given shape.
@@ -51,13 +55,21 @@ impl Matrix {
     /// A 1×n row vector.
     pub fn row(data: Vec<f64>) -> Self {
         let cols = data.len();
-        Matrix { rows: 1, cols, data }
+        Matrix {
+            rows: 1,
+            cols,
+            data,
+        }
     }
 
     /// An n×1 column vector.
     pub fn col(data: Vec<f64>) -> Self {
         let rows = data.len();
-        Matrix { rows, cols: 1, data }
+        Matrix {
+            rows,
+            cols: 1,
+            data,
+        }
     }
 
     /// The `a:b` range constructor (`1:100` in the paper's Fig. 2 example):
@@ -178,7 +190,11 @@ impl BoolMatrix {
     /// A 1×n row vector.
     pub fn row(data: Vec<bool>) -> Self {
         let cols = data.len();
-        BoolMatrix { rows: 1, cols, data }
+        BoolMatrix {
+            rows: 1,
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -253,7 +269,11 @@ impl StrMatrix {
     /// A 1×n row vector.
     pub fn row(data: Vec<String>) -> Self {
         let cols = data.len();
-        StrMatrix { rows: 1, cols, data }
+        StrMatrix {
+            rows: 1,
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.

@@ -78,7 +78,9 @@ pub struct Hash {
 impl Hash {
     /// An empty hash table.
     pub fn new() -> Self {
-        Hash { entries: Vec::new() }
+        Hash {
+            entries: Vec::new(),
+        }
     }
 
     /// Number of contained elements.

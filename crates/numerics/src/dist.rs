@@ -126,9 +126,22 @@ pub fn erf(x: f64) -> f64 {
 /// expansion outside. Absolute error below 3e-9 everywhere, which is ample
 /// for Monte-Carlo use.
 pub fn norm_inv_cdf(u: f64) -> f64 {
-    assert!(u > 0.0 && u < 1.0, "norm_inv_cdf argument must be in (0,1), got {u}");
-    const A: [f64; 4] = [2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637];
-    const B: [f64; 4] = [-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833];
+    assert!(
+        u > 0.0 && u < 1.0,
+        "norm_inv_cdf argument must be in (0,1), got {u}"
+    );
+    const A: [f64; 4] = [
+        2.50662823884,
+        -18.61500062529,
+        41.39119773534,
+        -25.44106049637,
+    ];
+    const B: [f64; 4] = [
+        -8.47351093090,
+        23.08336743743,
+        -21.06224101826,
+        3.13082909833,
+    ];
     const C: [f64; 9] = [
         0.3374754822726147,
         0.9761690190917186,
@@ -224,7 +237,10 @@ mod tests {
     fn quantile_tails() {
         for &u in &[1e-10, 1e-8, 1e-6, 1.0 - 1e-6, 1.0 - 1e-8] {
             let x = norm_inv_cdf(u);
-            assert!((norm_cdf(x) - u).abs() / u.min(1.0 - u) < 1e-4, "u={u} x={x}");
+            assert!(
+                (norm_cdf(x) - u).abs() / u.min(1.0 - u) < 1e-4,
+                "u={u} x={x}"
+            );
         }
     }
 

@@ -174,7 +174,11 @@ mod tests {
             stats.push(gen.sample(&mut rng));
         }
         assert!(stats.mean().abs() < 0.01, "mean {}", stats.mean());
-        assert!((stats.variance() - 1.0).abs() < 0.02, "var {}", stats.variance());
+        assert!(
+            (stats.variance() - 1.0).abs() < 0.02,
+            "var {}",
+            stats.variance()
+        );
     }
 
     #[test]

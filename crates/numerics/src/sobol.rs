@@ -14,10 +14,10 @@
 
 /// First 64 primes, bases of the Halton sequence.
 const PRIMES: [u32; 64] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293,
-    307, 311,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307,
+    311,
 ];
 
 /// Radical inverse of `n` in base `b`.
@@ -43,7 +43,10 @@ pub struct Halton {
 impl Halton {
     /// Construct with validation; panics on invalid parameters.
     pub fn new(dim: usize) -> Self {
-        assert!(dim >= 1 && dim <= PRIMES.len(), "Halton supports 1..=64 dims");
+        assert!(
+            dim >= 1 && dim <= PRIMES.len(),
+            "Halton supports 1..=64 dims"
+        );
         // Start at index 1 so no coordinate is exactly 0.
         Halton { dim, index: 1 }
     }
@@ -104,7 +107,10 @@ impl Sobol {
 
     /// Construct with validation; panics on invalid parameters.
     pub fn new(dim: usize) -> Self {
-        assert!(dim >= 1 && dim <= Self::max_dim(), "Sobol supports 1..=16 dims");
+        assert!(
+            dim >= 1 && dim <= Self::max_dim(),
+            "Sobol supports 1..=16 dims"
+        );
         let mut directions = Vec::with_capacity(dim);
         // Dimension 1: van der Corput, v_j = 2^(bits-j).
         let mut v0 = [0u64; SOBOL_BITS as usize];

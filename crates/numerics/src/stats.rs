@@ -141,7 +141,9 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential() {
-        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.77).sin() * 3.0 + 1.0).collect();
+        let data: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.77).sin() * 3.0 + 1.0)
+            .collect();
         let mut whole = RunningStats::new();
         for &x in &data {
             whole.push(x);

@@ -209,6 +209,49 @@ impl Breakdown {
         }
     }
 
+    /// Number of served requests: [`EventKind::Admit`] marks, each of
+    /// which carries one request's end-to-end latency. 0 for non-serving
+    /// runs.
+    pub fn request_count(&self) -> u64 {
+        self.count_of(EventKind::Admit)
+    }
+
+    /// Median request latency, seconds (the serving p50 SLO column):
+    /// nearest-rank p50 over the per-request submit-to-response wall
+    /// durations the `Admit` marks carry.
+    pub fn request_p50_s(&self) -> f64 {
+        self.phase(EventKind::Admit).map_or(0.0, |p| p.p50_s)
+    }
+
+    /// Tail request latency, seconds (the serving p99 SLO column).
+    pub fn request_p99_s(&self) -> f64 {
+        self.phase(EventKind::Admit).map_or(0.0, |p| p.p99_s)
+    }
+
+    /// Problems answered from the result memo ([`EventKind::MemoHit`]
+    /// marks). 0 for non-serving runs.
+    pub fn memo_hits(&self) -> u64 {
+        self.count_of(EventKind::MemoHit)
+    }
+
+    /// Requests turned away by admission control ([`EventKind::Shed`]
+    /// marks). 0 for non-serving runs.
+    pub fn shed_count(&self) -> u64 {
+        self.count_of(EventKind::Shed)
+    }
+
+    /// Memo hit fraction over `MemoHit` marks + fresh computes (0 when
+    /// the run recorded neither).
+    pub fn memo_hit_rate(&self) -> f64 {
+        let hits = self.memo_hits() as f64;
+        let fresh = self.count_of(EventKind::Compute) as f64;
+        if hits + fresh == 0.0 {
+            0.0
+        } else {
+            hits / (hits + fresh)
+        }
+    }
+
     /// Count of events of one kind (0 if the phase never occurred).
     pub fn count_of(&self, kind: EventKind) -> u64 {
         self.phase(kind).map_or(0, |p| p.count)
@@ -414,6 +457,43 @@ mod tests {
     }
 
     #[test]
+    fn request_slo_from_admit_marks() {
+        // Non-serving run: every serving accessor reads as "off".
+        let b = Breakdown::from_events(&[ev(EventKind::Compute, 0, 1_000, 0)]);
+        assert_eq!(b.request_count(), 0);
+        assert_eq!(b.request_p50_s(), 0.0);
+        assert_eq!(b.request_p99_s(), 0.0);
+        assert_eq!(b.memo_hits(), 0);
+        assert_eq!(b.shed_count(), 0);
+        assert_eq!(b.memo_hit_rate(), 0.0);
+
+        // Four requests at 1/2/3/10 ms; one shed; two memo hits next to
+        // two fresh computes.
+        let events = vec![
+            ev(EventKind::Admit, 0, 1_000_000, 2),
+            ev(EventKind::Admit, 1, 2_000_000, 2),
+            ev(EventKind::Admit, 2, 3_000_000, 2),
+            ev(EventKind::Admit, 3, 10_000_000, 2),
+            ev(EventKind::Shed, 4, 0, 2),
+            ev(EventKind::MemoHit, 1, 0, 1),
+            ev(EventKind::MemoHit, 2, 0, 1),
+            ev(EventKind::Compute, 0, 500_000, 0),
+            ev(EventKind::Compute, 3, 500_000, 0),
+            ev(EventKind::Enqueue, 0, 20_000, 64),
+        ];
+        let b = Breakdown::from_events(&events);
+        assert_eq!(b.request_count(), 4);
+        assert!((b.request_p50_s() - 2e-3).abs() < 1e-12);
+        assert!((b.request_p99_s() - 10e-3).abs() < 1e-12);
+        assert_eq!(b.memo_hits(), 2);
+        assert_eq!(b.shed_count(), 1);
+        assert!((b.memo_hit_rate() - 0.5).abs() < 1e-12);
+        // All four serving kinds are diagnostic: the latency marks never
+        // count toward the cpu-seconds budget.
+        assert!((b.total_s() - 1e-3).abs() < 1e-12, "{}", b.total_s());
+    }
+
+    #[test]
     fn cache_hit_rate_zero_without_cache_traffic() {
         let b = Breakdown::from_events(&[ev(EventKind::Compute, 0, 1_000, 0)]);
         assert_eq!(b.cache_hit_rate(), 0.0);
@@ -429,7 +509,10 @@ mod tests {
         ];
         let b = Breakdown::from_events(&events);
         let kinds: Vec<EventKind> = b.phases.iter().map(|p| p.kind).collect();
-        assert_eq!(kinds, vec![EventKind::Pack, EventKind::Recv, EventKind::Compute]);
+        assert_eq!(
+            kinds,
+            vec![EventKind::Pack, EventKind::Recv, EventKind::Compute]
+        );
     }
 
     #[test]

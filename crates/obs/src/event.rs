@@ -88,11 +88,29 @@ pub enum EventKind {
     /// can self-check that lane batching was actually on (or off).
     /// Diagnostic.
     LaneBatch,
+    /// A serving-session request left the submission queue and entered
+    /// the front loop (`job` = request id, `dur_ns` = queue residency,
+    /// `bytes` = serialized problem bytes the request carries).
+    /// Diagnostic: queue time is wall time spent waiting, not cpu work.
+    Enqueue,
+    /// A serving-session request was admitted and fully answered
+    /// (`job` = request id, `dur_ns` = end-to-end latency from submit to
+    /// response, `bytes` = problems in the request). The request
+    /// p50/p99 SLO columns are percentiles over these durations.
+    /// Diagnostic: the latency overlaps the phase spans it contains.
+    Admit,
+    /// Admission control rejected or shed a request (zero-duration mark;
+    /// `job` = request id, `bytes` = problems turned away). Diagnostic.
+    Shed,
+    /// A problem was answered from the result memo instead of being
+    /// dispatched (zero-duration mark; `job` = request id, `bytes` = 1
+    /// per memoised problem). Diagnostic.
+    MemoHit,
 }
 
 impl EventKind {
     /// Every kind, in declaration (and render) order.
-    pub const ALL: [EventKind; 23] = [
+    pub const ALL: [EventKind; 27] = [
         EventKind::Pack,
         EventKind::Send,
         EventKind::Probe,
@@ -116,17 +134,27 @@ impl EventKind {
         EventKind::CopySaved,
         EventKind::Dispatch,
         EventKind::LaneBatch,
+        EventKind::Enqueue,
+        EventKind::Admit,
+        EventKind::Shed,
+        EventKind::MemoHit,
     ];
 
     /// Diagnostic kinds: double-counted or purely informational marks
-    /// whose seconds/bytes are already represented by a primary phase.
-    /// Excluded from [`crate::Breakdown::total_s`]'s cpu-seconds budget.
-    pub const DIAGNOSTIC: [EventKind; 5] = [
+    /// whose seconds/bytes are already represented by a primary phase
+    /// (or, for the serving-session kinds, measure wall latency rather
+    /// than cpu work). Excluded from [`crate::Breakdown::total_s`]'s
+    /// cpu-seconds budget.
+    pub const DIAGNOSTIC: [EventKind; 9] = [
         EventKind::ComputeChunk,
         EventKind::Steal,
         EventKind::CopySaved,
         EventKind::Dispatch,
         EventKind::LaneBatch,
+        EventKind::Enqueue,
+        EventKind::Admit,
+        EventKind::Shed,
+        EventKind::MemoHit,
     ];
 
     /// Stable lowercase label used in rendered tables and JSON.
@@ -155,6 +183,10 @@ impl EventKind {
             EventKind::CopySaved => "copy_saved",
             EventKind::Dispatch => "dispatch",
             EventKind::LaneBatch => "lane_batch",
+            EventKind::Enqueue => "enqueue",
+            EventKind::Admit => "admit",
+            EventKind::Shed => "shed",
+            EventKind::MemoHit => "memo_hit",
         }
     }
 }

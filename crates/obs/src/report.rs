@@ -156,6 +156,18 @@ impl BreakdownReport {
                     b.count_of(crate::event::EventKind::Evict),
                 );
             }
+            if b.request_count() > 0 {
+                let _ = writeln!(
+                    out,
+                    "  -- request slo p50={:.6}s p99={:.6}s ({} served, {} memo hits, {} shed, hit-rate {:.1}%)",
+                    b.request_p50_s(),
+                    b.request_p99_s(),
+                    b.request_count(),
+                    b.memo_hits(),
+                    b.shed_count(),
+                    b.memo_hit_rate() * 100.0,
+                );
+            }
         }
         out
     }
@@ -199,6 +211,18 @@ impl BreakdownReport {
                 json_f64(b.parallel_s()),
                 json_f64(b.parallelism()),
                 json_f64(b.lane_width())
+            );
+            // Serving SLO columns. Kept ahead of "phases": bench_gate's
+            // string parser only reads summary keys before that array.
+            let _ = write!(
+                s,
+                ",\"requests\":{},\"req_p50_s\":{},\"req_p99_s\":{},\"memo_hits\":{},\"memo_hit_rate\":{},\"shed\":{}",
+                b.request_count(),
+                json_f64(b.request_p50_s()),
+                json_f64(b.request_p99_s()),
+                b.memo_hits(),
+                json_f64(b.memo_hit_rate()),
+                b.shed_count()
             );
             s.push_str(",\"phases\":[");
             for (j, p) in b.phases.iter().enumerate() {
@@ -367,14 +391,8 @@ mod tests {
         // prepare = sload 100µs → 0.0001
         assert!(json.contains("\"prepare_s\":0.0001"), "{json}");
         // Balanced braces/brackets (cheap well-formedness proxy).
-        assert_eq!(
-            json.matches('{').count(),
-            json.matches('}').count()
-        );
-        assert_eq!(
-            json.matches('[').count(),
-            json.matches(']').count()
-        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]
@@ -404,6 +422,46 @@ mod tests {
         let text = r.render();
         assert!(text.contains("simd lanes x8 alloc-free"), "{text}");
         assert!(r.to_json().contains("\"lanes\":8.0"));
+    }
+
+    #[test]
+    fn request_slo_line_rendered_only_for_serving_runs() {
+        let plain = sample_report();
+        assert!(!plain.render().contains("request slo"));
+        assert!(
+            plain.to_json().contains("\"requests\":0"),
+            "{}",
+            plain.to_json()
+        );
+
+        let mut r = sample_report();
+        let mk = |kind, job, dur_ns, bytes| Event {
+            kind,
+            rank: 0,
+            job,
+            start_ns: 0,
+            dur_ns,
+            bytes,
+        };
+        let events = vec![
+            mk(EventKind::Admit, 0, 1_000_000, 2),
+            mk(EventKind::Admit, 1, 3_000_000, 2),
+            mk(EventKind::MemoHit, 1, 0, 1),
+            mk(EventKind::Shed, 2, 0, 2),
+            mk(EventKind::Compute, 0, 500_000, 0),
+        ];
+        r.runs[0].breakdown = Breakdown::from_events(&events);
+        let text = r.render();
+        assert!(text.contains("request slo"), "{text}");
+        assert!(text.contains("2 served, 1 memo hits, 1 shed"), "{text}");
+        let json = r.to_json();
+        assert!(json.contains("\"requests\":2"), "{json}");
+        assert!(json.contains("\"req_p50_s\":0.001"), "{json}");
+        assert!(json.contains("\"req_p99_s\":0.003"), "{json}");
+        assert!(json.contains("\"memo_hits\":1"), "{json}");
+        assert!(json.contains("\"shed\":1"), "{json}");
+        // SLO columns precede the phases array (bench_gate constraint).
+        assert!(json.find("\"req_p99_s\"").unwrap() < json.find("\"phases\"").unwrap());
     }
 
     #[test]

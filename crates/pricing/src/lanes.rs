@@ -131,10 +131,7 @@ mod tests {
             assert_eq!((a + b).0[i].to_bits(), (x + 0.25).to_bits());
             assert_eq!((a - b).0[i].to_bits(), (x - 0.25).to_bits());
             assert_eq!((a * b).0[i].to_bits(), (x * 0.25).to_bits());
-            assert_eq!(
-                a.mul_add(b, a).0[i].to_bits(),
-                x.mul_add(0.25, x).to_bits()
-            );
+            assert_eq!(a.mul_add(b, a).0[i].to_bits(), x.mul_add(0.25, x).to_bits());
             assert_eq!(a.exp().0[i].to_bits(), x.exp().to_bits());
             assert_eq!(a.sqrt().0[i].to_bits(), x.sqrt().to_bits());
             assert_eq!((-a).0[i].to_bits(), (-x).to_bits());

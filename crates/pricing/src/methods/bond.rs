@@ -81,12 +81,7 @@ pub fn mc_zcb_price(m: &Vasicek, maturity: f64, cfg: &McConfig) -> McResult {
 /// Chunked-deterministic variant of [`mc_zcb_price`]: per-chunk
 /// [`stream_seed`]-derived OU streams, chunk-order merge — bit-identical
 /// for any worker count in `pol`.
-pub fn mc_zcb_price_exec(
-    m: &Vasicek,
-    maturity: f64,
-    cfg: &McConfig,
-    pol: &ExecPolicy,
-) -> McResult {
+pub fn mc_zcb_price_exec(m: &Vasicek, maturity: f64, cfg: &McConfig, pol: &ExecPolicy) -> McResult {
     cfg.validate().expect("invalid MC config");
     assert!(maturity > 0.0);
     let dt = maturity / cfg.time_steps as f64;
@@ -208,13 +203,7 @@ fn zcb_chunk_lanes<const L: usize>(
 /// One lane-wide exact OU step with precomputed decay `e` and noise
 /// scale `sd`.
 #[inline]
-fn ou_step_lanes<const L: usize>(
-    m: &Vasicek,
-    e: f64,
-    sd: f64,
-    r: F64s<L>,
-    z: F64s<L>,
-) -> F64s<L> {
+fn ou_step_lanes<const L: usize>(m: &Vasicek, e: f64, sd: f64, r: F64s<L>, z: F64s<L>) -> F64s<L> {
     let theta = F64s::<L>::splat(m.theta);
     (r - theta).mul_add(F64s::splat(e), z.mul_add(F64s::splat(sd), theta))
 }

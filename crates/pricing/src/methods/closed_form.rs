@@ -152,8 +152,22 @@ mod tests {
         let opt = Vanilla::european_call(110.0, 2.0);
         let q = bs_price(&m, &opt);
         let h = 1e-4;
-        let up = bs_price(&BlackScholes { spot: m.spot + h, ..m }, &opt).price;
-        let dn = bs_price(&BlackScholes { spot: m.spot - h, ..m }, &opt).price;
+        let up = bs_price(
+            &BlackScholes {
+                spot: m.spot + h,
+                ..m
+            },
+            &opt,
+        )
+        .price;
+        let dn = bs_price(
+            &BlackScholes {
+                spot: m.spot - h,
+                ..m
+            },
+            &opt,
+        )
+        .price;
         assert!((q.delta - (up - dn) / (2.0 * h)).abs() < 1e-6);
     }
 
@@ -163,9 +177,23 @@ mod tests {
         let opt = Vanilla::european_put(95.0, 1.5);
         let q = bs_price(&m, &opt);
         let h = 1e-3;
-        let up = bs_price(&BlackScholes { spot: m.spot + h, ..m }, &opt).price;
+        let up = bs_price(
+            &BlackScholes {
+                spot: m.spot + h,
+                ..m
+            },
+            &opt,
+        )
+        .price;
         let mid = q.price;
-        let dn = bs_price(&BlackScholes { spot: m.spot - h, ..m }, &opt).price;
+        let dn = bs_price(
+            &BlackScholes {
+                spot: m.spot - h,
+                ..m
+            },
+            &opt,
+        )
+        .price;
         assert!((q.gamma - (up - 2.0 * mid + dn) / (h * h)).abs() < 1e-5);
     }
 
@@ -175,8 +203,22 @@ mod tests {
         let opt = Vanilla::european_call(100.0, 1.0);
         let q = bs_price(&m, &opt);
         let h = 1e-5;
-        let up = bs_price(&BlackScholes { sigma: m.sigma + h, ..m }, &opt).price;
-        let dn = bs_price(&BlackScholes { sigma: m.sigma - h, ..m }, &opt).price;
+        let up = bs_price(
+            &BlackScholes {
+                sigma: m.sigma + h,
+                ..m
+            },
+            &opt,
+        )
+        .price;
+        let dn = bs_price(
+            &BlackScholes {
+                sigma: m.sigma - h,
+                ..m
+            },
+            &opt,
+        )
+        .price;
         assert!((q.vega - (up - dn) / (2.0 * h)).abs() < 1e-5);
     }
 

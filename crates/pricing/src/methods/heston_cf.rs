@@ -105,15 +105,13 @@ fn heston_cf(m: &Heston, t: f64, u: f64, j: u8) -> C64 {
     let one_minus_g = C64::ONE.sub(g2);
     // C = (r−q) iu T + a/ξ² [ (b − ρξiu − d) T − 2 ln((1−g e^{−dT})/(1−g)) ]
     let log_term = one_minus_ge.div(one_minus_g).ln();
-    let big_c = iu
-        .scale((m.rate - m.dividend) * t)
-        .add(
-            b_minus
-                .sub(d)
-                .scale(t)
-                .sub(log_term.scale(2.0))
-                .scale(a / (m.xi * m.xi)),
-        );
+    let big_c = iu.scale((m.rate - m.dividend) * t).add(
+        b_minus
+            .sub(d)
+            .scale(t)
+            .sub(log_term.scale(2.0))
+            .scale(a / (m.xi * m.xi)),
+    );
     // D = (b − ρξiu − d)/ξ² · (1 − e^{−dT})/(1 − g e^{−dT})
     let big_d = b_minus
         .sub(d)
@@ -197,8 +195,7 @@ pub fn heston_cf_price(m: &Heston, option: &Vanilla) -> f64 {
     let k = option.strike;
     let p1 = heston_prob(m, k, t, 1).clamp(0.0, 1.0);
     let p2 = heston_prob(m, k, t, 2).clamp(0.0, 1.0);
-    let call =
-        m.spot * (-m.dividend * t).exp() * p1 - k * (-m.rate * t).exp() * p2;
+    let call = m.spot * (-m.dividend * t).exp() * p1 - k * (-m.rate * t).exp() * p2;
     match option.right {
         OptionRight::Call => call.max(0.0),
         // Put–call parity.
@@ -239,10 +236,7 @@ mod tests {
                 let c = heston_cf_price(&m, &Vanilla::european_call(k, t));
                 let p = heston_cf_price(&m, &Vanilla::european_put(k, t));
                 let forward = m.spot * (-m.dividend * t).exp() - k * (-m.rate * t).exp();
-                assert!(
-                    (c - p - forward).abs() < 1e-6,
-                    "k={k} t={t}: c={c} p={p}"
-                );
+                assert!((c - p - forward).abs() < 1e-6, "k={k} t={t}: c={c} p={p}");
             }
         }
     }

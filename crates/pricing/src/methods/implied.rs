@@ -91,10 +91,7 @@ pub fn implied_vol_diagnostic(
     let df_r = (-market.rate * t).exp();
     let df_q = (-market.dividend * t).exp();
     let (lower, upper) = match option.right {
-        OptionRight::Call => (
-            (market.spot * df_q - k * df_r).max(0.0),
-            market.spot * df_q,
-        ),
+        OptionRight::Call => ((market.spot * df_q - k * df_r).max(0.0), market.spot * df_q),
         OptionRight::Put => ((k * df_r - market.spot * df_q).max(0.0), k * df_r),
     };
     if price < lower - 1e-12 {
@@ -113,10 +110,7 @@ pub fn implied_vol_diagnostic(
     }
 
     let f = |sigma: f64| -> (f64, f64) {
-        let m = BlackScholes {
-            sigma,
-            ..*market
-        };
+        let m = BlackScholes { sigma, ..*market };
         let q = bs_price(&m, option);
         (q.price - price, q.vega)
     };
@@ -188,9 +182,8 @@ mod tests {
                 for &t in &[0.1, 1.0, 5.0] {
                     let opt = Vanilla::european_call(k, t);
                     let price = bs_price(&BlackScholes { sigma, ..m }, &opt).price;
-                    let lower = (m.spot * (-m.dividend * t).exp()
-                        - k * (-m.rate * t).exp())
-                    .max(0.0);
+                    let lower =
+                        (m.spot * (-m.dividend * t).exp() - k * (-m.rate * t).exp()).max(0.0);
                     if price < 1e-6 || price - lower < 1e-6 {
                         // Sub-micro-cent OTM price, or deep-ITM price at
                         // intrinsic: vega is so small the price carries
@@ -250,7 +243,14 @@ mod tests {
         assert!(iv.iterations < 100, "hit the cap: {}", iv.iterations);
         // Whatever σ it settles on must reproduce the price to far
         // better than a basis point of spot.
-        let back = bs_price(&BlackScholes { sigma: iv.sigma, ..m }, &opt).price;
+        let back = bs_price(
+            &BlackScholes {
+                sigma: iv.sigma,
+                ..m
+            },
+            &opt,
+        )
+        .price;
         assert!((back - price).abs() < 1e-8 * m.spot);
     }
 
@@ -259,8 +259,7 @@ mod tests {
         let m = market();
         let opt = Vanilla::european_call(80.0, 1.0);
         let t = opt.maturity;
-        let intrinsic =
-            m.spot * (-m.dividend * t).exp() - opt.strike * (-m.rate * t).exp();
+        let intrinsic = m.spot * (-m.dividend * t).exp() - opt.strike * (-m.rate * t).exp();
         let iv = implied_vol_diagnostic(&m, &opt, intrinsic).unwrap();
         assert_eq!(iv.iterations, 0);
         assert!(iv.sigma < 1e-6);
@@ -287,8 +286,7 @@ mod tests {
         let m = market();
         let opt = Vanilla::european_call(80.0, 1.0);
         let t = opt.maturity;
-        let intrinsic =
-            m.spot * (-m.dividend * t).exp() - opt.strike * (-m.rate * t).exp();
+        let intrinsic = m.spot * (-m.dividend * t).exp() - opt.strike * (-m.rate * t).exp();
         let iv = implied_vol(&m, &opt, intrinsic).unwrap();
         assert!(iv < 1e-6);
     }

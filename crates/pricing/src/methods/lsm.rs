@@ -211,7 +211,10 @@ pub fn lsm_vanilla_bs(m: &BlackScholes, option: &Vanilla, cfg: &LsmConfig) -> Mc
 pub fn lsm_basket(m: &MultiBlackScholes, option: &BasketOption, cfg: &LsmConfig) -> McResult {
     cfg.validate().expect("invalid LSM config");
     option.validate().expect("invalid option");
-    assert!(option.exercise == Exercise::American, "LSM prices American claims");
+    assert!(
+        option.exercise == Exercise::American,
+        "LSM prices American claims"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut corr = m.correlator();
     let dt = option.maturity / cfg.exercise_dates as f64;
@@ -249,14 +252,23 @@ pub fn lsm_basket_exec(
 ) -> McResult {
     cfg.validate().expect("invalid LSM config");
     option.validate().expect("invalid option");
-    assert!(option.exercise == Exercise::American, "LSM prices American claims");
+    assert!(
+        option.exercise == Exercise::American,
+        "LSM prices American claims"
+    );
     let dt = option.maturity / cfg.exercise_dates as f64;
     let dates = cfg.exercise_dates;
     let dim = m.dim;
     let blocks = match pol.lane_width() {
-        4 => pol.run_ws(cfg.paths, |c, ws| lsm_basket_chunk_lanes::<4>(m, cfg, dt, dates, c, ws)),
-        8 => pol.run_ws(cfg.paths, |c, ws| lsm_basket_chunk_lanes::<8>(m, cfg, dt, dates, c, ws)),
-        _ => pol.run_ws(cfg.paths, |c, ws| lsm_basket_chunk_scalar(m, cfg, dt, dates, c, ws)),
+        4 => pol.run_ws(cfg.paths, |c, ws| {
+            lsm_basket_chunk_lanes::<4>(m, cfg, dt, dates, c, ws)
+        }),
+        8 => pol.run_ws(cfg.paths, |c, ws| {
+            lsm_basket_chunk_lanes::<8>(m, cfg, dt, dates, c, ws)
+        }),
+        _ => pol.run_ws(cfg.paths, |c, ws| {
+            lsm_basket_chunk_scalar(m, cfg, dt, dates, c, ws)
+        }),
     };
     let states = scatter_blocks(&blocks, cfg.paths, dates, dim);
     let k = option.strike;
@@ -396,9 +408,15 @@ pub fn lsm_vanilla_bs_exec(
     let dt = option.maturity / cfg.exercise_dates as f64;
     let dates = cfg.exercise_dates;
     let blocks = match pol.lane_width() {
-        4 => pol.run(cfg.paths, |c| lsm_vanilla_chunk_lanes::<4>(m, cfg, dt, dates, c)),
-        8 => pol.run(cfg.paths, |c| lsm_vanilla_chunk_lanes::<8>(m, cfg, dt, dates, c)),
-        _ => pol.run(cfg.paths, |c| lsm_vanilla_chunk_scalar(m, cfg, dt, dates, c)),
+        4 => pol.run(cfg.paths, |c| {
+            lsm_vanilla_chunk_lanes::<4>(m, cfg, dt, dates, c)
+        }),
+        8 => pol.run(cfg.paths, |c| {
+            lsm_vanilla_chunk_lanes::<8>(m, cfg, dt, dates, c)
+        }),
+        _ => pol.run(cfg.paths, |c| {
+            lsm_vanilla_chunk_scalar(m, cfg, dt, dates, c)
+        }),
     };
     let states = scatter_blocks(&blocks, cfg.paths, dates, 1);
     let k = option.strike;
@@ -486,8 +504,14 @@ fn lsm_vanilla_chunk_lanes<const L: usize>(
 pub fn lsm_heston(m: &Heston, option: &Vanilla, cfg: &LsmConfig) -> McResult {
     cfg.validate().expect("invalid LSM config");
     option.validate().expect("invalid option");
-    assert!(option.exercise == Exercise::American, "LSM prices American claims");
-    assert!(option.right == OptionRight::Put, "benchmark uses American puts");
+    assert!(
+        option.exercise == Exercise::American,
+        "LSM prices American claims"
+    );
+    assert!(
+        option.right == OptionRight::Put,
+        "benchmark uses American puts"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut gen = NormalGen::new();
     let dt = option.maturity / cfg.exercise_dates as f64;
@@ -527,13 +551,23 @@ pub fn lsm_heston_exec(
 ) -> McResult {
     cfg.validate().expect("invalid LSM config");
     option.validate().expect("invalid option");
-    assert!(option.exercise == Exercise::American, "LSM prices American claims");
-    assert!(option.right == OptionRight::Put, "benchmark uses American puts");
+    assert!(
+        option.exercise == Exercise::American,
+        "LSM prices American claims"
+    );
+    assert!(
+        option.right == OptionRight::Put,
+        "benchmark uses American puts"
+    );
     let dt = option.maturity / cfg.exercise_dates as f64;
     let dates = cfg.exercise_dates;
     let blocks = match pol.lane_width() {
-        4 => pol.run(cfg.paths, |c| lsm_heston_chunk_lanes::<4>(m, cfg, dt, dates, c)),
-        8 => pol.run(cfg.paths, |c| lsm_heston_chunk_lanes::<8>(m, cfg, dt, dates, c)),
+        4 => pol.run(cfg.paths, |c| {
+            lsm_heston_chunk_lanes::<4>(m, cfg, dt, dates, c)
+        }),
+        8 => pol.run(cfg.paths, |c| {
+            lsm_heston_chunk_lanes::<8>(m, cfg, dt, dates, c)
+        }),
         _ => pol.run(cfg.paths, |c| lsm_heston_chunk_scalar(m, cfg, dt, dates, c)),
     };
     let states = scatter_blocks(&blocks, cfg.paths, dates, 1);
@@ -627,8 +661,8 @@ fn lsm_heston_chunk_lanes<const L: usize>(
 mod tests {
     use super::*;
     use crate::methods::closed_form::bs_price;
-    use crate::methods::pde::{pde_vanilla, PdeConfig};
     use crate::methods::montecarlo::{mc_basket, mc_heston, McConfig};
+    use crate::methods::pde::{pde_vanilla, PdeConfig};
 
     fn model() -> BlackScholes {
         BlackScholes::new(100.0, 0.2, 0.05, 0.0)
@@ -790,7 +824,9 @@ mod tests {
             ),
             (
                 "basket",
-                Box::new(|w: usize| lsm_basket_exec(&multi, &basket, &cfg, &ExecPolicy::new(w)).price),
+                Box::new(|w: usize| {
+                    lsm_basket_exec(&multi, &basket, &cfg, &ExecPolicy::new(w)).price
+                }),
             ),
             (
                 "heston",

@@ -25,10 +25,10 @@ use crate::lanes::F64s;
 use crate::models::{BlackScholes, Heston, LocalVol, MultiBlackScholes};
 use crate::options::{BasketOption, Exercise, Vanilla};
 use exec::{stream_seed, Chunk, ExecPolicy, PathWorkspace};
+use numerics::norm_inv_cdf;
 use numerics::rng::NormalGen;
 use numerics::sobol::{Halton, Sobol};
 use numerics::stats::RunningStats;
-use numerics::norm_inv_cdf;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -138,9 +138,15 @@ pub fn mc_vanilla_bs_exec(
     let df = m.discount(t);
     let sign = option.right.sign();
     let parts = match pol.lane_width() {
-        4 => pol.run(cfg.paths, |c| vanilla_chunk_lanes::<4>(m, option, cfg, t, df, sign, c)),
-        8 => pol.run(cfg.paths, |c| vanilla_chunk_lanes::<8>(m, option, cfg, t, df, sign, c)),
-        _ => pol.run(cfg.paths, |c| vanilla_chunk_scalar(m, option, cfg, t, df, sign, c)),
+        4 => pol.run(cfg.paths, |c| {
+            vanilla_chunk_lanes::<4>(m, option, cfg, t, df, sign, c)
+        }),
+        8 => pol.run(cfg.paths, |c| {
+            vanilla_chunk_lanes::<8>(m, option, cfg, t, df, sign, c)
+        }),
+        _ => pol.run(cfg.paths, |c| {
+            vanilla_chunk_scalar(m, option, cfg, t, df, sign, c)
+        }),
     };
     let mut stats = RunningStats::new();
     let mut delta_stats = RunningStats::new();
@@ -333,9 +339,15 @@ pub fn mc_basket_exec(
     let t = option.maturity;
     let df = m.discount(t);
     let parts = match pol.lane_width() {
-        4 => pol.run_ws(cfg.paths, |c, ws| basket_chunk_lanes::<4>(m, option, cfg, t, df, c, ws)),
-        8 => pol.run_ws(cfg.paths, |c, ws| basket_chunk_lanes::<8>(m, option, cfg, t, df, c, ws)),
-        _ => pol.run_ws(cfg.paths, |c, ws| basket_chunk_scalar(m, option, cfg, t, df, c, ws)),
+        4 => pol.run_ws(cfg.paths, |c, ws| {
+            basket_chunk_lanes::<4>(m, option, cfg, t, df, c, ws)
+        }),
+        8 => pol.run_ws(cfg.paths, |c, ws| {
+            basket_chunk_lanes::<8>(m, option, cfg, t, df, c, ws)
+        }),
+        _ => pol.run_ws(cfg.paths, |c, ws| {
+            basket_chunk_scalar(m, option, cfg, t, df, c, ws)
+        }),
     };
     let mut stats = RunningStats::new();
     for p in &parts {
@@ -540,9 +552,15 @@ pub fn mc_local_vol_exec(
     let df = m.discount(t);
     let dt = t / cfg.time_steps as f64;
     let parts = match pol.lane_width() {
-        4 => pol.run_ws(cfg.paths, |c, ws| local_vol_chunk_lanes::<4>(m, option, cfg, df, dt, c, ws)),
-        8 => pol.run_ws(cfg.paths, |c, ws| local_vol_chunk_lanes::<8>(m, option, cfg, df, dt, c, ws)),
-        _ => pol.run_ws(cfg.paths, |c, ws| local_vol_chunk_scalar(m, option, cfg, df, dt, c, ws)),
+        4 => pol.run_ws(cfg.paths, |c, ws| {
+            local_vol_chunk_lanes::<4>(m, option, cfg, df, dt, c, ws)
+        }),
+        8 => pol.run_ws(cfg.paths, |c, ws| {
+            local_vol_chunk_lanes::<8>(m, option, cfg, df, dt, c, ws)
+        }),
+        _ => pol.run_ws(cfg.paths, |c, ws| {
+            local_vol_chunk_scalar(m, option, cfg, df, dt, c, ws)
+        }),
     };
     let mut stats = RunningStats::new();
     for p in &parts {
@@ -727,12 +745,7 @@ pub fn mc_heston(m: &Heston, option: &Vanilla, cfg: &McConfig) -> McResult {
 }
 
 /// Chunked-deterministic variant of [`mc_heston`].
-pub fn mc_heston_exec(
-    m: &Heston,
-    option: &Vanilla,
-    cfg: &McConfig,
-    pol: &ExecPolicy,
-) -> McResult {
+pub fn mc_heston_exec(m: &Heston, option: &Vanilla, cfg: &McConfig, pol: &ExecPolicy) -> McResult {
     cfg.validate().expect("invalid MC config");
     option.validate().expect("invalid option");
     assert_european(option.exercise);
@@ -740,9 +753,15 @@ pub fn mc_heston_exec(
     let df = m.discount(t);
     let dt = t / cfg.time_steps as f64;
     let parts = match pol.lane_width() {
-        4 => pol.run_ws(cfg.paths, |c, ws| heston_chunk_lanes::<4>(m, option, cfg, df, dt, c, ws)),
-        8 => pol.run_ws(cfg.paths, |c, ws| heston_chunk_lanes::<8>(m, option, cfg, df, dt, c, ws)),
-        _ => pol.run_ws(cfg.paths, |c, ws| heston_chunk_scalar(m, option, cfg, df, dt, c, ws)),
+        4 => pol.run_ws(cfg.paths, |c, ws| {
+            heston_chunk_lanes::<4>(m, option, cfg, df, dt, c, ws)
+        }),
+        8 => pol.run_ws(cfg.paths, |c, ws| {
+            heston_chunk_lanes::<8>(m, option, cfg, df, dt, c, ws)
+        }),
+        _ => pol.run_ws(cfg.paths, |c, ws| {
+            heston_chunk_scalar(m, option, cfg, df, dt, c, ws)
+        }),
     };
     let mut stats = RunningStats::new();
     for p in &parts {
@@ -1169,10 +1188,7 @@ mod tests {
         assert_eq!(p1.price.to_bits(), p2.price.to_bits());
         assert_eq!(p1.price.to_bits(), p8.price.to_bits());
         assert_eq!(p1.std_error.to_bits(), p8.std_error.to_bits());
-        assert_eq!(
-            p1.delta.unwrap().to_bits(),
-            p8.delta.unwrap().to_bits()
-        );
+        assert_eq!(p1.delta.unwrap().to_bits(), p8.delta.unwrap().to_bits());
         // And the chunked estimate is still a valid price.
         let exact = bs_price(&m, &opt).price;
         assert!((p1.price - exact).abs() < 4.0 * p1.std_error);

@@ -121,7 +121,8 @@ impl<'a> Solver<'a> {
 
         if !obstacle {
             let tri = Tridiagonal::new(sub, diag, sup);
-            let sol = solve_tridiagonal(&tri, &rhs).expect("θ-scheme system is diagonally dominant");
+            let sol =
+                solve_tridiagonal(&tri, &rhs).expect("θ-scheme system is diagonally dominant");
             v[0] = vl;
             v[n - 1] = vu;
             v[1..n - 1].copy_from_slice(&sol);
@@ -135,9 +136,7 @@ impl<'a> Solver<'a> {
             let dmid = 1.0 - theta * dt * mid;
             let dhi = -theta * dt * hi;
             // Warm start from the current values projected on the payoff.
-            let mut w: Vec<f64> = (1..n - 1)
-                .map(|i| v[i].max(self.payoff[i]))
-                .collect();
+            let mut w: Vec<f64> = (1..n - 1).map(|i| v[i].max(self.payoff[i])).collect();
             for _ in 0..max_iter {
                 let mut err: f64 = 0.0;
                 for i in 0..n - 2 {
@@ -215,24 +214,21 @@ pub fn pde_vanilla(m: &BlackScholes, option: &Vanilla, cfg: &PdeConfig) -> PdeSo
 
     let s_min = xs[0].exp();
     let s_max = xs[xs.len() - 1].exp();
-    let (lower_bc, upper_bc): (BcFn<'_>, BcFn<'_>) =
-        match (option.right, option.exercise) {
-            (OptionRight::Call, _) => (
-                Box::new(move |_tau: f64| 0.0),
-                Box::new(move |tau: f64| {
-                    s_max * (-m.dividend * tau).exp() - k * (-m.rate * tau).exp()
-                }),
-            ),
-            (OptionRight::Put, Exercise::European) => (
-                Box::new(move |tau: f64| k * (-m.rate * tau).exp() - s_min * (-m.dividend * tau).exp()),
-                Box::new(move |_tau: f64| 0.0),
-            ),
-            (OptionRight::Put, Exercise::American) => (
-                // Deep in the money an American put is exercised: V = K - S.
-                Box::new(move |_tau: f64| k - s_min),
-                Box::new(move |_tau: f64| 0.0),
-            ),
-        };
+    let (lower_bc, upper_bc): (BcFn<'_>, BcFn<'_>) = match (option.right, option.exercise) {
+        (OptionRight::Call, _) => (
+            Box::new(move |_tau: f64| 0.0),
+            Box::new(move |tau: f64| s_max * (-m.dividend * tau).exp() - k * (-m.rate * tau).exp()),
+        ),
+        (OptionRight::Put, Exercise::European) => (
+            Box::new(move |tau: f64| k * (-m.rate * tau).exp() - s_min * (-m.dividend * tau).exp()),
+            Box::new(move |_tau: f64| 0.0),
+        ),
+        (OptionRight::Put, Exercise::American) => (
+            // Deep in the money an American put is exercised: V = K - S.
+            Box::new(move |_tau: f64| k - s_min),
+            Box::new(move |_tau: f64| 0.0),
+        ),
+    };
 
     let solver = Solver {
         model: m,
@@ -267,14 +263,8 @@ pub fn pde_barrier(m: &BlackScholes, option: &Barrier, cfg: &PdeConfig) -> PdeSo
         cfg.width_std_devs * m.sigma * t.sqrt() + (m.rate - m.dividend).abs() * t + 1e-9;
 
     let (x_min, x_max) = match option.kind {
-        BarrierKind::DownOut => (
-            option.barrier.ln(),
-            m.spot.ln().max(k.ln()) + half_width,
-        ),
-        BarrierKind::UpOut => (
-            m.spot.ln().min(k.ln()) - half_width,
-            option.barrier.ln(),
-        ),
+        BarrierKind::DownOut => (option.barrier.ln(), m.spot.ln().max(k.ln()) + half_width),
+        BarrierKind::UpOut => (m.spot.ln().min(k.ln()) - half_width, option.barrier.ln()),
     };
     let (xs, dx) = uniform_grid(x_min, x_max, cfg.space_steps);
     let payoff: Vec<f64> = xs
@@ -291,27 +281,24 @@ pub fn pde_barrier(m: &BlackScholes, option: &Barrier, cfg: &PdeConfig) -> PdeSo
 
     let s_min = xs[0].exp();
     let s_max = xs[xs.len() - 1].exp();
-    let (lower_bc, upper_bc): (BcFn<'_>, BcFn<'_>) =
-        match option.kind {
-            BarrierKind::DownOut => (
-                Box::new(move |_tau: f64| rebate),
-                Box::new(move |tau: f64| match option.right {
-                    // Far above strike and barrier the option behaves like a
-                    // forward.
-                    OptionRight::Call => {
-                        s_max * (-m.dividend * tau).exp() - k * (-m.rate * tau).exp()
-                    }
-                    OptionRight::Put => 0.0,
-                }),
-            ),
-            BarrierKind::UpOut => (
-                Box::new(move |tau: f64| match option.right {
-                    OptionRight::Put => k * (-m.rate * tau).exp() - s_min * (-m.dividend * tau).exp(),
-                    OptionRight::Call => 0.0,
-                }),
-                Box::new(move |_tau: f64| rebate),
-            ),
-        };
+    let (lower_bc, upper_bc): (BcFn<'_>, BcFn<'_>) = match option.kind {
+        BarrierKind::DownOut => (
+            Box::new(move |_tau: f64| rebate),
+            Box::new(move |tau: f64| match option.right {
+                // Far above strike and barrier the option behaves like a
+                // forward.
+                OptionRight::Call => s_max * (-m.dividend * tau).exp() - k * (-m.rate * tau).exp(),
+                OptionRight::Put => 0.0,
+            }),
+        ),
+        BarrierKind::UpOut => (
+            Box::new(move |tau: f64| match option.right {
+                OptionRight::Put => k * (-m.rate * tau).exp() - s_min * (-m.dividend * tau).exp(),
+                OptionRight::Call => 0.0,
+            }),
+            Box::new(move |_tau: f64| rebate),
+        ),
+    };
 
     let solver = Solver {
         model: m,

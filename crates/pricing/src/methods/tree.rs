@@ -162,8 +162,16 @@ mod tests {
     #[test]
     fn american_dominates_european_put() {
         let m = model();
-        let e = tree_vanilla(&m, &Vanilla::european_put(100.0, 1.0), &TreeConfig { steps: 500 });
-        let a = tree_vanilla(&m, &Vanilla::american_put(100.0, 1.0), &TreeConfig { steps: 500 });
+        let e = tree_vanilla(
+            &m,
+            &Vanilla::european_put(100.0, 1.0),
+            &TreeConfig { steps: 500 },
+        );
+        let a = tree_vanilla(
+            &m,
+            &Vanilla::american_put(100.0, 1.0),
+            &TreeConfig { steps: 500 },
+        );
         assert!(a.price > e.price);
         // Put deltas negative.
         assert!(a.delta < 0.0 && e.delta < 0.0);
@@ -172,6 +180,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn rejects_tiny_tree() {
-        tree_vanilla(&model(), &Vanilla::european_call(100.0, 1.0), &TreeConfig { steps: 1 });
+        tree_vanilla(
+            &model(),
+            &Vanilla::european_call(100.0, 1.0),
+            &TreeConfig { steps: 1 },
+        );
     }
 }

@@ -137,7 +137,12 @@ mod tests {
         let m = model();
         let mut s = 100.0;
         for k in 0..100 {
-            s = m.step(k as f64 * 0.01, s, 0.01, if k % 2 == 0 { 2.0 } else { -2.0 });
+            s = m.step(
+                k as f64 * 0.01,
+                s,
+                0.01,
+                if k % 2 == 0 { 2.0 } else { -2.0 },
+            );
             assert!(s > 0.0);
         }
     }

@@ -37,7 +37,8 @@ impl MultiBlackScholes {
             rate,
             dividend,
         };
-        m.validate().expect("invalid multi-asset Black-Scholes parameters");
+        m.validate()
+            .expect("invalid multi-asset Black-Scholes parameters");
         m
     }
 

@@ -8,9 +8,7 @@
 
 pub mod payoff;
 
-pub use payoff::{
-    american_put_payoff, basket_put_payoff, call_payoff, put_payoff, OptionRight,
-};
+pub use payoff::{american_put_payoff, basket_put_payoff, call_payoff, put_payoff, OptionRight};
 
 /// Exercise style of a claim.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -21,11 +21,12 @@
 //! [`PremiaProblem::compute`] runs the actual numerical method
 //! (`P.compute[]`).
 
+use crate::methods::bond::{bond_option_price, mc_zcb_price, mc_zcb_price_exec};
 use crate::methods::closed_form::{bs_price, down_out_call_price};
 use crate::methods::heston_cf::heston_cf_price;
 use crate::methods::lsm::{
-    lsm_basket, lsm_basket_exec, lsm_heston, lsm_heston_exec, lsm_vanilla_bs,
-    lsm_vanilla_bs_exec, LsmConfig,
+    lsm_basket, lsm_basket_exec, lsm_heston, lsm_heston_exec, lsm_vanilla_bs, lsm_vanilla_bs_exec,
+    LsmConfig,
 };
 use crate::methods::montecarlo::{
     mc_basket, mc_basket_exec, mc_heston, mc_heston_exec, mc_local_vol, mc_local_vol_exec,
@@ -33,10 +34,9 @@ use crate::methods::montecarlo::{
 };
 use crate::methods::pde::{pde_barrier, pde_vanilla, PdeConfig};
 use crate::methods::tree::{tree_vanilla, TreeConfig};
-use crate::methods::bond::{bond_option_price, mc_zcb_price, mc_zcb_price_exec};
-use exec::ExecPolicy;
 use crate::models::{BlackScholes, Heston, LocalVol, MultiBlackScholes, Vasicek};
 use crate::options::{Barrier, BasketOption, Exercise, OptionRight, Vanilla};
+use exec::ExecPolicy;
 use nspval::{Hash, Value};
 use numerics::poly::BasisKind;
 use std::fmt;
@@ -525,7 +525,14 @@ impl PremiaProblem {
             }
 
             // ---- 1-D Black–Scholes barrier -------------------------------
-            (Mo::BlackScholes(m), O::DownOutCall { strike, barrier, maturity }) => {
+            (
+                Mo::BlackScholes(m),
+                O::DownOutCall {
+                    strike,
+                    barrier,
+                    maturity,
+                },
+            ) => {
                 let opt = Barrier::down_out_call(*strike, *barrier, *maturity);
                 match &self.method {
                     M::ClosedForm => Ok(PricingResult {
@@ -534,7 +541,10 @@ impl PremiaProblem {
                         std_error: None,
                         method: self.method.name().into(),
                     }),
-                    M::Pde { time_steps, space_steps } => {
+                    M::Pde {
+                        time_steps,
+                        space_steps,
+                    } => {
                         let sol = pde_barrier(
                             m,
                             &opt,
@@ -559,7 +569,10 @@ impl PremiaProblem {
             (Mo::BlackScholes(m), O::AmericanPut { strike, maturity }) => {
                 let opt = Vanilla::american_put(*strike, *maturity);
                 match &self.method {
-                    M::Pde { time_steps, space_steps } => {
+                    M::Pde {
+                        time_steps,
+                        space_steps,
+                    } => {
                         let sol = pde_vanilla(
                             m,
                             &opt,
@@ -585,7 +598,12 @@ impl PremiaProblem {
                             method: self.method.name().into(),
                         })
                     }
-                    M::Lsm { paths, exercise_dates, basis_degree, seed } => {
+                    M::Lsm {
+                        paths,
+                        exercise_dates,
+                        basis_degree,
+                        seed,
+                    } => {
                         let cfg = LsmConfig {
                             paths: *paths,
                             exercise_dates: *exercise_dates,
@@ -612,7 +630,12 @@ impl PremiaProblem {
             (Mo::MultiBlackScholes(m), O::BasketPut { strike, maturity }) => {
                 let opt = BasketOption::european_put(*strike, *maturity);
                 match &self.method {
-                    M::MonteCarlo { paths, time_steps, antithetic, seed } => {
+                    M::MonteCarlo {
+                        paths,
+                        time_steps,
+                        antithetic,
+                        seed,
+                    } => {
                         let cfg = McConfig {
                             paths: *paths,
                             time_steps: *time_steps,
@@ -645,7 +668,12 @@ impl PremiaProblem {
             (Mo::MultiBlackScholes(m), O::AmericanBasketPut { strike, maturity }) => {
                 let opt = BasketOption::american_put(*strike, *maturity);
                 match &self.method {
-                    M::Lsm { paths, exercise_dates, basis_degree, seed } => {
+                    M::Lsm {
+                        paths,
+                        exercise_dates,
+                        basis_degree,
+                        seed,
+                    } => {
                         let cfg = LsmConfig {
                             paths: *paths,
                             exercise_dates: *exercise_dates,
@@ -683,7 +711,12 @@ impl PremiaProblem {
                     exercise: Exercise::European,
                 };
                 match &self.method {
-                    M::MonteCarlo { paths, time_steps, antithetic, seed } => {
+                    M::MonteCarlo {
+                        paths,
+                        time_steps,
+                        antithetic,
+                        seed,
+                    } => {
                         let cfg = McConfig {
                             paths: *paths,
                             time_steps: *time_steps,
@@ -726,7 +759,12 @@ impl PremiaProblem {
                         std_error: None,
                         method: self.method.name().into(),
                     }),
-                    M::MonteCarlo { paths, time_steps, antithetic, seed } => {
+                    M::MonteCarlo {
+                        paths,
+                        time_steps,
+                        antithetic,
+                        seed,
+                    } => {
                         let cfg = McConfig {
                             paths: *paths,
                             time_steps: *time_steps,
@@ -750,7 +788,12 @@ impl PremiaProblem {
             (Mo::Heston(m), O::AmericanPut { strike, maturity }) => {
                 let opt = Vanilla::american_put(*strike, *maturity);
                 match &self.method {
-                    M::Lsm { paths, exercise_dates, basis_degree, seed } => {
+                    M::Lsm {
+                        paths,
+                        exercise_dates,
+                        basis_degree,
+                        seed,
+                    } => {
                         let cfg = LsmConfig {
                             paths: *paths,
                             exercise_dates: *exercise_dates,
@@ -853,7 +896,9 @@ fn hash_get_str<'a>(h: &'a Hash, key: &str) -> Result<&'a str, PricingError> {
 fn hash_get_usize(h: &Hash, key: &str) -> Result<usize, PricingError> {
     let x = hash_get_f64(h, key)?;
     if x < 0.0 || x.fract() != 0.0 {
-        return Err(PricingError::Malformed(format!("field {key} is not a count: {x}")));
+        return Err(PricingError::Malformed(format!(
+            "field {key} is not a count: {x}"
+        )));
     }
     Ok(x as usize)
 }
@@ -1130,12 +1175,9 @@ mod tests {
     fn paper_section_3_3_example_builds_and_computes() {
         // P.set_model[str="Heston1dim"]; P.set_option[str="PutAmer"];
         // P.set_method[str="MC_AM_Alfonsi_LongstaffSchwartz"]
-        let mut p = PremiaProblem::create(
-            "Heston1dim",
-            "PutAmer",
-            "MC_AM_Alfonsi_LongstaffSchwartz",
-        )
-        .unwrap();
+        let mut p =
+            PremiaProblem::create("Heston1dim", "PutAmer", "MC_AM_Alfonsi_LongstaffSchwartz")
+                .unwrap();
         // Shrink for test runtime.
         p.method = MethodSpec::Lsm {
             paths: 2_000,
@@ -1162,8 +1204,8 @@ mod tests {
         let p = PremiaProblem::create("BlackScholes1dim", "PutAmer", "CF").unwrap();
         assert!(matches!(p.compute(), Err(PricingError::Unsupported(_))));
         // Basket with a tree is unsupported.
-        let p = PremiaProblem::create("BlackScholesNdim", "PutBasket", "TR_CoxRossRubinstein")
-            .unwrap();
+        let p =
+            PremiaProblem::create("BlackScholesNdim", "PutBasket", "TR_CoxRossRubinstein").unwrap();
         assert!(matches!(p.compute(), Err(PricingError::Unsupported(_))));
     }
 
@@ -1292,7 +1334,10 @@ mod tests {
         let cf = PremiaProblem::create("BlackScholes1dim", "CallEuro", "CF").unwrap();
         assert_eq!(
             cf.compute().unwrap().price.to_bits(),
-            cf.compute_with(&ExecPolicy::new(8)).unwrap().price.to_bits()
+            cf.compute_with(&ExecPolicy::new(8))
+                .unwrap()
+                .price
+                .to_bits()
         );
     }
 
@@ -1304,13 +1349,14 @@ mod tests {
 
     #[test]
     fn pde_and_tree_agree_through_problem_interface() {
-        let mut p1 = PremiaProblem::create("BlackScholes1dim", "PutAmer", "FD_CrankNicolson").unwrap();
+        let mut p1 =
+            PremiaProblem::create("BlackScholes1dim", "PutAmer", "FD_CrankNicolson").unwrap();
         p1.method = MethodSpec::Pde {
             time_steps: 200,
             space_steps: 400,
         };
-        let mut p2 = PremiaProblem::create("BlackScholes1dim", "PutAmer", "TR_CoxRossRubinstein")
-            .unwrap();
+        let mut p2 =
+            PremiaProblem::create("BlackScholes1dim", "PutAmer", "TR_CoxRossRubinstein").unwrap();
         p2.method = MethodSpec::Tree { steps: 1000 };
         let r1 = p1.compute().unwrap().price;
         let r2 = p2.compute().unwrap().price;

@@ -135,7 +135,11 @@ pub fn regression_suite(scale: SuiteScale) -> Vec<PremiaProblem> {
         suite.push(PremiaProblem::new(bs.clone(), amer.clone(), tree.clone()));
         suite.push(PremiaProblem::new(bs, amer.clone(), lsm.clone()));
         // Basket: MC + QMC; American basket: LSM.
-        suite.push(PremiaProblem::new(multi7.clone(), basket.clone(), mc.clone()));
+        suite.push(PremiaProblem::new(
+            multi7.clone(),
+            basket.clone(),
+            mc.clone(),
+        ));
         suite.push(PremiaProblem::new(multi7.clone(), basket, qmc.clone()));
         suite.push(PremiaProblem::new(multi7, basket_amer, lsm.clone()));
         // Local vol: MC call and put.
@@ -170,7 +174,11 @@ pub fn regression_suite(scale: SuiteScale) -> Vec<PremiaProblem> {
             MethodSpec::ClosedForm,
         ));
         suite.push(PremiaProblem::new(vasicek.clone(), zcb, mc.clone()));
-        suite.push(PremiaProblem::new(vasicek, bond_call, MethodSpec::ClosedForm));
+        suite.push(PremiaProblem::new(
+            vasicek,
+            bond_call,
+            MethodSpec::ClosedForm,
+        ));
     }
     suite
 }

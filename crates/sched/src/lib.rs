@@ -159,6 +159,15 @@ pub enum DispatchPolicy {
         /// `jobs` entries.
         costs: Vec<f64>,
     },
+    /// Priority classes: jobs go out in ascending class (0 = most
+    /// urgent), stable index order within a class. This is the serving
+    /// session's per-priority dispatch order — a batch mixing urgent
+    /// and background requests drains the urgent jobs first.
+    Priority {
+        /// Priority class per job, indexed by job id; must have exactly
+        /// `jobs` entries.
+        class: Vec<u8>,
+    },
 }
 
 /// Supervision parameters, lifted verbatim from the former
@@ -253,6 +262,13 @@ pub enum SchedError {
         /// Jobs in the run.
         jobs: usize,
     },
+    /// A priority class vector whose length does not match `jobs`.
+    PriorityLen {
+        /// Provided class entries.
+        classes: usize,
+        /// Jobs in the run.
+        jobs: usize,
+    },
     /// `max_attempts == 0` can never dispatch anything.
     ZeroAttempts,
 }
@@ -270,6 +286,12 @@ impl fmt::Display for SchedError {
             }
             SchedError::LptLen { costs, jobs } => {
                 write!(f, "LPT cost vector has {costs} entries for {jobs} jobs")
+            }
+            SchedError::PriorityLen { classes, jobs } => {
+                write!(
+                    f,
+                    "priority class vector has {classes} entries for {jobs} jobs"
+                )
             }
             SchedError::ZeroAttempts => write!(f, "max_attempts must be at least 1"),
         }
@@ -461,8 +483,22 @@ impl Scheduler {
                 let mut idx: Vec<usize> = (0..cfg.jobs).collect();
                 // Descending cost; stable, so ties keep index order.
                 idx.sort_by(|&a, &b| {
-                    costs[b].partial_cmp(&costs[a]).unwrap_or(std::cmp::Ordering::Equal)
+                    costs[b]
+                        .partial_cmp(&costs[a])
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 });
+                idx
+            }
+            DispatchPolicy::Priority { class } => {
+                if class.len() != cfg.jobs {
+                    return Err(SchedError::PriorityLen {
+                        classes: class.len(),
+                        jobs: cfg.jobs,
+                    });
+                }
+                let mut idx: Vec<usize> = (0..cfg.jobs).collect();
+                // Ascending class; stable, so FIFO within a class.
+                idx.sort_by_key(|&j| class[j]);
                 idx
             }
         };
@@ -518,7 +554,9 @@ impl Scheduler {
 
     /// Jobs neither answered nor permanently failed.
     pub fn unfinished(&self) -> usize {
-        (0..self.jobs).filter(|&j| !self.done[j] && !self.failed[j]).count()
+        (0..self.jobs)
+            .filter(|&j| !self.done[j] && !self.failed[j])
+            .count()
     }
 
     /// Total requeues performed (the retry counter of the old
@@ -534,7 +572,9 @@ impl Scheduler {
 
     /// Buried slaves, ascending.
     pub fn dead_slaves(&self) -> Vec<usize> {
-        (1..=self.slaves).filter(|&s| self.state[s] == SlaveState::Dead).collect()
+        (1..=self.slaves)
+            .filter(|&s| self.state[s] == SlaveState::Dead)
+            .collect()
     }
 
     /// The recorded decision trace, if tracing was enabled.
@@ -618,19 +658,23 @@ impl Scheduler {
             Event::Deadline => {
                 if supervised {
                     for slave in 1..=self.slaves {
-                        let Some(inf) = self.inflight[slave] else { continue };
+                        let Some(inf) = self.inflight[slave] else {
+                            continue;
+                        };
                         if now_ns >= inf.deadline_ns {
                             self.inflight[slave] = None;
                             self.state[slave] = SlaveState::Idle;
-                            out.push(Action::Expire { job: inf.job, slave });
+                            out.push(Action::Expire {
+                                job: inf.job,
+                                slave,
+                            });
                             self.requeue(inf.job, now_ns, &mut out);
                         }
                     }
                 }
             }
             Event::SlaveDead { slave } => {
-                if !(supervised && self.valid_slave(slave))
-                    || self.state[slave] == SlaveState::Dead
+                if !(supervised && self.valid_slave(slave)) || self.state[slave] == SlaveState::Dead
                 {
                     return Vec::new();
                 }
@@ -674,7 +718,9 @@ impl Scheduler {
     }
 
     fn alive_count(&self) -> usize {
-        (1..=self.slaves).filter(|&s| self.state[s] != SlaveState::Dead).count()
+        (1..=self.slaves)
+            .filter(|&s| self.state[s] != SlaveState::Dead)
+            .count()
     }
 
     /// Requeue `job` within its attempt budget (verbatim the old
@@ -728,7 +774,9 @@ impl Scheduler {
                 if not_before > now_ns {
                     break;
                 }
-                let Some(slave) = self.free_slave() else { break };
+                let Some(slave) = self.free_slave() else {
+                    break;
+                };
                 self.queue.pop_front();
                 self.attempts[job] += 1;
                 self.state[slave] = SlaveState::Busy;
@@ -738,7 +786,11 @@ impl Scheduler {
                     not_before_ns: not_before,
                     deadline_ns: now_ns.saturating_add(sup.deadline_ns),
                 });
-                out.push(Action::Dispatch { job, slave, batch: 1 });
+                out.push(Action::Dispatch {
+                    job,
+                    slave,
+                    batch: 1,
+                });
             }
         } else {
             while let Some(slave) = self.free_slave() {
@@ -762,7 +814,11 @@ impl Scheduler {
                         deadline_ns: u64::MAX,
                     });
                     self.outstanding += 1;
-                    out.push(Action::Dispatch { job: first, slave, batch: n });
+                    out.push(Action::Dispatch {
+                        job: first,
+                        slave,
+                        batch: n,
+                    });
                 } else {
                     self.state[slave] = SlaveState::Stopped;
                     out.push(Action::Stop { slave });
@@ -797,10 +853,7 @@ impl Scheduler {
                 self.finished = true;
                 out.push(Action::Finish);
             }
-        } else if self.ready_seen == self.slaves
-            && self.outstanding == 0
-            && self.queue.is_empty()
-        {
+        } else if self.ready_seen == self.slaves && self.outstanding == 0 && self.queue.is_empty() {
             self.finished = true;
             out.push(Action::Finish);
         }
@@ -850,20 +903,35 @@ mod tests {
         assert_eq!(
             prime(&mut s, 2),
             vec![
-                Action::Dispatch { job: 0, slave: 1, batch: 1 },
-                Action::Dispatch { job: 1, slave: 2, batch: 1 },
+                Action::Dispatch {
+                    job: 0,
+                    slave: 1,
+                    batch: 1
+                },
+                Action::Dispatch {
+                    job: 1,
+                    slave: 2,
+                    batch: 1
+                },
             ]
         );
         assert_eq!(
             s.on(Event::Answer { job: 0, slave: 1 }, 0),
             vec![
                 Action::Accept { job: 0, slave: 1 },
-                Action::Dispatch { job: 2, slave: 1, batch: 1 },
+                Action::Dispatch {
+                    job: 2,
+                    slave: 1,
+                    batch: 1
+                },
             ]
         );
         assert_eq!(
             s.on(Event::Answer { job: 1, slave: 2 }, 0),
-            vec![Action::Accept { job: 1, slave: 2 }, Action::Stop { slave: 2 }]
+            vec![
+                Action::Accept { job: 1, slave: 2 },
+                Action::Stop { slave: 2 }
+            ]
         );
         assert_eq!(
             s.on(Event::Answer { job: 2, slave: 1 }, 0),
@@ -909,8 +977,16 @@ mod tests {
         assert_eq!(
             prime(&mut s, 2),
             vec![
-                Action::Dispatch { job: 0, slave: 1, batch: 2 },
-                Action::Dispatch { job: 2, slave: 2, batch: 2 },
+                Action::Dispatch {
+                    job: 0,
+                    slave: 1,
+                    batch: 2
+                },
+                Action::Dispatch {
+                    job: 2,
+                    slave: 2,
+                    batch: 2
+                },
             ]
         );
         // The tail batch is short.
@@ -918,12 +994,19 @@ mod tests {
             s.on(Event::Answer { job: 0, slave: 1 }, 0),
             vec![
                 Action::Accept { job: 0, slave: 1 },
-                Action::Dispatch { job: 4, slave: 1, batch: 1 },
+                Action::Dispatch {
+                    job: 4,
+                    slave: 1,
+                    batch: 1
+                },
             ]
         );
         assert_eq!(
             s.on(Event::Answer { job: 2, slave: 2 }, 0),
-            vec![Action::Accept { job: 2, slave: 2 }, Action::Stop { slave: 2 }]
+            vec![
+                Action::Accept { job: 2, slave: 2 },
+                Action::Stop { slave: 2 }
+            ]
         );
         assert_eq!(
             s.on(Event::Answer { job: 4, slave: 1 }, 0),
@@ -937,8 +1020,9 @@ mod tests {
 
     #[test]
     fn lpt_orders_by_descending_cost_with_stable_ties() {
-        let cfg = SchedConfig::plain(4, 1)
-            .policy(DispatchPolicy::Lpt { costs: vec![1.0, 3.0, 3.0, 2.0] });
+        let cfg = SchedConfig::plain(4, 1).policy(DispatchPolicy::Lpt {
+            costs: vec![1.0, 3.0, 3.0, 2.0],
+        });
         let mut s = Scheduler::new(cfg).unwrap();
         let mut order = Vec::new();
         let mut acts = prime(&mut s, 1);
@@ -960,12 +1044,83 @@ mod tests {
     }
 
     #[test]
+    fn priority_orders_by_ascending_class_fifo_within() {
+        let cfg = SchedConfig::plain(5, 1).policy(DispatchPolicy::Priority {
+            class: vec![2, 0, 1, 0, 2],
+        });
+        let mut s = Scheduler::new(cfg).unwrap();
+        let mut order = Vec::new();
+        let mut acts = prime(&mut s, 1);
+        loop {
+            let mut answered = None;
+            for a in &acts {
+                if let Action::Dispatch { job, slave, .. } = *a {
+                    order.push(job);
+                    answered = Some((job, slave));
+                }
+            }
+            match answered {
+                Some((job, slave)) => acts = s.on(Event::Answer { job, slave }, 0),
+                None => break,
+            }
+        }
+        // Class 0 jobs first in index order, then class 1, then class 2.
+        assert_eq!(order, vec![1, 3, 2, 0, 4]);
+        assert!(s.finished());
+    }
+
+    #[test]
+    fn priority_uniform_classes_match_fifo() {
+        for jobs in [0usize, 1, 4, 7] {
+            let fifo = SchedConfig::plain(jobs, 2);
+            let prio = SchedConfig::plain(jobs, 2).policy(DispatchPolicy::Priority {
+                class: vec![3; jobs],
+            });
+            let mut a = Scheduler::new(fifo).unwrap();
+            let mut b = Scheduler::new(prio).unwrap();
+            for slave in 1..=2 {
+                assert_eq!(
+                    a.on(Event::SlaveReady { slave }, 0),
+                    b.on(Event::SlaveReady { slave }, 0)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn priority_class_length_is_validated() {
+        assert_eq!(
+            Scheduler::new(
+                SchedConfig::plain(3, 1).policy(DispatchPolicy::Priority { class: vec![0] })
+            )
+            .unwrap_err(),
+            SchedError::PriorityLen {
+                classes: 1,
+                jobs: 3
+            }
+        );
+        assert_eq!(
+            Scheduler::new(
+                SchedConfig::plain(2, 1)
+                    .batch(2)
+                    .policy(DispatchPolicy::Priority { class: vec![0, 1] })
+            )
+            .unwrap_err(),
+            SchedError::BatchNeedsFifo
+        );
+    }
+
+    #[test]
     fn supervised_requeues_on_failure_with_backoff() {
         let cfg = SchedConfig::plain(2, 1).supervised(sup());
         let mut s = Scheduler::new(cfg).unwrap();
         assert_eq!(
             prime(&mut s, 1),
-            vec![Action::Dispatch { job: 0, slave: 1, batch: 1 }]
+            vec![Action::Dispatch {
+                job: 0,
+                slave: 1,
+                batch: 1
+            }]
         );
         // Failure requeues job 0 to the *back*, so job 1 (now at the
         // front) goes out to the freed slave in the same decision.
@@ -973,7 +1128,11 @@ mod tests {
             s.on(Event::Failure { job: 0, slave: 1 }, 1_000),
             vec![
                 Action::Requeue { job: 0 },
-                Action::Dispatch { job: 1, slave: 1, batch: 1 },
+                Action::Dispatch {
+                    job: 1,
+                    slave: 1,
+                    batch: 1
+                },
             ]
         );
         assert_eq!(s.retries(), 1);
@@ -988,7 +1147,11 @@ mod tests {
         let later = 1_000 + sup().backoff_base_ns + 1;
         assert_eq!(
             s.on(Event::Deadline, later),
-            vec![Action::Dispatch { job: 0, slave: 1, batch: 1 }]
+            vec![Action::Dispatch {
+                job: 0,
+                slave: 1,
+                batch: 1
+            }]
         );
     }
 
@@ -1002,7 +1165,11 @@ mod tests {
         let mut s = Scheduler::new(cfg).unwrap();
         assert_eq!(
             prime(&mut s, 1),
-            vec![Action::Dispatch { job: 0, slave: 1, batch: 1 }]
+            vec![Action::Dispatch {
+                job: 0,
+                slave: 1,
+                batch: 1
+            }]
         );
         // First expiry: requeue + immediate redispatch (zero backoff).
         assert_eq!(
@@ -1010,7 +1177,11 @@ mod tests {
             vec![
                 Action::Expire { job: 0, slave: 1 },
                 Action::Requeue { job: 0 },
-                Action::Dispatch { job: 0, slave: 1, batch: 1 },
+                Action::Dispatch {
+                    job: 0,
+                    slave: 1,
+                    batch: 1
+                },
             ]
         );
         // Second expiry: the budget (2 attempts) is spent — the job is
@@ -1042,7 +1213,9 @@ mod tests {
         assert!(acts.contains(&Action::Accept { job: 0, slave: 1 }));
         // The retry's answer is a duplicate: no second accept.
         let acts = s.on(Event::Answer { job: 0, slave: 1 }, sup().deadline_ns + 3);
-        assert!(!acts.iter().any(|a| matches!(a, Action::Accept { job: 0, .. })));
+        assert!(!acts
+            .iter()
+            .any(|a| matches!(a, Action::Accept { job: 0, .. })));
         assert_eq!(s.done_count(), 1);
     }
 
@@ -1078,7 +1251,14 @@ mod tests {
         let mut s = Scheduler::new(cfg).unwrap();
         // Only slave 1 is up; both jobs would go to it one at a time.
         let acts = s.on(Event::SlaveReady { slave: 1 }, 0);
-        assert_eq!(acts, vec![Action::Dispatch { job: 0, slave: 1, batch: 1 }]);
+        assert_eq!(
+            acts,
+            vec![Action::Dispatch {
+                job: 0,
+                slave: 1,
+                batch: 1
+            }]
+        );
         // The send bounced: bury slave 1; job 0 keeps queue priority
         // and its attempt is uncounted.
         let acts = s.on(Event::SendFailed { job: 0, slave: 1 }, 5);
@@ -1087,7 +1267,14 @@ mod tests {
         // Slave 2 comes up and gets job 0 *first* (front requeue), with
         // its full attempt budget intact.
         let acts = s.on(Event::SlaveReady { slave: 2 }, 10);
-        assert_eq!(acts, vec![Action::Dispatch { job: 0, slave: 2, batch: 1 }]);
+        assert_eq!(
+            acts,
+            vec![Action::Dispatch {
+                job: 0,
+                slave: 2,
+                batch: 1
+            }]
+        );
     }
 
     #[test]
@@ -1101,15 +1288,16 @@ mod tests {
             SchedError::NoBatch
         );
         assert_eq!(
-            Scheduler::new(SchedConfig::plain(1, 1).batch(2).supervised(sup()))
-                .unwrap_err(),
+            Scheduler::new(SchedConfig::plain(1, 1).batch(2).supervised(sup())).unwrap_err(),
             SchedError::BatchNeedsPlain
         );
         assert_eq!(
             Scheduler::new(
                 SchedConfig::plain(2, 1)
                     .batch(2)
-                    .policy(DispatchPolicy::Lpt { costs: vec![1.0, 2.0] })
+                    .policy(DispatchPolicy::Lpt {
+                        costs: vec![1.0, 2.0]
+                    })
             )
             .unwrap_err(),
             SchedError::BatchNeedsFifo

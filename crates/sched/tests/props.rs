@@ -60,8 +60,14 @@ impl Model {
     fn apply(&mut self, a: &Action) {
         match *a {
             Action::Dispatch { job, slave, batch } => {
-                assert!(!self.dead[slave], "dispatch({job}->{slave}) to a buried slave");
-                assert!(!self.stopped[slave], "dispatch({job}->{slave}) to a stopped slave");
+                assert!(
+                    !self.dead[slave],
+                    "dispatch({job}->{slave}) to a buried slave"
+                );
+                assert!(
+                    !self.stopped[slave],
+                    "dispatch({job}->{slave}) to a stopped slave"
+                );
                 assert!(
                     self.inflight[slave].is_none(),
                     "dispatch({job}->{slave}) to a busy slave"
@@ -153,7 +159,12 @@ fn walk_to_termination(cfg: SchedConfig, seed: u64) -> (Scheduler, Model) {
             let s = busy[rng.below(busy.len() as u64) as usize];
             let job = model.inflight[s].as_ref().expect("busy")[0];
             model.inflight[s] = None;
-            feed(&mut sched, &mut model, Event::Failure { job, slave: s }, now);
+            feed(
+                &mut sched,
+                &mut model,
+                Event::Failure { job, slave: s },
+                now,
+            );
         } else if supervised && roll < 72 {
             // A slave dies (possibly the last one).
             let alive: Vec<usize> = (1..=slaves).filter(|&s| !model.dead[s]).collect();

@@ -1,0 +1,906 @@
+//! The long-lived pricing session: a resident slave world behind a
+//! bounded request queue.
+//!
+//! One [`Session`] spins up the same `slaves + 1`-rank in-process world
+//! as a `farm::run` call — and keeps it. Submitters hand in
+//! [`Request`]s (priced portfolios with a priority class and an
+//! optional queue deadline) and get back a [`Ticket`]; the front loop
+//! (rank 0) drains the queue, coalesces identical problems, serves
+//! repeats from the result memo, and drives each batch through the same
+//! pure [`sched::Scheduler`] state machine the one-shot farm masters
+//! use — supervised, so a slave killed mid-request still leaves every
+//! admitted ticket answered exactly once.
+//!
+//! The division of labour with admission control: [`Session::submit`]
+//! runs on the *caller's* thread and only touches atomics (shed
+//! decisions never wait for the farm), while all scheduling, memo and
+//! recording state is owned single-threaded by the front loop.
+
+use crate::config::{ServeConfig, ServeError};
+use farm::wire::Answer;
+use minimpi::{Comm, MpiError, World, ANY_SOURCE};
+use nspval::{Serial, Value};
+use obs::{Event, EventKind, Recorder, NO_JOB};
+use pricing::PremiaProblem;
+use sched::{Action, DispatchPolicy, Event as SchedEvent, SchedConfig, Scheduler, Supervision};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The session wire tag (the farm protocols use 7 and 9).
+const TAG: i32 = 11;
+
+/// Budget charged per memo entry value: a price, an optional standard
+/// error, and the `Option` discriminant.
+const MEMO_VALUE_BYTES: usize = 24;
+
+// ---------------------------------------------------------------------------
+// Public request/response types
+// ---------------------------------------------------------------------------
+
+/// A priced portfolio submitted to a [`Session`].
+#[derive(Debug, Clone)]
+pub struct Request {
+    problems: Vec<PremiaProblem>,
+    priority: u8,
+    deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A request at the default priority (class 1 of 3 — "normal"),
+    /// with no queue deadline.
+    pub fn new(problems: Vec<PremiaProblem>) -> Self {
+        Request {
+            problems,
+            priority: 1,
+            deadline: None,
+        }
+    }
+
+    /// Set the priority class (0 is the most urgent).
+    pub fn priority(mut self, class: u8) -> Self {
+        self.priority = class;
+        self
+    }
+
+    /// Bound the time the request may sit in the queue: a request still
+    /// undispatched after `d` is expired (its ticket is answered with
+    /// an error for every problem rather than left hanging).
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+}
+
+/// One priced problem in a [`Response`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Priced {
+    /// Price estimate — bit-identical whether computed fresh or served
+    /// from the memo.
+    pub price: f64,
+    /// Monte-Carlo standard error, when the method reports one.
+    pub std_error: Option<f64>,
+    /// `true` when the answer came from the result memo or was
+    /// coalesced onto another request's compute.
+    pub memoised: bool,
+}
+
+/// The answer to one admitted request: exactly one per ticket.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The request id (matches [`Ticket::id`]).
+    pub id: u64,
+    /// Per-problem results, in submission order. `Err` carries the
+    /// reason (compute failure, exhausted retry budget, queue-deadline
+    /// expiry).
+    pub results: Vec<Result<Priced, String>>,
+    /// End-to-end latency, submission to answer.
+    pub latency: Duration,
+}
+
+impl Response {
+    /// `true` when every problem priced successfully.
+    pub fn all_priced(&self) -> bool {
+        self.results.iter().all(|r| r.is_ok())
+    }
+
+    /// Number of problems answered from the memo / by coalescing.
+    pub fn memoised_count(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r, Ok(p) if p.memoised))
+            .count()
+    }
+}
+
+/// The handle returned by [`Session::submit`]: a claim on exactly one
+/// [`Response`].
+#[derive(Debug)]
+pub struct Ticket {
+    id: u64,
+    rx: mpsc::Receiver<Response>,
+}
+
+impl Ticket {
+    /// The request id this ticket will be answered under.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the response arrives. Errs with
+    /// [`ServeError::SessionClosed`] only if the session died without
+    /// answering (a front-loop panic or a full-world collapse during
+    /// shutdown).
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::SessionClosed)
+    }
+}
+
+/// Counters of one session's lifetime, returned by
+/// [`Session::shutdown`].
+#[derive(Debug, Clone, Default)]
+pub struct SessionReport {
+    /// Requests answered with priced results.
+    pub answered: u64,
+    /// Admitted requests answered as expired (queue deadline).
+    pub expired: u64,
+    /// Requests turned away at admission ([`ServeError::Overloaded`]).
+    pub shed: u64,
+    /// Problems answered without a fresh compute (memo or coalescing).
+    pub memo_hits: u64,
+    /// Problems dispatched to slaves and priced.
+    pub computed: u64,
+    /// Problems abandoned (retry budget exhausted or slaves dead).
+    pub failed: u64,
+    /// Re-dispatches the supervised scheduler performed.
+    pub retries: u64,
+    /// Slave ranks that died during the session.
+    pub dead_slaves: Vec<usize>,
+    /// Result-memo traffic counters.
+    pub memo: store::MemoStats,
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+/// Shared admission state: per-priority queue occupancy plus the
+/// in-flight byte gauge, all atomics so [`Session::submit`] never
+/// blocks on the front loop.
+struct Admission {
+    depth: Vec<AtomicUsize>,
+    bytes: AtomicUsize,
+    byte_budget: usize,
+}
+
+impl Admission {
+    fn new(classes: u8, byte_budget: usize) -> Self {
+        Admission {
+            depth: (0..classes).map(|_| AtomicUsize::new(0)).collect(),
+            bytes: AtomicUsize::new(0),
+            byte_budget,
+        }
+    }
+
+    /// Reserve a queue slot and `bytes` of budget, or say exactly why
+    /// not. Optimistic increment with rollback: over-admission is
+    /// impossible because every racer that observes an overshoot rolls
+    /// its own reservation back before erring.
+    fn try_admit(&self, priority: u8, limit: usize, bytes: usize) -> Result<(), ServeError> {
+        let d = &self.depth[priority as usize];
+        let queued = d.fetch_add(1, Ordering::SeqCst) + 1;
+        if queued > limit {
+            d.fetch_sub(1, Ordering::SeqCst);
+            return Err(ServeError::Overloaded {
+                priority,
+                queued: queued - 1,
+                depth_limit: limit,
+                inflight_bytes: self.bytes.load(Ordering::SeqCst),
+                byte_budget: self.byte_budget,
+            });
+        }
+        let inflight = self.bytes.fetch_add(bytes, Ordering::SeqCst) + bytes;
+        if inflight > self.byte_budget {
+            self.bytes.fetch_sub(bytes, Ordering::SeqCst);
+            d.fetch_sub(1, Ordering::SeqCst);
+            return Err(ServeError::Overloaded {
+                priority,
+                queued: queued - 1,
+                depth_limit: limit,
+                inflight_bytes: inflight - bytes,
+                byte_budget: self.byte_budget,
+            });
+        }
+        Ok(())
+    }
+
+    /// Return a request's reservation (on answer, expiry, or a failed
+    /// enqueue).
+    fn release(&self, priority: u8, bytes: usize) {
+        self.depth[priority as usize].fetch_sub(1, Ordering::SeqCst);
+        self.bytes.fetch_sub(bytes, Ordering::SeqCst);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Queue messages
+// ---------------------------------------------------------------------------
+
+/// One problem, prepared on the submitter's thread: serialized once,
+/// fingerprinted once.
+struct Prepared {
+    serial: Vec<u8>,
+    key: store::MemoKey,
+}
+
+/// An admitted request travelling to the front loop.
+struct Submitted {
+    id: u64,
+    jobs: Vec<Prepared>,
+    priority: u8,
+    deadline: Option<Duration>,
+    submitted: Instant,
+    /// Recorder clock at submission (None when unrecorded) — the start
+    /// of the `Enqueue` and `Admit` spans.
+    enq_ns: Option<u64>,
+    bytes: usize,
+    reply: mpsc::Sender<Response>,
+}
+
+enum Msg {
+    Request(Box<Submitted>),
+    /// A shed happened on a submitter thread; the front loop records it
+    /// (the obs ring of rank 0 is single-writer).
+    Shed {
+        at_ns: Option<u64>,
+        problems: u64,
+    },
+    Shutdown,
+}
+
+// ---------------------------------------------------------------------------
+// The session
+// ---------------------------------------------------------------------------
+
+/// A long-lived pricing service over a resident in-process world. See
+/// the [module docs](self) and `docs/SERVICE.md`.
+pub struct Session {
+    tx: mpsc::Sender<Msg>,
+    admission: Arc<Admission>,
+    recorder: Option<Arc<Recorder>>,
+    /// Admission limit per priority class, from
+    /// [`ServeConfig::depth_limit`].
+    limits: Vec<usize>,
+    memo_params: (u32, u32),
+    next_id: AtomicU64,
+    handle: Option<JoinHandle<Option<SessionReport>>>,
+}
+
+impl Session {
+    /// Validate `cfg`, spin up the world, and hold it resident until
+    /// [`shutdown`](Session::shutdown) (or drop).
+    pub fn start(cfg: ServeConfig) -> Result<Session, ServeError> {
+        cfg.validate().map_err(ServeError::Config)?;
+        let admission = Arc::new(Admission::new(cfg.priorities, cfg.inflight_bytes));
+        let (tx, rx) = mpsc::channel::<Msg>();
+        let recorder = cfg.recorder.clone();
+        let limits: Vec<usize> = (0..cfg.priorities).map(|p| cfg.depth_limit(p)).collect();
+        let memo_params = cfg.memo_params();
+        let front_admission = admission.clone();
+        let handle = std::thread::spawn(move || {
+            // The closure is shared across ranks (the world runs scoped
+            // threads); rank 0 takes the receiver out of the slot, the
+            // slaves never look.
+            let rx_slot = Mutex::new(Some(rx));
+            let results = World::run_instrumented(
+                cfg.slaves + 1,
+                cfg.fault_plan.clone(),
+                cfg.recorder.clone(),
+                |comm| {
+                    if comm.rank() == 0 {
+                        let rx = rx_slot.lock().unwrap().take().expect("rank 0 runs once");
+                        Some(front_loop(&comm, &cfg, &front_admission, rx))
+                    } else {
+                        slave_loop(&comm, &cfg);
+                        None
+                    }
+                },
+            );
+            results.into_iter().next().flatten()
+        });
+        Ok(Session {
+            tx,
+            admission,
+            recorder,
+            limits,
+            memo_params,
+            next_id: AtomicU64::new(0),
+            handle: Some(handle),
+        })
+    }
+
+    /// Submit a request. Serializes and fingerprints the problems on
+    /// the calling thread, runs admission control, and either returns a
+    /// [`Ticket`] (the request *will* be answered exactly once) or
+    /// sheds with a typed [`ServeError`].
+    pub fn submit(&self, req: Request) -> Result<Ticket, ServeError> {
+        if req.problems.is_empty() {
+            return Err(ServeError::EmptyRequest);
+        }
+        if req.priority as usize >= self.limits.len() {
+            return Err(ServeError::InvalidPriority {
+                priority: req.priority,
+                classes: self.limits.len() as u8,
+            });
+        }
+        let (chunk, lanes) = self.memo_params;
+        let jobs: Vec<Prepared> = req
+            .problems
+            .iter()
+            .map(|p| {
+                let serial = xdrser::serialize_to_bytes(&p.to_value());
+                let key = store::MemoKey {
+                    fp: store::ContentFingerprint::of_bytes(&serial),
+                    chunk,
+                    lanes,
+                };
+                Prepared { serial, key }
+            })
+            .collect();
+        let bytes: usize = jobs.iter().map(|j| j.serial.len()).sum();
+        let limit = self.limits[req.priority as usize];
+        if let Err(e) = self.admission.try_admit(req.priority, limit, bytes) {
+            // Note the shed for the front loop's recorder and report.
+            let _ = self.tx.send(Msg::Shed {
+                at_ns: self.recorder.as_ref().map(|r| r.now_ns()),
+                problems: jobs.len() as u64,
+            });
+            return Err(e);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (reply, rx) = mpsc::channel();
+        let submitted = Submitted {
+            id,
+            jobs,
+            priority: req.priority,
+            deadline: req.deadline,
+            submitted: Instant::now(),
+            enq_ns: self.recorder.as_ref().map(|r| r.now_ns()),
+            bytes,
+            reply,
+        };
+        if self.tx.send(Msg::Request(Box::new(submitted))).is_err() {
+            self.admission.release(req.priority, bytes);
+            return Err(ServeError::SessionClosed);
+        }
+        Ok(Ticket { id, rx })
+    }
+
+    /// Stop accepting work, drain the queue, stop the slaves, join the
+    /// world, and return the lifetime counters.
+    pub fn shutdown(mut self) -> Result<SessionReport, ServeError> {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> Result<SessionReport, ServeError> {
+        let Some(handle) = self.handle.take() else {
+            return Err(ServeError::SessionClosed);
+        };
+        let _ = self.tx.send(Msg::Shutdown);
+        match handle.join() {
+            Ok(Some(report)) => Ok(report),
+            _ => Err(ServeError::SessionClosed),
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            let _ = self.shutdown_inner();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Front loop (rank 0)
+// ---------------------------------------------------------------------------
+
+/// Record an instantaneous mark on this rank, if recording. `at_ns`
+/// backdates the mark to a submitter-side clock read of the same
+/// recorder.
+fn mark(comm: &Comm, kind: EventKind, at_ns: Option<u64>, job: i64, bytes: u64) {
+    if let Some(rec) = comm.recorder() {
+        rec.record(Event {
+            kind,
+            rank: comm.rank() as u16,
+            job,
+            start_ns: at_ns.unwrap_or_else(|| rec.now_ns()),
+            dur_ns: 0,
+            bytes,
+        });
+    }
+}
+
+/// Close a span opened at `start_ns` (a clock read of the same
+/// recorder, possibly on a submitter thread).
+fn span(comm: &Comm, kind: EventKind, start_ns: Option<u64>, job: i64, bytes: u64) {
+    if let (Some(rec), Some(t0)) = (comm.recorder(), start_ns) {
+        rec.record_span(comm.rank(), kind, job, t0, bytes);
+    }
+}
+
+fn front_loop(
+    comm: &Comm,
+    cfg: &ServeConfig,
+    admission: &Admission,
+    rx: mpsc::Receiver<Msg>,
+) -> SessionReport {
+    let mut report = SessionReport::default();
+    let mut memo: store::ResultCache<(f64, Option<f64>)> = store::ResultCache::new(cfg.memo_bytes);
+    let mut dead: BTreeSet<usize> = BTreeSet::new();
+    let mut next_wire: u64 = 0;
+    loop {
+        // Block for traffic, then drain everything already queued into
+        // one batch — the request-coalescing window.
+        let first = match rx.recv() {
+            Ok(m) => m,
+            // Every sender dropped without a Shutdown: treat as one.
+            Err(_) => break,
+        };
+        let mut batch: Vec<Submitted> = Vec::new();
+        let mut shutdown = false;
+        let mut m = Some(first);
+        loop {
+            match m {
+                Some(Msg::Request(s)) => batch.push(*s),
+                Some(Msg::Shed { at_ns, problems }) => {
+                    mark(comm, EventKind::Shed, at_ns, NO_JOB, problems);
+                    report.shed += 1;
+                }
+                Some(Msg::Shutdown) => {
+                    shutdown = true;
+                    break;
+                }
+                None => break,
+            }
+            m = rx.try_recv().ok();
+        }
+        if !batch.is_empty() {
+            serve_batch(
+                comm,
+                cfg,
+                admission,
+                &mut memo,
+                &mut dead,
+                &mut next_wire,
+                batch,
+                &mut report,
+            );
+        }
+        if shutdown {
+            break;
+        }
+    }
+    // Stop the resident slaves: the real Fig. 4 sentinel, once. Sends
+    // to already-dead ranks fail with Poisoned; that is their goodbye.
+    for s in 1..=cfg.slaves {
+        let _ = comm.send_obj(&Value::empty_matrix(), s as i32, TAG);
+    }
+    report.dead_slaves = dead.into_iter().collect();
+    report.memo = memo.stats();
+    report
+}
+
+/// One coalescing slot: a unique problem this batch will compute once,
+/// fanned out to every subscribed `(request, problem)` position.
+struct Slot {
+    key: store::MemoKey,
+    serial: Vec<u8>,
+    class: u8,
+    subscribers: Vec<(usize, usize)>,
+    outcome: Option<Result<(f64, Option<f64>), String>>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve_batch(
+    comm: &Comm,
+    cfg: &ServeConfig,
+    admission: &Admission,
+    memo: &mut store::ResultCache<(f64, Option<f64>)>,
+    dead: &mut BTreeSet<usize>,
+    next_wire: &mut u64,
+    batch: Vec<Submitted>,
+    report: &mut SessionReport,
+) {
+    // Queue residency ends now: close every Enqueue span, then expire
+    // the requests whose queue deadline already passed.
+    let mut live: Vec<Submitted> = Vec::with_capacity(batch.len());
+    for s in batch {
+        span(
+            comm,
+            EventKind::Enqueue,
+            s.enq_ns,
+            s.id as i64,
+            s.bytes as u64,
+        );
+        if s.deadline.is_some_and(|d| s.submitted.elapsed() > d) {
+            mark(
+                comm,
+                EventKind::Shed,
+                None,
+                s.id as i64,
+                s.jobs.len() as u64,
+            );
+            report.expired += 1;
+            let waited = s.submitted.elapsed();
+            let _ = s.reply.send(Response {
+                id: s.id,
+                results: s
+                    .jobs
+                    .iter()
+                    .map(|_| Err(format!("queue deadline expired after {waited:?}")))
+                    .collect(),
+                latency: waited,
+            });
+            // Admission slot freed; the ticket was still answered once.
+            admission.release(s.priority, s.bytes);
+            continue;
+        }
+        live.push(s);
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    // Coalesce: memo first, then within-batch duplicates.
+    let mut answers: Vec<Vec<Option<Result<Priced, String>>>> =
+        live.iter().map(|s| vec![None; s.jobs.len()]).collect();
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut index: HashMap<store::MemoKey, usize> = HashMap::new();
+    for (ri, s) in live.iter().enumerate() {
+        for (pi, prep) in s.jobs.iter().enumerate() {
+            if let Some((price, std_error)) = memo.get(&prep.key) {
+                mark(comm, EventKind::MemoHit, None, s.id as i64, 1);
+                report.memo_hits += 1;
+                answers[ri][pi] = Some(Ok(Priced {
+                    price,
+                    std_error,
+                    memoised: true,
+                }));
+            } else if let Some(&slot) = index.get(&prep.key) {
+                // A second subscriber to a problem already in this
+                // batch: it shares the compute, so it counts as served
+                // without one.
+                mark(comm, EventKind::MemoHit, None, s.id as i64, 1);
+                report.memo_hits += 1;
+                slots[slot].class = slots[slot].class.min(s.priority);
+                slots[slot].subscribers.push((ri, pi));
+            } else {
+                index.insert(prep.key, slots.len());
+                slots.push(Slot {
+                    key: prep.key,
+                    serial: prep.serial.clone(),
+                    class: s.priority,
+                    subscribers: vec![(ri, pi)],
+                    outcome: None,
+                });
+            }
+        }
+    }
+
+    if !slots.is_empty() {
+        drive_batch(comm, cfg, &mut slots, dead, next_wire, report);
+        for slot in &slots {
+            let outcome = slot
+                .outcome
+                .clone()
+                .unwrap_or_else(|| Err("scheduler dropped the job".into()));
+            if let Ok(value) = outcome {
+                memo.insert(slot.key, value, MEMO_VALUE_BYTES);
+                report.computed += 1;
+            } else {
+                report.failed += 1;
+            }
+            for (order, &(ri, pi)) in slot.subscribers.iter().enumerate() {
+                answers[ri][pi] = Some(match &outcome {
+                    Ok((price, std_error)) => Ok(Priced {
+                        price: *price,
+                        std_error: *std_error,
+                        memoised: order > 0,
+                    }),
+                    Err(why) => Err(why.clone()),
+                });
+            }
+        }
+    }
+
+    // Answer every ticket exactly once and return its admission slot.
+    for (ri, s) in live.into_iter().enumerate() {
+        let results: Vec<Result<Priced, String>> = answers[ri]
+            .drain(..)
+            .map(|r| r.expect("every problem answered"))
+            .collect();
+        span(
+            comm,
+            EventKind::Admit,
+            s.enq_ns,
+            s.id as i64,
+            s.jobs.len() as u64,
+        );
+        report.answered += 1;
+        let _ = s.reply.send(Response {
+            id: s.id,
+            results,
+            latency: s.submitted.elapsed(),
+        });
+        admission.release(s.priority, s.bytes);
+    }
+}
+
+/// Drive one batch of unique problems through a supervised
+/// [`Scheduler`] on the resident slaves. Wire job ids are globally
+/// unique across the session so a straggler answer from a previous
+/// batch (a retry raced its original) can never be mistaken for a
+/// current job.
+fn drive_batch(
+    comm: &Comm,
+    cfg: &ServeConfig,
+    slots: &mut [Slot],
+    dead: &mut BTreeSet<usize>,
+    next_wire: &mut u64,
+    report: &mut SessionReport,
+) {
+    let jobs = slots.len();
+    let base = *next_wire;
+    *next_wire += jobs as u64;
+    let wire_of = |job: usize| base + job as u64;
+    let slot_of = |wire: u64| -> Option<usize> {
+        wire.checked_sub(base)
+            .filter(|&j| (j as usize) < jobs)
+            .map(|j| j as usize)
+    };
+
+    let class: Vec<u8> = slots.iter().map(|s| s.class).collect();
+    let sc = SchedConfig::plain(jobs, cfg.slaves)
+        .policy(DispatchPolicy::Priority { class })
+        .supervised(Supervision {
+            deadline_ns: cfg.job_deadline.as_nanos() as u64,
+            max_attempts: cfg.max_attempts,
+            backoff_base_ns: cfg.backoff_base.as_nanos() as u64,
+        });
+    let mut sched = match Scheduler::new(sc) {
+        Ok(s) => s,
+        Err(e) => {
+            for slot in slots.iter_mut() {
+                slot.outcome = Some(Err(format!("scheduler rejected batch: {e}")));
+            }
+            return;
+        }
+    };
+
+    let epoch = Instant::now();
+    let now = || epoch.elapsed().as_nanos() as u64;
+
+    let send = |slot: &Slot, job: usize, rank: usize| -> Result<(), MpiError> {
+        comm.set_job(Some(wire_of(job) as usize));
+        let msg = Value::list(vec![
+            Value::scalar(wire_of(job) as f64),
+            Value::Serial(Serial::new(slot.serial.clone())),
+        ]);
+        let sent = comm.send_obj(&msg, rank as i32, TAG);
+        comm.set_job(None);
+        sent
+    };
+
+    // The priced answer being fed to the scheduler, consumed by the
+    // Accept it may produce (late duplicates leave it unconsumed).
+    let mut pending: Option<(f64, Option<f64>)> = None;
+
+    let run_actions = |sched: &mut Scheduler,
+                       pending: &mut Option<(f64, Option<f64>)>,
+                       slots: &mut [Slot],
+                       dead: &mut BTreeSet<usize>,
+                       actions: Vec<Action>| {
+        let mut work: VecDeque<Action> = actions.into();
+        while let Some(a) = work.pop_front() {
+            match a {
+                Action::Dispatch { job, slave, .. } => match send(&slots[job], job, slave) {
+                    Ok(()) => {
+                        mark(comm, EventKind::Dispatch, None, wire_of(job) as i64, 1);
+                    }
+                    Err(MpiError::Poisoned(r)) if r == slave => {
+                        let rec = sched.on(SchedEvent::SendFailed { job, slave }, now());
+                        for r in rec.into_iter().rev() {
+                            work.push_front(r);
+                        }
+                    }
+                    Err(_) => {
+                        // Any other send failure: treat like a lost
+                        // dispatch; the job deadline requeues it.
+                    }
+                },
+                // Slaves are resident: the per-batch scheduler's Stop
+                // actions are intercepted, never forwarded. The real
+                // sentinel goes out once, at session shutdown.
+                Action::Stop { .. } => {}
+                Action::Accept { job, .. } => {
+                    if let Some(value) = pending.take() {
+                        slots[job].outcome = Some(Ok(value));
+                    }
+                }
+                Action::Expire { job, .. } => {
+                    mark(comm, EventKind::Deadline, None, wire_of(job) as i64, 0);
+                }
+                Action::Requeue { job } => {
+                    mark(comm, EventKind::Retry, None, wire_of(job) as i64, 0);
+                }
+                Action::Bury { slave } => {
+                    mark(comm, EventKind::SlaveDeath, None, NO_JOB, slave as u64);
+                    dead.insert(slave);
+                }
+                Action::AllSlavesDead | Action::Finish => {}
+            }
+        }
+    };
+
+    // Prime every slave; dispatches to already-dead ranks fail fast
+    // with Poisoned and the scheduler buries them, exactly like the
+    // one-shot supervised master.
+    for s in 1..=cfg.slaves {
+        let acts = sched.on(SchedEvent::SlaveReady { slave: s }, now());
+        run_actions(&mut sched, &mut pending, slots, dead, acts);
+    }
+
+    while !sched.is_terminal() {
+        // Liveness sweep: notice kills that happened between messages.
+        for s in 1..=cfg.slaves {
+            if !sched.is_dead(s) && !comm.rank_alive(s) {
+                let acts = sched.on(SchedEvent::SlaveDead { slave: s }, now());
+                run_actions(&mut sched, &mut pending, slots, dead, acts);
+            }
+        }
+        if sched.is_terminal() {
+            break;
+        }
+        // Deadline/backoff tick.
+        let acts = sched.on(SchedEvent::Deadline, now());
+        run_actions(&mut sched, &mut pending, slots, dead, acts);
+        if sched.is_terminal() {
+            break;
+        }
+        match comm.recv_obj_timeout(ANY_SOURCE, TAG, cfg.poll) {
+            Ok(None) => {}
+            Ok(Some((v, st))) => match Answer::decode(&v) {
+                // A wire id outside this batch is a straggler from an
+                // earlier one (a retry raced the original answer):
+                // its job was already accepted once; drop it.
+                Some(Answer::Priced {
+                    job,
+                    price,
+                    std_error,
+                }) => {
+                    if let Some(slot) = slot_of(job as u64) {
+                        pending = Some((price, std_error));
+                        let acts = sched.on(
+                            SchedEvent::Answer {
+                                job: slot,
+                                slave: st.src,
+                            },
+                            now(),
+                        );
+                        run_actions(&mut sched, &mut pending, slots, dead, acts);
+                        pending = None;
+                    }
+                }
+                Some(Answer::Failed { job, why }) => {
+                    if let Some(slot) = slot_of(job as u64) {
+                        if slots[slot].outcome.is_none() {
+                            slots[slot].outcome = Some(Err(why));
+                        }
+                        let acts = sched.on(
+                            SchedEvent::Failure {
+                                job: slot,
+                                slave: st.src,
+                            },
+                            now(),
+                        );
+                        run_actions(&mut sched, &mut pending, slots, dead, acts);
+                    }
+                }
+                None => {
+                    // An undecodable frame on the serve tag: ignore it
+                    // rather than poison a long-lived session; the job
+                    // deadline covers the loss.
+                }
+            },
+            Err(MpiError::Truncated { .. }) => {
+                let _ = comm.discard(ANY_SOURCE, TAG);
+            }
+            Err(_) => break,
+        }
+    }
+
+    report.retries += sched.retries();
+    for s in sched.dead_slaves() {
+        dead.insert(s);
+    }
+    for job in sched.failed_jobs() {
+        let slot = &mut slots[job];
+        if slot.outcome.is_none() {
+            slot.outcome = Some(Err("retry budget exhausted".into()));
+        }
+    }
+    if sched.aborted() {
+        for slot in slots.iter_mut() {
+            if slot.outcome.is_none() {
+                slot.outcome = Some(Err("all slaves dead".into()));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slave loop
+// ---------------------------------------------------------------------------
+
+/// The resident slave: wait (unbounded — the session is long-lived),
+/// price, answer, repeat, until the shutdown sentinel or the world
+/// dies.
+fn slave_loop(comm: &Comm, cfg: &ServeConfig) {
+    let exec = cfg.exec_policy();
+    loop {
+        let msg = match comm.recv_obj(0, TAG) {
+            Ok((v, _st)) => v,
+            // Poisoned / disconnected / killed: the session is over for
+            // this rank.
+            Err(_) => return,
+        };
+        if msg.is_empty_matrix() {
+            return;
+        }
+        let decoded = msg.as_list().and_then(|l| {
+            let wire = l.get(0)?.as_scalar()? as usize;
+            let serial = l.get(1)?.as_serial()?.clone();
+            Some((wire, serial))
+        });
+        let Some((wire, serial)) = decoded else {
+            // Not a job frame; skip it (the master's deadline requeues).
+            continue;
+        };
+        comm.set_job(Some(wire));
+        let answer = price_one(comm, &exec, &serial, wire);
+        comm.set_job(None);
+        if comm.send_obj(&answer.to_value(), 0, TAG).is_err() {
+            return;
+        }
+    }
+}
+
+/// Unserialize and price one problem, recording the `Compute` span on
+/// this rank (the memo-hit-rate denominator).
+fn price_one(comm: &Comm, exec: &Option<exec::ExecPolicy>, serial: &Serial, wire: usize) -> Answer {
+    let start = comm.recorder().map(|r| r.now_ns());
+    let problem = match xdrser::unserialize(serial)
+        .ok()
+        .and_then(|v| PremiaProblem::from_value(&v).ok())
+    {
+        Some(p) => p,
+        None => return Answer::failed(wire, "undecodable problem payload"),
+    };
+    let result = match exec {
+        None => problem.compute(),
+        Some(pol) => problem.compute_with(pol),
+    };
+    match result {
+        Ok(r) => {
+            if let (Some(rec), Some(t0)) = (comm.recorder(), start) {
+                rec.record_span(comm.rank(), EventKind::Compute, wire as i64, t0, 0);
+            }
+            Answer::priced(wire, &r)
+        }
+        Err(e) => Answer::failed(wire, format!("compute failed: {e}")),
+    }
+}

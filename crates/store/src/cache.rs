@@ -75,10 +75,7 @@ impl CacheState {
             let Some((_, victim)) = self.lru.pop_first() else {
                 break;
             };
-            let entry = self
-                .entries
-                .remove(&victim)
-                .expect("lru and entries agree");
+            let entry = self.entries.remove(&victim).expect("lru and entries agree");
             let len = entry.serial.len() as u64;
             self.resident_bytes -= len;
             self.evictions += 1;

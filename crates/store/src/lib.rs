@@ -20,15 +20,21 @@
 //! * [`Prefetcher`] — a bounded master-side pipeline that pulls the next
 //!   `depth` problems into the store while earlier sends are still in
 //!   flight, so a warm cache greets every dispatch.
+//! * [`ResultCache`] — the fingerprint idea extended from problem bytes
+//!   to computed *answers*: a byte-budgeted LRU memo keyed by
+//!   [`ContentFingerprint`] × execution parameters ([`MemoKey`]), used
+//!   by the serving session to coalesce identical requests.
 //!
-//! See `docs/STORE.md` for the design discussion.
+//! See `docs/STORE.md` and `docs/SERVICE.md` for the design discussion.
 
 #![warn(missing_docs)]
 
 mod backend;
 mod cache;
+mod memo;
 mod prefetch;
 
 pub use backend::{DirStore, Fetched, ProblemStore, StoreStats};
 pub use cache::CachingStore;
+pub use memo::{ContentFingerprint, MemoKey, MemoStats, ResultCache};
 pub use prefetch::Prefetcher;

@@ -1,0 +1,299 @@
+//! Result memoisation: the [`CachingStore`](crate::CachingStore)
+//! fingerprint idea extended from problem *bytes* to computed *answers*.
+//!
+//! The path cache keys entries by `(path, length, mtime)` because its
+//! identity is "the file I would re-read". A serving session has no
+//! paths — requests carry serialized problems — so the memo keys by the
+//! *content* of the serialized problem plus the execution parameters
+//! that are part of the result contract: chunk size and SIMD lane width
+//! change the summation order of the kernels (see `docs/PARALLEL.md` /
+//! `docs/SIMD.md`), so two computes only produce bit-identical answers
+//! when fingerprint **and** chunk **and** lanes all match. Thread count
+//! is deliberately *not* part of the key — results are bit-identical
+//! across worker counts by the executor's contract.
+//!
+//! [`ResultCache`] is value-generic (the store crate stays ignorant of
+//! pricing types); the serving layer instantiates it with its answer
+//! type and a per-entry byte estimate, and the same byte-budgeted LRU
+//! discipline as the path cache keeps memory bounded.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A content fingerprint of a serialized problem: FNV-1a 64 over the
+/// bytes plus the exact length. Two problems with equal fingerprints are
+/// treated as the same problem for coalescing and memoisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentFingerprint {
+    /// FNV-1a 64-bit hash of the serialized bytes.
+    pub hash: u64,
+    /// Exact byte length (cheap second factor against collisions).
+    pub len: u64,
+}
+
+impl ContentFingerprint {
+    /// Fingerprint a byte slice.
+    pub fn of_bytes(bytes: &[u8]) -> Self {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(PRIME);
+        }
+        ContentFingerprint {
+            hash,
+            len: bytes.len() as u64,
+        }
+    }
+}
+
+/// Full memo key: problem content × the execution parameters that are
+/// part of the result contract. `chunk = 0, lanes = 0` encodes the
+/// legacy sequential kernel (no executor policy), which produces
+/// different bits from any chunked run and must never share entries
+/// with one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MemoKey {
+    /// Content fingerprint of the serialized problem.
+    pub fp: ContentFingerprint,
+    /// Executor chunk size (0 = sequential legacy kernel).
+    pub chunk: u32,
+    /// SIMD lane width (0 = sequential legacy kernel, 1 = scalar
+    /// chunked, 4/8 = lane-batched).
+    pub lanes: u32,
+}
+
+/// Overhead charged per entry on top of the caller-supplied value size:
+/// the key itself plus map bookkeeping.
+const ENTRY_OVERHEAD: usize = 64;
+
+/// Counters for memo traffic (mirrors [`StoreStats`](crate::StoreStats)
+/// for the path cache).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups served from the memo.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Bytes currently charged against the budget.
+    pub bytes_used: usize,
+}
+
+impl MemoStats {
+    /// Hit fraction over all lookups (0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry<V> {
+    value: V,
+    bytes: usize,
+    tick: u64,
+}
+
+/// A byte-budgeted LRU memo from [`MemoKey`] to computed answers.
+///
+/// Same discipline as [`CachingStore`](crate::CachingStore): every
+/// entry charges its value size plus a fixed overhead against the
+/// budget, lookups refresh recency, and inserts evict
+/// least-recently-used entries until the new entry fits. A value larger
+/// than the whole budget is simply not cached.
+///
+/// Unlike the path cache the memo is single-owner (the serving front
+/// loop), so it is not internally locked.
+pub struct ResultCache<V> {
+    budget: usize,
+    entries: HashMap<MemoKey, Entry<V>>,
+    lru: BTreeMap<u64, MemoKey>,
+    tick: u64,
+    stats: MemoStats,
+}
+
+impl<V: Clone> ResultCache<V> {
+    /// New memo with a byte budget. A zero budget disables caching
+    /// entirely (every lookup misses, nothing is stored).
+    pub fn new(budget: usize) -> Self {
+        ResultCache {
+            budget,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+            stats: MemoStats::default(),
+        }
+    }
+
+    /// Look up a memoised answer, refreshing its recency on hit.
+    pub fn get(&mut self, key: &MemoKey) -> Option<V> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                self.lru.remove(&e.tick);
+                e.tick = self.tick;
+                self.lru.insert(self.tick, *key);
+                self.stats.hits += 1;
+                Some(e.value.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert an answer, charging `value_bytes` (plus a fixed per-entry
+    /// overhead) against the budget and evicting LRU entries to make
+    /// room. Re-inserting an existing key refreshes its value and
+    /// recency.
+    pub fn insert(&mut self, key: MemoKey, value: V, value_bytes: usize) {
+        let cost = value_bytes + ENTRY_OVERHEAD;
+        if cost > self.budget {
+            return;
+        }
+        self.tick += 1;
+        if let Some(old) = self.entries.remove(&key) {
+            self.lru.remove(&old.tick);
+            self.stats.bytes_used -= old.bytes;
+        }
+        while self.stats.bytes_used + cost > self.budget {
+            let (&oldest, &victim) = self.lru.iter().next().expect("budget accounting broke");
+            let gone = self.entries.remove(&victim).expect("lru points at entry");
+            self.lru.remove(&oldest);
+            self.stats.bytes_used -= gone.bytes;
+            self.stats.evictions += 1;
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                value,
+                bytes: cost,
+                tick: self.tick,
+            },
+        );
+        self.lru.insert(self.tick, key);
+        self.stats.bytes_used += cost;
+        self.stats.insertions += 1;
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the memo holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> MemoStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: u8, chunk: u32, lanes: u32) -> MemoKey {
+        MemoKey {
+            fp: ContentFingerprint::of_bytes(&[tag; 16]),
+            chunk,
+            lanes,
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_content_and_length() {
+        let a = ContentFingerprint::of_bytes(b"hello");
+        let b = ContentFingerprint::of_bytes(b"hellp");
+        let c = ContentFingerprint::of_bytes(b"hell");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, ContentFingerprint::of_bytes(b"hello"));
+        assert_eq!(a.len, 5);
+    }
+
+    #[test]
+    fn exec_params_are_part_of_the_key() {
+        let mut memo: ResultCache<u64> = ResultCache::new(1 << 16);
+        memo.insert(key(1, 0, 0), 10, 8);
+        memo.insert(key(1, 1024, 1), 20, 8);
+        memo.insert(key(1, 1024, 8), 30, 8);
+        assert_eq!(memo.get(&key(1, 0, 0)), Some(10));
+        assert_eq!(memo.get(&key(1, 1024, 1)), Some(20));
+        assert_eq!(memo.get(&key(1, 1024, 8)), Some(30));
+        assert_eq!(memo.get(&key(1, 512, 1)), None);
+        assert_eq!(memo.len(), 3);
+    }
+
+    #[test]
+    fn memoised_value_is_the_inserted_value_bit_for_bit() {
+        let mut memo: ResultCache<f64> = ResultCache::new(1 << 16);
+        let v = 1.000000000000004_f64;
+        memo.insert(key(2, 1024, 4), v, 8);
+        assert_eq!(memo.get(&key(2, 1024, 4)).unwrap().to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn budget_evicts_lru_first() {
+        // Budget fits exactly two entries of cost 100 + 64.
+        let mut memo: ResultCache<u32> = ResultCache::new(2 * (100 + ENTRY_OVERHEAD));
+        memo.insert(key(1, 0, 0), 1, 100);
+        memo.insert(key(2, 0, 0), 2, 100);
+        // Touch 1 so 2 becomes LRU, then overflow.
+        assert_eq!(memo.get(&key(1, 0, 0)), Some(1));
+        memo.insert(key(3, 0, 0), 3, 100);
+        assert_eq!(memo.get(&key(2, 0, 0)), None, "LRU entry evicted");
+        assert_eq!(memo.get(&key(1, 0, 0)), Some(1));
+        assert_eq!(memo.get(&key(3, 0, 0)), Some(3));
+        let s = memo.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.insertions, 3);
+        assert!(s.bytes_used <= 2 * (100 + ENTRY_OVERHEAD));
+    }
+
+    #[test]
+    fn oversized_value_and_zero_budget_are_never_cached() {
+        let mut memo: ResultCache<u32> = ResultCache::new(128);
+        memo.insert(key(1, 0, 0), 1, 1024);
+        assert!(memo.is_empty());
+        let mut off: ResultCache<u32> = ResultCache::new(0);
+        off.insert(key(1, 0, 0), 1, 0);
+        assert!(off.is_empty());
+        assert_eq!(off.get(&key(1, 0, 0)), None);
+        assert_eq!(off.stats().misses, 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_without_leaking_budget() {
+        let mut memo: ResultCache<u32> = ResultCache::new(1 << 12);
+        memo.insert(key(1, 0, 0), 1, 100);
+        let used = memo.stats().bytes_used;
+        memo.insert(key(1, 0, 0), 9, 100);
+        assert_eq!(memo.stats().bytes_used, used);
+        assert_eq!(memo.get(&key(1, 0, 0)), Some(9));
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let mut memo: ResultCache<u32> = ResultCache::new(1 << 12);
+        memo.insert(key(1, 0, 0), 1, 8);
+        assert!(memo.get(&key(1, 0, 0)).is_some());
+        assert!(memo.get(&key(2, 0, 0)).is_none());
+        assert!(memo.get(&key(1, 0, 0)).is_some());
+        let s = memo.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -69,10 +69,7 @@ impl Prefetcher {
                     {
                         let mut gate = worker_shared.gate.lock().expect("prefetch gate");
                         while !gate.stop && i >= gate.dispatched + depth {
-                            gate = worker_shared
-                                .cv
-                                .wait(gate)
-                                .expect("prefetch gate");
+                            gate = worker_shared.cv.wait(gate).expect("prefetch gate");
                         }
                         if gate.stop {
                             return;
@@ -81,9 +78,7 @@ impl Prefetcher {
                     match &recorder {
                         Some((rec, rank)) => {
                             let t0 = rec.now_ns();
-                            let bytes = store
-                                .fetch(path)
-                                .map_or(0, |f| f.serial.len() as u64);
+                            let bytes = store.fetch(path).map_or(0, |f| f.serial.len() as u64);
                             rec.record_span(*rank, EventKind::Prefetch, i as i64, t0, bytes);
                         }
                         None => {
@@ -227,7 +222,11 @@ mod tests {
             .map(|e| e.job)
             .collect();
         assert_eq!(jobs.len(), 4);
-        for (i, e) in events.iter().filter(|e| e.kind == EventKind::Prefetch).enumerate() {
+        for (i, e) in events
+            .iter()
+            .filter(|e| e.kind == EventKind::Prefetch)
+            .enumerate()
+        {
             assert_eq!(e.rank, 4, "virtual rank");
             assert!(e.bytes > 0, "prefetch {i} recorded its payload size");
         }

@@ -185,7 +185,11 @@ impl<'a> XdrReader<'a> {
     pub fn get_f64_array(&mut self) -> Result<Vec<f64>, XdrError> {
         let len = self.get_u32()? as usize;
         // Guard against corrupt length fields asking for absurd allocations.
-        if len.checked_mul(8).map(|b| b > self.remaining()).unwrap_or(true) {
+        if len
+            .checked_mul(8)
+            .map(|b| b > self.remaining())
+            .unwrap_or(true)
+        {
             return Err(XdrError::UnexpectedEof);
         }
         let mut out = Vec::with_capacity(len);

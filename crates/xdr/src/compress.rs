@@ -40,11 +40,11 @@ pub fn compress_bytes(input: &[u8]) -> Vec<u8> {
     let mut flags = 0u8;
 
     let emit = |out: &mut Vec<u8>,
-                    flags: &mut u8,
-                    flag_bit: &mut u8,
-                    flag_pos: &mut usize,
-                    is_match: bool,
-                    payload: &[u8]| {
+                flags: &mut u8,
+                flag_bit: &mut u8,
+                flag_pos: &mut usize,
+                is_match: bool,
+                payload: &[u8]| {
         if is_match {
             *flags |= 0x80 >> *flag_bit;
         }

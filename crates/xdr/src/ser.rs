@@ -254,7 +254,11 @@ mod tests {
             Value::string("PutAmer"),
             Value::boolean(true),
             Value::empty_matrix(),
-            Value::Real(Matrix::from_row_major(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0])),
+            Value::Real(Matrix::from_row_major(
+                2,
+                3,
+                &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            )),
             Value::Bool(BoolMatrix::row(vec![true, false, true])),
             Value::Str(StrMatrix::row(vec!["foo".into(), "bar".into()])),
             Value::list(vec![

@@ -22,7 +22,10 @@ fn main() {
         println!("{}", format_table(&format!("Table II — {strategy}"), &rows));
     }
     for (strategy, rows) in table3_rows(&TABLE3_CPUS, &gige) {
-        println!("{}", format_table(&format!("Table III — {strategy}"), &rows));
+        println!(
+            "{}",
+            format_table(&format!("Table III — {strategy}"), &rows)
+        );
     }
 
     // A second architecture: 10× faster interconnect (InfiniBand-like).

@@ -170,14 +170,7 @@ fn main() {
         .as_list()
         .unwrap()
         .iter()
-        .map(|r| {
-            r.as_list()
-                .unwrap()
-                .get(1)
-                .unwrap()
-                .as_scalar()
-                .unwrap()
-        })
+        .map(|r| r.as_list().unwrap().get(1).unwrap().as_scalar().unwrap())
         .sum();
     println!("scripted farm total = {total:.6}");
     assert!((serial - total).abs() < 1e-9, "script and API disagree");

@@ -25,7 +25,11 @@ fn main() {
         *by_class.entry(j.class).or_default() += 1;
     }
     for class in JobClass::ALL {
-        println!("  {:?}: {}", class, by_class.get(&class).copied().unwrap_or(0));
+        println!(
+            "  {:?}: {}",
+            class,
+            by_class.get(&class).copied().unwrap_or(0)
+        );
     }
 
     let dir = std::env::temp_dir().join("riskbench_portfolio_valuation");
@@ -63,20 +67,22 @@ fn main() {
     // Portfolio value = sum of position prices (unit notional each).
     if let Some(report) = last_report {
         let total: f64 = report.outcomes.iter().map(|o| o.price).sum();
-        println!("\nportfolio value (sum of {} claim prices): {total:.2}", report.completed());
+        println!(
+            "\nportfolio value (sum of {} claim prices): {total:.2}",
+            report.completed()
+        );
     }
 
     // The §5 extensions on the same workload.
     println!("\n§5 extensions:");
-    let batched = farm::batching::run_batched_farm(&files, 4, Transmission::SerializedLoad, 8)
-        .unwrap();
+    let batched =
+        farm::batching::run_batched_farm(&files, 4, Transmission::SerializedLoad, 8).unwrap();
     println!(
         "  batched farm (batch=8, 4 slaves):      {:?}",
         batched.elapsed
     );
     let hier =
-        farm::hierarchy::run_hierarchical_farm(&files, 2, 2, Transmission::SerializedLoad)
-            .unwrap();
+        farm::hierarchy::run_hierarchical_farm(&files, 2, 2, Transmission::SerializedLoad).unwrap();
     println!(
         "  hierarchical farm (2 groups × 2 slaves): {:?}",
         hier.elapsed

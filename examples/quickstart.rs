@@ -22,8 +22,8 @@ fn main() {
         r.delta.unwrap()
     );
 
-    let barrier = PremiaProblem::create("BlackScholes1dim", "CallDownOut", "FD_CrankNicolson")
-        .unwrap();
+    let barrier =
+        PremiaProblem::create("BlackScholes1dim", "CallDownOut", "FD_CrankNicolson").unwrap();
     let r = barrier.compute().unwrap();
     println!("{:40} price {:8.4}", barrier.label(), r.price);
 
@@ -59,11 +59,7 @@ fn main() {
     println!("unserialize round trip: ok");
     // Compression (§3.2 extension).
     let compressed = riskbench::xdrser::compress_serial(&s).unwrap();
-    println!(
-        "compressed: {} -> {} bytes",
-        s.len(),
-        compressed.len()
-    );
+    println!("compressed: {} -> {} bytes", s.len(), compressed.len());
 
     // ---- 3. Parallel portfolio valuation (Figs. 4–5) ------------------------
     println!("\n== Robin-Hood farm ==");

@@ -9,8 +9,8 @@
 //! Run with: `cargo run --example spawn_slaves --release`
 
 use minimpi::{SpawnedWorld, ANY_SOURCE};
-use nspval::Value;
 use nsplang::Interp;
+use nspval::Value;
 use std::rc::Rc;
 
 fn main() {
@@ -51,12 +51,12 @@ end
     }
 
     // Farm out a few pricing requests by option name.
-    let requests = ["CallEuro", "PutEuro", "CallEuro", "PutEuro", "CallEuro", "PutEuro"];
+    let requests = [
+        "CallEuro", "PutEuro", "CallEuro", "PutEuro", "CallEuro", "PutEuro",
+    ];
     let mut child = 1;
     for name in &requests {
-        master
-            .send_obj(&Value::string(*name), child, TAG)
-            .unwrap();
+        master.send_obj(&Value::string(*name), child, TAG).unwrap();
         child = 1 + (child % 3);
     }
     let mut prices = Vec::new();

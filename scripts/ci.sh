@@ -12,8 +12,11 @@
 #      knobs and commit BENCH_3.json / BENCH_4.json; the
 #      `--threads 8 --lanes 8` SIMD-lane smoke writes BENCH_6.json and
 #      bench_gate fails on any compute-bucket regression against the
-#      committed artifacts; the allocation gate bans hot-loop
-#      allocations inside the kernels' ALLOC-FREE regions
+#      committed artifacts; the `serve_smoke` service smoke writes
+#      BENCH_7.json (cold wave computes, warm wave fully memoised,
+#      warm p99 <= cold p99) and bench_gate re-validates its request
+#      accounting; the allocation gate bans hot-loop allocations
+#      inside the kernels' ALLOC-FREE regions
 #   4. full test suite (quiet); a failing run is retried ONCE so that
 #      machine-load flakes in the timing-sensitive live-farm tests do not
 #      mask real regressions — deterministic failures (the chaos suite is
@@ -51,17 +54,16 @@ if [ -n "$external" ]; then
     exit 1
 fi
 
-echo "==> deprecation gate: no callers of run_farm / run_supervised_farm / recv_obj_raw outside their defining modules"
+echo "==> deprecation gate: run_farm / run_supervised_farm / recv_obj_raw symbols are gone"
 # The store-backed entry points (FarmConfig::run / run_supervised) are the
-# supported surface; the raw helpers stay only as the implementation inside
-# their defining modules. Comment lines are ignored.
+# only surface; the deprecated raw helpers were deleted outright, so any
+# reappearance — definition or caller, in any module — fails the gate.
+# Comment lines are ignored.
 stragglers=$(grep -rnE '\b(run_farm|run_supervised_farm|recv_obj_raw)\s*\(' \
     --include='*.rs' crates tests benches 2>/dev/null \
-    | grep -v -E '^[^:]*:[0-9]+:\s*(//|//!|///)' \
-    | grep -v -E '^crates/farm/src/(robin_hood|supervisor)\.rs:' \
-    | grep -v -E '^crates/minimpi/src/comm\.rs:')
+    | grep -v -E '^[^:]*:[0-9]+:\s*(//|//!|///)')
 if [ -n "$stragglers" ]; then
-    echo "error: deprecated farm/comm entry points called outside their defining modules:"
+    echo "error: deleted farm/comm entry points have reappeared:"
     echo "$stragglers"
     exit 1
 fi
@@ -142,7 +144,26 @@ if ! grep -q '"lanes"' BENCH_6.json; then
     echo "error: BENCH_6.json missing lanes column"
     exit 1
 fi
-run cargo run -p bench --bin bench_gate --release -q -- BENCH_6.json BENCH_4.json BENCH_3.json || exit 1
+
+# Service smoke: one live serve::Session prices a cold wave of distinct
+# portfolios, then a warm wave of duplicates. The bin self-checks that
+# every ticket is answered, the warm wave is fully memoised and
+# bit-identical, nothing sheds, and the warm p99 sits at or below the
+# cold p99 (the checks live in serve_smoke and fail the process). The
+# JSON line is the PR 7 artifact; bench_gate re-validates its request
+# accounting and memo structure alongside the committed baselines.
+echo "==> cargo run -p bench --bin serve_smoke --release -q (service smoke -> BENCH_7.json)"
+serve_out=$(cargo run -p bench --bin serve_smoke --release -q) || exit 1
+if ! printf '%s\n' "$serve_out" | grep -q 'memo hit-rate'; then
+    echo "error: serve smoke reported no memo hit-rate line"
+    exit 1
+fi
+printf '%s\n' "$serve_out" | sed -n 's/^JSON: //p' > BENCH_7.json
+if ! grep -q '"memo_hits"' BENCH_7.json; then
+    echo "error: BENCH_7.json missing memo_hits column"
+    exit 1
+fi
+run cargo run -p bench --bin bench_gate --release -q -- BENCH_6.json BENCH_4.json BENCH_3.json BENCH_7.json || exit 1
 
 # Dispatch-order smoke: the LPT breakdown self-checks that longest-cost-
 # first dispatch leaves per-job wait seconds untouched relative to FIFO

@@ -111,13 +111,25 @@ impl Default for Criterion {
 }
 
 impl Criterion {
-    fn run_one(&self, label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    fn run_one(
+        &self,
+        label: &str,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
         let mut b = Bencher::new(self.budget);
         f(&mut b);
-        let mut line = format!("bench {label:<48} {:>12}/iter  ({} iters)", human(b.mean_ns), b.iters);
+        let mut line = format!(
+            "bench {label:<48} {:>12}/iter  ({} iters)",
+            human(b.mean_ns),
+            b.iters
+        );
         if let Some(tp) = throughput {
             let per_sec = match tp {
-                Throughput::Bytes(n) => format!("{:.1} MiB/s", n as f64 / (b.mean_ns * 1e-9) / (1024.0 * 1024.0)),
+                Throughput::Bytes(n) => format!(
+                    "{:.1} MiB/s",
+                    n as f64 / (b.mean_ns * 1e-9) / (1024.0 * 1024.0)
+                ),
                 Throughput::Elements(n) => format!("{:.0} elem/s", n as f64 / (b.mean_ns * 1e-9)),
             };
             line.push_str(&format!("  {per_sec}"));
@@ -161,7 +173,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmark a closure under this group.
-    pub fn bench_function(&mut self, name: impl fmt::Display, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        name: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         let label = format!("{}/{}", self.name, name);
         self.criterion.run_one(&label, self.throughput, &mut f);
         self
@@ -218,9 +234,7 @@ mod tests {
         g.sample_size(10);
         g.throughput(Throughput::Bytes(1024));
         g.bench_function("x", |b| b.iter(|| black_box(2) * 2));
-        g.bench_with_input(BenchmarkId::new("y", 4), &4usize, |b, &n| {
-            b.iter(|| n * 2)
-        });
+        g.bench_with_input(BenchmarkId::new("y", 4), &4usize, |b, &n| b.iter(|| n * 2));
         g.finish();
     }
 }

@@ -430,7 +430,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter({}) rejected 1000 candidates in a row", self.reason);
+        panic!(
+            "prop_filter({}) rejected 1000 candidates in a row",
+            self.reason
+        );
     }
 }
 
@@ -745,9 +748,11 @@ mod tests {
                 Tree::Node(v) => v.iter().map(leaf_sum).sum(),
             }
         }
-        let strat = any::<u8>().prop_map(Tree::Leaf).prop_recursive(3, 16, 4, |inner| {
-            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
-        });
+        let strat = any::<u8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
         let mut rng = TestRng::new(4);
         let mut max_seen = 0;
         let mut payload_sum = 0u64;

@@ -170,14 +170,38 @@ fn every_kernel_bit_identical_across_worker_counts_at_each_lane_width() {
     // (name, price-at-policy) for every laned kernel family.
     type PriceFn<'a> = Box<dyn Fn(&ExecPolicy) -> f64 + 'a>;
     let kernels: Vec<(&str, PriceFn)> = vec![
-        ("mc_vanilla", Box::new(|p| mc_vanilla_bs_exec(&bs, &call, &mc, p).price)),
-        ("mc_basket", Box::new(|p| mc_basket_exec(&mbs, &bput, &mc, p).price)),
-        ("mc_local_vol", Box::new(|p| mc_local_vol_exec(&lv, &call, &mc, p).price)),
-        ("mc_heston", Box::new(|p| mc_heston_exec(&hes, &call, &mc, p).price)),
-        ("mc_zcb", Box::new(|p| mc_zcb_price_exec(&vas, 2.0, &mc, p).price)),
-        ("lsm_vanilla", Box::new(|p| lsm_vanilla_bs_exec(&bs, &aput, &lsm, p).price)),
-        ("lsm_basket", Box::new(|p| lsm_basket_exec(&mbs, &abput, &lsm, p).price)),
-        ("lsm_heston", Box::new(|p| lsm_heston_exec(&hes, &aput, &lsm, p).price)),
+        (
+            "mc_vanilla",
+            Box::new(|p| mc_vanilla_bs_exec(&bs, &call, &mc, p).price),
+        ),
+        (
+            "mc_basket",
+            Box::new(|p| mc_basket_exec(&mbs, &bput, &mc, p).price),
+        ),
+        (
+            "mc_local_vol",
+            Box::new(|p| mc_local_vol_exec(&lv, &call, &mc, p).price),
+        ),
+        (
+            "mc_heston",
+            Box::new(|p| mc_heston_exec(&hes, &call, &mc, p).price),
+        ),
+        (
+            "mc_zcb",
+            Box::new(|p| mc_zcb_price_exec(&vas, 2.0, &mc, p).price),
+        ),
+        (
+            "lsm_vanilla",
+            Box::new(|p| lsm_vanilla_bs_exec(&bs, &aput, &lsm, p).price),
+        ),
+        (
+            "lsm_basket",
+            Box::new(|p| lsm_basket_exec(&mbs, &abput, &lsm, p).price),
+        ),
+        (
+            "lsm_heston",
+            Box::new(|p| lsm_heston_exec(&hes, &aput, &lsm, p).price),
+        ),
     ];
     for (name, price) in &kernels {
         for lanes in LANES {

@@ -210,9 +210,8 @@ fn same_seed_reproduces_identical_schedule_and_results() {
         std::fs::remove_dir_all(&dir).ok();
         (r, expected)
     };
-    let ((r1, expected), (r2, _)) = with_watchdog(120, move || {
-        (run_once("repro_a"), run_once("repro_b"))
-    });
+    let ((r1, expected), (r2, _)) =
+        with_watchdog(120, move || (run_once("repro_a"), run_once("repro_b")));
     assert_exactly_once(&r1, &expected);
     assert_exactly_once(&r2, &expected);
     assert_eq!(r1.by_job(), r2.by_job(), "results diverged across replays");
@@ -269,8 +268,7 @@ fn dropped_dispatch_is_retried_under_every_strategy() {
             // The master's very first send (job 0's name message) is lost
             // in flight; the job must come back via deadline + retry.
             let plan = Arc::new(FaultPlan::new(11).force_send(0, 0, SendFault::Drop));
-            let report =
-                run_supervised(&paths, 2, strategy, &chaos_config(), Some(plan)).unwrap();
+            let report = run_supervised(&paths, 2, strategy, &chaos_config(), Some(plan)).unwrap();
             std::fs::remove_dir_all(&dir).ok();
             (report, expected)
         });
@@ -296,14 +294,8 @@ fn truncated_result_is_retried() {
         // truncated in flight: the master must discard the mangled frame
         // and recover the job by deadline.
         let plan = Arc::new(FaultPlan::new(13).force_send(1, 0, SendFault::Truncate(3)));
-        let report = run_supervised(
-            &paths,
-            2,
-            Transmission::Nfs,
-            &chaos_config(),
-            Some(plan),
-        )
-        .unwrap();
+        let report =
+            run_supervised(&paths, 2, Transmission::Nfs, &chaos_config(), Some(plan)).unwrap();
         std::fs::remove_dir_all(&dir).ok();
         (report, expected)
     });
@@ -324,14 +316,8 @@ fn delayed_results_are_deduplicated_not_double_counted() {
             0,
             SendFault::Delay(Duration::from_millis(400)),
         ));
-        let report = run_supervised(
-            &paths,
-            2,
-            Transmission::Nfs,
-            &chaos_config(),
-            Some(plan),
-        )
-        .unwrap();
+        let report =
+            run_supervised(&paths, 2, Transmission::Nfs, &chaos_config(), Some(plan)).unwrap();
         std::fs::remove_dir_all(&dir).ok();
         (report, expected)
     });

@@ -87,8 +87,7 @@ fn batched_and_hierarchical_agree_with_flat_farm() {
     let batched =
         farm::batching::run_batched_farm(&files, 3, Transmission::SerializedLoad, 5).unwrap();
     let hier =
-        farm::hierarchy::run_hierarchical_farm(&files, 2, 2, Transmission::SerializedLoad)
-            .unwrap();
+        farm::hierarchy::run_hierarchical_farm(&files, 2, 2, Transmission::SerializedLoad).unwrap();
     for report in [batched, hier] {
         assert_eq!(report.completed(), 24);
         for o in &report.outcomes {
@@ -102,7 +101,11 @@ fn batched_and_hierarchical_agree_with_flat_farm() {
 fn farm_scales_on_real_cores() {
     // Wall-clock sanity: with compute-heavy jobs, 4 slaves should beat 1
     // slave clearly (not asserting a precise ratio — CI machines vary).
-    if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 4 {
+    if std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        < 4
+    {
         eprintln!("skipping: fewer than 4 cores");
         return;
     }

@@ -28,9 +28,7 @@
 
 use exec::ExecPolicy;
 use pricing::methods::bond::mc_zcb_price_exec;
-use pricing::methods::lsm::{
-    lsm_basket_exec, lsm_heston_exec, lsm_vanilla_bs_exec, LsmConfig,
-};
+use pricing::methods::lsm::{lsm_basket_exec, lsm_heston_exec, lsm_vanilla_bs_exec, LsmConfig};
 use pricing::methods::montecarlo::{
     mc_basket_exec, mc_heston_exec, mc_local_vol_exec, mc_vanilla_bs_exec, McConfig,
 };

@@ -159,7 +159,9 @@ else
     let outputs = World::run(3, |comm| {
         let rank = comm.rank();
         let mut interp = Interp::with_comm(Rc::new(comm));
-        interp.run(&script).unwrap_or_else(|e| panic!("rank {rank}: {e}"));
+        interp
+            .run(&script)
+            .unwrap_or_else(|e| panic!("rank {rank}: {e}"));
         if rank == 0 {
             Some((
                 interp.get_value("total").unwrap().as_scalar().unwrap(),

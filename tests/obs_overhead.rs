@@ -53,7 +53,9 @@ fn store_features_without_recorder_change_no_numbers() {
         let combos: Vec<FarmConfig> = vec![
             FarmConfig::new(2, strategy).cache_bytes(1 << 20),
             FarmConfig::new(2, strategy).compress_wire(1),
-            FarmConfig::new(2, strategy).cache_bytes(1 << 20).prefetch(4),
+            FarmConfig::new(2, strategy)
+                .cache_bytes(1 << 20)
+                .prefetch(4),
             FarmConfig::new(2, strategy)
                 .cache_bytes(1 << 20)
                 .compress_wire(1)

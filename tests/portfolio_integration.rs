@@ -51,8 +51,7 @@ fn financial_sanity_across_one_maturity_slice() {
     let mut calls: Vec<(f64, f64)> = jobs
         .iter()
         .filter(|j| {
-            j.class == JobClass::VanillaClosedForm
-                && (j.problem.option.maturity() - t).abs() < 1e-9
+            j.class == JobClass::VanillaClosedForm && (j.problem.option.maturity() - t).abs() < 1e-9
         })
         .map(|j| {
             (
@@ -72,7 +71,9 @@ fn financial_sanity_across_one_maturity_slice() {
     // Barrier ≤ vanilla for matching contracts.
     for j in jobs
         .iter()
-        .filter(|j| j.class == JobClass::BarrierPde && (j.problem.option.maturity() - t).abs() < 1e-9)
+        .filter(|j| {
+            j.class == JobClass::BarrierPde && (j.problem.option.maturity() - t).abs() < 1e-9
+        })
         .take(10)
     {
         let k = j.problem.option.strike();

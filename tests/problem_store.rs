@@ -130,7 +130,10 @@ fn tight_budget_evicts_but_never_corrupts() {
     assert_eq!(by_job(&direct), by_job(&squeezed));
     assert_eq!(by_job(&direct), by_job(&again));
     let stats = cache.stats();
-    assert!(stats.evictions > 0, "budget never forced an eviction: {stats:?}");
+    assert!(
+        stats.evictions > 0,
+        "budget never forced an eviction: {stats:?}"
+    );
     assert!(
         stats.resident_bytes <= cache.budget(),
         "budget exceeded: {stats:?}"

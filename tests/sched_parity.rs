@@ -20,8 +20,8 @@
 use riskbench::clustersim::{
     simulate_farm_sched, SimCaches, SimConfig, SimFault, SimJob, SimSchedOpts,
 };
-use riskbench::pricing::models::BlackScholes;
 use riskbench::prelude::*;
+use riskbench::pricing::models::BlackScholes;
 use riskbench::sched::Supervision;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -135,9 +135,7 @@ fn fault_free_live_and_sim_traces_are_byte_identical() {
     );
     // Sanity: the trace starts with the Fig. 4 priming round.
     assert!(
-        live_trace.starts_with(
-            "ready(1) -> dispatch(0->1)\nready(2) -> dispatch(1->2)\n"
-        ),
+        live_trace.starts_with("ready(1) -> dispatch(0->1)\nready(2) -> dispatch(1->2)\n"),
         "unexpected priming: {live_trace}"
     );
     std::fs::remove_dir_all(&dir).ok();

@@ -1,0 +1,311 @@
+//! Integration: the long-lived pricing service (`serve::Session`).
+//!
+//! Three contracts, end to end:
+//!
+//! * concurrent submitters get **bit-identical** prices to a one-shot
+//!   `farm::run` over the same portfolio;
+//! * a second identical request is served **from the memo** — zero
+//!   fresh `Compute` events on the slaves;
+//! * a slave killed mid-request still leaves **every admitted ticket
+//!   answered exactly once** (the supervised scheduler re-dispatches).
+
+use riskbench::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A session config with test-scale supervision timings.
+fn quick_config(slaves: usize) -> ServeConfig {
+    ServeConfig::new(slaves)
+        .job_deadline(Duration::from_millis(500))
+        .poll(Duration::from_millis(5))
+}
+
+fn toy_problems(count: usize) -> Vec<PremiaProblem> {
+    toy_portfolio(count)
+        .into_iter()
+        .map(|j| j.problem)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identical to the one-shot farm
+// ---------------------------------------------------------------------------
+
+#[test]
+fn concurrent_submitters_match_one_shot_farm_bit_for_bit() {
+    let count = 24;
+    let jobs = toy_portfolio(count);
+
+    // Ground truth: the one-shot farm over the same portfolio.
+    let dir = std::env::temp_dir().join("it_serve_vs_farm");
+    let _ = std::fs::remove_dir_all(&dir);
+    let files = save_portfolio(&jobs, &dir).unwrap();
+    let farm_report = run(&files, &FarmConfig::new(3, Transmission::SerializedLoad)).unwrap();
+    let mut expected = vec![0u64; count];
+    for o in &farm_report.outcomes {
+        expected[o.job] = o.price.to_bits();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The service: four submitter threads, six problems each.
+    let session = Session::start(quick_config(3)).unwrap();
+    let problems: Vec<PremiaProblem> = jobs.into_iter().map(|j| j.problem).collect();
+    std::thread::scope(|scope| {
+        let session = &session;
+        let problems = &problems;
+        let expected = &expected;
+        for t in 0..4 {
+            scope.spawn(move || {
+                let slice: Vec<PremiaProblem> = problems[t * 6..(t + 1) * 6].to_vec();
+                let ticket = session.submit(Request::new(slice)).unwrap();
+                let response = ticket.wait().unwrap();
+                assert!(response.all_priced(), "{:?}", response.results);
+                for (i, r) in response.results.iter().enumerate() {
+                    let priced = r.as_ref().unwrap();
+                    assert_eq!(
+                        priced.price.to_bits(),
+                        expected[t * 6 + i],
+                        "submitter {t} problem {i} differs from the one-shot farm"
+                    );
+                }
+            });
+        }
+    });
+    let report = session.shutdown().unwrap();
+    assert_eq!(report.answered, 4);
+    assert_eq!(report.failed, 0);
+    // Every problem priced at most once; coalescing may have shaved
+    // duplicates if toy portfolios repeat parameters.
+    assert!(report.computed as usize <= count);
+    assert_eq!(report.computed + report.memo_hits, count as u64);
+}
+
+// ---------------------------------------------------------------------------
+// Memoisation: the second identical request computes nothing
+// ---------------------------------------------------------------------------
+
+#[test]
+fn identical_request_is_served_from_memo_without_compute() {
+    let rec = Arc::new(Recorder::new(4));
+    let session = Session::start(quick_config(3).recorder(rec.clone())).unwrap();
+    let problems = toy_problems(8);
+
+    let first = session
+        .submit(Request::new(problems.clone()))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(first.all_priced());
+    let computes_after_first = rec
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::Compute)
+        .count();
+    assert!(computes_after_first > 0, "first wave must compute");
+
+    let second = session
+        .submit(Request::new(problems.clone()))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(second.all_priced());
+    assert_eq!(
+        second.memoised_count(),
+        problems.len(),
+        "every problem of the repeat must come from the memo"
+    );
+    // Bit-identical to the fresh answers.
+    for (a, b) in first.results.iter().zip(&second.results) {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        assert_eq!(a.price.to_bits(), b.price.to_bits());
+        assert_eq!(a.std_error.map(f64::to_bits), b.std_error.map(f64::to_bits));
+    }
+
+    let computes_after_second = rec
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::Compute)
+        .count();
+    assert_eq!(
+        computes_after_second, computes_after_first,
+        "the repeat request must trigger zero fresh Compute events"
+    );
+
+    let report = session.shutdown().unwrap();
+    assert_eq!(report.answered, 2);
+    assert!(report.memo_hits >= problems.len() as u64);
+    assert!(report.memo.hits >= problems.len() as u64);
+}
+
+// ---------------------------------------------------------------------------
+// SLO surface: Enqueue/Admit/MemoHit land in the breakdown
+// ---------------------------------------------------------------------------
+
+#[test]
+fn breakdown_reports_request_percentiles_and_memo_hits() {
+    let rec = Arc::new(Recorder::new(3));
+    let session = Session::start(quick_config(2).recorder(rec.clone())).unwrap();
+    let problems = toy_problems(5);
+    for _ in 0..3 {
+        let r = session
+            .submit(Request::new(problems.clone()))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(r.all_priced());
+    }
+    session.shutdown().unwrap();
+
+    let b = Breakdown::from_events(&rec.events());
+    assert_eq!(b.request_count(), 3);
+    assert!(b.request_p50_s() > 0.0);
+    assert!(b.request_p99_s() >= b.request_p50_s());
+    assert!(b.memo_hits() >= 10, "waves 2 and 3 hit the memo");
+    assert!(b.memo_hit_rate() > 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure: typed shed, no blocking, nothing left unanswered
+// ---------------------------------------------------------------------------
+
+#[test]
+fn overload_sheds_with_typed_error_and_answers_all_admitted() {
+    // One slave, a queue of two, strict priority shares: class 1 may
+    // hold one slot, so the second class-1 submission sheds while its
+    // predecessor is still queued or in flight.
+    let session = Session::start(
+        quick_config(1)
+            .queue_depth(2)
+            .priorities(2)
+            .inflight_bytes(1 << 20),
+    )
+    .unwrap();
+    let problems = toy_problems(4);
+
+    let mut tickets = Vec::new();
+    let mut sheds = 0usize;
+    for _ in 0..12 {
+        match session.submit(Request::new(problems.clone()).priority(1)) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Overloaded {
+                priority,
+                depth_limit,
+                ..
+            }) => {
+                assert_eq!(priority, 1);
+                assert_eq!(depth_limit, 1);
+                sheds += 1;
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert!(!tickets.is_empty(), "some requests must be admitted");
+
+    // Every admitted ticket is answered exactly once.
+    for t in tickets {
+        let r = t.wait().unwrap();
+        assert!(r.all_priced(), "{:?}", r.results);
+    }
+    let report = session.shutdown().unwrap();
+    if sheds > 0 {
+        assert!(report.shed > 0, "sheds must surface in the report");
+    }
+
+    // Priority 0 keeps the full queue share even when class 1 sheds.
+    let session = Session::start(quick_config(1).queue_depth(2).priorities(2)).unwrap();
+    let urgent = session
+        .submit(Request::new(toy_problems(2)).priority(0))
+        .unwrap();
+    assert!(urgent.wait().unwrap().all_priced());
+    session.shutdown().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance: a mid-request slave kill loses no ticket
+// ---------------------------------------------------------------------------
+
+#[test]
+fn slave_killed_mid_request_still_answers_every_ticket_once() {
+    // Ground truth prices, computed serially.
+    let problems = toy_problems(12);
+    let expected: Vec<u64> = problems
+        .iter()
+        .map(|p| p.compute().unwrap().price.to_bits())
+        .collect();
+
+    // Kill slave rank 2 a few MPI operations in — mid-portfolio.
+    let plan = Arc::new(FaultPlan::new(0xC0FFEE).kill_rank_at_op(2, 9));
+    let session = Session::start(
+        quick_config(3)
+            .fault_plan(plan)
+            .job_deadline(Duration::from_millis(150)),
+    )
+    .unwrap();
+
+    let mut tickets = Vec::new();
+    for chunk in problems.chunks(4) {
+        tickets.push(session.submit(Request::new(chunk.to_vec())).unwrap());
+    }
+    let mut responses = Vec::new();
+    for t in tickets {
+        responses.push(t.wait().unwrap());
+    }
+    let report = session.shutdown().unwrap();
+
+    // Exactly one response per ticket, every problem priced, all
+    // bit-identical to serial despite the death and re-dispatches.
+    assert_eq!(responses.len(), 3);
+    for (ri, r) in responses.iter().enumerate() {
+        assert!(r.all_priced(), "request {ri}: {:?}", r.results);
+        for (pi, res) in r.results.iter().enumerate() {
+            assert_eq!(
+                res.as_ref().unwrap().price.to_bits(),
+                expected[ri * 4 + pi],
+                "request {ri} problem {pi} differs from serial after the kill"
+            );
+        }
+    }
+    assert_eq!(report.answered, 3);
+    assert_eq!(report.failed, 0);
+    assert!(
+        report.dead_slaves.contains(&2),
+        "the killed slave must be reported dead: {:?}",
+        report.dead_slaves
+    );
+}
+
+// ---------------------------------------------------------------------------
+// API edges
+// ---------------------------------------------------------------------------
+
+#[test]
+fn empty_and_out_of_range_requests_are_rejected_up_front() {
+    let session = Session::start(quick_config(1)).unwrap();
+    assert!(matches!(
+        session.submit(Request::new(Vec::new())),
+        Err(ServeError::EmptyRequest)
+    ));
+    assert!(matches!(
+        session.submit(Request::new(toy_problems(1)).priority(9)),
+        Err(ServeError::InvalidPriority {
+            priority: 9,
+            classes: 3
+        })
+    ));
+    session.shutdown().unwrap();
+}
+
+#[test]
+fn invalid_config_collects_every_bad_field() {
+    let Err(err) = Session::start(ServeConfig::new(0).queue_depth(0).threads(0)) else {
+        panic!("invalid config must be rejected");
+    };
+    match err {
+        ServeError::Config(issues) => {
+            for field in ["slaves", "queue_depth", "threads"] {
+                assert!(issues.has(field), "missing {field}: {issues}");
+            }
+        }
+        other => panic!("expected Config error, got {other}"),
+    }
+}

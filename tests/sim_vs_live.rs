@@ -16,9 +16,7 @@ fn run_plain_farm(
 }
 
 /// Build matched live files + sim jobs for a compute-heavy workload.
-fn matched_workload(
-    dir: &std::path::Path,
-) -> (Vec<std::path::PathBuf>, Vec<SimJob>) {
+fn matched_workload(dir: &std::path::Path) -> (Vec<std::path::PathBuf>, Vec<SimJob>) {
     let jobs: Vec<PortfolioJob> = realistic_portfolio(PortfolioScale::Quick, 130)
         .into_iter()
         .filter(|j| {
@@ -107,10 +105,10 @@ fn zero_fault_supervision_is_free() {
     use std::sync::Arc;
 
     let run_supervised = |files: &[std::path::PathBuf],
-                               slaves: usize,
-                               strategy: Transmission,
-                               cfg: &SupervisorConfig,
-                               plan: Option<Arc<FaultPlan>>| {
+                          slaves: usize,
+                          strategy: Transmission,
+                          cfg: &SupervisorConfig,
+                          plan: Option<Arc<FaultPlan>>| {
         let mut fc = FarmConfig::new(slaves, strategy).supervisor(cfg.clone());
         if let Some(plan) = plan {
             fc = fc.fault_plan(plan);
@@ -133,8 +131,7 @@ fn zero_fault_supervision_is_free() {
         Some(Arc::clone(&inert)),
     )
     .unwrap();
-    let unplanned =
-        run_supervised(&files, 2, Transmission::SerializedLoad, &cfg, None).unwrap();
+    let unplanned = run_supervised(&files, 2, Transmission::SerializedLoad, &cfg, None).unwrap();
 
     // The inert plan must not have injected anything...
     assert!(inert.events().is_empty());
@@ -228,7 +225,11 @@ fn sim_and_live_emit_identical_per_job_event_kinds() {
 
 #[test]
 fn simulator_and_live_farm_agree_on_scaling_direction() {
-    if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 4 {
+    if std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        < 4
+    {
         eprintln!("skipping: fewer than 4 cores");
         return;
     }
@@ -245,10 +246,22 @@ fn simulator_and_live_farm_agree_on_scaling_direction() {
         .unwrap()
         .elapsed
         .as_secs_f64();
-    let sim1 = simulate_farm(&sim_jobs, 1, Transmission::SerializedLoad, &cfg, &mut NfsCache::new())
-        .makespan;
-    let sim3 = simulate_farm(&sim_jobs, 3, Transmission::SerializedLoad, &cfg, &mut NfsCache::new())
-        .makespan;
+    let sim1 = simulate_farm(
+        &sim_jobs,
+        1,
+        Transmission::SerializedLoad,
+        &cfg,
+        &mut NfsCache::new(),
+    )
+    .makespan;
+    let sim3 = simulate_farm(
+        &sim_jobs,
+        3,
+        Transmission::SerializedLoad,
+        &cfg,
+        &mut NfsCache::new(),
+    )
+    .makespan;
     // Both must improve substantially from 1 to 3 slaves.
     assert!(live3 < 0.8 * live1, "live: {live1:.3} -> {live3:.3}");
     assert!(sim3 < 0.8 * sim1, "sim: {sim1:.3} -> {sim3:.3}");

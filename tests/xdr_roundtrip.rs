@@ -9,15 +9,20 @@ use proptest::prelude::*;
 /// Strategy generating arbitrary Nsp values (depth-bounded).
 fn arb_value() -> impl Strategy<Value = Value> {
     let leaf = prop_oneof![
-        any::<f64>().prop_filter("finite", |x| x.is_finite()).prop_map(Value::scalar),
+        any::<f64>()
+            .prop_filter("finite", |x| x.is_finite())
+            .prop_map(Value::scalar),
         any::<bool>().prop_map(Value::boolean),
         "[a-zA-Z0-9 _.:/-]{0,24}".prop_map(Value::string),
-        (1usize..5, 1usize..5, proptest::collection::vec(-1e6f64..1e6, 1..25)).prop_map(
-            |(r, c, mut data)| {
+        (
+            1usize..5,
+            1usize..5,
+            proptest::collection::vec(-1e6f64..1e6, 1..25)
+        )
+            .prop_map(|(r, c, mut data)| {
                 data.resize(r * c, 0.0);
                 Value::Real(Matrix::from_col_major(r, c, data))
-            }
-        ),
+            }),
         (1usize..4, proptest::collection::vec(any::<bool>(), 1..4)).prop_map(|(r, mut data)| {
             let c = data.len();
             let mut full = Vec::with_capacity(r * c);
@@ -30,8 +35,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
                 full
             }))
         }),
-        proptest::collection::vec("[a-z]{0,8}", 1..4)
-            .prop_map(|v| Value::Str(StrMatrix::row(v))),
+        proptest::collection::vec("[a-z]{0,8}", 1..4).prop_map(|v| Value::Str(StrMatrix::row(v))),
         Just(Value::None),
         Just(Value::empty_matrix()),
     ];
@@ -179,7 +183,10 @@ fn mpi_object_transmission_preserves_arbitrary_values() {
         Value::list(vec![Value::None, Value::empty_matrix()]),
         {
             let mut h = nspval::Hash::new();
-            h.set("nested", Value::list(vec![Value::Serial(xdrser::serialize(&Value::scalar(1.0)))]));
+            h.set(
+                "nested",
+                Value::list(vec![Value::Serial(xdrser::serialize(&Value::scalar(1.0)))]),
+            );
             Value::Hash(h)
         },
     ];
