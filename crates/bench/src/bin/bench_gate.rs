@@ -2,14 +2,15 @@
 //!
 //! ```text
 //! bench_gate <fresh BENCH_6.json> <committed BENCH_4.json> <committed BENCH_3.json> \
-//!            [fresh BENCH_7.json]
+//!            [fresh BENCH_7.json] [fresh BENCH_8.json]
 //! ```
 //!
 //! `BENCH_6.json` is the freshly written `table2 --breakdown --threads 8
 //! --lanes 8` report; `BENCH_4.json` / `BENCH_3.json` are the committed
 //! baselines from earlier PRs; the optional `BENCH_7.json` is the fresh
-//! `serve_smoke` artifact for the long-lived service. The gate fails
-//! (exit 1) when:
+//! `serve_smoke` artifact for the long-lived service, the optional
+//! `BENCH_8.json` the fresh `shard_smoke` artifact for the sharded
+//! peer masters. The gate fails (exit 1) when:
 //!
 //! - any fresh sequential or `(x8 threads)` compute bucket drifts from
 //!   the committed `BENCH_4.json` bucket by more than 1e-9 — the
@@ -26,7 +27,13 @@
 //!   that does not balance (`answered != cold + warm`, sheds, failures),
 //!   a warm wave not fully served from the memo, zero computes, or a
 //!   warm p99 above the cold p99 (the one claim memoisation exists to
-//!   buy).
+//!   buy);
+//! - the `BENCH_8.json` shard structure is off: prices not bit-identical
+//!   across backends, a multi-shard run without steals, a multi-shard
+//!   makespan degrading the 1-shard run beyond the allowance, simulated
+//!   makespans not monotone in shard count, an incomplete 512-core sim
+//!   row, or a socket per-message cost measured at or below the
+//!   in-process channel's.
 //!
 //! The two committed files must never cross-compare per-job: they hold
 //! different portfolio sizes (2 000 vs 10 000 jobs), so their drawn
@@ -237,14 +244,83 @@ fn gate_serve(json: &str) -> Result<String, String> {
     ))
 }
 
+/// Structural checks over the `shard_smoke` artifact (`BENCH_8.json`).
+///
+/// Re-validates what the smoke asserted when it wrote the file, so a
+/// stale or hand-edited artifact cannot pass: bit-identical prices
+/// across the four live configurations (two backends), steals in every
+/// multi-shard run, bounded live degradation versus the 1-shard run,
+/// monotone simulated makespans, a complete 512-core sim row, and a
+/// socket transport measured dearer per message than the channel.
+fn gate_shard(json: &str) -> Result<String, String> {
+    let g = |key: &str| field(json, key).map_err(|e| format!("BENCH_8: {e}"));
+    if g("prices_bit_identical")? != 1.0 {
+        return Err("BENCH_8: prices not bit-identical across configurations".into());
+    }
+    let (s2, s4, sp) = (
+        g("live_2_steals")?,
+        g("live_4_steals")?,
+        g("live_proc_steals")?,
+    );
+    if s2 < 1.0 || s4 < 1.0 || sp < 1.0 {
+        return Err(format!(
+            "BENCH_8: a multi-shard run recorded no steals (2x2 {s2}, 4x1 {s4}, process {sp})"
+        ));
+    }
+    let m1 = g("live_1_makespan_s")?;
+    if m1 <= 0.0 {
+        return Err(format!("BENCH_8: degenerate 1-shard makespan {m1}s"));
+    }
+    for (label, key) in [("2x2", "live_2_makespan_s"), ("4x1", "live_4_makespan_s")] {
+        let m = g(key)?;
+        if m > m1 * SHARD_DEGRADE {
+            return Err(format!(
+                "BENCH_8: {label} makespan {m:.3}s degrades the 1-shard {m1:.3}s \
+                 beyond x{SHARD_DEGRADE}"
+            ));
+        }
+    }
+    let (sim1, sim2, sim4) = (
+        g("sim_1_makespan_s")?,
+        g("sim_2_makespan_s")?,
+        g("sim_4_makespan_s")?,
+    );
+    if !(sim2 <= sim1 && sim4 <= sim2) || sim4 <= 0.0 {
+        return Err(format!(
+            "BENCH_8: sim makespans not monotone in shard count ({sim1} {sim2} {sim4})"
+        ));
+    }
+    let (jobs512, mk512) = (g("sim_512_jobs")?, g("sim_512_makespan_s")?);
+    if jobs512 != 4096.0 || mk512 <= 0.0 || g("sim_512_steals")? < 1.0 {
+        return Err(format!(
+            "BENCH_8: 512-core sim row is off ({jobs512} jobs, makespan {mk512}s)"
+        ));
+    }
+    let (ch, so) = (g("channel_per_message_s")?, g("socket_per_message_s")?);
+    if ch <= 0.0 || so <= ch {
+        return Err(format!(
+            "BENCH_8: socket per-message cost {so:.3e}s not above the channel's {ch:.3e}s"
+        ));
+    }
+    Ok(format!(
+        "shard: prices bit-identical, steals in every multi-shard run, \
+         sim monotone to {jobs512:.0} jobs at 512 cores\n"
+    ))
+}
+
+/// Multi-shard live makespan allowance — must match `shard_smoke`'s.
+const SHARD_DEGRADE: f64 = 1.35;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (core, b7) = match args.as_slice() {
-        [fresh, b4, b3] => ([fresh, b4, b3], None),
-        [fresh, b4, b3, b7] => ([fresh, b4, b3], Some(b7)),
+    let (core, b7, b8) = match args.as_slice() {
+        [fresh, b4, b3] => ([fresh, b4, b3], None, None),
+        [fresh, b4, b3, b7] => ([fresh, b4, b3], Some(b7), None),
+        [fresh, b4, b3, b7, b8] => ([fresh, b4, b3], Some(b7), Some(b8)),
         _ => {
             eprintln!(
-                "usage: bench_gate <BENCH_6.json> <BENCH_4.json> <BENCH_3.json> [BENCH_7.json]"
+                "usage: bench_gate <BENCH_6.json> <BENCH_4.json> <BENCH_3.json> \
+                 [BENCH_7.json] [BENCH_8.json]"
             );
             exit(2);
         }
@@ -256,8 +332,12 @@ fn main() {
         })
     };
     let serve = b7.map(|p| gate_serve(&read(p)));
+    let shard = b8.map(|p| gate_shard(&read(p)));
     match gate(&read(core[0]), &read(core[1]), &read(core[2])).and_then(|mut summary| {
         if let Some(s) = serve {
+            summary.push_str(&s?);
+        }
+        if let Some(s) = shard {
             summary.push_str(&s?);
         }
         Ok(summary)
@@ -423,5 +503,77 @@ mod tests {
         let err = gate_serve(&bench7().replace("\"warm_p99_s\":0.0008", "\"warm_p99_s\":0.02"))
             .unwrap_err();
         assert!(err.contains("warm p99"), "{err}");
+    }
+
+    /// A healthy `shard_smoke` artifact in BENCH_8 shape.
+    fn bench8() -> String {
+        "{\"title\":\"Sharded peer masters smoke\",\
+         \"jobs\":48,\"heavy_jobs\":12,\"prices_bit_identical\":1,\
+         \"live_1_makespan_s\":0.245,\"live_1_steals\":0,\
+         \"live_2_makespan_s\":0.257,\"live_2_steals\":9,\
+         \"live_4_makespan_s\":0.263,\"live_4_steals\":5,\
+         \"live_proc_makespan_s\":0.264,\"live_proc_steals\":9,\
+         \"channel_per_message_s\":4.9e-6,\"channel_per_byte_s\":5.8e-11,\
+         \"socket_per_message_s\":7.6e-6,\"socket_per_byte_s\":2.1e-10,\
+         \"sim_1_makespan_s\":0.136,\"sim_2_makespan_s\":0.075,\"sim_4_makespan_s\":0.045,\
+         \"sim_512_makespan_s\":0.057,\"sim_512_jobs\":4096,\"sim_512_steals\":24}"
+            .into()
+    }
+
+    #[test]
+    fn shard_gate_passes_on_a_healthy_artifact() {
+        let summary = gate_shard(&bench8()).unwrap();
+        assert!(summary.contains("512 cores"), "{summary}");
+    }
+
+    #[test]
+    fn shard_gate_fails_without_steals() {
+        let err = gate_shard(&bench8().replace("\"live_4_steals\":5", "\"live_4_steals\":0"))
+            .unwrap_err();
+        assert!(err.contains("no steals"), "{err}");
+    }
+
+    #[test]
+    fn shard_gate_fails_on_a_degraded_multi_shard_makespan() {
+        let err = gate_shard(
+            &bench8().replace("\"live_2_makespan_s\":0.257", "\"live_2_makespan_s\":0.9"),
+        )
+        .unwrap_err();
+        assert!(err.contains("degrades"), "{err}");
+    }
+
+    #[test]
+    fn shard_gate_fails_on_non_monotone_sim_makespans() {
+        let err = gate_shard(
+            &bench8().replace("\"sim_4_makespan_s\":0.045", "\"sim_4_makespan_s\":0.2"),
+        )
+        .unwrap_err();
+        assert!(err.contains("monotone"), "{err}");
+    }
+
+    #[test]
+    fn shard_gate_fails_on_an_incomplete_512_core_row() {
+        let err =
+            gate_shard(&bench8().replace("\"sim_512_jobs\":4096", "\"sim_512_jobs\":4000"))
+                .unwrap_err();
+        assert!(err.contains("512-core"), "{err}");
+    }
+
+    #[test]
+    fn shard_gate_fails_when_sockets_measure_cheaper_than_channels() {
+        let err = gate_shard(
+            &bench8().replace("\"socket_per_message_s\":7.6e-6", "\"socket_per_message_s\":1e-9"),
+        )
+        .unwrap_err();
+        assert!(err.contains("per-message"), "{err}");
+    }
+
+    #[test]
+    fn shard_gate_fails_when_price_identity_is_lost() {
+        let err = gate_shard(
+            &bench8().replace("\"prices_bit_identical\":1", "\"prices_bit_identical\":0"),
+        )
+        .unwrap_err();
+        assert!(err.contains("bit-identical"), "{err}");
     }
 }

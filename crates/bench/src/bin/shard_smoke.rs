@@ -1,0 +1,400 @@
+//! Sharded peer-master smoke benchmark (`BENCH_8.json`).
+//!
+//! Exercises the `farm::shard` subsystem end to end on a heavy-tailed
+//! portfolio — all the Monte-Carlo weight lands in the first shard's
+//! contiguous chunk, so work-stealing is the only way a multi-shard
+//! run stays competitive — and calibrates the `clustersim` transport
+//! cost model from live ping-pong round trips on both backends:
+//!
+//! * live runs at 1, 2 and 4 shards (total slave count held at 4) on
+//!   the channel backend, plus a 2-shard run on the multi-process
+//!   socket backend; prices must be bit-identical across all of them;
+//! * self-checks: every multi-shard run records steals, and no
+//!   multi-shard channel makespan degrades the 1-shard run beyond a
+//!   small single-core-box allowance;
+//! * ping-pong calibration of [`TransportParams`] (64 B round trips pin
+//!   the per-message cost, the slope to 64 KiB pins the per-byte cost)
+//!   for the in-process channel world and the Unix-domain-socket
+//!   process world;
+//! * [`simulate_sharded`] rows at 1/2/4 shards on the matched job set
+//!   (makespans must be monotone in shard count) and the 512-core
+//!   extension of Tables I–III: 64 shards x 8 slaves over 4096 jobs
+//!   under the measured socket transport.
+//!
+//! Emits a flat-key `JSON:` artifact line that `scripts/ci.sh` captures
+//! as `BENCH_8.json` and `bench_gate` re-validates.
+
+use clustersim::{simulate_sharded, ShardSimConfig, SimConfig, SimJob, TransportParams};
+use farm::portfolio::{save_portfolio, PortfolioJob};
+use farm::shard::{shard_slave_entry, SHARD_SLAVE_ENTRY};
+use farm::{run_sharded, JobClass, ShardConfig, Transmission, TransportKind};
+use minimpi::{Comm, MpiBuf, ProcessWorld, SpawnedWorld};
+use pricing::models::BlackScholes;
+use pricing::{MethodSpec, ModelSpec, OptionSpec, PremiaProblem};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Portfolio shape: `HEAVY` Monte-Carlo jobs first (shard 0's chunk),
+/// closed-form vanillas after.
+const JOBS: usize = 48;
+const HEAVY: usize = 12;
+/// Target compute cost of one heavy job (calibrated at runtime) and
+/// the matched simulator costs.
+const HEAVY_S: f64 = 0.02;
+const LIGHT_S: f64 = 2e-4;
+/// Jobs leased per round in the stealing configurations.
+const LEASE: usize = 2;
+/// Multi-shard makespan allowance over the 1-shard run — covers
+/// round-barrier stragglers and single-core CI boxes where every
+/// configuration serializes to the same total compute.
+const DEGRADE: f64 = 1.35;
+
+/// Ping-pong calibration: `(iters, bytes)` per phase, after a warm-up.
+const PING_TAG: i32 = 7;
+const PING_WARMUP: usize = 32;
+const PHASES: [(usize, usize); 2] = [(256, 64), (64, 64 * 1024)];
+/// Process-world registry name of the echo slave.
+const PONG_ENTRY: &str = "shard_smoke_pong";
+
+fn fail(msg: String) -> ! {
+    eprintln!("shard_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+// ---------------------------------------------------------------------------
+// Transport calibration
+// ---------------------------------------------------------------------------
+
+/// Echo slave shared by both backends: bounce every frame back.
+fn pong_loop(comm: &Comm) {
+    for (iters, bytes) in PHASES {
+        let mut buf = MpiBuf::with_capacity(bytes);
+        for _ in 0..iters + PING_WARMUP {
+            comm.recv_into(&mut buf, 0, PING_TAG).expect("pong recv");
+            comm.send(buf.bytes(), 0, PING_TAG).expect("pong echo");
+        }
+    }
+}
+
+fn pong_entry(comm: Comm) {
+    pong_loop(&comm);
+}
+
+/// Two-point fit against rank 1: the small-frame RTT pins the
+/// per-message cost, the slope to the large frame pins the per-byte
+/// cost (halved — a round trip crosses the transport twice).
+fn ping(comm: &Comm) -> TransportParams {
+    let mut rtt = [0.0f64; 2];
+    for (k, (iters, bytes)) in PHASES.into_iter().enumerate() {
+        let payload = vec![0x5a_u8; bytes];
+        let mut buf = MpiBuf::with_capacity(bytes);
+        let mut roundtrip = || {
+            comm.send(&payload, 1, PING_TAG).expect("ping send");
+            comm.recv_into(&mut buf, 1, PING_TAG).expect("ping recv");
+        };
+        for _ in 0..PING_WARMUP {
+            roundtrip();
+        }
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            roundtrip();
+        }
+        rtt[k] = t0.elapsed().as_secs_f64() / iters as f64;
+    }
+    let (small, large) = (PHASES[0].1, PHASES[1].1);
+    TransportParams {
+        per_message: (rtt[0] / 2.0).max(1e-9),
+        per_byte: ((rtt[1] - rtt[0]) / 2.0 / (large - small) as f64).max(0.0),
+    }
+}
+
+fn calibrate_transports() -> (TransportParams, TransportParams) {
+    let spawned = SpawnedWorld::spawn(1, |c: Comm| pong_loop(&c));
+    let channel = ping(spawned.comm());
+    spawned.join();
+
+    let parent = ProcessWorld::spawn(1, PONG_ENTRY)
+        .unwrap_or_else(|e| fail(format!("socket pong spawn: {e}")));
+    let socket = ping(parent.comm());
+    parent
+        .join()
+        .unwrap_or_else(|e| fail(format!("socket pong join: {e}")));
+    (channel, socket)
+}
+
+// ---------------------------------------------------------------------------
+// Heavy-tailed portfolio
+// ---------------------------------------------------------------------------
+
+fn mc_problem(paths: usize, seed: u64) -> PremiaProblem {
+    PremiaProblem::new(
+        ModelSpec::BlackScholes(BlackScholes::new(100.0, 0.2, 0.05, 0.0)),
+        OptionSpec::Call {
+            strike: 95.0,
+            maturity: 1.0,
+        },
+        MethodSpec::MonteCarlo {
+            paths,
+            time_steps: 8,
+            antithetic: false,
+            seed,
+        },
+    )
+}
+
+/// Path count that makes one heavy job cost ~[`HEAVY_S`] on this box.
+fn heavy_paths() -> usize {
+    let probe = mc_problem(50_000, 7);
+    probe.compute().expect("probe"); // warm up (code paths, allocator)
+    let t0 = Instant::now();
+    probe.compute().expect("probe");
+    let t = t0.elapsed().as_secs_f64().max(1e-6);
+    ((HEAVY_S / t * 50_000.0) as usize).clamp(2_000, 2_000_000)
+}
+
+/// Save the live portfolio and build the matched simulator jobs.
+fn portfolio(dir: &Path) -> (Vec<PathBuf>, Vec<SimJob>) {
+    let paths = heavy_paths();
+    let jobs: Vec<PortfolioJob> = (0..JOBS)
+        .map(|i| {
+            if i < HEAVY {
+                PortfolioJob {
+                    id: i,
+                    class: JobClass::LocalVolMc,
+                    problem: mc_problem(paths, 100 + i as u64),
+                }
+            } else {
+                PortfolioJob {
+                    id: i,
+                    class: JobClass::VanillaClosedForm,
+                    problem: PremiaProblem::new(
+                        ModelSpec::BlackScholes(BlackScholes::new(100.0, 0.2, 0.05, 0.0)),
+                        OptionSpec::Call {
+                            strike: 70.0 + i as f64,
+                            maturity: 1.0,
+                        },
+                        MethodSpec::ClosedForm,
+                    ),
+                }
+            }
+        })
+        .collect();
+    let files =
+        save_portfolio(&jobs, dir).unwrap_or_else(|e| fail(format!("save portfolio: {e}")));
+    let sim: Vec<SimJob> = jobs
+        .iter()
+        .map(|j| SimJob {
+            id: j.id,
+            class: j.class,
+            bytes: xdrser::serialize_to_bytes(&j.problem.to_value()).len(),
+            compute: if j.id < HEAVY { HEAVY_S } else { LIGHT_S },
+        })
+        .collect();
+    (files, sim)
+}
+
+// ---------------------------------------------------------------------------
+// Live sharded runs
+// ---------------------------------------------------------------------------
+
+/// Run one configuration, check completeness, and check price bits
+/// against the first run's reference. Returns (makespan, steals).
+fn live_run(
+    files: &[PathBuf],
+    cfg: &ShardConfig,
+    label: &str,
+    reference: &mut Option<Vec<u64>>,
+) -> (f64, usize) {
+    let report = run_sharded(files, cfg).unwrap_or_else(|e| fail(format!("{label}: {e}")));
+    if report.completed() != files.len() {
+        fail(format!(
+            "{label}: {} of {} jobs priced",
+            report.completed(),
+            files.len()
+        ));
+    }
+    let by_job = report.by_job();
+    if !by_job.iter().map(|r| r.0).eq(0..files.len()) {
+        fail(format!("{label}: job index set is not 0..{}", files.len()));
+    }
+    let bits: Vec<u64> = by_job.iter().map(|&(_, p, _)| p.to_bits()).collect();
+    match reference {
+        None => *reference = Some(bits),
+        Some(r) => {
+            if *r != bits {
+                fail(format!(
+                    "{label}: prices not bit-identical to the 1-shard channel run"
+                ));
+            }
+        }
+    }
+    (report.elapsed.as_secs_f64(), report.steals.len())
+}
+
+fn main() {
+    // Child processes re-enter here; dispatch before any bench work.
+    if ProcessWorld::child_entry(&[
+        (SHARD_SLAVE_ENTRY, shard_slave_entry),
+        (PONG_ENTRY, pong_entry),
+    ]) {
+        return;
+    }
+
+    let dir = std::env::temp_dir().join("bench_shard_smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (files, sim_jobs) = portfolio(&dir);
+    println!(
+        "shard_smoke: {JOBS} jobs ({HEAVY} heavy MC front-loaded into shard 0's chunk), \
+         4 slaves total in every channel configuration"
+    );
+
+    let mut reference = None;
+    let (m1, s1) = live_run(&files, &ShardConfig::new(1, 4), "live 1x4", &mut reference);
+    let (m2, s2) = live_run(
+        &files,
+        &ShardConfig::new(2, 2).stealing(LEASE),
+        "live 2x2",
+        &mut reference,
+    );
+    let (m4, s4) = live_run(
+        &files,
+        &ShardConfig::new(4, 1).stealing(LEASE),
+        "live 4x1",
+        &mut reference,
+    );
+    let (mp, sp) = live_run(
+        &files,
+        &ShardConfig::new(2, 2)
+            .stealing(LEASE)
+            .backend(TransportKind::Process),
+        "live 2x2 (process)",
+        &mut reference,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("live 1x4 (channel): {m1:.3}s, {s1} steals");
+    println!("live 2x2 (channel): {m2:.3}s, {s2} steals");
+    println!("live 4x1 (channel): {m4:.3}s, {s4} steals");
+    println!("live 2x2 (process): {mp:.3}s, {sp} steals");
+
+    if s2 == 0 || s4 == 0 || sp == 0 {
+        fail(format!(
+            "a multi-shard run recorded no steals (2x2 {s2}, 4x1 {s4}, process {sp}) — \
+             the heavy chunk should force them"
+        ));
+    }
+    for (label, m) in [("2x2", m2), ("4x1", m4)] {
+        if m > m1 * DEGRADE {
+            fail(format!(
+                "{label} makespan {m:.3}s degrades the 1-shard {m1:.3}s beyond x{DEGRADE}"
+            ));
+        }
+    }
+
+    let (channel, socket) = calibrate_transports();
+    println!(
+        "transport channel: {:.3e}s/msg + {:.3e}s/B; socket: {:.3e}s/msg + {:.3e}s/B",
+        channel.per_message, channel.per_byte, socket.per_message, socket.per_byte
+    );
+    if socket.per_message <= channel.per_message {
+        fail(format!(
+            "socket per-message cost {:.3e}s not above the channel's {:.3e}s",
+            socket.per_message, channel.per_message
+        ));
+    }
+
+    // Simulator rows on the matched jobs: growing the shard count grows
+    // total parallelism, so makespans must be monotone non-increasing.
+    let sim = SimConfig {
+        transport: channel,
+        ..SimConfig::default()
+    };
+    let rows: Vec<f64> = [1usize, 2, 4]
+        .iter()
+        .map(|&shards| {
+            let cfg = ShardSimConfig {
+                shards,
+                slaves_per_shard: 4,
+                lease: LEASE,
+                steal: true,
+            };
+            let out = simulate_sharded(&sim_jobs, &cfg, Transmission::SerializedLoad, &sim);
+            println!(
+                "sim {shards} shard(s) x 4 slaves: {:.6}s, {} steals",
+                out.makespan, out.steals
+            );
+            out.makespan
+        })
+        .collect();
+    if !(rows[1] <= rows[0] && rows[2] <= rows[1]) {
+        fail(format!(
+            "sim makespans not monotone in shard count: {rows:?}"
+        ));
+    }
+
+    // The 512-core extension: 64 shards x 8 slaves over 4096 jobs, the
+    // heavy eighth front-loaded, under the measured socket transport.
+    let jobs512: Vec<SimJob> = (0..4096)
+        .map(|i| SimJob {
+            id: i,
+            class: if i < 512 {
+                JobClass::LocalVolMc
+            } else {
+                JobClass::VanillaClosedForm
+            },
+            bytes: 600,
+            compute: if i < 512 { HEAVY_S } else { LIGHT_S },
+        })
+        .collect();
+    let sim512 = SimConfig {
+        transport: socket,
+        ..SimConfig::default()
+    };
+    let out512 = simulate_sharded(
+        &jobs512,
+        &ShardSimConfig {
+            shards: 64,
+            slaves_per_shard: 8,
+            lease: 16,
+            steal: true,
+        },
+        Transmission::SerializedLoad,
+        &sim512,
+    );
+    let done512: usize = out512.per_shard_jobs.iter().sum();
+    println!(
+        "sim 64 shards x 8 slaves (512 cores, socket transport): {:.6}s, \
+         {done512} jobs, {} steals",
+        out512.makespan, out512.steals
+    );
+    if done512 != jobs512.len() || out512.makespan <= 0.0 || out512.steals == 0 {
+        fail(format!(
+            "512-core sim row is off: {done512} of {} jobs, makespan {:.6}s, {} steals",
+            jobs512.len(),
+            out512.makespan,
+            out512.steals
+        ));
+    }
+
+    println!("shard_smoke: PASS (prices bit-identical across 4 configurations and 2 backends)");
+    println!(
+        "JSON: {{\"title\":\"Sharded peer masters smoke\",\
+         \"jobs\":{JOBS},\"heavy_jobs\":{HEAVY},\"prices_bit_identical\":1,\
+         \"live_1_makespan_s\":{m1:.6},\"live_1_steals\":{s1},\
+         \"live_2_makespan_s\":{m2:.6},\"live_2_steals\":{s2},\
+         \"live_4_makespan_s\":{m4:.6},\"live_4_steals\":{s4},\
+         \"live_proc_makespan_s\":{mp:.6},\"live_proc_steals\":{sp},\
+         \"channel_per_message_s\":{:e},\"channel_per_byte_s\":{:e},\
+         \"socket_per_message_s\":{:e},\"socket_per_byte_s\":{:e},\
+         \"sim_1_makespan_s\":{:.6},\"sim_2_makespan_s\":{:.6},\"sim_4_makespan_s\":{:.6},\
+         \"sim_512_makespan_s\":{:.6},\"sim_512_jobs\":{done512},\"sim_512_steals\":{}}}",
+        channel.per_message,
+        channel.per_byte,
+        socket.per_message,
+        socket.per_byte,
+        rows[0],
+        rows[1],
+        rows[2],
+        out512.makespan,
+        out512.steals
+    );
+}

@@ -231,6 +231,47 @@ impl ExecParams {
     }
 }
 
+/// Transport-layer cost model: what the pluggable `transport` backend
+/// adds *on top of* the raw [`NetworkParams`] wire time, per message and
+/// per byte. **Zero by default**, so the baseline model reproduces the
+/// paper's Tables I–III bit for bit; the presets carry the calibrated
+/// overheads of the two live backends (`bench/shard_smoke` re-measures
+/// them with a ping-pong on every run).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TransportParams {
+    /// Fixed per-message overhead in seconds (frame header build/parse,
+    /// mailbox wake-up; for the socket backend also the syscall pair).
+    pub per_message: f64,
+    /// Per-byte overhead in seconds (copy into/out of the frame; for the
+    /// socket backend the kernel buffer crossings).
+    pub per_byte: f64,
+}
+
+impl TransportParams {
+    /// Calibrated in-process channel backend: an enqueue, a condvar
+    /// wake-up and (for owned payloads) one memcpy.
+    pub fn channel() -> Self {
+        TransportParams {
+            per_message: 1.5e-6,
+            per_byte: 0.1e-9,
+        }
+    }
+
+    /// Calibrated Unix-domain-socket backend: a write/read syscall pair
+    /// and two kernel buffer crossings per message.
+    pub fn socket() -> Self {
+        TransportParams {
+            per_message: 8e-6,
+            per_byte: 0.6e-9,
+        }
+    }
+
+    /// Transport overhead of one message of `bytes`.
+    pub fn cost(&self, bytes: usize) -> f64 {
+        self.per_message + bytes as f64 * self.per_byte
+    }
+}
+
 /// Full simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SimConfig {
@@ -246,6 +287,8 @@ pub struct SimConfig {
     pub store: StoreParams,
     /// Intra-slave compute-parallelism model (chunked executor).
     pub exec: ExecParams,
+    /// Transport-layer overhead model (pluggable backend costs).
+    pub transport: TransportParams,
 }
 
 #[cfg(test)]
@@ -329,6 +372,26 @@ mod tests {
             let want_wall = 20.0 - parallel + parallel / threads as f64 + e.spawn_overhead;
             assert_eq!(e.apply(20.0), (want_wall, parallel));
         }
+    }
+
+    #[test]
+    fn transport_model_is_zero_by_default_and_socket_costs_more() {
+        let off = TransportParams::default();
+        assert_eq!(off.cost(0), 0.0);
+        assert_eq!(off.cost(1 << 20), 0.0);
+        let ch = TransportParams::channel();
+        let so = TransportParams::socket();
+        for bytes in [0usize, 96, 600, 1 << 16] {
+            assert!(ch.cost(bytes) > 0.0);
+            assert!(
+                so.cost(bytes) > ch.cost(bytes),
+                "sockets must cost more than channels at {bytes} B"
+            );
+        }
+        // Overheads stay far below the modelled network wire time — the
+        // transport refines the cost model, it must not dominate it.
+        let n = NetworkParams::default();
+        assert!(so.cost(600) < n.transfer_time(600));
     }
 
     #[test]

@@ -332,6 +332,10 @@ pub fn simulate_farm_sched(
     };
     // Result messages are small fixed-size records.
     const RESULT_BYTES: usize = 96;
+    // Transport-backend overhead on top of the raw network time; zero
+    // with the default [`crate::params::TransportParams`], keeping the
+    // baseline model bit-identical.
+    let result_wire = cfg.network.transfer_time(RESULT_BYTES) + cfg.transport.cost(RESULT_BYTES);
 
     let store = cfg.store;
     // Dispatch job to slave starting from master-ready time; returns the
@@ -390,7 +394,7 @@ pub fn simulate_farm_sched(
         } else {
             (raw_wire, 0.0, 0.0)
         };
-        let transfer = cfg.network.transfer_time(wire);
+        let transfer = cfg.network.transfer_time(wire) + cfg.transport.cost(wire);
         // Master: prep (+ compression) + NIC occupancy (serialised on
         // the master).
         let send_done = master.acquire(ready, prep + compress_cpu + transfer);
@@ -561,15 +565,8 @@ pub fn simulate_farm_sched(
             cfg.slave.result_prep,
             RESULT_BYTES,
         );
-        emit(
-            EventKind::Send,
-            srank,
-            jid,
-            done,
-            cfg.network.transfer_time(RESULT_BYTES),
-            RESULT_BYTES,
-        );
-        done + cfg.network.transfer_time(RESULT_BYTES)
+        emit(EventKind::Send, srank, jid, done, result_wire, RESULT_BYTES);
+        done + result_wire
     };
 
     // The scheduler: the same pure state machine the live masters drive.
@@ -614,7 +611,7 @@ pub fn simulate_farm_sched(
                             // answer never arrives, and the master's
                             // liveness sweep notices `detect_delay_s`
                             // after the fatal send began.
-                            let death = arrival - cfg.network.transfer_time(RESULT_BYTES);
+                            let death = arrival - result_wire;
                             heap.push(Reverse((Time(death + f.detect_delay_s), s, DEAD, job)));
                         }
                         None => heap.push(Reverse((Time(arrival), s, ANSWER, job))),
@@ -756,6 +753,123 @@ pub fn simulate_farm_sched(
         },
         sched.take_trace(),
     ))
+}
+
+// ---------------------------------------------------------------------------
+// Sharded peer masters: the simulated counterpart of `farm::shard`
+// ---------------------------------------------------------------------------
+
+/// Configuration of a sharded simulated run — the model-side mirror of
+/// the live `farm::shard::ShardConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSimConfig {
+    /// Number of peer masters, each with a private slave farm.
+    pub shards: usize,
+    /// Compute slaves per shard.
+    pub slaves_per_shard: usize,
+    /// Jobs a master leases per round; `0` leases the whole shard at
+    /// once (which also leaves nothing to steal).
+    pub lease: usize,
+    /// Steal from the richest peer pool when the own pool drains.
+    pub steal: bool,
+}
+
+/// What a sharded simulated run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSimOutcome {
+    /// Wall-clock makespan: the last shard to drain, simulated seconds.
+    pub makespan: f64,
+    /// Jobs computed under each shard's master (stolen ones included).
+    pub per_shard_jobs: Vec<usize>,
+    /// Per-shard busy time (that shard's last round end).
+    pub per_shard_time: Vec<f64>,
+    /// Number of steal rounds performed.
+    pub steals: usize,
+}
+
+/// Replay a sharded peer-master run against the performance model.
+///
+/// Each shard is an independent simulated farm (its own master, NIC,
+/// slaves and caches) advancing on its own virtual clock; the *globally
+/// earliest-free* master leases its next round, exactly mirroring the
+/// live `farm::shard` round structure: lease from the own pool's front,
+/// steal from the richest peer's back once dry. Deterministic — ties
+/// break on the lowest shard index — so sweep tables are reproducible.
+///
+/// With `shards == 1` and `lease == 0` this is one plain farm run: the
+/// outcome is bit-identical to [`simulate_farm_cached`] on the same
+/// jobs. This is how Tables I–III extend to 512-core sharded runs (64
+/// peer masters × 8 slaves) without a global master in the model.
+pub fn simulate_sharded(
+    jobs: &[SimJob],
+    cfg: &ShardSimConfig,
+    strategy: Transmission,
+    sim: &SimConfig,
+) -> ShardSimOutcome {
+    assert!(cfg.shards >= 1, "need at least one shard");
+    assert!(cfg.slaves_per_shard >= 1, "need at least one slave per shard");
+    let shards = cfg.shards;
+    // Contiguous pools, remainder spread over the first shards — the
+    // same chunking the live seed_pools performs.
+    let base = jobs.len() / shards;
+    let rem = jobs.len() % shards;
+    let mut begin = 0usize;
+    let mut pools: Vec<std::collections::VecDeque<usize>> = (0..shards)
+        .map(|s| {
+            let len = base + usize::from(s < rem);
+            let pool = (begin..begin + len).collect();
+            begin += len;
+            pool
+        })
+        .collect();
+
+    let mut t = vec![0.0f64; shards];
+    let mut caches: Vec<SimCaches> = (0..shards).map(|_| SimCaches::new()).collect();
+    let mut out = ShardSimOutcome {
+        makespan: 0.0,
+        per_shard_jobs: vec![0; shards],
+        per_shard_time: vec![0.0; shards],
+        steals: 0,
+    };
+    let want = |pool_len: usize| if cfg.lease == 0 { pool_len } else { cfg.lease };
+
+    loop {
+        // The earliest-free master that can still obtain work leases the
+        // next round (lowest index on clock ties).
+        let next = (0..shards)
+            .filter(|&s| {
+                !pools[s].is_empty() || (cfg.steal && pools.iter().any(|p| !p.is_empty()))
+            })
+            .min_by(|&a, &b| t[a].total_cmp(&t[b]).then(a.cmp(&b)));
+        let Some(s) = next else { break };
+        let round: Vec<usize> = if !pools[s].is_empty() {
+            let n = want(pools[s].len()).min(pools[s].len());
+            pools[s].drain(..n).collect()
+        } else {
+            let victim = (0..shards)
+                .filter(|&p| p != s && !pools[p].is_empty())
+                .max_by(|&a, &b| pools[a].len().cmp(&pools[b].len()).then(b.cmp(&a)))
+                .expect("steal filter guarantees a victim");
+            let n = want(pools[victim].len()).min(pools[victim].len());
+            let at = pools[victim].len() - n;
+            out.steals += 1;
+            pools[victim].drain(at..).collect()
+        };
+        let round_jobs: Vec<SimJob> = round.iter().map(|&i| jobs[i]).collect();
+        let run = simulate_farm_cached(
+            &round_jobs,
+            cfg.slaves_per_shard,
+            strategy,
+            sim,
+            &mut caches[s],
+            None,
+        );
+        t[s] += run.makespan;
+        out.per_shard_jobs[s] += round.len();
+        out.per_shard_time[s] = t[s];
+        out.makespan = out.makespan.max(t[s]);
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -1498,6 +1612,139 @@ mod tests {
     fn empty_job_list_is_zero_makespan() {
         let out = simulate_farm(&[], 5, Transmission::Nfs, &cfg(), &mut NfsCache::new());
         assert_eq!(out.makespan, 0.0);
+    }
+
+    // -- sharded peer masters ------------------------------------------------
+
+    #[test]
+    fn one_shard_whole_lease_is_bit_identical_to_the_plain_farm() {
+        let jobs = cheap_jobs(200, 2e-3);
+        let plain = simulate_farm_cached(
+            &jobs,
+            4,
+            Transmission::SerializedLoad,
+            &cfg(),
+            &mut SimCaches::new(),
+            None,
+        );
+        let sharded = simulate_sharded(
+            &jobs,
+            &ShardSimConfig {
+                shards: 1,
+                slaves_per_shard: 4,
+                lease: 0,
+                steal: false,
+            },
+            Transmission::SerializedLoad,
+            &cfg(),
+        );
+        assert_eq!(sharded.makespan.to_bits(), plain.makespan.to_bits());
+        assert_eq!(sharded.per_shard_jobs, vec![200]);
+        assert_eq!(sharded.steals, 0);
+    }
+
+    #[test]
+    fn stealing_rebalances_a_heavy_tailed_split() {
+        // All the heavy jobs land in shard 0's contiguous chunk: without
+        // stealing shard 1 idles; with stealing it takes over the tail.
+        let mut jobs = cheap_jobs(64, 1e-3);
+        for j in jobs.iter_mut().take(32) {
+            j.compute = 0.25;
+        }
+        let base = ShardSimConfig {
+            shards: 2,
+            slaves_per_shard: 2,
+            lease: 4,
+            steal: false,
+        };
+        let no_steal = simulate_sharded(&jobs, &base, Transmission::SerializedLoad, &cfg());
+        let steal = simulate_sharded(
+            &jobs,
+            &ShardSimConfig {
+                steal: true,
+                ..base
+            },
+            Transmission::SerializedLoad,
+            &cfg(),
+        );
+        assert_eq!(no_steal.steals, 0);
+        assert!(steal.steals > 0, "heavy tail must trigger steals");
+        assert!(
+            steal.makespan < no_steal.makespan,
+            "stealing must shorten the run: {} !< {}",
+            steal.makespan,
+            no_steal.makespan
+        );
+        assert_eq!(steal.per_shard_jobs.iter().sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn more_shards_never_slow_the_sharded_model() {
+        let mut jobs = cheap_jobs(256, 5e-3);
+        for (i, j) in jobs.iter_mut().enumerate() {
+            if i % 7 == 0 {
+                j.compute = 0.1;
+            }
+        }
+        let mut prev = f64::INFINITY;
+        for shards in [1usize, 2, 4, 8] {
+            let out = simulate_sharded(
+                &jobs,
+                &ShardSimConfig {
+                    shards,
+                    slaves_per_shard: 4,
+                    lease: 8,
+                    steal: true,
+                },
+                Transmission::SerializedLoad,
+                &cfg(),
+            );
+            assert!(
+                out.makespan <= prev,
+                "{shards} shards slower: {} > {prev}",
+                out.makespan
+            );
+            prev = out.makespan;
+        }
+    }
+
+    #[test]
+    fn sharded_512_core_run_completes_and_transport_cost_shows() {
+        // The paper's 512-core scale as 64 peer masters × 8 slaves.
+        let jobs = cheap_jobs(4096, 10e-3);
+        let shape = ShardSimConfig {
+            shards: 64,
+            slaves_per_shard: 8,
+            lease: 16,
+            steal: true,
+        };
+        let free = simulate_sharded(&jobs, &shape, Transmission::SerializedLoad, &cfg());
+        assert_eq!(free.per_shard_jobs.iter().sum::<usize>(), 4096);
+        let mut socket = cfg();
+        socket.transport = crate::params::TransportParams::socket();
+        let priced = simulate_sharded(&jobs, &shape, Transmission::SerializedLoad, &socket);
+        assert!(
+            priced.makespan > free.makespan,
+            "socket transport overhead must surface: {} !> {}",
+            priced.makespan,
+            free.makespan
+        );
+    }
+
+    #[test]
+    fn transport_params_zero_keeps_the_flat_model_bit_identical() {
+        let jobs = cheap_jobs(300, 1e-3);
+        for strategy in Transmission::ALL {
+            let base = simulate_farm(&jobs, 4, strategy, &cfg(), &mut NfsCache::new());
+            let mut explicit = cfg();
+            explicit.transport = crate::params::TransportParams::default();
+            let with_zero = simulate_farm(&jobs, 4, strategy, &explicit, &mut NfsCache::new());
+            assert_eq!(base, with_zero, "{strategy}");
+            let mut channel = cfg();
+            channel.transport = crate::params::TransportParams::channel();
+            let with_channel = simulate_farm(&jobs, 4, strategy, &channel, &mut NfsCache::new());
+            assert!(with_channel.makespan > base.makespan, "{strategy}");
+        }
     }
 
     // -- open-loop serving ---------------------------------------------------

@@ -17,7 +17,13 @@
 //! * [`nspval`] + [`xdrser`] — the Nsp value system with XDR
 //!   serialization (`serialize`, `save`/`load`, the `sload` fast path,
 //!   LZSS compression).
-//! * [`minimpi`] — the in-process MPI runtime backing the live farm.
+//! * [`transport`] — the pluggable message transport under `minimpi`:
+//!   one `Transport` trait, an in-process channel backend and a
+//!   multi-process Unix-domain-socket backend, with fault injection and
+//!   instrumentation mapped onto both (`docs/TRANSPORT.md`).
+//! * [`minimpi`] — the MPI-like runtime backing the live farm, generic
+//!   over the [`transport`] backends (thread worlds or spawned child
+//!   processes).
 //! * [`sched`] — the pure, transport-free Robin-Hood scheduler state
 //!   machine; every master (live farm and simulator alike) is a thin
 //!   driver of it, and `tests/sched_parity.rs` proves both worlds render
@@ -71,6 +77,7 @@ pub use pricing;
 pub use sched;
 pub use serve;
 pub use store;
+pub use transport;
 pub use xdrser;
 
 /// The commonly used types and functions in one import.

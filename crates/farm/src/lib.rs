@@ -16,6 +16,10 @@
 //!   all together" improvement.
 //! * [`hierarchy`] — the §5 sub-master improvement ("divide the nodes
 //!   into sub-groups, each group having its own master").
+//! * [`shard`] — peer masters without a global root: each owns a
+//!   portfolio shard and a private slave farm (threads or real child
+//!   processes, via the pluggable `transport` backends), with
+//!   inter-shard work-stealing when a pool drains early.
 //! * [`supervisor`] — the fault-tolerant Robin-Hood master: per-job
 //!   deadlines, bounded retries with exponential backoff, dead-slave
 //!   detection and graceful degradation, exercised against
@@ -53,6 +57,7 @@ mod instrument;
 pub mod portfolio;
 pub mod risk;
 pub mod robin_hood;
+pub mod shard;
 pub mod strategy;
 pub mod supervisor;
 pub mod wire;
@@ -63,6 +68,7 @@ pub use portfolio::{
     PortfolioScale,
 };
 pub use robin_hood::{FarmError, FarmReport, JobOutcome};
+pub use shard::{run_sharded, ShardConfig, ShardReport, StealEvent, TransportKind};
 pub use sched::{DispatchPolicy, Trace};
 pub use strategy::{Transmission, WirePolicy};
 pub use supervisor::SupervisorConfig;

@@ -1,16 +1,25 @@
-//! Communicators, mailboxes and point-to-point / collective operations.
+//! Communicators and point-to-point / collective operations.
+//!
+//! Since the `transport` crate landed, the mailbox/matching machinery
+//! lives behind the [`Transport`] trait: a [`Comm`] is one rank's typed,
+//! fault-aware, instrumented view of whichever backend its world was
+//! built on — in-process channels ([`crate::World`]) or multi-process
+//! Unix-domain sockets ([`crate::ProcessWorld`]). Fault injection and
+//! observability stay here, *above* the wire: the same `FaultPlan`
+//! drives both backends, and its verdicts are mapped onto whatever the
+//! backend can express (drops never sent, truncations sent short,
+//! delays carried as frame metadata, kills broadcast group-wide).
 
 use crate::buf::MpiBuf;
 use crate::error::MpiError;
 use crate::fault::{FaultEvent, FaultPlan, SendFault};
-use crate::{ANY_SOURCE, ANY_TAG};
+use crate::ANY_SOURCE;
 use nspval::{Serial, Value};
 use obs::{Event, EventKind, Recorder, NO_JOB};
-use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
-use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use transport::{Frame, Payload, Transport, TransportError};
 
 /// Delivery status of a matched message (MPI_Status): source rank, tag and
 /// payload size in bytes (`MPI_Get_count` / `MPI_Get_elements`).
@@ -30,161 +39,23 @@ impl Status {
     }
 }
 
-/// Message payload storage. Plain sends own their bytes; shared sends
-/// ([`Comm::send_shared`], broadcast fan-out) put one allocation behind an
-/// `Arc` so every in-process destination queues the *same* bytes instead
-/// of a per-destination clone.
-#[derive(Debug, Clone)]
-enum Payload {
-    Owned(Vec<u8>),
-    Shared(Arc<Vec<u8>>),
+fn status_of(frame: &Frame) -> Status {
+    Status {
+        src: frame.src,
+        tag: frame.tag,
+        len: frame.full_len,
+    }
 }
 
-impl Payload {
-    fn as_slice(&self) -> &[u8] {
-        match self {
-            Payload::Owned(v) => v,
-            Payload::Shared(a) => a,
+/// Map a transport failure onto the communicator error surface.
+fn map_err(e: TransportError) -> MpiError {
+    match e {
+        TransportError::Dead(rank) => MpiError::Poisoned(rank),
+        TransportError::Disconnected => MpiError::Disconnected,
+        TransportError::Truncated { needed, capacity } => {
+            MpiError::Truncated { needed, capacity }
         }
-    }
-
-    fn len(&self) -> usize {
-        self.as_slice().len()
-    }
-
-    /// Shrink to `keep` bytes (fault-injected truncation). A shared
-    /// payload degrades to an owned copy so the other destinations keep
-    /// their intact bytes.
-    fn truncate(&mut self, keep: usize) {
-        match self {
-            Payload::Owned(v) => v.truncate(keep),
-            Payload::Shared(a) => {
-                *self = Payload::Owned(a[..keep.min(a.len())].to_vec());
-            }
-        }
-    }
-
-    /// Surrender the bytes. Owned payloads move for free; a shared
-    /// payload is reclaimed without a copy when this was the last
-    /// reference (the common case for the final broadcast receiver).
-    fn into_vec(self) -> Vec<u8> {
-        match self {
-            Payload::Owned(v) => v,
-            Payload::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()),
-        }
-    }
-}
-
-#[derive(Debug)]
-struct Message {
-    src: usize,
-    tag: i32,
-    payload: Payload,
-    /// Advertised length: equals `payload.len()` unless the fault layer
-    /// truncated the payload in flight.
-    full_len: usize,
-    /// Fault-injected delivery time; `None` = immediately visible.
-    visible_at: Option<Instant>,
-}
-
-impl Message {
-    fn visible(&self, now: Instant) -> bool {
-        self.visible_at.is_none_or(|t| t <= now)
-    }
-
-    fn truncated(&self) -> bool {
-        self.payload.len() < self.full_len
-    }
-
-    fn status(&self) -> Status {
-        Status {
-            src: self.src,
-            tag: self.tag,
-            len: self.full_len,
-        }
-    }
-}
-
-#[derive(Default)]
-struct MailboxState {
-    queue: VecDeque<Message>,
-    /// Set when the group is torn down (a peer panicked); wakes blockers.
-    poisoned: bool,
-    /// Set when this rank is dead (fault-plan kill or `Comm::sever`):
-    /// sends to it and operations by it fail with `MpiError::Poisoned`.
-    dead: bool,
-}
-
-struct Mailbox {
-    state: Mutex<MailboxState>,
-    cond: Condvar,
-}
-
-impl Mailbox {
-    fn new() -> Self {
-        Mailbox {
-            state: Mutex::new(MailboxState::default()),
-            cond: Condvar::new(),
-        }
-    }
-}
-
-struct BarrierState {
-    arrived: usize,
-    generation: u64,
-}
-
-/// Shared state of one communicator group.
-pub(crate) struct Group {
-    boxes: Vec<Arc<Mailbox>>,
-    barrier: Mutex<BarrierState>,
-    barrier_cond: Condvar,
-    epoch: Instant,
-    /// Fault-injection plan consulted on every operation; `None` (the
-    /// [`crate::World::run`] default) short-circuits to the fast path.
-    plan: Option<Arc<FaultPlan>>,
-}
-
-impl Group {
-    pub(crate) fn new(size: usize) -> Arc<Self> {
-        Self::new_with_plan(size, None)
-    }
-
-    pub(crate) fn new_with_plan(size: usize, plan: Option<Arc<FaultPlan>>) -> Arc<Self> {
-        Arc::new(Group {
-            boxes: (0..size).map(|_| Arc::new(Mailbox::new())).collect(),
-            barrier: Mutex::new(BarrierState {
-                arrived: 0,
-                generation: 0,
-            }),
-            barrier_cond: Condvar::new(),
-            epoch: Instant::now(),
-            plan,
-        })
-    }
-
-    /// Wake every blocked receiver with a poison flag; used when a rank
-    /// panics so the rest don't deadlock.
-    pub(crate) fn poison(&self) {
-        for mb in &self.boxes {
-            mb.state.lock().poisoned = true;
-            mb.cond.notify_all();
-        }
-    }
-
-    /// Mark one rank's mailbox dead: pending messages are discarded and
-    /// every blocked waiter on that mailbox is woken so it can observe
-    /// [`MpiError::Poisoned`] instead of hanging forever.
-    fn mark_dead(&self, rank: usize) {
-        let mb = &self.boxes[rank];
-        let mut st = mb.state.lock();
-        st.dead = true;
-        st.queue.clear();
-        mb.cond.notify_all();
-    }
-
-    fn is_dead(&self, rank: usize) -> bool {
-        self.boxes[rank].state.lock().dead
+        TransportError::Io(msg) => MpiError::Transport(msg),
     }
 }
 
@@ -194,8 +65,11 @@ impl Group {
 /// Cloning is not allowed (each rank holds exactly one endpoint); the
 /// handle is `Send` so `World` can move it into the rank's thread.
 pub struct Comm {
-    group: Arc<Group>,
+    transport: Arc<dyn Transport>,
     rank: usize,
+    /// Fault-injection plan consulted on every operation; `None` (the
+    /// [`crate::World::run`] default) short-circuits to the fast path.
+    plan: Option<Arc<FaultPlan>>,
     /// Per-rank operation counter: every send/recv/probe increments it and
     /// is compared against the fault plan's kill schedule.
     ops: Cell<u64>,
@@ -212,15 +86,26 @@ pub struct Comm {
 }
 
 impl Comm {
-    pub(crate) fn new(group: Arc<Group>, rank: usize, recorder: Option<Arc<Recorder>>) -> Self {
+    pub(crate) fn new(
+        transport: Arc<dyn Transport>,
+        plan: Option<Arc<FaultPlan>>,
+        recorder: Option<Arc<Recorder>>,
+    ) -> Self {
+        let rank = transport.rank();
         Comm {
-            group,
+            transport,
             rank,
+            plan,
             ops: Cell::new(0),
             sends: Cell::new(0),
             recorder,
             job: Cell::new(NO_JOB),
         }
+    }
+
+    /// The transport endpoint backing this communicator.
+    pub(crate) fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
     }
 
     // ----- observability ----------------------------------------------------
@@ -285,16 +170,18 @@ impl Comm {
     fn pre_op(&self) -> Result<(), MpiError> {
         let op = self.ops.get();
         self.ops.set(op + 1);
-        if self.group.is_dead(self.rank) {
+        if self.transport.is_dead(self.rank) {
             return Err(MpiError::Poisoned(self.rank));
         }
-        if let Some(plan) = &self.group.plan {
+        if let Some(plan) = &self.plan {
             if plan.should_kill(self.rank, op) {
                 plan.record(FaultEvent::Killed {
                     rank: self.rank,
                     op,
                 });
-                self.group.mark_dead(self.rank);
+                // Group-wide: peers' sends to us must fail fast, on every
+                // backend (the process backend broadcasts the kill).
+                self.transport.kill(self.rank);
                 // Fault path: a self-observed death is an event too.
                 if let Some(rec) = &self.recorder {
                     rec.record(Event {
@@ -319,12 +206,12 @@ impl Comm {
 
     /// `MPI_Comm_size`.
     pub fn size(&self) -> usize {
-        self.group.boxes.len()
+        self.transport.size()
     }
 
     /// `MPI_Wtime`: seconds since the communicator was created.
     pub fn wtime(&self) -> f64 {
-        self.group.epoch.elapsed().as_secs_f64()
+        self.transport.epoch().elapsed().as_secs_f64()
     }
 
     fn check_dest(&self, rank: i32) -> Result<usize, MpiError> {
@@ -349,17 +236,22 @@ impl Comm {
         self.send_internal(Payload::Owned(bytes.to_vec()), dest, tag)
     }
 
-    /// Send a payload already behind an `Arc` *without copying it*: every
-    /// in-process destination queues a reference to the same allocation.
-    /// This is the broadcast fan-out path — sending the same N-byte
-    /// message to k destinations costs one allocation instead of k.
+    /// Send a payload already behind an `Arc` *without copying it*: on an
+    /// in-process backend every destination queues a reference to the
+    /// same allocation. This is the broadcast fan-out path — sending the
+    /// same N-byte message to k destinations costs one allocation instead
+    /// of k.
     ///
-    /// Each call records the avoided clone as a zero-duration `CopySaved`
-    /// diagnostic mark (bytes = the payload size a [`Comm::send`] would
-    /// have copied).
+    /// On a backend that shares memory, each call records the avoided
+    /// clone as a zero-duration `CopySaved` diagnostic mark (bytes = the
+    /// payload size a [`Comm::send`] would have copied); a wire-backed
+    /// backend copies onto the wire regardless, so no savings are
+    /// claimed.
     pub fn send_shared(&self, bytes: &Arc<Vec<u8>>, dest: i32, tag: i32) -> Result<(), MpiError> {
         Self::check_tag(tag)?;
-        self.obs_mark(EventKind::CopySaved, bytes.len());
+        if self.transport.shares_memory() {
+            self.obs_mark(EventKind::CopySaved, bytes.len());
+        }
         self.send_internal(Payload::Shared(Arc::clone(bytes)), dest, tag)
     }
 
@@ -369,7 +261,7 @@ impl Comm {
         let t0 = self.obs_start();
         let full_len = payload.len();
         let mut visible_at = None;
-        if let Some(plan) = &self.group.plan {
+        if let Some(plan) = &self.plan {
             let send = self.sends.get();
             self.sends.set(send + 1);
             match plan.decide_send(self.rank, send, full_len) {
@@ -404,150 +296,33 @@ impl Comm {
                 }
             }
         }
-        let mb = &self.group.boxes[dest];
-        let mut st = mb.state.lock();
-        if st.dead {
-            // Fail fast instead of queueing into a mailbox nobody drains.
-            return Err(MpiError::Poisoned(dest));
-        }
-        if st.poisoned {
-            return Err(MpiError::Disconnected);
-        }
-        st.queue.push_back(Message {
-            src: self.rank,
-            tag,
-            payload,
-            full_len,
-            visible_at,
-        });
-        mb.cond.notify_all();
-        drop(st);
+        self.transport
+            .send(
+                dest,
+                Frame {
+                    src: self.rank,
+                    tag,
+                    payload,
+                    full_len,
+                    visible_at,
+                },
+            )
+            .map_err(map_err)?;
         self.obs_span(EventKind::Send, t0, full_len);
         Ok(())
     }
 
-    fn matches(msg: &Message, src: i32, tag: i32) -> bool {
-        (src == ANY_SOURCE || msg.src == src as usize) && (tag == ANY_TAG || msg.tag == tag)
-    }
-
-    /// Wait-loop core shared by probe and receive: block until a matching
-    /// *visible* message exists, the mailbox dies, the group is poisoned,
-    /// or `deadline` passes. `Ok(None)` means the deadline expired.
-    ///
-    /// When `consume` is true the matched message is removed from the
-    /// queue — unless it was truncated in flight, in which case the error
-    /// surfaces and the message stays queued (mirroring
-    /// [`Comm::recv_into`]'s peek-first contract) so the caller can
-    /// [`Comm::discard`] or inspect it.
+    /// Transport wait-loop with error mapping.
     fn match_deadline(
         &self,
         src: i32,
         tag: i32,
         deadline: Option<Instant>,
         consume: bool,
-    ) -> Result<Option<Message>, MpiError> {
-        let mb = &self.group.boxes[self.rank];
-        let mut st = mb.state.lock();
-        loop {
-            if st.dead {
-                return Err(MpiError::Poisoned(self.rank));
-            }
-            let now = Instant::now();
-            if let Some(pos) = st
-                .queue
-                .iter()
-                .position(|m| Self::matches(m, src, tag) && m.visible(now))
-            {
-                if consume {
-                    if st.queue[pos].truncated() {
-                        let m = &st.queue[pos];
-                        return Err(MpiError::Truncated {
-                            needed: m.full_len,
-                            capacity: m.payload.len(),
-                        });
-                    }
-                    return Ok(Some(st.queue.remove(pos).expect("position just found")));
-                }
-                // Probe: clone the metadata, leave the payload queued.
-                let m = &st.queue[pos];
-                return Ok(Some(Message {
-                    src: m.src,
-                    tag: m.tag,
-                    payload: Payload::Owned(Vec::new()),
-                    full_len: m.full_len,
-                    visible_at: m.visible_at,
-                }));
-            }
-            if st.poisoned {
-                return Err(MpiError::Disconnected);
-            }
-            // Next wake-up: the earliest fault-delayed matching message, or
-            // the caller's deadline, whichever comes first.
-            let next_visible = st
-                .queue
-                .iter()
-                .filter(|m| Self::matches(m, src, tag))
-                .filter_map(|m| m.visible_at)
-                .min();
-            let wake_at = match (next_visible, deadline) {
-                (Some(v), Some(d)) => Some(v.min(d)),
-                (Some(v), None) => Some(v),
-                (None, Some(d)) => Some(d),
-                (None, None) => None,
-            };
-            match wake_at {
-                Some(t) => {
-                    let now = Instant::now();
-                    if t <= now {
-                        if deadline.is_some_and(|d| d <= now)
-                            && next_visible.is_none_or(|v| v > now)
-                        {
-                            return Ok(None);
-                        }
-                        // A delayed message just became visible: loop.
-                        continue;
-                    }
-                    mb.cond.wait_for(&mut st, t - now);
-                    if let Some(d) = deadline {
-                        if Instant::now() >= d {
-                            // One last scan before giving up.
-                            let now = Instant::now();
-                            if let Some(pos) = st
-                                .queue
-                                .iter()
-                                .position(|m| Self::matches(m, src, tag) && m.visible(now))
-                            {
-                                if !consume {
-                                    let m = &st.queue[pos];
-                                    return Ok(Some(Message {
-                                        src: m.src,
-                                        tag: m.tag,
-                                        payload: Payload::Owned(Vec::new()),
-                                        full_len: m.full_len,
-                                        visible_at: m.visible_at,
-                                    }));
-                                }
-                                if st.queue[pos].truncated() {
-                                    let m = &st.queue[pos];
-                                    return Err(MpiError::Truncated {
-                                        needed: m.full_len,
-                                        capacity: m.payload.len(),
-                                    });
-                                }
-                                return Ok(Some(
-                                    st.queue.remove(pos).expect("position just found"),
-                                ));
-                            }
-                            if st.dead {
-                                return Err(MpiError::Poisoned(self.rank));
-                            }
-                            return Ok(None);
-                        }
-                    }
-                }
-                None => mb.cond.wait(&mut st),
-            }
-        }
+    ) -> Result<Option<Frame>, MpiError> {
+        self.transport
+            .match_deadline(src, tag, deadline, consume)
+            .map_err(map_err)
     }
 
     /// Blocking `MPI_Probe`: wait until a message matching `(src, tag)` is
@@ -559,7 +334,7 @@ impl Comm {
             .match_deadline(src, tag, None, false)?
             .expect("no deadline, so never None");
         self.obs_span(EventKind::Probe, t0, m.full_len);
-        Ok(m.status())
+        Ok(status_of(&m))
     }
 
     /// [`Comm::probe`] with a timeout: `Ok(None)` if nothing matching
@@ -577,29 +352,17 @@ impl Comm {
         if let Some(m) = &matched {
             self.obs_span(EventKind::Probe, t0, m.full_len);
         }
-        Ok(matched.map(|m| m.status()))
+        Ok(matched.map(|m| status_of(&m)))
     }
 
     /// Non-blocking `MPI_Iprobe`.
     pub fn iprobe(&self, src: i32, tag: i32) -> Result<Option<Status>, MpiError> {
         self.pre_op()?;
-        let mb = &self.group.boxes[self.rank];
-        let st = mb.state.lock();
-        if st.dead {
-            return Err(MpiError::Poisoned(self.rank));
-        }
-        if st.poisoned {
-            return Err(MpiError::Disconnected);
-        }
-        let now = Instant::now();
-        Ok(st
-            .queue
-            .iter()
-            .find(|m| Self::matches(m, src, tag) && m.visible(now))
-            .map(|m| m.status()))
+        let m = self.transport.try_match(src, tag).map_err(map_err)?;
+        Ok(m.map(|m| status_of(&m)))
     }
 
-    fn recv_message(&self, src: i32, tag: i32) -> Result<Message, MpiError> {
+    fn recv_message(&self, src: i32, tag: i32) -> Result<Frame, MpiError> {
         Ok(self
             .match_deadline(src, tag, None, true)?
             .expect("no deadline, so never None"))
@@ -619,7 +382,7 @@ impl Comm {
         }
         let t0 = self.obs_start();
         let msg = self.recv_message(status.src as i32, status.tag)?;
-        let status = msg.status();
+        let status = status_of(&msg);
         buf.fill(msg.payload.as_slice());
         self.obs_span(EventKind::Recv, t0, msg.payload.len());
         Ok(status)
@@ -630,7 +393,7 @@ impl Comm {
         self.pre_op()?;
         let t0 = self.obs_start();
         let msg = self.recv_message(src, tag)?;
-        let status = msg.status();
+        let status = status_of(&msg);
         self.obs_span(EventKind::Recv, t0, msg.payload.len());
         Ok((msg.payload.into_vec(), status))
     }
@@ -648,7 +411,7 @@ impl Comm {
         Ok(self
             .match_deadline(src, tag, Some(Instant::now() + timeout), true)?
             .map(|msg| {
-                let status = msg.status();
+                let status = status_of(&msg);
                 self.obs_span(EventKind::Recv, t0, msg.payload.len());
                 (msg.payload.into_vec(), status)
             }))
@@ -660,23 +423,7 @@ impl Comm {
     /// resynchronises.
     pub fn discard(&self, src: i32, tag: i32) -> Result<bool, MpiError> {
         self.pre_op()?;
-        let mb = &self.group.boxes[self.rank];
-        let mut st = mb.state.lock();
-        if st.dead {
-            return Err(MpiError::Poisoned(self.rank));
-        }
-        let now = Instant::now();
-        match st
-            .queue
-            .iter()
-            .position(|m| Self::matches(m, src, tag) && m.visible(now))
-        {
-            Some(pos) => {
-                st.queue.remove(pos);
-                Ok(true)
-            }
-            None => Ok(false),
-        }
+        self.transport.discard(src, tag).map_err(map_err)
     }
 
     /// Administratively kill `rank`: its mailbox is poisoned, pending
@@ -686,14 +433,14 @@ impl Comm {
     /// plan's kill schedule uses the same underlying mechanism.
     pub fn sever(&self, rank: i32) -> Result<(), MpiError> {
         let rank = self.check_dest(rank)?;
-        self.group.mark_dead(rank);
+        self.transport.kill(rank);
         Ok(())
     }
 
     /// Whether `rank`'s mailbox is still accepting traffic (false once a
     /// fault-plan kill or [`Comm::sever`] took it down).
     pub fn rank_alive(&self, rank: usize) -> bool {
-        rank < self.size() && !self.group.is_dead(rank)
+        rank < self.size() && !self.transport.is_dead(rank)
     }
 
     // ----- object layer (MPI_Send_Obj / MPI_Recv_Obj) ----------------------
@@ -805,19 +552,7 @@ impl Comm {
 
     /// `MPI_Barrier` over all ranks of this communicator.
     pub fn barrier(&self) {
-        let size = self.size();
-        let mut st = self.group.barrier.lock();
-        let gen = st.generation;
-        st.arrived += 1;
-        if st.arrived == size {
-            st.arrived = 0;
-            st.generation += 1;
-            self.group.barrier_cond.notify_all();
-        } else {
-            while st.generation == gen {
-                self.group.barrier_cond.wait(&mut st);
-            }
-        }
+        self.transport.barrier();
     }
 
     /// `MPI_Bcast` of a value from `root` (simple linear fan-out).
@@ -825,8 +560,8 @@ impl Comm {
     /// The root serializes once and fans the *same* allocation out behind
     /// an `Arc` ([`Comm::send_shared`]) — broadcasting an N-byte value to
     /// k destinations used to clone it k times; now it never copies on
-    /// the send side, and the saved bytes land in the recorder as
-    /// `CopySaved` marks.
+    /// the send side of an in-process backend, and the saved bytes land
+    /// in the recorder as `CopySaved` marks.
     pub fn bcast(&self, v: Option<&Value>, root: usize) -> Result<Value, MpiError> {
         const BCAST_TAG: i32 = i32::MAX - 1;
         if self.rank == root {
@@ -865,16 +600,12 @@ impl Comm {
             Ok(None)
         }
     }
-
-    pub(crate) fn group(&self) -> Arc<Group> {
-        Arc::clone(&self.group)
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::World;
+    use crate::{World, ANY_TAG};
 
     #[test]
     fn rank_and_size() {

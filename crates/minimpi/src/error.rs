@@ -28,6 +28,10 @@ pub enum MpiError {
     /// a mailbox nobody will drain; every operation *by* a dead rank also
     /// fails with this error (carrying its own rank).
     Poisoned(usize),
+    /// The transport backend failed below the messaging layer (e.g. a
+    /// socket write error on the multi-process backend). The in-process
+    /// channel backend never produces this.
+    Transport(String),
 }
 
 impl fmt::Display for MpiError {
@@ -44,6 +48,7 @@ impl fmt::Display for MpiError {
             MpiError::Decode(e) => write!(f, "object decode failed: {e}"),
             MpiError::Disconnected => write!(f, "communicator torn down"),
             MpiError::Poisoned(rank) => write!(f, "rank {rank} is dead (mailbox poisoned)"),
+            MpiError::Transport(msg) => write!(f, "transport failure: {msg}"),
         }
     }
 }

@@ -1,12 +1,13 @@
 //! Launching rank groups: the static `MPI_COMM_WORLD` style entry point and
 //! the dynamic `NSP_spawn` (MPI_Comm_spawn + MPI_Intercomm_merge) path.
 
-use crate::comm::{Comm, Group};
+use crate::comm::Comm;
 use crate::fault::FaultPlan;
 use obs::Recorder;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 use std::thread;
+use transport::{ChannelGroup, Transport};
 
 /// Entry points for creating communicator groups.
 pub struct World;
@@ -76,13 +77,14 @@ impl World {
         T: Send,
     {
         assert!(size >= 1, "world needs at least one rank");
-        let group = Group::new_with_plan(size, plan);
+        let group = ChannelGroup::new(size);
         let results: Vec<Mutex<Option<T>>> = (0..size).map(|_| Mutex::new(None)).collect();
         let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
         thread::scope(|scope| {
             for rank in 0..size {
-                let comm = Comm::new(group.clone(), rank, recorder.clone());
+                let endpoint: Arc<dyn Transport> = Arc::new(group.endpoint(rank));
+                let comm = Comm::new(endpoint, plan.clone(), recorder.clone());
                 let f = &f;
                 let results = &results;
                 let group = &group;
@@ -135,15 +137,17 @@ impl SpawnedWorld {
         F: Fn(Comm) + Send + Sync + Clone + 'static,
     {
         assert!(n_children >= 1, "spawn needs at least one child");
-        let group = Group::new(n_children + 1);
+        let group = ChannelGroup::new(n_children + 1);
         let mut handles = Vec::with_capacity(n_children);
         for rank in 1..=n_children {
-            let comm = Comm::new(group.clone(), rank, None);
+            let endpoint: Arc<dyn Transport> = Arc::new(group.endpoint(rank));
+            let comm = Comm::new(endpoint, None, None);
             let child = child.clone();
             handles.push(thread::spawn(move || child(comm)));
         }
+        let endpoint: Arc<dyn Transport> = Arc::new(group.endpoint(0));
         SpawnedWorld {
-            comm: Some(Comm::new(group, 0, None)),
+            comm: Some(Comm::new(endpoint, None, None)),
             handles,
         }
     }
@@ -174,7 +178,7 @@ impl Drop for SpawnedWorld {
         // leaking; then reap them.
         if !self.handles.is_empty() {
             if let Some(c) = &self.comm {
-                c.group().poison();
+                c.transport().poison();
             }
             for h in self.handles.drain(..) {
                 let _ = h.join();

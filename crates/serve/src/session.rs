@@ -25,7 +25,8 @@ use pricing::PremiaProblem;
 use sched::{Action, DispatchPolicy, Event as SchedEvent, SchedConfig, Scheduler, Supervision};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex};
+use transport::queue;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -120,7 +121,7 @@ impl Response {
 #[derive(Debug)]
 pub struct Ticket {
     id: u64,
-    rx: mpsc::Receiver<Response>,
+    rx: queue::Receiver<Response>,
 }
 
 impl Ticket {
@@ -246,7 +247,7 @@ struct Submitted {
     /// of the `Enqueue` and `Admit` spans.
     enq_ns: Option<u64>,
     bytes: usize,
-    reply: mpsc::Sender<Response>,
+    reply: queue::Sender<Response>,
 }
 
 enum Msg {
@@ -267,7 +268,7 @@ enum Msg {
 /// A long-lived pricing service over a resident in-process world. See
 /// the [module docs](self) and `docs/SERVICE.md`.
 pub struct Session {
-    tx: mpsc::Sender<Msg>,
+    tx: queue::Sender<Msg>,
     admission: Arc<Admission>,
     recorder: Option<Arc<Recorder>>,
     /// Admission limit per priority class, from
@@ -284,7 +285,7 @@ impl Session {
     pub fn start(cfg: ServeConfig) -> Result<Session, ServeError> {
         cfg.validate().map_err(ServeError::Config)?;
         let admission = Arc::new(Admission::new(cfg.priorities, cfg.inflight_bytes));
-        let (tx, rx) = mpsc::channel::<Msg>();
+        let (tx, rx) = queue::channel::<Msg>();
         let recorder = cfg.recorder.clone();
         let limits: Vec<usize> = (0..cfg.priorities).map(|p| cfg.depth_limit(p)).collect();
         let memo_params = cfg.memo_params();
@@ -360,7 +361,7 @@ impl Session {
             return Err(e);
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let (reply, rx) = mpsc::channel();
+        let (reply, rx) = queue::channel();
         let submitted = Submitted {
             id,
             jobs,
@@ -436,7 +437,7 @@ fn front_loop(
     comm: &Comm,
     cfg: &ServeConfig,
     admission: &Admission,
-    rx: mpsc::Receiver<Msg>,
+    rx: queue::Receiver<Msg>,
 ) -> SessionReport {
     let mut report = SessionReport::default();
     let mut memo: store::ResultCache<(f64, Option<f64>)> = store::ResultCache::new(cfg.memo_bytes);

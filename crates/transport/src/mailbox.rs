@@ -1,0 +1,223 @@
+//! The per-rank mailbox every backend delivers into: a condvar-guarded
+//! deque supporting `(source, tag)` matching with wildcards, probe
+//! without consumption, deadline waits and fault-delayed visibility.
+//!
+//! Keeping this structure backend-independent is what makes the process
+//! backend behave like the historical in-process one: a socket reader
+//! thread pushes frames here, and matching / wakeup semantics are shared
+//! code rather than a reimplementation.
+
+use crate::error::TransportError;
+use crate::frame::Frame;
+use crate::selector_matches;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+#[derive(Default)]
+struct MailboxState {
+    queue: VecDeque<Frame>,
+    /// Set when the group is torn down (a peer panicked); wakes blockers.
+    poisoned: bool,
+    /// Set when this rank is dead (fault-plan kill or an administrative
+    /// sever): sends to it and operations by it fail with
+    /// [`TransportError::Dead`].
+    dead: bool,
+}
+
+/// One rank's delivery queue.
+pub(crate) struct Mailbox {
+    /// The rank this mailbox belongs to, carried in `Dead` errors.
+    owner: usize,
+    state: Mutex<MailboxState>,
+    cond: Condvar,
+}
+
+impl Mailbox {
+    pub(crate) fn new(owner: usize) -> Self {
+        Mailbox {
+            owner,
+            state: Mutex::new(MailboxState::default()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Queue a frame for the owner, failing fast if the owner is dead or
+    /// the group is poisoned.
+    pub(crate) fn push(&self, frame: Frame) -> Result<(), TransportError> {
+        let mut st = self.state.lock();
+        if st.dead {
+            // Fail fast instead of queueing into a mailbox nobody drains.
+            return Err(TransportError::Dead(self.owner));
+        }
+        if st.poisoned {
+            return Err(TransportError::Disconnected);
+        }
+        st.queue.push_back(frame);
+        self.cond.notify_all();
+        Ok(())
+    }
+
+    /// Mark the owner dead: pending messages are discarded and every
+    /// blocked waiter is woken so it can observe [`TransportError::Dead`]
+    /// instead of hanging forever.
+    pub(crate) fn kill(&self) {
+        let mut st = self.state.lock();
+        st.dead = true;
+        st.queue.clear();
+        self.cond.notify_all();
+    }
+
+    /// Wake every blocked waiter with a poison flag; used when a peer
+    /// panics so the rest don't deadlock.
+    pub(crate) fn poison(&self) {
+        self.state.lock().poisoned = true;
+        self.cond.notify_all();
+    }
+
+    pub(crate) fn is_dead(&self) -> bool {
+        self.state.lock().dead
+    }
+
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.state.lock().poisoned
+    }
+
+    /// Wait-loop core shared by probe and receive — see
+    /// [`crate::Transport::match_deadline`] for the contract.
+    pub(crate) fn match_deadline(
+        &self,
+        src: i32,
+        tag: i32,
+        deadline: Option<Instant>,
+        consume: bool,
+    ) -> Result<Option<Frame>, TransportError> {
+        let mut st = self.state.lock();
+        loop {
+            if st.dead {
+                return Err(TransportError::Dead(self.owner));
+            }
+            let now = Instant::now();
+            if let Some(pos) = st
+                .queue
+                .iter()
+                .position(|m| selector_matches(m.src, m.tag, src, tag) && m.visible(now))
+            {
+                if consume {
+                    if st.queue[pos].truncated() {
+                        let m = &st.queue[pos];
+                        return Err(TransportError::Truncated {
+                            needed: m.full_len,
+                            capacity: m.payload.len(),
+                        });
+                    }
+                    return Ok(Some(st.queue.remove(pos).expect("position just found")));
+                }
+                // Probe: clone the metadata, leave the payload queued.
+                return Ok(Some(st.queue[pos].meta()));
+            }
+            if st.poisoned {
+                return Err(TransportError::Disconnected);
+            }
+            // Next wake-up: the earliest fault-delayed matching message, or
+            // the caller's deadline, whichever comes first.
+            let next_visible = st
+                .queue
+                .iter()
+                .filter(|m| selector_matches(m.src, m.tag, src, tag))
+                .filter_map(|m| m.visible_at)
+                .min();
+            let wake_at = match (next_visible, deadline) {
+                (Some(v), Some(d)) => Some(v.min(d)),
+                (Some(v), None) => Some(v),
+                (None, Some(d)) => Some(d),
+                (None, None) => None,
+            };
+            match wake_at {
+                Some(t) => {
+                    let now = Instant::now();
+                    if t <= now {
+                        if deadline.is_some_and(|d| d <= now)
+                            && next_visible.is_none_or(|v| v > now)
+                        {
+                            return Ok(None);
+                        }
+                        // A delayed message just became visible: loop.
+                        continue;
+                    }
+                    self.cond.wait_for(&mut st, t - now);
+                    if let Some(d) = deadline {
+                        if Instant::now() >= d {
+                            // One last scan before giving up.
+                            let now = Instant::now();
+                            if let Some(pos) = st
+                                .queue
+                                .iter()
+                                .position(|m| selector_matches(m.src, m.tag, src, tag) && m.visible(now))
+                            {
+                                if !consume {
+                                    return Ok(Some(st.queue[pos].meta()));
+                                }
+                                if st.queue[pos].truncated() {
+                                    let m = &st.queue[pos];
+                                    return Err(TransportError::Truncated {
+                                        needed: m.full_len,
+                                        capacity: m.payload.len(),
+                                    });
+                                }
+                                return Ok(Some(
+                                    st.queue.remove(pos).expect("position just found"),
+                                ));
+                            }
+                            if st.dead {
+                                return Err(TransportError::Dead(self.owner));
+                            }
+                            return Ok(None);
+                        }
+                    }
+                }
+                None => self.cond.wait(&mut st),
+            }
+        }
+    }
+
+    /// Non-blocking probe: metadata of the first visible matching frame.
+    /// Checks poison *before* scanning — an `iprobe` on a torn-down group
+    /// reports the teardown even if a frame is queued (historical
+    /// `minimpi` semantics).
+    pub(crate) fn try_match(&self, src: i32, tag: i32) -> Result<Option<Frame>, TransportError> {
+        let st = self.state.lock();
+        if st.dead {
+            return Err(TransportError::Dead(self.owner));
+        }
+        if st.poisoned {
+            return Err(TransportError::Disconnected);
+        }
+        let now = Instant::now();
+        Ok(st
+            .queue
+            .iter()
+            .find(|m| selector_matches(m.src, m.tag, src, tag) && m.visible(now))
+            .map(|m| m.meta()))
+    }
+
+    /// Remove the next visible matching frame (even a truncated one).
+    pub(crate) fn discard(&self, src: i32, tag: i32) -> Result<bool, TransportError> {
+        let mut st = self.state.lock();
+        if st.dead {
+            return Err(TransportError::Dead(self.owner));
+        }
+        let now = Instant::now();
+        match st
+            .queue
+            .iter()
+            .position(|m| selector_matches(m.src, m.tag, src, tag) && m.visible(now))
+        {
+            Some(pos) => {
+                st.queue.remove(pos);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! In-process command queues for service loops.
+//!
+//! This module is the workspace's **only** sanctioned site of raw
+//! channel construction (a CI grep-gate enforces it): anything that
+//! needs an unbounded MPSC hand-off — e.g. the `serve` session's
+//! client-to-master command queue — goes through these wrappers, so a
+//! future backend swap (bounded queues, cross-process queues) is a
+//! one-crate change rather than a grep across the workspace.
+
+use std::fmt;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Sending half of an unbounded MPSC queue. Clonable; the queue
+/// disconnects when every sender is dropped.
+pub struct Sender<T>(mpsc::Sender<T>);
+
+/// Receiving half of an unbounded MPSC queue.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+/// The queue was disconnected: every [`Receiver`] (for sends) or every
+/// [`Sender`] (for receives) is gone. For sends the unsent value is
+/// returned.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Disconnected<T>(pub T);
+
+/// Why a non-blocking receive returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message queued right now; senders still exist.
+    Empty,
+    /// Every sender is gone and the queue is drained.
+    Disconnected,
+}
+
+/// A fresh unbounded queue.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(tx), Receiver(rx))
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("queue::Sender")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("queue::Receiver")
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Queue `value`; fails (returning it) once the receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), Disconnected<T>> {
+        self.0.send(value).map_err(|e| Disconnected(e.0))
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives; fails once every sender is gone
+    /// and the queue is drained.
+    pub fn recv(&self) -> Result<T, Disconnected<()>> {
+        self.0.recv().map_err(|_| Disconnected(()))
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// Blocking receive with a timeout: `Ok(None)` when `timeout` passes
+    /// with nothing queued, `Err` once every sender is gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<T>, Disconnected<()>> {
+        match self.0.recv_timeout(timeout) {
+            Ok(v) => Ok(Some(v)),
+            Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(Disconnected(())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = channel();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!((0..5).map(|_| rx.recv().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn try_recv_empty_then_disconnected() {
+        let (tx, rx) = channel::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_after_receiver_drop_returns_value() {
+        let (tx, rx) = channel::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(Disconnected(9)));
+    }
+
+    #[test]
+    fn clone_senders_feed_one_receiver() {
+        let (tx, rx) = channel();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort();
+        assert_eq!(got, vec![1, 2]);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn recv_timeout_expires_quietly() {
+        let (_tx, rx) = channel::<u8>();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(None));
+    }
+}

@@ -15,8 +15,13 @@
 #      committed artifacts; the `serve_smoke` service smoke writes
 #      BENCH_7.json (cold wave computes, warm wave fully memoised,
 #      warm p99 <= cold p99) and bench_gate re-validates its request
-#      accounting; the allocation gate bans hot-loop allocations
-#      inside the kernels' ALLOC-FREE regions
+#      accounting; the `shard_smoke` sharded-masters smoke writes
+#      BENCH_8.json (bit-identical prices across shard counts and
+#      transport backends, steals present, calibrated transport costs,
+#      monotone simulated makespans up to 512 cores) and bench_gate
+#      re-validates its structure; the transport gate quarantines raw
+#      mpsc channels inside crates/transport; the allocation gate bans
+#      hot-loop allocations inside the kernels' ALLOC-FREE regions
 #   4. full test suite (quiet); a failing run is retried ONCE so that
 #      machine-load flakes in the timing-sensitive live-farm tests do not
 #      mask real regressions — deterministic failures (the chaos suite is
@@ -80,6 +85,22 @@ anysrc=$(grep -rnE 'recv_obj(_timeout)?\(ANY_SOURCE|probe\(ANY_SOURCE|discard\(A
 if [ -n "$anysrc" ]; then
     echo "error: ANY_SOURCE receive outside crates/farm/src/driver.rs (route it through the sched driver):"
     echo "$anysrc"
+    exit 1
+fi
+
+echo "==> transport gate: no raw channel construction outside crates/transport"
+# Every message queue in the workspace rides the pluggable transport
+# layer (docs/TRANSPORT.md); std::sync::mpsc is quarantined inside
+# crates/transport (its queue module wraps it once). Direct mpsc use
+# anywhere else bypasses the Transport trait's fault-injection,
+# instrumentation and readiness contracts. Comment lines are ignored.
+rawchan=$(grep -rnE 'std::sync::mpsc|\bmpsc::(channel|sync_channel|Sender|SyncSender|Receiver)\b' \
+    --include='*.rs' crates tests benches examples 2>/dev/null \
+    | grep -v -E '^[^:]*:[0-9]+:\s*(//|//!|///)' \
+    | grep -v -E '^crates/transport/src/')
+if [ -n "$rawchan" ]; then
+    echo "error: raw mpsc channel construction outside crates/transport (use transport::queue or a Transport backend):"
+    echo "$rawchan"
     exit 1
 fi
 
@@ -163,7 +184,27 @@ if ! grep -q '"memo_hits"' BENCH_7.json; then
     echo "error: BENCH_7.json missing memo_hits column"
     exit 1
 fi
-run cargo run -p bench --bin bench_gate --release -q -- BENCH_6.json BENCH_4.json BENCH_3.json BENCH_7.json || exit 1
+# Sharded peer-master smoke: live 1/2/4-shard runs over a heavy-tailed
+# portfolio on the channel backend plus a 2-shard run on the
+# multi-process socket backend. The bin self-checks bit-identical
+# prices across all four configurations, steal events in every
+# multi-shard run, a bounded multi-shard makespan, ping-pong-calibrated
+# transport costs (socket dearer per message than channel), monotone
+# simulated makespans and a complete 512-core simulator row (the checks
+# live in shard_smoke and fail the process). The JSON line is the PR 8
+# artifact; bench_gate re-validates its structure.
+echo "==> cargo run -p bench --bin shard_smoke --release -q (sharded masters smoke -> BENCH_8.json)"
+shard_out=$(cargo run -p bench --bin shard_smoke --release -q) || exit 1
+if ! printf '%s\n' "$shard_out" | grep -q 'prices bit-identical'; then
+    echo "error: shard smoke reported no price-identity line"
+    exit 1
+fi
+printf '%s\n' "$shard_out" | sed -n 's/^JSON: //p' > BENCH_8.json
+if ! grep -q '"sim_512_jobs"' BENCH_8.json; then
+    echo "error: BENCH_8.json missing sim_512_jobs column"
+    exit 1
+fi
+run cargo run -p bench --bin bench_gate --release -q -- BENCH_6.json BENCH_4.json BENCH_3.json BENCH_7.json BENCH_8.json || exit 1
 
 # Dispatch-order smoke: the LPT breakdown self-checks that longest-cost-
 # first dispatch leaves per-job wait seconds untouched relative to FIFO

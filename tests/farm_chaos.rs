@@ -21,10 +21,10 @@ use farm::supervisor::SupervisorConfig;
 use farm::{run, FarmConfig, FarmError, FarmReport, Transmission};
 use minimpi::{FaultPlan, SendFault};
 use std::path::PathBuf;
-use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
+use transport::queue;
 
 /// Plain farm via the unified [`farm::run`] entry point.
 fn run_plain_farm(
@@ -62,16 +62,22 @@ where
     T: Send + 'static,
     F: FnOnce() -> T + Send + 'static,
 {
-    let (tx, rx) = mpsc::channel();
+    let (tx, rx) = queue::channel();
     let h = thread::spawn(move || {
         let _ = tx.send(f());
     });
     match rx.recv_timeout(Duration::from_secs(secs)) {
-        Ok(v) => {
+        Ok(Some(v)) => {
             h.join().expect("scenario thread panicked");
             v
         }
-        Err(_) => panic!("chaos scenario exceeded the {secs}s watchdog (hang)"),
+        Ok(None) => panic!("chaos scenario exceeded the {secs}s watchdog (hang)"),
+        // Disconnected without a value: the scenario thread panicked
+        // before sending — join to surface its panic message.
+        Err(_) => {
+            h.join().expect("scenario thread panicked");
+            unreachable!("sender dropped without sending or panicking")
+        }
     }
 }
 

@@ -233,8 +233,13 @@ fn slave_killed_mid_request_still_answers_every_ticket_once() {
         .map(|p| p.compute().unwrap().price.to_bits())
         .collect();
 
-    // Kill slave rank 2 a few MPI operations in — mid-portfolio.
-    let plan = Arc::new(FaultPlan::new(0xC0FFEE).kill_rank_at_op(2, 9));
+    // Kill slave rank 2 a few MPI operations in — mid-portfolio. The
+    // resident slave cycle is exactly 2 ops (recv job, send answer), so
+    // op 5 lands on the answer send of its 3rd job: the job is already
+    // dispatched to the rank when it dies, forcing a deadline requeue,
+    // and the slave cannot die idle at a recv that might otherwise be
+    // the shutdown sentinel.
+    let plan = Arc::new(FaultPlan::new(0xC0FFEE).kill_rank_at_op(2, 5));
     let session = Session::start(
         quick_config(3)
             .fault_plan(plan)
