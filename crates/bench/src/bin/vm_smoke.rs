@@ -1,0 +1,186 @@
+//! Script-dispatch smoke benchmark for the nsplang bytecode VM
+//! (`BENCH_9.json`).
+//!
+//! Runs one Fig. 4-shaped portfolio driver *as a script* — a master loop
+//! pricing `JOBS` contracts through a user function whose body is a
+//! `STEPS`-iteration scalar lattice walk, with per-job `rand()` perturbation
+//! and an `add_last` price list — on both execution engines:
+//!
+//! * the original AST tree-walker (`Engine::Tree`);
+//! * the register bytecode VM (`Engine::Vm`, `lower` + `vm`).
+//!
+//! The workload is deliberately dispatch-bound (scalar arithmetic, `if`
+//! branches, user-function calls, list writeback) so the measured ratio
+//! isolates interpreter overhead, the quantity the paper's §5 scripting
+//! claim rides on. Self-checks, each fatal:
+//!
+//! * every scalar binding and the full price list are **bit-identical**
+//!   across engines (f64 bit patterns / XDR bytes), and both engines leave
+//!   the RNG in the same state (same draw sequence);
+//! * the VM is at least [`MIN_SPEEDUP`]x faster than the tree-walker
+//!   (best-of-[`REPS`] wall time on each side);
+//! * lowering the script to bytecode is cheap: under [`LOWER_BUDGET`] of
+//!   one VM run, so compile cost can never eat the dispatch win.
+//!
+//! Emits a flat-key `JSON:` artifact line that `scripts/ci.sh` captures as
+//! `BENCH_9.json` and `bench_gate` re-validates.
+
+use nsplang::{parse_program, Engine, Interp};
+use std::process::exit;
+use std::time::Instant;
+
+/// Portfolio size of the scripted master loop.
+const JOBS: usize = 64;
+/// Lattice steps per priced job (the inner scalar loop).
+const STEPS: usize = 400;
+/// Timed repetitions per engine; best-of wins (machine-load shielding).
+const REPS: usize = 5;
+/// The headline claim, mirrored by `bench_gate::gate_vm`.
+const MIN_SPEEDUP: f64 = 5.0;
+/// Lowering must cost under this fraction of one VM execution.
+const LOWER_BUDGET: f64 = 0.5;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("vm_smoke: FAIL: {msg}");
+    exit(1);
+}
+
+/// The benchmark script: Fig. 4's shape (seed the RNG, loop over a
+/// portfolio, price each job, collect results) with the Premia call
+/// replaced by an in-script lattice walk so the work *is* the dispatch.
+fn script() -> String {
+    format!(
+        "function [p] = price(s0, k, r, sigma, n)\n\
+         \x20 dt = 1.0 / n\n\
+         \x20 u = 1.0 + sigma * dt\n\
+         \x20 d = 1.0 - sigma * dt\n\
+         \x20 s = s0\n\
+         \x20 acc = 0.0\n\
+         \x20 i = 1\n\
+         \x20 while i <= n do\n\
+         \x20   if s > k then\n\
+         \x20     s = s * d\n\
+         \x20     acc = acc + (s - k)\n\
+         \x20   else\n\
+         \x20     s = s * u + r\n\
+         \x20   end\n\
+         \x20   i = i + 1\n\
+         \x20 end\n\
+         \x20 p = acc / n\n\
+         endfunction\n\
+         reseed(1234)\n\
+         jobs = {JOBS}\n\
+         prices = list()\n\
+         total = 0.0\n\
+         for j = 1:jobs do\n\
+         \x20 s0 = 80.0 + j + rand()\n\
+         \x20 p = price(s0, 100.0, 0.001, 0.2, {STEPS})\n\
+         \x20 prices.add_last[p]\n\
+         \x20 total = total + p\n\
+         end\n\
+         check = prices(1) + prices(jobs) + total\n"
+    )
+}
+
+/// One full fresh-interpreter execution; returns (seconds, interp).
+fn run_once(engine: Engine, src: &str) -> (f64, Interp) {
+    let mut interp = Interp::with_engine(engine);
+    let t = Instant::now();
+    interp
+        .run(src)
+        .unwrap_or_else(|e| fail(&format!("{engine:?} engine rejected the script: {e}")));
+    (t.elapsed().as_secs_f64(), interp)
+}
+
+/// Best-of-`REPS` wall time plus the last run's interpreter (for state
+/// comparison — every run is deterministic, so any rep's state serves).
+fn best_of(engine: Engine, src: &str) -> (f64, Interp) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..REPS {
+        let (s, i) = run_once(engine, src);
+        best = best.min(s);
+        last = Some(i);
+    }
+    (best, last.unwrap())
+}
+
+/// Pull a scalar binding or die.
+fn scalar(i: &Interp, name: &str) -> f64 {
+    i.get_scalar(name)
+        .unwrap_or_else(|| fail(&format!("script left no scalar {name:?}")))
+}
+
+fn main() {
+    let src = script();
+
+    // Compile cost: parse once, then time the lowering pass alone.
+    let prog = parse_program(&src).unwrap_or_else(|e| fail(&format!("parse: {e}")));
+    let t = Instant::now();
+    let lower_iters = 100;
+    for _ in 0..lower_iters {
+        std::hint::black_box(nsplang::lower::lower_program(std::hint::black_box(&prog)));
+    }
+    let lower_s = t.elapsed().as_secs_f64() / lower_iters as f64;
+
+    // Warm-up (page in both engines), then timed best-of runs.
+    run_once(Engine::Tree, &src);
+    run_once(Engine::Vm, &src);
+    let (tree_s, tree) = best_of(Engine::Tree, &src);
+    let (vm_s, vm) = best_of(Engine::Vm, &src);
+
+    // Bit-identity across engines: scalars, the whole price list, and the
+    // RNG stream position.
+    let mut identical = true;
+    for name in ["total", "check", "p", "s0", "j"] {
+        let (a, b) = (scalar(&tree, name), scalar(&vm, name));
+        if a.to_bits() != b.to_bits() {
+            eprintln!("vm_smoke: {name} differs: tree {a:?} vs vm {b:?}");
+            identical = false;
+        }
+    }
+    let list_bytes = |i: &Interp| {
+        let v = i
+            .get_value("prices")
+            .unwrap_or_else(|| fail("script left no prices list"));
+        riskbench::xdrser::serialize_to_bytes(&v)
+    };
+    if list_bytes(&tree) != list_bytes(&vm) {
+        eprintln!("vm_smoke: price list XDR bytes differ across engines");
+        identical = false;
+    }
+    if tree.rng_state() != vm.rng_state() {
+        eprintln!("vm_smoke: RNG states diverged (different draw sequences)");
+        identical = false;
+    }
+    if !identical {
+        fail("engines are not bit-identical on the benchmark script");
+    }
+
+    let speedup = tree_s / vm_s;
+    println!(
+        "vm_smoke: {JOBS} jobs x {STEPS} steps, prices bit-identical; \
+         tree {tree_s:.4}s, vm {vm_s:.4}s, vm speedup x{speedup:.2} \
+         (lower {:.1}us/compile)",
+        lower_s * 1e6
+    );
+    if speedup < MIN_SPEEDUP {
+        fail(&format!(
+            "vm speedup x{speedup:.2} below the required x{MIN_SPEEDUP}"
+        ));
+    }
+    if lower_s > vm_s * LOWER_BUDGET {
+        fail(&format!(
+            "lowering costs {lower_s:.6}s, over {LOWER_BUDGET} of one {vm_s:.6}s VM run"
+        ));
+    }
+
+    println!(
+        "JSON: {{\"title\":\"Nsp VM dispatch smoke\",\"jobs\":{JOBS},\"steps\":{STEPS},\
+         \"reps\":{REPS},\"tree_s\":{tree_s:.9},\"vm_s\":{vm_s:.9},\
+         \"vm_speedup\":{speedup:.6},\"lower_s\":{lower_s:.9},\
+         \"prices_bit_identical\":1,\"total\":{:.9},\"check\":{:.9}}}",
+        scalar(&vm, "total"),
+        scalar(&vm, "check"),
+    );
+}

@@ -1,5 +1,19 @@
 //! Abstract syntax tree of the mini-Nsp language.
 
+pub use crate::lexer::Pos;
+
+/// A statement together with the source position of its first token.
+///
+/// Both engines use the position to attach a `line:col` span to runtime
+/// errors raised while executing the statement (innermost statement wins).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// Position of the statement's first token.
+    pub pos: Pos,
+    /// The statement itself.
+    pub kind: Stmt,
+}
+
 /// Expressions.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
@@ -88,16 +102,16 @@ pub enum Stmt {
     /// `if … elseif … else … end`.
     If {
         /// (condition, body) pairs: `if`/`elseif` arms.
-        arms: Vec<(Expr, Vec<Stmt>)>,
+        arms: Vec<(Expr, Vec<Spanned>)>,
         /// The `else` body (empty when absent).
-        else_body: Vec<Stmt>,
+        else_body: Vec<Spanned>,
     },
     /// `while cond then/do … end`.
     While {
         /// Loop condition.
         cond: Expr,
         /// Loop body.
-        body: Vec<Stmt>,
+        body: Vec<Spanned>,
     },
     /// `for var = iter do … end`.
     For {
@@ -106,7 +120,7 @@ pub enum Stmt {
         /// Iterated expression (range, list, matrix).
         iter: Expr,
         /// Loop body.
-        body: Vec<Stmt>,
+        body: Vec<Spanned>,
     },
     /// `break`.
     Break,
@@ -128,5 +142,5 @@ pub struct FuncDef {
     /// Output variable names (`[o1, o2] = name(...)`).
     pub outs: Vec<String>,
     /// Function body.
-    pub body: Vec<Stmt>,
+    pub body: Vec<Spanned>,
 }

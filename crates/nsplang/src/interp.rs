@@ -1,6 +1,7 @@
 //! The tree-walking evaluator and builtin/toolbox dispatch.
 
-use crate::ast::{Arg, BinOp, Expr, FuncDef, Stmt, Target, UnOp};
+use crate::ast::{Arg, BinOp, Expr, FuncDef, Spanned, Stmt, Target, UnOp};
+use crate::lexer::Pos;
 use crate::parser::parse_program;
 use crate::toolbox::PremiaObj;
 use minimpi::{Comm, MpiBuf};
@@ -16,20 +17,36 @@ use std::rc::Rc;
 pub struct NspError {
     /// Human-readable description of the failure.
     pub message: String,
+    /// `line:col` of the statement that raised the error, when known.
+    /// Both engines attach the innermost executing statement's position.
+    pub span: Option<Pos>,
 }
 
 impl NspError {
-    /// Build an error from any message.
+    /// Build an error from any message (no source span).
     pub fn new(msg: impl Into<String>) -> Self {
         NspError {
             message: msg.into(),
+            span: None,
         }
+    }
+
+    /// Attach a source span unless one is already present (the innermost
+    /// statement wins, so nested statements keep their own position).
+    pub fn with_span(mut self, pos: Pos) -> Self {
+        if self.span.is_none() && pos.is_some() {
+            self.span = Some(pos);
+        }
+        self
     }
 }
 
 impl fmt::Display for NspError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "nsp error: {}", self.message)
+        match self.span {
+            Some(p) => write!(f, "nsp error at {}: {}", p, self.message),
+            None => write!(f, "nsp error: {}", self.message),
+        }
     }
 }
 
@@ -39,6 +56,21 @@ impl From<crate::parser::ParseError> for NspError {
     fn from(e: crate::parser::ParseError) -> Self {
         NspError::new(e.to_string())
     }
+}
+
+/// Which execution engine [`Interp::run`] uses.
+///
+/// Both engines share the parser, the value semantics helpers, the builtin
+/// and method dispatch, and the RNG state, and are proven bit-identical on
+/// the script battery in `tests/nsp_scripts.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The original AST tree-walker.
+    #[default]
+    Tree,
+    /// The register bytecode VM (`lower` + `vm` modules): slot-resolved
+    /// locals, interned constants, no hash lookups in the dispatch loop.
+    Vm,
 }
 
 type R<T> = Result<T, NspError>;
@@ -118,14 +150,14 @@ impl NValue {
         NValue::V(v)
     }
 
-    fn truthy(&self) -> R<bool> {
+    pub(crate) fn truthy(&self) -> R<bool> {
         match self {
             NValue::V(v) => Ok(v.truthy()),
             _ => err("object is not a condition"),
         }
     }
 
-    fn type_name(&self) -> &'static str {
+    pub(crate) fn type_name(&self) -> &'static str {
         match self {
             NValue::V(Value::Real(_)) => "real matrix",
             NValue::V(Value::Bool(_)) => "boolean",
@@ -150,15 +182,19 @@ enum Flow {
 /// The interpreter: global scope, user functions, optional MPI binding,
 /// captured output (`disp`).
 pub struct Interp {
-    scopes: Vec<HashMap<String, NValue>>,
-    funcs: HashMap<String, Rc<FuncDef>>,
-    comm: Option<Rc<Comm>>,
+    pub(crate) scopes: Vec<HashMap<String, NValue>>,
+    pub(crate) funcs: HashMap<String, Rc<FuncDef>>,
+    pub(crate) comm: Option<Rc<Comm>>,
     /// Lines printed by `disp`/`print` (inspectable in tests; also echoed
     /// to stdout when `echo` is set).
     pub output: Vec<String>,
     /// Echo `disp` output to stdout as well as capturing it.
     pub echo: bool,
-    rng_state: u64,
+    pub(crate) rng_state: u64,
+    engine: Engine,
+    /// Compiled bodies of user functions, keyed by name and validated
+    /// against the live `funcs` entry by `Rc` identity (VM engine only).
+    pub(crate) vm_protos: HashMap<String, (Rc<FuncDef>, Rc<crate::opcodes::Proto>)>,
 }
 
 impl Default for Interp {
@@ -177,7 +213,16 @@ impl Interp {
             output: Vec::new(),
             echo: false,
             rng_state: 0x5EED0F55,
+            engine: Engine::Tree,
+            vm_protos: HashMap::new(),
         }
+    }
+
+    /// A fresh interpreter running scripts on the given engine.
+    pub fn with_engine(engine: Engine) -> Self {
+        let mut i = Interp::new();
+        i.engine = engine;
+        i
     }
 
     /// Bind a live MPI communicator: `MPI_Comm_rank` etc. operate on it.
@@ -187,8 +232,25 @@ impl Interp {
         i
     }
 
-    /// Parse and execute a script.
+    /// Switch the execution engine for subsequent [`Interp::run`] calls.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// The engine scripts currently run on.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Parse and execute a script on the selected engine.
     pub fn run(&mut self, src: &str) -> R<()> {
+        match self.engine {
+            Engine::Tree => self.run_tree(src),
+            Engine::Vm => crate::vm::run_vm(self, src),
+        }
+    }
+
+    fn run_tree(&mut self, src: &str) -> R<()> {
         let prog = parse_program(src)?;
         match self.exec_block(&prog)? {
             Flow::Normal | Flow::Return => Ok(()),
@@ -207,6 +269,37 @@ impl Interp {
         self.get(name).and_then(|v| v.to_value().ok())
     }
 
+    /// Borrow-based fast path: variable as a scalar, without cloning the
+    /// whole `NValue` the way [`Interp::get_value`] does.
+    pub fn get_scalar(&self, name: &str) -> Option<f64> {
+        self.get(name).and_then(|v| v.as_scalar())
+    }
+
+    /// Borrow-based fast path: variable as a 1×1 string slice.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.get(name).and_then(|v| v.as_str())
+    }
+
+    /// Borrow-based fast path: variable as a 1×1 boolean.
+    pub fn get_bool(&self, name: &str) -> Option<bool> {
+        match self.get(name)? {
+            NValue::V(v) => v.as_bool(),
+            _ => None,
+        }
+    }
+
+    /// Iterate the global bindings (name, value), in insertion order of the
+    /// underlying map (unspecified). Used by the engine-equivalence battery.
+    pub fn globals(&self) -> impl Iterator<Item = (&str, &NValue)> {
+        self.scopes[0].iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The current RNG state (used to assert identical draw sequences
+    /// across engines).
+    pub fn rng_state(&self) -> u64 {
+        self.rng_state
+    }
+
     /// Bind `name` in the current scope.
     pub fn set(&mut self, name: &str, v: NValue) {
         self.scopes
@@ -215,14 +308,14 @@ impl Interp {
             .insert(name.to_string(), v);
     }
 
-    fn comm(&self) -> R<&Comm> {
+    pub(crate) fn comm(&self) -> R<&Comm> {
         match &self.comm {
             Some(c) => Ok(c),
             None => err("no MPI communicator bound to this interpreter"),
         }
     }
 
-    fn rand(&mut self) -> f64 {
+    pub(crate) fn rand(&mut self) -> f64 {
         // SplitMix64, interpreter-local.
         self.rng_state = self.rng_state.wrapping_add(0x9E3779B97F4A7C15);
         let mut z = self.rng_state;
@@ -234,7 +327,7 @@ impl Interp {
 
     // ---- statements ---------------------------------------------------------
 
-    fn exec_block(&mut self, stmts: &[Stmt]) -> R<Flow> {
+    fn exec_block(&mut self, stmts: &[Spanned]) -> R<Flow> {
         for s in stmts {
             match self.exec_stmt(s)? {
                 Flow::Normal => {}
@@ -244,7 +337,12 @@ impl Interp {
         Ok(Flow::Normal)
     }
 
-    fn exec_stmt(&mut self, stmt: &Stmt) -> R<Flow> {
+    fn exec_stmt(&mut self, stmt: &Spanned) -> R<Flow> {
+        self.exec_stmt_kind(&stmt.kind)
+            .map_err(|e| e.with_span(stmt.pos))
+    }
+
+    fn exec_stmt_kind(&mut self, stmt: &Stmt) -> R<Flow> {
         match stmt {
             Stmt::Expr(e) => {
                 self.eval(e)?;
@@ -312,26 +410,7 @@ impl Interp {
 
     fn for_items(&mut self, iter: &Expr) -> R<Vec<NValue>> {
         let v = self.eval(iter)?;
-        match v {
-            NValue::V(Value::List(l)) => Ok(l.into_iter().map(NValue::wrap).collect()),
-            NValue::V(Value::Real(m)) => {
-                if m.rows() <= 1 || m.cols() == 1 {
-                    Ok(m.data().iter().map(|&x| NValue::scalar(x)).collect())
-                } else {
-                    // Iterate columns as column vectors (Matlab semantics).
-                    let mut cols = Vec::with_capacity(m.cols());
-                    for c in 0..m.cols() {
-                        let col: Vec<f64> = (0..m.rows()).map(|r| m.get(r, c)).collect();
-                        cols.push(NValue::V(Value::Real(Matrix::col(col))));
-                    }
-                    Ok(cols)
-                }
-            }
-            NValue::V(Value::Str(s)) => {
-                Ok(s.data().iter().map(|x| NValue::string(x.clone())).collect())
-            }
-            other => err(format!("cannot iterate over {}", other.type_name())),
-        }
+        for_items_of(v)
     }
 
     fn assign(&mut self, target: &Target, v: NValue) -> R<()> {
@@ -355,7 +434,7 @@ impl Interp {
                     .get(name)
                     .cloned()
                     .ok_or_else(|| NspError::new(format!("undefined variable {name}")))?;
-                let updated = self.index_assign(current, &idx_vals, v)?;
+                let updated = index_assign_value(current, &idx_vals, v)?;
                 self.assign(&Target::Ident(name.clone()), updated)
             }
             Target::Field(base, field) => match base.as_ref() {
@@ -372,83 +451,6 @@ impl Interp {
                 }
                 _ => err("nested field assignment not supported"),
             },
-        }
-    }
-
-    fn index_assign(&mut self, current: NValue, idx: &[NValue], v: NValue) -> R<NValue> {
-        match current {
-            NValue::V(Value::List(mut l)) => {
-                if idx.len() != 1 {
-                    return err("lists take one index");
-                }
-                // Range deletion: Lpb(1:k) = []
-                if let NValue::V(Value::Real(m)) = &idx[0] {
-                    if m.len() > 1 {
-                        if let NValue::V(val) = &v {
-                            if val.is_empty_matrix() {
-                                let mut positions: Vec<usize> =
-                                    m.data().iter().map(|&x| x as usize).collect();
-                                positions.sort_unstable();
-                                positions.dedup();
-                                for p in positions.into_iter().rev() {
-                                    if p >= 1 && p <= l.len() {
-                                        l.remove_range(p - 1, 1);
-                                    }
-                                }
-                                return Ok(NValue::V(Value::List(l)));
-                            }
-                        }
-                        return err("list range assignment only supports deletion with []");
-                    }
-                }
-                let i = idx[0]
-                    .as_scalar()
-                    .ok_or_else(|| NspError::new("list index must be a scalar"))?
-                    as usize;
-                if i < 1 {
-                    return err("list indices are 1-based");
-                }
-                // Deletion of a single element.
-                if let NValue::V(val) = &v {
-                    if val.is_empty_matrix() && i <= l.len() {
-                        l.remove_range(i - 1, 1);
-                        return Ok(NValue::V(Value::List(l)));
-                    }
-                }
-                while l.len() < i {
-                    l.add_last(Value::None);
-                }
-                *l.get_mut(i - 1).expect("extended above") = v.to_value()?;
-                Ok(NValue::V(Value::List(l)))
-            }
-            NValue::V(Value::Real(mut m)) => {
-                let x = v
-                    .as_scalar()
-                    .ok_or_else(|| NspError::new("matrix assignment needs a scalar"))?;
-                match idx.len() {
-                    1 => {
-                        let i = idx[0]
-                            .as_scalar()
-                            .ok_or_else(|| NspError::new("index must be scalar"))?
-                            as usize;
-                        if i < 1 || i > m.len() {
-                            return err(format!("index {i} out of bounds"));
-                        }
-                        m.data_mut()[i - 1] = x;
-                    }
-                    2 => {
-                        let r = idx[0].as_scalar().unwrap_or(0.0) as usize;
-                        let c = idx[1].as_scalar().unwrap_or(0.0) as usize;
-                        if r < 1 || c < 1 || r > m.rows() || c > m.cols() {
-                            return err("matrix index out of bounds");
-                        }
-                        m.set(r - 1, c - 1, x);
-                    }
-                    _ => return err("matrices take 1 or 2 indices"),
-                }
-                Ok(NValue::V(Value::Real(m)))
-            }
-            other => err(format!("cannot index-assign into {}", other.type_name())),
         }
     }
 
@@ -478,55 +480,32 @@ impl Interp {
             }
             Expr::Matrix(rows) => Ok(vec![self.eval_matrix(rows)?]),
             Expr::Range(lo, step, hi) => {
-                let lo = self
-                    .eval(lo)?
-                    .as_scalar()
-                    .ok_or_else(|| NspError::new("range bound must be scalar"))?;
-                let hi = self
-                    .eval(hi)?
-                    .as_scalar()
-                    .ok_or_else(|| NspError::new("range bound must be scalar"))?;
-                let step = match step {
-                    Some(s) => self
-                        .eval(s)?
-                        .as_scalar()
-                        .ok_or_else(|| NspError::new("range step must be scalar"))?,
-                    None => 1.0,
+                // Evaluation order is lo, hi, then step (matching the VM's
+                // operand order); scalar checks happen after evaluation.
+                let vlo = self.eval(lo)?;
+                let vhi = self.eval(hi)?;
+                let vstep = match step {
+                    Some(s) => Some(self.eval(s)?),
+                    None => None,
                 };
-                if step == 0.0 {
-                    return err("range step cannot be zero");
-                }
-                let mut data = Vec::new();
-                let mut x = lo;
-                if step > 0.0 {
-                    while x <= hi + 1e-12 {
-                        data.push(x);
-                        x += step;
-                    }
-                } else {
-                    while x >= hi - 1e-12 {
-                        data.push(x);
-                        x += step;
-                    }
-                }
-                Ok(vec![NValue::V(Value::Real(Matrix::row(data)))])
+                Ok(vec![range_value(&vlo, &vhi, vstep.as_ref())?])
             }
             Expr::Unary(op, inner) => {
                 let v = self.eval(inner)?;
-                Ok(vec![self.unary(*op, v)?])
+                Ok(vec![unary_value(*op, &v)?])
             }
             Expr::Binary(op, a, b) => {
                 let va = self.eval(a)?;
                 let vb = self.eval(b)?;
-                Ok(vec![self.binary(*op, va, vb)?])
+                Ok(vec![binary_value(*op, &va, &vb)?])
             }
             Expr::Apply(callee, args) => match callee.as_ref() {
                 Expr::Ident(name) => {
                     if self.get(name).is_some() {
                         // Indexing a variable.
-                        let base = self.get(name).cloned().expect("checked");
                         let idx = self.eval_pos_args(args)?;
-                        Ok(vec![self.index(base, &idx)?])
+                        let base = self.get(name).expect("checked");
+                        Ok(vec![index_value(base, &idx)?])
                     } else {
                         let (pos, kw) = self.eval_args(args)?;
                         self.call(name, pos, kw, want)
@@ -537,12 +516,12 @@ impl Interp {
                     // L(1)(3) etc.
                     let base = self.eval(other)?;
                     let idx = self.eval_pos_args(args)?;
-                    Ok(vec![self.index(base, &idx)?])
+                    Ok(vec![index_value(&base, &idx)?])
                 }
             },
             Expr::Field(base, name) => {
                 let b = self.eval(base)?;
-                Ok(vec![self.field(&b, name)?])
+                Ok(vec![field_value(&b, name)?])
             }
             Expr::MethodCall(base, name, args) => {
                 let b = self.eval(base)?;
@@ -560,60 +539,23 @@ impl Interp {
             }
             Expr::Transpose(inner) => {
                 let v = self.eval(inner)?;
-                Ok(vec![self.transpose(v)?])
+                Ok(vec![transpose_value(&v)?])
             }
         }
     }
 
     fn eval_matrix(&mut self, rows: &[Vec<Expr>]) -> R<NValue> {
-        if rows.is_empty() {
-            return Ok(NValue::V(Value::empty_matrix()));
-        }
-        // Evaluate entries; support horizontal concatenation of row
-        // vectors/scalars within a row, and string rows.
-        let mut all_rows: Vec<Vec<f64>> = Vec::new();
-        let mut strings: Vec<String> = Vec::new();
-        let mut is_string = false;
+        // Evaluate all entries first (row-major order, same as the VM's
+        // operand evaluation), then classify/assemble in the shared helper.
+        let mut vals: Vec<Vec<NValue>> = Vec::with_capacity(rows.len());
         for row in rows {
-            let mut data = Vec::new();
+            let mut rv = Vec::with_capacity(row.len());
             for e in row {
-                match self.eval(e)? {
-                    NValue::V(Value::Real(m)) => data.extend_from_slice(m.data()),
-                    NValue::V(Value::Str(s)) => {
-                        is_string = true;
-                        strings.extend(s.data().iter().cloned());
-                    }
-                    NValue::V(Value::Bool(b)) => {
-                        data.extend(b.data().iter().map(|&x| x as u8 as f64))
-                    }
-                    other => {
-                        return err(format!(
-                            "matrix entries must be numeric, got {}",
-                            other.type_name()
-                        ))
-                    }
-                }
+                rv.push(self.eval(e)?);
             }
-            all_rows.push(data);
+            vals.push(rv);
         }
-        if is_string {
-            // A string row vector like ["-name", "nsp-child"].
-            return Ok(NValue::V(Value::Str(StrMatrix::row(strings))));
-        }
-        let cols = all_rows[0].len();
-        if all_rows.iter().any(|r| r.len() != cols) {
-            return err("ragged matrix literal");
-        }
-        let rows_n = all_rows.len();
-        let mut data = vec![0.0; rows_n * cols];
-        for (r, row) in all_rows.iter().enumerate() {
-            for (c, &x) in row.iter().enumerate() {
-                data[c * rows_n + r] = x;
-            }
-        }
-        Ok(NValue::V(Value::Real(Matrix::from_col_major(
-            rows_n, cols, data,
-        ))))
+        build_matrix(&vals)
     }
 
     fn eval_pos_args(&mut self, args: &[Arg]) -> R<Vec<NValue>> {
@@ -638,181 +580,6 @@ impl Interp {
         Ok((pos, kw))
     }
 
-    fn unary(&mut self, op: UnOp, v: NValue) -> R<NValue> {
-        match (op, v) {
-            (UnOp::Neg, NValue::V(Value::Real(m))) => {
-                let data = m.data().iter().map(|x| -x).collect();
-                Ok(NValue::V(Value::Real(Matrix::from_col_major(
-                    m.rows(),
-                    m.cols(),
-                    data,
-                ))))
-            }
-            (UnOp::Not, NValue::V(Value::Bool(b))) => {
-                let data = b.data().iter().map(|x| !x).collect();
-                Ok(NValue::V(Value::Bool(BoolMatrix::from_col_major(
-                    b.rows(),
-                    b.cols(),
-                    data,
-                ))))
-            }
-            (op, v) => err(format!("cannot apply {op:?} to {}", v.type_name())),
-        }
-    }
-
-    fn binary(&mut self, op: BinOp, a: NValue, b: NValue) -> R<NValue> {
-        use BinOp::*;
-        // String concatenation and comparison.
-        if let (Some(x), Some(y)) = (a.as_str(), b.as_str()) {
-            return match op {
-                Add => Ok(NValue::string(format!("{x}{y}"))),
-                Eq => Ok(NValue::boolean(x == y)),
-                Ne => Ok(NValue::boolean(x != y)),
-                _ => err(format!("cannot apply {op:?} to strings")),
-            };
-        }
-        // Boolean logic.
-        if let (NValue::V(Value::Bool(x)), NValue::V(Value::Bool(y))) = (&a, &b) {
-            if matches!(op, And | Or | Eq | Ne) {
-                let xa = x.all();
-                let ya = y.all();
-                return Ok(NValue::boolean(match op {
-                    And => xa && ya,
-                    Or => xa || ya,
-                    Eq => xa == ya,
-                    Ne => xa != ya,
-                    _ => unreachable!(),
-                }));
-            }
-        }
-        // Numeric (scalar/matrix, elementwise with scalar broadcast).
-        if let (NValue::V(Value::Real(ma)), NValue::V(Value::Real(mb))) = (&a, &b) {
-            return numeric_binop(op, ma, mb);
-        }
-        // Equality of anything else.
-        if matches!(op, Eq | Ne) {
-            let va = a.to_value()?;
-            let vb = b.to_value()?;
-            let equal = va.equal(&vb);
-            return Ok(NValue::boolean(if op == Eq { equal } else { !equal }));
-        }
-        err(format!(
-            "cannot apply {op:?} to {} and {}",
-            a.type_name(),
-            b.type_name()
-        ))
-    }
-
-    fn transpose(&mut self, v: NValue) -> R<NValue> {
-        match v {
-            NValue::V(Value::Real(m)) => {
-                let mut t = Matrix::zeros(m.cols(), m.rows());
-                for r in 0..m.rows() {
-                    for c in 0..m.cols() {
-                        t.set(c, r, m.get(r, c));
-                    }
-                }
-                Ok(NValue::V(Value::Real(t)))
-            }
-            // Transposing a list is the identity — Fig. 4 iterates
-            // `Lpb(1:k)'`.
-            NValue::V(Value::List(l)) => Ok(NValue::V(Value::List(l))),
-            other => err(format!("cannot transpose {}", other.type_name())),
-        }
-    }
-
-    fn index(&mut self, base: NValue, idx: &[NValue]) -> R<NValue> {
-        match base {
-            NValue::V(Value::List(l)) => {
-                if idx.len() != 1 {
-                    return err("lists take one index");
-                }
-                match &idx[0] {
-                    NValue::V(Value::Real(m)) if m.len() == 1 => {
-                        let i = m.get_linear(0) as usize;
-                        if i < 1 || i > l.len() {
-                            return err(format!("list index {i} out of bounds ({})", l.len()));
-                        }
-                        Ok(NValue::wrap(l.get(i - 1).expect("bounds checked").clone()))
-                    }
-                    NValue::V(Value::Real(m)) => {
-                        // Sublist selection: L(1:k).
-                        let mut out = List::new();
-                        for &x in m.data() {
-                            let i = x as usize;
-                            if i < 1 || i > l.len() {
-                                return err(format!("list index {i} out of bounds"));
-                            }
-                            out.add_last(l.get(i - 1).expect("bounds checked").clone());
-                        }
-                        Ok(NValue::V(Value::List(out)))
-                    }
-                    other => err(format!("bad list index: {}", other.type_name())),
-                }
-            }
-            NValue::V(Value::Real(m)) => match idx.len() {
-                1 => match &idx[0] {
-                    NValue::V(Value::Real(im)) if im.len() == 1 => {
-                        let i = im.get_linear(0) as usize;
-                        if i < 1 || i > m.len() {
-                            return err(format!("index {i} out of bounds"));
-                        }
-                        Ok(NValue::scalar(m.get_linear(i - 1)))
-                    }
-                    NValue::V(Value::Real(im)) => {
-                        let mut data = Vec::with_capacity(im.len());
-                        for &x in im.data() {
-                            let i = x as usize;
-                            if i < 1 || i > m.len() {
-                                return err(format!("index {i} out of bounds"));
-                            }
-                            data.push(m.get_linear(i - 1));
-                        }
-                        Ok(NValue::V(Value::Real(Matrix::row(data))))
-                    }
-                    other => err(format!("bad matrix index: {}", other.type_name())),
-                },
-                2 => {
-                    let r = idx[0]
-                        .as_scalar()
-                        .ok_or_else(|| NspError::new("row index must be scalar"))?
-                        as usize;
-                    let c = idx[1]
-                        .as_scalar()
-                        .ok_or_else(|| NspError::new("col index must be scalar"))?
-                        as usize;
-                    if r < 1 || c < 1 || r > m.rows() || c > m.cols() {
-                        return err("matrix index out of bounds");
-                    }
-                    Ok(NValue::scalar(m.get(r - 1, c - 1)))
-                }
-                _ => err("matrices take 1 or 2 indices"),
-            },
-            NValue::V(Value::Hash(h)) => {
-                if idx.len() == 1 {
-                    if let Some(key) = idx[0].as_str() {
-                        return match h.get(key) {
-                            Some(v) => Ok(NValue::wrap(v.clone())),
-                            None => err(format!("hash has no key {key}")),
-                        };
-                    }
-                }
-                err("hash indices are strings")
-            }
-            other => err(format!("cannot index {}", other.type_name())),
-        }
-    }
-
-    fn field(&mut self, base: &NValue, name: &str) -> R<NValue> {
-        match base {
-            NValue::V(Value::Hash(h)) => match h.get(name) {
-                Some(v) => Ok(NValue::wrap(v.clone())),
-                None => err(format!("hash has no field {name}")),
-            },
-            other => err(format!("{} has no fields", other.type_name())),
-        }
-    }
-
     // ---- calls ---------------------------------------------------------------
 
     fn call(
@@ -828,7 +595,7 @@ impl Interp {
         self.call_builtin(name, pos, kw, want)
     }
 
-    fn call_user(&mut self, f: &FuncDef, args: Vec<NValue>, want: usize) -> R<Vec<NValue>> {
+    pub(crate) fn call_user(&mut self, f: &FuncDef, args: Vec<NValue>, want: usize) -> R<Vec<NValue>> {
         if args.len() > f.params.len() {
             return err(format!(
                 "{} takes {} arguments, got {}",
@@ -858,7 +625,7 @@ impl Interp {
         Ok(outs)
     }
 
-    fn call_builtin(
+    pub(crate) fn call_builtin(
         &mut self,
         name: &str,
         mut pos: Vec<NValue>,
@@ -905,6 +672,15 @@ impl Interp {
                 };
                 let data: Vec<f64> = (0..r * c).map(|_| self.rand()).collect();
                 one(NValue::V(Value::Real(Matrix::from_col_major(r, c, data))))
+            }
+            "reseed" => {
+                let s = need_scalar(
+                    pos.first()
+                        .ok_or_else(|| NspError::new("reseed needs a seed"))?,
+                    "reseed seed",
+                )?;
+                self.reseed(s as u64);
+                one(NValue::V(Value::None))
             }
             "size" => {
                 let v = pos
@@ -1194,7 +970,7 @@ impl Interp {
 
     // ---- methods ---------------------------------------------------------------
 
-    fn method(
+    pub(crate) fn method(
         &mut self,
         base: NValue,
         name: &str,
@@ -1292,56 +1068,449 @@ impl Interp {
     }
 }
 
+// ---- shared value semantics ------------------------------------------------
+//
+// These free functions are the single implementation of the language's value
+// operations. Both engines (tree-walker and bytecode VM) call them, which is
+// what makes results AND error messages bit-identical by construction.
+
+/// Unary operator application.
+pub(crate) fn unary_value(op: UnOp, v: &NValue) -> R<NValue> {
+    match (op, v) {
+        (UnOp::Neg, NValue::V(Value::Real(m))) => {
+            let data = m.data().iter().map(|x| -x).collect();
+            Ok(NValue::V(Value::Real(Matrix::from_col_major(
+                m.rows(),
+                m.cols(),
+                data,
+            ))))
+        }
+        (UnOp::Not, NValue::V(Value::Bool(b))) => {
+            let data = b.data().iter().map(|x| !x).collect();
+            Ok(NValue::V(Value::Bool(BoolMatrix::from_col_major(
+                b.rows(),
+                b.cols(),
+                data,
+            ))))
+        }
+        (op, v) => err(format!("cannot apply {op:?} to {}", v.type_name())),
+    }
+}
+
+/// Binary operator application. `&&`/`||` are *eager*: both operands are
+/// already evaluated by the time this runs, in both engines.
+pub(crate) fn binary_value(op: BinOp, a: &NValue, b: &NValue) -> R<NValue> {
+    use BinOp::*;
+    // String concatenation and comparison.
+    if let (Some(x), Some(y)) = (a.as_str(), b.as_str()) {
+        return match op {
+            Add => Ok(NValue::string(format!("{x}{y}"))),
+            Eq => Ok(NValue::boolean(x == y)),
+            Ne => Ok(NValue::boolean(x != y)),
+            _ => err(format!("cannot apply {op:?} to strings")),
+        };
+    }
+    // Boolean logic.
+    if let (NValue::V(Value::Bool(x)), NValue::V(Value::Bool(y))) = (a, b) {
+        if matches!(op, And | Or | Eq | Ne) {
+            let xa = x.all();
+            let ya = y.all();
+            return Ok(NValue::boolean(match op {
+                And => xa && ya,
+                Or => xa || ya,
+                Eq => xa == ya,
+                Ne => xa != ya,
+                _ => unreachable!(),
+            }));
+        }
+    }
+    // Numeric (scalar/matrix, elementwise with scalar broadcast).
+    if let (NValue::V(Value::Real(ma)), NValue::V(Value::Real(mb))) = (a, b) {
+        return numeric_binop(op, ma, mb);
+    }
+    // Equality of anything else.
+    if matches!(op, Eq | Ne) {
+        let va = a.to_value()?;
+        let vb = b.to_value()?;
+        let equal = va.equal(&vb);
+        return Ok(NValue::boolean(if op == Eq { equal } else { !equal }));
+    }
+    err(format!(
+        "cannot apply {op:?} to {} and {}",
+        a.type_name(),
+        b.type_name()
+    ))
+}
+
+/// Postfix transpose.
+pub(crate) fn transpose_value(v: &NValue) -> R<NValue> {
+    match v {
+        NValue::V(Value::Real(m)) => {
+            let mut t = Matrix::zeros(m.cols(), m.rows());
+            for r in 0..m.rows() {
+                for c in 0..m.cols() {
+                    t.set(c, r, m.get(r, c));
+                }
+            }
+            Ok(NValue::V(Value::Real(t)))
+        }
+        // Transposing a list is the identity — Fig. 4 iterates
+        // `Lpb(1:k)'`.
+        NValue::V(Value::List(l)) => Ok(NValue::V(Value::List(l.clone()))),
+        other => err(format!("cannot transpose {}", other.type_name())),
+    }
+}
+
+/// `base(idx...)` read indexing (lists, matrices, hashes).
+pub(crate) fn index_value(base: &NValue, idx: &[NValue]) -> R<NValue> {
+    match base {
+        NValue::V(Value::List(l)) => {
+            if idx.len() != 1 {
+                return err("lists take one index");
+            }
+            match &idx[0] {
+                NValue::V(Value::Real(m)) if m.len() == 1 => {
+                    let i = m.get_linear(0) as usize;
+                    if i < 1 || i > l.len() {
+                        return err(format!("list index {i} out of bounds ({})", l.len()));
+                    }
+                    Ok(NValue::wrap(l.get(i - 1).expect("bounds checked").clone()))
+                }
+                NValue::V(Value::Real(m)) => {
+                    // Sublist selection: L(1:k).
+                    let mut out = List::new();
+                    for &x in m.data() {
+                        let i = x as usize;
+                        if i < 1 || i > l.len() {
+                            return err(format!("list index {i} out of bounds"));
+                        }
+                        out.add_last(l.get(i - 1).expect("bounds checked").clone());
+                    }
+                    Ok(NValue::V(Value::List(out)))
+                }
+                other => err(format!("bad list index: {}", other.type_name())),
+            }
+        }
+        NValue::V(Value::Real(m)) => match idx.len() {
+            1 => match &idx[0] {
+                NValue::V(Value::Real(im)) if im.len() == 1 => {
+                    let i = im.get_linear(0) as usize;
+                    if i < 1 || i > m.len() {
+                        return err(format!("index {i} out of bounds"));
+                    }
+                    Ok(NValue::scalar(m.get_linear(i - 1)))
+                }
+                NValue::V(Value::Real(im)) => {
+                    let mut data = Vec::with_capacity(im.len());
+                    for &x in im.data() {
+                        let i = x as usize;
+                        if i < 1 || i > m.len() {
+                            return err(format!("index {i} out of bounds"));
+                        }
+                        data.push(m.get_linear(i - 1));
+                    }
+                    Ok(NValue::V(Value::Real(Matrix::row(data))))
+                }
+                other => err(format!("bad matrix index: {}", other.type_name())),
+            },
+            2 => {
+                let r = idx[0]
+                    .as_scalar()
+                    .ok_or_else(|| NspError::new("row index must be scalar"))?
+                    as usize;
+                let c = idx[1]
+                    .as_scalar()
+                    .ok_or_else(|| NspError::new("col index must be scalar"))?
+                    as usize;
+                if r < 1 || c < 1 || r > m.rows() || c > m.cols() {
+                    return err("matrix index out of bounds");
+                }
+                Ok(NValue::scalar(m.get(r - 1, c - 1)))
+            }
+            _ => err("matrices take 1 or 2 indices"),
+        },
+        NValue::V(Value::Hash(h)) => {
+            if idx.len() == 1 {
+                if let Some(key) = idx[0].as_str() {
+                    return match h.get(key) {
+                        Some(v) => Ok(NValue::wrap(v.clone())),
+                        None => err(format!("hash has no key {key}")),
+                    };
+                }
+            }
+            err("hash indices are strings")
+        }
+        other => err(format!("cannot index {}", other.type_name())),
+    }
+}
+
+/// `base(idx...) = v` write indexing; takes the current container by value
+/// and returns the updated one.
+pub(crate) fn index_assign_value(current: NValue, idx: &[NValue], v: NValue) -> R<NValue> {
+    match current {
+        NValue::V(Value::List(mut l)) => {
+            if idx.len() != 1 {
+                return err("lists take one index");
+            }
+            // Range deletion: Lpb(1:k) = []
+            if let NValue::V(Value::Real(m)) = &idx[0] {
+                if m.len() > 1 {
+                    if let NValue::V(val) = &v {
+                        if val.is_empty_matrix() {
+                            let mut positions: Vec<usize> =
+                                m.data().iter().map(|&x| x as usize).collect();
+                            positions.sort_unstable();
+                            positions.dedup();
+                            for p in positions.into_iter().rev() {
+                                if p >= 1 && p <= l.len() {
+                                    l.remove_range(p - 1, 1);
+                                }
+                            }
+                            return Ok(NValue::V(Value::List(l)));
+                        }
+                    }
+                    return err("list range assignment only supports deletion with []");
+                }
+            }
+            let i = idx[0]
+                .as_scalar()
+                .ok_or_else(|| NspError::new("list index must be a scalar"))?
+                as usize;
+            if i < 1 {
+                return err("list indices are 1-based");
+            }
+            // Deletion of a single element.
+            if let NValue::V(val) = &v {
+                if val.is_empty_matrix() && i <= l.len() {
+                    l.remove_range(i - 1, 1);
+                    return Ok(NValue::V(Value::List(l)));
+                }
+            }
+            while l.len() < i {
+                l.add_last(Value::None);
+            }
+            *l.get_mut(i - 1).expect("extended above") = v.to_value()?;
+            Ok(NValue::V(Value::List(l)))
+        }
+        NValue::V(Value::Real(mut m)) => {
+            let x = v
+                .as_scalar()
+                .ok_or_else(|| NspError::new("matrix assignment needs a scalar"))?;
+            match idx.len() {
+                1 => {
+                    let i = idx[0]
+                        .as_scalar()
+                        .ok_or_else(|| NspError::new("index must be scalar"))?
+                        as usize;
+                    if i < 1 || i > m.len() {
+                        return err(format!("index {i} out of bounds"));
+                    }
+                    m.data_mut()[i - 1] = x;
+                }
+                2 => {
+                    let r = idx[0].as_scalar().unwrap_or(0.0) as usize;
+                    let c = idx[1].as_scalar().unwrap_or(0.0) as usize;
+                    if r < 1 || c < 1 || r > m.rows() || c > m.cols() {
+                        return err("matrix index out of bounds");
+                    }
+                    m.set(r - 1, c - 1, x);
+                }
+                _ => return err("matrices take 1 or 2 indices"),
+            }
+            Ok(NValue::V(Value::Real(m)))
+        }
+        other => err(format!("cannot index-assign into {}", other.type_name())),
+    }
+}
+
+/// `base.name` field read.
+pub(crate) fn field_value(base: &NValue, name: &str) -> R<NValue> {
+    match base {
+        NValue::V(Value::Hash(h)) => match h.get(name) {
+            Some(v) => Ok(NValue::wrap(v.clone())),
+            None => err(format!("hash has no field {name}")),
+        },
+        other => err(format!("{} has no fields", other.type_name())),
+    }
+}
+
+/// The item sequence a `for` loop iterates over (eager, like Nsp).
+pub(crate) fn for_items_of(v: NValue) -> R<Vec<NValue>> {
+    match v {
+        NValue::V(Value::List(l)) => Ok(l.into_iter().map(NValue::wrap).collect()),
+        NValue::V(Value::Real(m)) => {
+            if m.rows() <= 1 || m.cols() == 1 {
+                Ok(m.data().iter().map(|&x| NValue::scalar(x)).collect())
+            } else {
+                // Iterate columns as column vectors (Matlab semantics).
+                let mut cols = Vec::with_capacity(m.cols());
+                for c in 0..m.cols() {
+                    let col: Vec<f64> = (0..m.rows()).map(|r| m.get(r, c)).collect();
+                    cols.push(NValue::V(Value::Real(Matrix::col(col))));
+                }
+                Ok(cols)
+            }
+        }
+        NValue::V(Value::Str(s)) => Ok(s.data().iter().map(|x| NValue::string(x.clone())).collect()),
+        other => err(format!("cannot iterate over {}", other.type_name())),
+    }
+}
+
+/// Assemble a matrix literal from its evaluated entries (row-major rows).
+pub(crate) fn build_matrix(rows: &[Vec<NValue>]) -> R<NValue> {
+    if rows.is_empty() {
+        return Ok(NValue::V(Value::empty_matrix()));
+    }
+    // Support horizontal concatenation of row vectors/scalars within a
+    // row, and string rows.
+    let mut all_rows: Vec<Vec<f64>> = Vec::new();
+    let mut strings: Vec<String> = Vec::new();
+    let mut is_string = false;
+    for row in rows {
+        let mut data = Vec::new();
+        for v in row {
+            match v {
+                NValue::V(Value::Real(m)) => data.extend_from_slice(m.data()),
+                NValue::V(Value::Str(s)) => {
+                    is_string = true;
+                    strings.extend(s.data().iter().cloned());
+                }
+                NValue::V(Value::Bool(b)) => data.extend(b.data().iter().map(|&x| x as u8 as f64)),
+                other => {
+                    return err(format!(
+                        "matrix entries must be numeric, got {}",
+                        other.type_name()
+                    ))
+                }
+            }
+        }
+        all_rows.push(data);
+    }
+    if is_string {
+        // A string row vector like ["-name", "nsp-child"].
+        return Ok(NValue::V(Value::Str(StrMatrix::row(strings))));
+    }
+    let cols = all_rows[0].len();
+    if all_rows.iter().any(|r| r.len() != cols) {
+        return err("ragged matrix literal");
+    }
+    let rows_n = all_rows.len();
+    let mut data = vec![0.0; rows_n * cols];
+    for (r, row) in all_rows.iter().enumerate() {
+        for (c, &x) in row.iter().enumerate() {
+            data[c * rows_n + r] = x;
+        }
+    }
+    Ok(NValue::V(Value::Real(Matrix::from_col_major(
+        rows_n, cols, data,
+    ))))
+}
+
+/// Build an `a:b[:c]` range from its evaluated bounds. Scalar checks run
+/// after all operands are evaluated (lo, hi, then step — both engines
+/// evaluate in that order).
+pub(crate) fn range_value(lo: &NValue, hi: &NValue, step: Option<&NValue>) -> R<NValue> {
+    let lo = lo
+        .as_scalar()
+        .ok_or_else(|| NspError::new("range bound must be scalar"))?;
+    let hi = hi
+        .as_scalar()
+        .ok_or_else(|| NspError::new("range bound must be scalar"))?;
+    let step = match step {
+        Some(s) => s
+            .as_scalar()
+            .ok_or_else(|| NspError::new("range step must be scalar"))?,
+        None => 1.0,
+    };
+    if step == 0.0 {
+        return err("range step cannot be zero");
+    }
+    let mut data = Vec::new();
+    let mut x = lo;
+    if step > 0.0 {
+        while x <= hi + 1e-12 {
+            data.push(x);
+            x += step;
+        }
+    } else {
+        while x >= hi - 1e-12 {
+            data.push(x);
+            x += step;
+        }
+    }
+    Ok(NValue::V(Value::Real(Matrix::row(data))))
+}
+
+/// Compact builtin table: the lowerer resolves callee names to dense ids
+/// through this list at compile time, and the VM dispatches through
+/// [`builtin_name`] — no per-call string allocation or hashing.
+pub(crate) const BUILTIN_NAMES: &[&str] = &[
+    "list",
+    "hash_create",
+    "rand",
+    "reseed",
+    "size",
+    "length",
+    "floor",
+    "ceil",
+    "abs",
+    "sqrt",
+    "exp",
+    "log",
+    "min",
+    "max",
+    "string",
+    "disp",
+    "print",
+    "getenv",
+    "error",
+    "isempty",
+    "exec",
+    "serialize",
+    "unserialize",
+    "save",
+    "load",
+    "sload",
+    "premia_create",
+    "MPI_Init",
+    "MPI_Initialized",
+    "mpicomm_create",
+    "mpiinfo_create",
+    "MPI_Comm_rank",
+    "MPI_Comm_size",
+    "MPI_Send_Obj",
+    "MPI_Recv_Obj",
+    "MPI_Probe",
+    "MPI_Get_count",
+    "MPI_Get_elements",
+    "mpibuf_create",
+    "MPI_Recv",
+    "MPI_Unpack",
+    "MPI_Pack",
+    "MPI_Send",
+    "MPI_Barrier",
+    "MPI_Wtime",
+];
+
+/// Id of the `exec` builtin — the VM intercepts it so the inner script
+/// shares the current frame (tree semantics: exec binds into the caller's
+/// scope).
+pub(crate) const BUILTIN_EXEC: u16 = 20;
+
+/// Resolve a builtin name to its dense id (compile time only).
+pub(crate) fn builtin_id(name: &str) -> Option<u16> {
+    BUILTIN_NAMES.iter().position(|&b| b == name).map(|i| i as u16)
+}
+
+/// The static name for a builtin id (runtime dispatch, allocation-free).
+pub(crate) fn builtin_name(id: u16) -> &'static str {
+    BUILTIN_NAMES[id as usize]
+}
+
 /// Is `name` one of the builtin functions (used to allow bare calls like
 /// `premia_create` without parentheses)?
 fn is_builtin(name: &str) -> bool {
-    matches!(
-        name,
-        "list"
-            | "hash_create"
-            | "rand"
-            | "size"
-            | "length"
-            | "floor"
-            | "ceil"
-            | "abs"
-            | "sqrt"
-            | "exp"
-            | "log"
-            | "min"
-            | "max"
-            | "string"
-            | "disp"
-            | "print"
-            | "getenv"
-            | "error"
-            | "isempty"
-            | "exec"
-            | "serialize"
-            | "unserialize"
-            | "save"
-            | "load"
-            | "sload"
-            | "premia_create"
-            | "MPI_Init"
-            | "MPI_Initialized"
-            | "mpicomm_create"
-            | "mpiinfo_create"
-            | "MPI_Comm_rank"
-            | "MPI_Comm_size"
-            | "MPI_Send_Obj"
-            | "MPI_Recv_Obj"
-            | "MPI_Probe"
-            | "MPI_Get_count"
-            | "MPI_Get_elements"
-            | "mpibuf_create"
-            | "MPI_Recv"
-            | "MPI_Unpack"
-            | "MPI_Pack"
-            | "MPI_Send"
-            | "MPI_Barrier"
-            | "MPI_Wtime"
-    )
+    builtin_id(name).is_some()
 }
 
 /// `P.set_xxx[str="..."]` keyword or single positional string.
@@ -1473,7 +1642,7 @@ mod tests {
     fn string_concatenation_like_fig1() {
         let i = run_script("cmd = 'exec(''src/loader.sce'');'\ncmd = cmd + 'MPI_Init();'").unwrap();
         assert_eq!(
-            i.get_value("cmd").unwrap().as_str().unwrap(),
+            i.get_str("cmd").unwrap(),
             "exec('src/loader.sce');MPI_Init();"
         );
     }
@@ -1560,7 +1729,7 @@ B = S.unserialize[]
 ok = B.equal[A]
 "#;
         let i = run_script(src).unwrap();
-        assert_eq!(i.get_value("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(i.get_bool("ok"), Some(true));
     }
 
     #[test]
@@ -1573,7 +1742,7 @@ A1 = S1.unserialize[]
 ok = A1.equal[A]
 "#;
         let i = run_script(src).unwrap();
-        assert_eq!(i.get_value("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(i.get_bool("ok"), Some(true));
         // And compression shrinks the serial, as in Fig. 2's
         // 842 → 248 bytes example.
         let s = i.get_value("S").unwrap();
@@ -1598,7 +1767,7 @@ ok = H1.equal[H]
             p = path.display()
         );
         let i = run_script(&src).unwrap();
-        assert_eq!(i.get_value("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(i.get_bool("ok"), Some(true));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1638,7 +1807,7 @@ ok = Q.equal[P]
             p = path.display()
         );
         let i = run_script(&src).unwrap();
-        assert_eq!(i.get_value("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(i.get_bool("ok"), Some(true));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1710,7 +1879,7 @@ mod exec_tests {
         .unwrap();
         let src = format!("exec('{}')\nz = twice(base)", lib.display());
         let i = run_script(&src).unwrap();
-        assert_eq!(i.get_value("z").unwrap().as_scalar(), Some(42.0));
+        assert_eq!(i.get_scalar("z"), Some(42.0));
         std::fs::remove_dir_all(&dir).ok();
     }
 

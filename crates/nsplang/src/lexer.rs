@@ -5,8 +5,37 @@
 //! identifier, number, `)`, `]` or `'`, where it is the postfix transpose
 //! operator (`Lpb'`). We use the classic "previous significant token"
 //! disambiguation.
+//!
+//! Every token carries a [`Pos`] (1-based line and column of its first
+//! character) so parse and runtime errors can point at the offending
+//! source location.
 
 use std::fmt;
+
+/// A 1-based source position (line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based column (in characters) within the line.
+    pub col: u32,
+}
+
+impl Pos {
+    /// Sentinel "no position" value (line 0).
+    pub const NONE: Pos = Pos { line: 0, col: 0 };
+
+    /// Whether this is a real position (line numbers are 1-based).
+    pub fn is_some(&self) -> bool {
+        self.line != 0
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
 
 /// A lexical token of the mini-Nsp language.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,11 +132,11 @@ impl fmt::Display for Tok {
     }
 }
 
-/// Lexing error with 1-based line number.
+/// Lexing error with a 1-based source position.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LexError {
-    /// 1-based source line of the offending character.
-    pub line: usize,
+    /// Position of the offending character.
+    pub pos: Pos,
     /// Human-readable description.
     pub message: String,
 }
@@ -146,28 +175,36 @@ fn ends_expression(tok: Option<&Tok>) -> bool {
 }
 
 /// Tokenize a source string. Comments run from `//` to end of line.
-pub fn lex(src: &str) -> Result<Vec<(Tok, usize)>, LexError> {
-    let mut out: Vec<(Tok, usize)> = Vec::new();
+pub fn lex(src: &str) -> Result<Vec<(Tok, Pos)>, LexError> {
+    let mut out: Vec<(Tok, Pos)> = Vec::new();
     let bytes: Vec<char> = src.chars().collect();
     let mut i = 0;
-    let mut line = 1usize;
+    let mut line = 1u32;
+    // Char index of the first character of the current line; columns are
+    // 1-based offsets from it.
+    let mut line_start = 0usize;
     let n = bytes.len();
 
-    let err = |line: usize, msg: &str| LexError {
-        line,
+    let err = |pos: Pos, msg: &str| LexError {
+        pos,
         message: msg.to_string(),
     };
 
     while i < n {
         let c = bytes[i];
+        let tp = Pos {
+            line,
+            col: (i - line_start + 1) as u32,
+        };
         match c {
             ' ' | '\t' | '\r' => {
                 i += 1;
             }
             '\n' => {
-                out.push((Tok::Newline, line));
+                out.push((Tok::Newline, tp));
                 line += 1;
                 i += 1;
+                line_start = i;
             }
             '/' if i + 1 < n && bytes[i + 1] == '/' => {
                 while i < n && bytes[i] != '\n' {
@@ -183,17 +220,17 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, usize)>, LexError> {
                         } else {
                             Tok::False
                         },
-                        line,
+                        tp,
                     ));
                     i += 2;
                 } else {
-                    return Err(err(line, "unknown % literal"));
+                    return Err(err(tp, "unknown % literal"));
                 }
             }
             '\'' | '"' => {
                 let is_transpose = c == '\'' && ends_expression(out.last().map(|(t, _)| t));
                 if is_transpose {
-                    out.push((Tok::Quote, line));
+                    out.push((Tok::Quote, tp));
                     i += 1;
                 } else {
                     // String literal; '' (resp. "") escapes the delimiter.
@@ -202,7 +239,7 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, usize)>, LexError> {
                     i += 1;
                     loop {
                         if i >= n {
-                            return Err(err(line, "unterminated string"));
+                            return Err(err(tp, "unterminated string"));
                         }
                         if bytes[i] == delim {
                             if i + 1 < n && bytes[i + 1] == delim {
@@ -215,12 +252,13 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, usize)>, LexError> {
                         } else {
                             if bytes[i] == '\n' {
                                 line += 1;
+                                line_start = i + 1;
                             }
                             s.push(bytes[i]);
                             i += 1;
                         }
                     }
-                    out.push((Tok::Str(s), line));
+                    out.push((Tok::Str(s), tp));
                 }
             }
             '0'..='9' => {
@@ -253,8 +291,8 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, usize)>, LexError> {
                 let text: String = bytes[start..i].iter().collect();
                 let v = text
                     .parse::<f64>()
-                    .map_err(|_| err(line, &format!("bad number {text}")))?;
-                out.push((Tok::Num(v), line));
+                    .map_err(|_| err(tp, &format!("bad number {text}")))?;
+                out.push((Tok::Num(v), tp));
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
@@ -262,92 +300,92 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, usize)>, LexError> {
                     i += 1;
                 }
                 let word: String = bytes[start..i].iter().collect();
-                out.push((keyword(&word).unwrap_or(Tok::Ident(word)), line));
+                out.push((keyword(&word).unwrap_or(Tok::Ident(word)), tp));
             }
             '(' => {
-                out.push((Tok::LParen, line));
+                out.push((Tok::LParen, tp));
                 i += 1;
             }
             ')' => {
-                out.push((Tok::RParen, line));
+                out.push((Tok::RParen, tp));
                 i += 1;
             }
             '[' => {
-                out.push((Tok::LBracket, line));
+                out.push((Tok::LBracket, tp));
                 i += 1;
             }
             ']' => {
-                out.push((Tok::RBracket, line));
+                out.push((Tok::RBracket, tp));
                 i += 1;
             }
             ',' => {
-                out.push((Tok::Comma, line));
+                out.push((Tok::Comma, tp));
                 i += 1;
             }
             ';' => {
-                out.push((Tok::Semi, line));
+                out.push((Tok::Semi, tp));
                 i += 1;
             }
             '.' => {
-                out.push((Tok::Dot, line));
+                out.push((Tok::Dot, tp));
                 i += 1;
             }
             '+' => {
-                out.push((Tok::Plus, line));
+                out.push((Tok::Plus, tp));
                 i += 1;
             }
             '-' => {
-                out.push((Tok::Minus, line));
+                out.push((Tok::Minus, tp));
                 i += 1;
             }
             '*' => {
-                out.push((Tok::Star, line));
+                out.push((Tok::Star, tp));
                 i += 1;
             }
             '/' => {
-                out.push((Tok::Slash, line));
+                out.push((Tok::Slash, tp));
                 i += 1;
             }
             ':' => {
-                out.push((Tok::Colon, line));
+                out.push((Tok::Colon, tp));
                 i += 1;
             }
             '=' => {
                 if i + 1 < n && bytes[i + 1] == '=' {
-                    out.push((Tok::Eq, line));
+                    out.push((Tok::Eq, tp));
                     i += 2;
                 } else {
-                    out.push((Tok::Assign, line));
+                    out.push((Tok::Assign, tp));
                     i += 1;
                 }
             }
             '<' => {
                 if i + 1 < n && bytes[i + 1] == '>' {
-                    out.push((Tok::Ne, line));
+                    out.push((Tok::Ne, tp));
                     i += 2;
                 } else if i + 1 < n && bytes[i + 1] == '=' {
-                    out.push((Tok::Le, line));
+                    out.push((Tok::Le, tp));
                     i += 2;
                 } else {
-                    out.push((Tok::Lt, line));
+                    out.push((Tok::Lt, tp));
                     i += 1;
                 }
             }
             '>' => {
                 if i + 1 < n && bytes[i + 1] == '=' {
-                    out.push((Tok::Ge, line));
+                    out.push((Tok::Ge, tp));
                     i += 2;
                 } else {
-                    out.push((Tok::Gt, line));
+                    out.push((Tok::Gt, tp));
                     i += 1;
                 }
             }
             '~' => {
                 if i + 1 < n && bytes[i + 1] == '=' {
-                    out.push((Tok::Ne, line));
+                    out.push((Tok::Ne, tp));
                     i += 2;
                 } else {
-                    out.push((Tok::Not, line));
+                    out.push((Tok::Not, tp));
                     i += 1;
                 }
             }
@@ -357,7 +395,7 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, usize)>, LexError> {
                 } else {
                     1
                 };
-                out.push((Tok::And, line));
+                out.push((Tok::And, tp));
             }
             '|' => {
                 i += if i + 1 < n && bytes[i + 1] == '|' {
@@ -365,10 +403,10 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, usize)>, LexError> {
                 } else {
                     1
                 };
-                out.push((Tok::Or, line));
+                out.push((Tok::Or, tp));
             }
             other => {
-                return Err(err(line, &format!("unexpected character {other:?}")));
+                return Err(err(tp, &format!("unexpected character {other:?}")));
             }
         }
     }
@@ -481,6 +519,22 @@ mod tests {
     fn line_numbers_tracked() {
         let lexed = lex("a=1\nb=2\nc=3").unwrap();
         let last = lexed.last().unwrap();
-        assert_eq!(last.1, 3);
+        assert_eq!(last.1, Pos { line: 3, col: 3 });
+    }
+
+    #[test]
+    fn columns_tracked() {
+        let lexed = lex("ab = 12\n  cd = 3").unwrap();
+        // `ab` at 1:1, `=` at 1:4, `12` at 1:6; `cd` at 2:3.
+        assert_eq!(lexed[0].1, Pos { line: 1, col: 1 });
+        assert_eq!(lexed[1].1, Pos { line: 1, col: 4 });
+        assert_eq!(lexed[2].1, Pos { line: 1, col: 6 });
+        assert_eq!(lexed[4].1, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn lex_error_carries_position() {
+        let e = lex("x = 1\ny = @").unwrap_err();
+        assert_eq!(e.pos, Pos { line: 2, col: 5 });
     }
 }

@@ -1,13 +1,13 @@
 //! Recursive-descent / Pratt parser for the mini-Nsp language.
 
-use crate::ast::{Arg, BinOp, Expr, FuncDef, Stmt, Target, UnOp};
-use crate::lexer::{lex, LexError, Tok};
+use crate::ast::{Arg, BinOp, Expr, FuncDef, Spanned, Stmt, Target, UnOp};
+use crate::lexer::{lex, LexError, Pos, Tok};
 
-/// Parse error with line information.
+/// Parse error with a 1-based `line:col` position.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
-    /// 1-based source line.
-    pub line: usize,
+    /// Source position of the offending token.
+    pub pos: Pos,
     /// Human-readable description.
     pub message: String,
 }
@@ -15,7 +15,7 @@ pub struct ParseError {
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
         ParseError {
-            line: e.line,
+            pos: e.pos,
             message: format!("lex error: {}", e.message),
         }
     }
@@ -23,14 +23,14 @@ impl From<LexError> for ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.message)
+        write!(f, "parse error at {}: {}", self.pos, self.message)
     }
 }
 
 impl std::error::Error for ParseError {}
 
 struct Parser {
-    toks: Vec<(Tok, usize)>,
+    toks: Vec<(Tok, Pos)>,
     pos: usize,
 }
 
@@ -39,16 +39,16 @@ impl Parser {
         self.toks.get(self.pos).map(|(t, _)| t)
     }
 
-    fn line(&self) -> usize {
+    fn here(&self) -> Pos {
         self.toks
             .get(self.pos.min(self.toks.len().saturating_sub(1)))
-            .map(|(_, l)| *l)
-            .unwrap_or(0)
+            .map(|(_, p)| *p)
+            .unwrap_or(Pos::NONE)
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
         ParseError {
-            line: self.line(),
+            pos: self.here(),
             message: msg.into(),
         }
     }
@@ -93,7 +93,7 @@ impl Parser {
 
     // ---- statements --------------------------------------------------------
 
-    fn parse_block(&mut self, terminators: &[Tok]) -> Result<Vec<Stmt>, ParseError> {
+    fn parse_block(&mut self, terminators: &[Tok]) -> Result<Vec<Spanned>, ParseError> {
         let mut stmts = Vec::new();
         loop {
             self.skip_separators();
@@ -106,7 +106,13 @@ impl Parser {
         Ok(stmts)
     }
 
-    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+    fn parse_stmt(&mut self) -> Result<Spanned, ParseError> {
+        let pos = self.here();
+        let kind = self.parse_stmt_kind()?;
+        Ok(Spanned { pos, kind })
+    }
+
+    fn parse_stmt_kind(&mut self) -> Result<Stmt, ParseError> {
         match self.peek() {
             Some(Tok::If) => self.parse_if(),
             Some(Tok::While) => self.parse_while(),
@@ -516,8 +522,8 @@ fn expr_to_target(e: &Expr) -> Option<Target> {
     }
 }
 
-/// Parse a full program.
-pub fn parse_program(src: &str) -> Result<Vec<Stmt>, ParseError> {
+/// Parse a full program into position-annotated statements.
+pub fn parse_program(src: &str) -> Result<Vec<Spanned>, ParseError> {
     let toks = lex(src)?;
     let mut p = Parser { toks, pos: 0 };
     let stmts = p.parse_block(&[])?;
@@ -535,7 +541,7 @@ mod tests {
     fn simple_assignment() {
         let prog = parse_program("x = 1 + 2 * 3").unwrap();
         assert_eq!(prog.len(), 1);
-        match &prog[0] {
+        match &prog[0].kind {
             Stmt::Assign(targets, Expr::Binary(BinOp::Add, _, _)) => {
                 assert_eq!(targets, &vec![Target::Ident("x".into())]);
             }
@@ -546,7 +552,7 @@ mod tests {
     #[test]
     fn multi_assignment() {
         let prog = parse_program("[a, b] = f(1)").unwrap();
-        match &prog[0] {
+        match &prog[0].kind {
             Stmt::Assign(targets, Expr::Apply(_, _)) => assert_eq!(targets.len(), 2),
             other => panic!("{other:?}"),
         }
@@ -555,7 +561,7 @@ mod tests {
     #[test]
     fn indexed_assignment_like_fig4() {
         let prog = parse_program("Lpb(1:k-1) = []").unwrap();
-        match &prog[0] {
+        match &prog[0].kind {
             Stmt::Assign(targets, Expr::Matrix(rows)) => {
                 assert!(rows.is_empty());
                 assert!(matches!(targets[0], Target::Index(_, _)));
@@ -567,7 +573,7 @@ mod tests {
     #[test]
     fn field_assignment() {
         let prog = parse_program("H.A = rand(4,5)").unwrap();
-        match &prog[0] {
+        match &prog[0].kind {
             Stmt::Assign(targets, _) => {
                 assert!(matches!(targets[0], Target::Field(_, _)));
             }
@@ -578,7 +584,7 @@ mod tests {
     #[test]
     fn method_call_with_kwargs() {
         let prog = parse_program("P.set_asset[str=\"equity\"]").unwrap();
-        match &prog[0] {
+        match &prog[0].kind {
             Stmt::Expr(Expr::MethodCall(_, name, args)) => {
                 assert_eq!(name, "set_asset");
                 assert!(
@@ -593,7 +599,7 @@ mod tests {
     fn if_elseif_else() {
         let src = "if a == 1 then\n x=1\nelseif a == 2 then\n x=2\nelse\n x=3\nend";
         let prog = parse_program(src).unwrap();
-        match &prog[0] {
+        match &prog[0].kind {
             Stmt::If { arms, else_body } => {
                 assert_eq!(arms.len(), 2);
                 assert_eq!(else_body.len(), 1);
@@ -606,8 +612,8 @@ mod tests {
     fn while_true_break() {
         let src = "while %t then\n  break\nend";
         let prog = parse_program(src).unwrap();
-        match &prog[0] {
-            Stmt::While { body, .. } => assert_eq!(body[0], Stmt::Break),
+        match &prog[0].kind {
+            Stmt::While { body, .. } => assert_eq!(body[0].kind, Stmt::Break),
             other => panic!("{other:?}"),
         }
     }
@@ -616,7 +622,7 @@ mod tests {
     fn for_over_transposed_slice() {
         let src = "for pb = Lpb(1:n)' do\n  x = pb\nend";
         let prog = parse_program(src).unwrap();
-        match &prog[0] {
+        match &prog[0].kind {
             Stmt::For { var, iter, .. } => {
                 assert_eq!(var, "pb");
                 assert!(matches!(iter, Expr::Transpose(_)));
@@ -629,7 +635,7 @@ mod tests {
     fn function_definition() {
         let src = "function [sl, result] = receive_res ()\n sl = 1\n result = 2\nendfunction";
         let prog = parse_program(src).unwrap();
-        match &prog[0] {
+        match &prog[0].kind {
             Stmt::FuncDef(f) => {
                 assert_eq!(f.name, "receive_res");
                 assert_eq!(f.outs, vec!["sl", "result"]);
@@ -642,7 +648,7 @@ mod tests {
     #[test]
     fn matrix_literal_rows() {
         let prog = parse_program("m = [1, 2; 3, 4]").unwrap();
-        match &prog[0] {
+        match &prog[0].kind {
             Stmt::Assign(_, Expr::Matrix(rows)) => {
                 assert_eq!(rows.len(), 2);
                 assert_eq!(rows[0].len(), 2);
@@ -654,7 +660,7 @@ mod tests {
     #[test]
     fn range_with_step() {
         let prog = parse_program("r = 0:0.5:2").unwrap();
-        match &prog[0] {
+        match &prog[0].kind {
             Stmt::Assign(_, Expr::Range(_, Some(_), _)) => {}
             other => panic!("{other:?}"),
         }

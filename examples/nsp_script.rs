@@ -136,8 +136,8 @@ fn main() {
     i.echo = true;
     i.run(&fig2_script(&dir.display().to_string()))
         .expect("fig2 script");
-    assert_eq!(i.get_value("ok").unwrap().as_bool(), Some(true));
-    assert_eq!(i.get_value("ok2").unwrap().as_bool(), Some(true));
+    assert_eq!(i.get_bool("ok"), Some(true));
+    assert_eq!(i.get_bool("ok2"), Some(true));
 
     // (c) Fig. 4/5 parallel pricer: write a small portfolio, run the
     // script on 4 MPI ranks (1 master + 3 slaves).

@@ -19,9 +19,14 @@
 #      BENCH_8.json (bit-identical prices across shard counts and
 #      transport backends, steals present, calibrated transport costs,
 #      monotone simulated makespans up to 512 cores) and bench_gate
-#      re-validates its structure; the transport gate quarantines raw
-#      mpsc channels inside crates/transport; the allocation gate bans
-#      hot-loop allocations inside the kernels' ALLOC-FREE regions
+#      re-validates its structure; the `vm_smoke` script-dispatch smoke
+#      writes BENCH_9.json (nsplang bytecode VM >= 5x faster than the
+#      tree-walker on a Fig. 4-shaped driver script, engines
+#      bit-identical, cheap lowering) and bench_gate re-validates it;
+#      the transport gate quarantines raw mpsc channels inside
+#      crates/transport; the allocation gate bans hot-loop allocations
+#      inside the kernels' ALLOC-FREE regions; the hash gate bans name
+#      lookups inside the VM dispatch loop's HASH-FREE region
 #   4. full test suite (quiet); a failing run is retried ONCE so that
 #      machine-load flakes in the timing-sensitive live-farm tests do not
 #      mask real regressions — deterministic failures (the chaos suite is
@@ -204,7 +209,24 @@ if ! grep -q '"sim_512_jobs"' BENCH_8.json; then
     echo "error: BENCH_8.json missing sim_512_jobs column"
     exit 1
 fi
-run cargo run -p bench --bin bench_gate --release -q -- BENCH_6.json BENCH_4.json BENCH_3.json BENCH_7.json BENCH_8.json || exit 1
+# Script-dispatch smoke: both nsplang engines run the same Fig. 4-shaped
+# portfolio driver script; the bin self-checks bit-identical bindings,
+# price lists and RNG streams across engines, a >= 5x VM speedup over the
+# tree-walker (best-of-reps), and a lowering pass under half a VM run
+# (the checks live in vm_smoke and fail the process). The JSON line is
+# the PR 9 artifact; bench_gate re-validates its structure.
+echo "==> cargo run -p bench --bin vm_smoke --release -q (script-dispatch smoke -> BENCH_9.json)"
+vm_out=$(cargo run -p bench --bin vm_smoke --release -q) || exit 1
+if ! printf '%s\n' "$vm_out" | grep -q 'vm speedup'; then
+    echo "error: vm smoke reported no speedup line"
+    exit 1
+fi
+printf '%s\n' "$vm_out" | sed -n 's/^JSON: //p' > BENCH_9.json
+if ! grep -q '"vm_speedup"' BENCH_9.json; then
+    echo "error: BENCH_9.json missing vm_speedup column"
+    exit 1
+fi
+run cargo run -p bench --bin bench_gate --release -q -- BENCH_6.json BENCH_4.json BENCH_3.json BENCH_7.json BENCH_8.json BENCH_9.json || exit 1
 
 # Dispatch-order smoke: the LPT breakdown self-checks that longest-cost-
 # first dispatch leaves per-job wait seconds untouched relative to FIFO
@@ -254,6 +276,28 @@ for f in crates/pricing/src/methods/montecarlo.rs \
         exit 1
     fi
 done
+
+echo "==> hash gate: no name lookups in the VM dispatch loop"
+# The bytecode VM's dispatch loop is hash-free by contract: locals are
+# resolved to register slots at lower time, constants and names are
+# interned into Vec-indexed side tables, so executing an op never hashes
+# a string. The loop is bracketed with HASH-FREE-BEGIN/END markers in
+# vm.rs; any map or name-resolution token inside the bracket fails the
+# gate (the cold helpers — dynamic-scope fallback, call setup — live
+# below the markers on purpose). Comment lines are ignored.
+vmfile=crates/nsplang/src/vm.rs
+if ! grep -q 'HASH-FREE-BEGIN' "$vmfile"; then
+    echo "error: $vmfile lost its HASH-FREE markers (the hash gate needs them)"
+    exit 1
+fi
+hashes=$(awk '/HASH-FREE-END/{inr=0} inr{print FILENAME":"FNR": "$0} /HASH-FREE-BEGIN/{inr=1}' "$vmfile" \
+    | grep -E 'HashMap|BTreeMap|\.entry\(|scopes|\.lookup\(|resolve_var|resolve_ident|to_string\(' \
+    | grep -v -E '^[^:]*:[0-9]+:\s*(//|//!|///)')
+if [ -n "$hashes" ]; then
+    echo "error: name lookup inside the HASH-FREE region of $vmfile:"
+    echo "$hashes"
+    exit 1
+fi
 
 echo "==> cargo test -q --workspace $*"
 if ! cargo test -q --workspace "$@"; then

@@ -20,7 +20,7 @@ price = L(1)(3)
 "#;
     let mut i = Interp::new();
     i.run(src).unwrap();
-    let price = i.get_value("price").unwrap().as_scalar().unwrap();
+    let price = i.get_scalar("price").unwrap();
     assert!((price - 10.4506).abs() < 1e-3);
 }
 
@@ -42,7 +42,7 @@ ok = H1.equal[H]
     );
     let mut i = Interp::new();
     i.run(&src).unwrap();
-    assert_eq!(i.get_value("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(i.get_bool("ok"), Some(true));
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -66,7 +66,7 @@ fn obj_send_recv_between_interpreted_ranks() {
                     "MCW = mpicomm_create('WORLD')\nB = MPI_Recv_Obj(0, 3, MCW)\nC = MPI_Recv_Obj(0, 4, MCW)\nok = B.equal[C]",
                 )
                 .unwrap();
-            interp.get_value("ok").unwrap().as_bool().unwrap()
+            interp.get_bool("ok").unwrap()
         }
     });
     assert!(outputs[1]);
@@ -74,9 +74,19 @@ fn obj_send_recv_between_interpreted_ranks() {
 
 #[test]
 fn fig4_style_farm_runs_interpreted() {
+    fig4_farm_on_engine(nsplang::Engine::Tree, "it_nsp_fig4");
+}
+
+#[test]
+fn fig4_style_farm_runs_on_vm() {
+    // Same protocol, every rank's interpreter on the bytecode VM.
+    fig4_farm_on_engine(nsplang::Engine::Vm, "it_nsp_fig4_vm");
+}
+
+fn fig4_farm_on_engine(engine: nsplang::Engine, tag: &str) {
     // Scaled-down Fig. 4/5: 8 problems, 1 master + 2 slaves, full
     // pack/probe/mpibuf protocol.
-    let dir = std::env::temp_dir().join("it_nsp_fig4");
+    let dir = std::env::temp_dir().join(tag);
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     let jobs = farm::portfolio::toy_portfolio(8);
@@ -156,16 +166,17 @@ else
         d = dir.display()
     ) + "\nend\n";
 
-    let outputs = World::run(3, |comm| {
+    let outputs = World::run(3, move |comm| {
         let rank = comm.rank();
         let mut interp = Interp::with_comm(Rc::new(comm));
+        interp.set_engine(engine);
         interp
             .run(&script)
             .unwrap_or_else(|e| panic!("rank {rank}: {e}"));
         if rank == 0 {
             Some((
-                interp.get_value("total").unwrap().as_scalar().unwrap(),
-                interp.get_value("n_res").unwrap().as_scalar().unwrap(),
+                interp.get_scalar("total").unwrap(),
+                interp.get_scalar("n_res").unwrap(),
             ))
         } else {
             None
@@ -216,8 +227,8 @@ fn fig2_script_runs_standalone() {
     let src = std::fs::read_to_string(root.join("fig2_sload.nsp")).unwrap();
     let mut i = Interp::new();
     i.run(&src).unwrap();
-    assert_eq!(i.get_value("ok").unwrap().as_bool(), Some(true));
-    assert_eq!(i.get_value("ok2").unwrap().as_bool(), Some(true));
+    assert_eq!(i.get_bool("ok"), Some(true));
+    assert_eq!(i.get_bool("ok2"), Some(true));
 }
 
 #[test]
@@ -226,7 +237,7 @@ fn section33_script_runs_standalone() {
     let src = std::fs::read_to_string(root.join("section33_premia.nsp")).unwrap();
     let mut i = Interp::new();
     i.run(&src).unwrap();
-    assert_eq!(i.get_value("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(i.get_bool("ok"), Some(true));
 }
 
 #[test]
@@ -244,6 +255,314 @@ price = L(1)(3)
 "#;
     let mut i = Interp::new();
     i.run(src).unwrap();
-    let price = i.get_value("price").unwrap().as_scalar().unwrap();
+    let price = i.get_scalar("price").unwrap();
     assert!(price > 0.0 && price < 1.0, "ZCB price {price}");
+}
+
+// ---- engine equivalence battery ---------------------------------------------
+//
+// Every script below runs on both engines (tree-walker and bytecode VM) and
+// must produce bit-identical global bindings (compared as XDR bytes),
+// identical RNG states, identical `disp` output, and — for failing scripts —
+// identical rendered error messages including `line:col` spans.
+
+mod engine_equivalence {
+    use nsplang::{Engine, Interp, NspError};
+    use std::collections::BTreeMap;
+
+    fn snapshot(i: &Interp) -> BTreeMap<String, String> {
+        i.globals()
+            .map(|(name, v)| {
+                let repr = match v.to_value() {
+                    Ok(val) => format!("{:?}", riskbench::xdrser::serialize_to_bytes(&val)),
+                    Err(e) => format!("unserializable: {e}"),
+                };
+                (name.to_string(), repr)
+            })
+            .collect()
+    }
+
+    fn run_both(src: &str) -> (Interp, Result<(), NspError>, Interp, Result<(), NspError>) {
+        let mut t = Interp::new();
+        let rt = t.run(src);
+        let mut v = Interp::with_engine(Engine::Vm);
+        let rv = v.run(src);
+        (t, rt, v, rv)
+    }
+
+    #[track_caller]
+    fn assert_agree(src: &str) {
+        let (t, rt, v, rv) = run_both(src);
+        match (&rt, &rv) {
+            (Ok(()), Ok(())) => {}
+            (Err(a), Err(b)) => {
+                assert_eq!(a.to_string(), b.to_string(), "error mismatch on:\n{src}")
+            }
+            _ => panic!("engines disagree on success: tree={rt:?} vm={rv:?} on:\n{src}"),
+        }
+        assert_eq!(t.output, v.output, "disp output mismatch on:\n{src}");
+        assert_eq!(t.rng_state(), v.rng_state(), "rng divergence on:\n{src}");
+        assert_eq!(snapshot(&t), snapshot(&v), "binding mismatch on:\n{src}");
+    }
+
+    #[test]
+    fn scalars_strings_bools_arith() {
+        assert_agree("x = 1 + 2*3 - 4/2\ns = 'a' + 'b'\nb = %t\nc = ~%f\nn = -x");
+        assert_agree("x = 2 < 3\ny = 2 >= 3\nz = 'ab' == 'ab'\nw = 1 <> 2");
+        assert_agree("a = %t && %f\nb = %t || %f");
+    }
+
+    #[test]
+    fn matrices_ranges_transpose() {
+        assert_agree("m = [1, 2; 3, 4]\nt = m'\ne = []\nr = 1:5\nr2 = 1:2:9\ns = m(1,2) + r(3)");
+        assert_agree("m = [1, 2, 3]\nm(2) = 7\nm(1:2) + 0\nv = m(1:2)\nq = m([3,1])");
+        assert_agree("m = rand(3,3)\ns = size(m)\n[r, c] = size(m)\nn = size(m, '*')");
+    }
+
+    #[test]
+    fn float_index_truncation_matches() {
+        // Nsp/Matlab-style `as usize` truncation happens in the shared
+        // helper; both engines must agree bit-for-bit.
+        assert_agree("m = [10, 20, 30]\na = m(2.9)\nb = m(2)\nok = a == b");
+        assert_agree("L = list(10, 20, 30)\na = L(2.9)\nb = L(2)\nok = a == b");
+    }
+
+    #[test]
+    fn and_or_are_eager_both_engines() {
+        // Both operand sides evaluate (no short-circuit), in source order —
+        // visible through disp side effects.
+        assert_agree(
+            "function [r] = lhs()\n  disp('lhs')\n  r = %f\nendfunction\n\
+             function [r] = rhs()\n  disp('rhs')\n  r = %t\nendfunction\n\
+             a = lhs() && rhs()\nb = lhs() || rhs()",
+        );
+    }
+
+    #[test]
+    fn lists_nested_and_writeback() {
+        assert_agree("L = list(1, 'two', %t)\nx = L(2)\nn = length(L)");
+        assert_agree("L = list(list(1, 2), list(3))\nx = L(1)(2)\ny = L(2)(1)");
+        assert_agree(
+            "L = list()\nfor k = 1:5 do\n  L.add_last[k*k]\nend\ns = L(5)\nn = length(L)",
+        );
+        assert_agree("L = list(1,2,3,4,5)\nL(2) = 'x'\nL(4) = []\nn = length(L)");
+        assert_agree("L = list(1,2,3,4,5)\nk = 2\nL(1:k) = []\nn = length(L)\nh = L(1)");
+    }
+
+    #[test]
+    fn hashes_and_field_chains() {
+        assert_agree("H.A = 1\nH.B = 'two'\nx = H.A + 1\ny = H('B')");
+        assert_agree("H = hash_create(a=1, b=2)\nx = H.a + H.b");
+        // Field assignment on a non-hash errors identically.
+        assert_agree("G = 5\nG.A = 1");
+        // Auto-created hash then overwritten field.
+        assert_agree("H.A = 1\nH.A = 2\nx = H.A");
+    }
+
+    #[test]
+    fn control_flow_loops() {
+        assert_agree(
+            "s = 0\nfor k = 1:10 do\n  if k == 3 then continue end\n  if k == 8 then break end\n  s = s + k\nend",
+        );
+        assert_agree(
+            "s = 0\nk = 0\nwhile k < 10 do\n  k = k + 1\n  if k == 4 then continue end\n  s = s + k\nend",
+        );
+        assert_agree(
+            "s = 0\nfor i = 1:3 do\n  for j = 1:3 do\n    if j == 2 then break end\n    s = s + i*10 + j\n  end\nend",
+        );
+        assert_agree("t = 0\nfor v = [5, 6; 7, 8] do\n  t = t + v(1)\nend");
+        assert_agree("t = ''\nfor v = list('a', 'b') do\n  t = t + v\nend");
+        assert_agree("x = 1\nif x > 2 then y = 'big'\nelseif x > 0 then y = 'small'\nelse y = 'neg'\nend");
+    }
+
+    #[test]
+    fn top_level_return_and_flow_errors() {
+        assert_agree("x = 1\nreturn\nx = 2");
+        // Flow escapes at top level error without a span in both engines.
+        assert_agree("break");
+        assert_agree("continue");
+        assert_agree("for k = 1:3 do\n  y = k\nend\nbreak");
+    }
+
+    #[test]
+    fn functions_recursion_and_scoping() {
+        assert_agree(
+            "function [r] = fib(n)\n  if n < 2 then\n    r = n\n  else\n    r = fib(n-1) + fib(n-2)\n  end\nendfunction\nx = fib(12)",
+        );
+        // Dynamic scoping: function bodies read caller bindings.
+        assert_agree("g = 42\nfunction [r] = f()\n  r = g + 1\nendfunction\nx = f()");
+        // ...but cannot mutate them (assignments are call-local).
+        assert_agree("g = 1\nfunction [r] = f()\n  g = 99\n  r = g\nendfunction\nx = f()\nok = g == 1");
+        assert_agree(
+            "function [a, b] = two()\n  a = 1\n  b = 2\nendfunction\n[p, q] = two()\ns = two()",
+        );
+        assert_agree("function [r] = f(x)\n  r = x\nendfunction\ny = f(1, 2, 3)");
+        assert_agree("function [r] = f()\n  z = 1\nendfunction\ny = f()");
+        assert_agree("function noret(x)\n  d = x\nendfunction\nnoret(3)\ny = 1");
+        // break/continue inside a function body but outside a loop end the
+        // call like falling off the end (Flow unwinds to call_user).
+        assert_agree("function [r] = f()\n  r = 1\n  break\n  r = 2\nendfunction\nx = f()");
+        // User function shadows a builtin.
+        assert_agree("function [r] = rand()\n  r = 7\nendfunction\nx = rand()");
+        // Variable shadows a function name: call becomes indexing.
+        assert_agree("f = [10, 20]\nx = f(2)");
+        // Redefinition: later def wins.
+        assert_agree(
+            "function [r] = f()\n  r = 1\nendfunction\na = f()\nfunction [r] = f()\n  r = 2\nendfunction\nb = f()",
+        );
+    }
+
+    #[test]
+    fn multi_assign_arity_errors() {
+        assert_agree("[a, b] = 1 + 1");
+        assert_agree("x = 5\n[a, b] = x");
+        assert_agree("function [r] = one()\n  r = 1\nendfunction\n[a, b] = one()");
+        assert_agree("L = list(1, 2)\n[a, b] = L(1)");
+    }
+
+    #[test]
+    fn rng_and_reseed_mid_script() {
+        assert_agree("a = rand()\nb = rand(2,2)\nc = rand(3)");
+        assert_agree(
+            "a = rand()\nreseed(42)\nb = rand()\nreseed(42)\nc = rand()\nok = b == c\nd = rand(2,3)",
+        );
+        // Draw order through function calls and loops.
+        assert_agree(
+            "function [r] = draw()\n  r = rand()\nendfunction\ns = 0\nfor k = 1:5 do\n  s = s + draw()\nend",
+        );
+    }
+
+    #[test]
+    fn error_scripts_identical_messages_and_spans() {
+        assert_agree("x = undefined_thing + 1");
+        assert_agree("x = 1\ny = x + undefined_thing");
+        assert_agree("L = list(1)\ny = L(5)");
+        assert_agree("m = [1, 2]\ny = m(9)");
+        assert_agree("m = [1, 2]\nm(9) = 0");
+        assert_agree("x = 'a' - 1");
+        assert_agree("if 5 then y = 1 end\nz = list()\nif z then y = 2 end");
+        assert_agree("unknown_fn(1, 2)");
+        assert_agree("x = 1\ny = 2\nz = [1,2](3)");
+        assert_agree("for k = 1:3 do\n  y = k(2)\nend");
+        assert_agree("H.A.B = 1");
+    }
+
+    #[test]
+    fn serialization_builtins_agree() {
+        assert_agree(
+            "A = list('s', %t, rand(2,2))\nS = serialize(A)\nB = unserialize(S)\nok = B.equal[A]",
+        );
+    }
+
+    #[test]
+    fn exec_binds_in_caller_scope_both_engines() {
+        let dir = std::env::temp_dir().join("it_nsp_exec_equiv");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let inner = dir.join("inner.nsp");
+        std::fs::write(&inner, "shared = shared + 1\nfresh = rand()\n").unwrap();
+        let src = format!(
+            "shared = 1\nexec('{p}')\nexec('{p}')\nok = shared == 3",
+            p = inner.display()
+        );
+        assert_agree(&src);
+        // exec inside a function binds into the function's scope, which
+        // evaporates on return — the global must stay untouched.
+        let src = format!(
+            "shared = 1\nfunction [r] = f()\n  shared = 10\n  exec('{p}')\n  r = shared\nendfunction\nx = f()\nok = shared == 1",
+            p = inner.display()
+        );
+        assert_agree(&src);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn premia_session_agrees() {
+        assert_agree(
+            "P = premia_create()\nP.set_asset[str=\"equity\"]\nP.set_model[str=\"BlackScholes1dim\"]\nP.set_option[str=\"CallEuro\"]\nP.set_method[str=\"CF\"]\nP.compute[]\nL = P.get_method_results[]\nprice = L(1)(3)",
+        );
+    }
+
+    #[test]
+    fn fig4_shaped_master_loop_agrees() {
+        // The paper's master-side list plumbing (no MPI): build the job
+        // list, range-delete the sent prefix, iterate the transposed rest.
+        assert_agree(
+            "Lpb = list()\nfor k = 1:8 do\n  Lpb.add_last['pb-' + string(k) + '.bin']\nend\nsent = 2\nLpb(1:sent) = []\nnames = ''\nfor pb = Lpb' do\n  names = names + pb\nend\nn = length(Lpb)",
+        );
+    }
+}
+
+// ---- explicit span rendering ------------------------------------------------
+
+mod error_spans {
+    use nsplang::{Engine, Interp};
+
+    /// Rendered `line:col` spans for three representative bad scripts, on
+    /// both engines (lexer, runtime-in-statement, runtime-in-nested-block).
+    fn rendered(src: &str, engine: Engine) -> String {
+        let mut i = Interp::with_engine(engine);
+        i.run(src).unwrap_err().to_string()
+    }
+
+    #[test]
+    fn lex_error_carries_position() {
+        for e in [Engine::Tree, Engine::Vm] {
+            let msg = rendered("x = 1\ny = @", e);
+            assert!(
+                msg.contains("2:5"),
+                "lex error should point at 2:5, got: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_error_points_at_statement() {
+        for e in [Engine::Tree, Engine::Vm] {
+            let msg = rendered("x = 1\ny = x + undefined_thing", e);
+            assert_eq!(msg, "nsp error at 2:1: undefined variable undefined_thing");
+        }
+    }
+
+    #[test]
+    fn nested_statement_span_wins() {
+        for e in [Engine::Tree, Engine::Vm] {
+            let msg = rendered("ok = 1\nfor k = 1:3 do\n  y = k(2)\nend", e);
+            assert_eq!(msg, "nsp error at 3:3: index 2 out of bounds");
+        }
+    }
+}
+
+// ---- both engines under MPI -------------------------------------------------
+
+#[test]
+fn rank_parallel_send_recv_agrees_across_engines() {
+    use nsplang::Engine;
+    // The §3.2 object send/recv exchange, once per engine; receiving rank
+    // must see bit-identical bytes (same RNG stream on rank 0).
+    let run_with = |engine: Engine| -> Vec<u8> {
+        let outputs = World::run(2, move |comm| {
+            let rank = comm.rank();
+            let mut interp = Interp::with_comm(Rc::new(comm));
+            interp.set_engine(engine);
+            if rank == 0 {
+                interp
+                    .run("MCW = mpicomm_create('WORLD')\nA = list('string', %t, rand(4,4))\nMPI_Send_Obj(A, 1, 3, MCW)")
+                    .unwrap();
+                Vec::new()
+            } else {
+                interp
+                    .run("MCW = mpicomm_create('WORLD')\nB = MPI_Recv_Obj(0, 3, MCW)")
+                    .unwrap();
+                riskbench::xdrser::serialize_to_bytes(
+                    &interp.get_value("B").unwrap(),
+                )
+            }
+        });
+        outputs[1].clone()
+    };
+    let tree_bytes = run_with(Engine::Tree);
+    let vm_bytes = run_with(Engine::Vm);
+    assert!(!tree_bytes.is_empty());
+    assert_eq!(tree_bytes, vm_bytes, "cross-rank payloads must be bit-identical");
 }

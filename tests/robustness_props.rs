@@ -43,7 +43,7 @@ proptest! {
         let r = interp.run(&src);
         prop_assert!(r.is_ok(), "{r:?}");
         prop_assert_eq!(
-            interp.get_value("ok").unwrap().as_bool(),
+            interp.get_bool("ok"),
             Some(true)
         );
     }
