@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! bench_gate <fresh BENCH_6.json> <committed BENCH_4.json> <committed BENCH_3.json> \
-//!            [fresh BENCH_7.json] [fresh BENCH_8.json] [fresh BENCH_9.json]
+//!            [fresh BENCH_7.json] [fresh BENCH_8.json] [fresh BENCH_9.json] \
+//!            [fresh BENCH_10.json]
 //! ```
 //!
 //! `BENCH_6.json` is the freshly written `table2 --breakdown --threads 8
@@ -37,7 +38,12 @@
 //! - the `BENCH_9.json` script-dispatch smoke is off: the nsplang bytecode
 //!   VM under the required speedup over the tree-walker, engines not
 //!   bit-identical on the benchmark script, degenerate timings, or a
-//!   lowering pass costing more than half a VM run.
+//!   lowering pass costing more than half a VM run;
+//! - the `BENCH_10.json` heterogeneous-workload smoke is off: a class of
+//!   the mixed portfolio missing from the per-class compute breakdown,
+//!   class job counts not summing to the portfolio, LPT losing to FIFO
+//!   on the simulated makespan, or the staged BSDE run incomplete or
+//!   trace-divergent from the staged simulator.
 //!
 //! The two committed files must never cross-compare per-job: they hold
 //! different portfolio sizes (2 000 vs 10 000 jobs), so their drawn
@@ -315,6 +321,86 @@ fn gate_shard(json: &str) -> Result<String, String> {
 /// Multi-shard live makespan allowance — must match `shard_smoke`'s.
 const SHARD_DEGRADE: f64 = 1.35;
 
+/// The six classes `workload_smoke`'s mixed portfolio always contains —
+/// keys of the per-class breakdown in `BENCH_10.json`.
+const WORKLOAD_CLASSES: [&str; 6] = [
+    "vanilla_cf",
+    "localvol_mc",
+    "xva_cva_mc",
+    "bsde_picard_mc",
+    "american_lsm",
+    "bermudan_max_lsm",
+];
+
+/// Structural checks over the `workload_smoke` artifact (`BENCH_10.json`).
+///
+/// Re-validates the typed-workload claims: every class of the mixed
+/// portfolio present in the per-class compute breakdown with positive
+/// seconds and a job count summing back to the portfolio size, LPT not
+/// losing to FIFO on the simulated makespan (with a self-consistent
+/// recorded improvement), and the staged BSDE run — at least two
+/// dependent rounds, all completed, live trace byte-identical to the
+/// staged simulator's.
+fn gate_workload(json: &str) -> Result<String, String> {
+    let g = |key: &str| field(json, key).map_err(|e| format!("BENCH_10: {e}"));
+    let (jobs, classes) = (g("jobs")?, g("classes")?);
+    if classes != WORKLOAD_CLASSES.len() as f64 {
+        return Err(format!(
+            "BENCH_10: breakdown has {classes} classes, the mixed portfolio holds {}",
+            WORKLOAD_CLASSES.len()
+        ));
+    }
+    let mut counted = 0.0;
+    for name in WORKLOAD_CLASSES {
+        let n = g(&format!("class_{name}_jobs"))?;
+        let s = g(&format!("class_{name}_s"))?;
+        if n < 1.0 || s <= 0.0 {
+            return Err(format!(
+                "BENCH_10: class {name} has no recorded compute ({n} jobs, {s}s)"
+            ));
+        }
+        counted += n;
+    }
+    if counted != jobs {
+        return Err(format!(
+            "BENCH_10: per-class job counts sum to {counted}, portfolio holds {jobs}"
+        ));
+    }
+    let (fifo, lpt) = (g("fifo_sim_makespan_s")?, g("lpt_sim_makespan_s")?);
+    if fifo <= 0.0 || lpt <= 0.0 {
+        return Err(format!(
+            "BENCH_10: degenerate simulated makespans (FIFO {fifo}s, LPT {lpt}s)"
+        ));
+    }
+    if lpt > fifo {
+        return Err(format!(
+            "BENCH_10: LPT makespan {lpt:.3}s above FIFO's {fifo:.3}s"
+        ));
+    }
+    let imp = g("lpt_improvement")?;
+    if ((fifo - lpt) / fifo - imp).abs() > 0.01 {
+        return Err(format!(
+            "BENCH_10: recorded improvement {imp:.4} inconsistent with makespans \
+             (({fifo} - {lpt}) / {fifo} = {:.4})",
+            (fifo - lpt) / fifo
+        ));
+    }
+    if g("staged_trace_identical")? != 1.0 {
+        return Err("BENCH_10: staged live and sim traces diverged".into());
+    }
+    let (rounds, done) = (g("staged_rounds")?, g("staged_completed")?);
+    if rounds < 2.0 || done != rounds {
+        return Err(format!(
+            "BENCH_10: staged run off ({done} of {rounds} dependent rounds)"
+        ));
+    }
+    Ok(format!(
+        "workload: {jobs:.0} jobs over {classes:.0} classes, LPT {:.1}% under FIFO, \
+         staged BSDE {rounds:.0} rounds trace-identical\n",
+        imp * 100.0
+    ))
+}
+
 /// Required VM-over-tree-walker speedup — must match `vm_smoke`'s.
 const VM_MIN_SPEEDUP: f64 = 5.0;
 /// Lowering-cost budget as a fraction of one VM run — `vm_smoke`'s.
@@ -369,15 +455,18 @@ fn gate_vm(json: &str) -> Result<String, String> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (core, b7, b8, b9) = match args.as_slice() {
-        [fresh, b4, b3] => ([fresh, b4, b3], None, None, None),
-        [fresh, b4, b3, b7] => ([fresh, b4, b3], Some(b7), None, None),
-        [fresh, b4, b3, b7, b8] => ([fresh, b4, b3], Some(b7), Some(b8), None),
-        [fresh, b4, b3, b7, b8, b9] => ([fresh, b4, b3], Some(b7), Some(b8), Some(b9)),
+    let (core, b7, b8, b9, b10) = match args.as_slice() {
+        [fresh, b4, b3] => ([fresh, b4, b3], None, None, None, None),
+        [fresh, b4, b3, b7] => ([fresh, b4, b3], Some(b7), None, None, None),
+        [fresh, b4, b3, b7, b8] => ([fresh, b4, b3], Some(b7), Some(b8), None, None),
+        [fresh, b4, b3, b7, b8, b9] => ([fresh, b4, b3], Some(b7), Some(b8), Some(b9), None),
+        [fresh, b4, b3, b7, b8, b9, b10] => {
+            ([fresh, b4, b3], Some(b7), Some(b8), Some(b9), Some(b10))
+        }
         _ => {
             eprintln!(
                 "usage: bench_gate <BENCH_6.json> <BENCH_4.json> <BENCH_3.json> \
-                 [BENCH_7.json] [BENCH_8.json] [BENCH_9.json]"
+                 [BENCH_7.json] [BENCH_8.json] [BENCH_9.json] [BENCH_10.json]"
             );
             exit(2);
         }
@@ -391,6 +480,7 @@ fn main() {
     let serve = b7.map(|p| gate_serve(&read(p)));
     let shard = b8.map(|p| gate_shard(&read(p)));
     let vm = b9.map(|p| gate_vm(&read(p)));
+    let workload = b10.map(|p| gate_workload(&read(p)));
     match gate(&read(core[0]), &read(core[1]), &read(core[2])).and_then(|mut summary| {
         if let Some(s) = serve {
             summary.push_str(&s?);
@@ -399,6 +489,9 @@ fn main() {
             summary.push_str(&s?);
         }
         if let Some(s) = vm {
+            summary.push_str(&s?);
+        }
+        if let Some(s) = workload {
             summary.push_str(&s?);
         }
         Ok(summary)
@@ -674,6 +767,84 @@ mod tests {
         let err = gate_vm(&bench9().replace("\"lower_s\":0.000009000", "\"lower_s\":0.004000000"))
             .unwrap_err();
         assert!(err.contains("lowering cost"), "{err}");
+    }
+
+    /// A healthy `workload_smoke` artifact in BENCH_10 shape.
+    fn bench10() -> String {
+        "{\"title\":\"Heterogeneous workload smoke\",\"jobs\":24,\"slaves\":8,\
+         \"classes\":6,\"class_american_lsm_jobs\":2,\"class_american_lsm_s\":0.0025,\
+         \"class_bermudan_max_lsm_jobs\":2,\"class_bermudan_max_lsm_s\":0.0019,\
+         \"class_bsde_picard_mc_jobs\":2,\"class_bsde_picard_mc_s\":0.0145,\
+         \"class_localvol_mc_jobs\":4,\"class_localvol_mc_s\":0.0072,\
+         \"class_vanilla_cf_jobs\":12,\"class_vanilla_cf_s\":0.0000217,\
+         \"class_xva_cva_mc_jobs\":2,\"class_xva_cva_mc_s\":0.0011,\
+         \"fifo_sim_makespan_s\":125.015,\"lpt_sim_makespan_s\":105.0,\
+         \"lpt_improvement\":0.160101,\"fifo_live_s\":0.02,\"lpt_live_s\":0.019,\
+         \"staged_rounds\":3,\"staged_completed\":3,\"staged_trace_identical\":1}"
+            .into()
+    }
+
+    #[test]
+    fn workload_gate_passes_on_a_healthy_artifact() {
+        let summary = gate_workload(&bench10()).unwrap();
+        assert!(summary.contains("staged BSDE 3 rounds"), "{summary}");
+    }
+
+    #[test]
+    fn workload_gate_fails_when_a_class_lost_its_compute() {
+        let err = gate_workload(
+            &bench10().replace("\"class_bsde_picard_mc_s\":0.0145", "\"class_bsde_picard_mc_s\":0"),
+        )
+        .unwrap_err();
+        assert!(err.contains("bsde_picard_mc"), "{err}");
+    }
+
+    #[test]
+    fn workload_gate_fails_when_class_counts_do_not_sum() {
+        let err = gate_workload(
+            &bench10().replace("\"class_vanilla_cf_jobs\":12", "\"class_vanilla_cf_jobs\":11"),
+        )
+        .unwrap_err();
+        assert!(err.contains("sum to"), "{err}");
+    }
+
+    #[test]
+    fn workload_gate_fails_when_lpt_loses_to_fifo() {
+        let err = gate_workload(
+            &bench10()
+                .replace("\"lpt_sim_makespan_s\":105.0", "\"lpt_sim_makespan_s\":130.0")
+                .replace("\"lpt_improvement\":0.160101", "\"lpt_improvement\":-0.04"),
+        )
+        .unwrap_err();
+        assert!(err.contains("above FIFO"), "{err}");
+    }
+
+    #[test]
+    fn workload_gate_fails_on_an_inconsistent_improvement() {
+        let err = gate_workload(
+            &bench10().replace("\"lpt_improvement\":0.160101", "\"lpt_improvement\":0.5"),
+        )
+        .unwrap_err();
+        assert!(err.contains("inconsistent"), "{err}");
+    }
+
+    #[test]
+    fn workload_gate_fails_when_staged_traces_diverge() {
+        let err = gate_workload(
+            &bench10()
+                .replace("\"staged_trace_identical\":1", "\"staged_trace_identical\":0"),
+        )
+        .unwrap_err();
+        assert!(err.contains("diverged"), "{err}");
+    }
+
+    #[test]
+    fn workload_gate_fails_on_an_incomplete_staged_run() {
+        let err = gate_workload(
+            &bench10().replace("\"staged_completed\":3", "\"staged_completed\":2"),
+        )
+        .unwrap_err();
+        assert!(err.contains("dependent rounds"), "{err}");
     }
 
     #[test]

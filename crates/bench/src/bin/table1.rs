@@ -7,12 +7,18 @@
 //! end to end.
 
 use bench::breakdown::run_cli;
+use bench::calibrate::run_calibrate_classes;
 use bench::{render_comparison, PAPER_TABLE1};
 use clustersim::{table1_rows, table1_sim_jobs, SimConfig, TABLE1_CPUS};
 use farm::portfolio::{regression_portfolio, save_portfolio, PortfolioScale};
 use farm::{run, FarmConfig, Transmission};
 
 fn main() {
+    // `--calibrate-classes [--measured]`: per-class grain costs plus the
+    // BSDE-dominance self-check, instead of the sweep.
+    if run_calibrate_classes() {
+        return;
+    }
     // `--breakdown [--cpus N]`: per-phase decomposition of one cluster
     // size on the regression workload instead of the sweep.
     if run_cli(

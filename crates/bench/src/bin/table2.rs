@@ -8,10 +8,16 @@
 //! reproducing the caching bias the paper calls out.
 
 use bench::breakdown::run_cli;
+use bench::calibrate::run_calibrate_classes;
 use bench::{render_three_strategy, PAPER_TABLE2};
 use clustersim::{table2_rows, table2_sim_jobs, SimConfig, TABLE2_CPUS};
 
 fn main() {
+    // `--calibrate-classes [--measured]`: print the per-class grain
+    // costs LPT dispatch consumes and self-check the BSDE ordering.
+    if run_calibrate_classes() {
+        return;
+    }
     // `--breakdown [--jobs N] [--cpus N]`: per-phase decomposition of
     // one cluster size instead of the full sweep.
     if run_cli(

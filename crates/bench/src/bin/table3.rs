@@ -7,10 +7,16 @@
 //! (§4.3).
 
 use bench::breakdown::run_cli;
+use bench::calibrate::run_calibrate_classes;
 use bench::{render_three_strategy, PAPER_TABLE3};
 use clustersim::{table3_rows, table3_sim_jobs, SimConfig, TABLE3_CPUS};
 
 fn main() {
+    // `--calibrate-classes [--measured]`: per-class grain costs plus the
+    // BSDE-dominance self-check, instead of the sweep.
+    if run_calibrate_classes() {
+        return;
+    }
     // `--breakdown [--cpus N]`: per-phase decomposition of one cluster
     // size on the realistic portfolio instead of the sweep.
     if run_cli(

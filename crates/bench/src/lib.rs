@@ -7,6 +7,7 @@
 use clustersim::TableRow;
 
 pub mod breakdown;
+pub mod calibrate;
 
 /// A published (CPUs, time, ratio) row from the paper, for side-by-side
 /// display. `None` entries mark cells the paper leaves blank.

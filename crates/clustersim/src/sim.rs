@@ -164,6 +164,11 @@ pub struct SimSchedOpts {
     pub record_trace: bool,
     /// Scripted slave deaths (at most one can fire per slave).
     pub faults: Vec<SimFault>,
+    /// `Some(r)` declares staged rounds (`r[job]` = round index): no
+    /// job of round `k + 1` is dispatched before round `k` drains — the
+    /// Picard-iteration shape of the BSDE workloads. `None` is the flat
+    /// historical machine.
+    pub rounds: Option<Vec<usize>>,
 }
 
 impl Default for SimSchedOpts {
@@ -173,6 +178,7 @@ impl Default for SimSchedOpts {
             supervision: None,
             record_trace: false,
             faults: Vec::new(),
+            rounds: None,
         }
     }
 }
@@ -516,7 +522,9 @@ pub fn simulate_farm_sched(
         // routes the path-chunked Monte-Carlo/LSM kernels through the
         // executor (`JobClass::chunked_kernel`), which is exactly the
         // compute the simulator's per-class costs stand in for.
-        let (compute_wall, chunk_cpu) = cfg.exec.apply(job.compute);
+        let (compute_wall, chunk_cpu) = cfg
+            .exec
+            .apply_classed(job.class.chunked_kernel(), job.compute);
         let done = slave_res[s].acquire(t, compute_wall + cfg.slave.result_prep);
         let compute_start = done - compute_wall - cfg.slave.result_prep;
         emit(
@@ -576,6 +584,7 @@ pub fn simulate_farm_sched(
         batch: 1,
         policy: opts.policy.clone(),
         supervision: opts.supervision,
+        rounds: opts.rounds.clone(),
         record_trace: opts.record_trace,
     })?;
     // Per-slave dispatch counter, for matching scripted faults.

@@ -47,6 +47,13 @@ fn table1_class_range(class: JobClass) -> (f64, f64) {
         JobClass::LocalVolMc => (5.0, 12.0),
         JobClass::AmericanPde => (10.0, 20.0),
         JobClass::AmericanBasketLsm => (25.0, 40.0),
+        // Extension classes (absent from the paper's regression suite,
+        // present in mixed workloads): keep the paper's relative
+        // ordering — Bermudan max-call heaviest, one BSDE Picard round
+        // above any European MC grain, XVA aggregation mid-weight.
+        JobClass::BermudanMaxLsm => (30.0, 50.0),
+        JobClass::BsdePicardMc => (18.0, 30.0),
+        JobClass::XvaCvaMc => (5.0, 12.0),
     }
 }
 
@@ -61,6 +68,11 @@ fn table3_class_range(class: JobClass) -> (f64, f64) {
         JobClass::LocalVolMc => (10.0, 30.0),
         JobClass::AmericanPde => (60.0, 100.0),
         JobClass::AmericanBasketLsm => (60.0, 120.0),
+        // Extension classes, at §4.3 narrative magnitudes (matches
+        // `farm::calibrate::paper_costs`).
+        JobClass::BermudanMaxLsm => (60.0, 150.0),
+        JobClass::BsdePicardMc => (40.0, 90.0),
+        JobClass::XvaCvaMc => (10.0, 40.0),
     }
 }
 

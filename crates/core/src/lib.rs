@@ -89,12 +89,14 @@ pub mod prelude {
     pub use exec::{ExecPolicy, ExecStats, StatsSink};
     pub use farm::batching::run_batched_farm;
     pub use farm::hierarchy::run_hierarchical_farm;
+    pub use farm::calibrate::{measured_costs, paper_costs, CostModel};
     pub use farm::portfolio::{
-        realistic_portfolio, regression_portfolio, save_portfolio, toy_portfolio, JobClass,
-        PortfolioJob, PortfolioScale,
+        mixed_portfolio, realistic_portfolio, regression_portfolio, representative_problem,
+        save_portfolio, toy_portfolio, JobClass, PortfolioJob, PortfolioScale,
     };
     pub use farm::risk::{aggregate_risk, risk_sweep, BumpSpec, ClaimRisk, Scenario};
     pub use farm::supervisor::SupervisorConfig;
+    pub use farm::workload::{class_indices, class_name, per_class_compute, run_workload, Workload};
     pub use farm::{run, FarmConfig, FarmError, FarmReport, Transmission, WirePolicy};
     pub use minimpi::{
         Comm, FaultEvent, FaultPlan, MpiBuf, SendFault, SpawnedWorld, World, ANY_SOURCE, ANY_TAG,

@@ -133,6 +133,7 @@ fn master(
         &ranks,
         RecvStyle::Packed,
         JobMap::Identity,
+        None,
         |job, rank, batch| {
             send_batch(comm, ctx, rank, files, job..job + batch, strategy)?;
             ctx.advance(job + batch);

@@ -10,7 +10,9 @@
 //!   MC/PDE 10–30 s, American > 60 s), used to regenerate the tables at
 //!   the paper's own magnitudes.
 
-use crate::portfolio::{realistic_portfolio, JobClass, PortfolioScale};
+use crate::portfolio::{
+    realistic_portfolio, representative_problem, JobClass, PortfolioJob, PortfolioScale,
+};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -48,23 +50,37 @@ impl CostModel {
             sizes: self.sizes.clone(),
         }
     }
+
+    /// The class's point-estimate grain (midpoint of its cost interval) —
+    /// the predicted per-job cost LPT dispatch sorts by.
+    pub fn grain_seconds(&self, class: JobClass) -> f64 {
+        let (lo, hi) = self.costs[&class];
+        0.5 * (lo + hi)
+    }
+
+    /// Per-job predicted costs for a classed portfolio, in job order —
+    /// the vector [`sched::DispatchPolicy::Lpt`] consumes. This is the
+    /// bridge from the per-class cost model to the scheduler: with a
+    /// heavy-tailed class mix LPT front-loads the American/Bermudan/BSDE
+    /// grains instead of stranding one on the last dispatch.
+    pub fn lpt_costs(&self, jobs: &[PortfolioJob]) -> Vec<f64> {
+        jobs.iter().map(|j| self.grain_seconds(j.class)).collect()
+    }
 }
 
 fn representative_sizes() -> HashMap<JobClass, usize> {
-    // Serialize one problem of each class and record its file size.
-    let jobs = realistic_portfolio(PortfolioScale::Quick, 1);
-    let mut sizes = HashMap::new();
-    for class in JobClass::ALL {
-        let job = jobs
-            .iter()
-            .find(|j| j.class == class)
-            .expect("every class present at stride 1");
-        sizes.insert(
-            class,
-            xdrser::serialize_to_bytes(&job.problem.to_value()).len(),
-        );
-    }
-    sizes
+    // Serialize one representative problem of each class and record its
+    // file size.
+    JobClass::ALL
+        .iter()
+        .map(|&class| {
+            let job = representative_problem(class, PortfolioScale::Quick);
+            (
+                class,
+                xdrser::serialize_to_bytes(&job.problem.to_value()).len(),
+            )
+        })
+        .collect()
 }
 
 /// The §4.3 narrative cost model at the paper's magnitudes.
@@ -86,10 +102,18 @@ pub fn measured_costs(scale: PortfolioScale, repeats: usize) -> CostModel {
     let jobs = realistic_portfolio(scale, 1);
     let mut costs = HashMap::new();
     for class in JobClass::ALL {
-        let class_jobs: Vec<_> = jobs.iter().filter(|j| j.class == class).collect();
+        // §4.3 classes sample the realistic portfolio's own spread of
+        // specs; the extension classes (absent from the paper
+        // composition) repeat their canonical representative.
+        let class_jobs: Vec<_> = jobs.iter().filter(|j| j.class == class).cloned().collect();
+        let class_jobs = if class_jobs.is_empty() {
+            vec![representative_problem(class, scale)]
+        } else {
+            class_jobs
+        };
         let mut times = Vec::with_capacity(repeats);
         for k in 0..repeats {
-            let job = class_jobs[k * 37 % class_jobs.len()];
+            let job = &class_jobs[k * 37 % class_jobs.len()];
             let t0 = Instant::now();
             job.problem.compute().expect("calibration problem computes");
             times.push(t0.elapsed().as_secs_f64());
@@ -152,6 +176,38 @@ mod tests {
             assert!((s.cost_range(class).0 - 2.0 * m.cost_range(class).0).abs() < 1e-12);
             assert_eq!(s.message_bytes(class), m.message_bytes(class));
         }
+    }
+
+    #[test]
+    fn bsde_rounds_dominate_vanilla_mc_grains() {
+        // The Labart–Lelong sweep regresses *and* simulates: one Picard
+        // round must cost more than any single European Monte-Carlo
+        // grain, or the staged rounds would be scheduling noise.
+        let m = paper_costs();
+        assert!(
+            m.cost_range(JobClass::BsdePicardMc).0 > m.cost_range(JobClass::LocalVolMc).1,
+            "BSDE round {:?} does not dominate vanilla MC {:?}",
+            m.cost_range(JobClass::BsdePicardMc),
+            m.cost_range(JobClass::LocalVolMc)
+        );
+    }
+
+    #[test]
+    fn lpt_costs_follow_job_classes() {
+        use crate::portfolio::mixed_portfolio;
+        let m = paper_costs();
+        let jobs = mixed_portfolio(PortfolioScale::Quick, 2);
+        let costs = m.lpt_costs(&jobs);
+        assert_eq!(costs.len(), jobs.len());
+        for (job, &c) in jobs.iter().zip(&costs) {
+            assert_eq!(c, m.grain_seconds(job.class));
+        }
+        // The heavy tail is visible to LPT: the top predicted grain
+        // outweighs the entire bottom half of the portfolio.
+        let mut sorted = costs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let bottom_half: f64 = sorted[..sorted.len() / 2].iter().sum();
+        assert!(sorted[sorted.len() - 1] > bottom_half);
     }
 
     #[test]

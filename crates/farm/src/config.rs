@@ -33,13 +33,21 @@ use std::sync::Arc;
 use store::{CachingStore, DirStore, Prefetcher, ProblemStore};
 
 /// The scheduler-facing knobs every master loop threads through to the
-/// shared [`sched::Scheduler`]: dispatch order and trace recording.
+/// shared [`sched::Scheduler`]: dispatch order, trace recording, and —
+/// for staged workloads — the round structure plus the pre-dispatch
+/// answer-patch.
 #[derive(Debug, Clone)]
 pub(crate) struct SchedKnobs {
     /// Dispatch order ([`DispatchPolicy::Fifo`] unless overridden).
     pub(crate) policy: DispatchPolicy,
     /// Record the decision trace into [`crate::FarmReport::trace`].
     pub(crate) record_trace: bool,
+    /// `Some(r)` declares staged rounds (`r[job]` = the job's round);
+    /// threaded into [`sched::SchedConfig::rounds`] by the plain master.
+    pub(crate) rounds: Option<Vec<usize>>,
+    /// Cross-round data flow: rewrite a round-dependent job's problem
+    /// file from earlier answers just before its dispatch.
+    pub(crate) patch: Option<crate::workload::StagedPatch>,
 }
 
 impl Default for SchedKnobs {
@@ -47,6 +55,8 @@ impl Default for SchedKnobs {
         SchedKnobs {
             policy: DispatchPolicy::Fifo,
             record_trace: false,
+            rounds: None,
+            patch: None,
         }
     }
 }
@@ -114,6 +124,7 @@ pub struct FarmConfig {
     lanes: usize,
     policy: DispatchPolicy,
     record_trace: bool,
+    rounds: Option<Vec<usize>>,
 }
 
 impl FarmConfig {
@@ -137,6 +148,7 @@ impl FarmConfig {
             lanes: 1,
             policy: DispatchPolicy::Fifo,
             record_trace: false,
+            rounds: None,
         }
     }
 
@@ -158,6 +170,18 @@ impl FarmConfig {
     /// (`tests/sched_parity.rs`).
     pub fn record_trace(mut self, on: bool) -> Self {
         self.record_trace = on;
+        self
+    }
+
+    /// Declare staged rounds: `rounds[job]` is the job's round index, and
+    /// no job of round `k` is dispatched while an earlier round still has
+    /// unfinished work — the cross-round-dependency shape of Picard-
+    /// iterated BSDE workloads (built most conveniently through
+    /// [`crate::workload::Workload`] + [`crate::workload::run_workload`],
+    /// which also wires the answer-patching between rounds). Incompatible
+    /// with batching and supervision.
+    pub fn rounds(mut self, rounds: Vec<usize>) -> Self {
+        self.rounds = Some(rounds);
         self
     }
 
@@ -352,6 +376,20 @@ impl FarmConfig {
                 "LPT order is incompatible with batching (batches are contiguous index ranges)",
             );
         }
+        if self.rounds.is_some() {
+            if self.batch_size > 1 {
+                issues.reject(
+                    "rounds",
+                    "staged rounds are incompatible with batching (a batch could span a round barrier)",
+                );
+            }
+            if self.supervised {
+                issues.reject(
+                    "rounds",
+                    "staged rounds run on the plain master (supervision is not staged yet)",
+                );
+            }
+        }
         issues.into_result().map_err(FarmError::Config)
     }
 
@@ -394,7 +432,30 @@ impl FarmConfig {
 /// into the farm — the other being a long-lived `serve::Session`, which
 /// embeds the same scheduler behind a request queue.
 pub fn run(files: &[PathBuf], cfg: &FarmConfig) -> Result<FarmReport, FarmError> {
+    run_with(files, cfg, None)
+}
+
+/// [`run`] with an optional staged answer-patch (the
+/// [`crate::workload::run_workload`] entry point builds the patch from
+/// the workload's cross-round links).
+pub(crate) fn run_with(
+    files: &[PathBuf],
+    cfg: &FarmConfig,
+    patch: Option<crate::workload::StagedPatch>,
+) -> Result<FarmReport, FarmError> {
     cfg.validate()?;
+    if let Some(rounds) = &cfg.rounds {
+        if rounds.len() != files.len() {
+            return Err(FarmError::Config(exec::ConfigIssues::one(
+                "rounds",
+                format!(
+                    "rounds vector covers {} jobs but the portfolio has {}",
+                    rounds.len(),
+                    files.len()
+                ),
+            )));
+        }
+    }
     match &cfg.policy {
         DispatchPolicy::Lpt { costs } if costs.len() != files.len() => {
             return Err(FarmError::Config(exec::ConfigIssues::one(
@@ -422,6 +483,8 @@ pub fn run(files: &[PathBuf], cfg: &FarmConfig) -> Result<FarmReport, FarmError>
     let knobs = SchedKnobs {
         policy: cfg.policy.clone(),
         record_trace: cfg.record_trace,
+        rounds: cfg.rounds.clone(),
+        patch,
     };
     if cfg.supervised {
         run_supervised_inner(

@@ -106,13 +106,24 @@ fn slave_of(ranks: &[usize], src: usize) -> Result<usize, FarmError> {
         .ok_or_else(|| FarmError::Protocol(format!("answer from unknown rank {src}")))
 }
 
+/// A staged workload's pre-dispatch hook: called with the scheduler job
+/// id and the outcomes gathered so far, *before* the job's bytes are
+/// sent — the one moment a round-dependent job (a BSDE Picard sweep
+/// consuming the previous round's iterate) may rewrite its problem file.
+/// Scheduling decisions never read payloads, so patching is invisible to
+/// the decision trace — live/sim parity is preserved for free.
+pub(crate) type DispatchPatch<'a> =
+    &'a mut dyn FnMut(usize, &[JobOutcome]) -> Result<(), FarmError>;
+
 /// Drive an unsupervised (plain or batched) farm master to completion.
 ///
 /// `ranks[s]` is the MPI rank of scheduler slave `s` (`ranks[0]` = this
 /// master's own rank, unused). `send(job, rank, batch)` ships jobs
 /// `job..job+batch` (scheduler ids) to `rank`; `stop(rank)` sends the
 /// protocol's stop sentinel. The driver owns the gather point and the
-/// per-dispatch [`EventKind::Dispatch`] diagnostic mark.
+/// per-dispatch [`EventKind::Dispatch`] diagnostic mark. A staged
+/// workload passes `patch` to feed earlier rounds' answers into later
+/// rounds' problem files.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn drive_plain(
     comm: &Comm,
@@ -121,6 +132,7 @@ pub(crate) fn drive_plain(
     ranks: &[usize],
     style: RecvStyle,
     map: JobMap,
+    mut patch: Option<DispatchPatch<'_>>,
     mut send: impl FnMut(usize, usize, usize) -> Result<(), FarmError>,
     mut stop: impl FnMut(usize) -> Result<(), FarmError>,
 ) -> Result<PlainRun, FarmError> {
@@ -133,10 +145,13 @@ pub(crate) fn drive_plain(
     let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs);
     let mut per_slave = vec![0usize; comm.size()];
 
-    let mut apply = |actions: Vec<Action>| -> Result<(), FarmError> {
+    let mut apply = |actions: Vec<Action>, outcomes: &[JobOutcome]| -> Result<(), FarmError> {
         for a in actions {
             match a {
                 Action::Dispatch { job, slave, batch } => {
+                    if let Some(p) = patch.as_deref_mut() {
+                        p(job, outcomes)?;
+                    }
                     send(job, ranks[slave], batch)?;
                     instrument::mark(
                         comm,
@@ -155,7 +170,8 @@ pub(crate) fn drive_plain(
 
     // Priming: one SlaveReady per slave, in rank order (Fig. 4).
     for s in 1..=slaves {
-        apply(sched.on(Event::SlaveReady { slave: s }, 0))?;
+        let actions = sched.on(Event::SlaveReady { slave: s }, 0);
+        apply(actions, &outcomes)?;
     }
 
     // Gather/refeed loop.
@@ -204,13 +220,14 @@ pub(crate) fn drive_plain(
             .sched_of_wire(head)
             .filter(|&j| j < jobs)
             .ok_or_else(|| FarmError::Protocol(format!("answer for unknown job {head}")))?;
-        apply(sched.on(
+        let actions = sched.on(
             Event::Answer {
                 job: sched_job,
                 slave,
             },
             0,
-        ))?;
+        );
+        apply(actions, &outcomes)?;
     }
 
     Ok(PlainRun {

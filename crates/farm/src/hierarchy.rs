@@ -231,6 +231,7 @@ fn sub_master(
         &ranks,
         RecvStyle::Obj,
         JobMap::Offset(base),
+        None,
         |job, rank, _batch| send_one(comm, rank, &jobs[job]),
         |rank| Ok(comm.send_obj(&Value::empty_matrix(), rank as i32, TAG)?),
     )?;

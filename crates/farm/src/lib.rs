@@ -61,14 +61,17 @@ pub mod shard;
 pub mod strategy;
 pub mod supervisor;
 pub mod wire;
+pub mod workload;
 
+pub use calibrate::CostModel;
 pub use config::{run, FarmConfig};
 pub use portfolio::{
-    realistic_portfolio, regression_portfolio, toy_portfolio, JobClass, PortfolioJob,
-    PortfolioScale,
+    mixed_portfolio, realistic_portfolio, regression_portfolio, representative_problem,
+    toy_portfolio, JobClass, PortfolioJob, PortfolioScale,
 };
 pub use robin_hood::{FarmError, FarmReport, JobOutcome};
 pub use shard::{run_sharded, ShardConfig, ShardReport, StealEvent, TransportKind};
 pub use sched::{DispatchPolicy, Trace};
 pub use strategy::{Transmission, WirePolicy};
 pub use supervisor::SupervisorConfig;
+pub use workload::{class_indices, class_name, per_class_compute, run_workload, Workload};

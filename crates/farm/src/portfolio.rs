@@ -16,8 +16,12 @@ use pricing::models::{BlackScholes, LocalVol, MultiBlackScholes};
 use pricing::{MethodSpec, ModelSpec, OptionSpec, PremiaProblem};
 use std::path::{Path, PathBuf};
 
-/// Which §4.3 product class a job belongs to — the cost-model key used by
-/// the cluster simulator.
+/// Which product class a job belongs to — the cost-model key used by
+/// the cluster simulator. The first six variants are the §4.3 paper
+/// composition; the last three are the heterogeneous extensions drawn
+/// from the related literature (Doan et al. 2008 multi-dimensional
+/// Bermudan LSM, Labart–Lelong 2011 BSDE Picard sweeps, and
+/// portfolio-level XVA aggregation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JobClass {
     /// Plain vanilla call, closed form (≈ instantaneous).
@@ -32,11 +36,34 @@ pub enum JobClass {
     AmericanPde,
     /// 7-dimensional American basket put, LSM (> 60 s).
     AmericanBasketLsm,
+    /// Multi-dimensional Bermudan max-call, LSM (Doan et al. 2008).
+    BermudanMaxLsm,
+    /// One BSDE Picard sweep, Monte-Carlo (Labart–Lelong 2011). The cost
+    /// is *per sweep*: a full pricing is `picard_rounds` dependent
+    /// farm rounds of this grain.
+    BsdePicardMc,
+    /// Portfolio-level CVA over a netted trade book, Monte-Carlo.
+    XvaCvaMc,
 }
 
 impl JobClass {
     /// Every variant, in canonical order.
-    pub const ALL: [JobClass; 6] = [
+    pub const ALL: [JobClass; 9] = [
+        JobClass::VanillaClosedForm,
+        JobClass::BarrierPde,
+        JobClass::BasketMc,
+        JobClass::LocalVolMc,
+        JobClass::AmericanPde,
+        JobClass::AmericanBasketLsm,
+        JobClass::BermudanMaxLsm,
+        JobClass::BsdePicardMc,
+        JobClass::XvaCvaMc,
+    ];
+
+    /// The six classes of the §4.3 realistic portfolio (the paper's
+    /// exact composition — [`realistic_portfolio`] contains these and
+    /// only these).
+    pub const PAPER: [JobClass; 6] = [
         JobClass::VanillaClosedForm,
         JobClass::BarrierPde,
         JobClass::BasketMc,
@@ -50,7 +77,12 @@ impl JobClass {
     /// vanilla options is almost instantaneous; the Monte-Carlo and PDE
     /// approaches for European options roughly demand the same amount of
     /// computations (between 10 and 30 seconds); the evaluation of American
-    /// products is much longer than any other (above 60 seconds)").
+    /// products is much longer than any other (above 60 seconds)"). The
+    /// extension classes are placed on the same scale: one BSDE Picard
+    /// sweep costs more than any single European Monte-Carlo grain (the
+    /// sweep regresses *and* simulates), the Bermudan max-call sits with
+    /// the American products, and the netted CVA book is a wide but
+    /// shallow European-style pass.
     pub fn paper_cost_seconds(&self) -> (f64, f64) {
         match self {
             JobClass::VanillaClosedForm => (0.001, 0.005),
@@ -59,6 +91,9 @@ impl JobClass {
             JobClass::LocalVolMc => (10.0, 30.0),
             JobClass::AmericanPde => (60.0, 100.0),
             JobClass::AmericanBasketLsm => (60.0, 120.0),
+            JobClass::BermudanMaxLsm => (60.0, 150.0),
+            JobClass::BsdePicardMc => (40.0, 90.0),
+            JobClass::XvaCvaMc => (10.0, 40.0),
         }
     }
 
@@ -66,11 +101,18 @@ impl JobClass {
     /// of the Monte-Carlo/LSM routines that route through the `exec`
     /// executor when [`crate::FarmConfig::threads`] ≥ 2. Closed-form,
     /// PDE and tree pricers stay single-threaded, so intra-slave
-    /// parallelism buys them nothing on the live farm.
+    /// parallelism buys them nothing on the live farm. All three
+    /// extension classes ride the chunked path (their kernels reuse the
+    /// existing `*_exec` bodies — no new sequential-only hot loops).
     pub fn chunked_kernel(&self) -> bool {
         matches!(
             self,
-            JobClass::BasketMc | JobClass::LocalVolMc | JobClass::AmericanBasketLsm
+            JobClass::BasketMc
+                | JobClass::LocalVolMc
+                | JobClass::AmericanBasketLsm
+                | JobClass::BermudanMaxLsm
+                | JobClass::BsdePicardMc
+                | JobClass::XvaCvaMc
         )
     }
 }
@@ -105,6 +147,14 @@ struct MethodParams {
     barrier_t_per_year: usize,
     lsm_paths: usize,
     lsm_dates: usize,
+    /// BSDE Picard sweep: paths and driver-integral steps per sweep. A
+    /// sweep simulates *and* regresses, so even at Quick scale its
+    /// path-step budget dominates a vanilla Monte-Carlo grain.
+    bsde_paths: usize,
+    bsde_steps: usize,
+    /// XVA exposure paths and exposure dates.
+    xva_paths: usize,
+    xva_dates: usize,
 }
 
 impl PortfolioScale {
@@ -118,6 +168,10 @@ impl PortfolioScale {
                 barrier_t_per_year: 30,
                 lsm_paths: 500,
                 lsm_dates: 8,
+                bsde_paths: 4_000,
+                bsde_steps: 12,
+                xva_paths: 2_000,
+                xva_dates: 12,
             },
             PortfolioScale::Full => MethodParams {
                 mc_paths: 1_000_000,
@@ -127,6 +181,10 @@ impl PortfolioScale {
                 barrier_t_per_year: 180,
                 lsm_paths: 100_000,
                 lsm_dates: 50,
+                bsde_paths: 500_000,
+                bsde_steps: 50,
+                xva_paths: 200_000,
+                xva_dates: 50,
             },
         }
     }
@@ -340,6 +398,256 @@ pub fn toy_portfolio(count: usize) -> Vec<PortfolioJob> {
         .collect()
 }
 
+/// One ready-to-price representative problem of `class` at `scale` — the
+/// calibration grain. The §4.3 classes use the same specs as
+/// [`realistic_portfolio`]; the extension classes (Bermudan max-call,
+/// BSDE Picard sweep, netted CVA book) have no slot in the paper
+/// composition, so this is *the* canonical problem the cost model and the
+/// `--calibrate-classes` table path measure.
+pub fn representative_problem(class: JobClass, scale: PortfolioScale) -> PortfolioJob {
+    let p = scale.params();
+    let problem = match class {
+        JobClass::VanillaClosedForm => PremiaProblem::new(
+            bs(),
+            OptionSpec::Call {
+                strike: SPOT,
+                maturity: 1.0,
+            },
+            MethodSpec::ClosedForm,
+        ),
+        JobClass::BarrierPde => PremiaProblem::new(
+            bs(),
+            OptionSpec::DownOutCall {
+                strike: SPOT,
+                barrier: 0.85 * SPOT,
+                maturity: 1.0,
+            },
+            MethodSpec::Pde {
+                time_steps: p.barrier_t_per_year.max(p.pde_t),
+                space_steps: p.pde_x,
+            },
+        ),
+        JobClass::BasketMc => PremiaProblem::new(
+            ModelSpec::MultiBlackScholes(MultiBlackScholes::new(40, SPOT, SIGMA, 0.3, RATE, 0.0)),
+            OptionSpec::BasketPut {
+                strike: SPOT,
+                maturity: 1.0,
+            },
+            MethodSpec::MonteCarlo {
+                paths: p.mc_paths,
+                time_steps: p.mc_steps,
+                antithetic: true,
+                seed: 42,
+            },
+        ),
+        JobClass::LocalVolMc => PremiaProblem::new(
+            ModelSpec::LocalVol(LocalVol::standard(SPOT, SIGMA, RATE, 0.0)),
+            OptionSpec::Call {
+                strike: SPOT,
+                maturity: 1.0,
+            },
+            MethodSpec::MonteCarlo {
+                paths: p.mc_paths,
+                time_steps: p.mc_steps,
+                antithetic: true,
+                seed: 137,
+            },
+        ),
+        JobClass::AmericanPde => PremiaProblem::new(
+            bs(),
+            OptionSpec::AmericanPut {
+                strike: SPOT,
+                maturity: 1.0,
+            },
+            MethodSpec::Pde {
+                time_steps: p.pde_t,
+                space_steps: p.pde_x,
+            },
+        ),
+        JobClass::AmericanBasketLsm => PremiaProblem::new(
+            ModelSpec::MultiBlackScholes(MultiBlackScholes::new(7, SPOT, SIGMA, 0.3, RATE, 0.0)),
+            OptionSpec::AmericanBasketPut {
+                strike: SPOT,
+                maturity: 1.0,
+            },
+            MethodSpec::Lsm {
+                paths: p.lsm_paths,
+                exercise_dates: p.lsm_dates,
+                basis_degree: 3,
+                seed: 271,
+            },
+        ),
+        JobClass::BermudanMaxLsm => PremiaProblem::new(
+            ModelSpec::MultiBlackScholes(MultiBlackScholes::new(3, SPOT, SIGMA, 0.3, RATE, 0.1)),
+            OptionSpec::BermudanMaxCall {
+                strike: SPOT,
+                maturity: 1.0,
+            },
+            MethodSpec::Lsm {
+                paths: p.lsm_paths,
+                exercise_dates: p.lsm_dates,
+                basis_degree: 2,
+                seed: 314,
+            },
+        ),
+        JobClass::BsdePicardMc => PremiaProblem::new(
+            bs(),
+            OptionSpec::Call {
+                strike: SPOT,
+                maturity: 1.0,
+            },
+            MethodSpec::Bsde {
+                paths: p.bsde_paths,
+                time_steps: p.bsde_steps,
+                rate_spread: 0.05,
+                picard_rounds: 3,
+                y_prev: 0.0,
+                seed: 577,
+            },
+        ),
+        JobClass::XvaCvaMc => PremiaProblem::new(
+            bs(),
+            OptionSpec::NettingSet {
+                trades: 64,
+                maturity: 1.0,
+            },
+            MethodSpec::Xva {
+                paths: p.xva_paths,
+                time_steps: p.xva_dates,
+                hazard: 0.02,
+                lgd: 0.6,
+                seed: 733,
+            },
+        ),
+    };
+    PortfolioJob {
+        id: 0,
+        class,
+        problem,
+    }
+}
+
+/// A deterministic heavy-tailed mixed-class portfolio: `groups`
+/// repetitions of a 12-job block dominated by a handful of expensive
+/// American/Bermudan/BSDE claims over a sea of near-free vanillas. This
+/// is the straggler-tail shape on which LPT dispatch beats FIFO — a FIFO
+/// master can strand a 100× grain on the last dispatch while LPT front-
+/// loads it.
+pub fn mixed_portfolio(scale: PortfolioScale, groups: usize) -> Vec<PortfolioJob> {
+    let p = scale.params();
+    let mut jobs = Vec::with_capacity(12 * groups);
+    for g in 0..groups {
+        let tweak = |base: f64| base * (0.95 + 0.01 * (g % 10) as f64);
+        let seed = 1000 * g as u64;
+        // Six near-free vanillas...
+        for s in 0..6 {
+            jobs.push((
+                JobClass::VanillaClosedForm,
+                PremiaProblem::new(
+                    bs(),
+                    OptionSpec::Call {
+                        strike: tweak(SPOT * (0.9 + 0.02 * s as f64)),
+                        maturity: 1.0,
+                    },
+                    MethodSpec::ClosedForm,
+                ),
+            ));
+        }
+        // ...a mid-weight European tier...
+        for s in 0..2 {
+            jobs.push((
+                JobClass::LocalVolMc,
+                PremiaProblem::new(
+                    ModelSpec::LocalVol(LocalVol::standard(SPOT, SIGMA, RATE, 0.0)),
+                    OptionSpec::Call {
+                        strike: tweak(SPOT),
+                        maturity: 1.0,
+                    },
+                    MethodSpec::MonteCarlo {
+                        paths: p.mc_paths,
+                        time_steps: p.mc_steps,
+                        antithetic: true,
+                        seed: seed + s,
+                    },
+                ),
+            ));
+        }
+        jobs.push((
+            JobClass::XvaCvaMc,
+            PremiaProblem::new(
+                bs(),
+                OptionSpec::NettingSet {
+                    trades: 48 + 8 * (g % 3),
+                    maturity: 1.0,
+                },
+                MethodSpec::Xva {
+                    paths: p.xva_paths,
+                    time_steps: p.xva_dates,
+                    hazard: 0.02,
+                    lgd: 0.6,
+                    seed: seed + 7,
+                },
+            ),
+        ));
+        jobs.push((
+            JobClass::BsdePicardMc,
+            PremiaProblem::new(
+                bs(),
+                OptionSpec::Call {
+                    strike: tweak(SPOT),
+                    maturity: 1.0,
+                },
+                MethodSpec::Bsde {
+                    paths: p.bsde_paths,
+                    time_steps: p.bsde_steps,
+                    rate_spread: 0.05,
+                    picard_rounds: 2,
+                    y_prev: 0.0,
+                    seed: seed + 8,
+                },
+            ),
+        ));
+        // ...and the heavy tail: American/Bermudan claims whose grains
+        // dominate the block.
+        jobs.push((
+            JobClass::AmericanBasketLsm,
+            PremiaProblem::new(
+                ModelSpec::MultiBlackScholes(MultiBlackScholes::new(7, SPOT, SIGMA, 0.3, RATE, 0.0)),
+                OptionSpec::AmericanBasketPut {
+                    strike: tweak(SPOT),
+                    maturity: 1.0,
+                },
+                MethodSpec::Lsm {
+                    paths: p.lsm_paths,
+                    exercise_dates: p.lsm_dates,
+                    basis_degree: 3,
+                    seed: seed + 9,
+                },
+            ),
+        ));
+        jobs.push((
+            JobClass::BermudanMaxLsm,
+            PremiaProblem::new(
+                ModelSpec::MultiBlackScholes(MultiBlackScholes::new(3, SPOT, SIGMA, 0.3, RATE, 0.1)),
+                OptionSpec::BermudanMaxCall {
+                    strike: tweak(SPOT),
+                    maturity: 1.0,
+                },
+                MethodSpec::Lsm {
+                    paths: p.lsm_paths,
+                    exercise_dates: p.lsm_dates,
+                    basis_degree: 2,
+                    seed: seed + 10,
+                },
+            ),
+        ));
+    }
+    jobs.into_iter()
+        .enumerate()
+        .map(|(id, (class, problem))| PortfolioJob { id, class, problem })
+        .collect()
+}
+
 /// The §4.1 workload: the non-regression suite wrapped as portfolio jobs.
 pub fn regression_portfolio(scale: PortfolioScale) -> Vec<PortfolioJob> {
     let suite_scale = match scale {
@@ -356,11 +664,16 @@ pub fn regression_portfolio(scale: PortfolioScale) -> Vec<PortfolioJob> {
                 (MethodSpec::Pde { .. }, OptionSpec::AmericanPut { .. }) => JobClass::AmericanPde,
                 (MethodSpec::Pde { .. }, _) => JobClass::BarrierPde,
                 (MethodSpec::Tree { .. }, _) => JobClass::BarrierPde,
+                (MethodSpec::Lsm { .. }, OptionSpec::BermudanMaxCall { .. }) => {
+                    JobClass::BermudanMaxLsm
+                }
                 (MethodSpec::Lsm { .. }, _) => JobClass::AmericanBasketLsm,
                 (MethodSpec::MonteCarlo { .. }, OptionSpec::BasketPut { .. }) => JobClass::BasketMc,
                 (MethodSpec::MonteCarlo { .. }, _) | (MethodSpec::QuasiMonteCarlo { .. }, _) => {
                     JobClass::LocalVolMc
                 }
+                (MethodSpec::Bsde { .. }, _) => JobClass::BsdePicardMc,
+                (MethodSpec::Xva { .. }, _) => JobClass::XvaCvaMc,
             };
             PortfolioJob {
                 id: i,
@@ -413,15 +726,69 @@ mod tests {
     }
 
     #[test]
-    fn stride_preserves_all_classes() {
+    fn stride_preserves_all_paper_classes() {
         let jobs = realistic_portfolio(PortfolioScale::Quick, 64);
-        for class in JobClass::ALL {
+        for class in JobClass::PAPER {
             assert!(
                 jobs.iter().any(|j| j.class == class),
                 "{class:?} missing at stride 64"
             );
         }
         assert!(jobs.len() < 7931 / 32, "stride barely reduced the size");
+    }
+
+    #[test]
+    fn paper_classes_are_a_prefix_of_all() {
+        assert_eq!(JobClass::PAPER[..], JobClass::ALL[..6]);
+        // The realistic portfolio speaks only the paper's six classes.
+        let jobs = realistic_portfolio(PortfolioScale::Quick, 64);
+        assert!(jobs.iter().all(|j| JobClass::PAPER.contains(&j.class)));
+    }
+
+    #[test]
+    fn representative_problems_cover_and_compute() {
+        for class in JobClass::ALL {
+            let job = representative_problem(class, PortfolioScale::Quick);
+            assert_eq!(job.class, class);
+            let r = job
+                .problem
+                .compute()
+                .unwrap_or_else(|e| panic!("{class:?} representative failed: {e}"));
+            assert!(r.price.is_finite(), "{class:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_portfolio_is_heavy_tailed_and_mixed() {
+        let jobs = mixed_portfolio(PortfolioScale::Quick, 3);
+        assert_eq!(jobs.len(), 36);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id, i);
+        }
+        // All three extension classes and the heavy American tier appear.
+        for class in [
+            JobClass::BermudanMaxLsm,
+            JobClass::BsdePicardMc,
+            JobClass::XvaCvaMc,
+            JobClass::AmericanBasketLsm,
+            JobClass::VanillaClosedForm,
+        ] {
+            assert!(jobs.iter().any(|j| j.class == class), "{class:?} missing");
+        }
+        // Heavy-tailed: half the jobs are near-free, and the top grain
+        // costs more than the entire bottom half of the portfolio put
+        // together (paper cost model midpoints).
+        let mut mids: Vec<f64> = jobs
+            .iter()
+            .map(|j| {
+                let (lo, hi) = j.class.paper_cost_seconds();
+                0.5 * (lo + hi)
+            })
+            .collect();
+        mids.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let bottom_half: f64 = mids[..mids.len() / 2].iter().sum();
+        assert!(mids[mids.len() - 1] > bottom_half);
+        assert!(mids[mids.len() - 1] > 5.0 * mids[mids.len() / 2]);
     }
 
     #[test]

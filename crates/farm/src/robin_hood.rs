@@ -248,6 +248,16 @@ fn master_loop(
     if knobs.record_trace {
         cfg = cfg.record_trace();
     }
+    if let Some(rounds) = &knobs.rounds {
+        cfg = cfg.rounds(rounds.clone());
+    }
+    // Staged workloads rewrite a round-dependent job's problem file from
+    // earlier answers just before its dispatch (payloads are invisible
+    // to the scheduler, so the decision trace is unaffected).
+    let mut patch_fn = knobs
+        .patch
+        .as_ref()
+        .map(|p| move |job: usize, outcomes: &[JobOutcome]| p.apply(job, outcomes, files));
     let run = driver::drive_plain(
         comm,
         TAG,
@@ -255,6 +265,9 @@ fn master_loop(
         &ranks,
         RecvStyle::Obj,
         JobMap::Identity,
+        patch_fn
+            .as_mut()
+            .map(|f| f as &mut dyn FnMut(usize, &[JobOutcome]) -> Result<(), FarmError>),
         |job, rank, _batch| {
             send_job(comm, ctx, rank, job, &files[job], strategy, &mut scratch)?;
             ctx.advance(job + 1);

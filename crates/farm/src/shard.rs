@@ -477,6 +477,7 @@ fn master_loop(
             &ranks,
             RecvStyle::Obj,
             JobMap::Identity,
+            None,
             |job, rank, _batch| send_one(job, rank),
             // Rounds share the slave world: the per-round scheduler's
             // stop is a no-op, the real sentinel goes out after the

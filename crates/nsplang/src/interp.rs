@@ -998,8 +998,8 @@ impl Interp {
             }
             (NValue::Premia(p), "set_method") => {
                 let s = kw_str(&kw, &pos)?;
-                p.borrow_mut().method =
-                    Some(MethodSpec::by_name(&s).map_err(|e| NspError::new(e.to_string()))?);
+                let spec = MethodSpec::by_name(&s).map_err(|e| NspError::new(e.to_string()))?;
+                p.borrow_mut().method = Some(tune_method(spec, &kw)?);
                 one(base)
             }
             (NValue::Premia(p), "compute") => {
@@ -1528,6 +1528,58 @@ fn kw_str(kw: &[(String, NValue)], pos: &[NValue]) -> R<String> {
             .ok_or_else(|| NspError::new("expected a string argument"));
     }
     err("expected str=\"...\" argument")
+}
+
+/// Apply numeric keyword overrides from `set_method[...]` onto the spec
+/// resolved by name, so scripts can drive a method round by round:
+/// `P.set_method[str="MC_BSDE_LabartLelong", picard_rounds=1, y_prev=y]`.
+/// Unknown keys are errors — a typo must not silently price the default
+/// configuration.
+fn tune_method(mut spec: MethodSpec, kw: &[(String, NValue)]) -> R<MethodSpec> {
+    use MethodSpec::*;
+    for (key, v) in kw {
+        if key == "str" {
+            continue;
+        }
+        let x = v
+            .as_scalar()
+            .ok_or_else(|| NspError::new(format!("{key}= expects a scalar")))?;
+        let n = x as usize;
+        match (&mut spec, key.as_str()) {
+            (Pde { time_steps, .. }, "time_steps") => *time_steps = n,
+            (Pde { space_steps, .. }, "space_steps") => *space_steps = n,
+            (Tree { steps }, "steps") => *steps = n,
+            (MonteCarlo { paths, .. } | QuasiMonteCarlo { paths }, "paths") => *paths = n,
+            (MonteCarlo { time_steps, .. }, "time_steps") => *time_steps = n,
+            (MonteCarlo { antithetic, .. }, "antithetic") => *antithetic = x != 0.0,
+            (Lsm { paths, .. }, "paths") => *paths = n,
+            (Lsm { exercise_dates, .. }, "exercise_dates") => *exercise_dates = n,
+            (Lsm { basis_degree, .. }, "basis_degree") => *basis_degree = n,
+            (Bsde { paths, .. }, "paths") => *paths = n,
+            (Bsde { time_steps, .. }, "time_steps") => *time_steps = n,
+            (Bsde { rate_spread, .. }, "rate_spread") => *rate_spread = x,
+            (Bsde { picard_rounds, .. }, "picard_rounds") => *picard_rounds = n,
+            (Bsde { y_prev, .. }, "y_prev") => *y_prev = x,
+            (Xva { paths, .. }, "paths") => *paths = n,
+            (Xva { time_steps, .. }, "time_steps") => *time_steps = n,
+            (Xva { hazard, .. }, "hazard") => *hazard = x,
+            (Xva { lgd, .. }, "lgd") => *lgd = x,
+            (
+                MonteCarlo { seed, .. }
+                | Lsm { seed, .. }
+                | Bsde { seed, .. }
+                | Xva { seed, .. },
+                "seed",
+            ) => *seed = x as u64,
+            _ => {
+                return err(format!(
+                    "method {} has no tunable parameter {key}",
+                    spec.name()
+                ))
+            }
+        }
+    }
+    Ok(spec)
 }
 
 fn status_value(st: minimpi::Status) -> NValue {

@@ -82,6 +82,21 @@ impl Breakdown {
     /// are bucketed into `job % classes` job classes.
     pub fn from_events_classed(events: &[Event], classes: u64) -> Self {
         let classes = classes.max(1);
+        Self::from_events_with(events, |job| job as u64 % classes)
+    }
+
+    /// Aggregate `events`; [`EventKind::Compute`] events are bucketed by
+    /// `class_of[job]` — the typed-workload path, where the caller maps
+    /// job ids to real [`crate::Event::job`]-indexed job classes (jobs
+    /// outside the table land in class 0). This is how a mixed-class
+    /// farm run reports per-class compute seconds.
+    pub fn from_events_by_class(events: &[Event], class_of: &[u64]) -> Self {
+        Self::from_events_with(events, |job| {
+            class_of.get(job as usize).copied().unwrap_or(0)
+        })
+    }
+
+    fn from_events_with(events: &[Event], class_of: impl Fn(i64) -> u64) -> Self {
         let mut durs: BTreeMap<EventKind, Vec<f64>> = BTreeMap::new();
         let mut bytes: BTreeMap<EventKind, u64> = BTreeMap::new();
         let mut by_class: BTreeMap<u64, (u64, f64)> = BTreeMap::new();
@@ -89,11 +104,7 @@ impl Breakdown {
             durs.entry(ev.kind).or_default().push(ev.dur_s());
             *bytes.entry(ev.kind).or_insert(0) += ev.bytes;
             if ev.kind == EventKind::Compute {
-                let class = if ev.job >= 0 {
-                    ev.job as u64 % classes
-                } else {
-                    0
-                };
+                let class = if ev.job >= 0 { class_of(ev.job) } else { 0 };
                 let slot = by_class.entry(class).or_insert((0, 0.0));
                 slot.0 += 1;
                 slot.1 += ev.dur_s();

@@ -81,7 +81,7 @@ impl LsmConfig {
 /// exercise for an OTM start); `payoff` maps a path state to intrinsic
 /// value; `dt` is the exercise-grid spacing; `rate` discounts between
 /// dates; `scale` normalises the regression feature.
-fn lsm_backward(
+pub(crate) fn lsm_backward(
     states: &[Vec<Vec<f64>>],
     payoff: &dyn Fn(&[f64]) -> f64,
     dt: f64,
@@ -148,7 +148,7 @@ fn lsm_backward(
 /// the backward induction consumes. Each block is paths-major
 /// (`c.len() × dates × dim` flat), blocks arrive in chunk order, so the
 /// scatter is a pure function of the chunk partition.
-fn scatter_blocks(
+pub(crate) fn scatter_blocks(
     blocks: &[Vec<f64>],
     paths: usize,
     dates: usize,
@@ -290,7 +290,7 @@ pub fn lsm_basket_exec(
 /// [`PathWorkspace`] pool (the state is re-initialised to `spot` per
 /// path, numerically identical to the old fresh `vec![m.spot; dim]`);
 /// the returned block is the chunk's result, allocated once per chunk.
-fn lsm_basket_chunk_scalar(
+pub(crate) fn lsm_basket_chunk_scalar(
     m: &MultiBlackScholes,
     cfg: &LsmConfig,
     dt: f64,
@@ -327,7 +327,7 @@ fn lsm_basket_chunk_scalar(
 /// `l`), correlated vectors drawn per lane in lane order per date —
 /// `(group, date, lane)` consumption — and the per-asset step vectorised
 /// across lanes with fused `mul_add`.
-fn lsm_basket_chunk_lanes<const L: usize>(
+pub(crate) fn lsm_basket_chunk_lanes<const L: usize>(
     m: &MultiBlackScholes,
     cfg: &LsmConfig,
     dt: f64,

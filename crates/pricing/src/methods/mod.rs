@@ -1,8 +1,13 @@
 //! Numerical pricing methods: closed form, PDE (finite differences),
-//! binomial trees, Monte-Carlo, and Longstaff–Schwartz American
-//! Monte-Carlo — the method families Premia ships (§2).
+//! binomial trees, Monte-Carlo, Longstaff–Schwartz American
+//! Monte-Carlo — the method families Premia ships (§2) — plus the
+//! heterogeneous workload classes of the staged benchmark: BSDE Picard
+//! sweeps, multi-dimensional Bermudan max-calls, and portfolio-level
+//! XVA aggregation.
 
+pub mod bermudan;
 pub mod bond;
+pub mod bsde;
 pub mod closed_form;
 pub mod heston_cf;
 pub mod implied;
@@ -10,3 +15,4 @@ pub mod lsm;
 pub mod montecarlo;
 pub mod pde;
 pub mod tree;
+pub mod xva;

@@ -204,6 +204,46 @@ impl BasketOption {
     }
 }
 
+/// A call on the **maximum** of `dim` assets — the multi-dimensional
+/// Bermudan benchmark of Doan et al. 2008 (and the classic
+/// Broadie–Glasserman max-call test case). Bermudan exercise is the
+/// discrete grid the LSM method prices on, so the type carries the
+/// `American` exercise flag like [`BasketOption`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaxCall {
+    /// Strike price.
+    pub strike: f64,
+    /// Maturity in years.
+    pub maturity: f64,
+    /// European or American/Bermudan exercise.
+    pub exercise: Exercise,
+}
+
+impl MaxCall {
+    /// A Bermudan max-call with the given strike and maturity.
+    pub fn bermudan(strike: f64, maturity: f64) -> Self {
+        MaxCall {
+            strike,
+            maturity,
+            exercise: Exercise::American,
+        }
+    }
+
+    /// Parameter sanity checks; `Err` describes the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.strike > 0.0 && self.maturity > 0.0) {
+            return Err("strike and maturity must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Payoff on the maximum of the terminal asset prices.
+    pub fn payoff(&self, spots: &[f64]) -> f64 {
+        let best = spots.iter().fold(f64::NEG_INFINITY, |a, &s| a.max(s));
+        call_payoff(best, self.strike)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +284,14 @@ mod tests {
         let b = BasketOption::european_put(100.0, 1.0);
         assert_eq!(b.payoff(&[90.0, 110.0]), 0.0); // avg 100
         assert_eq!(b.payoff(&[80.0, 100.0]), 10.0); // avg 90
+    }
+
+    #[test]
+    fn max_call_payoff_uses_best_asset() {
+        let m = MaxCall::bermudan(100.0, 1.0);
+        assert_eq!(m.payoff(&[90.0, 110.0, 95.0]), 10.0);
+        assert_eq!(m.payoff(&[90.0, 95.0]), 0.0);
+        assert_eq!(m.exercise, Exercise::American);
     }
 
     #[test]

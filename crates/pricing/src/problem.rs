@@ -21,7 +21,9 @@
 //! [`PremiaProblem::compute`] runs the actual numerical method
 //! (`P.compute[]`).
 
+use crate::methods::bermudan::{lsm_max_call, lsm_max_call_exec};
 use crate::methods::bond::{bond_option_price, mc_zcb_price, mc_zcb_price_exec};
+use crate::methods::bsde::{bsde_picard, BsdeConfig};
 use crate::methods::closed_form::{bs_price, down_out_call_price};
 use crate::methods::heston_cf::heston_cf_price;
 use crate::methods::lsm::{
@@ -34,8 +36,9 @@ use crate::methods::montecarlo::{
 };
 use crate::methods::pde::{pde_barrier, pde_vanilla, PdeConfig};
 use crate::methods::tree::{tree_vanilla, TreeConfig};
+use crate::methods::xva::{xva_cva, xva_cva_exec, TradeSoA, XvaConfig};
 use crate::models::{BlackScholes, Heston, LocalVol, MultiBlackScholes, Vasicek};
-use crate::options::{Barrier, BasketOption, Exercise, OptionRight, Vanilla};
+use crate::options::{Barrier, BasketOption, Exercise, MaxCall, OptionRight, Vanilla};
 use exec::ExecPolicy;
 use nspval::{Hash, Value};
 use numerics::poly::BasisKind;
@@ -158,6 +161,23 @@ pub enum OptionSpec {
         /// Maturity in years.
         bond_maturity: f64,
     },
+    /// Bermudan call on the **maximum** of the model's assets
+    /// (Doan et al. 2008's multi-dimensional benchmark product).
+    BermudanMaxCall {
+        /// Strike price.
+        strike: f64,
+        /// Maturity in years.
+        maturity: f64,
+    },
+    /// A netting set of `trades` forward contracts for portfolio-level
+    /// XVA aggregation; the book itself is generated deterministically
+    /// from the pricing method's seed.
+    NettingSet {
+        /// Number of forward contracts in the set.
+        trades: usize,
+        /// Exposure horizon in years (longest trade maturity).
+        maturity: f64,
+    },
 }
 
 impl OptionSpec {
@@ -181,6 +201,11 @@ impl OptionSpec {
                 maturity: 1.0,
                 bond_maturity: 5.0,
             }),
+            "CallMaxBermuda" => Ok(OptionSpec::BermudanMaxCall { strike, maturity }),
+            "NettingSetForward" => Ok(OptionSpec::NettingSet {
+                trades: 64,
+                maturity,
+            }),
             other => Err(PricingError::Unsupported(format!("unknown option {other}"))),
         }
     }
@@ -196,6 +221,8 @@ impl OptionSpec {
             OptionSpec::AmericanBasketPut { .. } => "PutBasketAmer",
             OptionSpec::ZeroCouponBond { .. } => "ZCBond",
             OptionSpec::BondCall { .. } => "CallBond",
+            OptionSpec::BermudanMaxCall { .. } => "CallMaxBermuda",
+            OptionSpec::NettingSet { .. } => "NettingSetForward",
         }
     }
 
@@ -209,7 +236,9 @@ impl OptionSpec {
             | OptionSpec::BasketPut { maturity, .. }
             | OptionSpec::AmericanBasketPut { maturity, .. }
             | OptionSpec::ZeroCouponBond { maturity }
-            | OptionSpec::BondCall { maturity, .. } => *maturity,
+            | OptionSpec::BondCall { maturity, .. }
+            | OptionSpec::BermudanMaxCall { maturity, .. }
+            | OptionSpec::NettingSet { maturity, .. } => *maturity,
         }
     }
 
@@ -222,9 +251,13 @@ impl OptionSpec {
             | OptionSpec::AmericanPut { strike, .. }
             | OptionSpec::BasketPut { strike, .. }
             | OptionSpec::AmericanBasketPut { strike, .. }
-            | OptionSpec::BondCall { strike, .. } => *strike,
+            | OptionSpec::BondCall { strike, .. }
+            | OptionSpec::BermudanMaxCall { strike, .. } => *strike,
             // A zero-coupon bond has no strike; return the notional.
             OptionSpec::ZeroCouponBond { .. } => 1.0,
+            // A netting set's strikes live per trade; report the spot
+            // level the generated book centres on.
+            OptionSpec::NettingSet { .. } => 100.0,
         }
     }
 }
@@ -273,6 +306,36 @@ pub enum MethodSpec {
         /// RNG seed (problems are deterministic given their spec).
         seed: u64,
     },
+    /// BSDE pricing by iterated Picard sweeps (Labart–Lelong 2011): the
+    /// two-rate borrowing-spread model whose round `k+1` consumes round
+    /// `k`'s answer — the staged farm runs one sweep per round.
+    Bsde {
+        /// Monte-Carlo paths per sweep.
+        paths: usize,
+        /// Time discretisation of the driver integral.
+        time_steps: usize,
+        /// Borrowing spread `R − r` (the driver's Lipschitz constant).
+        rate_spread: f64,
+        /// Picard iterations to run from `y_prev`.
+        picard_rounds: usize,
+        /// Starting iterate (patched between farm rounds).
+        y_prev: f64,
+        /// RNG seed (problems are deterministic given their spec).
+        seed: u64,
+    },
+    /// Portfolio-level CVA over a structure-of-arrays netting set.
+    Xva {
+        /// Monte-Carlo exposure paths.
+        paths: usize,
+        /// Exposure dates on the horizon.
+        time_steps: usize,
+        /// Constant counterparty hazard rate λ.
+        hazard: f64,
+        /// Loss given default.
+        lgd: f64,
+        /// RNG seed for the paths and the generated book.
+        seed: u64,
+    },
 }
 
 impl MethodSpec {
@@ -299,6 +362,21 @@ impl MethodSpec {
                 basis_degree: 3,
                 seed: 42,
             }),
+            "MC_BSDE_LabartLelong" => Ok(MethodSpec::Bsde {
+                paths: 16_384,
+                time_steps: 25,
+                rate_spread: 0.05,
+                picard_rounds: 4,
+                y_prev: 0.0,
+                seed: 42,
+            }),
+            "MC_XVA_CVA" => Ok(MethodSpec::Xva {
+                paths: 8_192,
+                time_steps: 50,
+                hazard: 0.02,
+                lgd: 0.6,
+                seed: 42,
+            }),
             other => Err(PricingError::Unsupported(format!("unknown method {other}"))),
         }
     }
@@ -312,6 +390,8 @@ impl MethodSpec {
             MethodSpec::MonteCarlo { .. } => "MC_Standard",
             MethodSpec::QuasiMonteCarlo { .. } => "MC_Quasi",
             MethodSpec::Lsm { .. } => "MC_AM_LongstaffSchwartz",
+            MethodSpec::Bsde { .. } => "MC_BSDE_LabartLelong",
+            MethodSpec::Xva { .. } => "MC_XVA_CVA",
         }
     }
 }
@@ -520,7 +600,31 @@ impl PremiaProblem {
                             method: self.method.name().into(),
                         })
                     }
-                    M::Lsm { .. } => unsupported(),
+                    M::Bsde {
+                        paths,
+                        time_steps,
+                        rate_spread,
+                        picard_rounds,
+                        y_prev,
+                        seed,
+                    } => {
+                        let cfg = BsdeConfig {
+                            paths: *paths,
+                            time_steps: *time_steps,
+                            rate_spread: *rate_spread,
+                            picard_rounds: *picard_rounds,
+                            y_prev: *y_prev,
+                            seed: *seed,
+                        };
+                        let r = bsde_picard(m, &opt, &cfg, pol);
+                        Ok(PricingResult {
+                            price: r.price,
+                            delta: None,
+                            std_error: Some(r.std_error),
+                            method: self.method.name().into(),
+                        })
+                    }
+                    _ => unsupported(),
                 }
             }
 
@@ -695,6 +799,72 @@ impl PremiaProblem {
                     _ => unsupported(),
                 }
             }
+
+            // ---- multi-asset Bermudan max-call (Doan et al.) -------------
+            (Mo::MultiBlackScholes(m), O::BermudanMaxCall { strike, maturity }) => {
+                let opt = MaxCall::bermudan(*strike, *maturity);
+                match &self.method {
+                    M::Lsm {
+                        paths,
+                        exercise_dates,
+                        basis_degree,
+                        seed,
+                    } => {
+                        let cfg = LsmConfig {
+                            paths: *paths,
+                            exercise_dates: *exercise_dates,
+                            basis_degree: *basis_degree,
+                            basis: BasisKind::Monomial,
+                            seed: *seed,
+                        };
+                        let r = match pol {
+                            Some(p) => lsm_max_call_exec(m, &opt, &cfg, p),
+                            None => lsm_max_call(m, &opt, &cfg),
+                        };
+                        Ok(PricingResult {
+                            price: r.price,
+                            delta: None,
+                            std_error: Some(r.std_error),
+                            method: self.method.name().into(),
+                        })
+                    }
+                    _ => unsupported(),
+                }
+            }
+
+            // ---- portfolio-level XVA -------------------------------------
+            (Mo::BlackScholes(m), O::NettingSet { trades, maturity }) => match &self.method {
+                M::Xva {
+                    paths,
+                    time_steps,
+                    hazard,
+                    lgd,
+                    seed,
+                } => {
+                    let cfg = XvaConfig {
+                        paths: *paths,
+                        time_steps: *time_steps,
+                        hazard: *hazard,
+                        lgd: *lgd,
+                        seed: *seed,
+                    };
+                    // The book is part of the problem: a pure function of
+                    // (trades, seed), so the same spec always aggregates
+                    // the same netting set.
+                    let book = TradeSoA::generate(*trades, m.spot, *maturity, *seed);
+                    let r = match pol {
+                        Some(p) => xva_cva_exec(m, &book, *maturity, &cfg, p),
+                        None => xva_cva(m, &book, *maturity, &cfg),
+                    };
+                    Ok(PricingResult {
+                        price: r.price,
+                        delta: None,
+                        std_error: Some(r.std_error),
+                        method: self.method.name().into(),
+                    })
+                }
+                _ => unsupported(),
+            },
 
             // ---- local volatility ----------------------------------------
             (Mo::LocalVol(m), O::Call { strike, maturity })
@@ -1020,6 +1190,9 @@ impl OptionSpec {
         if let OptionSpec::BondCall { bond_maturity, .. } = self {
             h.set("bond_maturity", Value::scalar(*bond_maturity));
         }
+        if let OptionSpec::NettingSet { trades, .. } = self {
+            h.set("trades", Value::scalar(*trades as f64));
+        }
         Value::Hash(h)
     }
 
@@ -1045,6 +1218,11 @@ impl OptionSpec {
                 strike,
                 maturity,
                 bond_maturity: hash_get_f64(h, "bond_maturity")?,
+            }),
+            "CallMaxBermuda" => Ok(OptionSpec::BermudanMaxCall { strike, maturity }),
+            "NettingSetForward" => Ok(OptionSpec::NettingSet {
+                trades: hash_get_usize(h, "trades")?,
+                maturity,
             }),
             other => Err(PricingError::Malformed(format!("unknown option {other}"))),
         }
@@ -1092,6 +1270,34 @@ impl MethodSpec {
                 h.set("basis_degree", Value::scalar(*basis_degree as f64));
                 h.set("seed", Value::scalar(*seed as f64));
             }
+            MethodSpec::Bsde {
+                paths,
+                time_steps,
+                rate_spread,
+                picard_rounds,
+                y_prev,
+                seed,
+            } => {
+                h.set("paths", Value::scalar(*paths as f64));
+                h.set("time_steps", Value::scalar(*time_steps as f64));
+                h.set("rate_spread", Value::scalar(*rate_spread));
+                h.set("picard_rounds", Value::scalar(*picard_rounds as f64));
+                h.set("y_prev", Value::scalar(*y_prev));
+                h.set("seed", Value::scalar(*seed as f64));
+            }
+            MethodSpec::Xva {
+                paths,
+                time_steps,
+                hazard,
+                lgd,
+                seed,
+            } => {
+                h.set("paths", Value::scalar(*paths as f64));
+                h.set("time_steps", Value::scalar(*time_steps as f64));
+                h.set("hazard", Value::scalar(*hazard));
+                h.set("lgd", Value::scalar(*lgd));
+                h.set("seed", Value::scalar(*seed as f64));
+            }
         }
         Value::Hash(h)
     }
@@ -1122,6 +1328,21 @@ impl MethodSpec {
                 paths: hash_get_usize(h, "paths")?,
                 exercise_dates: hash_get_usize(h, "exercise_dates")?,
                 basis_degree: hash_get_usize(h, "basis_degree")?,
+                seed: hash_get_usize(h, "seed")? as u64,
+            }),
+            "MC_BSDE_LabartLelong" => Ok(MethodSpec::Bsde {
+                paths: hash_get_usize(h, "paths")?,
+                time_steps: hash_get_usize(h, "time_steps")?,
+                rate_spread: hash_get_f64(h, "rate_spread")?,
+                picard_rounds: hash_get_usize(h, "picard_rounds")?,
+                y_prev: hash_get_f64(h, "y_prev")?,
+                seed: hash_get_usize(h, "seed")? as u64,
+            }),
+            "MC_XVA_CVA" => Ok(MethodSpec::Xva {
+                paths: hash_get_usize(h, "paths")?,
+                time_steps: hash_get_usize(h, "time_steps")?,
+                hazard: hash_get_f64(h, "hazard")?,
+                lgd: hash_get_f64(h, "lgd")?,
                 seed: hash_get_usize(h, "seed")? as u64,
             }),
             other => Err(PricingError::Malformed(format!("unknown method {other}"))),
@@ -1207,6 +1428,63 @@ mod tests {
         let p =
             PremiaProblem::create("BlackScholesNdim", "PutBasket", "TR_CoxRossRubinstein").unwrap();
         assert!(matches!(p.compute(), Err(PricingError::Unsupported(_))));
+        // BSDE only prices European vanillas; XVA needs a netting set.
+        let p = PremiaProblem::create("BlackScholes1dim", "PutAmer", "MC_BSDE_LabartLelong")
+            .unwrap();
+        assert!(matches!(p.compute(), Err(PricingError::Unsupported(_))));
+        let p = PremiaProblem::create("BlackScholes1dim", "CallEuro", "MC_XVA_CVA").unwrap();
+        assert!(matches!(p.compute(), Err(PricingError::Unsupported(_))));
+    }
+
+    #[test]
+    fn new_workload_classes_compute_and_round_trip() {
+        // BSDE Picard on a European call.
+        let mut p =
+            PremiaProblem::create("BlackScholes1dim", "CallEuro", "MC_BSDE_LabartLelong").unwrap();
+        p.method = MethodSpec::Bsde {
+            paths: 2_000,
+            time_steps: 10,
+            rate_spread: 0.05,
+            picard_rounds: 2,
+            y_prev: 0.0,
+            seed: 7,
+        };
+        let r = p.compute().unwrap();
+        assert!(r.price > 0.0 && r.std_error.is_some());
+        let back = PremiaProblem::from_value(&p.to_value()).unwrap();
+        assert_eq!(p, back);
+
+        // Bermudan max-call on the multi-asset model.
+        let mut p = PremiaProblem::create(
+            "BlackScholesNdim",
+            "CallMaxBermuda",
+            "MC_AM_LongstaffSchwartz",
+        )
+        .unwrap();
+        p.method = MethodSpec::Lsm {
+            paths: 1_000,
+            exercise_dates: 5,
+            basis_degree: 2,
+            seed: 7,
+        };
+        let r = p.compute_with(&ExecPolicy::new(2)).unwrap();
+        assert!(r.price > 0.0);
+
+        // Portfolio CVA over a generated netting set.
+        let mut p =
+            PremiaProblem::create("BlackScholes1dim", "NettingSetForward", "MC_XVA_CVA").unwrap();
+        p.method = MethodSpec::Xva {
+            paths: 2_000,
+            time_steps: 10,
+            hazard: 0.02,
+            lgd: 0.6,
+            seed: 7,
+        };
+        let seq = p.compute().unwrap();
+        assert!(seq.price >= 0.0);
+        let a = p.compute_with(&ExecPolicy::new(1)).unwrap();
+        let b = p.compute_with(&ExecPolicy::new(8)).unwrap();
+        assert_eq!(a.price.to_bits(), b.price.to_bits());
     }
 
     #[test]
@@ -1234,6 +1512,8 @@ mod tests {
             "PutBasketAmer",
             "ZCBond",
             "CallBond",
+            "CallMaxBermuda",
+            "NettingSetForward",
         ];
         let methods = [
             "CF",
@@ -1242,6 +1522,8 @@ mod tests {
             "MC_Standard",
             "MC_Quasi",
             "MC_AM_LongstaffSchwartz",
+            "MC_BSDE_LabartLelong",
+            "MC_XVA_CVA",
         ];
         for m in models {
             for o in options {

@@ -200,6 +200,14 @@ pub struct SchedConfig {
     /// `Some` enables supervised mode (deadlines, retries, burial);
     /// `None` is the trusting Fig. 4 master.
     pub supervision: Option<Supervision>,
+    /// `Some(r)` declares staged rounds: `r[job]` is the round the job
+    /// belongs to, and no job of round `k` may be dispatched while an
+    /// earlier round still has unfinished work. This is the
+    /// cross-round-dependency shape of Picard-iterated BSDE workloads
+    /// (Labart–Lelong): round `k + 1`'s jobs are built from round `k`'s
+    /// answers, so the scheduler must hold them back until the barrier
+    /// clears. `None` (the default) is the historical flat job set.
+    pub rounds: Option<Vec<usize>>,
     /// Record a decision [`Trace`].
     pub record_trace: bool,
 }
@@ -213,6 +221,7 @@ impl SchedConfig {
             batch: 1,
             policy: DispatchPolicy::Fifo,
             supervision: None,
+            rounds: None,
             record_trace: false,
         }
     }
@@ -232,6 +241,12 @@ impl SchedConfig {
     /// Enable supervision.
     pub fn supervised(mut self, sup: Supervision) -> Self {
         self.supervision = Some(sup);
+        self
+    }
+
+    /// Declare staged rounds: `rounds[job]` is the job's round index.
+    pub fn rounds(mut self, rounds: Vec<usize>) -> Self {
+        self.rounds = Some(rounds);
         self
     }
 
@@ -271,6 +286,16 @@ pub enum SchedError {
     },
     /// `max_attempts == 0` can never dispatch anything.
     ZeroAttempts,
+    /// A rounds vector whose length does not match `jobs`.
+    RoundsLen {
+        /// Provided round entries.
+        rounds: usize,
+        /// Jobs in the run.
+        jobs: usize,
+    },
+    /// Staged rounds are incompatible with batched dispatch (batches
+    /// are contiguous index ranges; a batch could straddle a barrier).
+    RoundsNeedUnitBatch,
 }
 
 impl fmt::Display for SchedError {
@@ -294,6 +319,12 @@ impl fmt::Display for SchedError {
                 )
             }
             SchedError::ZeroAttempts => write!(f, "max_attempts must be at least 1"),
+            SchedError::RoundsLen { rounds, jobs } => {
+                write!(f, "rounds vector has {rounds} entries for {jobs} jobs")
+            }
+            SchedError::RoundsNeedUnitBatch => {
+                write!(f, "staged rounds require batch size 1")
+            }
         }
     }
 }
@@ -440,6 +471,13 @@ pub struct Scheduler {
     attempts: Vec<u32>,
     done: Vec<bool>,
     failed: Vec<bool>,
+    /// `Some(round_of)` when staged rounds are declared.
+    round_of: Option<Vec<usize>>,
+    /// Unfinished jobs per round (staged mode only).
+    pending_per_round: Vec<usize>,
+    /// First round with pending work; `pending_per_round.len()` once
+    /// every round is drained.
+    cur_round: usize,
     retries: u64,
     /// Plain mode: dispatches in flight (batches, not jobs).
     outstanding: usize,
@@ -469,6 +507,17 @@ impl Scheduler {
         if let Some(sup) = &cfg.supervision {
             if sup.max_attempts == 0 {
                 return Err(SchedError::ZeroAttempts);
+            }
+        }
+        if let Some(rounds) = &cfg.rounds {
+            if rounds.len() != cfg.jobs {
+                return Err(SchedError::RoundsLen {
+                    rounds: rounds.len(),
+                    jobs: cfg.jobs,
+                });
+            }
+            if cfg.batch > 1 {
+                return Err(SchedError::RoundsNeedUnitBatch);
             }
         }
         let order: Vec<usize> = match &cfg.policy {
@@ -502,6 +551,25 @@ impl Scheduler {
                 idx
             }
         };
+        // Staged rounds: round-major queue order, policy order within a
+        // round (the sort is stable), plus per-round pending counters.
+        let (order, pending_per_round) = if let Some(rounds) = &cfg.rounds {
+            let mut idx = order;
+            idx.sort_by_key(|&j| rounds[j]);
+            let n_rounds = rounds.iter().map(|&r| r + 1).max().unwrap_or(0);
+            let mut pending = vec![0usize; n_rounds];
+            for &r in rounds {
+                pending[r] += 1;
+            }
+            (idx, pending)
+        } else {
+            (order, Vec::new())
+        };
+        // Skip rounds that were declared empty.
+        let mut cur_round = 0;
+        while cur_round < pending_per_round.len() && pending_per_round[cur_round] == 0 {
+            cur_round += 1;
+        }
         Ok(Scheduler {
             jobs: cfg.jobs,
             slaves: cfg.slaves,
@@ -514,6 +582,9 @@ impl Scheduler {
             attempts: vec![0; cfg.jobs],
             done: vec![false; cfg.jobs],
             failed: vec![false; cfg.jobs],
+            round_of: cfg.rounds,
+            pending_per_round,
+            cur_round,
             retries: 0,
             outstanding: 0,
             ready_seen: 0,
@@ -577,6 +648,19 @@ impl Scheduler {
             .collect()
     }
 
+    /// The first round with unfinished work, or `None` when rounds are
+    /// not declared or every round is drained.
+    pub fn current_round(&self) -> Option<usize> {
+        self.round_of.as_ref()?;
+        (self.cur_round < self.pending_per_round.len()).then_some(self.cur_round)
+    }
+
+    /// Rounds fully drained so far (staged mode only; `None` when the
+    /// run is flat).
+    pub fn rounds_drained(&self) -> Option<usize> {
+        self.round_of.as_ref().map(|_| self.cur_round)
+    }
+
     /// The recorded decision trace, if tracing was enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
@@ -625,7 +709,7 @@ impl Scheduler {
                     }
                     // First answer wins; duplicates are dropped.
                     if job < self.jobs && !self.done[job] && !self.failed[job] {
-                        self.done[job] = true;
+                        self.mark_done(job);
                         out.push(Action::Accept { job, slave });
                     }
                 } else if self.state[slave] == SlaveState::Busy {
@@ -635,7 +719,7 @@ impl Scheduler {
                     // The whole batch answered together.
                     if let Some(inf) = inf {
                         for j in inf.job..(inf.job + inf.batch).min(self.jobs) {
-                            self.done[j] = true;
+                            self.mark_done(j);
                         }
                     }
                     out.push(Action::Accept { job, slave });
@@ -723,6 +807,43 @@ impl Scheduler {
             .count()
     }
 
+    /// Mark `job` answered and advance the round barrier.
+    fn mark_done(&mut self, job: usize) {
+        if !self.done[job] {
+            self.done[job] = true;
+            self.settle_round(job);
+        }
+    }
+
+    /// Mark `job` permanently failed and advance the round barrier (an
+    /// abandoned job must not wedge the rounds behind it forever).
+    fn mark_failed(&mut self, job: usize) {
+        if !self.failed[job] {
+            self.failed[job] = true;
+            self.settle_round(job);
+        }
+    }
+
+    fn settle_round(&mut self, job: usize) {
+        if let Some(rounds) = &self.round_of {
+            let r = rounds[job];
+            self.pending_per_round[r] -= 1;
+            while self.cur_round < self.pending_per_round.len()
+                && self.pending_per_round[self.cur_round] == 0
+            {
+                self.cur_round += 1;
+            }
+        }
+    }
+
+    /// Is `job` held back by the round barrier?
+    fn round_blocked(&self, job: usize) -> bool {
+        match &self.round_of {
+            Some(rounds) => rounds[job] > self.cur_round,
+            None => false,
+        }
+    }
+
     /// Requeue `job` within its attempt budget (verbatim the old
     /// `MasterState::requeue`): exhausting the budget marks it
     /// permanently failed, otherwise it rejoins the back of the queue
@@ -733,7 +854,7 @@ impl Scheduler {
             return;
         }
         if self.attempts[job] >= sup.max_attempts {
-            self.failed[job] = true;
+            self.mark_failed(job);
             return;
         }
         self.retries += 1;
@@ -763,21 +884,43 @@ impl Scheduler {
         }
     }
 
+    /// The queue position of the next dispatchable job: the first entry
+    /// that is neither settled nor held back by the round barrier
+    /// (settled entries ahead of it are dropped on the way). Without
+    /// rounds this only ever looks at the front — the historical
+    /// behaviour, byte-for-byte.
+    fn next_dispatchable(&mut self) -> Option<usize> {
+        let mut i = 0;
+        while i < self.queue.len() {
+            let (job, _) = self.queue[i];
+            if self.done[job] || self.failed[job] {
+                self.queue.remove(i);
+                continue;
+            }
+            if self.round_blocked(job) {
+                i += 1;
+                continue;
+            }
+            return Some(i);
+        }
+        None
+    }
+
     /// Feed every free slave (the implicit tail of every event).
     fn dispatch_pass(&mut self, now_ns: u64, out: &mut Vec<Action>) {
         if let Some(sup) = self.supervision {
-            while let Some(&(job, not_before)) = self.queue.front() {
-                if self.done[job] || self.failed[job] {
-                    self.queue.pop_front();
-                    continue;
-                }
+            while let Some(i) = self.next_dispatchable() {
+                let (job, not_before) = self.queue[i];
+                // An embargoed retry blocks the pass (strict order
+                // within the unlocked rounds, exactly as the flat
+                // master treats its queue front).
                 if not_before > now_ns {
                     break;
                 }
                 let Some(slave) = self.free_slave() else {
                     break;
                 };
-                self.queue.pop_front();
+                self.queue.remove(i);
                 self.attempts[job] += 1;
                 self.state[slave] = SlaveState::Busy;
                 self.inflight[slave] = Some(Inflight {
@@ -794,8 +937,11 @@ impl Scheduler {
             }
         } else {
             while let Some(slave) = self.free_slave() {
-                if let Some(&(first, _)) = self.queue.front() {
-                    let mut n = 0;
+                if let Some(i) = self.next_dispatchable() {
+                    let (first, _) = self.queue.remove(i).expect("index in range");
+                    // Batching is FIFO-only and flat-only (validated),
+                    // so any batch tail continues from the queue front.
+                    let mut n = 1;
                     while n < self.batch {
                         match self.queue.pop_front() {
                             Some((j, _)) => {
@@ -819,9 +965,14 @@ impl Scheduler {
                         slave,
                         batch: n,
                     });
-                } else {
+                } else if self.queue.is_empty() {
                     self.state[slave] = SlaveState::Stopped;
                     out.push(Action::Stop { slave });
+                } else {
+                    // Jobs remain but every one is behind the round
+                    // barrier: leave the slave idle — an answer from a
+                    // busy slave will unlock the next round and feed it.
+                    break;
                 }
             }
         }
@@ -1318,6 +1469,203 @@ mod tests {
             .unwrap_err(),
             SchedError::ZeroAttempts
         );
+    }
+
+    /// Drive a scheduler to termination answering every dispatch in
+    /// emission order, returning the dispatch order observed.
+    fn drain(s: &mut Scheduler, slaves: usize) -> Vec<usize> {
+        let mut order = Vec::new();
+        let mut pending: VecDeque<(usize, usize)> = VecDeque::new();
+        let mut acts = prime(s, slaves);
+        loop {
+            for a in &acts {
+                if let Action::Dispatch { job, slave, .. } = *a {
+                    order.push(job);
+                    pending.push_back((job, slave));
+                }
+            }
+            match pending.pop_front() {
+                Some((job, slave)) => acts = s.on(Event::Answer { job, slave }, 0),
+                None => break,
+            }
+        }
+        order
+    }
+
+    #[test]
+    fn uniform_rounds_match_the_flat_machine_byte_for_byte() {
+        for jobs in [0usize, 1, 3, 7] {
+            for supervised in [false, true] {
+                let mut flat = SchedConfig::plain(jobs, 2).record_trace();
+                let mut staged = SchedConfig::plain(jobs, 2)
+                    .rounds(vec![0; jobs])
+                    .record_trace();
+                if supervised {
+                    flat = flat.supervised(sup());
+                    staged = staged.supervised(sup());
+                }
+                let mut a = Scheduler::new(flat).unwrap();
+                let mut b = Scheduler::new(staged).unwrap();
+                assert_eq!(drain(&mut a, 2), drain(&mut b, 2));
+                assert!(a.finished() && b.finished());
+                assert_eq!(
+                    a.take_trace().unwrap().render(),
+                    b.take_trace().unwrap().render()
+                );
+                assert_eq!(b.rounds_drained(), Some(if jobs == 0 { 0 } else { 1 }));
+            }
+        }
+    }
+
+    #[test]
+    fn round_barrier_holds_jobs_until_the_previous_round_drains() {
+        let cfg = SchedConfig::plain(4, 2)
+            .rounds(vec![0, 0, 1, 1])
+            .record_trace();
+        let mut s = Scheduler::new(cfg).unwrap();
+        prime(&mut s, 2);
+        assert_eq!(s.current_round(), Some(0));
+        // Job 0 answers; round 0 still has job 1 in flight, so slave 1
+        // idles instead of receiving a round-1 job.
+        assert_eq!(
+            s.on(Event::Answer { job: 0, slave: 1 }, 0),
+            vec![Action::Accept { job: 0, slave: 1 }]
+        );
+        assert_eq!(s.current_round(), Some(0));
+        // Job 1 answers: the barrier clears, both round-1 jobs go out.
+        assert_eq!(
+            s.on(Event::Answer { job: 1, slave: 2 }, 0),
+            vec![
+                Action::Accept { job: 1, slave: 2 },
+                Action::Dispatch {
+                    job: 2,
+                    slave: 1,
+                    batch: 1
+                },
+                Action::Dispatch {
+                    job: 3,
+                    slave: 2,
+                    batch: 1
+                },
+            ]
+        );
+        assert_eq!(s.current_round(), Some(1));
+        s.on(Event::Answer { job: 2, slave: 1 }, 0);
+        let acts = s.on(Event::Answer { job: 3, slave: 2 }, 0);
+        assert!(acts.contains(&Action::Finish));
+        assert!(s.finished());
+        assert_eq!(s.rounds_drained(), Some(2));
+        assert_eq!(
+            s.take_trace().unwrap().render(),
+            "ready(1) -> dispatch(0->1)\n\
+             ready(2) -> dispatch(1->2)\n\
+             answer(0,1) -> accept(0,1)\n\
+             answer(1,2) -> accept(1,2) dispatch(2->1) dispatch(3->2)\n\
+             answer(2,1) -> accept(2,1) stop(1)\n\
+             answer(3,2) -> accept(3,2) stop(2) finish\n"
+        );
+    }
+
+    #[test]
+    fn rounds_respect_policy_order_within_a_round() {
+        // LPT inside each round, rounds in ascending order regardless
+        // of cost.
+        let cfg = SchedConfig::plain(4, 1)
+            .rounds(vec![1, 0, 1, 0])
+            .policy(DispatchPolicy::Lpt {
+                costs: vec![9.0, 1.0, 5.0, 3.0],
+            });
+        let mut s = Scheduler::new(cfg).unwrap();
+        assert_eq!(drain(&mut s, 1), vec![3, 1, 0, 2]);
+        assert!(s.finished());
+    }
+
+    #[test]
+    fn supervised_round_advances_when_a_job_exhausts_its_budget() {
+        let cfg = SchedConfig::plain(2, 1)
+            .rounds(vec![0, 1])
+            .supervised(Supervision {
+                deadline_ns: 1_000,
+                max_attempts: 1,
+                backoff_base_ns: 0,
+            });
+        let mut s = Scheduler::new(cfg).unwrap();
+        prime(&mut s, 1);
+        // Round 0's only job fails permanently (budget 1): the barrier
+        // must not wedge — round 1's job goes out to the freed slave.
+        assert_eq!(
+            s.on(Event::Failure { job: 0, slave: 1 }, 10),
+            vec![Action::Dispatch {
+                job: 1,
+                slave: 1,
+                batch: 1
+            }]
+        );
+        assert_eq!(s.failed_jobs(), vec![0]);
+        assert_eq!(s.current_round(), Some(1));
+        let acts = s.on(Event::Answer { job: 1, slave: 1 }, 20);
+        assert!(acts.contains(&Action::Finish));
+        assert_eq!(s.rounds_drained(), Some(2));
+    }
+
+    #[test]
+    fn supervised_retry_stays_inside_its_round() {
+        let cfg = SchedConfig::plain(3, 2)
+            .rounds(vec![0, 0, 1])
+            .supervised(Supervision {
+                deadline_ns: 1_000,
+                max_attempts: 3,
+                backoff_base_ns: 0,
+            });
+        let mut s = Scheduler::new(cfg).unwrap();
+        prime(&mut s, 2);
+        // Job 0 fails with budget left: requeued (zero backoff) and
+        // immediately redispatched; job 2 stays behind the barrier.
+        let acts = s.on(Event::Failure { job: 0, slave: 1 }, 5);
+        assert_eq!(
+            acts,
+            vec![
+                Action::Requeue { job: 0 },
+                Action::Dispatch {
+                    job: 0,
+                    slave: 1,
+                    batch: 1
+                },
+            ]
+        );
+        s.on(Event::Answer { job: 1, slave: 2 }, 10);
+        assert_eq!(s.current_round(), Some(0));
+        let acts = s.on(Event::Answer { job: 0, slave: 1 }, 15);
+        assert!(acts.contains(&Action::Dispatch {
+            job: 2,
+            slave: 1,
+            batch: 1
+        }));
+        assert_eq!(s.current_round(), Some(1));
+    }
+
+    #[test]
+    fn rounds_validation_rejects_nonsense() {
+        assert_eq!(
+            Scheduler::new(SchedConfig::plain(3, 1).rounds(vec![0])).unwrap_err(),
+            SchedError::RoundsLen { rounds: 1, jobs: 3 }
+        );
+        assert_eq!(
+            Scheduler::new(SchedConfig::plain(4, 1).batch(2).rounds(vec![0, 0, 1, 1]))
+                .unwrap_err(),
+            SchedError::RoundsNeedUnitBatch
+        );
+    }
+
+    #[test]
+    fn empty_rounds_in_the_middle_are_skipped() {
+        // Rounds 0 and 3 are populated; 1 and 2 are declared but empty.
+        let cfg = SchedConfig::plain(2, 1).rounds(vec![0, 3]);
+        let mut s = Scheduler::new(cfg).unwrap();
+        assert_eq!(s.current_round(), Some(0));
+        assert_eq!(drain(&mut s, 1), vec![0, 1]);
+        assert!(s.finished());
+        assert_eq!(s.rounds_drained(), Some(4));
     }
 
     #[test]

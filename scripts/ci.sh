@@ -23,6 +23,13 @@
 #      writes BENCH_9.json (nsplang bytecode VM >= 5x faster than the
 #      tree-walker on a Fig. 4-shaped driver script, engines
 #      bit-identical, cheap lowering) and bench_gate re-validates it;
+#      the `workload_smoke` heterogeneous-workload smoke writes
+#      BENCH_10.json (per-class compute present for every class of the
+#      mixed portfolio, LPT makespan <= FIFO under calibrated costs,
+#      staged BSDE live trace byte-identical to the staged simulator)
+#      and bench_gate re-validates it; the `--calibrate-classes` smoke
+#      prints the per-class grain costs and self-checks the BSDE
+#      dominance ordering;
 #      the transport gate quarantines raw mpsc channels inside
 #      crates/transport; the allocation gate bans hot-loop allocations
 #      inside the kernels' ALLOC-FREE regions; the hash gate bans name
@@ -226,7 +233,38 @@ if ! grep -q '"vm_speedup"' BENCH_9.json; then
     echo "error: BENCH_9.json missing vm_speedup column"
     exit 1
 fi
-run cargo run -p bench --bin bench_gate --release -q -- BENCH_6.json BENCH_4.json BENCH_3.json BENCH_7.json BENCH_8.json BENCH_9.json || exit 1
+# Heterogeneous-workload smoke: a mixed-class portfolio (vanillas through
+# Bermudan-max LSM, BSDE Picard, XVA/CVA) priced live on 8 slaves with a
+# recorder attached — every class must surface in the per-class compute
+# breakdown; the same portfolio replayed in the simulator under FIFO and
+# LPT with paper-calibrated per-class costs (LPT must not lose on
+# makespan); and a 3-round staged BSDE Picard workload whose live trace
+# must be byte-identical to the staged simulator's (the checks live in
+# workload_smoke and fail the process). The JSON line is the PR 10
+# artifact; bench_gate re-validates its structure.
+echo "==> cargo run -p bench --bin workload_smoke --release -q (heterogeneous workload smoke -> BENCH_10.json)"
+wl_out=$(cargo run -p bench --bin workload_smoke --release -q) || exit 1
+if ! printf '%s\n' "$wl_out" | grep -q 'traces byte-identical'; then
+    echo "error: workload smoke reported no trace-identity line"
+    exit 1
+fi
+printf '%s\n' "$wl_out" | sed -n 's/^JSON: //p' > BENCH_10.json
+if ! grep -q '"staged_trace_identical"' BENCH_10.json; then
+    echo "error: BENCH_10.json missing staged_trace_identical column"
+    exit 1
+fi
+run cargo run -p bench --bin bench_gate --release -q -- BENCH_6.json BENCH_4.json BENCH_3.json BENCH_7.json BENCH_8.json BENCH_9.json BENCH_10.json || exit 1
+
+# Per-class calibration smoke: the cost table every LPT dispatch consumes,
+# plus the self-check that one BSDE Picard round dominates a vanilla
+# Monte-Carlo grain (the check lives in bench::calibrate and exits 2 on
+# violation).
+echo "==> cargo run -p bench --bin table2 --release -q -- --calibrate-classes (per-class grain costs)"
+cal_out=$(cargo run -p bench --bin table2 --release -q -- --calibrate-classes) || exit 1
+if ! printf '%s\n' "$cal_out" | grep -q 'BSDE Picard round dominates'; then
+    echo "error: calibration smoke reported no BSDE-dominance line"
+    exit 1
+fi
 
 # Dispatch-order smoke: the LPT breakdown self-checks that longest-cost-
 # first dispatch leaves per-job wait seconds untouched relative to FIFO
@@ -262,7 +300,9 @@ echo "==> allocation gate: no hot-loop allocations in the lane kernels"
 # the markers on purpose). Comment lines are ignored.
 for f in crates/pricing/src/methods/montecarlo.rs \
          crates/pricing/src/methods/lsm.rs \
-         crates/pricing/src/methods/bond.rs; do
+         crates/pricing/src/methods/bond.rs \
+         crates/pricing/src/methods/bsde.rs \
+         crates/pricing/src/methods/xva.rs; do
     if ! grep -q 'ALLOC-FREE-BEGIN' "$f"; then
         echo "error: $f lost its ALLOC-FREE markers (the allocation gate needs them)"
         exit 1

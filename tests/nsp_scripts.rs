@@ -484,6 +484,51 @@ mod engine_equivalence {
     }
 
     #[test]
+    fn new_workload_class_sessions_agree() {
+        // The heterogeneous workload classes are reachable by their
+        // Premia-style registry names from scripts, and both engines
+        // price them bit-identically: BSDE Picard (Labart–Lelong),
+        // XVA/CVA on a netting set, and the multi-dimensional Bermudan
+        // max-call via LSM.
+        assert_agree(
+            "P = premia_create()\nP.set_asset[str=\"equity\"]\nP.set_model[str=\"BlackScholes1dim\"]\nP.set_option[str=\"CallEuro\"]\nP.set_method[str=\"MC_BSDE_LabartLelong\", paths=2048, time_steps=12]\nP.compute[]\nL = P.get_method_results[]\nprice = L(1)(3)",
+        );
+        assert_agree(
+            "P = premia_create()\nP.set_asset[str=\"equity\"]\nP.set_model[str=\"BlackScholes1dim\"]\nP.set_option[str=\"NettingSetForward\"]\nP.set_method[str=\"MC_XVA_CVA\", paths=1024, time_steps=16]\nP.compute[]\nL = P.get_method_results[]\ncva = L(1)(3)",
+        );
+        assert_agree(
+            "P = premia_create()\nP.set_asset[str=\"equity\"]\nP.set_model[str=\"BlackScholesNdim\"]\nP.set_option[str=\"CallMaxBermuda\"]\nP.set_method[str=\"MC_AM_LongstaffSchwartz\", paths=1024, exercise_dates=8, basis_degree=2]\nP.compute[]\nL = P.get_method_results[]\nprice = L(1)(3)",
+        );
+    }
+
+    #[test]
+    fn method_tuning_kwargs_agree() {
+        // Keyword overrides patch the named spec; typos and knobs the
+        // method doesn't have must fail identically on both engines.
+        assert_agree(
+            "P = premia_create()\nP.set_method[str=\"MC_BSDE_LabartLelong\", picard_rounds=1, y_prev=0.5, seed=7]",
+        );
+        assert_agree(
+            "P = premia_create()\nP.set_method[str=\"MC_BSDE_LabartLelong\", bogus_knob=1]",
+        );
+        assert_agree("P = premia_create()\nP.set_method[str=\"CF\", paths=10]");
+    }
+
+    #[test]
+    fn scripted_picard_sweeps_agree_with_one_shot() {
+        // The scripted BSDE driver: one Picard sweep per compute[],
+        // feeding y_prev forward — exactly the staged farm's contract —
+        // must land bit-for-bit on the one-shot multi-round run. `ok`
+        // is an exact float comparison, so snapshot equality across
+        // engines plus the tree-engine check below pins both.
+        let src = "y = 0\nfor k = 1:3 do\n  P = premia_create()\n  P.set_asset[str=\"equity\"]\n  P.set_model[str=\"BlackScholes1dim\"]\n  P.set_option[str=\"CallEuro\"]\n  P.set_method[str=\"MC_BSDE_LabartLelong\", paths=2048, time_steps=12, picard_rounds=1, y_prev=y]\n  P.compute[]\n  L = P.get_method_results[]\n  y = L(1)(3)\nend\nQ = premia_create()\nQ.set_asset[str=\"equity\"]\nQ.set_model[str=\"BlackScholes1dim\"]\nQ.set_option[str=\"CallEuro\"]\nQ.set_method[str=\"MC_BSDE_LabartLelong\", paths=2048, time_steps=12, picard_rounds=3]\nQ.compute[]\nM = Q.get_method_results[]\nok = y == M(1)(3)";
+        assert_agree(src);
+        let mut i = Interp::new();
+        i.run(src).unwrap();
+        assert_eq!(i.get_bool("ok"), Some(true), "sweeps must equal one-shot");
+    }
+
+    #[test]
     fn fig4_shaped_master_loop_agrees() {
         // The paper's master-side list plumbing (no MPI): build the job
         // list, range-delete the sent prefix, iterate the transposed rest.

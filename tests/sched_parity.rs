@@ -142,6 +142,149 @@ fn fault_free_live_and_sim_traces_are_byte_identical() {
 }
 
 #[test]
+fn staged_rounds_live_and_sim_traces_are_byte_identical() {
+    // The same matched 16-job ladder, now split into four declared
+    // rounds of four. The round barrier parks finished slaves until the
+    // straggler of each round answers, then refills them all — the
+    // staged machine's decisions must agree byte for byte between the
+    // live farm and the staged simulation.
+    let dir = std::env::temp_dir().join("it_sched_parity_staged");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (files, sim_jobs) = matched_workload(&dir);
+    let rounds: Vec<usize> = (0..COSTS.len()).map(|k| k / SLAVES).collect();
+
+    let live = run(
+        &files,
+        &FarmConfig::new(SLAVES, Transmission::SerializedLoad)
+            .rounds(rounds.clone())
+            .record_trace(true),
+    )
+    .unwrap();
+    assert_eq!(live.completed(), COSTS.len());
+    let live_trace = live.trace.expect("record_trace was set").render();
+
+    let sim = sim_trace(
+        &sim_jobs,
+        &SimSchedOpts {
+            record_trace: true,
+            rounds: Some(rounds),
+            ..Default::default()
+        },
+    );
+    assert_eq!(
+        live_trace, sim,
+        "staged decision traces diverged\n-- live --\n{live_trace}\n-- sim --\n{sim}"
+    );
+    // The barrier is visible: job 4 (round 1) is dispatched by the
+    // answer of job 3, the 20-grain straggler of round 0 — never by the
+    // earlier answers of jobs 0..2.
+    assert!(
+        live_trace.contains("answer(3,4) -> accept(3,4) dispatch(4->"),
+        "round barrier missing from trace: {live_trace}"
+    );
+    for early in ["accept(0,1) dispatch", "accept(1,2) dispatch"] {
+        assert!(
+            !live_trace.contains(early),
+            "round-blocked job dispatched early: {live_trace}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn staged_bsde_picard_live_and_sim_traces_are_byte_identical() {
+    // The dependency-aware workload itself: a 3-round Labart–Lelong
+    // Picard iteration, one single-sweep job per round, each round's
+    // dispatch patched with the previous round's price. The patching is
+    // payload-only, so the live decision trace must still match the
+    // staged simulation byte for byte.
+    use riskbench::farm::workload::Workload;
+    use riskbench::pricing::methods::bsde::{bsde_picard_iterates, BsdeConfig};
+    use riskbench::pricing::options::Vanilla;
+
+    let picard_rounds = 3;
+    let problem = PremiaProblem::new(
+        ModelSpec::BlackScholes(BlackScholes::new(100.0, 0.2, 0.05, 0.0)),
+        OptionSpec::Call {
+            strike: 100.0,
+            maturity: 1.0,
+        },
+        MethodSpec::Bsde {
+            paths: 4_000,
+            time_steps: 12,
+            rate_spread: 0.05,
+            picard_rounds,
+            y_prev: 0.0,
+            seed: 99,
+        },
+    );
+    let w = Workload::bsde_picard(problem).unwrap();
+    assert_eq!(w.round_count(), picard_rounds, ">= 2 dependent rounds");
+
+    let dir = std::env::temp_dir().join("it_sched_parity_bsde");
+    let _ = std::fs::remove_dir_all(&dir);
+    let live = riskbench::farm::run_workload(
+        &w,
+        &dir,
+        &FarmConfig::new(SLAVES, Transmission::SerializedLoad).record_trace(true),
+    )
+    .unwrap();
+    assert_eq!(live.completed(), picard_rounds);
+    let live_trace = live.trace.as_ref().expect("record_trace was set").render();
+
+    let sim_jobs: Vec<SimJob> = w
+        .jobs()
+        .iter()
+        .map(|j| SimJob {
+            id: j.id,
+            class: j.class,
+            bytes: riskbench::xdrser::serialize_to_bytes(&j.problem.to_value()).len(),
+            compute: 1.0,
+        })
+        .collect();
+    let (out, trace) = simulate_farm_sched(
+        &sim_jobs,
+        SLAVES,
+        Transmission::SerializedLoad,
+        &SimConfig::default(),
+        &mut SimCaches::new(),
+        None,
+        &SimSchedOpts {
+            record_trace: true,
+            rounds: w.rounds().map(|r| r.to_vec()),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(out.per_slave.iter().sum::<usize>(), picard_rounds);
+    let sim = trace.expect("record_trace was set").render();
+    assert_eq!(
+        live_trace, sim,
+        "BSDE staged traces diverged\n-- live --\n{live_trace}\n-- sim --\n{sim}"
+    );
+
+    // And the farm's staged answers are the in-process Picard iterates,
+    // bit for bit — the data flow crossed the rounds correctly.
+    let cfg = BsdeConfig {
+        paths: 4_000,
+        time_steps: 12,
+        rate_spread: 0.05,
+        picard_rounds,
+        y_prev: 0.0,
+        seed: 99,
+    };
+    let m = BlackScholes::new(100.0, 0.2, 0.05, 0.0);
+    let iterates = bsde_picard_iterates(&m, &Vanilla::european_call(100.0, 1.0), &cfg, None);
+    let by_job = live.by_job();
+    for (r, it) in iterates.iter().enumerate() {
+        let (job, got, _) = by_job[r];
+        assert_eq!(job, r);
+        assert_eq!(got.to_bits(), it.price.to_bits(), "round {r} iterate");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn seeded_fault_live_and_sim_traces_are_byte_identical() {
     let dir = std::env::temp_dir().join("it_sched_parity_fault");
     let _ = std::fs::remove_dir_all(&dir);

@@ -81,6 +81,48 @@ fn concurrent_submitters_match_one_shot_farm_bit_for_bit() {
 }
 
 // ---------------------------------------------------------------------------
+// Mixed-class requests: the new workload classes flow through the service
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mixed_class_request_prices_every_workload_class_bit_for_bit() {
+    // One representative of every job class — including the extension
+    // classes (Bermudan max-call LSM, BSDE Picard, XVA/CVA) — in a
+    // single request. The session must price each bit-identically to an
+    // in-process compute of the same problem.
+    let jobs: Vec<PortfolioJob> = JobClass::ALL
+        .iter()
+        .map(|&c| representative_problem(c, PortfolioScale::Quick))
+        .collect();
+    let expected: Vec<u64> = jobs
+        .iter()
+        .map(|j| j.problem.compute().unwrap().price.to_bits())
+        .collect();
+    let mix = farm::workload::Workload::batch(jobs.clone()).class_mix();
+    assert_eq!(mix.len(), JobClass::ALL.len(), "one of each class: {mix:?}");
+
+    let session = Session::start(quick_config(3).job_deadline(Duration::from_secs(30))).unwrap();
+    let problems: Vec<PremiaProblem> = jobs.into_iter().map(|j| j.problem).collect();
+    let response = session
+        .submit(Request::new(problems))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(response.all_priced(), "{:?}", response.results);
+    for ((i, r), want) in response.results.iter().enumerate().zip(&expected) {
+        assert_eq!(
+            r.as_ref().unwrap().price.to_bits(),
+            *want,
+            "class {:?} priced differently through the service",
+            JobClass::ALL[i]
+        );
+    }
+    let report = session.shutdown().unwrap();
+    assert_eq!(report.answered, 1);
+    assert_eq!(report.failed, 0);
+}
+
+// ---------------------------------------------------------------------------
 // Memoisation: the second identical request computes nothing
 // ---------------------------------------------------------------------------
 
